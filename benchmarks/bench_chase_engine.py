@@ -1,0 +1,72 @@
+"""Substrate benchmark AB-3: the chase engine itself.
+
+Times the restricted chase on full-TGD closure workloads, existential
+TGD chains, FD merge cascades, and the semi-oblivious policy — the
+machinery every decider sits on.
+"""
+
+import pytest
+
+from repro.chase import ChaseOutcome, chase
+from repro.constraints import fd, tgd
+from repro.data import Instance
+from repro.logic import Atom, Constant, Null
+
+SIZES = [20, 60, 120]
+
+
+def _path(n):
+    return Instance(
+        Atom("E", (Constant(i), Constant(i + 1))) for i in range(n)
+    )
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_full_tgd_transitive_closure(benchmark, size):
+    """T(x,y) ∧ E(y,z) → T(x,z): quadratic closure of a path."""
+    rules = [tgd("E(x, y) -> T(x, y)"), tgd("T(x, y), E(y, z) -> T(x, z)")]
+    start = _path(size)
+    result = benchmark.pedantic(
+        lambda: chase(start, rules), rounds=2, iterations=1
+    )
+    assert result.outcome is ChaseOutcome.FIXPOINT
+    assert len(result.instance.facts_of("T")) == size * (size + 1) // 2
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_existential_chain(benchmark, size):
+    """A(x) → B(x,z) → C(z): null creation and propagation."""
+    rules = [tgd("A(x) -> B(x, z)"), tgd("B(x, z) -> C(z)")]
+    start = Instance(Atom("A", (Constant(i),)) for i in range(size))
+    result = benchmark(lambda: chase(start, rules))
+    assert result.outcome is ChaseOutcome.FIXPOINT
+    assert len(result.instance.facts_of("C")) == size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_fd_merge_cascade(benchmark, size):
+    """n facts over one key: n-1 null merges."""
+    start = Instance(
+        Atom("R", (Constant("k"), Null(f"n{i}"))) for i in range(size)
+    )
+    result = benchmark.pedantic(
+        lambda: chase(start, [fd("R", [0], 1)]), rounds=2, iterations=1
+    )
+    assert result.outcome is ChaseOutcome.FIXPOINT
+    assert len(result.instance) == 1
+
+
+@pytest.mark.parametrize("size", [10, 30])
+def test_semi_oblivious_vs_restricted(benchmark, size):
+    """The semi-oblivious policy fires satisfied triggers too."""
+    rules = [tgd("E(x, y) -> E(y, z)")]
+    start = _path(size)
+
+    def run():
+        return chase(
+            start, rules, policy="semi_oblivious", max_rounds=3,
+            max_facts=50_000,
+        )
+
+    result = benchmark(run)
+    assert len(result.instance) > size

@@ -1,0 +1,96 @@
+"""Benchmark FIN-1: the finite closure of UIDs + FDs (Cor 7.3 / Thm 7.4).
+
+Finite monotone answerability for UIDs + FDs reduces to unrestricted
+answerability over the finite closure Σ*.  This benchmark times the
+closure computation on UID cycles of growing length (each cycle + FD
+squeeze reverses all its edges) and validates the reversals semantically
+on finite witnesses.
+"""
+
+import pytest
+
+from repro.constraints import fd, finite_closure, inclusion_dependency
+from repro.data import Instance
+from repro.logic import Atom, Constant
+
+from _harness import RowReport, print_row
+
+CYCLE_LENGTHS = [2, 4, 8]
+
+
+def cycle_constraints(length):
+    """A cardinality cycle: UID R_i[0] ⊆ R_{i+1}[1] gives
+    |vals@(R_i,0)| ≤ |vals@(R_{i+1},1)|, and FD R_i: 0 → 1 gives
+    |vals@(R_i,1)| ≤ |vals@(R_i,0)| — chaining around the cycle squeezes
+    every inequality into an equality, so all UIDs and FDs reverse."""
+    uids = []
+    fds = []
+    arities = {}
+    for i in range(length):
+        src = f"R{i}"
+        dst = f"R{(i + 1) % length}"
+        arities[src] = 2
+        uids.append(inclusion_dependency(src, (0,), dst, (1,), 2, 2))
+        fds.append(fd(src, [0], 1))
+    return uids, fds, arities
+
+
+@pytest.mark.parametrize("length", CYCLE_LENGTHS)
+def test_finite_closure_cycle(benchmark, length):
+    uids, fds_, arities = cycle_constraints(length)
+    closure = benchmark(lambda: finite_closure(uids, fds_, arities))
+    # Every UID in the cycle reverses.
+    for i in range(length):
+        src = (f"R{(i + 1) % length}", 1)
+        dst = (f"R{i}", 0)
+        assert (src, dst) in closure.uids
+    # Every FD reverses too.
+    for i in range(length):
+        assert fd(f"R{i}", [1], 0) in closure.fds
+
+
+def test_reversals_hold_on_finite_witness(benchmark):
+    """A concrete finite model of the premises satisfies the closure."""
+    uids, fds_, arities = cycle_constraints(2)
+
+    def check():
+        closure = finite_closure(uids, fds_, arities)
+        witness = Instance(
+            [
+                Atom("R0", (Constant("a"), Constant("a"))),
+                Atom("R1", (Constant("a"), Constant("a"))),
+            ]
+        )
+        for dependency in uids + fds_:
+            assert dependency.satisfied_by(witness)
+        for dependency in closure.uid_tgds(arities):
+            assert dependency.satisfied_by(witness)
+        for dependency in closure.fds:
+            assert dependency.satisfied_by(witness)
+        return closure
+
+    benchmark(check)
+
+
+def test_print_table_row(benchmark):
+    import time
+
+    def row():
+        measurements = []
+        for length in CYCLE_LENGTHS:
+            uids, fds_, arities = cycle_constraints(length)
+            start = time.perf_counter()
+            finite_closure(uids, fds_, arities)
+            measurements.append(
+                (f"UID cycle length {length}", time.perf_counter() - start)
+            )
+        return RowReport(
+            "Finite variant (UIDs+FDs)",
+            "finite closure Σ* reduces finite to unrestricted "
+            "answerability (Thm 7.4 / Cor 7.3)",
+            "cycle reversals validated on finite witnesses",
+            measurements,
+        )
+
+    report = benchmark.pedantic(row, rounds=1, iterations=1)
+    print_row(report)

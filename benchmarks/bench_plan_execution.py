@@ -1,0 +1,75 @@
+"""End-to-end benchmark AB-4: plan execution against simulated services.
+
+Times (a) static plans and (b) universal plans against the directory
+workload and the simulated providers, scaling the data; compares against
+the direct-evaluation upper bound (what a mediator with full access
+would pay).
+"""
+
+import pytest
+
+from repro.accessibility import StingySelection
+from repro.answerability import UniversalPlan, generate_static_plan
+from repro.logic import Constant, atom, boolean_cq, evaluate_cq, holds
+from repro.plans import execute
+from repro.workloads import movie_service
+from repro.workloads.generators import (
+    directory_instance,
+    lookup_chain_workload,
+)
+
+PEOPLE = [20, 60, 120]
+
+
+@pytest.mark.parametrize("people", PEOPLE)
+def test_static_plan_execution(benchmark, people):
+    workload = lookup_chain_workload(1, dump_bound=None, query_length=1)
+    plan = generate_static_plan(workload.schema, workload.query)
+    assert plan is not None
+    instance = directory_instance(people, lookups=1)
+
+    def run():
+        return execute(plan, instance, workload.schema, StingySelection())
+
+    output = benchmark(run)
+    assert bool(output) == holds(workload.query, instance)
+
+
+@pytest.mark.parametrize("people", PEOPLE)
+def test_universal_plan_execution(benchmark, people):
+    workload = lookup_chain_workload(1, dump_bound=None, query_length=1)
+    plan = UniversalPlan(workload.schema, workload.query)
+    instance = directory_instance(people, lookups=1)
+
+    def run():
+        selection = StingySelection()
+        return plan.run(instance, selection)
+
+    run_result = benchmark(run)
+    assert bool(run_result.answers) == holds(workload.query, instance)
+
+
+@pytest.mark.parametrize("people", PEOPLE)
+def test_direct_evaluation_baseline(benchmark, people):
+    """What evaluation costs with unrestricted access (lower bound)."""
+    workload = lookup_chain_workload(1, dump_bound=None, query_length=1)
+    instance = directory_instance(people, lookups=1)
+    answers = benchmark(lambda: evaluate_cq(workload.query, instance))
+    assert bool(answers) == holds(workload.query, instance)
+
+
+@pytest.mark.parametrize("titles", [50, 150])
+def test_movie_service_end_to_end(benchmark, titles):
+    schema, service = movie_service(titles=titles, listing_cap=10)
+    query = boolean_cq(
+        [atom("Title", Constant(7), "y", Constant(7))], name="Qr"
+    )
+    plan = UniversalPlan(schema, query)
+
+    def run():
+        selection = service.selection()
+        selection.reset()
+        return plan.run(service.data, selection)
+
+    result = benchmark(run)
+    assert bool(result.answers) == holds(query, service.data)

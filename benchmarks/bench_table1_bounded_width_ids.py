@@ -1,0 +1,81 @@
+"""Table 1, row "bounded-width IDs": existence-check, NP-complete.
+
+The refinement of Theorem 5.4: at fixed ID width the linearized decision
+procedure scales polynomially in the schema size (the NP dimension),
+while growing the width inflates the saturation/linearization
+exponentially (the dimension separating this row from the EXPTIME row
+above it).  Both dimensions are benchmarked.
+"""
+
+import pytest
+
+from repro.answerability import decide_with_ids, linearize
+from repro.answerability.elimub import elim_ub
+from repro.workloads.generators import (
+    id_width_workload,
+    lookup_chain_workload,
+)
+
+from _harness import RowReport, print_row, time_decisions, validate_workloads
+
+CHAIN_SIZES = [2, 4, 6, 8]
+WIDTHS = [1, 2, 3]
+
+
+@pytest.mark.parametrize("size", CHAIN_SIZES)
+def test_fixed_width_scaling(benchmark, size):
+    """The NP dimension: width-1 chains of growing length."""
+    workload = lookup_chain_workload(size, dump_bound=20)
+    result = benchmark(
+        lambda: decide_with_ids(workload.schema, workload.query)
+    )
+    assert result.is_no
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_width_scaling(benchmark, width):
+    """The exponential dimension: growing ID width."""
+    workload = id_width_workload(width)
+    result = benchmark(
+        lambda: decide_with_ids(workload.schema, workload.query)
+    )
+    assert result.is_yes
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_linearization_construction(benchmark, width):
+    """Σ^Lin construction cost in isolation (the saturation engine)."""
+    workload = id_width_workload(width)
+    schema = elim_ub(workload.schema)
+    system = benchmark(lambda: linearize(schema))
+    assert system.rules
+
+
+def test_rule_count_grows_with_width(benchmark):
+    def count():
+        return [
+            len(linearize(elim_ub(id_width_workload(w).schema)).rules)
+            for w in WIDTHS
+        ]
+
+    counts = benchmark.pedantic(count, rounds=1, iterations=1)
+    assert counts == sorted(counts)
+
+
+def test_print_table_row(benchmark):
+    def row():
+        family = [
+            lookup_chain_workload(n, dump_bound=20) for n in CHAIN_SIZES
+        ] + [id_width_workload(w) for w in WIDTHS]
+        validation = validate_workloads(family)
+        measurements = time_decisions(family, repeat=1)
+        return RowReport(
+            "Bounded-width IDs",
+            "existence-check simplifiable; NP-complete (Thm 5.4, via "
+            "linearization Prop 5.5)",
+            validation,
+            measurements,
+        )
+
+    report = benchmark.pedantic(row, rounds=1, iterations=1)
+    print_row(report)

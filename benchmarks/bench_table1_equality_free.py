@@ -1,0 +1,106 @@
+"""Table 1, row "Equality-free FO": choice simplifiable; undecidable.
+
+Theorem 6.3 says choice simplification is sound for all equality-free
+constraints (we validate the bound-invariance and the blow-up invariance
+that powers the proof); Prop 8.2 says answerability is undecidable in
+general — so this row benchmarks the *sound* machinery (choice
+simplification + bounded chase, which may honestly return UNKNOWN) and
+the blow-up itself, not a complete decider.
+"""
+
+import pytest
+
+from repro.answerability import (
+    blow_up_instance,
+    choice_simplification,
+    decide_with_choice_simplification,
+)
+from repro.data import Instance
+from repro.logic import Atom, Constant, holds
+from repro.workloads.generators import tgd_transfer_workload
+
+from _harness import RowReport, print_row, time_decisions, validate_workloads
+
+SOURCES = [1, 2, 4]
+BLOWUP_SIZES = [5, 10, 20]
+
+
+@pytest.mark.parametrize("sources", SOURCES)
+def test_decide_tgd_family(benchmark, sources):
+    workload = tgd_transfer_workload(sources)
+    result = benchmark(
+        lambda: decide_with_choice_simplification(
+            workload.schema, workload.query
+        )
+    )
+    assert result.is_yes
+
+
+def test_bound_invariance_under_choice(benchmark):
+    def check():
+        verdicts = set()
+        workload = tgd_transfer_workload(2)
+        for bound in (1, 6, 300):
+            schema = workload.schema.copy()
+            methods = [
+                m.with_result_bound(bound)
+                if m.is_result_bounded()
+                else m
+                for m in schema.methods
+            ]
+            rebounded = schema.replace_methods(methods)
+            verdicts.add(
+                decide_with_choice_simplification(
+                    rebounded, workload.query
+                ).truth
+            )
+        return verdicts
+
+    assert len(benchmark(check)) == 1
+
+
+@pytest.mark.parametrize("size", BLOWUP_SIZES)
+def test_blow_up_invariance(benchmark, size):
+    """The engine of Thm 6.3: cloning preserves constraints + queries."""
+    workload = tgd_transfer_workload(2)
+    instance = Instance(
+        [Atom("T", (Constant(i),)) for i in range(size)]
+        + [Atom("S0", (Constant(0),)), Atom("S1", (Constant(1),))]
+    )
+    assert workload.schema.satisfied_by(instance)
+
+    def blow_and_check():
+        blown = blow_up_instance(instance, 2)
+        assert workload.schema.satisfied_by(blown)
+        assert holds(workload.query, blown)
+        return len(blown)
+
+    size_after = benchmark(blow_and_check)
+    assert size_after == len(instance) * 2  # unary facts: 2 clones each
+
+
+def test_choice_simplification_is_cheap(benchmark):
+    workload = tgd_transfer_workload(4)
+    result = benchmark(
+        lambda: choice_simplification(workload.schema)
+    )
+    assert all(
+        m.effective_bound() in (None, 1) for m in result.schema.methods
+    )
+
+
+def test_print_table_row(benchmark):
+    def row():
+        family = [tgd_transfer_workload(n) for n in SOURCES]
+        validation = validate_workloads(family)
+        measurements = time_decisions(family, repeat=1)
+        return RowReport(
+            "Equality-free FO (TGDs)",
+            "choice simplifiable (Thm 6.3); undecidable in general "
+            "(Prop 8.2) — sound bounded chase benchmarked",
+            validation,
+            measurements,
+        )
+
+    report = benchmark.pedantic(row, rounds=1, iterations=1)
+    print_row(report)

@@ -1,0 +1,85 @@
+"""Table 1, row "FDs": FD simplifiable, NP-complete (Thms 4.5, 5.2).
+
+Validates the FD-simplification behaviour (determined projections are
+answerable, undetermined ones are not; the bound's value is irrelevant)
+and benchmarks the terminating-chase decider while scaling the number of
+determined columns.
+"""
+
+import pytest
+
+from repro.answerability import decide_with_fds, fd_simplification
+from repro.workloads.generators import fd_determinacy_workload
+
+from _harness import RowReport, print_row, time_decisions, validate_workloads
+
+DETERMINED = [1, 2, 4, 6]
+
+
+@pytest.mark.parametrize("determined", DETERMINED)
+def test_determined_projection_answerable(benchmark, determined):
+    workload = fd_determinacy_workload(determined)
+    result = benchmark(
+        lambda: decide_with_fds(workload.schema, workload.query)
+    )
+    assert result.is_yes
+
+
+@pytest.mark.parametrize("determined", DETERMINED)
+def test_undetermined_column_refused(benchmark, determined):
+    workload = fd_determinacy_workload(determined, ask_undetermined=True)
+    result = benchmark(
+        lambda: decide_with_fds(workload.schema, workload.query)
+    )
+    assert result.is_no
+
+
+def test_bound_irrelevant_under_fds(benchmark):
+    """Thm 4.5: only DetBy matters, not the bound's size."""
+
+    def check():
+        verdicts = set()
+        for bound in (1, 7, 250):
+            workload = fd_determinacy_workload(2, bound=bound)
+            verdicts.add(
+                decide_with_fds(workload.schema, workload.query).truth
+            )
+        return verdicts
+
+    assert len(benchmark(check)) == 1
+
+
+def test_view_arity_follows_detby(benchmark):
+    def shape():
+        arities = []
+        for determined in DETERMINED:
+            workload = fd_determinacy_workload(determined)
+            simplified = fd_simplification(workload.schema)
+            rewrite = simplified.rewrites["by_key"]
+            arities.append(rewrite.view_relation.arity)
+        return arities
+
+    arities = benchmark.pedantic(shape, rounds=1, iterations=1)
+    # key + determined columns.
+    assert arities == [d + 1 for d in DETERMINED]
+
+
+def test_print_table_row(benchmark):
+    def row():
+        family = [fd_determinacy_workload(d) for d in DETERMINED] + [
+            fd_determinacy_workload(d, ask_undetermined=True)
+            for d in DETERMINED
+        ]
+        validation = validate_workloads(family)
+        measurements = time_decisions(
+            [fd_determinacy_workload(d) for d in DETERMINED], repeat=1
+        )
+        return RowReport(
+            "FDs",
+            "FD simplifiable (Thm 4.5); NP-complete (Thm 5.2)",
+            validation,
+            measurements,
+        )
+
+    report = benchmark.pedantic(row, rounds=1, iterations=1)
+    print_row(report)

@@ -1,0 +1,115 @@
+"""Table 1, row "IDs": existence-check simplifiable, EXPTIME-complete.
+
+Validates Theorem 4.2 behaviourally (result bounds act as existence
+checks: the bound's value never changes the verdict; the existence-check
+simplified schema decides identically) and benchmarks the ID decider on
+the lookup-chain family, scaling the number of relations (the polynomial
+dimension) — the exponential dimension (width) is in
+``bench_table1_bounded_width_ids.py``.
+"""
+
+import pytest
+
+from repro.answerability import (
+    decide_monotone_answerability,
+    decide_with_ids,
+    existence_check_simplification,
+    find_amondet_counterexample,
+)
+from repro.workloads.generators import lookup_chain_workload
+
+from _harness import RowReport, print_row, time_decisions, validate_workloads
+
+ANSWERABLE_SIZES = [1, 2, 3, 4]
+BOUNDED_SIZES = [1, 2, 4, 6]
+
+
+def _family(bound):
+    sizes = ANSWERABLE_SIZES if bound is None else BOUNDED_SIZES
+    return [lookup_chain_workload(n, dump_bound=bound) for n in sizes]
+
+
+@pytest.mark.parametrize("size", ANSWERABLE_SIZES)
+def test_decide_answerable_chain(benchmark, size):
+    workload = lookup_chain_workload(size, dump_bound=None)
+    result = benchmark(
+        lambda: decide_monotone_answerability(workload.schema, workload.query)
+    )
+    assert result.is_yes
+
+
+@pytest.mark.parametrize("size", BOUNDED_SIZES)
+def test_decide_bounded_chain(benchmark, size):
+    workload = lookup_chain_workload(size, dump_bound=50)
+    result = benchmark(
+        lambda: decide_monotone_answerability(workload.schema, workload.query)
+    )
+    assert result.is_no
+
+
+def test_bound_value_invariance(benchmark):
+    """Thm 4.2's consequence: the verdict is invariant in the bound k."""
+
+    def check():
+        verdicts = set()
+        for bound in (1, 5, 100, 5000):
+            workload = lookup_chain_workload(2, dump_bound=bound)
+            verdicts.add(
+                decide_monotone_answerability(
+                    workload.schema, workload.query
+                ).truth
+            )
+        return verdicts
+
+    verdicts = benchmark(check)
+    assert len(verdicts) == 1
+
+
+def test_existence_check_simplification_preserves_verdict(benchmark):
+    """Deciding on the simplified schema gives the same answers."""
+
+    def check():
+        agreements = 0
+        for bound in (None, 10):
+            for n in (1, 2, 3):
+                workload = lookup_chain_workload(n, dump_bound=bound)
+                direct = decide_monotone_answerability(
+                    workload.schema, workload.query
+                )
+                simplified = existence_check_simplification(workload.schema)
+                via_simpl = decide_with_ids(
+                    simplified.schema, workload.query
+                )
+                assert direct.truth == via_simpl.truth, workload.name
+                agreements += 1
+        return agreements
+
+    assert benchmark(check) == 6
+
+
+def test_falsifier_cross_validation(benchmark):
+    """The semantic falsifier certifies the NO of the bounded chain."""
+    workload = lookup_chain_workload(1, dump_bound=2)
+
+    def falsify():
+        return find_amondet_counterexample(workload.schema, workload.query)
+
+    counterexample = benchmark.pedantic(falsify, rounds=1, iterations=1)
+    assert counterexample is not None
+    assert counterexample.verify(workload.schema, workload.query)
+
+
+def test_print_table_row(benchmark):
+    def row():
+        validation = validate_workloads(_family(None) + _family(25))
+        measurements = time_decisions(_family(25), repeat=1)
+        return RowReport(
+            "IDs",
+            "existence-check simplifiable (Thm 4.2); "
+            "EXPTIME-complete (Thm 5.3)",
+            validation,
+            measurements,
+        )
+
+    report = benchmark.pedantic(row, rounds=1, iterations=1)
+    print_row(report)

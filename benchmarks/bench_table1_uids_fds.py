@@ -1,0 +1,94 @@
+"""Table 1, row "FDs and UIDs": choice simplifiable; NP-hard, in EXPTIME.
+
+Validates Theorem 6.4's consequence (the bound's value never matters for
+UIDs + FDs — only whether it is present) and Theorem 7.2's decision
+procedure (choice simplification + separability rewriting + GTGD chase),
+scaling the number of UID-linked department relations.
+"""
+
+import pytest
+
+from repro.answerability import (
+    choice_simplification,
+    decide_with_uids_and_fds,
+)
+from repro.workloads.generators import uid_fd_workload
+from repro.workloads.paperschemas import (
+    query_q3_boolean,
+    university_schema,
+)
+
+from _harness import RowReport, print_row, time_decisions, validate_workloads
+
+DEPARTMENTS = [1, 2, 4, 8]
+
+
+@pytest.mark.parametrize("departments", DEPARTMENTS)
+def test_decide_with_fd(benchmark, departments):
+    workload = uid_fd_workload(departments, with_fd=True)
+    result = benchmark(
+        lambda: decide_with_uids_and_fds(workload.schema, workload.query)
+    )
+    assert result.is_yes
+
+
+@pytest.mark.parametrize("departments", DEPARTMENTS)
+def test_decide_without_fd(benchmark, departments):
+    workload = uid_fd_workload(departments, with_fd=False)
+    from repro.answerability import decide_monotone_answerability
+
+    result = benchmark(
+        lambda: decide_monotone_answerability(workload.schema, workload.query)
+    )
+    assert result.is_no
+
+
+def test_choice_simplification_bound_invariance(benchmark):
+    """Thm 6.4: replacing any bound by 1 preserves the verdict."""
+
+    def check():
+        verdicts = set()
+        for bound in (1, 10, 400):
+            workload = uid_fd_workload(2, bound=bound)
+            verdicts.add(
+                decide_with_uids_and_fds(
+                    workload.schema, workload.query
+                ).truth
+            )
+            simplified = choice_simplification(workload.schema).schema
+            verdicts.add(
+                decide_with_uids_and_fds(simplified, workload.query).truth
+            )
+        return verdicts
+
+    assert len(benchmark(check)) == 1
+
+
+def test_paper_q3(benchmark):
+    """Example 1.5 through the Thm 7.2 machinery."""
+    schema = university_schema(ud_bound=100, with_ud2=True, with_fd=True)
+    result = benchmark(
+        lambda: decide_with_uids_and_fds(schema, query_q3_boolean())
+    )
+    assert result.is_yes
+
+
+def test_print_table_row(benchmark):
+    def row():
+        family = [
+            uid_fd_workload(n, with_fd=True) for n in DEPARTMENTS
+        ] + [uid_fd_workload(n, with_fd=False) for n in DEPARTMENTS]
+        validation = validate_workloads(family)
+        measurements = time_decisions(
+            [uid_fd_workload(n, with_fd=True) for n in DEPARTMENTS],
+            repeat=1,
+        )
+        return RowReport(
+            "FDs and UIDs",
+            "choice simplifiable (Thm 6.4); NP-hard, in EXPTIME (Thm 7.2)",
+            validation,
+            measurements,
+        )
+
+    report = benchmark.pedantic(row, rounds=1, iterations=1)
+    print_row(report)

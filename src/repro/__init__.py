@@ -1,0 +1,103 @@
+"""repro — answering queries with result-bounded data interfaces.
+
+A complete, from-scratch implementation of the framework of
+
+    Antoine Amarilli and Michael Benedikt,
+    "When Can We Answer Queries Using Result-Bounded Data Interfaces?",
+    PODS 2018 (extended arXiv version 1706.07936).
+
+The library decides *monotone answerability*: given a relational schema
+with integrity constraints and access methods — some returning at most
+``k`` tuples, chosen nondeterministically — can a conjunctive query be
+implemented exactly by a monotone plan over the methods?
+
+Quickstart::
+
+    from repro import Schema, boolean_cq, atom, tgd
+    from repro import decide_monotone_answerability
+
+    schema = Schema()
+    schema.add_relation("Prof", 3)
+    schema.add_relation("Udirectory", 3)
+    schema.add_method("pr", "Prof", inputs=[0])
+    schema.add_method("ud", "Udirectory", inputs=[], result_bound=100)
+    schema.add_constraint(tgd("Prof(i,n,s) -> Udirectory(i,a,p)"))
+
+    q2 = boolean_cq([atom("Udirectory", "i", "a", "p")])
+    result = decide_monotone_answerability(schema, q2)
+    assert result.is_yes          # Example 1.4 of the paper
+
+Package map (details in DESIGN.md):
+
+* `repro.logic` / `repro.data` — queries, homomorphisms, instances;
+* `repro.constraints` — TGDs/IDs/UIDs/FDs/EGDs and their analysis;
+* `repro.chase` / `repro.containment` — the chase and query containment
+  (chase-based and backward-rewriting routes);
+* `repro.schema` / `repro.accessibility` — access methods, result
+  bounds, access selections, accessible parts;
+* `repro.plans` — the plan language, execution, plan→UCQ;
+* `repro.answerability` — the paper's core: AMonDet reduction, schema
+  simplifications, per-class deciders, linearization, plan generation;
+* `repro.workloads` — paper examples, generators, simulated services.
+"""
+
+from .answerability import (
+    AnswerabilityResult,
+    UniversalPlan,
+    choice_simplification,
+    decide_monotone_answerability,
+    existence_check_simplification,
+    fd_simplification,
+    find_amondet_counterexample,
+    generate_static_plan,
+)
+from .constraints import (
+    EGD,
+    TGD,
+    ConstraintClass,
+    FunctionalDependency,
+    fd,
+    inclusion_dependency,
+    parse_fd,
+    tgd,
+)
+from .containment import Decision, Truth, contains, linear_contains
+from .chase import ChaseOutcome, chase
+from .data import Instance
+from .logic import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    Null,
+    UnionOfConjunctiveQueries,
+    Variable,
+    atom,
+    boolean_cq,
+    cq,
+    evaluate_cq,
+    ground_atom,
+    holds,
+    parse_cq,
+)
+from .plans import Plan, execute, plan_to_ucq
+from .schema import AccessMethod, Relation, Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnswerabilityResult", "UniversalPlan", "choice_simplification",
+    "decide_monotone_answerability", "existence_check_simplification",
+    "fd_simplification", "find_amondet_counterexample",
+    "generate_static_plan",
+    "EGD", "TGD", "ConstraintClass", "FunctionalDependency", "fd",
+    "inclusion_dependency", "parse_fd", "tgd",
+    "Decision", "Truth", "contains", "linear_contains",
+    "ChaseOutcome", "chase",
+    "Instance",
+    "Atom", "ConjunctiveQuery", "Constant", "Null",
+    "UnionOfConjunctiveQueries", "Variable", "atom", "boolean_cq", "cq",
+    "evaluate_cq", "ground_atom", "holds", "parse_cq",
+    "Plan", "execute", "plan_to_ucq",
+    "AccessMethod", "Relation", "Schema",
+    "__version__",
+]

@@ -1,0 +1,147 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``decide SCHEMA.json QUERY``
+    Decide monotone answerability of the query under the schema; exit
+    code 0 for YES, 1 for NO, 2 for UNKNOWN.
+``plan SCHEMA.json QUERY``
+    Extract and print a static plan for an answerable query.
+``simplify SCHEMA.json {existence-check,fd,choice}``
+    Print the simplified schema (JSON).
+``classify SCHEMA.json``
+    Print the detected constraint fragment and its Table-1 row.
+
+The schema format is documented in `repro.io`; queries use the text
+syntax ``"Q(n) :- Prof(i, n, 10000)"`` (or a bare Boolean body), either
+inline or as a path to a file containing it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .answerability import (
+    choice_simplification,
+    decide_monotone_answerability,
+    existence_check_simplification,
+    fd_simplification,
+    generate_static_plan,
+)
+from .answerability.finite import decide_finite_monotone_answerability
+from .io import load_query, load_schema, schema_to_dict
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Answerability of conjunctive queries over result-bounded "
+            "data interfaces (Amarilli & Benedikt, PODS 2018)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    decide = commands.add_parser(
+        "decide", help="decide monotone answerability"
+    )
+    decide.add_argument("schema", help="path to the JSON schema")
+    decide.add_argument("query", help="query text or path to a query file")
+    decide.add_argument(
+        "--finite",
+        action="store_true",
+        help="decide the finite variant (Prop 2.2 / Cor 7.3)",
+    )
+    decide.add_argument(
+        "--max-rounds",
+        type=int,
+        default=25,
+        help="chase round cap for the semidecidable routes",
+    )
+
+    plan = commands.add_parser(
+        "plan", help="extract a static plan for an answerable query"
+    )
+    plan.add_argument("schema")
+    plan.add_argument("query")
+
+    simplify = commands.add_parser(
+        "simplify", help="print a simplified schema"
+    )
+    simplify.add_argument("schema")
+    simplify.add_argument(
+        "kind", choices=["existence-check", "fd", "choice"]
+    )
+
+    classify = commands.add_parser(
+        "classify", help="detect the constraint fragment"
+    )
+    classify.add_argument("schema")
+    return parser
+
+
+def _cmd_decide(args: argparse.Namespace) -> int:
+    schema = load_schema(args.schema)
+    query = load_query(args.query)
+    if args.finite:
+        result = decide_finite_monotone_answerability(
+            schema, query, max_rounds=args.max_rounds
+        )
+    else:
+        result = decide_monotone_answerability(
+            schema, query, max_rounds=args.max_rounds
+        )
+    print(f"query     : {query!r}")
+    print(f"fragment  : {result.constraint_class.value}")
+    print(f"route     : {result.route}")
+    print(f"decision  : {result.truth.value.upper()}")
+    print(f"reason    : {result.decision.reason}")
+    return {"yes": 0, "no": 1, "unknown": 2}[result.truth.value]
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    schema = load_schema(args.schema)
+    query = load_query(args.query)
+    plan = generate_static_plan(schema, query)
+    if plan is None:
+        print("no plan: the query is not (provably) monotone answerable")
+        return 1
+    print(plan)
+    return 0
+
+
+def _cmd_simplify(args: argparse.Namespace) -> int:
+    schema = load_schema(args.schema)
+    transform = {
+        "existence-check": existence_check_simplification,
+        "fd": fd_simplification,
+        "choice": choice_simplification,
+    }[args.kind]
+    result = transform(schema)
+    print(json.dumps(schema_to_dict(result.schema), indent=2))
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    schema = load_schema(args.schema)
+    fragment = schema.constraint_class()
+    print(f"fragment      : {fragment.value}")
+    print(f"result bounds : {len(schema.result_bounded_methods())} methods")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "decide": _cmd_decide,
+        "plan": _cmd_plan,
+        "simplify": _cmd_simplify,
+        "classify": _cmd_classify,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Accesses, access selections, accessible parts."""
+
+from .access import (
+    AccessRequest,
+    AccessSelection,
+    Binding,
+    EagerSelection,
+    ExplicitSelection,
+    RandomSelection,
+    StingySelection,
+    is_valid_output,
+    matching_tuples,
+    required_output_size,
+    valid_outputs,
+)
+from .accessible import (
+    AccessiblePartResult,
+    accessible_part,
+    is_access_valid,
+)
+
+__all__ = [
+    "AccessRequest", "AccessSelection", "Binding", "EagerSelection",
+    "ExplicitSelection", "RandomSelection", "StingySelection",
+    "is_valid_output", "matching_tuples", "required_output_size",
+    "valid_outputs",
+    "AccessiblePartResult", "accessible_part", "is_access_valid",
+]

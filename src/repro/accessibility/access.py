@@ -1,0 +1,235 @@
+"""Accesses, valid outputs, and access selections.
+
+An **access** pairs a method with a binding for its input positions; its
+**matching tuples** in an instance are the relation facts agreeing with
+the binding; a **valid output** (paper §2) is:
+
+* all matching tuples, when the method has no bound;
+* any subset of exactly ``min(|matching|, k)`` tuples under a result
+  bound k;
+* any subset of at least ``min(|matching|, k)`` tuples under a result
+  lower bound k.
+
+An **access selection** fixes one valid output per access (the idempotent
+semantics of App A); the library ships deterministic, seeded-random, and
+adversarial selections so that plans can be executed and stress-tested
+against the nondeterminism.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from ..data.instance import Instance
+from ..logic.atoms import Atom
+from ..logic.terms import GroundTerm
+from ..schema.access import AccessMethod
+
+#: A binding: values for the method's input positions, in position order.
+Binding = tuple[GroundTerm, ...]
+
+
+@dataclass(frozen=True)
+class AccessRequest:
+    """A single access: a method plus a binding for its input positions."""
+
+    method: AccessMethod
+    binding: Binding
+
+    def __post_init__(self) -> None:
+        if len(self.binding) != len(self.method.input_positions):
+            raise ValueError(
+                f"binding arity {len(self.binding)} does not match method "
+                f"{self.method.name} with {len(self.method.input_positions)} "
+                "inputs"
+            )
+
+    def __repr__(self) -> str:
+        values = ", ".join(str(v) for v in self.binding)
+        return f"{self.method.name}({values})"
+
+
+def matching_tuples(
+    instance: Instance, request: AccessRequest
+) -> frozenset[Atom]:
+    """All facts of the accessed relation agreeing with the binding."""
+    method = request.method
+    positions = method.sorted_input_positions
+    if not positions:
+        return instance.facts_of(method.relation.name)
+    candidates: Optional[frozenset[Atom]] = None
+    for position, value in zip(positions, request.binding):
+        found = instance.facts_with(method.relation.name, position, value)
+        candidates = found if candidates is None else candidates & found
+        if not candidates:
+            return frozenset()
+    return candidates or frozenset()
+
+
+def required_output_size(method: AccessMethod, matching: int) -> int:
+    """Minimum size of a valid output given `matching` matching tuples."""
+    bound = method.effective_bound()
+    if bound is None:
+        return matching
+    return min(matching, bound)
+
+
+def is_valid_output(
+    output: frozenset[Atom], instance: Instance, request: AccessRequest
+) -> bool:
+    """Check the paper's validity conditions for an output."""
+    matching = matching_tuples(instance, request)
+    if not output <= matching:
+        return False
+    method = request.method
+    minimum = required_output_size(method, len(matching))
+    if len(output) < minimum:
+        return False
+    if method.result_bound is not None and len(output) > method.result_bound:
+        return False
+    return True
+
+
+def valid_outputs(
+    instance: Instance,
+    request: AccessRequest,
+    *,
+    limit: Optional[int] = None,
+) -> Iterator[frozenset[Atom]]:
+    """Enumerate valid outputs (used by exhaustive plan verification).
+
+    Under a result bound the valid outputs are the size-``min(|M|, k)``
+    subsets of the matching tuples M; under a lower bound, all subsets of
+    size at least that; without bounds, just M.  ``limit`` caps the
+    enumeration.
+    """
+    matching = matching_tuples(instance, request)
+    method = request.method
+    bound = method.effective_bound()
+    produced = 0
+    if bound is None:
+        yield matching
+        return
+    ordered = sorted(matching, key=repr)
+    minimum = required_output_size(method, len(matching))
+    if method.result_bound is not None:
+        sizes: Iterable[int] = (minimum,)
+    else:
+        sizes = range(minimum, len(ordered) + 1)
+    for size in sizes:
+        for subset in itertools.combinations(ordered, size):
+            yield frozenset(subset)
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+
+
+class AccessSelection:
+    """Base class: a consistent choice of valid output per access.
+
+    Selections memoize their choices so that repeating an access returns
+    the same output (the idempotent semantics of App A).  Subclasses
+    implement `_choose`.
+    """
+
+    def __init__(self) -> None:
+        self._memo: dict[tuple[str, Binding], frozenset[Atom]] = {}
+
+    def select(
+        self, instance: Instance, request: AccessRequest
+    ) -> frozenset[Atom]:
+        key = (request.method.name, request.binding)
+        if key not in self._memo:
+            self._memo[key] = self._choose(instance, request)
+        return self._memo[key]
+
+    def _choose(
+        self, instance: Instance, request: AccessRequest
+    ) -> frozenset[Atom]:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget memoized choices (a fresh selection)."""
+        self._memo.clear()
+
+
+class EagerSelection(AccessSelection):
+    """Returns as many tuples as allowed (all of them for lower bounds).
+
+    Deterministic: under a result bound k it returns the k first matching
+    tuples in a canonical order.
+    """
+
+    def _choose(
+        self, instance: Instance, request: AccessRequest
+    ) -> frozenset[Atom]:
+        matching = matching_tuples(instance, request)
+        bound = request.method.result_bound
+        if bound is None:
+            return matching
+        ordered = sorted(matching, key=repr)
+        return frozenset(ordered[:bound])
+
+
+class StingySelection(AccessSelection):
+    """Returns as few tuples as allowed (the adversarial minimum).
+
+    Deterministic: picks the ``min(|M|, k)`` canonically *last* matching
+    tuples, which tends to starve plans that expect specific tuples.
+    """
+
+    def _choose(
+        self, instance: Instance, request: AccessRequest
+    ) -> frozenset[Atom]:
+        matching = matching_tuples(instance, request)
+        minimum = required_output_size(request.method, len(matching))
+        ordered = sorted(matching, key=repr)
+        return frozenset(ordered[len(ordered) - minimum:])
+
+
+class RandomSelection(AccessSelection):
+    """Returns a uniformly random valid output (seeded)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._random = random.Random(seed)
+
+    def _choose(
+        self, instance: Instance, request: AccessRequest
+    ) -> frozenset[Atom]:
+        matching = matching_tuples(instance, request)
+        method = request.method
+        bound = method.effective_bound()
+        if bound is None:
+            return matching
+        minimum = required_output_size(method, len(matching))
+        ordered = sorted(matching, key=repr)
+        if method.result_bound is not None:
+            size = minimum
+        else:
+            size = self._random.randint(minimum, len(ordered))
+        return frozenset(self._random.sample(ordered, size))
+
+
+class ExplicitSelection(AccessSelection):
+    """A selection dictated by an explicit table (for targeted tests)."""
+
+    def __init__(
+        self,
+        choices: dict[tuple[str, Binding], frozenset[Atom]],
+        fallback: Optional[AccessSelection] = None,
+    ) -> None:
+        super().__init__()
+        self._choices = dict(choices)
+        self._fallback = fallback or EagerSelection()
+
+    def _choose(
+        self, instance: Instance, request: AccessRequest
+    ) -> frozenset[Atom]:
+        key = (request.method.name, request.binding)
+        if key in self._choices:
+            return self._choices[key]
+        return self._fallback.select(instance, request)

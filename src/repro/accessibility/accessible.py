@@ -1,0 +1,131 @@
+"""Accessible parts and access-valid subinstances (paper §3).
+
+The **accessible part** of an instance under an access selection σ is the
+fixpoint of: start from a seed value set (∅ in the paper; plans may seed
+query constants), perform every possible access with the values collected
+so far, collect the returned facts, and repeat.
+
+A subinstance ``IAccessed ⊆ I`` is **access-valid in I** if every access
+with values from IAccessed admits an output inside IAccessed that is valid in I
+(Prop 3.2's reformulation of AMonDet).  Both notions drive the semantic
+(model-theoretic) side of the library: the AMonDet falsifier and the
+correctness tests of the simplification theorems.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..data.instance import Instance
+from ..logic.terms import GroundTerm
+from ..schema.schema import Schema
+from .access import (
+    AccessRequest,
+    AccessSelection,
+    Binding,
+    EagerSelection,
+    matching_tuples,
+    required_output_size,
+)
+
+
+@dataclass
+class AccessiblePartResult:
+    """The accessible part plus the trace of accesses performed."""
+
+    part: Instance
+    accessible_values: frozenset[GroundTerm]
+    rounds: int
+    accesses: list[AccessRequest]
+
+
+def _all_bindings(
+    method_inputs: int, values: Iterable[GroundTerm]
+) -> Iterable[Binding]:
+    ordered = sorted(values, key=repr)
+    return itertools.product(ordered, repeat=method_inputs)
+
+
+def accessible_part(
+    instance: Instance,
+    schema: Schema,
+    selection: Optional[AccessSelection] = None,
+    *,
+    seed_values: Iterable[GroundTerm] = (),
+    max_rounds: Optional[int] = None,
+) -> AccessiblePartResult:
+    """Compute AccPart(σ, I) by the paper's mutual fixpoint.
+
+    ``seed_values`` extends the initial accessible value set (plans that
+    mention constants may bind them immediately; the paper's definition
+    uses the empty seed, which is the default).
+    """
+    selection = selection or EagerSelection()
+    part = Instance()
+    accessible: set[GroundTerm] = set(seed_values)
+    performed: set[tuple[str, Binding]] = set()
+    trace: list[AccessRequest] = []
+    rounds = 0
+    while True:
+        if max_rounds is not None and rounds >= max_rounds:
+            break
+        rounds += 1
+        new_facts = 0
+        for method in schema.methods:
+            input_count = len(method.input_positions)
+            for binding in _all_bindings(input_count, accessible):
+                key = (method.name, binding)
+                if key in performed:
+                    continue
+                performed.add(key)
+                request = AccessRequest(method, binding)
+                trace.append(request)
+                output = selection.select(instance, request)
+                new_facts += part.add_all(output)
+        new_values = part.active_domain() - accessible
+        accessible.update(new_values)
+        if not new_facts and not new_values:
+            break
+    return AccessiblePartResult(
+        part, frozenset(accessible), rounds, trace
+    )
+
+
+def is_access_valid(
+    subinstance: Instance,
+    instance: Instance,
+    schema: Schema,
+    *,
+    seed_values: Iterable[GroundTerm] = (),
+) -> bool:
+    """Is `subinstance` access-valid in `instance` for `schema`?
+
+    For every access whose binding draws from Adom(subinstance) (plus the
+    seed values), some valid output in `instance` must lie entirely inside
+    `subinstance`.  With the paper's output-size characterization this
+    reduces to a counting test per access:
+
+    * exact method: all matching tuples of `instance` are in `subinstance`;
+    * (lower-)bounded method with bound k: `subinstance` contains at least
+      ``min(|matching in instance|, k)`` matching tuples.
+    """
+    if not subinstance.is_subinstance_of(instance):
+        return False
+    values = set(subinstance.active_domain()) | set(seed_values)
+    for method in schema.methods:
+        input_count = len(method.input_positions)
+        for binding in _all_bindings(input_count, values):
+            request = AccessRequest(method, binding)
+            matching_full = matching_tuples(instance, request)
+            matching_sub = matching_tuples(subinstance, request)
+            bound = method.effective_bound()
+            if bound is None:
+                if matching_full != matching_sub:
+                    return False
+            else:
+                needed = required_output_size(method, len(matching_full))
+                if len(matching_sub) < needed:
+                    return False
+    return True

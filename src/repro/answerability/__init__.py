@@ -1,0 +1,71 @@
+"""Monotone answerability: reductions, simplifications, deciders, plans."""
+
+from .axioms import (
+    AMonDetContainment,
+    AxiomError,
+    build_amondet_containment,
+    prime_constraint,
+    prime_query,
+)
+from .counterexamples import (
+    AMonDetCounterexample,
+    blow_up_instance,
+    candidate_instances_for,
+    find_amondet_counterexample,
+)
+from .deciders import (
+    AnswerabilityResult,
+    decide_monotone_answerability,
+    decide_with_choice_simplification,
+    decide_with_fds,
+    decide_with_ids,
+    decide_with_uids_and_fds,
+    freeze_free_variables,
+    minimize_query_under_fds,
+)
+from .elimub import elim_ub
+from .finite import (
+    decide_finite_monotone_answerability,
+    schema_with_finite_closure,
+)
+from .linearization import (
+    LinearizedSystem,
+    linearize,
+    saturate_truncated_axioms,
+)
+from .naming import ACCESSIBLE, accessed, is_primed, primed, unprimed
+from .plangen import (
+    ExtractedProof,
+    PlanExtractionError,
+    extract_proof,
+    generate_static_plan,
+    saturation_plan,
+)
+from .simplification import (
+    MethodRewrite,
+    SimplificationResult,
+    choice_simplification,
+    existence_check_simplification,
+    fd_simplification,
+)
+from .universal_plan import UniversalPlan, UniversalPlanRun
+
+__all__ = [
+    "AMonDetContainment", "AxiomError", "build_amondet_containment",
+    "prime_constraint", "prime_query",
+    "AMonDetCounterexample", "blow_up_instance", "candidate_instances_for",
+    "find_amondet_counterexample",
+    "AnswerabilityResult", "decide_monotone_answerability",
+    "decide_with_choice_simplification", "decide_with_fds",
+    "decide_with_ids", "decide_with_uids_and_fds", "freeze_free_variables",
+    "minimize_query_under_fds",
+    "elim_ub",
+    "decide_finite_monotone_answerability", "schema_with_finite_closure",
+    "LinearizedSystem", "linearize", "saturate_truncated_axioms",
+    "ACCESSIBLE", "accessed", "is_primed", "primed", "unprimed",
+    "ExtractedProof", "PlanExtractionError", "extract_proof",
+    "generate_static_plan", "saturation_plan",
+    "MethodRewrite", "SimplificationResult", "choice_simplification",
+    "existence_check_simplification", "fd_simplification",
+    "UniversalPlan", "UniversalPlanRun",
+]

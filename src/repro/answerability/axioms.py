@@ -1,0 +1,233 @@
+"""The AMonDet containment (Proposition 3.4).
+
+Monotone answerability of a CQ Q w.r.t. a schema equals the query
+containment ``Q ⊆Γ Q'`` where Γ consists of the schema constraints Σ,
+their primed copy Σ', and *accessibility axioms* describing the common
+access-valid subinstance.  This module builds that containment problem.
+
+Two encodings are provided:
+
+* the **explicit** encoding with ``RAccessed`` relations, following the
+  statement of Prop 3.4 verbatim;
+* the **inlined** encoding used by the complexity proofs (§5, §7), where
+  ``RAccessed`` is eliminated:
+
+  - exact method:  ``acc(x̄) ∧ R(x̄,ȳ) → R'(x̄,ȳ) ∧ ⋀ acc(y)``
+  - bounded method (bound 1 after choice simplification, or a result
+    lower bound used as an existence check):
+    ``acc(x̄) ∧ R(x̄,ȳ) → ∃z̄ (R(x̄,z̄) ∧ R'(x̄,z̄) ∧ ⋀ acc(z))``
+
+Result bounds k > 1 produce the cardinality axioms of Example 3.5, which
+no chase handles; per the paper, callers must first apply a schema
+simplification (§4, §6).  `build_amondet_containment` therefore accepts
+only schemas whose bounded methods have bound 1 (or whose bounds the
+caller explicitly asks to be treated as existence checks via
+``treat_bounds_as_one=True`` — sound after the corresponding
+simplifiability theorem has been applied).
+
+Constants of Q are made accessible at the start (plans may use query
+constants as bindings, as in Example 1.5's access with id 12345).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..constraints.egd import EGD
+from ..constraints.fd import FunctionalDependency
+from ..constraints.tgd import TGD
+from ..data.instance import Instance
+from ..logic.atoms import Atom
+from ..logic.queries import ConjunctiveQuery
+from ..logic.terms import Variable
+from ..schema.access import AccessMethod
+from ..schema.schema import Schema
+from .naming import ACCESSIBLE, accessed, primed
+
+Dependency = Union[TGD, EGD, FunctionalDependency]
+
+
+class AxiomError(ValueError):
+    """Raised when the schema still carries unsimplified bounds > 1."""
+
+
+@dataclass
+class AMonDetContainment:
+    """The containment problem Q ⊆Γ Q' encoding AMonDet.
+
+    Attributes
+    ----------
+    query:
+        The original (Boolean) CQ Q.
+    target:
+        Q' — Q over the primed relations.
+    constraints:
+        Γ: Σ ∪ Σ' ∪ accessibility axioms.
+    start_instance:
+        CanonDB(Q) extended with ``accessible(c)`` for every constant of
+        Q (the chase starts here).
+    """
+
+    query: ConjunctiveQuery
+    target: ConjunctiveQuery
+    constraints: list[Dependency]
+    start_instance: Instance
+
+
+def prime_constraint(constraint: Dependency) -> Dependency:
+    """The Σ'-copy of a dependency (relations renamed to primed)."""
+    if isinstance(constraint, TGD):
+        return constraint.rename_relations(primed)
+    if isinstance(constraint, FunctionalDependency):
+        return constraint.rename_relation(primed(constraint.relation))
+    if isinstance(constraint, EGD):
+        return EGD(
+            tuple(a.rename_relation(primed) for a in constraint.body),
+            constraint.left,
+            constraint.right,
+            constraint.name,
+        )
+    raise TypeError(f"unsupported constraint {constraint!r}")
+
+
+def prime_query(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Q' — the query over the primed relations."""
+    return query.rename_relations(primed)
+
+
+def _method_variables(method: AccessMethod) -> tuple[list, list[Atom]]:
+    """Fresh variables x1..xn for the method's relation, plus the
+    accessibility premises for its input positions."""
+    arity = method.relation.arity
+    terms = [Variable(f"x{i}") for i in range(arity)]
+    premises = [
+        Atom(ACCESSIBLE, (terms[i],))
+        for i in sorted(method.input_positions)
+    ]
+    return terms, premises
+
+
+def exact_method_axioms(
+    method: AccessMethod, *, inline: bool
+) -> list[TGD]:
+    """Axioms for a method without result bounds."""
+    relation = method.relation.name
+    terms, premises = _method_variables(method)
+    body = tuple(premises) + (Atom(relation, tuple(terms)),)
+    if inline:
+        head = [Atom(primed(relation), tuple(terms))]
+        head.extend(
+            Atom(ACCESSIBLE, (terms[i],)) for i in method.output_positions
+        )
+        return [TGD(body, tuple(head), f"access_{method.name}")]
+    return [
+        TGD(
+            body,
+            (Atom(accessed(relation), tuple(terms)),),
+            f"access_{method.name}",
+        )
+    ]
+
+
+def bounded_method_axioms(
+    method: AccessMethod, *, inline: bool
+) -> list[TGD]:
+    """Axioms for a method with (lower) bound 1 — the choice axioms.
+
+    ``acc(x̄) ∧ R(x̄,ȳ) → ∃z̄ (R(x̄,z̄) ∧ R'(x̄,z̄) ∧ ⋀ acc(z))`` in the
+    inlined form; with RAccessed in the explicit form.
+    """
+    relation = method.relation.name
+    terms, premises = _method_variables(method)
+    body = tuple(premises) + (Atom(relation, tuple(terms)),)
+    head_terms = [
+        terms[i] if i in method.input_positions else Variable(f"z{i}")
+        for i in range(method.relation.arity)
+    ]
+    if inline:
+        head = [
+            Atom(relation, tuple(head_terms)),
+            Atom(primed(relation), tuple(head_terms)),
+        ]
+        head.extend(
+            Atom(ACCESSIBLE, (head_terms[i],))
+            for i in method.output_positions
+        )
+        return [TGD(body, tuple(head), f"choice_{method.name}")]
+    return [
+        TGD(
+            body,
+            (Atom(accessed(relation), tuple(head_terms)),),
+            f"choice_{method.name}",
+        )
+    ]
+
+
+def accessed_transfer_axioms(schema: Schema) -> list[TGD]:
+    """``RAccessed(w̄) → R(w̄) ∧ R'(w̄) ∧ ⋀ acc(w)`` (explicit encoding)."""
+    axioms = []
+    for relation in schema.relations:
+        terms = tuple(Variable(f"w{i}") for i in range(relation.arity))
+        head = [
+            Atom(relation.name, terms),
+            Atom(primed(relation.name), terms),
+        ]
+        head.extend(Atom(ACCESSIBLE, (t,)) for t in terms)
+        axioms.append(
+            TGD(
+                (Atom(accessed(relation.name), terms),),
+                tuple(head),
+                f"subinstance_{relation.name}",
+            )
+        )
+    return axioms
+
+
+def build_amondet_containment(
+    schema: Schema,
+    query: ConjunctiveQuery,
+    *,
+    inline: bool = True,
+    treat_bounds_as_one: bool = False,
+) -> AMonDetContainment:
+    """Build the AMonDet containment for a (Boolean) CQ and a schema.
+
+    Raises `AxiomError` when a method carries a bound k > 1 and
+    ``treat_bounds_as_one`` is False: such schemas need a §4/§6 schema
+    simplification first (that is the paper's whole point — the naïve
+    encoding needs the cardinality axioms of Example 3.5).
+    """
+    if query.free_variables:
+        raise AxiomError(
+            "the reduction is stated for Boolean CQs; bind the free "
+            "variables first (the paper's results extend routinely)"
+        )
+    constraints: list[Dependency] = list(schema.constraints)
+    constraints.extend(prime_constraint(c) for c in schema.constraints)
+    for method in schema.methods:
+        bound = method.effective_bound()
+        if bound is None:
+            constraints.extend(exact_method_axioms(method, inline=inline))
+        else:
+            if bound > 1 and not treat_bounds_as_one:
+                raise AxiomError(
+                    f"method {method.name} has bound {bound} > 1: apply a "
+                    "schema simplification (existence-check / FD / choice) "
+                    "before building the containment, or pass "
+                    "treat_bounds_as_one=True if a simplifiability theorem "
+                    "justifies it"
+                )
+            constraints.extend(bounded_method_axioms(method, inline=inline))
+    if not inline:
+        constraints.extend(accessed_transfer_axioms(schema))
+
+    start, __ = query.canonical_instance()
+    for constant in query.constants():
+        start.add(Atom(ACCESSIBLE, (constant,)))
+    return AMonDetContainment(
+        query=query,
+        target=prime_query(query),
+        constraints=constraints,
+        start_instance=start,
+    )

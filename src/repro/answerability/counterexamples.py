@@ -1,0 +1,272 @@
+"""Semantic AMonDet falsification and the blow-up constructions.
+
+The model-theoretic side of the paper, made executable:
+
+* `find_amondet_counterexample` searches for a *certified* witness that a
+  query is **not** monotone answerable: an instance I1 satisfying Σ with
+  Q(I1) true, an accessible part A of I1 (accessible parts are always
+  access-valid, Prop 3.2), and I2 = chase(A, Σ) with Q(I2) false.  Then
+  (I1, I2, A) violates AMonDet, so by Thm 3.1 no monotone plan answers Q.
+  The search enumerates valid access selections exhaustively (capped);
+  it is sound (a returned counterexample is checked) but of course not
+  complete — the deciders are; this is the cross-validation oracle.
+* `blow_up_instance` implements the cloning construction of Thm 6.3's
+  proof: every domain element is duplicated into k copies and facts are
+  closed under all copy combinations.  Equality-free constraints and CQ
+  answers are invariant under this blow-up, which is what makes choice
+  simplification sound — tests verify the invariance.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..accessibility.access import (
+    AccessSelection,
+    ExplicitSelection,
+    valid_outputs,
+)
+from ..accessibility.accessible import accessible_part, is_access_valid
+from ..chase.engine import ChaseOutcome, chase
+from ..data.instance import Instance
+from ..logic.atoms import Atom
+from ..logic.evaluation import holds
+from ..logic.queries import ConjunctiveQuery
+from ..logic.terms import Constant, GroundTerm, Null
+from ..schema.schema import Schema
+
+
+@dataclass
+class AMonDetCounterexample:
+    """A verified violation of access monotonic-determinacy."""
+
+    instance_1: Instance
+    instance_2: Instance
+    common_subinstance: Instance
+
+    def verify(self, schema: Schema, query: ConjunctiveQuery) -> bool:
+        """Re-check all the conditions of Prop 3.2."""
+        seed = [Constant(c.value) for c in query.constants()]
+        return (
+            schema.satisfied_by(self.instance_1)
+            and schema.satisfied_by(self.instance_2)
+            and holds(query, self.instance_1)
+            and not holds(query, self.instance_2)
+            and self.common_subinstance.is_subinstance_of(self.instance_1)
+            and self.common_subinstance.is_subinstance_of(self.instance_2)
+            and is_access_valid(
+                self.common_subinstance,
+                self.instance_1,
+                schema,
+                seed_values=seed,
+            )
+        )
+
+
+def _ground_nulls(instance: Instance) -> Instance:
+    """Replace chase nulls by fresh constants (models must be ground)."""
+    mapping: dict[GroundTerm, GroundTerm] = {}
+    for term in instance.active_domain():
+        if isinstance(term, Null):
+            mapping[term] = Constant(f"@null:{term.label}")
+    return instance.substitute(mapping)
+
+
+def candidate_instances_for(
+    schema: Schema,
+    query: ConjunctiveQuery,
+    *,
+    max_rounds: int = 10,
+    enlargements: int = 2,
+    padding: int = 2,
+) -> list[Instance]:
+    """Ground models of Σ satisfying Q, grown from Q's canonical db.
+
+    Chases CanonDB(Q) with Σ and grounds the nulls, then grows the model
+    two ways so that result-bounded accesses have surplus matching
+    tuples to hide behind:
+
+    * **padding**: `padding` junk facts per relation (over fresh
+      constants), chased to satisfy Σ — these give bounded accesses
+      irrelevant tuples to return instead of the witnesses;
+    * **enlargements**: unions of disjoint renamed copies of the model.
+    """
+    canonical, __ = query.canonical_instance()
+    result = chase(
+        canonical, schema.constraints, max_rounds=max_rounds,
+        max_facts=10_000,
+    )
+    if result.outcome is ChaseOutcome.FAILED:
+        return []
+    base = _ground_nulls(result.instance)
+    if not schema.satisfied_by(base):
+        return []  # chase was truncated; skip unsound candidates
+
+    variants = [base]
+    if padding:
+        padded = base.copy()
+        for relation in schema.relations:
+            for j in range(padding):
+                padded.add(
+                    Atom(
+                        relation.name,
+                        tuple(
+                            Constant(f"@pad:{relation.name}:{j}:{p}")
+                            for p in range(relation.arity)
+                        ),
+                    )
+                )
+        repaired = chase(
+            padded, schema.constraints, max_rounds=max_rounds,
+            max_facts=10_000,
+        )
+        if repaired.outcome is ChaseOutcome.FIXPOINT:
+            grounded = _ground_nulls(repaired.instance)
+            if schema.satisfied_by(grounded):
+                variants.append(grounded)
+
+    candidates = []
+    for variant in variants:
+        candidates.append(variant)
+        current = variant
+        for i in range(enlargements):
+            renamed = current.substitute(
+                {
+                    term: Constant(f"@copy{i}:{term!r}")
+                    for term in variant.active_domain()
+                }
+            )
+            current = current.union(renamed)
+            if schema.satisfied_by(current):
+                candidates.append(current)
+    candidates.sort(key=len)
+    return candidates
+
+
+def _enumerate_selections(
+    instance: Instance,
+    schema: Schema,
+    seed_values: Sequence[GroundTerm],
+    *,
+    per_access_limit: int,
+    total_limit: int,
+) -> Iterable[AccessSelection]:
+    """All (capped) valid access selections relevant to the fixpoint.
+
+    Enumerates choices for the accesses reachable during the accessible-
+    part computation; unreachable accesses fall back to an eager choice.
+    """
+    # Discover the accesses that can matter by running once eagerly.
+    trace = accessible_part(
+        instance, schema, seed_values=seed_values
+    ).accesses
+    choice_lists: list[list[tuple[tuple, frozenset[Atom]]]] = []
+    for request in trace:
+        options = list(
+            valid_outputs(instance, request, limit=per_access_limit)
+        )
+        if len(options) > 1:
+            key = (request.method.name, request.binding)
+            choice_lists.append([(key, option) for option in options])
+    if not choice_lists:
+        yield ExplicitSelection({})
+        return
+    produced = 0
+    for combination in itertools.product(*choice_lists):
+        yield ExplicitSelection(dict(combination))
+        produced += 1
+        if produced >= total_limit:
+            return
+
+
+def find_amondet_counterexample(
+    schema: Schema,
+    query: ConjunctiveQuery,
+    *,
+    instances: Optional[Iterable[Instance]] = None,
+    max_chase_rounds: int = 30,
+    per_access_limit: int = 8,
+    total_limit: int = 512,
+) -> Optional[AMonDetCounterexample]:
+    """Search for a verified AMonDet counterexample (sound, not complete).
+
+    `instances` defaults to `candidate_instances_for`.  For each
+    candidate I1 and each enumerated access selection σ, the accessible
+    part A is access-valid in I1; if Q is not certain over chase(A, Σ)
+    (with a terminating chase), the triple refutes AMonDet.
+    """
+    if query.free_variables:
+        raise ValueError("the falsifier works on Boolean CQs")
+    seed = [Constant(c.value) for c in query.constants()]
+    if instances is None:
+        instances = candidate_instances_for(schema, query)
+    for instance_1 in instances:
+        if not schema.satisfied_by(instance_1):
+            continue
+        if not holds(query, instance_1):
+            continue
+        for selection in _enumerate_selections(
+            instance_1,
+            schema,
+            seed,
+            per_access_limit=per_access_limit,
+            total_limit=total_limit,
+        ):
+            part = accessible_part(
+                instance_1, schema, selection, seed_values=seed
+            ).part
+            result = chase(
+                part,
+                schema.constraints,
+                max_rounds=max_chase_rounds,
+                max_facts=20_000,
+            )
+            if result.outcome is not ChaseOutcome.FIXPOINT:
+                continue  # cannot certify I2 satisfies Σ
+            if holds(query, result.instance):
+                continue
+            instance_2 = _ground_nulls(result.instance)
+            part_grounded = part  # part is ⊆ I1 and ⊆ I2 by construction
+            candidate = AMonDetCounterexample(
+                instance_1, instance_2, part_grounded
+            )
+            if candidate.verify(schema, query):
+                return candidate
+    return None
+
+
+def blow_up_instance(instance: Instance, copies: int) -> Instance:
+    """The cloning blow-up of Thm 6.3's proof.
+
+    Every domain element a gets `copies` clones a^0..a^{copies-1}
+    (a^0 = a); the result holds every fact of the original instantiated
+    with all combinations of clones.  Equality-free FO constraints and
+    Boolean CQs are invariant under this operation.
+    """
+    if copies < 1:
+        raise ValueError("copies must be >= 1")
+
+    def clone(term: GroundTerm, index: int) -> GroundTerm:
+        if index == 0:
+            return term
+        if isinstance(term, Constant):
+            return Constant(("@clone", term.value, index))
+        return Null(f"clone:{term.label}:{index}")
+
+    result = Instance()
+    for fact in instance:
+        for combination in itertools.product(
+            range(copies), repeat=len(fact.terms)
+        ):
+            result.add(
+                Atom(
+                    fact.relation,
+                    tuple(
+                        clone(term, index)
+                        for term, index in zip(fact.terms, combination)
+                    ),
+                )
+            )
+    return result

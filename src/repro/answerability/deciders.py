@@ -1,0 +1,448 @@
+"""Decision procedures for monotone answerability, per constraint class.
+
+Each decider follows the paper's recipe for its Table-1 row:
+
+* `decide_with_fds` (Thm 5.2, NP): FD simplification, then the inlined
+  containment, whose restricted chase terminates in polynomially many
+  rounds;
+* `decide_with_ids` (Thm 5.3/5.4, EXPTIME / NP for bounded width):
+  result bounds are existence checks (Thm 4.2); the containment is
+  *linearized* (Prop 5.5) and decided completely by backward UCQ
+  rewriting; a direct chase route is kept as an ablation baseline;
+* `decide_with_uids_and_fds` (Thm 7.2, EXPTIME): choice simplification
+  (Thm 6.4), the separability rewriting that exports FD-determined
+  positions, FD-minimization of Q, then a GTGD chase;
+* `decide_with_choice_simplification` (Thm 7.1 / Thm 6.3): choice
+  simplification then the guarded chase — complete whenever the chase
+  terminates, else honest UNKNOWN (containment for FGTGDs is
+  2EXPTIME-complete; for arbitrary equality-free FO it is undecidable,
+  Prop 8.2).
+
+`decide_monotone_answerability` dispatches on the detected constraint
+class.  Non-Boolean queries are decided by freezing their free variables
+into fresh constants (the standard reduction the paper alludes to in §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..chase.engine import ChaseOutcome, chase
+from ..constraints.analysis import ConstraintClass
+from ..constraints.fd import FunctionalDependency, det_by
+from ..constraints.tgd import TGD
+from ..containment.decision import Decision, Truth
+from ..containment.rewriting import (
+    RewritingError,
+    rewrite as ucq_rewrite,
+)
+from ..data.instance import Instance
+from ..logic.atoms import Atom
+from ..logic.evaluation import holds
+from ..logic.queries import ConjunctiveQuery
+from ..logic.terms import Constant, Variable
+from ..schema.schema import Schema
+from .axioms import (
+    build_amondet_containment,
+    exact_method_axioms,
+    prime_constraint,
+    prime_query,
+)
+from .elimub import elim_ub
+from .linearization import linearize
+from .naming import ACCESSIBLE, primed
+from .simplification import (
+    choice_simplification,
+    existence_check_simplification,
+    fd_simplification,
+)
+
+#: Round cap used when no termination guarantee applies.
+DEFAULT_CHASE_ROUNDS = 25
+#: Fact cap protecting against breadth explosion.
+DEFAULT_CHASE_FACTS = 100_000
+
+
+def freeze_free_variables(
+    query: ConjunctiveQuery,
+) -> tuple[ConjunctiveQuery, dict[Variable, Constant]]:
+    """Turn a non-Boolean CQ into a Boolean one by freezing free
+    variables into fresh distinguished constants."""
+    freezing = {
+        v: Constant(("@free", v.name)) for v in query.free_variables
+    }
+    boolean = ConjunctiveQuery(
+        tuple(a.substitute(freezing) for a in query.atoms),
+        (),
+        query.name + "_b",
+    )
+    return boolean, freezing
+
+
+def _chase_containment(
+    start: Instance,
+    constraints: list,
+    target: ConjunctiveQuery,
+    *,
+    max_rounds: Optional[int],
+    max_facts: int = DEFAULT_CHASE_FACTS,
+) -> Decision:
+    """Run the containment chase from an explicit start instance."""
+    result = chase(
+        start,
+        constraints,
+        max_rounds=max_rounds,
+        max_facts=max_facts,
+        stop_when=lambda inst: holds(target, inst),
+        record_steps=True,
+    )
+    if result.outcome is ChaseOutcome.FAILED:
+        return Decision.yes(
+            "query unsatisfiable under the constraints", rounds=result.rounds
+        )
+    if result.outcome is ChaseOutcome.EARLY_STOP:
+        return Decision.yes(
+            f"AMonDet containment proved at chase round {result.rounds}",
+            certificate=result,
+            rounds=result.rounds,
+        )
+    if result.outcome is ChaseOutcome.FIXPOINT:
+        return Decision.no(
+            "chase fixpoint (universal model) refutes the containment",
+            certificate=result,
+            rounds=result.rounds,
+        )
+    return Decision.unknown(
+        f"chase bound hit after {result.rounds} rounds / "
+        f"{len(result.instance)} facts",
+        rounds=result.rounds,
+    )
+
+
+# ----------------------------------------------------------------------
+# FDs (Theorem 5.2) — also covers the constraint-free case
+# ----------------------------------------------------------------------
+def decide_with_fds(
+    schema: Schema,
+    query: ConjunctiveQuery,
+    *,
+    max_rounds: Optional[int] = 500,
+) -> Decision:
+    """Monotone answerability for FD constraints (NP, Thm 5.2).
+
+    Applies the FD simplification (Thm 4.5) and chases; the chase
+    terminates (the only existential rules fire once per view fact), so
+    the answer is definitive.
+    """
+    if query.free_variables:
+        query, __ = freeze_free_variables(query)
+    simplified = fd_simplification(elim_ub(schema))
+    problem = build_amondet_containment(simplified.schema, query)
+    decision = _chase_containment(
+        problem.start_instance,
+        problem.constraints,
+        problem.target,
+        max_rounds=max_rounds,
+    )
+    decision.detail["simplification"] = simplified.kind
+    return decision
+
+
+# ----------------------------------------------------------------------
+# IDs (Theorems 5.3 / 5.4) — linearization route (complete) + chase route
+# ----------------------------------------------------------------------
+def decide_with_ids(
+    schema: Schema,
+    query: ConjunctiveQuery,
+    *,
+    route: str = "linearization",
+    max_rounds: Optional[int] = DEFAULT_CHASE_ROUNDS,
+    max_disjuncts: int = 50_000,
+) -> Decision:
+    """Monotone answerability for ID constraints.
+
+    ``route="linearization"`` (default) is complete and terminating: the
+    containment is simulated by linear TGDs (Prop 5.5) and decided by
+    backward UCQ rewriting.  ``route="chase"`` applies the existence-check
+    simplification and chases directly (ablation baseline; may return
+    UNKNOWN on divergent chases).
+    """
+    if query.free_variables:
+        query, __ = freeze_free_variables(query)
+    schema = elim_ub(schema)
+    if route == "chase":
+        simplified = existence_check_simplification(schema)
+        problem = build_amondet_containment(simplified.schema, query)
+        decision = _chase_containment(
+            problem.start_instance,
+            problem.constraints,
+            problem.target,
+            max_rounds=max_rounds,
+        )
+        decision.detail["route"] = "chase"
+        return decision
+    if route != "linearization":
+        raise ValueError(f"unknown route {route}")
+
+    system = linearize(schema)
+    start = system.initial_instance(query)
+    target = prime_query(query)
+    try:
+        rewriting = ucq_rewrite(
+            target, system.rules, max_disjuncts=max_disjuncts
+        )
+    except RewritingError as error:
+        return Decision.unknown(str(error), route="linearization")
+    for disjunct in rewriting.disjuncts:
+        if holds(disjunct, start):
+            return Decision.yes(
+                "linearized rewriting matches the saturated canonical "
+                "database (Prop 5.5 + backward rewriting)",
+                certificate=disjunct,
+                route="linearization",
+                disjuncts=len(rewriting.disjuncts),
+            )
+    return Decision.no(
+        "no disjunct of the complete linearized rewriting matches",
+        route="linearization",
+        disjuncts=len(rewriting.disjuncts),
+    )
+
+
+# ----------------------------------------------------------------------
+# UIDs + FDs (Theorem 7.2)
+# ----------------------------------------------------------------------
+def _separability_axioms(
+    schema: Schema, fds: list[FunctionalDependency]
+) -> list[TGD]:
+    """Choice axioms rewritten to export FD-determined positions.
+
+    For a bound-1 method mt on R with inputs x̄, the head tuple keeps the
+    body variables at every position of DetBy(R, x̄) and uses fresh
+    existentials elsewhere; this makes the TGDs separable from the FDs
+    (proof of Thm 7.2).
+    """
+    axioms: list[TGD] = []
+    for method in schema.methods:
+        if method.effective_bound() is None:
+            axioms.extend(exact_method_axioms(method, inline=True))
+            continue
+        relation = method.relation.name
+        arity = method.relation.arity
+        determined = det_by(fds, relation, method.input_positions)
+        terms = [Variable(f"x{i}") for i in range(arity)]
+        premises = [
+            Atom(ACCESSIBLE, (terms[i],))
+            for i in sorted(method.input_positions)
+        ]
+        body = tuple(premises) + (Atom(relation, tuple(terms)),)
+        head_terms = [
+            terms[i] if i in determined else Variable(f"z{i}")
+            for i in range(arity)
+        ]
+        head = [
+            Atom(relation, tuple(head_terms)),
+            Atom(primed(relation), tuple(head_terms)),
+        ]
+        head.extend(
+            Atom(ACCESSIBLE, (head_terms[i],))
+            for i in method.output_positions
+        )
+        axioms.append(TGD(body, tuple(head), f"sep_choice_{method.name}"))
+    return axioms
+
+
+def minimize_query_under_fds(
+    query: ConjunctiveQuery, fds: list[FunctionalDependency]
+) -> Optional[ConjunctiveQuery]:
+    """Q*: the query with FD-implied equalities applied.
+
+    Returns None when the FDs make the query unsatisfiable (constant
+    clash), in which case it is trivially monotone answerable (a plan
+    returning the empty table answers it).
+    """
+    canonical, freezing = query.canonical_instance()
+    result = chase(canonical, fds)
+    if result.outcome is ChaseOutcome.FAILED:
+        return None
+    unfreeze: dict = {}
+    for variable, null in freezing.items():
+        representative = result.substitution.get(null, null)
+        unfreeze.setdefault(representative, variable)
+    atoms = []
+    for fact in result.instance:
+        terms = tuple(unfreeze.get(t, t) for t in fact.terms)
+        atoms.append(Atom(fact.relation, terms))
+    return ConjunctiveQuery(tuple(atoms), (), query.name + "_min")
+
+
+def decide_with_uids_and_fds(
+    schema: Schema,
+    query: ConjunctiveQuery,
+    *,
+    max_rounds: Optional[int] = DEFAULT_CHASE_ROUNDS,
+) -> Decision:
+    """Monotone answerability for UIDs + FDs (Thm 7.2).
+
+    Choice simplification (Thm 6.4), separability rewriting, FD
+    minimization of Q, then the FDs are dropped and the remaining GTGD
+    containment is chased.  Definitive on termination; UNKNOWN at the
+    round cap (the paper's EXPTIME bound uses a generalized linearization
+    we approximate by the chase — see DESIGN.md §3).
+    """
+    if query.free_variables:
+        query, __ = freeze_free_variables(query)
+    simplified = choice_simplification(elim_ub(schema))
+    working = simplified.schema
+    fds = [
+        c for c in working.constraints if isinstance(c, FunctionalDependency)
+    ]
+    uids = [c for c in working.constraints if isinstance(c, TGD)]
+
+    minimized = minimize_query_under_fds(query, fds)
+    if minimized is None:
+        return Decision.yes(
+            "query unsatisfiable under the FDs; the empty plan answers it",
+            simplification="choice",
+        )
+
+    constraints: list = list(uids)
+    constraints.extend(prime_constraint(c) for c in uids)
+    constraints.extend(_separability_axioms(working, fds))
+
+    start, __ = minimized.canonical_instance()
+    for constant in minimized.constants():
+        start.add(Atom(ACCESSIBLE, (constant,)))
+    decision = _chase_containment(
+        start,
+        constraints,
+        prime_query(minimized),
+        max_rounds=max_rounds,
+    )
+    decision.detail["simplification"] = "choice+separability"
+    return decision
+
+
+# ----------------------------------------------------------------------
+# Expressive classes via choice simplification (Thm 6.3 / 7.1)
+# ----------------------------------------------------------------------
+def decide_with_choice_simplification(
+    schema: Schema,
+    query: ConjunctiveQuery,
+    *,
+    max_rounds: Optional[int] = DEFAULT_CHASE_ROUNDS,
+) -> Decision:
+    """Monotone answerability via choice simplification (TGD classes).
+
+    Sound for all equality-free constraints (Thm 6.3); the chase-based
+    containment is definitive when it terminates (e.g. weakly-acyclic or
+    full TGDs) and UNKNOWN at the cap otherwise.
+    """
+    if query.free_variables:
+        query, __ = freeze_free_variables(query)
+    simplified = choice_simplification(elim_ub(schema))
+    problem = build_amondet_containment(simplified.schema, query)
+    decision = _chase_containment(
+        problem.start_instance,
+        problem.constraints,
+        problem.target,
+        max_rounds=max_rounds,
+    )
+    decision.detail["simplification"] = "choice"
+    return decision
+
+
+# ----------------------------------------------------------------------
+# Dispatcher
+# ----------------------------------------------------------------------
+@dataclass
+class AnswerabilityResult:
+    """A decision plus the route that produced it."""
+
+    decision: Decision
+    route: str
+    constraint_class: ConstraintClass
+
+    @property
+    def truth(self) -> Truth:
+        return self.decision.truth
+
+    @property
+    def is_yes(self) -> bool:
+        return self.decision.is_yes
+
+    @property
+    def is_no(self) -> bool:
+        return self.decision.is_no
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.decision.is_unknown
+
+
+def decide_monotone_answerability(
+    schema: Schema,
+    query: ConjunctiveQuery,
+    *,
+    max_rounds: Optional[int] = DEFAULT_CHASE_ROUNDS,
+) -> AnswerabilityResult:
+    """Decide monotone answerability, dispatching on the constraint class.
+
+    The routes implement Table 1 of the paper; see the per-class deciders
+    for guarantees.  Schemas mixing arbitrary TGDs with FDs *and*
+    carrying result bounds have no applicable simplifiability theorem
+    (the paper leaves choice simplifiability of FDs + general IDs open,
+    §9) — those return UNKNOWN.
+    """
+    fragment = schema.constraint_class()
+    if fragment in (ConstraintClass.NONE, ConstraintClass.FDS):
+        return AnswerabilityResult(
+            decide_with_fds(schema, query), "fd-simplification", fragment
+        )
+    if fragment in (
+        ConstraintClass.IDS,
+        ConstraintClass.BOUNDED_WIDTH_IDS,
+    ):
+        return AnswerabilityResult(
+            decide_with_ids(schema, query), "linearization", fragment
+        )
+    if fragment is ConstraintClass.UIDS_AND_FDS:
+        return AnswerabilityResult(
+            decide_with_uids_and_fds(schema, query, max_rounds=max_rounds),
+            "choice+separability",
+            fragment,
+        )
+    if fragment in (
+        ConstraintClass.FULL_TGDS,
+        ConstraintClass.GUARDED_TGDS,
+        ConstraintClass.FRONTIER_GUARDED_TGDS,
+        ConstraintClass.EQUALITY_FREE,
+    ):
+        return AnswerabilityResult(
+            decide_with_choice_simplification(
+                schema, query, max_rounds=max_rounds
+            ),
+            "choice-simplification",
+            fragment,
+        )
+    if not schema.has_result_bounds():
+        # No bounds: Prop 3.4 applies directly for arbitrary dependencies.
+        if query.free_variables:
+            query, __ = freeze_free_variables(query)
+        problem = build_amondet_containment(schema, query)
+        decision = _chase_containment(
+            problem.start_instance,
+            problem.constraints,
+            problem.target,
+            max_rounds=max_rounds,
+        )
+        return AnswerabilityResult(decision, "direct", fragment)
+    return AnswerabilityResult(
+        Decision.unknown(
+            "no simplifiability theorem covers result bounds with "
+            f"constraint class {fragment.value} (open per paper §9)"
+        ),
+        "unsupported",
+        fragment,
+    )

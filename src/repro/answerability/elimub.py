@@ -1,0 +1,23 @@
+"""Elimination of result upper bounds (Proposition 3.3).
+
+A result bound of k asserts an upper bound (at most k tuples) and a lower
+bound (all tuples when ≤ k match).  Prop 3.3 shows the upper bound is
+irrelevant to monotone answerability: replacing every result bound by the
+corresponding result *lower* bound preserves the set of monotone
+answerable CQs.  `elim_ub` performs that schema transformation.
+"""
+
+from __future__ import annotations
+
+from ..schema.schema import Schema
+
+
+def elim_ub(schema: Schema) -> Schema:
+    """The schema ElimUB(Sch): result bounds become result lower bounds."""
+    methods = []
+    for method in schema.methods:
+        if method.result_bound is not None:
+            methods.append(method.with_lower_bound(method.result_bound))
+        else:
+            methods.append(method)
+    return schema.replace_methods(methods)

@@ -1,0 +1,55 @@
+"""Naming conventions for the auxiliary relations of the reduction.
+
+The reduction to query containment (paper §3) triples the signature:
+``R`` (the instance I1), ``R'`` (the instance I2), and ``RAccessed`` (the
+common access-valid subinstance), plus the unary ``accessible`` predicate.
+The schema simplifications (§4) add view relations per result-bounded
+method.  All generated names funnel through this module so they can never
+collide with user relations (user relation names containing ``__`` are
+rejected by the builders that use these).
+"""
+
+from __future__ import annotations
+
+ACCESSIBLE = "__accessible"
+PRIME_SUFFIX = "__prime"
+ACCESSED_SUFFIX = "__accessed"
+
+
+def primed(relation: str) -> str:
+    """The name of the I2-copy of a relation."""
+    return relation + PRIME_SUFFIX
+
+
+def unprimed(relation: str) -> str:
+    if not relation.endswith(PRIME_SUFFIX):
+        raise ValueError(f"{relation} is not a primed relation name")
+    return relation[: -len(PRIME_SUFFIX)]
+
+
+def is_primed(relation: str) -> bool:
+    return relation.endswith(PRIME_SUFFIX)
+
+
+def accessed(relation: str) -> str:
+    """The name of the IAccessed-copy of a relation."""
+    return relation + ACCESSED_SUFFIX
+
+
+def existence_check_relation(relation: str, method: str) -> str:
+    """View relation of the existence-check simplification (§4)."""
+    return f"{relation}__chk_{method}"
+
+
+def fd_view_relation(relation: str, method: str) -> str:
+    """View relation of the FD simplification (§4)."""
+    return f"{relation}__det_{method}"
+
+
+def check_user_relation_name(name: str) -> None:
+    """Reject user relation names that could collide with generated ones."""
+    if "__" in name:
+        raise ValueError(
+            f"relation name {name!r} is reserved (contains '__'); rename "
+            "the relation"
+        )

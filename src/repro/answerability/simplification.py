@@ -1,0 +1,181 @@
+"""Schema simplifications (paper §4 and §6).
+
+Three transformations remove or tame result bounds:
+
+* **existence-check simplification** (`existence_check_simplification`,
+  Thm 4.2 — complete for ID constraints): each result-bounded method
+  ``mt`` on R becomes a Boolean method on a new view relation ``Rmt``
+  holding the input projection of R, axiomatized by
+  ``Rmt(x̄) ↔ ∃ȳ R(x̄,ȳ)``;
+* **FD simplification** (`fd_simplification`, Thm 4.5 — complete for FD
+  constraints): the view keeps the whole functionally determined part
+  ``DetBy(mt)`` of the output, so the method deterministically returns
+  the projection the FDs pin down;
+* **choice simplification** (`choice_simplification`, Thm 6.3/6.4 —
+  complete for equality-free FO and for UIDs+FDs): every result bound is
+  replaced by 1.
+
+Each transformation returns a `SimplificationResult` carrying the new
+schema plus bookkeeping used by the deciders and by plan translation
+(which view method replaces which original method).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..constraints.fd import FunctionalDependency, det_by
+from ..constraints.tgd import TGD
+from ..logic.atoms import Atom
+from ..logic.terms import Variable
+from ..schema.access import AccessMethod
+from ..schema.relation import Relation
+from ..schema.schema import Schema
+from .naming import existence_check_relation, fd_view_relation
+
+
+@dataclass
+class MethodRewrite:
+    """How one result-bounded method was simplified."""
+
+    original: AccessMethod
+    replacement: AccessMethod
+    view_relation: Optional[Relation]
+    #: Positions of the base relation exposed by the view, in view order
+    #: (None for choice simplification, which keeps the relation).
+    view_positions: Optional[tuple[int, ...]] = None
+
+
+@dataclass
+class SimplificationResult:
+    """A simplified schema plus the method bookkeeping."""
+
+    schema: Schema
+    kind: str
+    rewrites: dict[str, MethodRewrite] = field(default_factory=dict)
+
+    def view_relations(self) -> tuple[str, ...]:
+        return tuple(
+            r.view_relation.name
+            for r in self.rewrites.values()
+            if r.view_relation is not None
+        )
+
+
+def _view_axioms(
+    base: Relation, view_name: str, positions: tuple[int, ...]
+) -> tuple[TGD, TGD]:
+    """The two IDs ``R(x̄,ȳ) → V(x̄)`` and ``V(x̄) → ∃ȳ R(x̄,ȳ)``."""
+    base_terms = tuple(Variable(f"x{i}") for i in range(base.arity))
+    view_terms = tuple(base_terms[p] for p in positions)
+    to_view = TGD(
+        (Atom(base.name, base_terms),),
+        (Atom(view_name, view_terms),),
+        f"{view_name}_fwd",
+    )
+    fresh = tuple(
+        base_terms[i] if i in positions else Variable(f"y{i}")
+        for i in range(base.arity)
+    )
+    from_view = TGD(
+        (Atom(view_name, view_terms),),
+        (Atom(base.name, fresh),),
+        f"{view_name}_bwd",
+    )
+    return to_view, from_view
+
+
+def existence_check_simplification(schema: Schema) -> SimplificationResult:
+    """Replace every result-bounded method by a Boolean existence check.
+
+    Complete for schemas whose constraints are IDs (Theorem 4.2): a CQ is
+    monotone answerable in the original schema iff it is in the result.
+    """
+    result_schema = Schema(schema.relations, schema.constraints, ())
+    rewrites: dict[str, MethodRewrite] = {}
+    for method in schema.methods:
+        if method.effective_bound() is None:
+            result_schema.add(method)
+            continue
+        positions = method.sorted_input_positions
+        view_name = existence_check_relation(
+            method.relation.name, method.name
+        )
+        view = Relation(view_name, len(positions))
+        result_schema.add(view)
+        forward, backward = _view_axioms(method.relation, view_name, positions)
+        result_schema.add_constraint(forward)
+        result_schema.add_constraint(backward)
+        replacement = AccessMethod(
+            f"{method.name}__chk",
+            view,
+            frozenset(range(view.arity)),  # Boolean: all inputs
+        )
+        result_schema.add(replacement)
+        rewrites[method.name] = MethodRewrite(
+            method, replacement, view, positions
+        )
+    return SimplificationResult(result_schema, "existence-check", rewrites)
+
+
+def fd_simplification(schema: Schema) -> SimplificationResult:
+    """Replace result-bounded methods by views over DetBy(mt).
+
+    Complete for schemas whose constraints are FDs (Theorem 4.5).  When
+    the constraints imply no FDs this coincides with the existence-check
+    simplification.
+    """
+    fds = [
+        c for c in schema.constraints if isinstance(c, FunctionalDependency)
+    ]
+    result_schema = Schema(schema.relations, schema.constraints, ())
+    rewrites: dict[str, MethodRewrite] = {}
+    for method in schema.methods:
+        if method.effective_bound() is None:
+            result_schema.add(method)
+            continue
+        relation = method.relation
+        determined = det_by(fds, relation.name, method.input_positions)
+        positions = tuple(sorted(determined))
+        view_name = fd_view_relation(relation.name, method.name)
+        view = Relation(view_name, len(positions))
+        result_schema.add(view)
+        forward, backward = _view_axioms(relation, view_name, positions)
+        result_schema.add_constraint(forward)
+        result_schema.add_constraint(backward)
+        view_inputs = frozenset(
+            i
+            for i, p in enumerate(positions)
+            if p in method.input_positions
+        )
+        replacement = AccessMethod(f"{method.name}__det", view, view_inputs)
+        result_schema.add(replacement)
+        rewrites[method.name] = MethodRewrite(
+            method, replacement, view, positions
+        )
+    return SimplificationResult(result_schema, "fd", rewrites)
+
+
+def choice_simplification(schema: Schema) -> SimplificationResult:
+    """Set every result bound to 1 (Theorems 6.3 / 6.4).
+
+    Complete for equality-free first-order constraints (hence all TGDs)
+    and for UIDs + FDs; *not* complete for arbitrary FO constraints
+    (Example 8.1).
+    """
+    methods = []
+    rewrites: dict[str, MethodRewrite] = {}
+    for method in schema.methods:
+        if method.result_bound is not None:
+            replacement = method.with_result_bound(1)
+        elif method.result_lower_bound is not None:
+            replacement = method.with_lower_bound(1)
+        else:
+            methods.append(method)
+            continue
+        methods.append(replacement)
+        rewrites[method.name] = MethodRewrite(method, replacement, None)
+    return SimplificationResult(
+        schema.replace_methods(methods), "choice", rewrites
+    )

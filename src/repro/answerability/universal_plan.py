@@ -1,0 +1,123 @@
+"""The universal dynamic plan: saturate accesses, return certain answers.
+
+For any CQ Q that is AMonDet w.r.t. a schema, the following *dynamic*
+plan answers Q on every instance I and every valid access selection σ
+(see DESIGN.md §3 for the two-line proof from Prop 3.2):
+
+1. compute the accessible part ``A = AccPart(σ, I)``, seeding the query's
+   constants;
+2. return the certain answers of Q over A under the schema constraints
+   (Boolean: "does Q hold in every model of Σ containing A?", decided by
+   chasing A).
+
+Soundness holds for every CQ (the output is always ⊆ Q(I)); completeness
+holds exactly when Q is AMonDet — so the universal plan coupled with a
+YES decision from the deciders is a correct executable implementation of
+the query over the restricted interfaces.
+
+The number of access rounds is data-dependent (a fixpoint), which is why
+this is a *dynamic* plan rather than a fixed command sequence in the
+paper's plan language; `repro.answerability.plangen` additionally
+extracts fixed static plans from chase proofs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from ..accessibility.access import AccessSelection, EagerSelection
+from ..accessibility.accessible import accessible_part
+from ..chase.engine import ChaseOutcome, chase
+from ..data.instance import Instance
+from ..logic.evaluation import evaluate_cq
+from ..logic.queries import ConjunctiveQuery
+from ..logic.terms import Constant, GroundTerm
+from ..schema.schema import Schema
+
+AnswerTuple = tuple[GroundTerm, ...]
+
+
+@dataclass
+class UniversalPlanRun:
+    """Diagnostics of one universal-plan execution."""
+
+    answers: FrozenSet[AnswerTuple]
+    accessed_facts: int
+    access_rounds: int
+    chase_rounds: int
+    definitive: bool
+
+
+class UniversalPlan:
+    """The saturate-then-certain-answers plan for a query and schema."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        query: ConjunctiveQuery,
+        *,
+        max_chase_rounds: Optional[int] = 200,
+        max_chase_facts: int = 200_000,
+    ) -> None:
+        self.schema = schema
+        self.query = query
+        self.max_chase_rounds = max_chase_rounds
+        self.max_chase_facts = max_chase_facts
+
+    def run(
+        self,
+        instance: Instance,
+        selection: Optional[AccessSelection] = None,
+    ) -> UniversalPlanRun:
+        """Execute against an instance under an access selection."""
+        selection = selection or EagerSelection()
+        seed = [Constant(c.value) for c in self.query.constants()]
+        part = accessible_part(
+            instance, self.schema, selection, seed_values=seed
+        )
+        result = chase(
+            part.part,
+            self.schema.constraints,
+            max_rounds=self.max_chase_rounds,
+            max_facts=self.max_chase_facts,
+        )
+        definitive = result.outcome in (
+            ChaseOutcome.FIXPOINT,
+            ChaseOutcome.FAILED,
+        )
+        if result.outcome is ChaseOutcome.FAILED:
+            # Accessed data contradicts the constraints: on constraint-
+            # satisfying instances this cannot happen; return soundly.
+            answers: FrozenSet[AnswerTuple] = frozenset()
+        else:
+            # Certain answers: matches whose answer tuple avoids chase
+            # nulls (null-free answers are certain by universality).
+            answers = frozenset(
+                answer
+                for answer in evaluate_cq(self.query, result.instance)
+                if all(isinstance(t, Constant) for t in answer)
+            )
+        return UniversalPlanRun(
+            answers=answers,
+            accessed_facts=len(part.part),
+            access_rounds=part.rounds,
+            chase_rounds=result.rounds,
+            definitive=definitive,
+        )
+
+    def answers(
+        self,
+        instance: Instance,
+        selection: Optional[AccessSelection] = None,
+    ) -> FrozenSet[AnswerTuple]:
+        """The plan's output table (Boolean queries: {()} or {})."""
+        return self.run(instance, selection).answers
+
+    def holds(
+        self,
+        instance: Instance,
+        selection: Optional[AccessSelection] = None,
+    ) -> bool:
+        """Boolean-query convenience wrapper."""
+        return bool(self.run(instance, selection).answers)

@@ -1,0 +1,16 @@
+"""The chase engine."""
+
+from .engine import (
+    ChaseOutcome,
+    ChaseResult,
+    ChaseStep,
+    MergeStep,
+    TGDStep,
+    chase,
+    satisfies,
+)
+
+__all__ = [
+    "ChaseOutcome", "ChaseResult", "ChaseStep", "MergeStep", "TGDStep",
+    "chase", "satisfies",
+]

@@ -1,0 +1,312 @@
+"""The chase: restricted and semi-oblivious variants, TGD + EGD/FD steps.
+
+The chase (paper §2, "Query containment and chase proofs") repairs an
+instance against a set of dependencies:
+
+* firing a **TGD** on an active trigger adds head facts, instantiating
+  existential variables with fresh labeled nulls;
+* firing an **FD/EGD** identifies two terms (preferring to keep constants
+  and canonical-database nulls); identifying two distinct constants is a
+  *hard violation* and the chase **fails** (the premises are
+  unsatisfiable, which makes containment hold vacuously).
+
+Two trigger policies are supported:
+
+* ``restricted`` (default): only *active* triggers fire — triggers whose
+  head is not yet satisfied.  Reaching a fixpoint yields a universal model
+  (complete for containment).
+* ``semi_oblivious``: each (dependency, frontier-binding) pair fires at
+  most once but fires even when the head is satisfied.  This is the tree
+  chase used by the Johnson–Klug depth argument (App E.4) and by the
+  paper's oblivious blow-up constructions.
+
+The engine runs in rounds.  A round applies EGDs to fixpoint, then fires
+all triggers discovered on the current instance.  ``max_rounds`` /
+``max_facts`` bound the run; the outcome reports whether a fixpoint was
+reached, the bound was hit, or the chase failed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+from ..constraints.egd import EGD
+from ..constraints.fd import FunctionalDependency
+from ..constraints.tgd import TGD
+from ..data.instance import Instance
+from ..logic.atoms import Atom
+from ..logic.homomorphism import find_homomorphism, homomorphisms
+from ..logic.terms import Constant, GroundTerm, NullFactory
+
+Dependency = Union[TGD, EGD, FunctionalDependency]
+
+
+class ChaseOutcome(enum.Enum):
+    """How a chase run ended."""
+
+    FIXPOINT = "fixpoint"          # all dependencies satisfied
+    BOUND_REACHED = "bound"        # max_rounds or max_facts hit
+    FAILED = "failed"              # EGD tried to merge distinct constants
+    EARLY_STOP = "early-stop"      # the caller's stop condition fired
+
+
+@dataclass(frozen=True)
+class TGDStep:
+    """Record of one TGD firing (used to extract plans from proofs)."""
+
+    dependency: TGD
+    trigger: dict
+    produced: tuple[Atom, ...]
+    round_index: int
+
+
+@dataclass(frozen=True)
+class MergeStep:
+    """Record of one EGD/FD merge."""
+
+    dependency: Union[EGD, FunctionalDependency]
+    removed: GroundTerm
+    kept: GroundTerm
+    round_index: int
+
+
+ChaseStep = Union[TGDStep, MergeStep]
+
+
+@dataclass
+class ChaseResult:
+    """Outcome of a chase run."""
+
+    instance: Instance
+    outcome: ChaseOutcome
+    rounds: int
+    steps: list[ChaseStep] = field(default_factory=list)
+    #: Composite substitution applied by EGD merges (original -> final).
+    substitution: dict[GroundTerm, GroundTerm] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        return self.outcome is ChaseOutcome.FAILED
+
+    @property
+    def terminated(self) -> bool:
+        return self.outcome in (ChaseOutcome.FIXPOINT, ChaseOutcome.EARLY_STOP)
+
+
+class _Unsatisfiable(Exception):
+    """Raised internally when an EGD merges two distinct constants."""
+
+
+def _merge_terms(
+    instance: Instance,
+    left: GroundTerm,
+    right: GroundTerm,
+    substitution: dict[GroundTerm, GroundTerm],
+) -> tuple[GroundTerm, GroundTerm]:
+    """Identify two terms in the instance; return (kept, removed)."""
+    if left == right:
+        return left, right
+    if isinstance(left, Constant) and isinstance(right, Constant):
+        raise _Unsatisfiable(f"cannot identify constants {left} and {right}")
+    if isinstance(right, Constant):
+        left, right = right, left
+    # `left` is kept; `right` (a null) is replaced everywhere.
+    affected = [
+        fact
+        for fact in list(instance)
+        if right in fact.terms
+    ]
+    for fact in affected:
+        instance.discard(fact)
+    for fact in affected:
+        instance.add(
+            Atom(
+                fact.relation,
+                tuple(left if t == right else t for t in fact.terms),
+            )
+        )
+    # Update the composite substitution.
+    for source, target in list(substitution.items()):
+        if target == right:
+            substitution[source] = left
+    substitution[right] = left
+    return left, right
+
+
+def _fd_violation(
+    instance: Instance, dependency: FunctionalDependency
+) -> Optional[tuple[GroundTerm, GroundTerm]]:
+    """Find one violation of the FD, as a pair of terms to merge."""
+    determiner = sorted(dependency.determiner)
+    witness: dict[tuple, GroundTerm] = {}
+    for fact in instance.facts_of(dependency.relation):
+        key = tuple(fact.terms[i] for i in determiner)
+        value = fact.terms[dependency.determined]
+        previous = witness.setdefault(key, value)
+        if previous != value:
+            return previous, value
+    return None
+
+
+def _egd_violation(
+    instance: Instance, dependency: EGD
+) -> Optional[tuple[GroundTerm, GroundTerm]]:
+    for assignment in homomorphisms(dependency.body, instance):
+        left = assignment[dependency.left]
+        right = assignment[dependency.right]
+        if left != right:
+            return left, right
+    return None
+
+
+def _apply_equalities(
+    instance: Instance,
+    egds: Sequence[Union[EGD, FunctionalDependency]],
+    substitution: dict[GroundTerm, GroundTerm],
+    steps: Optional[list[ChaseStep]],
+    round_index: int,
+) -> None:
+    """Apply FD/EGD merges to fixpoint (raises on constant clashes)."""
+    changed = True
+    while changed:
+        changed = False
+        for dependency in egds:
+            while True:
+                if isinstance(dependency, FunctionalDependency):
+                    violation = _fd_violation(instance, dependency)
+                else:
+                    violation = _egd_violation(instance, dependency)
+                if violation is None:
+                    break
+                kept, removed = _merge_terms(
+                    instance, violation[0], violation[1], substitution
+                )
+                if steps is not None:
+                    steps.append(
+                        MergeStep(dependency, removed, kept, round_index)
+                    )
+                changed = True
+
+
+def _frontier_key(
+    dependency_index: int, dependency: TGD, trigger: dict
+) -> tuple:
+    """Key identifying a semi-oblivious firing: rule + frontier binding."""
+    frontier = dependency.exported_variables()
+    return (
+        dependency_index,
+        tuple(trigger[v] for v in frontier if v in trigger),
+    )
+
+
+def chase(
+    start: Instance,
+    dependencies: Iterable[Dependency],
+    *,
+    max_rounds: Optional[int] = None,
+    max_facts: Optional[int] = None,
+    policy: str = "restricted",
+    record_steps: bool = False,
+    null_factory: Optional[NullFactory] = None,
+    stop_when: Optional[Callable[[Instance], bool]] = None,
+) -> ChaseResult:
+    """Chase `start` with the dependencies.
+
+    The input instance is not modified.  See the module docstring for the
+    policies and outcome semantics.  ``stop_when`` is checked after every
+    round (and once before the first round) and short-circuits the run —
+    used by the containment solver to stop as soon as the target query
+    matches.
+    """
+    if policy not in ("restricted", "semi_oblivious"):
+        raise ValueError(f"unknown chase policy: {policy}")
+    instance = start.copy()
+    tgds = [d for d in dependencies if isinstance(d, TGD)]
+    equality_deps = [
+        d
+        for d in dependencies
+        if isinstance(d, (EGD, FunctionalDependency))
+    ]
+    factory = null_factory or NullFactory(prefix="c")
+    steps: Optional[list[ChaseStep]] = [] if record_steps else None
+    substitution: dict[GroundTerm, GroundTerm] = {}
+    fired: set[tuple] = set()
+    rounds = 0
+
+    def result(outcome: ChaseOutcome) -> ChaseResult:
+        return ChaseResult(
+            instance, outcome, rounds, steps or [], substitution
+        )
+
+    try:
+        _apply_equalities(instance, equality_deps, substitution, steps, 0)
+    except _Unsatisfiable:
+        return result(ChaseOutcome.FAILED)
+    if stop_when is not None and stop_when(instance):
+        return result(ChaseOutcome.EARLY_STOP)
+
+    while True:
+        if max_rounds is not None and rounds >= max_rounds:
+            return result(ChaseOutcome.BOUND_REACHED)
+        rounds += 1
+        new_facts: list[tuple[TGD, dict, tuple[Atom, ...]]] = []
+        # Collect triggers against the instance as of the round start.
+        for index, dependency in enumerate(tgds):
+            for trigger in list(dependency.triggers(instance)):
+                if policy == "semi_oblivious":
+                    key = _frontier_key(index, dependency, trigger)
+                    if key in fired:
+                        continue
+                    fired.add(key)
+                elif not dependency.is_active_trigger(trigger, instance):
+                    continue
+                head_map = dict(trigger)
+                for existential in dependency.existential_variables():
+                    head_map[existential] = factory.fresh(existential.name)
+                produced = tuple(
+                    a.substitute(head_map) for a in dependency.head
+                )
+                new_facts.append((dependency, dict(trigger), produced))
+
+        added_any = False
+        for dependency, trigger, produced in new_facts:
+            if policy == "restricted":
+                # Re-check activeness: an earlier firing in this round may
+                # already satisfy this trigger.
+                exported = {
+                    v: trigger[v]
+                    for v in dependency.exported_variables()
+                    if v in trigger
+                }
+                if find_homomorphism(
+                    dependency.head, instance, seed=exported
+                ) is not None:
+                    continue
+            new_here = [f for f in produced if instance.add(f)]
+            if new_here:
+                added_any = True
+                if steps is not None:
+                    steps.append(
+                        TGDStep(dependency, trigger, tuple(new_here), rounds)
+                    )
+            if max_facts is not None and len(instance) > max_facts:
+                return result(ChaseOutcome.BOUND_REACHED)
+
+        try:
+            _apply_equalities(
+                instance, equality_deps, substitution, steps, rounds
+            )
+        except _Unsatisfiable:
+            return result(ChaseOutcome.FAILED)
+
+        if stop_when is not None and stop_when(instance):
+            return result(ChaseOutcome.EARLY_STOP)
+        if not added_any:
+            return result(ChaseOutcome.FIXPOINT)
+
+
+def satisfies(instance: Instance, dependencies: Iterable[Dependency]) -> bool:
+    """True iff the instance satisfies all the dependencies."""
+    return all(dep.satisfied_by(instance) for dep in dependencies)

@@ -1,0 +1,40 @@
+"""Integrity constraints: TGDs, IDs, FDs, EGDs, and their analysis."""
+
+from .analysis import (
+    ClassifiedConstraints,
+    ConstraintClass,
+    classify,
+    dependency_graph,
+    has_acyclic_position_graph,
+    is_weakly_acyclic,
+    position_graph,
+    semi_width,
+)
+from .base import Constraint
+from .egd import EGD, egds_from_fds, fd_to_egd
+from .fd import (
+    FunctionalDependency,
+    det_by,
+    fd,
+    fd_closure,
+    implied_unary_fds,
+    implies_fd,
+    minimal_keys,
+    parse_fd,
+)
+from .finite_closure import FiniteClosure, finite_closure
+from .implication import uid_as_positions, uid_closure, uid_closure_tgds
+from .tgd import TGD, id_profile, inclusion_dependency, tgd
+
+__all__ = [
+    "ClassifiedConstraints", "ConstraintClass", "classify",
+    "dependency_graph", "has_acyclic_position_graph", "is_weakly_acyclic",
+    "position_graph", "semi_width",
+    "Constraint",
+    "EGD", "egds_from_fds", "fd_to_egd",
+    "FunctionalDependency", "det_by", "fd", "fd_closure",
+    "implied_unary_fds", "implies_fd", "minimal_keys", "parse_fd",
+    "FiniteClosure", "finite_closure",
+    "uid_as_positions", "uid_closure", "uid_closure_tgds",
+    "TGD", "id_profile", "inclusion_dependency", "tgd",
+]

@@ -1,0 +1,25 @@
+"""Base class for integrity constraints."""
+
+from __future__ import annotations
+
+import abc
+
+from ..data.instance import Instance
+
+
+class Constraint(abc.ABC):
+    """An integrity constraint over a relational signature.
+
+    All constraints used by the paper are *dependencies*:
+    tuple-generating dependencies (TGDs, with inclusion dependencies as a
+    special case) and equality-generating dependencies (EGDs, with
+    functional dependencies as a special case).
+    """
+
+    @abc.abstractmethod
+    def satisfied_by(self, instance: Instance) -> bool:
+        """True iff the instance satisfies the constraint."""
+
+    @abc.abstractmethod
+    def relations(self) -> tuple[str, ...]:
+        """Relation names mentioned by the constraint."""

@@ -1,0 +1,78 @@
+"""Equality-generating dependencies.
+
+An EGD is ``∀x̄ (φ(x̄) → u = v)`` with ``u, v`` variables of the body.
+Functional dependencies are the special case the paper needs; `fd_to_egd`
+performs the standard encoding.  The chase engine consumes both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..data.instance import Instance
+from ..logic.atoms import Atom
+from ..logic.homomorphism import homomorphisms
+from ..logic.terms import Variable
+from .base import Constraint
+from .fd import FunctionalDependency
+
+
+@dataclass(frozen=True)
+class EGD(Constraint):
+    """An equality-generating dependency ``body → left = right``."""
+
+    body: tuple[Atom, ...]
+    left: Variable
+    right: Variable
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.body, tuple):
+            object.__setattr__(self, "body", tuple(self.body))
+        body_vars = {v for a in self.body for v in a.variables()}
+        if self.left not in body_vars or self.right not in body_vars:
+            raise ValueError("EGD equality must use body variables")
+
+    def satisfied_by(self, instance: Instance) -> bool:
+        for assignment in homomorphisms(self.body, instance):
+            if assignment[self.left] != assignment[self.right]:
+                return False
+        return True
+
+    def relations(self) -> tuple[str, ...]:
+        return tuple(sorted({a.relation for a in self.body}))
+
+    def __repr__(self) -> str:
+        body = ", ".join(str(a) for a in self.body)
+        label = f"[{self.name}] " if self.name else ""
+        return f"{label}{body} -> {self.left} = {self.right}"
+
+
+def fd_to_egd(dependency: FunctionalDependency, arity: int) -> EGD:
+    """Encode an FD as an EGD over two copies of the relation.
+
+    ``R(x1..xn) ∧ R(x'1..x'n) ∧ (xi = x'i for i in D)  →  xj = x'j`` is
+    expressed by reusing the same variable at the determiner positions.
+    """
+    first = [Variable(f"x{i}") for i in range(arity)]
+    second = [
+        first[i] if i in dependency.determiner else Variable(f"y{i}")
+        for i in range(arity)
+    ]
+    return EGD(
+        (
+            Atom(dependency.relation, tuple(first)),
+            Atom(dependency.relation, tuple(second)),
+        ),
+        first[dependency.determined],
+        second[dependency.determined],
+        dependency.name,
+    )
+
+
+def egds_from_fds(
+    fds: Iterable[FunctionalDependency], arities: dict[str, int]
+) -> list[EGD]:
+    """Convert FDs to EGDs, looking arities up per relation."""
+    return [fd_to_egd(dep, arities[dep.relation]) for dep in fds]

@@ -1,0 +1,172 @@
+"""Functional dependencies and FD implication.
+
+An FD ``R: D → j`` (paper §2) asserts that whenever two R-facts agree on
+all positions of ``D`` they agree on position ``j``.  Positions are
+0-based in code (the text parser accepts the paper's 1-based convention).
+
+This module also implements:
+
+* `fd_closure` — attribute-set closure under a set of FDs (Armstrong);
+* `implies_fd` — FD implication;
+* `det_by` — the paper's ``DetBy(R, P)`` (§4, FD simplification): the
+  positions of R determined by P, which always include P itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from ..data.instance import Instance
+from .base import Constraint
+
+
+@dataclass(frozen=True)
+class FunctionalDependency(Constraint):
+    """The FD ``determiner → determined`` on relation `relation`."""
+
+    relation: str
+    determiner: frozenset[int]
+    determined: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.determiner, frozenset):
+            object.__setattr__(self, "determiner", frozenset(self.determiner))
+
+    def is_unary(self) -> bool:
+        return len(self.determiner) == 1
+
+    def is_trivial(self) -> bool:
+        return self.determined in self.determiner
+
+    def satisfied_by(self, instance: Instance) -> bool:
+        projections: dict[tuple, object] = {}
+        determiner = sorted(self.determiner)
+        for fact in instance.facts_of(self.relation):
+            key = tuple(fact.terms[i] for i in determiner)
+            value = fact.terms[self.determined]
+            previous = projections.setdefault(key, value)
+            if previous != value:
+                return False
+        return True
+
+    def relations(self) -> tuple[str, ...]:
+        return (self.relation,)
+
+    def rename_relation(self, new_name: str) -> "FunctionalDependency":
+        return FunctionalDependency(
+            new_name, self.determiner, self.determined, self.name
+        )
+
+    def __repr__(self) -> str:
+        lhs = ",".join(str(i + 1) for i in sorted(self.determiner))
+        label = f"[{self.name}] " if self.name else ""
+        return f"{label}{self.relation}: {lhs} -> {self.determined + 1}"
+
+
+def fd(relation: str, determiner: Iterable[int], determined: int,
+       name: str = "") -> FunctionalDependency:
+    """Build an FD with 0-based positions."""
+    return FunctionalDependency(
+        relation, frozenset(determiner), determined, name
+    )
+
+
+def parse_fd(text: str) -> FunctionalDependency:
+    """Parse ``"R: 1, 2 -> 3"`` using the paper's 1-based positions."""
+    relation_part, __, rule = text.partition(":")
+    relation = relation_part.strip()
+    if not relation or not rule:
+        raise ValueError(f"cannot parse FD: {text!r}")
+    lhs_text, arrow, rhs_text = rule.partition("->")
+    if not arrow:
+        raise ValueError(f"cannot parse FD (missing ->): {text!r}")
+    determiner = frozenset(
+        int(token) - 1 for token in lhs_text.replace(",", " ").split()
+    )
+    determined = int(rhs_text.strip()) - 1
+    if determined < 0 or any(i < 0 for i in determiner):
+        raise ValueError("FD positions are 1-based and must be positive")
+    return FunctionalDependency(relation, determiner, determined)
+
+
+def fds_of_relation(
+    fds: Iterable[FunctionalDependency], relation: str
+) -> list[FunctionalDependency]:
+    return [dependency for dependency in fds if dependency.relation == relation]
+
+
+def fd_closure(
+    positions: Iterable[int],
+    fds: Sequence[FunctionalDependency],
+    relation: str,
+) -> frozenset[int]:
+    """Closure of a position set under the FDs of one relation."""
+    relevant = fds_of_relation(fds, relation)
+    closure = set(positions)
+    changed = True
+    while changed:
+        changed = False
+        for dependency in relevant:
+            if (
+                dependency.determined not in closure
+                and dependency.determiner <= closure
+            ):
+                closure.add(dependency.determined)
+                changed = True
+    return frozenset(closure)
+
+
+def implies_fd(
+    fds: Sequence[FunctionalDependency],
+    candidate: FunctionalDependency,
+) -> bool:
+    """True iff the FDs imply the candidate FD (attribute closure test)."""
+    closure = fd_closure(candidate.determiner, fds, candidate.relation)
+    return candidate.determined in closure
+
+
+def det_by(
+    fds: Sequence[FunctionalDependency],
+    relation: str,
+    positions: Iterable[int],
+) -> frozenset[int]:
+    """The paper's ``DetBy(R, P)``: positions determined by P (P included)."""
+    return fd_closure(positions, fds, relation)
+
+
+def implied_unary_fds(
+    fds: Sequence[FunctionalDependency],
+    relation: str,
+    arity: int,
+) -> list[FunctionalDependency]:
+    """All non-trivial unary FDs on `relation` implied by `fds`.
+
+    Used by the finite-closure cycle rule (Cosmadakis–Kanellakis–Vardi),
+    which reasons over unary FDs only.
+    """
+    result: list[FunctionalDependency] = []
+    for i in range(arity):
+        closure = fd_closure([i], fds, relation)
+        for j in closure:
+            if j != i:
+                result.append(FunctionalDependency(relation, frozenset([i]), j))
+    return result
+
+
+def minimal_keys(
+    fds: Sequence[FunctionalDependency], relation: str, arity: int
+) -> list[frozenset[int]]:
+    """All minimal keys of the relation under the FDs (for analysis/tests)."""
+    all_positions = frozenset(range(arity))
+    keys: list[frozenset[int]] = []
+    for size in range(arity + 1):
+        for subset in combinations(range(arity), size):
+            candidate = frozenset(subset)
+            if any(key <= candidate for key in keys):
+                continue
+            if fd_closure(candidate, fds, relation) == all_positions:
+                keys.append(candidate)
+    return keys

@@ -1,0 +1,83 @@
+"""Implication closure for unary inclusion dependencies.
+
+Unrestricted implication of UIDs is axiomatized by reflexivity and
+transitivity (Cosmadakis–Kanellakis–Vardi, JACM 1990): the UID
+``R[i] ⊆ S[j]`` composes with ``S[j] ⊆ T[k]`` to give ``R[i] ⊆ T[k]``.
+We represent a UID abstractly as a pair of *positions* ``(R, i) → (S, j)``
+and compute the transitive closure; `uid_closure_tgds` materializes the
+closure back as TGDs given the relation arities.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .tgd import TGD, id_profile, inclusion_dependency
+
+#: A relation position: (relation name, 0-based position).
+Position = tuple[str, int]
+
+
+def uid_as_positions(dependency: TGD) -> tuple[Position, Position]:
+    """Decompose a UID into (source position, target position)."""
+    if not dependency.is_unary_inclusion_dependency():
+        raise ValueError(f"not a UID: {dependency}")
+    source, source_positions, target, target_positions = id_profile(dependency)
+    return (source, source_positions[0]), (target, target_positions[0])
+
+
+def uid_closure(
+    uids: Iterable[tuple[Position, Position]],
+) -> frozenset[tuple[Position, Position]]:
+    """Transitive closure of a set of UIDs given as position pairs.
+
+    Trivial (reflexive) UIDs are not included in the output.
+    """
+    edges: set[tuple[Position, Position]] = {
+        (src, dst) for src, dst in uids if src != dst
+    }
+    successors: dict[Position, set[Position]] = {}
+    for src, dst in edges:
+        successors.setdefault(src, set()).add(dst)
+    changed = True
+    while changed:
+        changed = False
+        for src, dst in list(edges):
+            for nxt in successors.get(dst, ()):
+                if nxt != src and (src, nxt) not in edges:
+                    edges.add((src, nxt))
+                    successors.setdefault(src, set()).add(nxt)
+                    changed = True
+    return frozenset(edges)
+
+
+def uid_closure_tgds(
+    uids: Sequence[TGD], arities: dict[str, int]
+) -> list[TGD]:
+    """Close a set of UID TGDs under implication; returns TGDs again."""
+    pairs = [uid_as_positions(uid) for uid in uids]
+    closed = uid_closure(pairs)
+    result: list[TGD] = []
+    for (src_rel, src_pos), (dst_rel, dst_pos) in sorted(closed):
+        result.append(
+            inclusion_dependency(
+                src_rel,
+                (src_pos,),
+                dst_rel,
+                (dst_pos,),
+                arities[src_rel],
+                arities[dst_rel],
+            )
+        )
+    return result
+
+
+def implies_uid(
+    uids: Iterable[tuple[Position, Position]],
+    candidate: tuple[Position, Position],
+) -> bool:
+    """True iff the UIDs imply the candidate UID."""
+    source, target = candidate
+    if source == target:
+        return True
+    return candidate in uid_closure(uids)

@@ -1,0 +1,221 @@
+"""Tuple-generating dependencies and their syntactic subclasses.
+
+A TGD is a sentence ``∀x̄ (φ(x̄) → ∃ȳ ψ(x̄, ȳ))`` with conjunctions of
+atoms φ (body) and ψ (head).  The paper's taxonomy (§2):
+
+* **exported variables** — body variables occurring in the head;
+* **full** — no existential head variable;
+* **guarded (GTGD)** — some body atom contains every body variable;
+* **frontier-guarded (FGTGD)** — some body atom contains every exported
+  variable;
+* **linear** — a single body atom;
+* **inclusion dependency (ID)** — single body atom and single head atom,
+  no repeated variables in either, no constants; its **width** is the
+  number of exported variables, and a width-1 ID is a **UID**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from ..data.instance import Instance
+from ..logic.atoms import Atom
+from ..logic.homomorphism import find_homomorphism, homomorphisms
+from ..logic.parser import split_rule
+from ..logic.terms import Term, Variable
+from .base import Constraint
+
+
+@dataclass(frozen=True)
+class TGD(Constraint):
+    """A tuple-generating dependency ``body → ∃ȳ head``."""
+
+    body: tuple[Atom, ...]
+    head: tuple[Atom, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.body, tuple):
+            object.__setattr__(self, "body", tuple(self.body))
+        if not isinstance(self.head, tuple):
+            object.__setattr__(self, "head", tuple(self.head))
+        if not self.body or not self.head:
+            raise ValueError("a TGD needs a non-empty body and head")
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    def body_variables(self) -> tuple[Variable, ...]:
+        seen: dict[Variable, None] = {}
+        for a in self.body:
+            for v in a.variables():
+                seen.setdefault(v, None)
+        return tuple(seen)
+
+    def head_variables(self) -> tuple[Variable, ...]:
+        seen: dict[Variable, None] = {}
+        for a in self.head:
+            for v in a.variables():
+                seen.setdefault(v, None)
+        return tuple(seen)
+
+    def exported_variables(self) -> tuple[Variable, ...]:
+        """Body variables that occur in the head (the frontier)."""
+        head_vars = set(self.head_variables())
+        return tuple(v for v in self.body_variables() if v in head_vars)
+
+    def existential_variables(self) -> tuple[Variable, ...]:
+        """Head variables that do not occur in the body."""
+        body_vars = set(self.body_variables())
+        return tuple(v for v in self.head_variables() if v not in body_vars)
+
+    # ------------------------------------------------------------------
+    # Syntactic classes
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """Number of exported variables."""
+        return len(self.exported_variables())
+
+    def is_full(self) -> bool:
+        return not self.existential_variables()
+
+    def is_linear(self) -> bool:
+        return len(self.body) == 1
+
+    def is_guarded(self) -> bool:
+        """Some body atom contains all body variables."""
+        body_vars = set(self.body_variables())
+        return any(body_vars <= set(a.variables()) for a in self.body)
+
+    def is_frontier_guarded(self) -> bool:
+        """Some body atom contains all exported variables."""
+        exported = set(self.exported_variables())
+        return any(exported <= set(a.variables()) for a in self.body)
+
+    def is_inclusion_dependency(self) -> bool:
+        """Single-atom body and head, no repetitions, no constants."""
+        if len(self.body) != 1 or len(self.head) != 1:
+            return False
+        for a in (self.body[0], self.head[0]):
+            if any(not isinstance(t, Variable) for t in a.terms):
+                return False
+            if len(set(a.terms)) != len(a.terms):
+                return False
+        return True
+
+    def is_unary_inclusion_dependency(self) -> bool:
+        return self.is_inclusion_dependency() and self.width == 1
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def triggers(self, instance: Instance) -> Iterable[dict[Term, Term]]:
+        """All homomorphisms of the body into the instance."""
+        return homomorphisms(self.body, instance)
+
+    def is_active_trigger(
+        self, trigger: Mapping[Term, Term], instance: Instance
+    ) -> bool:
+        """True iff the trigger cannot be extended to the head."""
+        exported = {
+            v: trigger[v] for v in self.exported_variables() if v in trigger
+        }
+        return (
+            find_homomorphism(self.head, instance, seed=exported) is None
+        )
+
+    def satisfied_by(self, instance: Instance) -> bool:
+        return not any(
+            self.is_active_trigger(trigger, instance)
+            for trigger in self.triggers(instance)
+        )
+
+    def relations(self) -> tuple[str, ...]:
+        rels = {a.relation for a in self.body}
+        rels.update(a.relation for a in self.head)
+        return tuple(sorted(rels))
+
+    def rename_relations(self, renaming: Callable[[str], str]) -> "TGD":
+        return TGD(
+            tuple(a.rename_relation(renaming) for a in self.body),
+            tuple(a.rename_relation(renaming) for a in self.head),
+            self.name,
+        )
+
+    def __repr__(self) -> str:
+        body = ", ".join(str(a) for a in self.body)
+        head = ", ".join(str(a) for a in self.head)
+        existentials = self.existential_variables()
+        prefix = ""
+        if existentials:
+            prefix = "exists " + ", ".join(str(v) for v in existentials) + ". "
+        label = f"[{self.name}] " if self.name else ""
+        return f"{label}{body} -> {prefix}{head}"
+
+
+def tgd(rule: str, name: str = "") -> TGD:
+    """Parse a TGD from text: ``"R(x,y) -> exists z. S(y,z)"``."""
+    body, head = split_rule(rule)
+    return TGD(body, head, name)
+
+
+def inclusion_dependency(
+    source: str,
+    source_positions: tuple[int, ...],
+    target: str,
+    target_positions: tuple[int, ...],
+    source_arity: int,
+    target_arity: int,
+    name: str = "",
+) -> TGD:
+    """Build the ID ``source[source_positions] ⊆ target[target_positions]``.
+
+    Positions are 0-based; the two position tuples must have equal length
+    (the width of the ID) and hold distinct positions each.
+    """
+    if len(source_positions) != len(target_positions):
+        raise ValueError("position tuples must have the same length")
+    if len(set(source_positions)) != len(source_positions):
+        raise ValueError("source positions must be distinct")
+    if len(set(target_positions)) != len(target_positions):
+        raise ValueError("target positions must be distinct")
+    body_terms = tuple(Variable(f"x{i}") for i in range(source_arity))
+    head_terms: list[Variable] = [
+        Variable(f"y{j}") for j in range(target_arity)
+    ]
+    for src, dst in zip(source_positions, target_positions):
+        if not (0 <= src < source_arity and 0 <= dst < target_arity):
+            raise ValueError("position out of range")
+        head_terms[dst] = body_terms[src]
+    return TGD(
+        (Atom(source, body_terms),),
+        (Atom(target, tuple(head_terms)),),
+        name,
+    )
+
+
+def id_profile(dependency: TGD) -> tuple[str, tuple[int, ...], str, tuple[int, ...]]:
+    """Decompose an ID into (source, source_positions, target, target_positions).
+
+    Positions are 0-based and aligned: the i-th source position is exported
+    to the i-th target position.
+    """
+    if not dependency.is_inclusion_dependency():
+        raise ValueError(f"not an inclusion dependency: {dependency}")
+    body_atom = dependency.body[0]
+    head_atom = dependency.head[0]
+    source_positions: list[int] = []
+    target_positions: list[int] = []
+    for i, term in enumerate(body_atom.terms):
+        positions = head_atom.positions_of(term)
+        if positions:
+            source_positions.append(i)
+            target_positions.append(positions[0])
+    return (
+        body_atom.relation,
+        tuple(source_positions),
+        head_atom.relation,
+        tuple(target_positions),
+    )

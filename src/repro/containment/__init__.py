@@ -1,0 +1,15 @@
+"""Query containment under constraints."""
+
+from .chase_containment import (
+    certain_answer_boolean,
+    contains,
+    default_bound_for,
+)
+from .decision import Decision, Truth
+from .rewriting import RewritingError, linear_contains, rewrite
+
+__all__ = [
+    "certain_answer_boolean", "contains", "default_bound_for",
+    "Decision", "Truth",
+    "RewritingError", "linear_contains", "rewrite",
+]

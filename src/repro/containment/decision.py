@@ -1,0 +1,80 @@
+"""Three-valued decisions with provenance.
+
+Chase-based procedures for query containment (and hence answerability)
+are sound but only complete when the chase terminates or a class-specific
+depth bound applies.  Every decision in the library therefore carries a
+truth value plus an explanation of *why* it is definitive (or not).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class Truth(enum.Enum):
+    """The three-valued answer of a decision procedure."""
+
+    YES = "yes"
+    NO = "no"
+    UNKNOWN = "unknown"
+
+    def __bool__(self) -> bool:
+        if self is Truth.UNKNOWN:
+            raise ValueError(
+                "refusing to coerce UNKNOWN to bool; inspect .value"
+            )
+        return self is Truth.YES
+
+
+@dataclass
+class Decision:
+    """A decision with provenance.
+
+    Attributes
+    ----------
+    truth:
+        YES / NO / UNKNOWN.
+    reason:
+        A human-readable explanation (e.g. "chase reached fixpoint without
+        a match", "target query matched at round 3").
+    certificate:
+        Optional machine-readable witness: a chase proof, a containment
+        witness homomorphism, a counterexample pair of instances, or a
+        generated plan.
+    detail:
+        Free-form diagnostic data (rounds used, sizes, ...).
+    """
+
+    truth: Truth
+    reason: str = ""
+    certificate: Optional[Any] = None
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_yes(self) -> bool:
+        return self.truth is Truth.YES
+
+    @property
+    def is_no(self) -> bool:
+        return self.truth is Truth.NO
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.truth is Truth.UNKNOWN
+
+    @staticmethod
+    def yes(reason: str = "", certificate: Any = None, **detail: Any) -> "Decision":
+        return Decision(Truth.YES, reason, certificate, dict(detail))
+
+    @staticmethod
+    def no(reason: str = "", certificate: Any = None, **detail: Any) -> "Decision":
+        return Decision(Truth.NO, reason, certificate, dict(detail))
+
+    @staticmethod
+    def unknown(reason: str = "", **detail: Any) -> "Decision":
+        return Decision(Truth.UNKNOWN, reason, None, dict(detail))
+
+    def __repr__(self) -> str:
+        return f"Decision({self.truth.value}: {self.reason})"

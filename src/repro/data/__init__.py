@@ -1,0 +1,5 @@
+"""Relational instances (indexed fact stores)."""
+
+from .instance import Fact, Instance, instance_of
+
+__all__ = ["Fact", "Instance", "instance_of"]

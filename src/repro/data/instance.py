@@ -1,0 +1,173 @@
+"""Relational instances: indexed sets of ground atoms (facts).
+
+An `Instance` is a mutable set of facts (ground `Atom`s whose terms are
+constants or labeled nulls), indexed by relation and by (relation,
+position, term) for fast trigger/homomorphism search.  Instances are the
+substrate for everything in the library: chase states, accessible parts,
+counterexample models, and the simulated web-service data.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterable, Iterator, Mapping
+
+from ..logic.atoms import Atom
+from ..logic.terms import Constant, GroundTerm, Null, Variable
+
+Fact = Atom  # facts are ground atoms
+
+
+class Instance:
+    """A set of facts with incremental indexes.
+
+    Indexes maintained:
+
+    * ``facts_of(relation)`` — all facts of a relation;
+    * ``facts_with(relation, position, term)`` — facts of a relation having
+      a given term at a given (0-based) position;
+    * ``active_domain()`` — every term occurring in some fact.
+    """
+
+    __slots__ = ("_by_relation", "_by_position", "_domain_counts", "_size")
+
+    def __init__(self, facts: Iterable[Fact] = ()) -> None:
+        self._by_relation: dict[str, set[Fact]] = defaultdict(set)
+        self._by_position: dict[tuple[str, int, GroundTerm], set[Fact]] = (
+            defaultdict(set)
+        )
+        self._domain_counts: dict[GroundTerm, int] = defaultdict(int)
+        self._size = 0
+        for fact in facts:
+            self.add(fact)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, fact: Fact) -> bool:
+        """Add a fact; return True if it was new."""
+        if any(isinstance(term, Variable) for term in fact.terms):
+            raise ValueError(f"fact contains a variable: {fact}")
+        bucket = self._by_relation[fact.relation]
+        if fact in bucket:
+            return False
+        bucket.add(fact)
+        for position, term in enumerate(fact.terms):
+            self._by_position[(fact.relation, position, term)].add(fact)
+            self._domain_counts[term] += 1
+        self._size += 1
+        return True
+
+    def add_all(self, facts: Iterable[Fact]) -> int:
+        """Add many facts; return how many were new."""
+        return sum(1 for fact in facts if self.add(fact))
+
+    def discard(self, fact: Fact) -> bool:
+        """Remove a fact if present; return True if it was removed."""
+        bucket = self._by_relation.get(fact.relation)
+        if bucket is None or fact not in bucket:
+            return False
+        bucket.remove(fact)
+        for position, term in enumerate(fact.terms):
+            key = (fact.relation, position, term)
+            entry = self._by_position[key]
+            entry.discard(fact)
+            if not entry:
+                del self._by_position[key]
+            self._domain_counts[term] -= 1
+            if self._domain_counts[term] == 0:
+                del self._domain_counts[term]
+        self._size -= 1
+        return True
+
+    def substitute(self, mapping: Mapping[GroundTerm, GroundTerm]) -> "Instance":
+        """Return a new instance with every term rewritten via `mapping`."""
+        return Instance(
+            Atom(f.relation, tuple(mapping.get(t, t) for t in f.terms))
+            for f in self
+        )
+
+    def rename_relations(self, renaming: Callable[[str], str]) -> "Instance":
+        """Return a new instance with relation names rewritten."""
+        return Instance(f.rename_relation(renaming) for f in self)
+
+    def restrict_to_relations(self, relations: Iterable[str]) -> "Instance":
+        """Return the subinstance containing only facts of given relations."""
+        wanted = set(relations)
+        return Instance(f for f in self if f.relation in wanted)
+
+    # ------------------------------------------------------------------
+    # Queries over the fact set
+    # ------------------------------------------------------------------
+    def __contains__(self, fact: Fact) -> bool:
+        bucket = self._by_relation.get(fact.relation)
+        return bucket is not None and fact in bucket
+
+    def __iter__(self) -> Iterator[Fact]:
+        for bucket in self._by_relation.values():
+            yield from bucket
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return set(self) == set(other)
+
+    def __le__(self, other: "Instance") -> bool:
+        return self.is_subinstance_of(other)
+
+    def facts(self) -> frozenset[Fact]:
+        return frozenset(self)
+
+    def relations(self) -> tuple[str, ...]:
+        return tuple(
+            sorted(rel for rel, bucket in self._by_relation.items() if bucket)
+        )
+
+    def facts_of(self, relation: str) -> frozenset[Fact]:
+        return frozenset(self._by_relation.get(relation, ()))
+
+    def facts_with(
+        self, relation: str, position: int, term: GroundTerm
+    ) -> frozenset[Fact]:
+        return frozenset(self._by_position.get((relation, position, term), ()))
+
+    def active_domain(self) -> frozenset[GroundTerm]:
+        return frozenset(self._domain_counts)
+
+    def constants(self) -> frozenset[Constant]:
+        return frozenset(
+            t for t in self._domain_counts if isinstance(t, Constant)
+        )
+
+    def nulls(self) -> frozenset[Null]:
+        return frozenset(t for t in self._domain_counts if isinstance(t, Null))
+
+    def is_subinstance_of(self, other: "Instance") -> bool:
+        return all(fact in other for fact in self)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def copy(self) -> "Instance":
+        return Instance(self)
+
+    def union(self, *others: "Instance") -> "Instance":
+        result = self.copy()
+        for other in others:
+            result.add_all(other)
+        return result
+
+    def __repr__(self) -> str:
+        shown = ", ".join(sorted(str(f) for f in self))
+        return f"Instance({{{shown}}})"
+
+
+def instance_of(*facts: Fact) -> Instance:
+    """Build an instance from facts given positionally."""
+    return Instance(facts)

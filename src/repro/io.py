@@ -1,0 +1,120 @@
+"""Loading schemas and queries from JSON descriptions (CLI support).
+
+The JSON schema format::
+
+    {
+      "relations": {"Prof": 3, "Udirectory": 3},
+      "attributes": {"Prof": ["id", "name", "salary"]},        // optional
+      "methods": [
+        {"name": "pr", "relation": "Prof", "inputs": [1]},
+        {"name": "ud", "relation": "Udirectory", "inputs": [],
+         "result_bound": 100}
+      ],
+      "constraints": [
+        "Prof(i,n,s) -> Udirectory(i,a,p)",     // TGD/ID text syntax
+        "Udirectory: 1 -> 2"                     // FD text syntax
+      ]
+    }
+
+Positions in the JSON (method inputs, FD positions) are **1-based**, as
+in the paper.  Queries use the text syntax of `repro.logic.parser`:
+``"Q(n) :- Prof(i, n, 10000)"`` or a bare Boolean body.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+from .constraints.fd import parse_fd
+from .constraints.tgd import tgd
+from .logic.parser import parse_cq
+from .logic.queries import ConjunctiveQuery
+from .schema.schema import Schema
+
+
+class SchemaFormatError(ValueError):
+    """Raised on malformed JSON schema descriptions."""
+
+
+def schema_from_dict(description: dict[str, Any]) -> Schema:
+    """Build a `Schema` from a parsed JSON description."""
+    if "relations" not in description:
+        raise SchemaFormatError("missing 'relations' section")
+    schema = Schema()
+    attributes = description.get("attributes", {})
+    for name, arity in description["relations"].items():
+        if not isinstance(arity, int) or arity < 0:
+            raise SchemaFormatError(f"bad arity for relation {name}")
+        schema.add_relation(name, arity, attributes.get(name))
+    for method in description.get("methods", []):
+        try:
+            name = method["name"]
+            relation = method["relation"]
+        except KeyError as missing:
+            raise SchemaFormatError(
+                f"method entry missing {missing}: {method}"
+            ) from None
+        inputs = [i - 1 for i in method.get("inputs", [])]
+        if any(i < 0 for i in inputs):
+            raise SchemaFormatError(
+                f"method {name}: input positions are 1-based"
+            )
+        schema.add_method(
+            name,
+            relation,
+            inputs=inputs,
+            result_bound=method.get("result_bound"),
+            result_lower_bound=method.get("result_lower_bound"),
+        )
+    for text in description.get("constraints", []):
+        if "->" in text and ":" in text.split("->")[0] and "(" not in text:
+            schema.add_constraint(parse_fd(text))
+        else:
+            schema.add_constraint(tgd(text))
+    return schema
+
+
+def load_schema(path: Union[str, Path]) -> Schema:
+    """Load a schema from a JSON file."""
+    with open(path) as handle:
+        description = json.load(handle)
+    return schema_from_dict(description)
+
+
+def load_query(text_or_path: str) -> ConjunctiveQuery:
+    """Parse a query from text, or from a file if the argument is a
+    readable path."""
+    candidate = Path(text_or_path)
+    if candidate.exists() and candidate.is_file():
+        text_or_path = candidate.read_text().strip()
+    return parse_cq(text_or_path)
+
+
+def schema_to_dict(schema: Schema) -> dict[str, Any]:
+    """Serialize a schema back to the JSON description format."""
+    description: dict[str, Any] = {
+        "relations": {r.name: r.arity for r in schema.relations},
+        "methods": [],
+        "constraints": [repr(c) for c in schema.constraints],
+    }
+    attributes = {
+        r.name: list(r.attributes)
+        for r in schema.relations
+        if r.attributes
+    }
+    if attributes:
+        description["attributes"] = attributes
+    for method in schema.methods:
+        entry: dict[str, Any] = {
+            "name": method.name,
+            "relation": method.relation.name,
+            "inputs": [i + 1 for i in method.sorted_input_positions],
+        }
+        if method.result_bound is not None:
+            entry["result_bound"] = method.result_bound
+        if method.result_lower_bound is not None:
+            entry["result_lower_bound"] = method.result_lower_bound
+        description["methods"].append(entry)
+    return description

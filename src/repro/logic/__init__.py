@@ -1,0 +1,39 @@
+"""First-order logic substrate: terms, atoms, queries, homomorphisms."""
+
+from .atoms import Atom, atom, atoms_terms, ground_atom
+from .evaluation import evaluate_cq, evaluate_ucq, holds, ucq_holds
+from .homomorphism import (
+    find_homomorphism,
+    has_homomorphism,
+    homomorphisms,
+    instance_homomorphism,
+    is_homomorphically_equivalent,
+)
+from .parser import ParseError, parse_atom, parse_atoms, parse_cq, split_rule
+from .queries import (
+    ConjunctiveQuery,
+    UnionOfConjunctiveQueries,
+    boolean_cq,
+    cq,
+)
+from .terms import (
+    Constant,
+    Null,
+    NullFactory,
+    Term,
+    Variable,
+    constant,
+    fresh_null,
+    variables,
+)
+
+__all__ = [
+    "Atom", "atom", "atoms_terms", "ground_atom",
+    "evaluate_cq", "evaluate_ucq", "holds", "ucq_holds",
+    "find_homomorphism", "has_homomorphism", "homomorphisms",
+    "instance_homomorphism", "is_homomorphically_equivalent",
+    "ParseError", "parse_atom", "parse_atoms", "parse_cq", "split_rule",
+    "ConjunctiveQuery", "UnionOfConjunctiveQueries", "boolean_cq", "cq",
+    "Constant", "Null", "NullFactory", "Term", "Variable",
+    "constant", "fresh_null", "variables",
+]

@@ -1,0 +1,110 @@
+"""Relational atoms: a relation name applied to a tuple of terms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from .terms import Constant, GroundTerm, Null, Term, Variable
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """An atom ``R(t1, ..., tn)`` over variables, constants, and nulls."""
+
+    relation: str
+    terms: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.terms, tuple):
+            object.__setattr__(self, "terms", tuple(self.terms))
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> tuple[Variable, ...]:
+        """Variables occurring in the atom, in order, without duplicates."""
+        seen: dict[Variable, None] = {}
+        for term in self.terms:
+            if isinstance(term, Variable):
+                seen.setdefault(term, None)
+        return tuple(seen)
+
+    def constants(self) -> tuple[Constant, ...]:
+        seen: dict[Constant, None] = {}
+        for term in self.terms:
+            if isinstance(term, Constant):
+                seen.setdefault(term, None)
+        return tuple(seen)
+
+    def nulls(self) -> tuple[Null, ...]:
+        seen: dict[Null, None] = {}
+        for term in self.terms:
+            if isinstance(term, Null):
+                seen.setdefault(term, None)
+        return tuple(seen)
+
+    def is_ground(self) -> bool:
+        """True if no variable occurs (the atom is a fact)."""
+        return not any(isinstance(term, Variable) for term in self.terms)
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "Atom":
+        """Apply a substitution; terms absent from the mapping are kept."""
+        return Atom(
+            self.relation,
+            tuple(mapping.get(term, term) for term in self.terms),
+        )
+
+    def rename_relation(self, renaming: Callable[[str], str]) -> "Atom":
+        return Atom(renaming(self.relation), self.terms)
+
+    def positions_of(self, term: Term) -> tuple[int, ...]:
+        """0-based positions at which `term` occurs."""
+        return tuple(i for i, t in enumerate(self.terms) if t == term)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.terms)
+        return f"{self.relation}({inner})"
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(t) for t in self.terms)
+        return f"{self.relation}({inner})"
+
+
+def atom(relation: str, *terms: Term | str | int | float) -> Atom:
+    """Ergonomic atom builder.
+
+    Bare strings are interpreted as *variables*; to pass a string constant,
+    wrap it in `Constant` explicitly (or use the query parser, which uses
+    quoting).  Numbers become constants.
+    """
+    converted: list[Term] = []
+    for term in terms:
+        if isinstance(term, (Variable, Constant, Null)):
+            converted.append(term)
+        elif isinstance(term, str):
+            converted.append(Variable(term))
+        else:
+            converted.append(Constant(term))
+    return Atom(relation, tuple(converted))
+
+
+def ground_atom(relation: str, *values: GroundTerm | int | float | str) -> Atom:
+    """Build a ground atom; bare Python values (incl. strings) become constants."""
+    converted: list[Term] = []
+    for value in values:
+        if isinstance(value, (Constant, Null)):
+            converted.append(value)
+        else:
+            converted.append(Constant(value))
+    return Atom(relation, tuple(converted))
+
+
+def atoms_terms(atoms: Iterable[Atom]) -> tuple[Term, ...]:
+    """All terms occurring in a collection of atoms, deduplicated, in order."""
+    seen: dict[Term, None] = {}
+    for a in atoms:
+        for term in a.terms:
+            seen.setdefault(term, None)
+    return tuple(seen)

@@ -1,0 +1,53 @@
+"""Evaluation of CQs and UCQs over instances.
+
+Boolean CQ semantics follow the paper (§2): a Boolean CQ holds in an
+instance iff there is a homomorphism from its atoms, mapping constants to
+themselves.  Non-Boolean queries return the set of answer tuples (tuples
+of ground terms for the free variables).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, FrozenSet
+
+from .homomorphism import has_homomorphism, homomorphisms
+from .queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from .terms import GroundTerm
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..data.instance import Instance
+
+AnswerTuple = tuple[GroundTerm, ...]
+
+
+def evaluate_cq(
+    query: ConjunctiveQuery, instance: "Instance"
+) -> FrozenSet[AnswerTuple]:
+    """All answers of a CQ over an instance.
+
+    For a Boolean query, the result is ``{()}`` (true) or ``{}`` (false).
+    """
+    answers: set[AnswerTuple] = set()
+    for assignment in homomorphisms(query.atoms, instance):
+        answers.add(tuple(assignment[v] for v in query.free_variables))
+    return frozenset(answers)
+
+
+def holds(query: ConjunctiveQuery, instance: "Instance") -> bool:
+    """True iff the Boolean CQ holds (or a non-Boolean CQ has answers)."""
+    return has_homomorphism(query.atoms, instance)
+
+
+def evaluate_ucq(
+    query: UnionOfConjunctiveQueries, instance: "Instance"
+) -> FrozenSet[AnswerTuple]:
+    """All answers of a UCQ (union of the disjuncts' answers)."""
+    answers: set[AnswerTuple] = set()
+    for disjunct in query.disjuncts:
+        answers.update(evaluate_cq(disjunct, instance))
+    return frozenset(answers)
+
+
+def ucq_holds(query: UnionOfConjunctiveQueries, instance: "Instance") -> bool:
+    """True iff some disjunct of the UCQ holds."""
+    return any(holds(disjunct, instance) for disjunct in query.disjuncts)

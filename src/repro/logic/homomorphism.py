@@ -1,0 +1,228 @@
+"""Homomorphism search between atom sets and instances.
+
+This is the workhorse of the whole library: CQ evaluation, trigger
+detection in the chase, containment checks, and instance-level
+homomorphisms (used by the blow-up constructions of the paper's
+simplification proofs) all reduce to finding a mapping ``h`` such that
+``h(atoms) ⊆ instance``, with:
+
+* constants mapped to themselves,
+* variables mapped to arbitrary ground terms,
+* nulls either mapped rigidly (when checking subinstances) or flexibly
+  (instance-to-instance homomorphisms, where nulls behave like variables).
+
+The search is backtracking over atoms, ordered greedily by estimated
+selectivity, and uses the instance's positional indexes to enumerate only
+candidate facts consistent with the partial assignment.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Optional, Sequence
+
+from .atoms import Atom
+from .terms import Constant, GroundTerm, Null, Term, Variable
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..data.instance import Instance
+
+#: A (partial) homomorphism: assignment of query terms to ground terms.
+Assignment = dict[Term, GroundTerm]
+
+
+def _candidate_facts(
+    instance: "Instance",
+    atom: Atom,
+    assignment: Mapping[Term, GroundTerm],
+    flexible_nulls: bool,
+) -> Iterable[Atom]:
+    """Facts of `instance` possibly matching `atom` under `assignment`.
+
+    Uses the most selective available positional index; falls back to the
+    full relation bucket when no term of the atom is determined yet.
+    """
+    best: Optional[frozenset[Atom]] = None
+    for position, term in enumerate(atom.terms):
+        bound: Optional[GroundTerm] = None
+        if isinstance(term, Constant):
+            bound = term
+        elif isinstance(term, Null) and not flexible_nulls:
+            bound = term
+        elif term in assignment:
+            bound = assignment[term]
+        if bound is not None:
+            facts = instance.facts_with(atom.relation, position, bound)
+            if best is None or len(facts) < len(best):
+                best = facts
+            if best is not None and len(best) <= 1:
+                break
+    if best is not None:
+        return best
+    return instance.facts_of(atom.relation)
+
+
+def _try_extend(
+    atom: Atom,
+    fact: Atom,
+    assignment: Assignment,
+    flexible_nulls: bool,
+) -> Optional[list[Term]]:
+    """Extend `assignment` in place so that atom maps to fact.
+
+    Returns the list of newly bound terms (for backtracking), or None if
+    the fact is incompatible.
+    """
+    if fact.relation != atom.relation or len(fact.terms) != len(atom.terms):
+        return None
+    newly_bound: list[Term] = []
+    for term, value in zip(atom.terms, fact.terms):
+        if isinstance(term, Constant) or (
+            isinstance(term, Null) and not flexible_nulls
+        ):
+            if term != value:
+                for t in newly_bound:
+                    del assignment[t]
+                return None
+            continue
+        current = assignment.get(term)
+        if current is None:
+            assignment[term] = value
+            newly_bound.append(term)
+        elif current != value:
+            for t in newly_bound:
+                del assignment[t]
+            return None
+    return newly_bound
+
+
+def _order_atoms(atoms: Sequence[Atom]) -> list[Atom]:
+    """Heuristic join order: start anywhere, then prefer connected atoms."""
+    remaining = list(atoms)
+    if not remaining:
+        return []
+    ordered: list[Atom] = []
+    bound_terms: set[Term] = set()
+    # Start with the atom having the most constants (most selective guess).
+    remaining.sort(key=lambda a: -sum(
+        1 for t in a.terms if not isinstance(t, Variable)
+    ))
+    while remaining:
+        best_index = 0
+        best_score = -1
+        for i, candidate in enumerate(remaining):
+            score = sum(
+                1
+                for t in candidate.terms
+                if t in bound_terms or not isinstance(t, Variable)
+            )
+            if score > best_score:
+                best_score = score
+                best_index = i
+        chosen = remaining.pop(best_index)
+        ordered.append(chosen)
+        bound_terms.update(chosen.terms)
+    return ordered
+
+
+def homomorphisms(
+    atoms: Sequence[Atom],
+    instance: "Instance",
+    *,
+    seed: Optional[Mapping[Term, GroundTerm]] = None,
+    flexible_nulls: bool = False,
+) -> Iterator[Assignment]:
+    """Enumerate homomorphisms from `atoms` into `instance`.
+
+    Parameters
+    ----------
+    seed:
+        A partial assignment the homomorphism must extend (e.g. the trigger
+        image when looking for head extensions of a TGD).
+    flexible_nulls:
+        When True, nulls in `atoms` behave like variables (used for
+        instance-to-instance homomorphisms); when False they must map to
+        themselves (used for subinstance-style matching and CQ evaluation
+        over canonical databases).
+    """
+    assignment: Assignment = dict(seed) if seed else {}
+    ordered = _order_atoms(atoms)
+
+    def search(index: int) -> Iterator[Assignment]:
+        if index == len(ordered):
+            yield dict(assignment)
+            return
+        current = ordered[index]
+        for fact in _candidate_facts(
+            instance, current, assignment, flexible_nulls
+        ):
+            newly_bound = _try_extend(
+                current, fact, assignment, flexible_nulls
+            )
+            if newly_bound is None:
+                continue
+            yield from search(index + 1)
+            for term in newly_bound:
+                del assignment[term]
+
+    return search(0)
+
+
+def find_homomorphism(
+    atoms: Sequence[Atom],
+    instance: "Instance",
+    *,
+    seed: Optional[Mapping[Term, GroundTerm]] = None,
+    flexible_nulls: bool = False,
+) -> Optional[Assignment]:
+    """Return one homomorphism, or None if none exists."""
+    for assignment in homomorphisms(
+        atoms, instance, seed=seed, flexible_nulls=flexible_nulls
+    ):
+        return assignment
+    return None
+
+
+def has_homomorphism(
+    atoms: Sequence[Atom],
+    instance: "Instance",
+    *,
+    seed: Optional[Mapping[Term, GroundTerm]] = None,
+    flexible_nulls: bool = False,
+) -> bool:
+    """True iff some homomorphism from `atoms` into `instance` exists."""
+    return (
+        find_homomorphism(
+            atoms, instance, seed=seed, flexible_nulls=flexible_nulls
+        )
+        is not None
+    )
+
+
+def instance_homomorphism(
+    source: "Instance", target: "Instance"
+) -> Optional[dict[GroundTerm, GroundTerm]]:
+    """A homomorphism between instances (nulls flexible, constants rigid).
+
+    This is the notion used by the paper's blow-up lemmas: constants are
+    preserved, nulls may be mapped anywhere.  Returns the full mapping on
+    the active domain of `source`, or None.
+    """
+    atoms = list(source)
+    result = find_homomorphism(atoms, target, flexible_nulls=True)
+    if result is None:
+        return None
+    mapping: dict[GroundTerm, GroundTerm] = {}
+    for term in source.active_domain():
+        if isinstance(term, Constant):
+            mapping[term] = term
+        else:
+            mapping[term] = result.get(term, term)
+    return mapping
+
+
+def is_homomorphically_equivalent(left: "Instance", right: "Instance") -> bool:
+    """True iff homomorphisms exist in both directions."""
+    return (
+        instance_homomorphism(left, right) is not None
+        and instance_homomorphism(right, left) is not None
+    )

@@ -1,0 +1,194 @@
+"""A small text syntax for atoms, queries, and dependencies.
+
+Grammar (whitespace-insensitive):
+
+* **term** — a bare identifier is a variable (``x``, ``name``); a quoted
+  string (``'chebi'``) or a number (``42``, ``3.5``) is a constant; an
+  identifier prefixed with ``_`` is a labeled null (``_n3``).
+* **atom** — ``R(x, y, 'a')``.
+* **conjunction** — atoms separated by commas or ``&``.
+* **CQ** — ``Q(x) :- R(x, y), S(y)``; a body alone (``R(x, y)``) is a
+  Boolean CQ.  Head variables are the free variables.
+* **TGD** — ``R(x, y) -> S(y, z)``; head variables absent from the body
+  are existentially quantified (``z`` above).  ``exists z.`` may be
+  written before the head for readability but is inferred regardless.
+* **FD** — ``R: 1, 2 -> 3`` with 1-based positions (determiner ->
+  determined).
+
+These helpers exist for tests, examples, and benchmarks; the programmatic
+builders in `repro.logic.atoms` / `repro.constraints` remain the primary
+API.
+"""
+
+from __future__ import annotations
+
+import re
+from .atoms import Atom
+from .queries import ConjunctiveQuery
+from .terms import Constant, Null, Term, Variable
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<arrow>->)
+  | (?P<turnstile>:-)
+  | (?P<colon>:)
+  | (?P<lpar>\()
+  | (?P<rpar>\))
+  | (?P<comma>,)
+  | (?P<amp>&)
+  | (?P<dot>\.)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<null>_[A-Za-z0-9:_]*)
+  | (?P<ident>[A-Za-z][A-Za-z0-9_]*)
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+class ParseError(ValueError):
+    """Raised when the input text does not match the grammar."""
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    index = 0
+    while index < len(text):
+        match = _TOKEN_RE.match(text, index)
+        if match is None:
+            raise ParseError(f"unexpected character {text[index]!r} at {index}")
+        kind = match.lastgroup
+        assert kind is not None
+        if kind != "ws":
+            tokens.append((kind, match.group()))
+        index = match.end()
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: list[tuple[str, str]]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def next(self) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._pos += 1
+        return token
+
+    def expect(self, kind: str) -> str:
+        token = self.next()
+        if token[0] != kind:
+            raise ParseError(f"expected {kind}, got {token[1]!r}")
+        return token[1]
+
+    def accept(self, kind: str) -> bool:
+        token = self.peek()
+        if token is not None and token[0] == kind:
+            self._pos += 1
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._tokens)
+
+
+def _parse_term(stream: _TokenStream) -> Term:
+    kind, text = stream.next()
+    if kind == "ident":
+        return Variable(text)
+    if kind == "string":
+        return Constant(text[1:-1])
+    if kind == "number":
+        value = float(text) if "." in text else int(text)
+        return Constant(value)
+    if kind == "null":
+        return Null(text[1:])
+    raise ParseError(f"expected a term, got {text!r}")
+
+
+def _parse_atom(stream: _TokenStream) -> Atom:
+    relation = stream.expect("ident")
+    stream.expect("lpar")
+    terms: list[Term] = []
+    if not stream.accept("rpar"):
+        terms.append(_parse_term(stream))
+        while stream.accept("comma"):
+            terms.append(_parse_term(stream))
+        stream.expect("rpar")
+    return Atom(relation, tuple(terms))
+
+
+def _parse_conjunction(stream: _TokenStream) -> list[Atom]:
+    atoms = [_parse_atom(stream)]
+    while stream.accept("comma") or stream.accept("amp"):
+        atoms.append(_parse_atom(stream))
+    return atoms
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom, e.g. ``"R(x, 'a', 3)"``."""
+    stream = _TokenStream(_tokenize(text))
+    result = _parse_atom(stream)
+    if not stream.at_end():
+        raise ParseError("trailing input after atom")
+    return result
+
+
+def parse_atoms(text: str) -> tuple[Atom, ...]:
+    """Parse a comma-separated conjunction of atoms."""
+    stream = _TokenStream(_tokenize(text))
+    atoms = _parse_conjunction(stream)
+    if not stream.at_end():
+        raise ParseError("trailing input after conjunction")
+    return tuple(atoms)
+
+
+def parse_cq(text: str, name: str = "Q") -> ConjunctiveQuery:
+    """Parse a CQ: ``Q(x) :- R(x,y), S(y)`` or a bare Boolean body."""
+    stream = _TokenStream(_tokenize(text))
+    tokens_ahead = stream._tokens
+    has_head = any(kind == "turnstile" for kind, __ in tokens_ahead)
+    free: tuple[Variable, ...] = ()
+    query_name = name
+    if has_head:
+        head = _parse_atom(stream)
+        for term in head.terms:
+            if not isinstance(term, Variable):
+                raise ParseError("head terms must be variables")
+        free = tuple(term for term in head.terms)  # type: ignore[misc]
+        query_name = head.relation
+        stream.expect("turnstile")
+    atoms = _parse_conjunction(stream)
+    if not stream.at_end():
+        raise ParseError("trailing input after query body")
+    return ConjunctiveQuery(tuple(atoms), free, query_name)
+
+
+def split_rule(text: str) -> tuple[tuple[Atom, ...], tuple[Atom, ...]]:
+    """Parse ``body -> head`` into (body_atoms, head_atoms).
+
+    An optional ``exists x, y .`` prefix before the head is accepted and
+    ignored (existential variables are inferred as head-only variables).
+    """
+    stream = _TokenStream(_tokenize(text))
+    body = _parse_conjunction(stream)
+    stream.expect("arrow")
+    token = stream.peek()
+    if token is not None and token == ("ident", "exists"):
+        stream.next()
+        _parse_term(stream)
+        while stream.accept("comma"):
+            _parse_term(stream)
+        stream.expect("dot")
+    head = _parse_conjunction(stream)
+    if not stream.at_end():
+        raise ParseError("trailing input after rule head")
+    return tuple(body), tuple(head)

@@ -1,0 +1,167 @@
+"""Conjunctive queries and unions of conjunctive queries.
+
+A `ConjunctiveQuery` (CQ) is an existentially quantified conjunction of
+relational atoms, with an optional tuple of free (answer) variables.  A
+Boolean CQ has no free variables.  A `UnionOfConjunctiveQueries` (UCQ) is
+a disjunction of CQs with the same free variables.
+
+The *canonical database* of a CQ (`canonical_instance`) freezes its
+variables into labeled nulls; it is the starting point of chase proofs for
+query containment (paper §2, "Query containment and chase proofs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+from .atoms import Atom
+from .terms import Constant, Null, Term, Variable
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..data.instance import Instance
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query ``∃ (vars \\ free_variables) . atoms``."""
+
+    atoms: tuple[Atom, ...]
+    free_variables: tuple[Variable, ...] = ()
+    name: str = "Q"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.atoms, tuple):
+            object.__setattr__(self, "atoms", tuple(self.atoms))
+        if not isinstance(self.free_variables, tuple):
+            object.__setattr__(
+                self, "free_variables", tuple(self.free_variables)
+            )
+        atom_vars = set(self.variables())
+        for var in self.free_variables:
+            if var not in atom_vars:
+                raise ValueError(
+                    f"free variable {var} does not occur in the query body"
+                )
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def variables(self) -> tuple[Variable, ...]:
+        """All variables of the query, in order of first occurrence."""
+        seen: dict[Variable, None] = {}
+        for a in self.atoms:
+            for term in a.terms:
+                if isinstance(term, Variable):
+                    seen.setdefault(term, None)
+        return tuple(seen)
+
+    def existential_variables(self) -> tuple[Variable, ...]:
+        free = set(self.free_variables)
+        return tuple(v for v in self.variables() if v not in free)
+
+    def constants(self) -> tuple[Constant, ...]:
+        seen: dict[Constant, None] = {}
+        for a in self.atoms:
+            for term in a.terms:
+                if isinstance(term, Constant):
+                    seen.setdefault(term, None)
+        return tuple(seen)
+
+    def relations(self) -> tuple[str, ...]:
+        return tuple(sorted({a.relation for a in self.atoms}))
+
+    def is_boolean(self) -> bool:
+        return not self.free_variables
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "ConjunctiveQuery":
+        """Apply a substitution to body atoms and free variables alike.
+
+        Free variables mapped to non-variables are dropped from the free
+        tuple (they become constants in the body).
+        """
+        new_atoms = tuple(a.substitute(mapping) for a in self.atoms)
+        new_free = tuple(
+            mapping.get(v, v)
+            for v in self.free_variables
+        )
+        kept_free = tuple(t for t in new_free if isinstance(t, Variable))
+        return ConjunctiveQuery(new_atoms, kept_free, self.name)
+
+    def rename_relations(self, renaming) -> "ConjunctiveQuery":
+        return ConjunctiveQuery(
+            tuple(a.rename_relation(renaming) for a in self.atoms),
+            self.free_variables,
+            self.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Canonical database
+    # ------------------------------------------------------------------
+    def canonical_instance(self) -> tuple["Instance", dict[Variable, Null]]:
+        """Freeze the query into its canonical database.
+
+        Every variable ``x`` becomes the labeled null ``_q:x``; constants
+        stay themselves.  Returns the instance together with the freezing
+        map (needed to read answers back).
+        """
+        from ..data.instance import Instance
+
+        freezing = {v: Null(f"q:{v.name}") for v in self.variables()}
+        instance = Instance(
+            a.substitute(freezing) for a in self.atoms  # type: ignore[arg-type]
+        )
+        return instance, freezing
+
+    def __repr__(self) -> str:
+        head_vars = ", ".join(str(v) for v in self.free_variables)
+        body = ", ".join(str(a) for a in self.atoms)
+        return f"{self.name}({head_vars}) :- {body}"
+
+
+@dataclass(frozen=True)
+class UnionOfConjunctiveQueries:
+    """A union (disjunction) of CQs sharing the same free variables."""
+
+    disjuncts: tuple[ConjunctiveQuery, ...]
+    name: str = "Q"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.disjuncts, tuple):
+            object.__setattr__(self, "disjuncts", tuple(self.disjuncts))
+        if not self.disjuncts:
+            raise ValueError("a UCQ needs at least one disjunct")
+        arity = len(self.disjuncts[0].free_variables)
+        for cq in self.disjuncts:
+            if len(cq.free_variables) != arity:
+                raise ValueError("UCQ disjuncts disagree on answer arity")
+
+    @property
+    def free_variables(self) -> tuple[Variable, ...]:
+        return self.disjuncts[0].free_variables
+
+    def is_boolean(self) -> bool:
+        return not self.free_variables
+
+    def relations(self) -> tuple[str, ...]:
+        rels: set[str] = set()
+        for cq in self.disjuncts:
+            rels.update(cq.relations())
+        return tuple(sorted(rels))
+
+    def __repr__(self) -> str:
+        return " ∨ ".join(repr(cq) for cq in self.disjuncts)
+
+
+def cq(
+    atoms: Iterable[Atom],
+    free: Sequence[Variable] = (),
+    name: str = "Q",
+) -> ConjunctiveQuery:
+    """Build a conjunctive query from atoms and free variables."""
+    return ConjunctiveQuery(tuple(atoms), tuple(free), name)
+
+
+def boolean_cq(atoms: Iterable[Atom], name: str = "Q") -> ConjunctiveQuery:
+    """Build a Boolean conjunctive query."""
+    return ConjunctiveQuery(tuple(atoms), (), name)

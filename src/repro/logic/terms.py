@@ -1,0 +1,119 @@
+"""Terms of the relational logic: variables, constants, and labeled nulls.
+
+The paper works with instances whose elements are *values* (constants) and
+*nulls* introduced by the chase, and with queries whose atoms mention
+*variables* and *constants*.  We model all three uniformly as `Term`
+objects so that homomorphisms, chase steps, and plan evaluation can share
+one substitution machinery:
+
+* `Variable` — appears in queries and dependency bodies/heads only.
+* `Constant` — a wrapped, hashable Python value; the identity of the value
+  is the identity of the constant.
+* `Null` — a labeled null created by the chase (or by canonical databases,
+  where query variables are frozen into nulls).  Nulls may be mapped by
+  homomorphisms and merged by equality-generating dependencies.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Hashable, Union
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A first-order variable, identified by its name."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """A constant, wrapping an arbitrary hashable Python value."""
+
+    value: Hashable
+
+    def __repr__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return repr(self.value)
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Null:
+    """A labeled null.
+
+    Nulls are produced by chase steps (to witness existential quantifiers)
+    and by canonical databases (to freeze query variables).  Two nulls are
+    equal iff their labels are equal.
+    """
+
+    label: str
+
+    def __repr__(self) -> str:
+        return f"_{self.label}"
+
+    def __str__(self) -> str:
+        return f"_{self.label}"
+
+
+#: A term appearing in a query atom.
+Term = Union[Variable, Constant, Null]
+
+#: A term appearing in an instance fact (no variables allowed).
+GroundTerm = Union[Constant, Null]
+
+
+class NullFactory:
+    """Thread-safe generator of globally fresh nulls.
+
+    A single shared factory (`fresh_null`) is enough for most uses; chase
+    runs that need reproducible labels can instantiate their own factory.
+    """
+
+    def __init__(self, prefix: str = "n") -> None:
+        self._prefix = prefix
+        self._counter = itertools.count()
+        self._lock = threading.Lock()
+
+    def fresh(self, hint: str = "") -> Null:
+        """Return a fresh null, optionally embedding a readable hint."""
+        with self._lock:
+            index = next(self._counter)
+        if hint:
+            return Null(f"{self._prefix}{index}:{hint}")
+        return Null(f"{self._prefix}{index}")
+
+
+_GLOBAL_FACTORY = NullFactory()
+
+
+def fresh_null(hint: str = "") -> Null:
+    """Return a globally fresh labeled null."""
+    return _GLOBAL_FACTORY.fresh(hint)
+
+
+def is_ground(term: Term) -> bool:
+    """Return True if the term is a constant or a null (not a variable)."""
+    return not isinstance(term, Variable)
+
+
+def constant(value: Hashable) -> Constant:
+    """Convenience wrapper building a `Constant`."""
+    return Constant(value)
+
+
+def variables(*names: str) -> tuple[Variable, ...]:
+    """Build several variables at once: ``x, y = variables("x", "y")``."""
+    return tuple(Variable(name) for name in names)

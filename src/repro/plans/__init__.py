@@ -1,0 +1,32 @@
+"""Plans: monotone relational algebra, the plan language, execution."""
+
+from .algebra import (
+    AlgebraError,
+    ConstantRow,
+    Difference,
+    Expression,
+    Join,
+    Product,
+    Projection,
+    Row,
+    Selection,
+    Table,
+    TableRef,
+    Union,
+    Unit,
+)
+from .caching import with_output_caching
+from .execution import execute, plan_answers_query_on, possible_outputs
+from .plan import AccessCommand, Command, Plan, PlanError, QueryCommand
+from .to_ucq import UCQConversionError, plan_to_ucq
+from .verify import verify_plan_symbolically
+
+__all__ = [
+    "AlgebraError", "ConstantRow", "Difference", "Expression", "Join",
+    "Product", "Projection", "Row", "Selection", "Table", "TableRef",
+    "Union", "Unit",
+    "with_output_caching",
+    "execute", "plan_answers_query_on", "possible_outputs",
+    "AccessCommand", "Command", "Plan", "PlanError", "QueryCommand",
+    "UCQConversionError", "plan_to_ucq", "verify_plan_symbolically",
+]

@@ -1,0 +1,333 @@
+"""Monotone relational algebra over temporary tables.
+
+Middleware commands of plans (paper §2) evaluate relational algebra
+expressions over previously produced temporary tables.  *Monotone* plans
+may not use the difference operator; `Difference` is provided for the
+RA-plans of Appendix I and flags the plan as non-monotone.
+
+Tables are sets of equal-length tuples of ground terms; columns are
+positional.  Expressions form an immutable tree with arity checking at
+construction and evaluation against an environment mapping table names to
+their current contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Mapping, Union
+
+from ..logic.terms import Constant, GroundTerm
+
+Row = tuple[GroundTerm, ...]
+Table = FrozenSet[Row]
+Environment = Mapping[str, Table]
+
+
+class AlgebraError(ValueError):
+    """Raised on malformed expressions (arity mismatches, unknown tables)."""
+
+
+@dataclass(frozen=True)
+class Expression:
+    """Base class for relational algebra expressions."""
+
+    @property
+    def arity(self) -> int:
+        raise NotImplementedError
+
+    def is_monotone(self) -> bool:
+        """True iff the expression avoids the difference operator."""
+        return all(child.is_monotone() for child in self.children())
+
+    def children(self) -> tuple["Expression", ...]:
+        return ()
+
+    def tables_used(self) -> frozenset[str]:
+        used: set[str] = set()
+        stack: list[Expression] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, TableRef):
+                used.add(node.table)
+            stack.extend(node.children())
+        return frozenset(used)
+
+    def evaluate(self, environment: Environment) -> Table:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TableRef(Expression):
+    """Reference to a temporary table (with declared arity)."""
+
+    table: str
+    table_arity: int
+
+    @property
+    def arity(self) -> int:
+        return self.table_arity
+
+    def evaluate(self, environment: Environment) -> Table:
+        if self.table not in environment:
+            raise AlgebraError(f"unknown table {self.table}")
+        return environment[self.table]
+
+    def __repr__(self) -> str:
+        return self.table
+
+
+@dataclass(frozen=True)
+class Unit(Expression):
+    """The nullary table containing the single empty tuple.
+
+    Feeding `Unit` to an access command on an input-free method performs
+    exactly one access with the trivial binding (Example 2.1).
+    """
+
+    @property
+    def arity(self) -> int:
+        return 0
+
+    def evaluate(self, environment: Environment) -> Table:
+        return frozenset({()})
+
+    def __repr__(self) -> str:
+        return "⟨⟩"
+
+
+@dataclass(frozen=True)
+class ConstantRow(Expression):
+    """A single-row table of constants (lets plans mention constants)."""
+
+    values: tuple[Constant, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.values, tuple):
+            object.__setattr__(self, "values", tuple(self.values))
+        for value in self.values:
+            if not isinstance(value, Constant):
+                raise AlgebraError("ConstantRow takes constants only")
+
+    @property
+    def arity(self) -> int:
+        return len(self.values)
+
+    def evaluate(self, environment: Environment) -> Table:
+        return frozenset({tuple(self.values)})
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(v) for v in self.values)
+        return f"row({inner})"
+
+
+#: A selection condition: column == column or column == constant.
+Condition = Union[tuple[int, int], tuple[int, Constant]]
+
+
+@dataclass(frozen=True)
+class Selection(Expression):
+    """σ_conditions(child); conditions are column=column or column=const."""
+
+    child: Expression
+    conditions: tuple[Condition, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.conditions, tuple):
+            object.__setattr__(self, "conditions", tuple(self.conditions))
+        for left, right in self.conditions:
+            if not 0 <= left < self.child.arity:
+                raise AlgebraError(f"selection column {left} out of range")
+            if isinstance(right, int) and not 0 <= right < self.child.arity:
+                raise AlgebraError(f"selection column {right} out of range")
+
+    @property
+    def arity(self) -> int:
+        return self.child.arity
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.child,)
+
+    def _matches(self, row: Row) -> bool:
+        for left, right in self.conditions:
+            expected = row[right] if isinstance(right, int) else right
+            if row[left] != expected:
+                return False
+        return True
+
+    def evaluate(self, environment: Environment) -> Table:
+        return frozenset(
+            row for row in self.child.evaluate(environment)
+            if self._matches(row)
+        )
+
+    def __repr__(self) -> str:
+        conds = ", ".join(
+            f"${l}=${r}" if isinstance(r, int) else f"${l}={r!r}"
+            for l, r in self.conditions
+        )
+        return f"σ[{conds}]({self.child!r})"
+
+
+@dataclass(frozen=True)
+class Projection(Expression):
+    """π_columns(child); columns may repeat or reorder."""
+
+    child: Expression
+    columns: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.columns, tuple):
+            object.__setattr__(self, "columns", tuple(self.columns))
+        for column in self.columns:
+            if not 0 <= column < self.child.arity:
+                raise AlgebraError(f"projection column {column} out of range")
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.child,)
+
+    def evaluate(self, environment: Environment) -> Table:
+        return frozenset(
+            tuple(row[c] for c in self.columns)
+            for row in self.child.evaluate(environment)
+        )
+
+    def __repr__(self) -> str:
+        cols = ",".join(str(c) for c in self.columns)
+        return f"π[{cols}]({self.child!r})"
+
+
+@dataclass(frozen=True)
+class Product(Expression):
+    """Cartesian product; columns of left then right."""
+
+    left: Expression
+    right: Expression
+
+    @property
+    def arity(self) -> int:
+        return self.left.arity + self.right.arity
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def evaluate(self, environment: Environment) -> Table:
+        left_rows = self.left.evaluate(environment)
+        right_rows = self.right.evaluate(environment)
+        return frozenset(
+            l + r for l in left_rows for r in right_rows
+        )
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} × {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Join(Expression):
+    """Equijoin on column pairs (left column, right column); keeps all
+    columns of both inputs (left columns first)."""
+
+    left: Expression
+    right: Expression
+    on: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.on, tuple):
+            object.__setattr__(self, "on", tuple(self.on))
+        for l, r in self.on:
+            if not 0 <= l < self.left.arity:
+                raise AlgebraError(f"join column {l} out of range (left)")
+            if not 0 <= r < self.right.arity:
+                raise AlgebraError(f"join column {r} out of range (right)")
+
+    @property
+    def arity(self) -> int:
+        return self.left.arity + self.right.arity
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def evaluate(self, environment: Environment) -> Table:
+        left_rows = self.left.evaluate(environment)
+        right_rows = self.right.evaluate(environment)
+        index: dict[tuple, list[Row]] = {}
+        for row in right_rows:
+            key = tuple(row[r] for __, r in self.on)
+            index.setdefault(key, []).append(row)
+        out: set[Row] = set()
+        for row in left_rows:
+            key = tuple(row[l] for l, __ in self.on)
+            for other in index.get(key, ()):
+                out.add(row + other)
+        return frozenset(out)
+
+    def __repr__(self) -> str:
+        conds = ",".join(f"{l}={r}" for l, r in self.on)
+        return f"({self.left!r} ⋈[{conds}] {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Union(Expression):
+    """Union of same-arity expressions."""
+
+    parts: tuple[Expression, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.parts, tuple):
+            object.__setattr__(self, "parts", tuple(self.parts))
+        if not self.parts:
+            raise AlgebraError("union of nothing")
+        arity = self.parts[0].arity
+        for part in self.parts:
+            if part.arity != arity:
+                raise AlgebraError("union of different arities")
+
+    @property
+    def arity(self) -> int:
+        return self.parts[0].arity
+
+    def children(self) -> tuple[Expression, ...]:
+        return self.parts
+
+    def evaluate(self, environment: Environment) -> Table:
+        out: set[Row] = set()
+        for part in self.parts:
+            out.update(part.evaluate(environment))
+        return frozenset(out)
+
+    def __repr__(self) -> str:
+        return " ∪ ".join(repr(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Difference(Expression):
+    """Set difference — allowed in RA-plans only (Appendix I)."""
+
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.left.arity != self.right.arity:
+            raise AlgebraError("difference of different arities")
+
+    @property
+    def arity(self) -> int:
+        return self.left.arity
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def is_monotone(self) -> bool:
+        return False
+
+    def evaluate(self, environment: Environment) -> Table:
+        return frozenset(
+            self.left.evaluate(environment)
+            - self.right.evaluate(environment)
+        )
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} − {self.right!r})"

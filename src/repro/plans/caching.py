@@ -1,0 +1,131 @@
+"""The cached-plan transformation of Appendix A (Prop A.2).
+
+Under the **non-idempotent** semantics, repeating an access may return a
+different valid output, so a plan that accesses the same method twice can
+become nondeterministic even when it answers its query under the
+idempotent semantics (Example A.1).  Prop A.2's proof fixes this
+constructively: transform the plan so that every access command *unions
+back* the tuples that earlier commands already obtained for the same
+method and binding.
+
+`with_output_caching` implements that transformation in the plan
+language.  For the i-th access command on method ``mt``:
+
+* the binding table of the command is materialized (``Inp_mt_i``);
+* after the access, the output is augmented with, for every earlier
+  access command j < i on ``mt``, the rows of ``Out_mt_j`` whose input-
+  position values occur in ``Inp_mt_i`` (a join — output rows carry
+  their binding at the method's input positions).
+
+The transformed plan is monotone whenever the input is, and under the
+non-idempotent semantics its tables always contain what the idempotent
+execution of the original plan would have produced for the bindings
+performed so far (the sandwich argument of Claim A.3).
+"""
+
+from __future__ import annotations
+
+from .algebra import Expression, Join, Projection, TableRef, Union
+from .plan import AccessCommand, Plan, PlanError, QueryCommand
+
+
+def with_output_caching(plan: Plan, schema) -> Plan:
+    """Prop A.2's cached plan: union earlier same-method access outputs.
+
+    Only access commands that *keep all relation positions* are
+    supported (output projections would lose the binding columns the
+    join needs); `generate_static_plan` and hand-written plans in the
+    examples satisfy this.  Raises `PlanError` otherwise.
+    """
+    commands: list = []
+    #: method name -> list of (input table name or None, output table,
+    #: input positions, arity)
+    history: dict[str, list[tuple[str | None, str, tuple[int, ...], int]]] = {}
+    for command in plan.commands:
+        if isinstance(command, QueryCommand):
+            commands.append(command)
+            continue
+        assert isinstance(command, AccessCommand)
+        method = schema.method(command.method)
+        arity = method.relation.arity
+        outputs = command.resolved_output_positions(arity)
+        if outputs != tuple(range(arity)):
+            raise PlanError(
+                f"{command!r}: caching needs full-tuple outputs (the "
+                "binding columns must be present to replay earlier "
+                "accesses)"
+            )
+        input_positions = method.sorted_input_positions
+        input_count = len(input_positions)
+        earlier = history.setdefault(command.method, [])
+
+        if input_count == 0:
+            # Input-free: earlier outputs are unioned back wholesale.
+            raw_target = f"{command.target}__raw"
+            commands.append(
+                AccessCommand(
+                    raw_target,
+                    command.method,
+                    command.expression,
+                    command.input_map,
+                    command.output_positions,
+                )
+            )
+            parts: list[Expression] = [TableRef(raw_target, arity)]
+            parts.extend(
+                TableRef(out_table, arity) for __, out_table, *_ in earlier
+            )
+            commands.append(
+                QueryCommand(
+                    command.target,
+                    Union(tuple(parts)) if len(parts) > 1 else parts[0],
+                )
+            )
+            earlier.append((None, command.target, (), arity))
+            continue
+
+        # Materialize the binding table, then access, then union back the
+        # earlier outputs matching these bindings.
+        input_map = command.resolved_input_map(input_count)
+        binding_table = f"{command.target}__inp"
+        commands.append(
+            QueryCommand(
+                binding_table,
+                Projection(command.expression, tuple(input_map)),
+            )
+        )
+        raw_target = f"{command.target}__raw"
+        commands.append(
+            AccessCommand(
+                raw_target,
+                command.method,
+                TableRef(binding_table, input_count),
+                tuple(range(input_count)),
+                command.output_positions,
+            )
+        )
+        parts = [TableRef(raw_target, arity)]
+        for __, out_table, *_ in earlier:
+            # Earlier output rows whose binding occurs in this command's
+            # binding table: join on the method's input positions.
+            replay = Join(
+                TableRef(out_table, arity),
+                TableRef(binding_table, input_count),
+                tuple(
+                    (position, column)
+                    for column, position in enumerate(input_positions)
+                ),
+            )
+            parts.append(
+                Projection(replay, tuple(range(arity)))
+            )
+        commands.append(
+            QueryCommand(
+                command.target,
+                Union(tuple(parts)) if len(parts) > 1 else parts[0],
+            )
+        )
+        earlier.append(
+            (binding_table, command.target, input_positions, arity)
+        )
+    return Plan(tuple(commands), plan.return_table, plan.name + "_cached")

@@ -1,0 +1,229 @@
+"""Plan execution under access selections.
+
+Executing a plan against an instance requires resolving the
+nondeterminism of result-bounded methods.  Two semantics are implemented
+(Appendix A):
+
+* **idempotent** (the paper's main semantics): one access selection is
+  fixed for the whole run, so repeating an access repeats its output —
+  our `AccessSelection` objects memoize, giving this for free;
+* **non-idempotent**: every access command draws from a *fresh* selection,
+  so the same access in two commands may disagree.
+
+`possible_outputs` enumerates the outputs over all valid selections on
+small instances (exponential — for tests and the semantic falsifier), and
+`plan_answers_query_on` empirically checks the answerability property on
+given instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Iterator, Optional
+
+from ..accessibility.access import (
+    AccessRequest,
+    AccessSelection,
+    EagerSelection,
+    RandomSelection,
+    StingySelection,
+    valid_outputs,
+)
+from ..data.instance import Instance
+from ..logic.evaluation import evaluate_cq
+from ..logic.queries import ConjunctiveQuery
+from ..logic.terms import GroundTerm
+from ..schema.schema import Schema
+from .algebra import Row, Table
+from .plan import AccessCommand, Plan, QueryCommand
+
+
+def _perform_access_command(
+    command: AccessCommand,
+    environment: dict[str, Table],
+    instance: Instance,
+    schema: Schema,
+    selection: AccessSelection,
+) -> Table:
+    method = schema.method(command.method)
+    input_positions = method.sorted_input_positions
+    input_map = command.resolved_input_map(len(input_positions))
+    outputs = command.resolved_output_positions(method.relation.arity)
+    rows = command.expression.evaluate(environment)
+    produced: set[Row] = set()
+    for row in rows:
+        binding = tuple(row[column] for column in input_map)
+        request = AccessRequest(method, binding)
+        for fact in selection.select(instance, request):
+            produced.add(tuple(fact.terms[p] for p in outputs))
+    return frozenset(produced)
+
+
+def execute(
+    plan: Plan,
+    instance: Instance,
+    schema: Schema,
+    selection: Optional[AccessSelection] = None,
+    *,
+    semantics: str = "idempotent",
+    selection_factory: Optional[Callable[[], AccessSelection]] = None,
+) -> Table:
+    """Run the plan; return the contents of the return table.
+
+    For idempotent semantics pass one `selection` (default eager).  For
+    non-idempotent semantics pass a `selection_factory`; each access
+    command gets a fresh selection from it.
+    """
+    if semantics not in ("idempotent", "non_idempotent"):
+        raise ValueError(f"unknown semantics {semantics}")
+    plan.validate(schema)
+    if semantics == "idempotent":
+        shared = selection or EagerSelection()
+        factory = lambda: shared  # noqa: E731
+    else:
+        if selection_factory is None:
+            counter = itertools.count()
+            factory = lambda: RandomSelection(seed=next(counter))  # noqa: E731
+        else:
+            factory = selection_factory
+
+    environment: dict[str, Table] = {}
+    for command in plan.commands:
+        if isinstance(command, QueryCommand):
+            environment[command.target] = command.expression.evaluate(
+                environment
+            )
+        else:
+            environment[command.target] = _perform_access_command(
+                command, environment, instance, schema, factory()
+            )
+    return environment[plan.return_table]
+
+
+def possible_outputs(
+    plan: Plan,
+    instance: Instance,
+    schema: Schema,
+    *,
+    per_access_limit: int = 16,
+    total_limit: int = 4096,
+) -> Iterator[Table]:
+    """Enumerate plan outputs over valid (idempotent) access selections.
+
+    Branches over every valid output of every distinct access performed.
+    Exponential — intended for the small instances of the semantic tests.
+    Limits cap the per-access and overall branching.
+    """
+    plan.validate(schema)
+    emitted = 0
+
+    def run(
+        command_index: int,
+        environment: dict[str, Table],
+        memo: dict[tuple[str, tuple[GroundTerm, ...]], frozenset],
+    ) -> Iterator[Table]:
+        nonlocal emitted
+        if command_index == len(plan.commands):
+            yield environment[plan.return_table]
+            emitted += 1
+            return
+        command = plan.commands[command_index]
+        if isinstance(command, QueryCommand):
+            environment = dict(environment)
+            environment[command.target] = command.expression.evaluate(
+                environment
+            )
+            yield from run(command_index + 1, environment, memo)
+            return
+
+        method = schema.method(command.method)
+        input_positions = method.sorted_input_positions
+        input_map = command.resolved_input_map(len(input_positions))
+        outputs = command.resolved_output_positions(method.relation.arity)
+        rows = sorted(command.expression.evaluate(environment), key=repr)
+        bindings = []
+        seen = set()
+        for row in rows:
+            binding = tuple(row[column] for column in input_map)
+            if binding not in seen:
+                seen.add(binding)
+                bindings.append(binding)
+
+        def assign(binding_index: int, memo_state: dict) -> Iterator[dict]:
+            """Choose outputs for each binding (respecting the memo)."""
+            if binding_index == len(bindings):
+                yield memo_state
+                return
+            binding = bindings[binding_index]
+            key = (method.name, binding)
+            if key in memo_state:
+                yield from assign(binding_index + 1, memo_state)
+                return
+            request = AccessRequest(method, binding)
+            for output in valid_outputs(
+                instance, request, limit=per_access_limit
+            ):
+                next_memo = dict(memo_state)
+                next_memo[key] = output
+                yield from assign(binding_index + 1, next_memo)
+
+        for memo_state in assign(0, memo):
+            if emitted >= total_limit:
+                return
+            produced: set[Row] = set()
+            for binding in bindings:
+                for fact in memo_state[(method.name, binding)]:
+                    produced.add(tuple(fact.terms[p] for p in outputs))
+            next_env = dict(environment)
+            next_env[command.target] = frozenset(produced)
+            yield from run(command_index + 1, next_env, memo_state)
+
+    yield from run(0, {}, {})
+
+
+def plan_answers_query_on(
+    plan: Plan,
+    query: ConjunctiveQuery,
+    schema: Schema,
+    instances: Iterable[Instance],
+    *,
+    exhaustive: bool = True,
+    extra_selections: Iterable[AccessSelection] = (),
+    per_access_limit: int = 16,
+    total_limit: int = 4096,
+) -> bool:
+    """Empirically check that the plan answers the query on instances.
+
+    For each instance satisfying the schema constraints, the plan must
+    yield exactly ``query(I)`` under every enumerated access selection
+    (exhaustively when `exhaustive`, else under eager/stingy/random plus
+    any `extra_selections`).
+    """
+    for instance in instances:
+        if not schema.satisfied_by(instance):
+            continue
+        expected = frozenset(evaluate_cq(query, instance))
+        if exhaustive:
+            for output in possible_outputs(
+                plan,
+                instance,
+                schema,
+                per_access_limit=per_access_limit,
+                total_limit=total_limit,
+            ):
+                if output != expected:
+                    return False
+        else:
+            selections: list[AccessSelection] = [
+                EagerSelection(),
+                StingySelection(),
+                RandomSelection(seed=1),
+                RandomSelection(seed=2),
+            ]
+            selections.extend(extra_selections)
+            for selection in selections:
+                selection.reset()
+                output = execute(plan, instance, schema, selection)
+                if output != expected:
+                    return False
+    return True

@@ -1,0 +1,156 @@
+"""The plan language: access commands, middleware commands, Return.
+
+A plan (paper §2) is a sequence of commands producing temporary tables:
+
+* ``T := E`` — a **middleware query command** (`QueryCommand`): evaluate a
+  relational algebra expression over earlier tables;
+* ``T ⇐ mt ⇐ E`` — an **access command** (`AccessCommand`): evaluate E,
+  turn each row into a binding for method ``mt`` (via the input map),
+  perform the accesses, union the outputs (via the output map) into T;
+* ``Return T0`` — designate the output table.
+
+A plan is *monotone* when no expression uses `Difference`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..schema.schema import Schema
+from .algebra import Expression
+
+
+class PlanError(ValueError):
+    """Raised on ill-formed plans."""
+
+
+@dataclass(frozen=True)
+class QueryCommand:
+    """``target := expression``."""
+
+    target: str
+    expression: Expression
+
+    @property
+    def arity(self) -> int:
+        return self.expression.arity
+
+    def __repr__(self) -> str:
+        return f"{self.target} := {self.expression!r}"
+
+
+@dataclass(frozen=True)
+class AccessCommand:
+    """``target ⇐_output_map method ⇐_input_map expression``.
+
+    * ``input_map[i]`` is the column of the expression feeding the i-th
+      (sorted) input position of the method; the default feeds columns in
+      order.
+    * ``output_positions`` selects which relation positions land in the
+      target table (default: all, in relation order).
+    """
+
+    target: str
+    method: str
+    expression: Expression
+    input_map: Optional[tuple[int, ...]] = None
+    output_positions: Optional[tuple[int, ...]] = None
+
+    def resolved_input_map(self, input_count: int) -> tuple[int, ...]:
+        if self.input_map is not None:
+            return self.input_map
+        return tuple(range(input_count))
+
+    def resolved_output_positions(self, relation_arity: int) -> tuple[int, ...]:
+        if self.output_positions is not None:
+            return self.output_positions
+        return tuple(range(relation_arity))
+
+    def __repr__(self) -> str:
+        return f"{self.target} <= {self.method} <= {self.expression!r}"
+
+
+Command = Union[QueryCommand, AccessCommand]
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A complete plan: commands plus the returned table."""
+
+    commands: tuple[Command, ...]
+    return_table: str
+    name: str = "PL"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.commands, tuple):
+            object.__setattr__(self, "commands", tuple(self.commands))
+        targets = [c.target for c in self.commands]
+        if len(set(targets)) != len(targets):
+            raise PlanError("plans must assign each table exactly once")
+        if self.return_table not in targets:
+            raise PlanError(
+                f"return table {self.return_table} is never produced"
+            )
+
+    def is_monotone(self) -> bool:
+        return all(
+            c.expression.is_monotone() for c in self.commands
+        )
+
+    def access_commands(self) -> tuple[AccessCommand, ...]:
+        return tuple(
+            c for c in self.commands if isinstance(c, AccessCommand)
+        )
+
+    def methods_used(self) -> frozenset[str]:
+        return frozenset(c.method for c in self.access_commands())
+
+    def table_arities(self, schema: Schema) -> dict[str, int]:
+        """Arity of every temporary table, validating the plan."""
+        arities: dict[str, int] = {}
+        for command in self.commands:
+            for used in command.expression.tables_used():
+                if used not in arities:
+                    raise PlanError(
+                        f"command {command!r} uses table {used} before it "
+                        "is produced"
+                    )
+            if isinstance(command, QueryCommand):
+                arities[command.target] = command.expression.arity
+            else:
+                method = schema.method(command.method)
+                input_count = len(method.input_positions)
+                input_map = command.resolved_input_map(input_count)
+                if len(input_map) != input_count:
+                    raise PlanError(
+                        f"{command!r}: input map must cover the "
+                        f"{input_count} input positions"
+                    )
+                for column in input_map:
+                    if not 0 <= column < command.expression.arity:
+                        raise PlanError(
+                            f"{command!r}: input map column {column} out of "
+                            "range"
+                        )
+                outputs = command.resolved_output_positions(
+                    method.relation.arity
+                )
+                for position in outputs:
+                    if not 0 <= position < method.relation.arity:
+                        raise PlanError(
+                            f"{command!r}: output position {position} out "
+                            "of range"
+                        )
+                arities[command.target] = len(outputs)
+        return arities
+
+    def validate(self, schema: Schema) -> None:
+        """Raise `PlanError` if the plan is ill-formed for the schema."""
+        self.table_arities(schema)
+
+    def __repr__(self) -> str:
+        lines = [f"plan {self.name}:"]
+        lines.extend(f"  {c!r};" for c in self.commands)
+        lines.append(f"  Return {self.return_table};")
+        return "\n".join(lines)

@@ -1,0 +1,218 @@
+"""Converting monotone plans to UCQs.
+
+A monotone plan computes, in each temporary table, a union of
+conjunctive queries over the base relations — *under the convention that
+every access returns all matching tuples* (the eager selection).  When
+the plan answers a query, its output is selection-independent, so the
+UCQ is equivalent to the query on all instances satisfying the
+constraints.  This conversion is what Prop 2.2 and Thm 7.4 use to move
+between plans and UCQs (finite controllability arguments).
+
+Each table is represented symbolically as a set of disjuncts; a disjunct
+pairs body atoms with a head tuple of terms (the table's columns).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from ..logic.atoms import Atom
+from ..logic.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from ..logic.terms import Term, Variable
+from ..schema.schema import Schema
+from .algebra import (
+    ConstantRow,
+    Difference,
+    Expression,
+    Join,
+    Product,
+    Projection,
+    Selection,
+    TableRef,
+    Union,
+    Unit,
+)
+from .plan import AccessCommand, Plan, PlanError, QueryCommand
+
+
+@dataclass(frozen=True)
+class _Disjunct:
+    atoms: tuple[Atom, ...]
+    head: tuple[Term, ...]
+
+    def rename(self, suffix: str) -> "_Disjunct":
+        mapping = {}
+        for atom in self.atoms:
+            for variable in atom.variables():
+                mapping.setdefault(variable, Variable(variable.name + suffix))
+        for term in self.head:
+            if isinstance(term, Variable):
+                mapping.setdefault(term, Variable(term.name + suffix))
+        return _Disjunct(
+            tuple(a.substitute(mapping) for a in self.atoms),
+            tuple(mapping.get(t, t) for t in self.head),
+        )
+
+
+class UCQConversionError(PlanError):
+    """Raised when the plan is not monotone (uses difference)."""
+
+
+def _unify_disjunct(
+    disjunct: _Disjunct, left: Term, right: Term
+) -> _Disjunct | None:
+    """Impose left = right on a disjunct; None if contradictory."""
+    if left == right:
+        return disjunct
+    if isinstance(left, Variable):
+        mapping = {left: right}
+    elif isinstance(right, Variable):
+        mapping = {right: left}
+    else:
+        return None  # two distinct rigid terms
+    return _Disjunct(
+        tuple(a.substitute(mapping) for a in disjunct.atoms),
+        tuple(mapping.get(t, t) for t in disjunct.head),
+    )
+
+
+def _expression_disjuncts(
+    expression: Expression,
+    tables: dict[str, list[_Disjunct]],
+    counter: itertools.count,
+) -> list[_Disjunct]:
+    if isinstance(expression, TableRef):
+        return [
+            d.rename(f"_t{next(counter)}") for d in tables[expression.table]
+        ]
+    if isinstance(expression, Unit):
+        return [_Disjunct((), ())]
+    if isinstance(expression, ConstantRow):
+        return [_Disjunct((), tuple(expression.values))]
+    if isinstance(expression, Selection):
+        out: list[_Disjunct] = []
+        for disjunct in _expression_disjuncts(
+            expression.child, tables, counter
+        ):
+            current: _Disjunct | None = disjunct
+            for left_col, right in expression.conditions:
+                assert current is not None
+                left_term = current.head[left_col]
+                right_term = (
+                    current.head[right] if isinstance(right, int) else right
+                )
+                current = _unify_disjunct(current, left_term, right_term)
+                if current is None:
+                    break
+            if current is not None:
+                out.append(current)
+        return out
+    if isinstance(expression, Projection):
+        return [
+            _Disjunct(d.atoms, tuple(d.head[c] for c in expression.columns))
+            for d in _expression_disjuncts(expression.child, tables, counter)
+        ]
+    if isinstance(expression, (Product, Join)):
+        left = _expression_disjuncts(expression.left, tables, counter)
+        right = _expression_disjuncts(expression.right, tables, counter)
+        out = []
+        for l in left:
+            for r in right:
+                r2 = r.rename(f"_j{next(counter)}")
+                combined: _Disjunct | None = _Disjunct(
+                    l.atoms + r2.atoms, l.head + r2.head
+                )
+                if isinstance(expression, Join):
+                    for lc, rc in expression.on:
+                        assert combined is not None
+                        combined = _unify_disjunct(
+                            combined,
+                            combined.head[lc],
+                            combined.head[expression.left.arity + rc],
+                        )
+                        if combined is None:
+                            break
+                if combined is not None:
+                    out.append(combined)
+        return out
+    if isinstance(expression, Union):
+        out = []
+        for part in expression.parts:
+            out.extend(_expression_disjuncts(part, tables, counter))
+        return out
+    if isinstance(expression, Difference):
+        raise UCQConversionError(
+            "plans using difference are not monotone; no UCQ conversion"
+        )
+    raise UCQConversionError(f"unsupported expression {expression!r}")
+
+
+def plan_to_ucq(plan: Plan, schema: Schema) -> UnionOfConjunctiveQueries:
+    """Convert a monotone plan to the UCQ it computes under eager access.
+
+    The result's free variables are the columns of the return table
+    (Boolean UCQ for a 0-ary return table).
+    """
+    plan.validate(schema)
+    counter = itertools.count()
+    tables: dict[str, list[_Disjunct]] = {}
+    for command in plan.commands:
+        if isinstance(command, QueryCommand):
+            tables[command.target] = _expression_disjuncts(
+                command.expression, tables, counter
+            )
+            continue
+        assert isinstance(command, AccessCommand)
+        method = schema.method(command.method)
+        relation = method.relation
+        input_positions = method.sorted_input_positions
+        input_map = command.resolved_input_map(len(input_positions))
+        outputs = command.resolved_output_positions(relation.arity)
+        produced: list[_Disjunct] = []
+        for disjunct in _expression_disjuncts(
+            command.expression, tables, counter
+        ):
+            index = next(counter)
+            terms: list[Term] = [
+                Variable(f"a{index}_{p}") for p in range(relation.arity)
+            ]
+            for column, position in zip(input_map, input_positions):
+                terms[position] = disjunct.head[column]
+            access_atom = Atom(relation.name, tuple(terms))
+            produced.append(
+                _Disjunct(
+                    disjunct.atoms + (access_atom,),
+                    tuple(terms[p] for p in outputs),
+                )
+            )
+        tables[command.target] = produced
+
+    result = tables[plan.return_table]
+    disjuncts: list[ConjunctiveQuery] = []
+    for i, disjunct in enumerate(result):
+        free: list[Variable] = []
+        for term in disjunct.head:
+            if isinstance(term, Variable):
+                free.append(term)
+            else:
+                raise UCQConversionError(
+                    "constant output columns are not supported in the UCQ "
+                    "conversion; project them away first"
+                )
+        if not disjunct.atoms:
+            raise UCQConversionError(
+                "disjunct with empty body (constant-only plan output) has "
+                "no CQ representation"
+            )
+        disjuncts.append(
+            ConjunctiveQuery(
+                disjunct.atoms, tuple(free), f"{plan.name}_{i}"
+            )
+        )
+    if not disjuncts:
+        # The plan's output is always empty: represent as an unsatisfiable
+        # CQ over a reserved nullary relation name.
+        raise UCQConversionError(
+            "plan output is the constant empty table; no UCQ representation"
+        )
+    return UnionOfConjunctiveQueries(tuple(disjuncts), name=plan.name)

@@ -1,0 +1,105 @@
+"""Verifying that a plan answers a query.
+
+Two complementary checkers:
+
+* `verify_plan_symbolically` — for **monotone plans over exact methods**:
+  the plan computes its UCQ (``plan_to_ucq``), and it answers Q iff that
+  UCQ is equivalent to Q on all instances satisfying the constraints.
+  Both containments are decided with the chase.  For plans that access
+  result-bounded methods, UCQ equivalence remains *necessary* (the UCQ
+  is the eager-selection output, which must equal Q(I)); the
+  selection-independence direction is then delegated to the empirical
+  checker, so the combined verdict is sound in both directions on the
+  instances supplied.
+* `plan_answers_query_on` (in `repro.plans.execution`) — exhaustive or
+  sampled execution under valid access selections.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..containment.chase_containment import contains
+from ..containment.decision import Decision
+from ..data.instance import Instance
+from ..logic.queries import ConjunctiveQuery
+from ..schema.schema import Schema
+from .execution import plan_answers_query_on
+from .plan import Plan
+from .to_ucq import UCQConversionError, plan_to_ucq
+
+
+def verify_plan_symbolically(
+    plan: Plan,
+    query: ConjunctiveQuery,
+    schema: Schema,
+    *,
+    instances: Iterable[Instance] = (),
+    max_rounds: Optional[int] = None,
+) -> Decision:
+    """Check that the plan answers the query.
+
+    Returns YES when both UCQ containments are proved and — if the plan
+    touches result-bounded methods — the empirical check passes on the
+    supplied `instances`; NO when a containment is refuted or an
+    execution mismatch is found; UNKNOWN when a chase was cut off.
+    """
+    try:
+        ucq = plan_to_ucq(plan, schema)
+    except UCQConversionError as error:
+        return Decision.unknown(f"no UCQ conversion: {error}")
+
+    constraints = list(schema.constraints)
+
+    # Q ⊆_Σ UCQ(plan): the plan finds every answer.
+    forward = contains(query, ucq, constraints, max_rounds=max_rounds)
+    if forward.is_no:
+        return Decision.no(
+            "the plan can miss answers: Q ⊄ UCQ(plan) under Σ",
+            certificate=forward,
+        )
+    if forward.is_unknown:
+        return Decision.unknown(
+            f"containment Q ⊆ UCQ(plan) undetermined: {forward.reason}"
+        )
+
+    # UCQ(plan) ⊆_Σ Q: the plan returns only answers.
+    for disjunct in ucq.disjuncts:
+        backward = contains(disjunct, query, constraints, max_rounds=max_rounds)
+        if backward.is_no:
+            return Decision.no(
+                f"the plan can return non-answers: disjunct "
+                f"{disjunct.name} ⊄ Q under Σ",
+                certificate=backward,
+            )
+        if backward.is_unknown:
+            return Decision.unknown(
+                f"containment {disjunct.name} ⊆ Q undetermined: "
+                f"{backward.reason}"
+            )
+
+    uses_bounded = any(
+        schema.method(c.method).effective_bound() is not None
+        for c in plan.access_commands()
+    )
+    if not uses_bounded:
+        return Decision.yes(
+            "UCQ(plan) ≡ Q under Σ and all accesses are exact "
+            "(selection-independent)",
+        )
+
+    materialized = list(instances)
+    if not materialized:
+        return Decision.unknown(
+            "UCQ equivalence holds, but the plan uses result-bounded "
+            "methods; provide instances for the selection-independence "
+            "check"
+        )
+    if plan_answers_query_on(plan, query, schema, materialized):
+        return Decision.yes(
+            "UCQ(plan) ≡ Q under Σ and all enumerated access selections "
+            f"agree on {len(materialized)} instance(s)",
+        )
+    return Decision.no(
+        "an access selection makes the plan's output differ from Q",
+    )

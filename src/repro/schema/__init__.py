@@ -1,0 +1,7 @@
+"""Service schemas: relations, access methods, constraints."""
+
+from .access import AccessMethod
+from .relation import Relation
+from .schema import Schema, SchemaError
+
+__all__ = ["AccessMethod", "Relation", "Schema", "SchemaError"]

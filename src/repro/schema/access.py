@@ -1,0 +1,104 @@
+"""Access methods, with optional result bounds or result lower bounds.
+
+A method on relation R has *input positions*; an access supplies values
+for them (a binding) and receives matching tuples back (paper §2).  A
+**result bound** of k asserts (i) at most k tuples are returned and
+(ii) if at most k tuples match, all of them are returned — equivalently,
+any valid output has exactly ``min(|matching|, k)`` tuples.  A **result
+lower bound** keeps only (ii): any valid output has at least
+``min(|matching|, k)`` tuples.  `ElimUB` (Prop 3.3) turns the former into
+the latter without affecting monotone answerability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .relation import Relation
+
+
+@dataclass(frozen=True)
+class AccessMethod:
+    """An access method on a relation.
+
+    Exactly one of `result_bound` / `result_lower_bound` may be set; both
+    None means the method returns all matching tuples.
+    """
+
+    name: str
+    relation: Relation
+    input_positions: frozenset[int]
+    result_bound: Optional[int] = None
+    result_lower_bound: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.input_positions, frozenset):
+            object.__setattr__(
+                self, "input_positions", frozenset(self.input_positions)
+            )
+        for position in self.input_positions:
+            if not 0 <= position < self.relation.arity:
+                raise ValueError(
+                    f"method {self.name}: input position {position} out of "
+                    f"range for {self.relation}"
+                )
+        if self.result_bound is not None and self.result_lower_bound is not None:
+            raise ValueError(
+                f"method {self.name}: cannot have both a result bound and a "
+                "result lower bound"
+            )
+        for bound in (self.result_bound, self.result_lower_bound):
+            if bound is not None and bound < 1:
+                raise ValueError(
+                    f"method {self.name}: bounds must be positive"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def output_positions(self) -> tuple[int, ...]:
+        return tuple(
+            i for i in self.relation.positions if i not in self.input_positions
+        )
+
+    @property
+    def sorted_input_positions(self) -> tuple[int, ...]:
+        return tuple(sorted(self.input_positions))
+
+    def is_input_free(self) -> bool:
+        return not self.input_positions
+
+    def is_boolean(self) -> bool:
+        """All positions are inputs (the access is a membership test)."""
+        return len(self.input_positions) == self.relation.arity
+
+    def is_result_bounded(self) -> bool:
+        return self.result_bound is not None
+
+    def has_lower_bound_only(self) -> bool:
+        return self.result_lower_bound is not None
+
+    def effective_bound(self) -> Optional[int]:
+        """The k of either bound kind, or None for exact methods."""
+        if self.result_bound is not None:
+            return self.result_bound
+        return self.result_lower_bound
+
+    def with_result_bound(self, bound: Optional[int]) -> "AccessMethod":
+        return AccessMethod(
+            self.name, self.relation, self.input_positions, bound, None
+        )
+
+    def with_lower_bound(self, bound: Optional[int]) -> "AccessMethod":
+        return AccessMethod(
+            self.name, self.relation, self.input_positions, None, bound
+        )
+
+    def __repr__(self) -> str:
+        inputs = ",".join(str(i + 1) for i in self.sorted_input_positions)
+        suffix = ""
+        if self.result_bound is not None:
+            suffix = f" [≤{self.result_bound}]"
+        elif self.result_lower_bound is not None:
+            suffix = f" [lower {self.result_lower_bound}]"
+        return f"{self.name}: {self.relation.name}({inputs or '∅'}){suffix}"

@@ -1,0 +1,48 @@
+"""Relations of a service schema."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A relation with a name, an arity, and optional attribute names.
+
+    Attribute names are purely cosmetic (printing, examples); positions
+    are the semantic identity, matching the paper.
+    """
+
+    name: str
+    arity: int
+    attributes: Optional[tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.arity < 0:
+            raise ValueError("arity must be non-negative")
+        if self.attributes is not None:
+            if not isinstance(self.attributes, tuple):
+                object.__setattr__(self, "attributes", tuple(self.attributes))
+            if len(self.attributes) != self.arity:
+                raise ValueError(
+                    f"{self.name}: {len(self.attributes)} attribute names "
+                    f"for arity {self.arity}"
+                )
+
+    @property
+    def positions(self) -> range:
+        """All 0-based positions of the relation."""
+        return range(self.arity)
+
+    def attribute_name(self, position: int) -> str:
+        if self.attributes is not None:
+            return self.attributes[position]
+        return f"#{position + 1}"
+
+    def __repr__(self) -> str:
+        if self.attributes:
+            inner = ", ".join(self.attributes)
+        else:
+            inner = str(self.arity)
+        return f"{self.name}({inner})"

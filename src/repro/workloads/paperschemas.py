@@ -1,0 +1,171 @@
+"""The paper's worked examples as ready-made schemas, queries, and data.
+
+Each function returns fresh objects so tests can mutate them freely:
+
+* `university_schema` — Examples 1.1–1.5 and 2.1/3.5: relations
+  ``Prof(id, name, salary)`` and ``Udirectory(id, address, phone)``,
+  methods ``pr`` (Prof by id), ``ud`` (input-free on Udirectory, result
+  bound 100 as in Ex 1.3), ``ud2`` (Udirectory by id, result bound 1 as
+  in Ex 1.5), the referential ID τ of Ex 1.1, and the FD φ of Ex 1.5.
+* `example_6_1_schema` — the TGD schema showing existence-check/FD
+  simplification insufficient beyond IDs.
+* `example_8_1_story` — the FO-constraint limit of choice simplification
+  (constraints not expressible as dependencies; returned as instances +
+  a checker, used by the semantic tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..constraints.fd import fd
+from ..constraints.tgd import tgd
+from ..data.instance import Instance
+from ..logic.atoms import atom
+from ..logic.queries import ConjunctiveQuery, boolean_cq, cq
+from ..logic.terms import Constant, Variable
+from ..schema.schema import Schema
+
+
+def university_schema(
+    *,
+    ud_bound: int | None = 100,
+    with_ud2: bool = False,
+    with_fd: bool = False,
+) -> Schema:
+    """The university schema of Examples 1.1–1.5.
+
+    ``ud_bound`` is the result bound of the input-free directory dump
+    (None for the unbounded variant of Ex 1.1/1.2).  ``with_ud2`` adds the
+    by-id method with result bound 1 (Ex 1.5); ``with_fd`` adds the FD
+    ``id → address`` on Udirectory (Ex 1.5).
+    """
+    schema = Schema()
+    schema.add_relation("Prof", 3, attributes=("id", "name", "salary"))
+    schema.add_relation(
+        "Udirectory", 3, attributes=("id", "address", "phone")
+    )
+    schema.add_method("pr", "Prof", inputs=[0])
+    schema.add_method("ud", "Udirectory", inputs=[], result_bound=ud_bound)
+    if with_ud2:
+        schema.add_method("ud2", "Udirectory", inputs=[0], result_bound=1)
+    # τ of Ex 1.1: every Prof id appears in Udirectory.
+    schema.add_constraint(
+        tgd("Prof(i, n, s) -> Udirectory(i, a, p)", name="tau")
+    )
+    if with_fd:
+        # φ of Ex 1.5: each employee id has exactly one address.
+        schema.add_constraint(fd("Udirectory", [0], 1, name="phi"))
+    return schema
+
+
+def query_q1() -> ConjunctiveQuery:
+    """Q1(n): ∃i Prof(i, n, 10000) — names of professors earning 10000."""
+    n = Variable("n")
+    return cq(
+        [atom("Prof", "i", "n", Constant(10000))], free=[n], name="Q1"
+    )
+
+
+def query_q1_boolean() -> ConjunctiveQuery:
+    """The Boolean version of Q1 (the paper works with Boolean CQs)."""
+    return boolean_cq(
+        [atom("Prof", "i", "n", Constant(10000))], name="Q1b"
+    )
+
+
+def query_q2() -> ConjunctiveQuery:
+    """Q2: ∃i,a,p Udirectory(i, a, p) — is anyone in the directory?"""
+    return boolean_cq([atom("Udirectory", "i", "a", "p")], name="Q2")
+
+
+def query_q3(employee_id: int = 12345) -> ConjunctiveQuery:
+    """Q3(a): address of the employee with the given id (Ex 1.5)."""
+    a = Variable("a")
+    return cq(
+        [atom("Udirectory", Constant(employee_id), "a", "p")],
+        free=[a],
+        name="Q3",
+    )
+
+
+def query_q3_boolean(employee_id: int = 12345) -> ConjunctiveQuery:
+    return boolean_cq(
+        [atom("Udirectory", Constant(employee_id), "a", "p")], name="Q3b"
+    )
+
+
+def university_instance(employees: int = 5, salary_every: int = 2) -> Instance:
+    """A directory of `employees` people; every `salary_every`-th one is a
+    professor with salary 10000, the rest earn 20000."""
+    instance = Instance()
+    for i in range(employees):
+        instance.add(
+            atom(
+                "Udirectory",
+                Constant(i),
+                Constant(f"addr{i}"),
+                Constant(f"phone{i}"),
+            )
+        )
+        salary = 10000 if i % salary_every == 0 else 20000
+        instance.add(
+            atom("Prof", Constant(i), Constant(f"name{i}"), Constant(salary))
+        )
+    return instance
+
+
+def example_6_1_schema() -> Schema:
+    """The schema of Example 6.1: TGDs where only *choice* simplification
+    works.
+
+    Constraints: ``T(y) ∧ S(x) → T(x)`` and ``T(y) → ∃x S(x)``.  Methods:
+    input-free ``mtS`` on S with result bound 1, Boolean ``mtT`` on T.
+    """
+    schema = Schema()
+    schema.add_relation("S", 1)
+    schema.add_relation("T", 1)
+    schema.add_method("mtS", "S", inputs=[], result_bound=1)
+    schema.add_method("mtT", "T", inputs=[0])
+    schema.add_constraint(tgd("T(y), S(x) -> T(x)"))
+    schema.add_constraint(tgd("T(y) -> S(x)"))
+    return schema
+
+
+def query_example_6_1() -> ConjunctiveQuery:
+    """Q = ∃y T(y)."""
+    return boolean_cq([atom("T", "y")], name="Q61")
+
+
+@dataclass
+class Example81Story:
+    """Example 8.1 packaged for the semantic layer.
+
+    The constraints ("P has exactly 7 tuples; if one of them is in U then
+    4 of them are") are first-order with counting — not dependencies — so
+    they are provided as a Python checker over instances.
+    """
+
+    schema: Schema
+    query: ConjunctiveQuery
+    constraint_checker: Callable[[Instance], bool]
+
+
+def example_8_1_story() -> Example81Story:
+    schema = Schema()
+    schema.add_relation("P", 1)
+    schema.add_relation("U", 1)
+    schema.add_method("mtP", "P", inputs=[], result_bound=5)
+    schema.add_method("mtU", "U", inputs=[])
+    query = boolean_cq([atom("P", "x"), atom("U", "x")], name="Q81")
+
+    def checker(instance: Instance) -> bool:
+        p_values = {f.terms[0] for f in instance.facts_of("P")}
+        u_values = {f.terms[0] for f in instance.facts_of("U")}
+        if len(p_values) != 7:
+            return False
+        overlap = len(p_values & u_values)
+        return overlap == 0 or overlap >= 4
+
+    return Example81Story(schema, query, checker)

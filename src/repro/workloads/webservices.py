@@ -1,0 +1,260 @@
+"""Simulated result-bounded Web services.
+
+The paper motivates result bounds with real services: ChEBI caps lookup
+methods at 5000 entries, IMDb's listings stop at 10000, and rate-limited
+APIs (GitHub, Twitter, Facebook) bound the obtainable results.  This
+module provides a faithful *simulation substrate*: a `WebService` wraps
+an instance with per-method result bounds, an optional call budget (rate
+limit), call accounting, and a pluggable selection policy deciding
+*which* tuples are returned when a bound truncates the result — so that
+examples and benchmarks exercise exactly the access semantics of §2.
+
+The service integrates with the rest of the library through
+`service_selection`, an `AccessSelection` that answers from the service
+(so plans and universal plans can run against it unchanged).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..accessibility.access import (
+    AccessRequest,
+    AccessSelection,
+    matching_tuples,
+    required_output_size,
+)
+from ..data.instance import Instance
+from ..logic.atoms import Atom
+from ..logic.terms import Constant, GroundTerm
+from ..schema.schema import Schema
+
+
+class RateLimitExceeded(RuntimeError):
+    """The service's call budget is exhausted (cf. paper refs [27,30,43])."""
+
+
+@dataclass
+class CallLogEntry:
+    method: str
+    binding: tuple[GroundTerm, ...]
+    returned: int
+    truncated: bool
+
+
+class WebService:
+    """An instance-backed service enforcing result bounds and rate limits.
+
+    Parameters
+    ----------
+    schema:
+        The service schema (methods carry the result bounds).
+    data:
+        The underlying instance — what the provider's database holds.
+    policy:
+        ``"first"`` (deterministic canonical prefix), ``"random"``
+        (seeded shuffle per access), or ``"adversarial"`` (canonical
+        suffix) — which tuples survive truncation.
+    rate_limit:
+        Optional cap on the number of accesses before
+        `RateLimitExceeded`.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        data: Instance,
+        *,
+        policy: str = "first",
+        seed: int = 0,
+        rate_limit: Optional[int] = None,
+    ) -> None:
+        if policy not in ("first", "random", "adversarial"):
+            raise ValueError(f"unknown policy {policy}")
+        self.schema = schema
+        self.data = data
+        self.policy = policy
+        self.rate_limit = rate_limit
+        self._rng = random.Random(seed)
+        self._memo: dict[tuple[str, tuple], frozenset[Atom]] = {}
+        self.calls: list[CallLogEntry] = []
+
+    # ------------------------------------------------------------------
+    def call(
+        self, method_name: str, *binding_values: object
+    ) -> list[tuple]:
+        """Perform an access; returns plain value tuples (like an API).
+
+        Bare Python values in the binding are wrapped into constants.
+        """
+        if self.rate_limit is not None and len(self.calls) >= self.rate_limit:
+            raise RateLimitExceeded(
+                f"rate limit of {self.rate_limit} calls reached"
+            )
+        method = self.schema.method(method_name)
+        binding = tuple(
+            value if isinstance(value, (Constant,)) else Constant(value)
+            for value in binding_values
+        )
+        request = AccessRequest(method, binding)
+        output = self._select(request)
+        self.calls.append(
+            CallLogEntry(
+                method_name,
+                binding,
+                len(output),
+                truncated=len(output)
+                < len(matching_tuples(self.data, request)),
+            )
+        )
+        return sorted(
+            tuple(
+                t.value if isinstance(t, Constant) else t
+                for t in fact.terms
+            )
+            for fact in output
+        )
+
+    def _select(self, request: AccessRequest) -> frozenset[Atom]:
+        key = (request.method.name, request.binding)
+        if key in self._memo:
+            return self._memo[key]
+        matching = sorted(matching_tuples(self.data, request), key=repr)
+        bound = request.method.effective_bound()
+        if bound is None or len(matching) <= bound:
+            chosen = frozenset(matching)
+        else:
+            size = required_output_size(request.method, len(matching))
+            if self.policy == "first":
+                chosen = frozenset(matching[:size])
+            elif self.policy == "adversarial":
+                chosen = frozenset(matching[-size:])
+            else:
+                chosen = frozenset(self._rng.sample(matching, size))
+        self._memo[key] = chosen
+        return chosen
+
+    # ------------------------------------------------------------------
+    def selection(self) -> "ServiceSelection":
+        """An `AccessSelection` view of this service for plan execution."""
+        return ServiceSelection(self)
+
+    def total_calls(self) -> int:
+        return len(self.calls)
+
+    def truncated_calls(self) -> int:
+        return sum(1 for entry in self.calls if entry.truncated)
+
+
+class ServiceSelection(AccessSelection):
+    """Adapter: run plans against a `WebService`."""
+
+    def __init__(self, service: WebService) -> None:
+        super().__init__()
+        self._service = service
+
+    def _choose(
+        self, instance: Instance, request: AccessRequest
+    ) -> frozenset[Atom]:
+        # The service ignores the passed instance: it owns the data.
+        return self._service._select(request)
+
+
+# ----------------------------------------------------------------------
+# Ready-made simulated providers
+# ----------------------------------------------------------------------
+def chemistry_service(
+    compounds: int = 200,
+    *,
+    lookup_cap: int = 50,
+    seed: int = 0,
+) -> tuple[Schema, WebService]:
+    """A ChEBI-flavoured provider: compounds and a capped search method.
+
+    ``Compound(id, formula, mass_class)`` with an exact by-id method and
+    a by-formula search capped at `lookup_cap`; ``Ontology(id, parent)``
+    with a by-id method and the ID Ontology[0] ⊆ Compound[0].
+    """
+    from ..constraints.tgd import inclusion_dependency
+
+    schema = Schema()
+    schema.add_relation(
+        "Compound", 3, attributes=("id", "formula", "mass_class")
+    )
+    schema.add_relation("Ontology", 2, attributes=("id", "parent"))
+    schema.add_method("compound_by_id", "Compound", inputs=[0])
+    schema.add_method(
+        "search_by_formula", "Compound", inputs=[1],
+        result_bound=lookup_cap,
+    )
+    schema.add_method("ontology_by_id", "Ontology", inputs=[0])
+    schema.add_constraint(
+        inclusion_dependency("Ontology", (0,), "Compound", (0,), 2, 3)
+    )
+    rng = random.Random(seed)
+    data = Instance()
+    for i in range(compounds):
+        formula = f"C{rng.randint(1, 4)}H{rng.randint(1, 9)}"
+        data.add(
+            Atom(
+                "Compound",
+                (
+                    Constant(i),
+                    Constant(formula),
+                    Constant(rng.choice(["light", "heavy"])),
+                ),
+            )
+        )
+        if rng.random() < 0.7:
+            data.add(
+                Atom(
+                    "Ontology",
+                    (Constant(i), Constant(rng.randrange(compounds))),
+                )
+            )
+    return schema, WebService(schema, data, policy="random", seed=seed)
+
+
+def movie_service(
+    titles: int = 300,
+    *,
+    listing_cap: int = 100,
+    seed: int = 1,
+) -> tuple[Schema, WebService]:
+    """An IMDb-flavoured provider with a capped listing.
+
+    ``Title(id, year_class, rating_class)`` with a capped input-free
+    listing and an exact by-id method; the FD id → rating_class makes
+    by-id accesses with bound 1 reliable on the rating column
+    (Example 1.5's mechanism on real-ish data).
+    """
+    from ..constraints.fd import fd as make_fd
+
+    schema = Schema()
+    schema.add_relation(
+        "Title", 3, attributes=("id", "year_class", "rating_class")
+    )
+    schema.add_method(
+        "list_titles", "Title", inputs=[], result_bound=listing_cap
+    )
+    schema.add_method("title_by_id", "Title", inputs=[0], result_bound=1)
+    schema.add_constraint(make_fd("Title", [0], 2))
+    rng = random.Random(seed)
+    data = Instance()
+    for i in range(titles):
+        # The year class is NOT determined by the id (re-releases), so
+        # the same id may appear with several year classes.
+        for __ in range(rng.randint(1, 2)):
+            data.add(
+                Atom(
+                    "Title",
+                    (
+                        Constant(i),
+                        Constant(rng.choice(["old", "new"])),
+                        Constant(i % 10),  # determined by id
+                    ),
+                )
+            )
+    return schema, WebService(schema, data, policy="adversarial", seed=seed)

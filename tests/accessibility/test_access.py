@@ -1,0 +1,135 @@
+"""Tests for accesses, valid outputs, and selections."""
+
+import pytest
+
+from repro.accessibility import (
+    AccessRequest,
+    EagerSelection,
+    ExplicitSelection,
+    RandomSelection,
+    StingySelection,
+    is_valid_output,
+    matching_tuples,
+    required_output_size,
+    valid_outputs,
+)
+from repro.data import Instance
+from repro.logic import Constant, ground_atom
+from repro.schema import AccessMethod, Relation
+
+
+def directory(n=5):
+    return Instance(
+        ground_atom("D", i, f"addr{i % 2}") for i in range(n)
+    )
+
+
+def method(bound=None, lower=None, inputs=()):
+    return AccessMethod(
+        "m", Relation("D", 2), frozenset(inputs), bound, lower
+    )
+
+
+class TestMatching:
+    def test_input_free_returns_all(self):
+        req = AccessRequest(method(), ())
+        assert len(matching_tuples(directory(), req)) == 5
+
+    def test_binding_filters(self):
+        req = AccessRequest(method(inputs=[1]), (Constant("addr0"),))
+        assert len(matching_tuples(directory(), req)) == 3  # ids 0, 2, 4
+
+    def test_binding_arity_checked(self):
+        with pytest.raises(ValueError):
+            AccessRequest(method(inputs=[0]), ())
+
+    def test_no_match(self):
+        req = AccessRequest(method(inputs=[0]), (Constant(99),))
+        assert matching_tuples(directory(), req) == frozenset()
+
+
+class TestValidOutputs:
+    def test_exact_method_single_output(self):
+        req = AccessRequest(method(), ())
+        outputs = list(valid_outputs(directory(3), req))
+        assert len(outputs) == 1 and len(outputs[0]) == 3
+
+    def test_result_bound_exact_size(self):
+        req = AccessRequest(method(bound=2), ())
+        outputs = list(valid_outputs(directory(4), req))
+        # C(4,2) = 6 outputs, all of size exactly 2.
+        assert len(outputs) == 6
+        assert all(len(o) == 2 for o in outputs)
+
+    def test_result_bound_fewer_matches_all_returned(self):
+        req = AccessRequest(method(bound=10), ())
+        outputs = list(valid_outputs(directory(3), req))
+        assert len(outputs) == 1 and len(outputs[0]) == 3
+
+    def test_lower_bound_allows_more(self):
+        req = AccessRequest(method(lower=2), ())
+        sizes = sorted(len(o) for o in valid_outputs(directory(3), req))
+        # Subsets of size 2 and 3: C(3,2) + 1 = 4.
+        assert sizes == [2, 2, 2, 3]
+
+    def test_required_output_size(self):
+        assert required_output_size(method(), 7) == 7
+        assert required_output_size(method(bound=3), 7) == 3
+        assert required_output_size(method(bound=3), 2) == 2
+
+    def test_is_valid_output(self):
+        inst = directory(4)
+        req = AccessRequest(method(bound=2), ())
+        all_facts = sorted(inst, key=repr)
+        assert is_valid_output(frozenset(all_facts[:2]), inst, req)
+        assert not is_valid_output(frozenset(all_facts[:1]), inst, req)
+        assert not is_valid_output(frozenset(all_facts[:3]), inst, req)
+        foreign = ground_atom("D", 99, "x")
+        assert not is_valid_output(frozenset([foreign]), inst, req)
+
+
+class TestSelections:
+    def test_eager_is_memoized(self):
+        selection = EagerSelection()
+        inst = directory()
+        req = AccessRequest(method(bound=2), ())
+        first = selection.select(inst, req)
+        inst.add(ground_atom("D", 99, "new"))
+        assert selection.select(inst, req) == first
+        selection.reset()
+        # After reset the selection may differ (instance changed).
+        assert len(selection.select(inst, req)) == 2
+
+    def test_eager_respects_bound(self):
+        selection = EagerSelection()
+        out = selection.select(directory(5), AccessRequest(method(bound=2), ()))
+        assert len(out) == 2
+
+    def test_stingy_minimum(self):
+        out = StingySelection().select(
+            directory(5), AccessRequest(method(lower=2), ())
+        )
+        assert len(out) == 2
+
+    def test_random_seeded_reproducible(self):
+        a = RandomSelection(seed=42).select(
+            directory(5), AccessRequest(method(bound=3), ())
+        )
+        b = RandomSelection(seed=42).select(
+            directory(5), AccessRequest(method(bound=3), ())
+        )
+        assert a == b
+
+    def test_random_is_valid(self):
+        inst = directory(6)
+        req = AccessRequest(method(bound=4), ())
+        for seed in range(5):
+            out = RandomSelection(seed=seed).select(inst, req)
+            assert is_valid_output(out, inst, req)
+
+    def test_explicit(self):
+        inst = directory(3)
+        req = AccessRequest(method(bound=1), ())
+        chosen = frozenset([ground_atom("D", 2, "addr0")])
+        selection = ExplicitSelection({("m", ()): chosen})
+        assert selection.select(inst, req) == chosen

@@ -1,0 +1,108 @@
+"""Tests for accessible parts and access-validity (paper §3)."""
+
+from repro.accessibility import (
+    EagerSelection,
+    StingySelection,
+    accessible_part,
+    is_access_valid,
+)
+from repro.data import Instance
+from repro.logic import Constant, ground_atom
+from repro.schema import Schema
+from repro.workloads.paperschemas import (
+    university_instance,
+    university_schema,
+)
+
+
+class TestAccessiblePart:
+    def test_input_free_bootstrap(self):
+        schema = university_schema(ud_bound=None)
+        instance = university_instance(4)
+        result = accessible_part(instance, schema)
+        # ud dumps the directory; pr then fetches every professor.
+        assert len(result.part.facts_of("Udirectory")) == 4
+        assert len(result.part.facts_of("Prof")) == 4
+
+    def test_no_input_free_method_empty(self):
+        schema = Schema()
+        schema.add_relation("R", 2)
+        schema.add_method("m", "R", inputs=[0])
+        instance = Instance([ground_atom("R", 1, 2)])
+        result = accessible_part(instance, schema)
+        assert len(result.part) == 0
+
+    def test_seed_values_unlock_access(self):
+        schema = Schema()
+        schema.add_relation("R", 2)
+        schema.add_method("m", "R", inputs=[0])
+        instance = Instance([ground_atom("R", 1, 2), ground_atom("R", 2, 3)])
+        result = accessible_part(
+            instance, schema, seed_values=[Constant(1)]
+        )
+        # Access 1 -> R(1,2); value 2 becomes accessible -> R(2,3).
+        assert len(result.part) == 2
+
+    def test_result_bound_limits_part(self):
+        schema = university_schema(ud_bound=2)
+        instance = university_instance(10)
+        result = accessible_part(instance, schema, EagerSelection())
+        assert len(result.part.facts_of("Udirectory")) == 2
+        # Only the two dumped ids are accessible for pr.
+        assert len(result.part.facts_of("Prof")) == 2
+
+    def test_fixpoint_reached(self):
+        schema = university_schema(ud_bound=None)
+        instance = university_instance(3)
+        result = accessible_part(instance, schema)
+        assert result.rounds >= 2
+        # Re-running from the part adds nothing.
+        again = accessible_part(instance, schema)
+        assert again.part == result.part
+
+
+class TestAccessValidity:
+    def test_full_part_is_access_valid(self):
+        schema = university_schema(ud_bound=None)
+        instance = university_instance(4)
+        part = accessible_part(instance, schema).part
+        assert is_access_valid(part, instance, schema)
+
+    def test_non_subinstance_rejected(self):
+        schema = university_schema()
+        instance = university_instance(2)
+        other = Instance([ground_atom("Prof", 77, "x", 1)])
+        assert not is_access_valid(other, instance, schema)
+
+    def test_missing_exact_output_invalid(self):
+        # pr has no result bound: a subinstance containing a professor id
+        # must contain the professor's full tuple set.
+        schema = university_schema(ud_bound=None)
+        instance = university_instance(2)
+        sub = Instance(
+            [ground_atom("Udirectory", Constant(0), Constant("addr0"),
+                         Constant("phone0"))]
+        )
+        # Value 0 is accessible but Prof(0, ...) is missing: pr access on
+        # 0 cannot be answered inside the subinstance.
+        assert not is_access_valid(sub, instance, schema)
+
+    def test_bounded_method_needs_only_k(self):
+        schema = university_schema(ud_bound=1)  # directory dump returns 1
+        instance = university_instance(3)
+        part = accessible_part(instance, schema, StingySelection()).part
+        assert is_access_valid(part, instance, schema)
+
+    def test_empty_subinstance_access_valid_when_no_input_free(self):
+        schema = Schema()
+        schema.add_relation("R", 1)
+        schema.add_method("m", "R", inputs=[0])
+        instance = Instance([ground_atom("R", 1)])
+        assert is_access_valid(Instance(), instance, schema)
+
+    def test_empty_subinstance_invalid_with_input_free_method(self):
+        schema = Schema()
+        schema.add_relation("R", 1)
+        schema.add_method("m", "R", inputs=[])
+        instance = Instance([ground_atom("R", 1)])
+        assert not is_access_valid(Instance(), instance, schema)

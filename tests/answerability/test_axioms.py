@@ -1,0 +1,117 @@
+"""Tests for the AMonDet containment construction (Prop 3.4)."""
+
+import pytest
+
+from repro.answerability import (
+    ACCESSIBLE,
+    AxiomError,
+    build_amondet_containment,
+    prime_constraint,
+    prime_query,
+    primed,
+)
+from repro.constraints import TGD, fd, tgd
+from repro.logic import Constant, atom, boolean_cq, cq, Variable
+from repro.workloads.paperschemas import (
+    query_q1_boolean,
+    query_q2,
+    university_schema,
+)
+
+
+class TestPriming:
+    def test_prime_query(self):
+        q = boolean_cq([atom("Prof", "i", "n", "s")])
+        q2 = prime_query(q)
+        assert q2.atoms[0].relation == primed("Prof")
+
+    def test_prime_tgd(self):
+        rule = tgd("R(x) -> S(x)")
+        rule2 = prime_constraint(rule)
+        assert rule2.body[0].relation == primed("R")
+        assert rule2.head[0].relation == primed("S")
+
+    def test_prime_fd(self):
+        dependency = prime_constraint(fd("R", [0], 1))
+        assert dependency.relation == primed("R")
+
+
+class TestContainmentConstruction:
+    def test_rejects_non_boolean(self):
+        schema = university_schema()
+        with pytest.raises(AxiomError):
+            build_amondet_containment(
+                schema,
+                cq([atom("Prof", "i", "n", "s")], free=[Variable("n")]),
+            )
+
+    def test_rejects_unsimplified_bounds(self):
+        schema = university_schema(ud_bound=100)
+        with pytest.raises(AxiomError):
+            build_amondet_containment(schema, query_q2())
+
+    def test_bound_one_accepted(self):
+        schema = university_schema(ud_bound=1)
+        problem = build_amondet_containment(schema, query_q2())
+        names = [c.name for c in problem.constraints if isinstance(c, TGD)]
+        assert "choice_ud" in names
+
+    def test_exact_axioms_inline_shape(self):
+        schema = university_schema(ud_bound=None)
+        problem = build_amondet_containment(schema, query_q2())
+        access_pr = next(
+            c
+            for c in problem.constraints
+            if isinstance(c, TGD) and c.name == "access_pr"
+        )
+        # Body: accessible(id) ∧ Prof(id, n, s).
+        assert {a.relation for a in access_pr.body} == {
+            ACCESSIBLE, "Prof"
+        }
+        # Head: Prof' plus accessible on the two outputs.
+        head_relations = [a.relation for a in access_pr.head]
+        assert head_relations.count(ACCESSIBLE) == 2
+        assert primed("Prof") in head_relations
+
+    def test_constants_made_accessible(self):
+        schema = university_schema(ud_bound=None)
+        problem = build_amondet_containment(schema, query_q1_boolean())
+        accessible_facts = problem.start_instance.facts_of(ACCESSIBLE)
+        assert any(
+            f.terms[0] == Constant(10000) for f in accessible_facts
+        )
+
+    def test_explicit_encoding_has_accessed_relations(self):
+        from repro.answerability import accessed
+
+        schema = university_schema(ud_bound=None)
+        problem = build_amondet_containment(
+            schema, query_q2(), inline=False
+        )
+        relations = set()
+        for c in problem.constraints:
+            if isinstance(c, TGD):
+                relations.update(a.relation for a in c.body + c.head)
+        assert accessed("Prof") in relations
+        assert accessed("Udirectory") in relations
+
+    def test_both_encodings_agree(self):
+        """The inlined and explicit encodings give the same answer."""
+        from repro.answerability.deciders import _chase_containment
+
+        schema = university_schema(ud_bound=None)
+        for query in (query_q2(), query_q1_boolean()):
+            results = []
+            for inline in (True, False):
+                problem = build_amondet_containment(
+                    schema, query, inline=inline
+                )
+                results.append(
+                    _chase_containment(
+                        problem.start_instance,
+                        problem.constraints,
+                        problem.target,
+                        max_rounds=40,
+                    ).truth
+                )
+            assert results[0] == results[1]

@@ -1,0 +1,161 @@
+"""Tests for the semantic falsifier, the blow-up, and Example 8.1."""
+
+from repro.answerability import (
+    blow_up_instance,
+    candidate_instances_for,
+    choice_simplification,
+    find_amondet_counterexample,
+)
+from repro.accessibility import (
+    ExplicitSelection,
+    accessible_part,
+    is_access_valid,
+)
+from repro.constraints import tgd
+from repro.data import Instance
+from repro.logic import Constant, atom, boolean_cq, ground_atom, holds
+from repro.schema import Schema
+from repro.workloads.paperschemas import (
+    example_8_1_story,
+    query_q1_boolean,
+    query_q2,
+    university_schema,
+)
+
+
+class TestCandidates:
+    def test_candidates_satisfy_constraints_and_query(self):
+        schema = university_schema(ud_bound=2)
+        q = query_q1_boolean()
+        candidates = candidate_instances_for(schema, q)
+        assert candidates
+        for instance in candidates:
+            assert schema.satisfied_by(instance)
+            assert holds(q, instance)
+
+    def test_enlargements_grow(self):
+        schema = university_schema(ud_bound=2)
+        candidates = candidate_instances_for(schema, query_q2())
+        sizes = [len(c) for c in candidates]
+        assert sizes == sorted(sizes) and len(set(sizes)) > 1
+
+
+class TestFalsifier:
+    def test_finds_counterexample_for_bounded_q1(self):
+        schema = university_schema(ud_bound=2)
+        q = query_q1_boolean()
+        cex = find_amondet_counterexample(schema, q)
+        assert cex is not None
+        assert cex.verify(schema, q)
+        # Structure: Q true in I1, false in I2, common part access-valid.
+        assert holds(q, cex.instance_1)
+        assert not holds(q, cex.instance_2)
+
+    def test_no_counterexample_for_q2(self):
+        schema = university_schema(ud_bound=2)
+        assert find_amondet_counterexample(schema, query_q2()) is None
+
+    def test_no_counterexample_without_bounds(self):
+        schema = university_schema(ud_bound=None)
+        assert (
+            find_amondet_counterexample(schema, query_q1_boolean()) is None
+        )
+
+
+class TestBlowUp:
+    def test_sizes(self):
+        instance = Instance([ground_atom("R", "a", "b")])
+        blown = blow_up_instance(instance, 3)
+        assert len(blown) == 9
+
+    def test_identity_for_one_copy(self):
+        instance = Instance([ground_atom("R", "a", "b")])
+        assert blow_up_instance(instance, 1) == instance
+
+    def test_preserves_cq_truth(self):
+        q = boolean_cq([atom("R", "x", "y"), atom("R", "y", "z")])
+        instance = Instance(
+            [ground_atom("R", "a", "b"), ground_atom("R", "b", "c")]
+        )
+        blown = blow_up_instance(instance, 2)
+        assert holds(q, instance) == holds(q, blown)
+
+    def test_preserves_tgd_satisfaction(self):
+        rules = [tgd("R(x, y) -> S(y)"), tgd("S(y) -> T(y, z)")]
+        instance = Instance(
+            [
+                ground_atom("R", "a", "b"),
+                ground_atom("S", "b"),
+                ground_atom("T", "b", "w"),
+            ]
+        )
+        blown = blow_up_instance(instance, 3)
+        for rule in rules:
+            assert rule.satisfied_by(instance)
+            assert rule.satisfied_by(blown)
+
+    def test_blow_up_feeds_result_bounds(self):
+        """The point of the blow-up: after cloning, a bounded access has
+        more matching tuples than any bound, so small parts stay
+        access-valid — the mechanism behind Thm 6.3."""
+        schema = Schema()
+        schema.add_relation("R", 1)
+        schema.add_method("m", "R", inputs=[], result_bound=2)
+        instance = Instance([ground_atom("R", "a")])
+        blown = blow_up_instance(instance, 3)
+        part = accessible_part(blown, schema).part
+        assert len(part) == 2
+        assert is_access_valid(part, blown, schema)
+
+
+class TestExample81:
+    """Example 8.1: choice simplification fails for general FO."""
+
+    def story_instance(self, overlap):
+        instance = Instance()
+        for i in range(7):
+            instance.add(ground_atom("P", i))
+        for i in range(overlap):
+            instance.add(ground_atom("U", i))
+        return instance
+
+    def test_constraints_checker(self):
+        story = example_8_1_story()
+        assert story.constraint_checker(self.story_instance(0))
+        assert story.constraint_checker(self.story_instance(4))
+        assert not story.constraint_checker(self.story_instance(2))
+        assert not story.constraint_checker(Instance())
+
+    def test_original_plan_works(self):
+        """With bound 5 on mtP and the FO constraints, intersecting the 5
+        returned P-tuples with U decides Q: any valid 5-subset of the 7
+        P-tuples must hit the ≥4 U-overlap when it exists."""
+        story = example_8_1_story()
+        for overlap in (0, 4, 5, 7):
+            instance = self.story_instance(overlap)
+            assert story.constraint_checker(instance)
+            expected = overlap > 0
+            # Try adversarial 5-subsets: which 5 of the 7 P tuples?
+            import itertools
+
+            p_facts = sorted(instance.facts_of("P"), key=repr)
+            u_values = {f.terms[0] for f in instance.facts_of("U")}
+            for subset in itertools.combinations(p_facts, 5):
+                got = any(f.terms[0] in u_values for f in subset)
+                assert got == expected
+
+    def test_choice_simplification_breaks_it(self):
+        """With bound 1 the returned P-tuple may avoid U although the
+        overlap is nonempty: the plan's answer flips."""
+        story = example_8_1_story()
+        instance = self.story_instance(4)
+        # mtP returns a single P tuple outside U (e.g. P(6)): the
+        # intersection is empty although Q holds.
+        outside = ground_atom("P", 6)
+        selection = ExplicitSelection({("mtP", ()): frozenset([outside])})
+        schema = choice_simplification(story.schema).schema
+        part = accessible_part(instance, schema, selection).part
+        u_values = {f.terms[0] for f in part.facts_of("U")}
+        p_values = {f.terms[0] for f in part.facts_of("P")}
+        assert not (p_values & u_values)  # plan sees "no"
+        assert holds(story.query, instance)  # truth is "yes"

@@ -1,0 +1,101 @@
+"""Tests for finite monotone answerability (Prop 2.2 / Cor 7.3)."""
+
+from repro.answerability.finite import (
+    decide_finite_monotone_answerability,
+    schema_with_finite_closure,
+)
+from repro.answerability import decide_monotone_answerability
+from repro.constraints import fd, inclusion_dependency
+from repro.logic import Constant, atom, boolean_cq
+from repro.schema import Schema
+from repro.workloads.paperschemas import (
+    query_q1_boolean,
+    query_q2,
+    university_schema,
+)
+
+
+def squeeze_schema(bound=3):
+    """R(emp, mgr) with R[emp] ⊆ R[mgr] and FD emp → mgr.
+
+    In finite models the cycle rule forces R[mgr] ⊆ R[emp] and
+    FD mgr → emp.  The by-mgr method with a result bound then becomes
+    reliable on the emp column *finitely*.
+    """
+    schema = Schema()
+    schema.add_relation("R", 2)
+    schema.add_method("by_mgr", "R", inputs=[1], result_bound=bound)
+    schema.add_constraint(
+        inclusion_dependency("R", (0,), "R", (1,), 2, 2)
+    )
+    schema.add_constraint(fd("R", [0], 1))
+    return schema
+
+
+class TestDelegation:
+    def test_ids_delegate(self):
+        schema = university_schema(ud_bound=100)
+        for query in (query_q2(), query_q1_boolean()):
+            finite = decide_finite_monotone_answerability(schema, query)
+            unrestricted = decide_monotone_answerability(schema, query)
+            assert finite.truth == unrestricted.truth
+            assert "delegated" in finite.decision.detail["finite_variant"]
+
+
+class TestFiniteClosureRoute:
+    def test_closure_schema_has_reversals(self):
+        closed = schema_with_finite_closure(squeeze_schema())
+        reverse = inclusion_dependency("R", (1,), "R", (0,), 2, 2)
+        profiles = {repr(c) for c in closed.constraints}
+        assert repr(reverse) in profiles
+        assert fd("R", [1], 0) in closed.constraints
+
+    def test_finite_only_answerability(self):
+        """A query answerable finitely but not unrestrictedly.
+
+        Q: R('e0', 'm') — is e0 managed by m?  The by-mgr access with
+        bound 1 returns *some* employee of 'm'; over unrestricted
+        instances many employees may share the manager, so the returned
+        tuple can hide e0: NOT answerable.  Finitely, the cycle rule
+        gives FD mgr → emp, so 'm' has at most one employee and the
+        single returned tuple settles the query: answerable."""
+        schema = squeeze_schema(bound=1)
+        query = boolean_cq(
+            [atom("R", Constant("e0"), Constant("m"))], name="Qmgr"
+        )
+        unrestricted = decide_monotone_answerability(schema, query)
+        finite = decide_finite_monotone_answerability(schema, query)
+        # The unrestricted chase diverges on the cyclic UID (an honest
+        # UNKNOWN at the cap); what matters is that the finite closure
+        # *proves* the finite variant, which the unrestricted route
+        # cannot.
+        assert not unrestricted.is_yes
+        assert finite.is_yes
+        assert finite.route == "finite-closure+choice"
+
+    def test_finite_closure_preserves_answerable_cases(self):
+        schema = university_schema(
+            ud_bound=100, with_ud2=True, with_fd=True
+        )
+        from repro.workloads.paperschemas import query_q3_boolean
+
+        finite = decide_finite_monotone_answerability(
+            schema, query_q3_boolean()
+        )
+        assert finite.is_yes
+
+
+class TestUnsupported:
+    def test_mixed_with_bounds_unknown(self):
+        from repro.constraints import tgd
+
+        schema = Schema()
+        schema.add_relation("R", 2)
+        schema.add_relation("S", 3)
+        schema.add_method("m", "R", result_bound=2)
+        schema.add_constraint(tgd("R(x, y) -> S(x, y, z)"))
+        schema.add_constraint(fd("S", [0], 1))
+        result = decide_finite_monotone_answerability(
+            schema, boolean_cq([atom("R", "x", "y")])
+        )
+        assert result.is_unknown

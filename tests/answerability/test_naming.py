@@ -1,0 +1,38 @@
+"""Tests for the generated-name conventions."""
+
+import pytest
+
+from repro.answerability import is_primed, primed, unprimed
+from repro.answerability.naming import (
+    check_user_relation_name,
+    existence_check_relation,
+    fd_view_relation,
+)
+
+
+class TestPriming:
+    def test_roundtrip(self):
+        assert unprimed(primed("R")) == "R"
+
+    def test_is_primed(self):
+        assert is_primed(primed("R"))
+        assert not is_primed("R")
+
+    def test_unprimed_rejects_plain(self):
+        with pytest.raises(ValueError):
+            unprimed("R")
+
+
+class TestViewNames:
+    def test_distinct_per_method(self):
+        a = existence_check_relation("R", "m1")
+        b = existence_check_relation("R", "m2")
+        assert a != b
+
+    def test_families_distinct(self):
+        assert existence_check_relation("R", "m") != fd_view_relation("R", "m")
+
+    def test_user_name_guard(self):
+        check_user_relation_name("Udirectory")
+        with pytest.raises(ValueError):
+            check_user_relation_name("R__prime")

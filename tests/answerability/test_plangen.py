@@ -1,0 +1,117 @@
+"""Tests for static plan extraction from chase proofs."""
+
+import pytest
+
+from repro.answerability import (
+    PlanExtractionError,
+    decide_monotone_answerability,
+    generate_static_plan,
+)
+from repro.data import Instance
+from repro.logic import Constant, ground_atom
+from repro.plans import AccessCommand, plan_answers_query_on
+from repro.workloads.paperschemas import (
+    example_6_1_schema,
+    query_example_6_1,
+    query_q1,
+    query_q1_boolean,
+    query_q2,
+    query_q3_boolean,
+    university_instance,
+    university_schema,
+)
+
+
+class TestExtraction:
+    def test_q2_plan_is_single_access(self):
+        """The extracted plan for Q2 mirrors Example 2.1: one input-free
+        access on ud, projected to the Boolean answer."""
+        schema = university_schema(ud_bound=2)
+        plan = generate_static_plan(schema, query_q2())
+        assert plan is not None
+        accesses = plan.access_commands()
+        assert len(accesses) == 1 and accesses[0].method == "ud"
+        assert plan.is_monotone()
+
+    def test_q2_plan_correct_exhaustively(self):
+        schema = university_schema(ud_bound=2)
+        plan = generate_static_plan(schema, query_q2())
+        instances = [Instance(), university_instance(5)]
+        assert plan_answers_query_on(
+            plan, query_q2(), schema, instances,
+            per_access_limit=6, total_limit=600,
+        )
+
+    def test_q1_unbounded_plan(self):
+        schema = university_schema(ud_bound=None)
+        plan = generate_static_plan(schema, query_q1_boolean())
+        assert plan is not None
+        assert {c.method for c in plan.access_commands()} >= {"ud", "pr"}
+        instances = [
+            university_instance(4),
+            university_instance(3, salary_every=100),  # nobody at 10000
+            Instance(),
+        ]
+        assert plan_answers_query_on(
+            plan, query_q1_boolean(), schema, instances, exhaustive=False
+        )
+
+    def test_non_answerable_returns_none(self):
+        schema = university_schema(ud_bound=2)
+        assert generate_static_plan(schema, query_q1_boolean()) is None
+
+    def test_q3_fd_plan(self):
+        schema = university_schema(ud_bound=2, with_ud2=True, with_fd=True)
+        plan = generate_static_plan(schema, query_q3_boolean())
+        assert plan is not None
+        instance = Instance(
+            [
+                ground_atom("Udirectory", 12345, "home", "p1"),
+                ground_atom("Udirectory", 12345, "home", "p2"),
+                ground_atom("Prof", 12345, "ada", 10000),
+            ]
+        )
+        empty = Instance()
+        assert plan_answers_query_on(
+            plan, query_q3_boolean(), schema, [instance, empty],
+            per_access_limit=6, total_limit=800,
+        )
+
+    def test_example_6_1_plan(self):
+        """The proof-extracted plan matches the paper's: access S (bound
+        1), check membership in T."""
+        schema = example_6_1_schema()
+        plan = generate_static_plan(schema, query_example_6_1())
+        assert plan is not None
+        methods = [c.method for c in plan.access_commands()]
+        assert "mtS" in methods and "mtT" in methods
+        yes = Instance(
+            [ground_atom("S", "a"), ground_atom("T", "a"),
+             ground_atom("T", "b")]
+        )
+        no = Instance([ground_atom("S", "a")])
+        assert schema.satisfied_by(yes)
+        assert schema.satisfied_by(no)
+        assert plan_answers_query_on(
+            plan, query_example_6_1(), schema, [yes, no, Instance()],
+            per_access_limit=6, total_limit=600,
+        )
+
+    def test_non_boolean_rejected(self):
+        schema = university_schema(ud_bound=None)
+        with pytest.raises(PlanExtractionError):
+            generate_static_plan(schema, query_q1())
+
+
+class TestAgainstDeciders:
+    """generate_static_plan and the deciders agree on the YES side."""
+
+    def test_yes_cases_have_plans(self):
+        cases = [
+            (university_schema(ud_bound=100), query_q2()),
+            (university_schema(ud_bound=None), query_q1_boolean()),
+            (example_6_1_schema(), query_example_6_1()),
+        ]
+        for schema, query in cases:
+            assert decide_monotone_answerability(schema, query).is_yes
+            assert generate_static_plan(schema, query) is not None

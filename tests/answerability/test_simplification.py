@@ -1,0 +1,97 @@
+"""Tests for the three schema simplifications (§4, §6)."""
+
+from repro.answerability import (
+    choice_simplification,
+    elim_ub,
+    existence_check_simplification,
+    fd_simplification,
+)
+from repro.constraints import TGD
+from repro.workloads.paperschemas import university_schema
+
+
+class TestElimUB:
+    def test_bounds_become_lower_bounds(self):
+        schema = elim_ub(university_schema(ud_bound=100))
+        method = schema.method("ud")
+        assert method.result_bound is None
+        assert method.result_lower_bound == 100
+
+    def test_exact_methods_untouched(self):
+        schema = elim_ub(university_schema(ud_bound=100))
+        assert schema.method("pr").effective_bound() is None
+
+
+class TestExistenceCheck:
+    def test_example_4_1_shape(self):
+        """Example 4.1: ud2 becomes a Boolean check on Udirectory_ud2."""
+        schema = university_schema(ud_bound=None, with_ud2=True)
+        result = existence_check_simplification(schema)
+        rewrite = result.rewrites["ud2"]
+        assert rewrite.view_relation.arity == 1  # input positions of ud2
+        assert rewrite.replacement.is_boolean()
+        # The two IDs Udirectory -> V and V -> ∃ Udirectory exist.
+        names = {c.name for c in result.schema.constraints
+                 if isinstance(c, TGD)}
+        assert any(n.endswith("_fwd") for n in names)
+        assert any(n.endswith("_bwd") for n in names)
+
+    def test_exact_methods_kept(self):
+        schema = university_schema(ud_bound=100)
+        result = existence_check_simplification(schema)
+        assert result.schema.method("pr") == schema.method("pr")
+
+    def test_no_result_bounds_left(self):
+        schema = university_schema(ud_bound=100, with_ud2=True)
+        result = existence_check_simplification(schema)
+        assert not result.schema.has_result_bounds()
+
+    def test_input_free_method_nullary_view(self):
+        schema = university_schema(ud_bound=100)
+        result = existence_check_simplification(schema)
+        assert result.rewrites["ud"].view_relation.arity == 0
+
+
+class TestFDSimplification:
+    def test_example_4_4_shape(self):
+        """Example 4.4: the view keeps (id, address) = DetBy(ud2)."""
+        schema = university_schema(
+            ud_bound=None, with_ud2=True, with_fd=True
+        )
+        result = fd_simplification(schema)
+        rewrite = result.rewrites["ud2"]
+        assert rewrite.view_positions == (0, 1)  # id, address
+        assert rewrite.view_relation.arity == 2
+        # The view method inputs correspond to the id column.
+        assert rewrite.replacement.input_positions == frozenset({0})
+
+    def test_without_fds_equals_existence_check_views(self):
+        schema = university_schema(ud_bound=None, with_ud2=True)
+        result = fd_simplification(schema)
+        # No FDs: DetBy(inputs) = inputs, so the view has input arity.
+        assert result.rewrites["ud2"].view_relation.arity == 1
+
+    def test_no_result_bounds_left(self):
+        schema = university_schema(
+            ud_bound=100, with_ud2=True, with_fd=True
+        )
+        assert not fd_simplification(schema).schema.has_result_bounds()
+
+
+class TestChoiceSimplification:
+    def test_bounds_become_one(self):
+        schema = university_schema(ud_bound=100, with_ud2=True)
+        result = choice_simplification(schema)
+        assert result.schema.method("ud").result_bound == 1
+        assert result.schema.method("ud2").result_bound == 1
+
+    def test_lower_bounds_become_one(self):
+        schema = elim_ub(university_schema(ud_bound=100))
+        result = choice_simplification(schema)
+        assert result.schema.method("ud").result_lower_bound == 1
+
+    def test_constraints_and_relations_unchanged(self):
+        schema = university_schema(ud_bound=100)
+        result = choice_simplification(schema)
+        assert result.schema.constraints == schema.constraints
+        assert result.schema.relations == schema.relations

@@ -1,0 +1,115 @@
+"""Tests for the universal dynamic plan."""
+
+from repro.accessibility import (
+    EagerSelection,
+    RandomSelection,
+    StingySelection,
+)
+from repro.answerability import UniversalPlan
+from repro.data import Instance
+from repro.logic import Constant, evaluate_cq, ground_atom, holds
+from repro.workloads.paperschemas import (
+    example_6_1_schema,
+    query_example_6_1,
+    query_q1,
+    query_q1_boolean,
+    query_q2,
+    query_q3,
+    university_instance,
+    university_schema,
+)
+
+
+def all_selections():
+    return [
+        EagerSelection(),
+        StingySelection(),
+        RandomSelection(seed=1),
+        RandomSelection(seed=7),
+    ]
+
+
+class TestAnswerableQueries:
+    def test_q2_bounded(self):
+        schema = university_schema(ud_bound=2)
+        plan = UniversalPlan(schema, query_q2())
+        for instance in (Instance(), university_instance(6)):
+            expected = holds(query_q2(), instance)
+            for selection in all_selections():
+                selection.reset()
+                assert plan.holds(instance, selection) == expected
+
+    def test_q1_unbounded(self):
+        schema = university_schema(ud_bound=None)
+        plan = UniversalPlan(schema, query_q1())
+        instance = university_instance(6)
+        expected = evaluate_cq(query_q1(), instance)
+        for selection in all_selections():
+            selection.reset()
+            assert plan.answers(instance, selection) == expected
+
+    def test_q3_with_fd(self):
+        schema = university_schema(
+            ud_bound=2, with_ud2=True, with_fd=True
+        )
+        instance = Instance(
+            [
+                ground_atom("Udirectory", 12345, "home", "p1"),
+                ground_atom("Udirectory", 12345, "home", "p2"),
+                ground_atom("Prof", 12345, "ada", 10000),
+            ]
+        )
+        assert schema.satisfied_by(instance)
+        plan = UniversalPlan(schema, query_q3())
+        for selection in all_selections():
+            selection.reset()
+            assert plan.answers(instance, selection) == frozenset(
+                {(Constant("home"),)}
+            )
+
+    def test_example_6_1_constraint_reasoning(self):
+        """The universal plan must *reason*: Q = ∃T(y) follows from S
+        being nonempty via T(y) ∧ S(x) → T(x)?  No — it follows when the
+        accessed S-tuple is in T, checked via mtT; the chase of the
+        accessed part under the constraints yields certainty."""
+        schema = example_6_1_schema()
+        instance = Instance(
+            [
+                ground_atom("S", "a"),
+                ground_atom("T", "a"),
+                ground_atom("T", "b"),
+            ]
+        )
+        assert schema.satisfied_by(instance)
+        plan = UniversalPlan(schema, query_example_6_1())
+        for selection in all_selections():
+            selection.reset()
+            assert plan.holds(instance, selection)
+
+    def test_soundness_on_non_answerable_query(self):
+        """For non-answerable queries the plan stays sound (⊆ Q(I)), it
+        just may miss answers under stingy selections."""
+        schema = university_schema(ud_bound=1)
+        plan = UniversalPlan(schema, query_q1_boolean())
+        instance = university_instance(6)
+        for selection in all_selections():
+            selection.reset()
+            run = plan.run(instance, selection)
+            if run.answers:
+                assert holds(query_q1_boolean(), instance)
+
+    def test_empty_instance(self):
+        schema = university_schema(ud_bound=2)
+        plan = UniversalPlan(schema, query_q2())
+        run = plan.run(Instance())
+        assert run.answers == frozenset()
+        assert run.definitive
+
+
+class TestDiagnostics:
+    def test_run_reports_counts(self):
+        schema = university_schema(ud_bound=None)
+        plan = UniversalPlan(schema, query_q2())
+        run = plan.run(university_instance(4))
+        assert run.accessed_facts == 8  # 4 directory rows + 4 professors
+        assert run.access_rounds >= 2

@@ -1,0 +1,154 @@
+"""Tests for the chase engine."""
+
+from repro.chase import ChaseOutcome, chase, satisfies
+from repro.constraints import EGD, fd, tgd
+from repro.data import Instance
+from repro.logic import Constant, Null, atom, ground_atom, boolean_cq, holds
+
+
+class TestTGDChase:
+    def test_full_tgd_fixpoint(self):
+        inst = Instance([ground_atom("R", 1), ground_atom("R", 2)])
+        result = chase(inst, [tgd("R(x) -> S(x)")])
+        assert result.outcome is ChaseOutcome.FIXPOINT
+        assert ground_atom("S", 1) in result.instance
+        assert ground_atom("S", 2) in result.instance
+
+    def test_existential_creates_null(self):
+        inst = Instance([ground_atom("R", 1)])
+        result = chase(inst, [tgd("R(x) -> S(x, z)")])
+        assert result.outcome is ChaseOutcome.FIXPOINT
+        s_facts = result.instance.facts_of("S")
+        assert len(s_facts) == 1
+        fact = next(iter(s_facts))
+        assert fact.terms[0] == Constant(1)
+        assert isinstance(fact.terms[1], Null)
+
+    def test_restricted_does_not_fire_satisfied(self):
+        inst = Instance([ground_atom("R", 1), ground_atom("S", 1, 7)])
+        result = chase(inst, [tgd("R(x) -> S(x, z)")])
+        assert result.outcome is ChaseOutcome.FIXPOINT
+        assert len(result.instance.facts_of("S")) == 1  # no new null
+
+    def test_semi_oblivious_fires_anyway(self):
+        inst = Instance([ground_atom("R", 1), ground_atom("S", 1, 7)])
+        result = chase(
+            inst, [tgd("R(x) -> S(x, z)")], policy="semi_oblivious",
+            max_rounds=5,
+        )
+        assert len(result.instance.facts_of("S")) == 2
+
+    def test_semi_oblivious_fires_once_per_frontier(self):
+        inst = Instance([ground_atom("R", 1)])
+        result = chase(
+            inst, [tgd("R(x) -> S(x, z)")], policy="semi_oblivious",
+            max_rounds=10,
+        )
+        assert len(result.instance.facts_of("S")) == 1
+
+    def test_divergent_chase_hits_bound(self):
+        inst = Instance([ground_atom("R", 1, 2)])
+        result = chase(inst, [tgd("R(x, y) -> R(y, z)")], max_rounds=4)
+        assert result.outcome is ChaseOutcome.BOUND_REACHED
+        assert result.rounds == 4
+
+    def test_max_facts_bound(self):
+        inst = Instance([ground_atom("R", 1, 2)])
+        result = chase(
+            inst, [tgd("R(x, y) -> R(y, z)")], max_rounds=100, max_facts=5
+        )
+        assert result.outcome is ChaseOutcome.BOUND_REACHED
+
+    def test_result_satisfies_constraints(self):
+        rules = [tgd("R(x) -> S(x, z)"), tgd("S(x, y) -> T(y)")]
+        inst = Instance([ground_atom("R", 1)])
+        result = chase(inst, rules)
+        assert result.outcome is ChaseOutcome.FIXPOINT
+        assert satisfies(result.instance, rules)
+
+    def test_input_not_mutated(self):
+        inst = Instance([ground_atom("R", 1)])
+        chase(inst, [tgd("R(x) -> S(x)")])
+        assert len(inst) == 1
+
+    def test_steps_recorded(self):
+        inst = Instance([ground_atom("R", 1)])
+        result = chase(inst, [tgd("R(x) -> S(x)")], record_steps=True)
+        assert len(result.steps) == 1
+        assert result.steps[0].produced == (ground_atom("S", 1),)
+
+
+class TestFDChase:
+    def test_merge_nulls(self):
+        inst = Instance(
+            [ground_atom("R", 1, Null("a")), ground_atom("R", 1, Null("b"))]
+        )
+        result = chase(inst, [fd("R", [0], 1)])
+        assert result.outcome is ChaseOutcome.FIXPOINT
+        assert len(result.instance) == 1
+
+    def test_merge_prefers_constant(self):
+        inst = Instance(
+            [ground_atom("R", 1, Null("a")), ground_atom("R", 1, "c")]
+        )
+        result = chase(inst, [fd("R", [0], 1)])
+        assert ground_atom("R", 1, "c") in result.instance
+        assert result.substitution.get(Null("a")) == Constant("c")
+
+    def test_constant_clash_fails(self):
+        inst = Instance(
+            [ground_atom("R", 1, "a"), ground_atom("R", 1, "b")]
+        )
+        result = chase(inst, [fd("R", [0], 1)])
+        assert result.outcome is ChaseOutcome.FAILED
+
+    def test_merge_cascades(self):
+        # Merging at position 1 creates a new violation at position 0.
+        inst = Instance(
+            [
+                ground_atom("R", Null("x"), 1),
+                ground_atom("R", Null("x"), 2),
+            ]
+        )
+        # FD 0 -> 1 merges 1 and 2? No: constants clash -> FAILED.
+        result = chase(inst, [fd("R", [0], 1)])
+        assert result.outcome is ChaseOutcome.FAILED
+
+    def test_egd_generic(self):
+        rule = EGD(
+            (atom("R", "x", "y"), atom("R", "y", "x")),
+            atom("R", "x", "y").terms[0],
+            atom("R", "x", "y").terms[1],
+        )
+        inst = Instance(
+            [ground_atom("R", Null("a"), Null("b")),
+             ground_atom("R", Null("b"), Null("a"))]
+        )
+        result = chase(inst, [rule])
+        assert result.outcome is ChaseOutcome.FIXPOINT
+        assert len(result.instance.facts_of("R")) == 1  # collapsed to loop
+
+
+class TestInteraction:
+    def test_tgd_then_fd(self):
+        # R(x) -> S(x, z); FD on S forces all z to merge with existing.
+        inst = Instance([ground_atom("R", 1), ground_atom("S", 1, "known")])
+        rules = [tgd("R(x) -> S(x, z)"), fd("S", [0], 1)]
+        result = chase(inst, rules)
+        assert result.outcome is ChaseOutcome.FIXPOINT
+        assert result.instance.facts_of("S") == frozenset(
+            {ground_atom("S", 1, "known")}
+        )
+
+    def test_stop_when(self):
+        rules = [tgd("R(x, y) -> R(y, z)")]
+        inst = Instance([ground_atom("R", 0, 1)])
+        target = boolean_cq(
+            [atom("R", "a", "b"), atom("R", "b", "c"), atom("R", "c", "d")]
+        )
+        result = chase(
+            inst, rules, max_rounds=50,
+            stop_when=lambda i: holds(target, i),
+        )
+        assert result.outcome is ChaseOutcome.EARLY_STOP
+        assert result.rounds <= 3

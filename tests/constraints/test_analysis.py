@@ -1,0 +1,109 @@
+"""Tests for structural analysis: position graphs, semi-width, classes."""
+
+from repro.constraints import (
+    ConstraintClass,
+    classify,
+    fd,
+    has_acyclic_position_graph,
+    inclusion_dependency,
+    is_weakly_acyclic,
+    position_graph,
+    semi_width,
+    tgd,
+)
+
+
+class TestPositionGraph:
+    def test_edges_follow_exported_variables(self):
+        rule = tgd("R(x, y) -> S(y, z)")
+        graph = position_graph([rule])
+        assert graph.has_edge(("R", 1), ("S", 0))
+        assert not graph.has_edge(("R", 0), ("S", 0))
+
+    def test_acyclicity(self):
+        chain = [tgd("R(x, y) -> S(y, z)"), tgd("S(x, y) -> T(x, y)")]
+        assert has_acyclic_position_graph(chain)
+        # A single shift R(x,y)->R(y,z) only has the edge (R,1)->(R,0),
+        # which is acyclic; a swap creates a genuine 2-cycle.
+        shift = [tgd("R(x, y) -> R(y, z)")]
+        assert has_acyclic_position_graph(shift)
+        swap = [tgd("R(x, y) -> R(y, x)")]
+        assert not has_acyclic_position_graph(swap)
+
+
+class TestWeakAcyclicity:
+    def test_full_tgds_weakly_acyclic(self):
+        assert is_weakly_acyclic([tgd("R(x, y) -> S(y, x)")])
+
+    def test_self_feeding_existential_not(self):
+        assert not is_weakly_acyclic([tgd("R(x, y) -> R(y, z)")])
+
+    def test_existential_into_other_relation_ok(self):
+        assert is_weakly_acyclic([tgd("R(x, y) -> S(y, z)")])
+
+
+class TestSemiWidth:
+    def test_pure_acyclic_has_semi_width_zero(self):
+        rules = [tgd("R(x, y) -> S(y, z)"), tgd("S(x, y) -> T(x, y)")]
+        assert semi_width(rules) == 0
+
+    def test_cyclic_width_counts(self):
+        rules = [tgd("R(x, y) -> R(y, x)")]  # swap: cyclic, width 2
+        assert semi_width(rules) == 2
+
+    def test_shift_is_acyclic(self):
+        rules = [tgd("R(x, y) -> R(y, z)")]  # acyclic position graph
+        assert semi_width(rules) == 0
+
+    def test_mixed(self):
+        rules = [
+            # Two shifts that close a position cycle, each width 1.
+            tgd("R(x, y) -> R(y, z)"),
+            tgd("R(x, y) -> R(w, x)"),
+            # Wide but acyclic rule.
+            tgd("R(x, y) -> S(x, y, w)"),
+        ]
+        assert semi_width(rules) == 1
+
+
+class TestClassification:
+    def test_empty(self):
+        assert classify([]).fragment is ConstraintClass.NONE
+
+    def test_fds_only(self):
+        assert classify([fd("R", [0], 1)]).fragment is ConstraintClass.FDS
+
+    def test_bounded_width_ids(self):
+        rules = [inclusion_dependency("R", (0,), "S", (0,), 2, 2)]
+        assert classify(rules).fragment is ConstraintClass.BOUNDED_WIDTH_IDS
+
+    def test_wide_ids(self):
+        rules = [inclusion_dependency("R", (0, 1, 2), "S", (0, 1, 2), 3, 3)]
+        assert (
+            classify(rules, width_bound=2).fragment is ConstraintClass.IDS
+        )
+
+    def test_uids_and_fds(self):
+        rules = [
+            inclusion_dependency("R", (0,), "S", (0,), 2, 2),
+            fd("R", [0], 1),
+        ]
+        assert classify(rules).fragment is ConstraintClass.UIDS_AND_FDS
+
+    def test_full_tgds(self):
+        assert (
+            classify([tgd("R(x), S(x) -> T(x)")]).fragment
+            is ConstraintClass.FULL_TGDS
+        )
+
+    def test_frontier_guarded(self):
+        rules = [tgd("R(x, z), S(z, y) -> T(x, w)")]
+        assert classify(rules).fragment is ConstraintClass.FRONTIER_GUARDED_TGDS
+
+    def test_arbitrary_tgds(self):
+        rules = [tgd("R(x), S(y) -> T(x, y, w)")]
+        assert classify(rules).fragment is ConstraintClass.EQUALITY_FREE
+
+    def test_guarded(self):
+        rules = [tgd("R(x, y), S(x) -> T(x, y, w)")]
+        assert classify(rules).fragment is ConstraintClass.GUARDED_TGDS

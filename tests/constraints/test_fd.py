@@ -1,0 +1,86 @@
+"""Tests for FDs, FD implication, and DetBy."""
+
+import pytest
+
+from repro.constraints import (
+    FunctionalDependency,
+    det_by,
+    fd,
+    fd_closure,
+    implied_unary_fds,
+    implies_fd,
+    minimal_keys,
+    parse_fd,
+)
+from repro.data import Instance
+from repro.logic import ground_atom
+
+
+class TestFDSemantics:
+    def test_satisfied(self):
+        dependency = fd("R", [0], 1)
+        good = Instance([ground_atom("R", 1, "a"), ground_atom("R", 2, "a")])
+        bad = Instance([ground_atom("R", 1, "a"), ground_atom("R", 1, "b")])
+        assert dependency.satisfied_by(good)
+        assert not dependency.satisfied_by(bad)
+
+    def test_composite_determiner(self):
+        dependency = fd("R", [0, 1], 2)
+        good = Instance(
+            [ground_atom("R", 1, 2, "x"), ground_atom("R", 1, 3, "y")]
+        )
+        assert dependency.satisfied_by(good)
+        bad = Instance(
+            [ground_atom("R", 1, 2, "x"), ground_atom("R", 1, 2, "y")]
+        )
+        assert not dependency.satisfied_by(bad)
+
+    def test_trivial(self):
+        assert fd("R", [0, 1], 0).is_trivial()
+        assert not fd("R", [0], 1).is_trivial()
+
+    def test_parse_one_based(self):
+        dependency = parse_fd("R: 1, 2 -> 3")
+        assert dependency == fd("R", [0, 1], 2)
+
+    def test_parse_errors(self):
+        with pytest.raises(ValueError):
+            parse_fd("R 1 -> 2")
+        with pytest.raises(ValueError):
+            parse_fd("R: 0 -> 1")
+
+
+class TestImplication:
+    def test_closure_transitive(self):
+        fds = [fd("R", [0], 1), fd("R", [1], 2)]
+        assert fd_closure([0], fds, "R") == frozenset({0, 1, 2})
+
+    def test_closure_respects_relation(self):
+        fds = [fd("S", [0], 1)]
+        assert fd_closure([0], fds, "R") == frozenset({0})
+
+    def test_implies(self):
+        fds = [fd("R", [0], 1), fd("R", [1], 2)]
+        assert implies_fd(fds, fd("R", [0], 2))
+        assert not implies_fd(fds, fd("R", [2], 0))
+
+    def test_det_by_includes_input(self):
+        assert det_by([], "R", [0, 2]) == frozenset({0, 2})
+
+    def test_det_by_example_1_5(self):
+        # Udirectory(id, addr, phone) with id -> addr: DetBy({id}) = {id, addr}.
+        phi = fd("Udirectory", [0], 1)
+        assert det_by([phi], "Udirectory", [0]) == frozenset({0, 1})
+
+    def test_implied_unary(self):
+        fds = [fd("R", [0], 1), fd("R", [1], 2)]
+        unary = set(implied_unary_fds(fds, "R", 3))
+        assert fd("R", [0], 2) in unary
+        assert fd("R", [0], 1) in unary
+        assert fd("R", [2], 0) not in unary
+
+    def test_minimal_keys(self):
+        fds = [fd("R", [0], 1), fd("R", [0], 2)]
+        assert minimal_keys(fds, "R", 3) == [frozenset({0})]
+        # No FDs: the only key is all positions.
+        assert minimal_keys([], "R", 2) == [frozenset({0, 1})]

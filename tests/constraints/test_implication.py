@@ -1,0 +1,53 @@
+"""Tests for UID implication closure (Cosmadakis–Kanellakis–Vardi)."""
+
+from repro.constraints import (
+    inclusion_dependency,
+    uid_as_positions,
+    uid_closure,
+    uid_closure_tgds,
+)
+from repro.constraints.implication import implies_uid
+
+
+class TestUIDClosure:
+    def test_transitivity(self):
+        uids = {
+            (("R", 0), ("S", 0)),
+            (("S", 0), ("T", 1)),
+        }
+        closed = uid_closure(uids)
+        assert (("R", 0), ("T", 1)) in closed
+
+    def test_no_reflexive_output(self):
+        uids = {(("R", 0), ("S", 0)), (("S", 0), ("R", 0))}
+        closed = uid_closure(uids)
+        assert (("R", 0), ("R", 0)) not in closed
+        assert (("R", 0), ("S", 0)) in closed
+
+    def test_long_chain(self):
+        uids = {((f"R{i}", 0), (f"R{i+1}", 0)) for i in range(10)}
+        closed = uid_closure(uids)
+        assert (("R0", 0), ("R10", 0)) in closed
+        assert (("R10", 0), ("R0", 0)) not in closed
+
+    def test_implies(self):
+        uids = [(("R", 0), ("S", 0)), (("S", 0), ("T", 0))]
+        assert implies_uid(uids, (("R", 0), ("T", 0)))
+        assert implies_uid(uids, (("R", 0), ("R", 0)))  # trivial
+        assert not implies_uid(uids, (("T", 0), ("R", 0)))
+
+
+class TestTGDRoundTrip:
+    def test_positions_roundtrip(self):
+        uid = inclusion_dependency("R", (1,), "S", (0,), 2, 2)
+        assert uid_as_positions(uid) == (("R", 1), ("S", 0))
+
+    def test_closure_tgds(self):
+        uids = [
+            inclusion_dependency("R", (0,), "S", (0,), 1, 1),
+            inclusion_dependency("S", (0,), "T", (0,), 1, 1),
+        ]
+        closed = uid_closure_tgds(uids, {"R": 1, "S": 1, "T": 1})
+        profiles = {uid_as_positions(u) for u in closed}
+        assert (("R", 0), ("T", 0)) in profiles
+        assert len(profiles) == 3

@@ -1,0 +1,98 @@
+"""Tests for TGDs and their syntactic classes."""
+
+import pytest
+
+from repro.constraints import TGD, id_profile, inclusion_dependency, tgd
+from repro.data import Instance
+from repro.logic import Variable, atom, ground_atom
+
+
+class TestParsingAndStructure:
+    def test_exported_variables(self):
+        rule = tgd("R(x, y) -> S(y, z)")
+        assert rule.exported_variables() == (Variable("y"),)
+        assert rule.existential_variables() == (Variable("z"),)
+        assert rule.width == 1
+
+    def test_full(self):
+        assert tgd("R(x, y) -> S(y, x)").is_full()
+        assert not tgd("R(x) -> S(x, z)").is_full()
+
+    def test_linear(self):
+        assert tgd("R(x) -> S(x)").is_linear()
+        assert not tgd("R(x), T(x) -> S(x)").is_linear()
+
+    def test_guarded(self):
+        assert tgd("R(x, y), S(x) -> T(y)").is_guarded()
+        assert not tgd("R(x), S(y) -> T(x, y)").is_guarded()
+
+    def test_frontier_guarded(self):
+        # Not guarded (no atom has both x and y) but frontier {x} is.
+        rule = tgd("R(x, z), S(z, y) -> T(x)")
+        assert not rule.is_guarded()
+        assert rule.is_frontier_guarded()
+
+    def test_inclusion_dependency_detection(self):
+        assert tgd("R(x, y) -> S(y, z)").is_inclusion_dependency()
+        assert not tgd("R(x, x) -> S(x)").is_inclusion_dependency()
+        assert not tgd("R(x, y), T(x) -> S(x)").is_inclusion_dependency()
+        assert tgd("R(x, y) -> S(y, z)").width == 1
+        assert tgd("R(x, y) -> S(y, x)").width == 2
+
+    def test_uid(self):
+        assert tgd("R(x, y) -> S(y, z)").is_unary_inclusion_dependency()
+        assert not tgd("R(x, y) -> S(y, x)").is_unary_inclusion_dependency()
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            TGD((), (atom("R", "x"),))
+
+
+class TestSemantics:
+    def test_satisfied(self):
+        rule = tgd("R(x) -> S(x)")
+        good = Instance([ground_atom("R", 1), ground_atom("S", 1)])
+        bad = Instance([ground_atom("R", 1)])
+        assert rule.satisfied_by(good)
+        assert not rule.satisfied_by(bad)
+
+    def test_existential_satisfaction(self):
+        rule = tgd("R(x) -> S(x, z)")
+        good = Instance([ground_atom("R", 1), ground_atom("S", 1, 99)])
+        assert rule.satisfied_by(good)
+
+    def test_active_trigger(self):
+        rule = tgd("R(x) -> S(x)")
+        inst = Instance([ground_atom("R", 1), ground_atom("R", 2),
+                         ground_atom("S", 1)])
+        active = [
+            t for t in rule.triggers(inst)
+            if rule.is_active_trigger(t, inst)
+        ]
+        assert len(active) == 1
+
+
+class TestInclusionDependencyBuilder:
+    def test_round_trip(self):
+        rule = inclusion_dependency("R", (0, 2), "S", (1, 0), 3, 2)
+        assert rule.is_inclusion_dependency()
+        assert rule.width == 2
+        assert id_profile(rule) == ("R", (0, 2), "S", (1, 0))
+
+    def test_semantics(self):
+        # R[0] ⊆ S[1]
+        rule = inclusion_dependency("R", (0,), "S", (1,), 2, 2)
+        good = Instance([ground_atom("R", "a", "b"), ground_atom("S", "x", "a")])
+        bad = Instance([ground_atom("R", "a", "b"), ground_atom("S", "a", "x")])
+        assert rule.satisfied_by(good)
+        assert not rule.satisfied_by(bad)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            inclusion_dependency("R", (0, 0), "S", (0, 1), 2, 2)
+        with pytest.raises(ValueError):
+            inclusion_dependency("R", (0,), "S", (5,), 2, 2)
+
+    def test_id_profile_rejects_non_id(self):
+        with pytest.raises(ValueError):
+            id_profile(tgd("R(x), S(x) -> T(x)"))

@@ -1,0 +1,82 @@
+"""Tests for chase-based containment."""
+
+from repro.containment import certain_answer_boolean, contains
+from repro.constraints import fd, tgd
+from repro.data import Instance
+from repro.logic import (
+    UnionOfConjunctiveQueries,
+    atom,
+    boolean_cq,
+    ground_atom,
+)
+
+
+class TestPlainContainment:
+    def test_no_constraints_homomorphism(self):
+        q1 = boolean_cq([atom("R", "x", "x")])
+        q2 = boolean_cq([atom("R", "x", "y")])
+        assert contains(q1, q2, []).is_yes
+        assert contains(q2, q1, []).is_no
+
+    def test_with_full_tgds(self):
+        q1 = boolean_cq([atom("R", "x")])
+        q2 = boolean_cq([atom("S", "x")])
+        assert contains(q1, q2, [tgd("R(x) -> S(x)")]).is_yes
+        assert contains(q1, q2, [tgd("S(x) -> R(x)")]).is_no
+
+    def test_with_existential(self):
+        q1 = boolean_cq([atom("R", "x")])
+        q2 = boolean_cq([atom("S", "x", "y")])
+        assert contains(q1, q2, [tgd("R(x) -> S(x, z)")]).is_yes
+
+    def test_transitive_derivation(self):
+        rules = [tgd("R(x) -> S(x, z)"), tgd("S(x, y) -> T(y)")]
+        q1 = boolean_cq([atom("R", "x")])
+        q2 = boolean_cq([atom("T", "u")])
+        assert contains(q1, q2, rules).is_yes
+
+    def test_ucq_target(self):
+        q1 = boolean_cq([atom("R", "x")])
+        target = UnionOfConjunctiveQueries(
+            (boolean_cq([atom("T", "u")]), boolean_cq([atom("R", "v")]))
+        )
+        assert contains(q1, target, []).is_yes
+
+    def test_unknown_on_divergent_chase(self):
+        rules = [tgd("R(x, y) -> R(y, z)")]
+        q1 = boolean_cq([atom("R", "x", "y")])
+        q2 = boolean_cq([atom("S", "u")])  # never derivable
+        decision = contains(q1, q2, rules, max_rounds=5)
+        assert decision.is_unknown
+
+    def test_yes_on_divergent_chase_when_found(self):
+        rules = [tgd("R(x, y) -> R(y, z)")]
+        q1 = boolean_cq([atom("R", "x", "y")])
+        q2 = boolean_cq([atom("R", "a", "b"), atom("R", "b", "c")])
+        assert contains(q1, q2, rules, max_rounds=10).is_yes
+
+
+class TestFDContainment:
+    def test_fd_merges_make_query_true(self):
+        # Q: R(x,y), R(x,z), S(y) with FD R: 1->2 implies y=z, so S(z) too.
+        q1 = boolean_cq([atom("R", "x", "y"), atom("R", "x", "z"),
+                         atom("S", "y")])
+        q2 = boolean_cq([atom("R", "u", "v"), atom("S", "v")])
+        assert contains(q1, q2, [fd("R", [0], 1)]).is_yes
+
+    def test_fd_no_containment(self):
+        q1 = boolean_cq([atom("R", "x", "y")])
+        q2 = boolean_cq([atom("R", "x", "y"), atom("S", "y")])
+        assert contains(q1, q2, [fd("R", [0], 1)]).is_no
+
+
+class TestCertainAnswers:
+    def test_certain_via_constraint(self):
+        inst = Instance([ground_atom("R", 1)])
+        q = boolean_cq([atom("S", "x")])
+        assert certain_answer_boolean(inst, q, [tgd("R(x) -> S(x)")]).is_yes
+
+    def test_not_certain(self):
+        inst = Instance([ground_atom("R", 1)])
+        q = boolean_cq([atom("S", "x")])
+        assert certain_answer_boolean(inst, q, []).is_no

@@ -1,0 +1,36 @@
+"""Tests for the three-valued decision type."""
+
+import pytest
+
+from repro.containment import Decision, Truth
+
+
+class TestTruth:
+    def test_yes_truthy(self):
+        assert bool(Truth.YES)
+        assert not bool(Truth.NO)
+
+    def test_unknown_refuses_coercion(self):
+        with pytest.raises(ValueError):
+            bool(Truth.UNKNOWN)
+
+
+class TestDecision:
+    def test_constructors(self):
+        yes = Decision.yes("because", rounds=3)
+        assert yes.is_yes and not yes.is_no and not yes.is_unknown
+        assert yes.detail["rounds"] == 3
+
+        no = Decision.no("nope")
+        assert no.is_no
+
+        unknown = Decision.unknown("bound hit")
+        assert unknown.is_unknown
+
+    def test_certificate_carried(self):
+        certificate = object()
+        decision = Decision.yes("with witness", certificate=certificate)
+        assert decision.certificate is certificate
+
+    def test_repr_mentions_reason(self):
+        assert "bound hit" in repr(Decision.unknown("bound hit"))

@@ -1,0 +1,111 @@
+"""Tests for the backward UCQ rewriting (linear TGDs / IDs)."""
+
+import pytest
+
+from repro.containment import RewritingError, linear_contains, rewrite
+from repro.constraints import inclusion_dependency, tgd
+from repro.logic import atom, boolean_cq
+
+
+class TestRewriting:
+    def test_identity_in_rewriting(self):
+        q = boolean_cq([atom("R", "x")])
+        result = rewrite(q, [])
+        assert len(result.disjuncts) == 1
+
+    def test_single_step(self):
+        # S(x) -> R(x): query R(u) rewrites to S(u).
+        rules = [tgd("S(x) -> R(x)")]
+        q = boolean_cq([atom("R", "u")])
+        result = rewrite(q, rules)
+        bodies = {d.atoms[0].relation for d in result.disjuncts}
+        assert bodies == {"R", "S"}
+
+    def test_existential_applicability(self):
+        # S(x) -> R(x, z): R(u, v) rewrites to S(u) only because v is
+        # unshared; R(u, u) must NOT rewrite.
+        rules = [tgd("S(x) -> R(x, z)")]
+        ok = rewrite(boolean_cq([atom("R", "u", "v")]), rules)
+        assert any(
+            d.atoms[0].relation == "S" and len(d.atoms) == 1
+            for d in ok.disjuncts
+        )
+        blocked = rewrite(boolean_cq([atom("R", "u", "u")]), rules)
+        assert all(
+            any(a.relation == "R" for a in d.atoms)
+            for d in blocked.disjuncts
+        )
+
+    def test_shared_variable_blocks(self):
+        # v is shared with T(v): cannot treat it as existential witness.
+        rules = [tgd("S(x) -> R(x, z)")]
+        q = boolean_cq([atom("R", "u", "v"), atom("T", "v")])
+        result = rewrite(q, rules)
+        for d in result.disjuncts:
+            assert any(a.relation == "R" for a in d.atoms)
+
+    def test_factorization_enables_rewrite(self):
+        # Query R(u, v), R(u, w): factorizing to R(u, v) allows the rewrite.
+        rules = [tgd("S(x) -> R(x, z)")]
+        q = boolean_cq([atom("R", "u", "v"), atom("R", "u", "w")])
+        result = rewrite(q, rules)
+        assert any(
+            len(d.atoms) == 1 and d.atoms[0].relation == "S"
+            for d in result.disjuncts
+        )
+
+    def test_non_linear_rejected(self):
+        with pytest.raises(RewritingError):
+            rewrite(boolean_cq([atom("R", "x")]), [tgd("R(x), S(x) -> T(x)")])
+
+    def test_non_boolean_rejected(self):
+        from repro.logic import Variable, cq
+
+        q = cq([atom("R", "x")], free=[Variable("x")])
+        with pytest.raises(RewritingError):
+            rewrite(q, [])
+
+
+class TestLinearContains:
+    def test_simple_id_containment(self):
+        # R[0] ⊆ S[0]: R(x,y) should imply ∃u,v S(x,v)... as Boolean:
+        rules = [inclusion_dependency("R", (0,), "S", (0,), 2, 2)]
+        q1 = boolean_cq([atom("R", "x", "y")])
+        q2 = boolean_cq([atom("S", "u", "v")])
+        assert linear_contains(q1, q2, rules).is_yes
+        assert linear_contains(q2, q1, rules).is_no
+
+    def test_chain_of_ids(self):
+        rules = [
+            inclusion_dependency("R", (0,), "S", (0,), 1, 1),
+            inclusion_dependency("S", (0,), "T", (0,), 1, 1),
+        ]
+        q1 = boolean_cq([atom("R", "x")])
+        q2 = boolean_cq([atom("T", "x")])
+        assert linear_contains(q1, q2, rules).is_yes
+
+    def test_cyclic_ids_terminate(self):
+        # R(x,y) -> R(y,z) diverges in the chase but rewriting terminates.
+        rules = [tgd("R(x, y) -> R(y, z)")]
+        q1 = boolean_cq([atom("R", "x", "y")])
+        q2 = boolean_cq([atom("R", "a", "b"), atom("R", "b", "c")])
+        assert linear_contains(q1, q2, rules).is_yes
+        q3 = boolean_cq([atom("S", "s")])
+        assert linear_contains(q1, q3, rules).is_no
+
+    def test_agreement_with_chase_on_terminating_cases(self):
+        from repro.containment import contains
+
+        rules = [
+            inclusion_dependency("A", (0,), "B", (1,), 2, 2),
+            inclusion_dependency("B", (0,), "C", (0,), 2, 1),
+        ]
+        q1 = boolean_cq([atom("A", "x", "y")])
+        for q2 in [
+            boolean_cq([atom("B", "u", "v")]),
+            boolean_cq([atom("C", "w")]),
+            boolean_cq([atom("A", "x", "x")]),
+        ]:
+            chase_decision = contains(q1, q2, rules)
+            rewrite_decision = linear_contains(q1, q2, rules)
+            assert chase_decision.truth == rewrite_decision.truth

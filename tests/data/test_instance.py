@@ -1,0 +1,122 @@
+"""Tests for the indexed instance store."""
+
+import pytest
+
+from repro.data import Instance
+from repro.logic import Constant, Null, atom, ground_atom
+
+
+def facts3():
+    return [
+        ground_atom("R", "a", "b"),
+        ground_atom("R", "a", "c"),
+        ground_atom("S", "b"),
+    ]
+
+
+class TestInstanceMutation:
+    def test_add_and_contains(self):
+        inst = Instance()
+        assert inst.add(ground_atom("R", 1, 2))
+        assert ground_atom("R", 1, 2) in inst
+        assert ground_atom("R", 2, 1) not in inst
+
+    def test_add_duplicate_returns_false(self):
+        inst = Instance()
+        fact = ground_atom("R", 1)
+        assert inst.add(fact)
+        assert not inst.add(fact)
+        assert len(inst) == 1
+
+    def test_add_variable_fact_rejected(self):
+        inst = Instance()
+        with pytest.raises(ValueError):
+            inst.add(atom("R", "x"))
+
+    def test_discard(self):
+        inst = Instance(facts3())
+        assert inst.discard(ground_atom("R", "a", "b"))
+        assert not inst.discard(ground_atom("R", "a", "b"))
+        assert len(inst) == 2
+
+    def test_discard_cleans_indexes(self):
+        inst = Instance([ground_atom("R", "a", "b")])
+        inst.discard(ground_atom("R", "a", "b"))
+        assert inst.facts_with("R", 0, Constant("a")) == frozenset()
+        assert inst.active_domain() == frozenset()
+
+
+class TestInstanceQueries:
+    def test_facts_of(self):
+        inst = Instance(facts3())
+        assert len(inst.facts_of("R")) == 2
+        assert len(inst.facts_of("S")) == 1
+        assert inst.facts_of("T") == frozenset()
+
+    def test_facts_with(self):
+        inst = Instance(facts3())
+        found = inst.facts_with("R", 0, Constant("a"))
+        assert found == frozenset(
+            {ground_atom("R", "a", "b"), ground_atom("R", "a", "c")}
+        )
+        assert inst.facts_with("R", 1, Constant("b")) == frozenset(
+            {ground_atom("R", "a", "b")}
+        )
+
+    def test_active_domain(self):
+        inst = Instance(facts3())
+        assert inst.active_domain() == frozenset(
+            {Constant("a"), Constant("b"), Constant("c")}
+        )
+
+    def test_constants_vs_nulls(self):
+        inst = Instance([Instance, ][0:0])  # empty
+        inst = Instance()
+        inst.add(ground_atom("R", Constant("a"), Null("n")))
+        assert inst.constants() == frozenset({Constant("a")})
+        assert inst.nulls() == frozenset({Null("n")})
+
+    def test_subinstance(self):
+        small = Instance([ground_atom("R", "a", "b")])
+        big = Instance(facts3())
+        assert small.is_subinstance_of(big)
+        assert not big.is_subinstance_of(small)
+        assert small <= big
+
+    def test_relations(self):
+        assert Instance(facts3()).relations() == ("R", "S")
+
+
+class TestInstanceTransforms:
+    def test_substitute(self):
+        inst = Instance([ground_atom("R", Constant("a"), Null("n"))])
+        out = inst.substitute({Null("n"): Constant("b")})
+        assert ground_atom("R", "a", "b") in out
+        # Original untouched.
+        assert ground_atom("R", "a", "b") not in inst
+
+    def test_rename_relations(self):
+        inst = Instance([ground_atom("R", 1)])
+        out = inst.rename_relations(lambda r: r + "2")
+        assert ground_atom("R2", 1) in out
+
+    def test_restrict_to_relations(self):
+        inst = Instance(facts3())
+        out = inst.restrict_to_relations(["S"])
+        assert len(out) == 1 and out.relations() == ("S",)
+
+    def test_union(self):
+        left = Instance([ground_atom("R", 1)])
+        right = Instance([ground_atom("S", 2)])
+        merged = left.union(right)
+        assert len(merged) == 2
+        assert len(left) == 1  # union is non-destructive
+
+    def test_copy_independent(self):
+        inst = Instance(facts3())
+        clone = inst.copy()
+        clone.add(ground_atom("T", 9))
+        assert ground_atom("T", 9) not in inst
+
+    def test_equality(self):
+        assert Instance(facts3()) == Instance(reversed(facts3()))

@@ -1,0 +1,121 @@
+"""Edge cases across the stack: nullary relations, empty schemas,
+self-referential constraints, and random cross-validation sweeps."""
+
+import pytest
+
+from repro.answerability import (
+    decide_monotone_answerability,
+    decide_with_ids,
+    existence_check_simplification,
+)
+from repro.chase import ChaseOutcome, chase
+from repro.constraints import tgd
+from repro.data import Instance
+from repro.logic import Atom, Constant, atom, boolean_cq, holds
+from repro.schema import Schema
+from repro.workloads.generators import random_id_workload
+
+
+class TestNullaryRelations:
+    """Arity-0 relations arise from the existence-check simplification
+    of input-free bounded methods; they must work end to end."""
+
+    def test_nullary_facts(self):
+        instance = Instance([Atom("Flag", ())])
+        assert Atom("Flag", ()) in instance
+        assert holds(boolean_cq([Atom("Flag", ())]), instance)
+        assert not holds(boolean_cq([Atom("Other", ())]), instance)
+
+    def test_nullary_in_chase(self):
+        rule = tgd("R(x) -> Go()")
+        result = chase(Instance([atom("R", Constant(1))]), [rule])
+        assert result.outcome is ChaseOutcome.FIXPOINT
+        assert Atom("Go", ()) in result.instance
+
+    def test_existence_check_view_of_input_free_method(self):
+        schema = Schema()
+        schema.add_relation("R", 2)
+        schema.add_method("dump", "R", inputs=[], result_bound=3)
+        simplified = existence_check_simplification(schema)
+        view = simplified.rewrites["dump"].view_relation
+        assert view.arity == 0
+        q = boolean_cq([atom("R", "x", "y")])
+        assert decide_with_ids(simplified.schema, q).is_yes
+
+
+class TestDegenerateSchemas:
+    def test_no_methods_only_trivial_queries(self):
+        schema = Schema()
+        schema.add_relation("R", 1)
+        q = boolean_cq([atom("R", "x")])
+        assert decide_monotone_answerability(schema, q).is_no
+
+    def test_boolean_method_needs_constants(self):
+        schema = Schema()
+        schema.add_relation("R", 1)
+        schema.add_method("chk", "R", inputs=[0])
+        # Without constants nothing is accessible.
+        assert decide_monotone_answerability(
+            schema, boolean_cq([atom("R", "x")])
+        ).is_no
+        # With a constant the membership test answers the query.
+        assert decide_monotone_answerability(
+            schema, boolean_cq([atom("R", Constant("a"))])
+        ).is_yes
+
+    def test_self_referential_id(self):
+        schema = Schema()
+        schema.add_relation("R", 2)
+        schema.add_method("m", "R", inputs=[0])
+        schema.add_constraint(tgd("R(x, y) -> R(y, x)"))
+        q = boolean_cq([atom("R", Constant(1), "y")])
+        decision = decide_monotone_answerability(schema, q)
+        assert not decision.is_unknown
+
+    def test_query_with_repeated_constant(self):
+        schema = Schema()
+        schema.add_relation("R", 2)
+        schema.add_method("m", "R", inputs=[0])
+        q = boolean_cq([atom("R", Constant("a"), Constant("a"))])
+        assert decide_monotone_answerability(schema, q).is_yes
+
+
+class TestRandomSweeps:
+    """Statistical cross-validation beyond the benchmark sweep."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_linearization_chase_agreement(self, seed):
+        workload = random_id_workload(seed, relations=4, ids=4, methods=3)
+        lin = decide_with_ids(
+            workload.schema, workload.query, route="linearization"
+        )
+        assert not lin.is_unknown
+        cha = decide_with_ids(
+            workload.schema, workload.query, route="chase", max_rounds=10
+        )
+        if not cha.is_unknown:
+            assert lin.truth == cha.truth
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_yes_implies_universal_plan_correct(self, seed):
+        from repro.accessibility import RandomSelection, StingySelection
+        from repro.answerability import UniversalPlan
+        from repro.answerability.counterexamples import (
+            candidate_instances_for,
+        )
+
+        workload = random_id_workload(
+            seed, relations=3, ids=3, methods=3, bound=2
+        )
+        decision = decide_with_ids(workload.schema, workload.query)
+        if not decision.is_yes:
+            return
+        plan = UniversalPlan(workload.schema, workload.query)
+        for instance in candidate_instances_for(
+            workload.schema, workload.query
+        )[:2]:
+            expected = holds(workload.query, instance)
+            for selection in (StingySelection(), RandomSelection(seed)):
+                run = plan.run(instance, selection)
+                if run.definitive:
+                    assert bool(run.answers) == expected

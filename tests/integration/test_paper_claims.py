@@ -1,0 +1,193 @@
+"""Integration tests: the paper's cross-cutting claims, end to end.
+
+Each test exercises several modules together to check an actual theorem
+statement on concrete families — the library-level counterpart of the
+paper's proofs.
+"""
+
+import pytest
+
+from repro.answerability import (
+    UniversalPlan,
+    choice_simplification,
+    decide_monotone_answerability,
+    decide_with_choice_simplification,
+    decide_with_fds,
+    decide_with_ids,
+    elim_ub,
+    existence_check_simplification,
+    fd_simplification,
+    find_amondet_counterexample,
+    generate_static_plan,
+)
+from repro.accessibility import EagerSelection, RandomSelection, StingySelection
+from repro.data import Instance
+from repro.logic import evaluate_cq, evaluate_ucq, holds
+from repro.plans import plan_answers_query_on, plan_to_ucq
+from repro.workloads import (
+    fd_determinacy_workload,
+    lookup_chain_workload,
+    tgd_transfer_workload,
+    uid_fd_workload,
+)
+from repro.workloads.generators import directory_instance
+from repro.workloads.paperschemas import (
+    query_q1_boolean,
+    query_q2,
+    university_instance,
+    university_schema,
+)
+
+
+class TestProp33ElimUB:
+    """Result upper bounds never matter (Prop 3.3)."""
+
+    @pytest.mark.parametrize(
+        "workload",
+        [
+            lookup_chain_workload(2, dump_bound=5),
+            fd_determinacy_workload(2, bound=3),
+            uid_fd_workload(2),
+            tgd_transfer_workload(2),
+        ],
+        ids=lambda wl: wl.name,
+    )
+    def test_elim_ub_preserves_decision(self, workload):
+        direct = decide_monotone_answerability(workload.schema, workload.query)
+        relaxed = decide_monotone_answerability(
+            elim_ub(workload.schema), workload.query
+        )
+        assert direct.truth == relaxed.truth
+
+
+class TestThm42ExistenceCheck:
+    """For IDs, deciding on the existence-check simplification agrees."""
+
+    @pytest.mark.parametrize("bound", [2, 50])
+    @pytest.mark.parametrize("size", [1, 2])
+    def test_equivalence(self, size, bound):
+        workload = lookup_chain_workload(size, dump_bound=bound)
+        direct = decide_with_ids(workload.schema, workload.query)
+        simplified = existence_check_simplification(workload.schema).schema
+        assert not simplified.has_result_bounds()
+        via = decide_with_ids(simplified, workload.query)
+        assert direct.truth == via.truth
+
+
+class TestThm45FD:
+    """For FDs, deciding on the FD simplification agrees."""
+
+    @pytest.mark.parametrize("determined", [1, 2])
+    @pytest.mark.parametrize("ask_undetermined", [False, True])
+    def test_equivalence(self, determined, ask_undetermined):
+        workload = fd_determinacy_workload(
+            determined, ask_undetermined=ask_undetermined
+        )
+        direct = decide_with_fds(workload.schema, workload.query)
+        simplified = fd_simplification(elim_ub(workload.schema)).schema
+        assert not simplified.has_result_bounds()
+        via = decide_with_fds(simplified, workload.query)
+        assert direct.truth == via.truth
+        assert direct.is_yes == workload.expected_answerable
+
+
+class TestThm63ChoiceInvariance:
+    """For TGD classes the bound's value is irrelevant (choice simpl)."""
+
+    @pytest.mark.parametrize("bound", [1, 3, 77])
+    def test_bound_invariance_tgds(self, bound):
+        workload = tgd_transfer_workload(2)
+        schema = workload.schema.replace_methods(
+            [
+                m.with_result_bound(bound) if m.is_result_bounded() else m
+                for m in workload.schema.methods
+            ]
+        )
+        result = decide_with_choice_simplification(schema, workload.query)
+        assert result.is_yes
+
+
+class TestThm31PlansIffAMonDet:
+    """YES decisions yield working plans; NO decisions yield verified
+    counterexamples (the two sides of Thm 3.1)."""
+
+    def test_yes_side(self):
+        workload = lookup_chain_workload(1, dump_bound=None)
+        assert decide_monotone_answerability(
+            workload.schema, workload.query
+        ).is_yes
+        plan = generate_static_plan(workload.schema, workload.query)
+        instances = [
+            Instance(),
+            directory_instance(3),
+            directory_instance(6, seed=2),
+        ]
+        assert plan_answers_query_on(
+            plan, workload.query, workload.schema, instances,
+            exhaustive=False,
+        )
+
+    def test_no_side(self):
+        schema = university_schema(ud_bound=2)
+        query = query_q1_boolean()
+        assert decide_monotone_answerability(schema, query).is_no
+        counterexample = find_amondet_counterexample(schema, query)
+        assert counterexample is not None
+        assert counterexample.verify(schema, query)
+
+    def test_universal_plan_on_all_yes_workloads(self):
+        cases = [
+            (lookup_chain_workload(1, dump_bound=None), directory_instance(4)),
+            (tgd_transfer_workload(1), None),
+        ]
+        for workload, instance in cases:
+            if instance is None:
+                continue
+            assert decide_monotone_answerability(
+                workload.schema, workload.query
+            ).is_yes
+            plan = UniversalPlan(workload.schema, workload.query)
+            for selection in (
+                EagerSelection(), StingySelection(), RandomSelection(3),
+            ):
+                assert plan.holds(instance, selection) == holds(
+                    workload.query, instance
+                )
+
+
+class TestProp22PlanToUCQ:
+    """Monotone plans convert to UCQs equivalent on Σ-instances under
+    eager access — the device behind finite controllability (Prop 2.2)."""
+
+    def test_extracted_plan_ucq_equivalence(self):
+        schema = university_schema(ud_bound=None)
+        query = query_q2()
+        plan = generate_static_plan(schema, query)
+        ucq = plan_to_ucq(plan, schema)
+        for n in (0, 2, 5):
+            instance = university_instance(n)
+            assert schema.satisfied_by(instance)
+            expected = evaluate_cq(query, instance)
+            assert evaluate_ucq(ucq, instance) == expected
+
+
+class TestSimplificationHierarchy:
+    """Choice is weaker than existence-check/FD but applies more widely
+    (§6): on ID schemas all three give the same verdict."""
+
+    @pytest.mark.parametrize("bound", [3, 40])
+    def test_all_simplifications_agree_on_ids(self, bound):
+        workload = lookup_chain_workload(2, dump_bound=bound)
+        schema = workload.schema
+        query = workload.query
+        direct = decide_monotone_answerability(schema, query).truth
+
+        choice = choice_simplification(schema).schema
+        via_choice = decide_monotone_answerability(choice, query).truth
+
+        existence = existence_check_simplification(schema).schema
+        via_existence = decide_monotone_answerability(
+            existence, query
+        ).truth
+
+        assert direct == via_choice == via_existence

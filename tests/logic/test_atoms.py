@@ -1,0 +1,57 @@
+"""Tests for atoms and the atom builders."""
+
+import pytest
+
+from repro.logic import Atom, Constant, Null, Variable, atom, ground_atom
+
+
+class TestAtomBasics:
+    def test_builder_strings_are_variables(self):
+        a = atom("R", "x", "y")
+        assert a.terms == (Variable("x"), Variable("y"))
+
+    def test_builder_numbers_are_constants(self):
+        a = atom("R", "x", 3)
+        assert a.terms == (Variable("x"), Constant(3))
+
+    def test_ground_atom_strings_are_constants(self):
+        a = ground_atom("R", "a", 1)
+        assert a.terms == (Constant("a"), Constant(1))
+        assert a.is_ground()
+
+    def test_arity(self):
+        assert atom("R", "x", "y", "z").arity == 3
+
+    def test_variables_deduplicated_in_order(self):
+        a = atom("R", "x", "y", "x")
+        assert a.variables() == (Variable("x"), Variable("y"))
+
+    def test_nulls_and_constants(self):
+        a = Atom("R", (Null("n"), Constant(1), Variable("x")))
+        assert a.nulls() == (Null("n"),)
+        assert a.constants() == (Constant(1),)
+        assert not a.is_ground()
+
+
+class TestAtomOperations:
+    def test_substitute(self):
+        a = atom("R", "x", "y")
+        result = a.substitute({Variable("x"): Constant(5)})
+        assert result == Atom("R", (Constant(5), Variable("y")))
+
+    def test_substitute_keeps_unmapped(self):
+        a = atom("R", "x", "y")
+        assert a.substitute({}) == a
+
+    def test_rename_relation(self):
+        a = atom("R", "x")
+        assert a.rename_relation(lambda r: r + "_prime").relation == "R_prime"
+
+    def test_positions_of(self):
+        a = atom("R", "x", "y", "x")
+        assert a.positions_of(Variable("x")) == (0, 2)
+        assert a.positions_of(Variable("z")) == ()
+
+    def test_atoms_are_hashable_and_comparable(self):
+        assert atom("R", "x") == atom("R", "x")
+        assert len({atom("R", "x"), atom("R", "x")}) == 1

@@ -1,0 +1,125 @@
+"""Tests for homomorphism search."""
+
+from repro.data import Instance
+from repro.logic import (
+    Constant,
+    Null,
+    Variable,
+    atom,
+    find_homomorphism,
+    ground_atom,
+    has_homomorphism,
+    homomorphisms,
+    instance_homomorphism,
+    is_homomorphically_equivalent,
+)
+
+
+def path_instance(length=3):
+    return Instance(
+        ground_atom("E", i, i + 1) for i in range(length)
+    )
+
+
+class TestBasicMatching:
+    def test_single_atom_match(self):
+        inst = Instance([ground_atom("R", "a", "b")])
+        h = find_homomorphism([atom("R", "x", "y")], inst)
+        assert h == {Variable("x"): Constant("a"), Variable("y"): Constant("b")}
+
+    def test_no_match_wrong_relation(self):
+        inst = Instance([ground_atom("S", "a")])
+        assert not has_homomorphism([atom("R", "x")], inst)
+
+    def test_constant_must_match(self):
+        inst = Instance([ground_atom("R", "a")])
+        assert has_homomorphism([atom("R", Constant("a"))], inst)
+        assert not has_homomorphism([atom("R", Constant("b"))], inst)
+
+    def test_join_variable_shared(self):
+        inst = path_instance(2)  # E(0,1), E(1,2)
+        assert has_homomorphism(
+            [atom("E", "x", "y"), atom("E", "y", "z")], inst
+        )
+        # A 3-path needs length-2 instance to have... E(0,1),E(1,2): a
+        # 3-step path does not exist.
+        assert not has_homomorphism(
+            [atom("E", "x", "y"), atom("E", "y", "z"), atom("E", "z", "w"),
+             atom("E", "w", "v")],
+            inst,
+        )
+
+    def test_repeated_variable_in_atom(self):
+        inst = Instance([ground_atom("R", "a", "b")])
+        assert not has_homomorphism([atom("R", "x", "x")], inst)
+        inst.add(ground_atom("R", "c", "c"))
+        h = find_homomorphism([atom("R", "x", "x")], inst)
+        assert h[Variable("x")] == Constant("c")
+
+    def test_enumeration_counts(self):
+        inst = path_instance(3)  # E(0,1),E(1,2),E(2,3)
+        matches = list(homomorphisms([atom("E", "x", "y")], inst))
+        assert len(matches) == 3
+        matches2 = list(
+            homomorphisms([atom("E", "x", "y"), atom("E", "y", "z")], inst)
+        )
+        assert len(matches2) == 2
+
+    def test_seed_constrains_search(self):
+        inst = path_instance(3)
+        seed = {Variable("x"): Constant(1)}
+        matches = list(homomorphisms([atom("E", "x", "y")], inst, seed=seed))
+        assert len(matches) == 1
+        assert matches[0][Variable("y")] == Constant(2)
+
+
+class TestNullHandling:
+    def test_rigid_nulls_by_default(self):
+        inst = Instance([ground_atom("R", Null("a"))])
+        assert has_homomorphism([atom("R", Null("a"))], inst)
+        assert not has_homomorphism([atom("R", Null("b"))], inst)
+
+    def test_flexible_nulls(self):
+        inst = Instance([ground_atom("R", "c")])
+        assert has_homomorphism(
+            [atom("R", Null("b"))], inst, flexible_nulls=True
+        )
+
+    def test_instance_homomorphism_maps_nulls(self):
+        source = Instance([ground_atom("R", Null("n"), Constant("a"))])
+        target = Instance([ground_atom("R", Constant("b"), Constant("a"))])
+        mapping = instance_homomorphism(source, target)
+        assert mapping is not None
+        assert mapping[Null("n")] == Constant("b")
+        assert mapping[Constant("a")] == Constant("a")
+
+    def test_instance_homomorphism_constants_rigid(self):
+        source = Instance([ground_atom("R", "a")])
+        target = Instance([ground_atom("R", "b")])
+        assert instance_homomorphism(source, target) is None
+
+    def test_homomorphic_equivalence(self):
+        left = Instance([ground_atom("R", Null("x"), Null("y"))])
+        right = Instance(
+            [ground_atom("R", Null("u"), Null("v")),
+             ground_atom("R", Null("a"), Null("b"))]
+        )
+        assert is_homomorphically_equivalent(left, right)
+
+    def test_path_not_equivalent_to_edge(self):
+        edge = Instance([ground_atom("R", Null("x"), Null("y"))])
+        path = Instance(
+            [ground_atom("R", Null("u"), Null("v")),
+             ground_atom("R", Null("v"), Null("w"))]
+        )
+        # The 2-path maps into nothing shorter: no hom path -> edge.
+        assert instance_homomorphism(edge, path) is not None
+        assert instance_homomorphism(path, edge) is None
+
+
+class TestEmptyCases:
+    def test_empty_atom_list_trivial(self):
+        assert find_homomorphism([], Instance()) == {}
+
+    def test_empty_instance_no_match(self):
+        assert not has_homomorphism([atom("R", "x")], Instance())

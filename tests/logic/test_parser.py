@@ -1,0 +1,72 @@
+"""Tests for the text parser."""
+
+import pytest
+
+from repro.logic import (
+    Atom,
+    Constant,
+    Null,
+    ParseError,
+    Variable,
+    parse_atom,
+    parse_atoms,
+    parse_cq,
+    split_rule,
+)
+
+
+class TestAtoms:
+    def test_simple(self):
+        assert parse_atom("R(x, y)") == Atom(
+            "R", (Variable("x"), Variable("y"))
+        )
+
+    def test_constants(self):
+        a = parse_atom("R('abc', 42, 3.5)")
+        assert a.terms == (Constant("abc"), Constant(42), Constant(3.5))
+
+    def test_nulls(self):
+        assert parse_atom("R(_n1)").terms == (Null("n1"),)
+
+    def test_nullary(self):
+        assert parse_atom("R()").arity == 0
+
+    def test_conjunction(self):
+        atoms = parse_atoms("R(x), S(x, y) & T(y)")
+        assert [a.relation for a in atoms] == ["R", "S", "T"]
+
+    def test_error_on_garbage(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(x")
+        with pytest.raises(ParseError):
+            parse_atom("R(x)) extra")
+
+
+class TestQueries:
+    def test_boolean_body_only(self):
+        q = parse_cq("R(x, y), S(y)")
+        assert q.is_boolean()
+        assert len(q.atoms) == 2
+
+    def test_with_head(self):
+        q = parse_cq("Q(x) :- R(x, y)")
+        assert q.free_variables == (Variable("x"),)
+        assert q.name == "Q"
+
+    def test_head_constants_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cq("Q('a') :- R('a')")
+
+
+class TestRules:
+    def test_full_rule(self):
+        body, head = split_rule("R(x, y) -> S(y, x)")
+        assert body[0].relation == "R" and head[0].relation == "S"
+
+    def test_exists_prefix_accepted(self):
+        body, head = split_rule("R(x) -> exists z. S(x, z)")
+        assert head[0].terms == (Variable("x"), Variable("z"))
+
+    def test_multi_atom_head(self):
+        __, head = split_rule("R(x) -> S(x), T(x)")
+        assert len(head) == 2

@@ -1,0 +1,109 @@
+"""Tests for CQs, UCQs, canonical databases, and evaluation."""
+
+import pytest
+
+from repro.data import Instance
+from repro.logic import (
+    ConjunctiveQuery,
+    Constant,
+    Null,
+    UnionOfConjunctiveQueries,
+    Variable,
+    atom,
+    boolean_cq,
+    cq,
+    evaluate_cq,
+    evaluate_ucq,
+    ground_atom,
+    holds,
+    ucq_holds,
+)
+
+
+class TestConstruction:
+    def test_boolean(self):
+        q = boolean_cq([atom("R", "x")])
+        assert q.is_boolean()
+
+    def test_free_variable_must_occur(self):
+        with pytest.raises(ValueError):
+            cq([atom("R", "x")], free=[Variable("y")])
+
+    def test_variables_in_order(self):
+        q = boolean_cq([atom("R", "y", "x"), atom("S", "z")])
+        assert q.variables() == (Variable("y"), Variable("x"), Variable("z"))
+
+    def test_existential_variables(self):
+        q = cq([atom("R", "x", "y")], free=[Variable("x")])
+        assert q.existential_variables() == (Variable("y"),)
+
+    def test_relations(self):
+        q = boolean_cq([atom("S", "x"), atom("R", "x"), atom("S", "y")])
+        assert q.relations() == ("R", "S")
+
+
+class TestCanonicalDatabase:
+    def test_variables_become_nulls(self):
+        q = boolean_cq([atom("R", "x", 5)])
+        canonical, freezing = q.canonical_instance()
+        frozen = freezing[Variable("x")]
+        assert isinstance(frozen, Null)
+        assert ground_atom("R", frozen, Constant(5)) in canonical
+
+    def test_shared_variables_shared_nulls(self):
+        q = boolean_cq([atom("R", "x", "y"), atom("S", "y")])
+        canonical, freezing = q.canonical_instance()
+        y_null = freezing[Variable("y")]
+        assert ground_atom("S", y_null) in canonical
+
+    def test_query_holds_on_its_canonical_db(self):
+        q = boolean_cq([atom("R", "x", "y"), atom("S", "y", "z")])
+        canonical, __ = q.canonical_instance()
+        assert holds(q, canonical)
+
+
+class TestEvaluation:
+    def test_boolean_true_false(self):
+        q = boolean_cq([atom("R", "x", "x")])
+        yes = Instance([ground_atom("R", 1, 1)])
+        no = Instance([ground_atom("R", 1, 2)])
+        assert evaluate_cq(q, yes) == frozenset({()})
+        assert evaluate_cq(q, no) == frozenset()
+
+    def test_answers(self):
+        q = cq(
+            [atom("E", "x", "y"), atom("E", "y", "z")],
+            free=[Variable("x"), Variable("z")],
+        )
+        inst = Instance([ground_atom("E", 0, 1), ground_atom("E", 1, 2)])
+        assert evaluate_cq(q, inst) == frozenset(
+            {(Constant(0), Constant(2))}
+        )
+
+    def test_substitute_drops_bound_free_vars(self):
+        q = cq([atom("R", "x", "y")], free=[Variable("x"), Variable("y")])
+        bound = q.substitute({Variable("x"): Constant(7)})
+        assert bound.free_variables == (Variable("y"),)
+        assert bound.atoms[0].terms[0] == Constant(7)
+
+
+class TestUCQ:
+    def test_needs_disjuncts(self):
+        with pytest.raises(ValueError):
+            UnionOfConjunctiveQueries(())
+
+    def test_arity_agreement(self):
+        q1 = cq([atom("R", "x")], free=[Variable("x")])
+        q2 = boolean_cq([atom("S", "y")])
+        with pytest.raises(ValueError):
+            UnionOfConjunctiveQueries((q1, q2))
+
+    def test_union_semantics(self):
+        q = UnionOfConjunctiveQueries(
+            (boolean_cq([atom("R", "x")]), boolean_cq([atom("S", "x")]))
+        )
+        assert ucq_holds(q, Instance([ground_atom("S", 1)]))
+        assert not ucq_holds(q, Instance([ground_atom("T", 1)]))
+        assert evaluate_ucq(q, Instance([ground_atom("R", 2)])) == frozenset(
+            {()}
+        )

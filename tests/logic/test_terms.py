@@ -1,0 +1,63 @@
+"""Tests for terms: variables, constants, nulls, and the null factory."""
+
+from repro.logic import Constant, Null, NullFactory, Variable, fresh_null
+from repro.logic.terms import is_ground, variables
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable(self):
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_repr(self):
+        assert repr(Variable("abc")) == "abc"
+
+    def test_variables_helper(self):
+        x, y, z = variables("x", "y", "z")
+        assert (x, y, z) == (Variable("x"), Variable("y"), Variable("z"))
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant(1) == Constant(1)
+        assert Constant(1) != Constant(2)
+        assert Constant("1") != Constant(1)
+
+    def test_distinct_from_variable(self):
+        assert Constant("x") != Variable("x")
+
+    def test_repr_strings_quoted(self):
+        assert repr(Constant("a")) == "'a'"
+        assert repr(Constant(3)) == "3"
+
+
+class TestNull:
+    def test_equality_by_label(self):
+        assert Null("n1") == Null("n1")
+        assert Null("n1") != Null("n2")
+
+    def test_distinct_from_constant(self):
+        assert Null("a") != Constant("a")
+
+    def test_is_ground(self):
+        assert is_ground(Null("n"))
+        assert is_ground(Constant(1))
+        assert not is_ground(Variable("x"))
+
+
+class TestNullFactory:
+    def test_fresh_nulls_distinct(self):
+        factory = NullFactory()
+        seen = {factory.fresh() for _ in range(100)}
+        assert len(seen) == 100
+
+    def test_hint_embedded(self):
+        factory = NullFactory(prefix="t")
+        null = factory.fresh("x")
+        assert "x" in null.label and null.label.startswith("t")
+
+    def test_global_factory_distinct(self):
+        assert fresh_null() != fresh_null()

@@ -1,0 +1,112 @@
+"""Tests for the relational algebra."""
+
+import pytest
+
+from repro.logic import Constant
+from repro.plans import (
+    AlgebraError,
+    ConstantRow,
+    Difference,
+    Join,
+    Product,
+    Projection,
+    Selection,
+    TableRef,
+    Union,
+    Unit,
+)
+
+
+def c(*values):
+    return tuple(Constant(v) for v in values)
+
+
+ENV = {
+    "R": frozenset({c(1, "a"), c(2, "b"), c(3, "a")}),
+    "S": frozenset({c("a"), c("z")}),
+}
+
+
+class TestEvaluation:
+    def test_table_ref(self):
+        assert TableRef("R", 2).evaluate(ENV) == ENV["R"]
+
+    def test_unknown_table(self):
+        with pytest.raises(AlgebraError):
+            TableRef("X", 1).evaluate(ENV)
+
+    def test_unit(self):
+        assert Unit().evaluate(ENV) == frozenset({()})
+
+    def test_constant_row(self):
+        expr = ConstantRow((Constant(7),))
+        assert expr.evaluate(ENV) == frozenset({c(7)})
+
+    def test_selection_col_const(self):
+        expr = Selection(TableRef("R", 2), ((1, Constant("a")),))
+        assert expr.evaluate(ENV) == frozenset({c(1, "a"), c(3, "a")})
+
+    def test_selection_col_col(self):
+        env = {"T": frozenset({c(1, 1), c(1, 2)})}
+        expr = Selection(TableRef("T", 2), ((0, 1),))
+        assert expr.evaluate(env) == frozenset({c(1, 1)})
+
+    def test_projection_reorder_duplicate(self):
+        expr = Projection(TableRef("R", 2), (1, 1, 0))
+        assert c("a", "a", 1) in expr.evaluate(ENV)
+
+    def test_product(self):
+        expr = Product(TableRef("S", 1), TableRef("S", 1))
+        assert len(expr.evaluate(ENV)) == 4
+
+    def test_join(self):
+        expr = Join(TableRef("R", 2), TableRef("S", 1), ((1, 0),))
+        assert expr.evaluate(ENV) == frozenset(
+            {c(1, "a", "a"), c(3, "a", "a")}
+        )
+
+    def test_union(self):
+        expr = Union((TableRef("S", 1), ConstantRow((Constant("y"),))))
+        assert expr.evaluate(ENV) == frozenset({c("a"), c("z"), c("y")})
+
+    def test_difference(self):
+        expr = Difference(TableRef("S", 1), ConstantRow((Constant("a"),)))
+        assert expr.evaluate(ENV) == frozenset({c("z")})
+
+
+class TestValidation:
+    def test_selection_range(self):
+        with pytest.raises(AlgebraError):
+            Selection(TableRef("R", 2), ((5, Constant(1)),))
+
+    def test_projection_range(self):
+        with pytest.raises(AlgebraError):
+            Projection(TableRef("R", 2), (2,))
+
+    def test_join_range(self):
+        with pytest.raises(AlgebraError):
+            Join(TableRef("R", 2), TableRef("S", 1), ((0, 3),))
+
+    def test_union_arity(self):
+        with pytest.raises(AlgebraError):
+            Union((TableRef("R", 2), TableRef("S", 1)))
+
+    def test_difference_arity(self):
+        with pytest.raises(AlgebraError):
+            Difference(TableRef("R", 2), TableRef("S", 1))
+
+
+class TestMonotonicity:
+    def test_monotone_tree(self):
+        expr = Union((Projection(TableRef("R", 2), (0,)), TableRef("S", 1)))
+        assert expr.is_monotone()
+
+    def test_difference_not_monotone(self):
+        expr = Projection(
+            Difference(TableRef("S", 1), TableRef("S", 1)), (0,)
+        )
+        assert not expr.is_monotone()
+
+    def test_tables_used(self):
+        expr = Join(TableRef("R", 2), TableRef("S", 1), ((1, 0),))
+        assert expr.tables_used() == frozenset({"R", "S"})

@@ -1,0 +1,171 @@
+"""Tests for the cached-plan transformation (Appendix A, Prop A.2)."""
+
+import pytest
+
+from repro.accessibility import ExplicitSelection
+from repro.data import Instance
+from repro.logic import ground_atom
+from repro.plans import (
+    AccessCommand,
+    Join,
+    Plan,
+    PlanError,
+    Projection,
+    QueryCommand,
+    TableRef,
+    Unit,
+    execute,
+)
+from repro.plans.caching import with_output_caching
+from repro.schema import Schema
+
+
+def schema_a1():
+    schema = Schema()
+    schema.add_relation("R", 1)
+    schema.add_method("mt", "R", inputs=[], result_bound=5)
+    return schema
+
+
+def intersection_plan():
+    """Example A.1: access mt twice, intersect, project to Boolean."""
+    return Plan(
+        (
+            AccessCommand("T1", "mt", Unit()),
+            AccessCommand("T2", "mt", Unit()),
+            QueryCommand(
+                "T0",
+                Projection(
+                    Join(TableRef("T1", 1), TableRef("T2", 1), ((0, 0),)),
+                    (),
+                ),
+            ),
+        ),
+        "T0",
+    )
+
+
+def keyed_schema():
+    schema = Schema()
+    schema.add_relation("S", 2)
+    schema.add_method("by_key", "S", inputs=[0], result_lower_bound=1)
+    schema.add_method("dump", "S", inputs=[])
+    return schema
+
+
+class TestExampleA1:
+    def test_uncached_plan_nondeterministic(self):
+        schema = schema_a1()
+        instance = Instance(ground_atom("R", i) for i in range(12))
+        low = frozenset(ground_atom("R", i) for i in range(5))
+        high = frozenset(ground_atom("R", i) for i in range(5, 10))
+        selections = iter(
+            [ExplicitSelection({("mt", ()): low}),
+             ExplicitSelection({("mt", ()): high})]
+        )
+        output = execute(
+            intersection_plan(),
+            instance,
+            schema,
+            semantics="non_idempotent",
+            selection_factory=lambda: next(selections),
+        )
+        assert output == frozenset()  # misses although R is nonempty
+
+    def test_cached_plan_deterministic(self):
+        """cached(PL) answers non-emptiness under disagreeing draws."""
+        schema = schema_a1()
+        instance = Instance(ground_atom("R", i) for i in range(12))
+        cached = with_output_caching(intersection_plan(), schema)
+        assert cached.is_monotone()
+        low = frozenset(ground_atom("R", i) for i in range(5))
+        high = frozenset(ground_atom("R", i) for i in range(5, 10))
+        selections = iter(
+            [ExplicitSelection({("mt", ()): low}),
+             ExplicitSelection({("mt", ()): high})]
+        )
+        output = execute(
+            cached,
+            instance,
+            schema,
+            semantics="non_idempotent",
+            selection_factory=lambda: next(selections),
+        )
+        # T2 now unions T1's cached output: the intersection is nonempty.
+        assert output == frozenset({()})
+
+    def test_cached_plan_same_under_idempotent(self):
+        schema = schema_a1()
+        instance = Instance(ground_atom("R", i) for i in range(12))
+        plain = execute(intersection_plan(), instance, schema)
+        cached = execute(
+            with_output_caching(intersection_plan(), schema),
+            instance,
+            schema,
+        )
+        assert plain == cached == frozenset({()})
+
+
+class TestKeyedCaching:
+    def keyed_plan(self):
+        """Dump keys, access by_key twice, compare outputs."""
+        return Plan(
+            (
+                AccessCommand("T_dump", "dump", Unit()),
+                AccessCommand(
+                    "A1", "by_key", Projection(TableRef("T_dump", 2), (0,))
+                ),
+                AccessCommand(
+                    "A2", "by_key", Projection(TableRef("T_dump", 2), (0,))
+                ),
+                QueryCommand(
+                    "T0",
+                    Projection(
+                        Join(TableRef("A1", 2), TableRef("A2", 2),
+                             ((0, 0), (1, 1))),
+                        (),
+                    ),
+                ),
+            ),
+            "T0",
+        )
+
+    def test_replay_joins_on_binding(self):
+        schema = keyed_schema()
+        instance = Instance(
+            [ground_atom("S", "k", 1), ground_atom("S", "k", 2)]
+        )
+        cached = with_output_caching(self.keyed_plan(), schema)
+        cached.validate(schema)
+        # Lower bound 1: selections may return {S(k,1)} then {S(k,2)};
+        # with caching A2 ⊇ A1 so the join is nonempty.
+        first = ExplicitSelection(
+            {("by_key", (ground_atom("S", "k", 1).terms[0],)):
+             frozenset([ground_atom("S", "k", 1)])}
+        )
+        second = ExplicitSelection(
+            {("by_key", (ground_atom("S", "k", 1).terms[0],)):
+             frozenset([ground_atom("S", "k", 2)])}
+        )
+        selections = iter([ExplicitSelection({}), first, second])
+        output = execute(
+            cached,
+            instance,
+            schema,
+            semantics="non_idempotent",
+            selection_factory=lambda: next(selections),
+        )
+        assert output == frozenset({()})
+
+    def test_rejects_projected_outputs(self):
+        schema = keyed_schema()
+        plan = Plan(
+            (
+                AccessCommand(
+                    "T", "dump", Unit(), output_positions=(1,)
+                ),
+            ),
+            "T",
+        )
+        with pytest.raises(PlanError):
+            with_output_caching(plan, schema)

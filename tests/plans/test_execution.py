@@ -1,0 +1,227 @@
+"""Tests for plan construction, execution, and the paper's Examples
+1.2, 1.4, 2.1, and A.1."""
+
+import pytest
+
+from repro.accessibility import EagerSelection, StingySelection
+from repro.data import Instance
+from repro.logic import Constant, ground_atom
+from repro.plans import (
+    AccessCommand,
+    Plan,
+    PlanError,
+    Projection,
+    QueryCommand,
+    Selection,
+    TableRef,
+    Unit,
+    execute,
+    plan_answers_query_on,
+    possible_outputs,
+)
+from repro.schema import Schema
+from repro.workloads.paperschemas import (
+    query_q1,
+    query_q2,
+    university_instance,
+    university_schema,
+)
+
+
+def example_1_2_plan() -> Plan:
+    """Access ud to get ids, feed them to pr, filter salary = 10000."""
+    return Plan(
+        (
+            AccessCommand("T_dir", "ud", Unit()),
+            AccessCommand(
+                "T_prof", "pr", Projection(TableRef("T_dir", 3), (0,))
+            ),
+            QueryCommand(
+                "T_out",
+                Projection(
+                    Selection(
+                        TableRef("T_prof", 3), ((2, Constant(10000)),)
+                    ),
+                    (1,),
+                ),
+            ),
+        ),
+        "T_out",
+        name="PL_Q1",
+    )
+
+
+def example_2_1_plan() -> Plan:
+    """T <= ud <= ∅;  T0 := π∅ T;  Return T0  (Example 2.1)."""
+    return Plan(
+        (
+            AccessCommand("T", "ud", Unit()),
+            QueryCommand("T0", Projection(TableRef("T", 3), ())),
+        ),
+        "T0",
+        name="PL_Q2",
+    )
+
+
+class TestValidation:
+    def test_duplicate_target(self):
+        with pytest.raises(PlanError):
+            Plan(
+                (
+                    QueryCommand("T", Unit()),
+                    QueryCommand("T", Unit()),
+                ),
+                "T",
+            )
+
+    def test_missing_return(self):
+        with pytest.raises(PlanError):
+            Plan((QueryCommand("T", Unit()),), "Nope")
+
+    def test_use_before_define(self):
+        schema = university_schema()
+        plan = Plan(
+            (QueryCommand("T", Projection(TableRef("X", 2), (0,))),), "T"
+        )
+        with pytest.raises(PlanError):
+            plan.validate(schema)
+
+    def test_monotone_flag(self):
+        assert example_1_2_plan().is_monotone()
+
+    def test_methods_used(self):
+        assert example_1_2_plan().methods_used() == frozenset({"ud", "pr"})
+
+
+class TestExample12:
+    """Example 1.2: the plan answers Q1 when ud has no result bound."""
+
+    def test_plan_computes_q1_without_bound(self):
+        schema = university_schema(ud_bound=None)
+        instance = university_instance(6)
+        output = execute(example_1_2_plan(), instance, schema)
+        expected = {
+            (Constant(f"name{i}"),) for i in range(6) if i % 2 == 0
+        }
+        assert output == frozenset(expected)
+
+    def test_example_1_3_bound_breaks_the_plan(self):
+        """Example 1.3: with a result bound on ud the plan can miss
+        answers under an adversarial selection."""
+        schema = university_schema(ud_bound=2)
+        instance = university_instance(8)
+        outputs = {
+            execute(example_1_2_plan(), instance, schema, selection)
+            for selection in (EagerSelection(), StingySelection())
+        }
+        full = execute(
+            example_1_2_plan(), instance, university_schema(ud_bound=None)
+        )
+        # Some valid selection yields fewer answers than the true result.
+        assert any(o != full for o in outputs) or len(full) <= 2
+
+    def test_empirical_answerability_check(self):
+        schema = university_schema(ud_bound=None)
+        instances = [university_instance(n) for n in (1, 3, 5)]
+        assert plan_answers_query_on(
+            example_1_2_plan(), query_q1(), schema, instances,
+            exhaustive=False,
+        )
+
+
+class TestExample14And21:
+    """Examples 1.4/2.1: existence check is robust to result bounds."""
+
+    def test_single_possible_output_nonempty(self):
+        schema = university_schema(ud_bound=2)
+        instance = university_instance(7)
+        outputs = set(
+            possible_outputs(example_2_1_plan(), instance, schema)
+        )
+        assert outputs == {frozenset({()})}
+
+    def test_single_possible_output_empty(self):
+        schema = university_schema(ud_bound=2)
+        outputs = set(
+            possible_outputs(example_2_1_plan(), Instance(), schema)
+        )
+        assert outputs == {frozenset()}
+
+    def test_answers_q2_exhaustively(self):
+        schema = university_schema(ud_bound=2)
+        instances = [Instance(), university_instance(5)]
+        assert plan_answers_query_on(
+            example_2_1_plan(), query_q2(), schema, instances,
+        )
+
+    def test_q1_plan_fails_exhaustive_check_with_bound(self):
+        schema = university_schema(ud_bound=1)
+        instances = [university_instance(4)]
+        assert not plan_answers_query_on(
+            example_1_2_plan(), query_q1(), schema, instances,
+            per_access_limit=8, total_limit=256,
+        )
+
+
+class TestSemantics:
+    """Appendix A: idempotent vs non-idempotent execution."""
+
+    def make_intersection_plan(self):
+        """Example A.1: access mt twice, intersect (via join), project."""
+        from repro.plans import Join
+
+        return Plan(
+            (
+                AccessCommand("T1", "mt", Unit()),
+                AccessCommand("T2", "mt", Unit()),
+                QueryCommand(
+                    "T0",
+                    Projection(
+                        Join(TableRef("T1", 1), TableRef("T2", 1), ((0, 0),)),
+                        (),
+                    ),
+                ),
+            ),
+            "T0",
+        )
+
+    def schema_a1(self):
+        schema = Schema()
+        schema.add_relation("R", 1)
+        schema.add_method("mt", "R", inputs=[], result_bound=5)
+        return schema
+
+    def test_idempotent_repeated_access_consistent(self):
+        schema = self.schema_a1()
+        instance = Instance(ground_atom("R", i) for i in range(12))
+        plan = self.make_intersection_plan()
+        # Under idempotent semantics T1 = T2, so the output is nonempty.
+        for seed_selection in (EagerSelection(), StingySelection()):
+            output = execute(plan, instance, schema, seed_selection)
+            assert output == frozenset({()})
+
+    def test_non_idempotent_may_disagree(self):
+        from repro.accessibility import ExplicitSelection
+
+        schema = self.schema_a1()
+        instance = Instance(ground_atom("R", i) for i in range(12))
+        plan = self.make_intersection_plan()
+        # Force the two access commands to draw disjoint valid outputs.
+        low = frozenset(ground_atom("R", i) for i in range(5))
+        high = frozenset(ground_atom("R", i) for i in range(5, 10))
+        selections = iter(
+            [
+                ExplicitSelection({("mt", ()): low}),
+                ExplicitSelection({("mt", ()): high}),
+            ]
+        )
+        output = execute(
+            plan,
+            instance,
+            schema,
+            semantics="non_idempotent",
+            selection_factory=lambda: next(selections),
+        )
+        # Disjoint draws: the intersection plan returns empty although R
+        # is nonempty — Example A.1's nondeterminism.
+        assert output == frozenset()

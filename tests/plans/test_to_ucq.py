@@ -1,0 +1,126 @@
+"""Tests for monotone plan -> UCQ conversion."""
+
+import pytest
+
+from repro.data import Instance
+from repro.logic import evaluate_ucq
+from repro.plans import (
+    AccessCommand,
+    Difference,
+    Plan,
+    Projection,
+    QueryCommand,
+    Selection,
+    TableRef,
+    UCQConversionError,
+    Union,
+    Unit,
+    execute,
+    plan_to_ucq,
+)
+from repro.logic.terms import Constant
+from repro.workloads.paperschemas import (
+    university_instance,
+    university_schema,
+)
+
+
+def q1_plan():
+    return Plan(
+        (
+            AccessCommand("T_dir", "ud", Unit()),
+            AccessCommand(
+                "T_prof", "pr", Projection(TableRef("T_dir", 3), (0,))
+            ),
+            QueryCommand(
+                "T_out",
+                Projection(
+                    Selection(TableRef("T_prof", 3), ((2, Constant(10000)),)),
+                    (1,),
+                ),
+            ),
+        ),
+        "T_out",
+        name="PLQ1",
+    )
+
+
+class TestConversion:
+    def test_q1_plan_ucq_matches_execution(self):
+        schema = university_schema(ud_bound=None)
+        plan = q1_plan()
+        ucq = plan_to_ucq(plan, schema)
+        for n in (0, 1, 4, 7):
+            instance = university_instance(n)
+            assert evaluate_ucq(ucq, instance) == execute(
+                plan, instance, schema
+            )
+
+    def test_boolean_plan(self):
+        schema = university_schema(ud_bound=None)
+        plan = Plan(
+            (
+                AccessCommand("T", "ud", Unit()),
+                QueryCommand("T0", Projection(TableRef("T", 3), ())),
+            ),
+            "T0",
+        )
+        ucq = plan_to_ucq(plan, schema)
+        assert ucq.is_boolean()
+        assert evaluate_ucq(ucq, university_instance(2)) == frozenset({()})
+        assert evaluate_ucq(ucq, Instance()) == frozenset()
+
+    def test_union_plans(self):
+        schema = university_schema(ud_bound=None)
+        plan = Plan(
+            (
+                AccessCommand("T", "ud", Unit()),
+                QueryCommand(
+                    "T0",
+                    Union(
+                        (
+                            Projection(TableRef("T", 3), (0,)),
+                            Projection(TableRef("T", 3), (1,)),
+                        )
+                    ),
+                ),
+            ),
+            "T0",
+        )
+        ucq = plan_to_ucq(plan, schema)
+        assert len(ucq.disjuncts) == 2
+
+    def test_difference_rejected(self):
+        schema = university_schema(ud_bound=None)
+        plan = Plan(
+            (
+                AccessCommand("T", "ud", Unit()),
+                QueryCommand(
+                    "T0",
+                    Difference(
+                        Projection(TableRef("T", 3), (0,)),
+                        Projection(TableRef("T", 3), (1,)),
+                    ),
+                ),
+            ),
+            "T0",
+        )
+        with pytest.raises(UCQConversionError):
+            plan_to_ucq(plan, schema)
+
+    def test_access_binding_join_semantics(self):
+        # The pr access joins Prof on the id coming from ud: check the
+        # UCQ encodes the join (id shared between Udirectory and Prof).
+        schema = university_schema(ud_bound=None)
+        ucq = plan_to_ucq(q1_plan(), schema)
+        disjunct = ucq.disjuncts[0]
+        relations = sorted(a.relation for a in disjunct.atoms)
+        assert relations == ["Prof", "Udirectory"]
+        prof_atom = next(
+            a for a in disjunct.atoms if a.relation == "Prof"
+        )
+        dir_atom = next(
+            a for a in disjunct.atoms if a.relation == "Udirectory"
+        )
+        assert prof_atom.terms[0] == dir_atom.terms[0]  # shared id
+        assert prof_atom.terms[2] == Constant(10000)

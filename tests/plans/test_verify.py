@@ -1,0 +1,109 @@
+"""Tests for symbolic plan verification."""
+
+from repro.data import Instance
+from repro.logic import Constant, atom, boolean_cq
+from repro.plans import (
+    AccessCommand,
+    Plan,
+    Projection,
+    QueryCommand,
+    TableRef,
+    Unit,
+)
+from repro.plans.verify import verify_plan_symbolically
+from repro.workloads.paperschemas import (
+    query_q1_boolean,
+    query_q2,
+    university_instance,
+    university_schema,
+)
+
+
+def q1_boolean_plan():
+    """Dump directory, look professors up, test salary = 10000."""
+    from repro.plans import Selection
+
+    return Plan(
+        (
+            AccessCommand("T_dir", "ud", Unit()),
+            AccessCommand(
+                "T_prof", "pr", Projection(TableRef("T_dir", 3), (0,))
+            ),
+            QueryCommand(
+                "T_out",
+                Projection(
+                    Selection(TableRef("T_prof", 3),
+                              ((2, Constant(10000)),)),
+                    (),
+                ),
+            ),
+        ),
+        "T_out",
+    )
+
+
+def q2_plan():
+    return Plan(
+        (
+            AccessCommand("T", "ud", Unit()),
+            QueryCommand("T0", Projection(TableRef("T", 3), ())),
+        ),
+        "T0",
+    )
+
+
+class TestExactMethods:
+    def test_correct_plan_verified(self):
+        schema = university_schema(ud_bound=None)
+        decision = verify_plan_symbolically(
+            q1_boolean_plan(), query_q1_boolean(), schema
+        )
+        assert decision.is_yes
+
+    def test_wrong_query_rejected(self):
+        schema = university_schema(ud_bound=None)
+        # The Q1 plan does not answer Q2 (it misses non-professors? no —
+        # it returns () only when a 10000-salary professor exists, which
+        # is strictly stronger than "directory nonempty").
+        decision = verify_plan_symbolically(
+            q1_boolean_plan(), query_q2(), schema
+        )
+        assert decision.is_no
+
+    def test_overreaching_plan_rejected(self):
+        """A plan returning () whenever the directory is nonempty does
+        not answer Q1 (it can return non-answers)."""
+        schema = university_schema(ud_bound=None)
+        decision = verify_plan_symbolically(
+            q2_plan(), query_q1_boolean(), schema
+        )
+        assert decision.is_no
+
+
+class TestBoundedMethods:
+    def test_q2_plan_with_instances(self):
+        schema = university_schema(ud_bound=2)
+        decision = verify_plan_symbolically(
+            q2_plan(),
+            query_q2(),
+            schema,
+            instances=[Instance(), university_instance(4)],
+        )
+        assert decision.is_yes
+
+    def test_q2_plan_without_instances_unknown(self):
+        schema = university_schema(ud_bound=2)
+        decision = verify_plan_symbolically(q2_plan(), query_q2(), schema)
+        assert decision.is_unknown
+
+    def test_selection_dependence_detected(self):
+        """The Q1 plan passes the UCQ equivalence but fails under a
+        stingy selection when ud is bounded."""
+        schema = university_schema(ud_bound=1)
+        decision = verify_plan_symbolically(
+            q1_boolean_plan(),
+            query_q1_boolean(),
+            schema,
+            instances=[university_instance(4)],
+        )
+        assert decision.is_no

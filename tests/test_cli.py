@@ -1,0 +1,116 @@
+"""Tests for the JSON loader and the CLI."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.constraints import ConstraintClass, FunctionalDependency
+from repro.io import (
+    SchemaFormatError,
+    load_query,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+UNIVERSITY = {
+    "relations": {"Prof": 3, "Udirectory": 3},
+    "attributes": {"Prof": ["id", "name", "salary"]},
+    "methods": [
+        {"name": "pr", "relation": "Prof", "inputs": [1]},
+        {
+            "name": "ud",
+            "relation": "Udirectory",
+            "inputs": [],
+            "result_bound": 100,
+        },
+    ],
+    "constraints": ["Prof(i,n,s) -> Udirectory(i,a,p)"],
+}
+
+
+@pytest.fixture
+def schema_file(tmp_path):
+    path = tmp_path / "schema.json"
+    path.write_text(json.dumps(UNIVERSITY))
+    return str(path)
+
+
+class TestLoader:
+    def test_round_trip(self):
+        schema = schema_from_dict(UNIVERSITY)
+        assert schema.method("ud").result_bound == 100
+        assert schema.method("pr").input_positions == frozenset({0})
+        assert (
+            schema.constraint_class()
+            is ConstraintClass.BOUNDED_WIDTH_IDS
+        )
+        again = schema_to_dict(schema)
+        assert again["relations"] == UNIVERSITY["relations"]
+        assert again["methods"][1]["result_bound"] == 100
+
+    def test_fd_constraint_detected(self):
+        description = dict(UNIVERSITY)
+        description["constraints"] = ["Udirectory: 1 -> 2"]
+        schema = schema_from_dict(description)
+        assert isinstance(
+            schema.constraints[0], FunctionalDependency
+        )
+
+    def test_missing_relations(self):
+        with pytest.raises(SchemaFormatError):
+            schema_from_dict({"methods": []})
+
+    def test_zero_based_inputs_rejected(self):
+        description = dict(UNIVERSITY)
+        description["methods"] = [
+            {"name": "m", "relation": "Prof", "inputs": [0]}
+        ]
+        with pytest.raises(SchemaFormatError):
+            schema_from_dict(description)
+
+    def test_load_query_inline_and_file(self, tmp_path):
+        q = load_query("Prof(i, n, s)")
+        assert q.is_boolean()
+        path = tmp_path / "q.txt"
+        path.write_text("Q(n) :- Prof(i, n, 10000)")
+        q2 = load_query(str(path))
+        assert len(q2.free_variables) == 1
+
+
+class TestCLI:
+    def test_decide_yes(self, schema_file, capsys):
+        code = main(["decide", schema_file, "Udirectory(i,a,p)"])
+        assert code == 0
+        assert "YES" in capsys.readouterr().out
+
+    def test_decide_no(self, schema_file, capsys):
+        code = main(["decide", schema_file, "Prof(i,n,10000)"])
+        assert code == 1
+        assert "NO" in capsys.readouterr().out
+
+    def test_decide_finite(self, schema_file, capsys):
+        code = main(["decide", "--finite", schema_file, "Udirectory(i,a,p)"])
+        assert code == 0
+
+    def test_plan(self, schema_file, capsys):
+        code = main(["plan", schema_file, "Udirectory(i,a,p)"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "<= ud <=" in out
+
+    def test_plan_refused(self, schema_file, capsys):
+        code = main(["plan", schema_file, "Prof(i,n,10000)"])
+        assert code == 1
+
+    def test_simplify(self, schema_file, capsys):
+        code = main(["simplify", schema_file, "choice"])
+        assert code == 0
+        description = json.loads(capsys.readouterr().out)
+        ud = next(m for m in description["methods"] if m["name"] == "ud")
+        assert ud["result_bound"] == 1
+
+    def test_classify(self, schema_file, capsys):
+        code = main(["classify", schema_file])
+        assert code == 0
+        assert "bounded-width" in capsys.readouterr().out

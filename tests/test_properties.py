@@ -1,0 +1,240 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Strategies build small random instances, queries, and dependencies;
+the properties are the load-bearing semantic facts the paper relies on:
+
+* CQ evaluation is monotone in the instance;
+* the chase result satisfies the dependencies and receives a
+  homomorphism from the input;
+* backward rewriting agrees with the chase on linear TGDs;
+* the blow-up preserves equality-free constraint satisfaction and CQ
+  answers (the engine behind Thm 6.3);
+* every enumerated access output is valid, and every selection policy
+  produces valid outputs;
+* accessible parts are access-valid subinstances (Prop 3.2's glue).
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.accessibility import (
+    AccessRequest,
+    EagerSelection,
+    RandomSelection,
+    StingySelection,
+    accessible_part,
+    is_access_valid,
+    is_valid_output,
+    valid_outputs,
+)
+from repro.answerability import blow_up_instance
+from repro.chase import ChaseOutcome, chase, satisfies
+from repro.constraints import TGD, fd, inclusion_dependency
+from repro.containment import contains, linear_contains
+from repro.data import Instance
+from repro.logic import (
+    Atom,
+    Constant,
+    Variable,
+    boolean_cq,
+    holds,
+    instance_homomorphism,
+)
+from repro.schema import AccessMethod, Relation, Schema
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+RELATIONS = [("R", 2), ("S", 1), ("T", 2)]
+
+values = st.integers(min_value=0, max_value=4).map(Constant)
+
+
+@st.composite
+def facts(draw):
+    name, arity = draw(st.sampled_from(RELATIONS))
+    return Atom(name, tuple(draw(values) for __ in range(arity)))
+
+
+instances = st.lists(facts(), min_size=0, max_size=10).map(Instance)
+
+query_variables = st.sampled_from(
+    [Variable(n) for n in ("x", "y", "z")]
+)
+
+
+@st.composite
+def query_atoms(draw):
+    name, arity = draw(st.sampled_from(RELATIONS))
+    terms = tuple(
+        draw(st.one_of(query_variables, values)) for __ in range(arity)
+    )
+    return Atom(name, terms)
+
+
+boolean_queries = st.lists(query_atoms(), min_size=1, max_size=3).map(
+    boolean_cq
+)
+
+
+@st.composite
+def unary_ids(draw):
+    (src, src_arity), (dst, dst_arity) = draw(
+        st.tuples(st.sampled_from(RELATIONS), st.sampled_from(RELATIONS))
+    )
+    src_pos = draw(st.integers(0, src_arity - 1))
+    dst_pos = draw(st.integers(0, dst_arity - 1))
+    return inclusion_dependency(
+        src, (src_pos,), dst, (dst_pos,), src_arity, dst_arity
+    )
+
+
+id_sets = st.lists(unary_ids(), min_size=0, max_size=3)
+
+
+# ----------------------------------------------------------------------
+# CQ evaluation
+# ----------------------------------------------------------------------
+class TestQueryProperties:
+    @given(q=boolean_queries, inst=instances, extra=facts())
+    @settings(max_examples=60, deadline=None)
+    def test_cq_monotone(self, q, inst, extra):
+        before = holds(q, inst)
+        bigger = inst.copy()
+        bigger.add(extra)
+        if before:
+            assert holds(q, bigger)
+
+    @given(q=boolean_queries)
+    @settings(max_examples=60, deadline=None)
+    def test_query_holds_on_canonical_db(self, q):
+        canonical, __ = q.canonical_instance()
+        assert holds(q, canonical)
+
+
+# ----------------------------------------------------------------------
+# Chase
+# ----------------------------------------------------------------------
+class TestChaseProperties:
+    @given(inst=instances, ids=id_sets)
+    @settings(
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_chase_fixpoint_satisfies(self, inst, ids):
+        result = chase(inst, ids, max_rounds=12, max_facts=3000)
+        if result.outcome is ChaseOutcome.FIXPOINT:
+            assert satisfies(result.instance, ids)
+
+    @given(inst=instances, ids=id_sets)
+    @settings(
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_input_embeds_into_chase(self, inst, ids):
+        result = chase(inst, ids, max_rounds=8, max_facts=3000)
+        assert inst.is_subinstance_of(result.instance)
+
+    @given(inst=instances)
+    @settings(max_examples=50, deadline=None)
+    def test_fd_chase_merges_or_fails(self, inst):
+        dependency = fd("R", [0], 1)
+        result = chase(inst, [dependency])
+        if result.outcome is not ChaseOutcome.FAILED:
+            assert dependency.satisfied_by(result.instance)
+
+
+# ----------------------------------------------------------------------
+# Rewriting vs chase
+# ----------------------------------------------------------------------
+class TestRewritingAgreement:
+    @given(q1=boolean_queries, q2=boolean_queries, ids=id_sets)
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_agreement_on_definitive_cases(self, q1, q2, ids):
+        chase_decision = contains(q1, q2, ids, max_rounds=8)
+        rewrite_decision = linear_contains(q1, q2, ids)
+        assert not rewrite_decision.is_unknown
+        if not chase_decision.is_unknown:
+            assert chase_decision.truth == rewrite_decision.truth
+
+
+# ----------------------------------------------------------------------
+# Blow-up (Thm 6.3's engine)
+# ----------------------------------------------------------------------
+class TestBlowUpProperties:
+    @given(inst=instances, q=boolean_queries, copies=st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_preserves_cq_truth(self, inst, q, copies):
+        assert holds(q, inst) == holds(q, blow_up_instance(inst, copies))
+
+    @given(inst=instances, rule=unary_ids(), copies=st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_preserves_id_satisfaction(self, inst, rule, copies):
+        blown = blow_up_instance(inst, copies)
+        assert rule.satisfied_by(inst) == rule.satisfied_by(blown)
+
+    @given(inst=instances, copies=st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_original_embeds_and_projects_back(self, inst, copies):
+        blown = blow_up_instance(inst, copies)
+        assert inst.is_subinstance_of(blown)
+        # The projection a^j ↦ a collapses the blow-up exactly onto the
+        # original (the paper's homomorphism back to I).
+        projection = {}
+        for term in blown.active_domain():
+            if isinstance(term, Constant) and isinstance(term.value, tuple):
+                if term.value and term.value[0] == "@clone":
+                    projection[term] = Constant(term.value[1])
+        assert blown.substitute(projection) == inst
+
+
+# ----------------------------------------------------------------------
+# Access semantics
+# ----------------------------------------------------------------------
+def _method(bound, inputs=()):
+    return AccessMethod("m", Relation("R", 2), frozenset(inputs), bound)
+
+
+class TestAccessProperties:
+    @given(inst=instances, bound=st.integers(1, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_enumerated_outputs_valid(self, inst, bound):
+        request = AccessRequest(_method(bound), ())
+        for output in valid_outputs(inst, request, limit=20):
+            assert is_valid_output(output, inst, request)
+
+    @given(inst=instances, bound=st.integers(1, 4), seed=st.integers(0, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_selection_policies_valid(self, inst, bound, seed):
+        request = AccessRequest(_method(bound), ())
+        for selection in (
+            EagerSelection(),
+            StingySelection(),
+            RandomSelection(seed=seed),
+        ):
+            output = selection.select(inst, request)
+            assert is_valid_output(output, inst, request)
+
+    @given(inst=instances, bound=st.integers(1, 3), seed=st.integers(0, 3))
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_accessible_parts_access_valid(self, inst, bound, seed):
+        schema = Schema()
+        schema.add_relation("R", 2)
+        schema.add_relation("S", 1)
+        schema.add_relation("T", 2)
+        schema.add_method("dump", "R", inputs=[], result_bound=bound)
+        schema.add_method("lookup", "S", inputs=[0])
+        schema.add_method("scan_t", "T", inputs=[0])
+        selection = RandomSelection(seed=seed)
+        part = accessible_part(inst, schema, selection).part
+        assert part.is_subinstance_of(inst)
+        assert is_access_valid(part, inst, schema)

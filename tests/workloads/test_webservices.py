@@ -1,0 +1,107 @@
+"""Tests for the simulated web services."""
+
+import pytest
+
+from repro.accessibility import accessible_part
+from repro.answerability import UniversalPlan
+from repro.data import Instance
+from repro.logic import Constant, atom, boolean_cq, ground_atom
+from repro.schema import Schema
+from repro.workloads import (
+    RateLimitExceeded,
+    WebService,
+    chemistry_service,
+    movie_service,
+)
+
+
+def tiny_service(policy="first", rate_limit=None, bound=2):
+    schema = Schema()
+    schema.add_relation("R", 2)
+    schema.add_method("all", "R", inputs=[], result_bound=bound)
+    schema.add_method("by_key", "R", inputs=[0])
+    data = Instance(ground_atom("R", i, f"v{i}") for i in range(5))
+    return schema, WebService(
+        schema, data, policy=policy, rate_limit=rate_limit
+    )
+
+
+class TestService:
+    def test_bound_enforced(self):
+        __, service = tiny_service()
+        assert len(service.call("all")) == 2
+
+    def test_exact_method_returns_all_matching(self):
+        __, service = tiny_service()
+        assert service.call("by_key", 3) == [(3, "v3")]
+
+    def test_memoized_idempotent(self):
+        __, service = tiny_service(policy="random")
+        assert service.call("all") == service.call("all")
+
+    def test_policies_differ(self):
+        __, first = tiny_service(policy="first")
+        __, adv = tiny_service(policy="adversarial")
+        assert first.call("all") != adv.call("all")
+
+    def test_rate_limit(self):
+        __, service = tiny_service(rate_limit=2)
+        service.call("by_key", 0)
+        service.call("by_key", 1)
+        with pytest.raises(RateLimitExceeded):
+            service.call("by_key", 2)
+
+    def test_call_log(self):
+        __, service = tiny_service()
+        service.call("all")
+        service.call("by_key", 0)
+        assert service.total_calls() == 2
+        assert service.truncated_calls() == 1  # the bounded dump
+
+    def test_selection_adapter(self):
+        schema, service = tiny_service()
+        part = accessible_part(service.data, schema, service.selection())
+        # dump returns 2 rows; by_key on those ids returns them again.
+        assert len(part.part) == 2
+
+
+class TestProviders:
+    def test_chemistry_schema_decides(self):
+        from repro.answerability import decide_monotone_answerability
+
+        schema, service = chemistry_service(30, lookup_cap=3)
+        # "Is some compound with this formula present?" — existence
+        # check: answerable despite the cap.
+        q = boolean_cq(
+            [atom("Compound", "i", Constant("C1H1"), "m")], name="Qf"
+        )
+        assert decide_monotone_answerability(schema, q).is_yes
+
+    def test_movie_fd_mechanism(self):
+        """The rating class is FD-determined by the id, so a bound-1
+        by-id access answers rating queries; the year class is not."""
+        from repro.answerability import decide_monotone_answerability
+
+        schema, service = movie_service(20, listing_cap=5)
+        rating_q = boolean_cq(
+            [atom("Title", Constant(7), "y", Constant(7 % 10))],
+            name="Qrating",
+        )
+        year_q = boolean_cq(
+            [atom("Title", Constant(7), Constant("old"), "r")],
+            name="Qyear",
+        )
+        assert decide_monotone_answerability(schema, rating_q).is_yes
+        assert decide_monotone_answerability(schema, year_q).is_no
+
+    def test_universal_plan_against_service(self):
+        schema, service = movie_service(25, listing_cap=5)
+        rating_q = boolean_cq(
+            [atom("Title", Constant(7), "y", Constant(7 % 10))],
+            name="Qrating",
+        )
+        plan = UniversalPlan(schema, rating_q)
+        run = plan.run(service.data, service.selection())
+        from repro.logic import holds
+
+        assert bool(run.answers) == holds(rating_q, service.data)
