@@ -1,0 +1,75 @@
+"""Entry point: ``PYTHONPATH=src python -m benchmarks``.
+
+Runs every ``bench_*`` module in this directory.  Modules exposing a
+``main()`` (currently the chase engine suite) are run directly and
+persist their machine-readable ``BENCH_*.json`` artifacts; the remaining
+pytest-benchmark modules are run through pytest and refresh
+``TABLE1_REPORT.md``.
+
+Options:
+
+* ``--only PATTERN``  — run only bench modules whose name contains
+  PATTERN (e.g. ``--only chase``);
+* ``--skip-pytest``   — run only the direct (JSON-emitting) suites.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+
+def _bench_modules() -> list[Path]:
+    return sorted(HERE.glob("bench_*.py"))
+
+
+def _load(path: Path):
+    # The bench modules import the shared helpers flatly (``from
+    # _harness import ...``), the way pytest loads them; mirror that.
+    if str(HERE) not in sys.path:
+        sys.path.insert(0, str(HERE))
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m benchmarks")
+    parser.add_argument("--only", default="", metavar="PATTERN")
+    parser.add_argument("--skip-pytest", action="store_true")
+    args = parser.parse_args(argv)
+
+    selected = [
+        path for path in _bench_modules() if args.only in path.name
+    ]
+    if not selected:
+        print(f"no bench module matches {args.only!r}")
+        return 2
+
+    pytest_paths: list[str] = []
+    for path in selected:
+        module = _load(path)
+        runner = getattr(module, "main", None)
+        if callable(runner):
+            print(f"=== {path.stem} ===")
+            runner()
+        else:
+            pytest_paths.append(str(path))
+
+    if pytest_paths and not args.skip_pytest:
+        import pytest
+
+        print(f"=== pytest benchmarks: {len(pytest_paths)} modules ===")
+        code = pytest.main(["-q", "--benchmark-only", *pytest_paths])
+        return int(code)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

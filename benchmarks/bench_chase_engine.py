@@ -2,7 +2,11 @@
 
 Times the restricted chase on full-TGD closure workloads, existential
 TGD chains, FD merge cascades, and the semi-oblivious policy — the
-machinery every decider sits on.
+machinery every decider sits on.  Besides the pytest-benchmark tests,
+`collect_records` times every workload on both engines (``delta`` vs the
+``naive`` reference) and `main` persists the comparison to
+``BENCH_chase.json`` — the perf trajectory artifact future chase PRs
+regress against.  Run it via ``python -m benchmarks --only chase``.
 """
 
 import pytest
@@ -12,7 +16,14 @@ from repro.constraints import fd, tgd
 from repro.data import Instance
 from repro.logic import Atom, Constant, Null
 
+from _harness import BenchRecord, time_workload, write_bench_json
+
 SIZES = [20, 60, 120]
+
+#: Per-(workload, engine) repeat counts for the JSON run: the naive
+#: engine is orders of magnitude slower on the large scaling points, so
+#: it gets a single measured run where delta gets best-of-3.
+_REPEATS = {"delta": 3, "naive": 1}
 
 
 def _path(n):
@@ -21,10 +32,121 @@ def _path(n):
     )
 
 
+def _closure_rules():
+    return [tgd("E(x, y) -> T(x, y)"), tgd("T(x, y), E(y, z) -> T(x, z)")]
+
+
+def chase_workloads():
+    """The scaling families timed by the JSON artifact.
+
+    Each entry is ``(name, build)`` where ``build(engine)`` runs one
+    chase and returns its `ChaseResult`.  The last transitive-closure
+    point is the "largest scaling point" of the acceptance criterion.
+    """
+    workloads = []
+    for size in SIZES:
+        start = _path(size)
+        rules = _closure_rules()
+        workloads.append((
+            f"transitive-closure-n{size}",
+            lambda engine, s=start, r=rules: chase(s, r, engine=engine),
+        ))
+    for size in [200, 1000]:
+        start = Instance(Atom("A", (Constant(i),)) for i in range(size))
+        rules = [tgd("A(x) -> B(x, z)"), tgd("B(x, z) -> C(z)")]
+        workloads.append((
+            f"existential-chain-n{size}",
+            lambda engine, s=start, r=rules: chase(s, r, engine=engine),
+        ))
+    for size in [200, 600]:
+        start = Instance(
+            Atom("R", (Constant("k"), Null(f"n{i}"))) for i in range(size)
+        )
+        rules = [fd("R", [0], 1)]
+        workloads.append((
+            f"fd-merge-cascade-n{size}",
+            lambda engine, s=start, r=rules: chase(s, r, engine=engine),
+        ))
+    start = _path(30)
+    rules = [tgd("E(x, y) -> E(y, z)")]
+    workloads.append((
+        "semi-oblivious-n30",
+        lambda engine, s=start, r=rules: chase(
+            s, r, policy="semi_oblivious", max_rounds=3, max_facts=50_000,
+            engine=engine,
+        ),
+    ))
+    return workloads
+
+
+def _result_meta(result):
+    return {
+        "facts": len(result.instance),
+        "rounds": result.rounds,
+        "outcome": result.outcome.value,
+        "trigger_searches": result.stats.searches,
+        "merges": result.stats.merges,
+    }
+
+
+def collect_records(engines=("delta", "naive")):
+    """Time every workload on every engine; return `BenchRecord` rows."""
+    records: list[BenchRecord] = []
+    for name, build in chase_workloads():
+        for engine in engines:
+            record = time_workload(
+                f"{name}",
+                lambda engine=engine, build=build: build(engine),
+                repeat=_REPEATS.get(engine, 1),
+                meta_of=_result_meta,
+            )
+            record.meta["engine"] = engine
+            records.append(record)
+            print(
+                f"  {name:32s} {engine:6s} {record.best_seconds * 1000:10.2f} ms"
+                f"  ({record.meta['facts']} facts, "
+                f"{record.meta['rounds']} rounds, "
+                f"{record.meta['trigger_searches']} searches)"
+            )
+    return records
+
+
+def _speedups(records):
+    """delta-vs-naive speedup per workload name, where both were run."""
+    by_key = {(r.name, r.meta.get("engine")): r for r in records}
+    speedups = {}
+    for (name, engine), record in by_key.items():
+        if engine != "delta":
+            continue
+        reference = by_key.get((name, "naive"))
+        if reference is not None and record.best_seconds > 0:
+            speedups[name] = round(
+                reference.best_seconds / record.best_seconds, 2
+            )
+    return speedups
+
+
+def main() -> None:
+    """Regenerate BENCH_chase.json (delta vs naive on all workloads)."""
+    print("chase engine benchmark (delta vs naive):")
+    records = collect_records()
+    speedups = _speedups(records)
+    target = write_bench_json(
+        "chase", records, extra={"speedups_delta_vs_naive": speedups}
+    )
+    print(f"speedups (delta vs naive): {speedups}")
+    print(f"wrote {target}")
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (pytest benchmarks/ --benchmark-only)
+# ----------------------------------------------------------------------
+
+
 @pytest.mark.parametrize("size", SIZES)
 def test_full_tgd_transitive_closure(benchmark, size):
     """T(x,y) ∧ E(y,z) → T(x,z): quadratic closure of a path."""
-    rules = [tgd("E(x, y) -> T(x, y)"), tgd("T(x, y), E(y, z) -> T(x, z)")]
+    rules = _closure_rules()
     start = _path(size)
     result = benchmark.pedantic(
         lambda: chase(start, rules), rounds=2, iterations=1

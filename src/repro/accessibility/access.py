@@ -59,11 +59,16 @@ def matching_tuples(
     method = request.method
     positions = method.sorted_input_positions
     if not positions:
-        return instance.facts_of(method.relation.name)
+        # facts_of returns a live view; callers of matching_tuples hold
+        # the result across instance mutations, so snapshot it here.
+        return frozenset(instance.facts_of(method.relation.name))
     candidates: Optional[frozenset[Atom]] = None
     for position, value in zip(positions, request.binding):
         found = instance.facts_with(method.relation.name, position, value)
-        candidates = found if candidates is None else candidates & found
+        # Snapshot the first (live) bucket; later intersections allocate.
+        candidates = (
+            frozenset(found) if candidates is None else candidates & found
+        )
         if not candidates:
             return frozenset()
     return candidates or frozenset()

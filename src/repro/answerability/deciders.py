@@ -87,6 +87,7 @@ def _chase_containment(
     *,
     max_rounds: Optional[int],
     max_facts: int = DEFAULT_CHASE_FACTS,
+    engine: str = "delta",
 ) -> Decision:
     """Run the containment chase from an explicit start instance."""
     result = chase(
@@ -96,6 +97,7 @@ def _chase_containment(
         max_facts=max_facts,
         stop_when=lambda inst: holds(target, inst),
         record_steps=True,
+        engine=engine,
     )
     if result.outcome is ChaseOutcome.FAILED:
         return Decision.yes(

@@ -3,6 +3,7 @@
 from .engine import (
     ChaseOutcome,
     ChaseResult,
+    ChaseStats,
     ChaseStep,
     MergeStep,
     TGDStep,
@@ -11,6 +12,6 @@ from .engine import (
 )
 
 __all__ = [
-    "ChaseOutcome", "ChaseResult", "ChaseStep", "MergeStep", "TGDStep",
-    "chase", "satisfies",
+    "ChaseOutcome", "ChaseResult", "ChaseStats", "ChaseStep", "MergeStep",
+    "TGDStep", "chase", "satisfies",
 ]

@@ -20,25 +20,44 @@ Two trigger policies are supported:
   chase used by the Johnson–Klug depth argument (App E.4) and by the
   paper's oblivious blow-up constructions.
 
-The engine runs in rounds.  A round applies EGDs to fixpoint, then fires
-all triggers discovered on the current instance.  ``max_rounds`` /
-``max_facts`` bound the run; the outcome reports whether a fixpoint was
-reached, the bound was hit, or the chase failed.
+Two engines implement those semantics:
+
+* ``delta`` (default): a semi-naive engine.  Each round only considers
+  triggers whose body image touches the *delta* — facts added or
+  rewritten since the previous round — seeding the homomorphism search
+  per body atom from the new fact via a relation→(rule, atom) map built
+  once per run.  Equalities are resolved incrementally: a per-FD
+  ``(determiner-key → values)`` witness table pulls the next violation in
+  O(1), the ``facts_containing`` occurrence index confines a merge to the
+  facts actually mentioning the removed term, and merges are tracked in a
+  union-find rather than by rewriting the substitution dict.
+* ``naive``: the reference engine.  Every round re-enumerates all
+  triggers over the whole instance and rescans relations for FD/EGD
+  violations.  It is kept as the executable specification the delta
+  engine is cross-checked against (``tests/chase/test_delta_equivalence``).
+
+Both engines run in rounds with identical observable semantics: a round
+applies EGDs to fixpoint, then fires all triggers discovered on the
+current instance.  ``max_rounds`` / ``max_facts`` bound the run; the
+outcome reports whether a fixpoint was reached, the bound was hit, or the
+chase failed.
 """
 
 from __future__ import annotations
 
 import enum
+import re
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 from ..constraints.egd import EGD
-from ..constraints.fd import FunctionalDependency
+from ..constraints.fd import FDWitnessIndex, FunctionalDependency
 from ..constraints.tgd import TGD
 from ..data.instance import Instance
 from ..logic.atoms import Atom
 from ..logic.homomorphism import find_homomorphism, homomorphisms
-from ..logic.terms import Constant, GroundTerm, NullFactory
+from ..logic.terms import Constant, GroundTerm, Null, NullFactory, Term, Variable
 
 Dependency = Union[TGD, EGD, FunctionalDependency]
 
@@ -76,6 +95,25 @@ ChaseStep = Union[TGDStep, MergeStep]
 
 
 @dataclass
+class ChaseStats:
+    """Work counters for one chase run (engine comparison / benchmarks)."""
+
+    #: Body homomorphisms yielded while enumerating TGD triggers.
+    triggers_enumerated: int = 0
+    #: Head-satisfaction searches (activeness checks + firing re-checks).
+    head_checks: int = 0
+    #: Body homomorphisms examined while looking for EGD violations.
+    egd_checks: int = 0
+    #: EGD/FD merges performed.
+    merges: int = 0
+
+    @property
+    def searches(self) -> int:
+        """Total trigger-homomorphism searches performed."""
+        return self.triggers_enumerated + self.head_checks + self.egd_checks
+
+
+@dataclass
 class ChaseResult:
     """Outcome of a chase run."""
 
@@ -85,6 +123,7 @@ class ChaseResult:
     steps: list[ChaseStep] = field(default_factory=list)
     #: Composite substitution applied by EGD merges (original -> final).
     substitution: dict[GroundTerm, GroundTerm] = field(default_factory=dict)
+    stats: ChaseStats = field(default_factory=ChaseStats)
 
     @property
     def failed(self) -> bool:
@@ -99,51 +138,113 @@ class _Unsatisfiable(Exception):
     """Raised internally when an EGD merges two distinct constants."""
 
 
+# ----------------------------------------------------------------------
+# Term identification: deterministic kept-term choice + union-find
+# ----------------------------------------------------------------------
+
+_LABEL_NUMBER = re.compile(r"(\D*?)(\d+)(.*)\Z", re.DOTALL)
+
+
+def _null_age_key(null: Null) -> tuple:
+    """Total order on nulls approximating creation order.
+
+    Factory labels are ``{prefix}{index}`` or ``{prefix}{index}:{hint}``;
+    parsing the index numerically makes ``c2`` older than ``c10``.  The
+    order is a pure function of the label, so merge results are
+    reproducible across hash-seed randomization.
+    """
+    match = _LABEL_NUMBER.match(null.label)
+    if match:
+        prefix, number, rest = match.groups()
+        return (0, prefix, int(number), rest, null.label)
+    return (1, null.label)
+
+
+def _choose_kept(
+    left: GroundTerm, right: GroundTerm
+) -> tuple[GroundTerm, GroundTerm]:
+    """Pick (kept, removed) for a merge: constants win, then older nulls."""
+    if isinstance(left, Constant):
+        if isinstance(right, Constant):
+            raise _Unsatisfiable(
+                f"cannot identify constants {left} and {right}"
+            )
+        return left, right
+    if isinstance(right, Constant):
+        return right, left
+    if _null_age_key(left) <= _null_age_key(right):
+        return left, right
+    return right, left
+
+
+class _UnionFind:
+    """Union-find over merged terms; resolves each original to its root."""
+
+    __slots__ = ("_parent",)
+
+    def __init__(self) -> None:
+        self._parent: dict[GroundTerm, GroundTerm] = {}
+
+    def record(self, removed: GroundTerm, kept: GroundTerm) -> None:
+        self._parent[removed] = kept
+
+    def find(self, term: GroundTerm) -> GroundTerm:
+        parent = self._parent
+        root = term
+        while root in parent:
+            root = parent[root]
+        while term != root:
+            next_term = parent[term]
+            parent[term] = root
+            term = next_term
+        return root
+
+    def resolved(self) -> dict[GroundTerm, GroundTerm]:
+        """The composite substitution: every merged term -> its root."""
+        return {term: self.find(term) for term in list(self._parent)}
+
+
 def _merge_terms(
     instance: Instance,
     left: GroundTerm,
     right: GroundTerm,
     substitution: dict[GroundTerm, GroundTerm],
 ) -> tuple[GroundTerm, GroundTerm]:
-    """Identify two terms in the instance; return (kept, removed)."""
+    """Identify two terms in the instance; return (kept, removed).
+
+    This is the naive-engine variant: it rewrites the running
+    substitution dict in place.  The kept term is chosen by
+    `_choose_kept`, and only facts actually containing the removed term
+    (per the occurrence index) are rewritten.
+    """
     if left == right:
         return left, right
-    if isinstance(left, Constant) and isinstance(right, Constant):
-        raise _Unsatisfiable(f"cannot identify constants {left} and {right}")
-    if isinstance(right, Constant):
-        left, right = right, left
-    # `left` is kept; `right` (a null) is replaced everywhere.
-    affected = [
-        fact
-        for fact in list(instance)
-        if right in fact.terms
-    ]
+    kept, removed = _choose_kept(left, right)
+    affected = list(instance.facts_containing(removed))
     for fact in affected:
         instance.discard(fact)
     for fact in affected:
         instance.add(
             Atom(
                 fact.relation,
-                tuple(left if t == right else t for t in fact.terms),
+                tuple(kept if t == removed else t for t in fact.terms),
             )
         )
     # Update the composite substitution.
     for source, target in list(substitution.items()):
-        if target == right:
-            substitution[source] = left
-    substitution[right] = left
-    return left, right
+        if target == removed:
+            substitution[source] = kept
+    substitution[removed] = kept
+    return kept, removed
 
 
 def _fd_violation(
     instance: Instance, dependency: FunctionalDependency
 ) -> Optional[tuple[GroundTerm, GroundTerm]]:
     """Find one violation of the FD, as a pair of terms to merge."""
-    determiner = sorted(dependency.determiner)
     witness: dict[tuple, GroundTerm] = {}
     for fact in instance.facts_of(dependency.relation):
-        key = tuple(fact.terms[i] for i in determiner)
-        value = fact.terms[dependency.determined]
+        key, value = dependency.project(fact)
         previous = witness.setdefault(key, value)
         if previous != value:
             return previous, value
@@ -151,9 +252,10 @@ def _fd_violation(
 
 
 def _egd_violation(
-    instance: Instance, dependency: EGD
+    instance: Instance, dependency: EGD, stats: ChaseStats
 ) -> Optional[tuple[GroundTerm, GroundTerm]]:
     for assignment in homomorphisms(dependency.body, instance):
+        stats.egd_checks += 1
         left = assignment[dependency.left]
         right = assignment[dependency.right]
         if left != right:
@@ -167,6 +269,7 @@ def _apply_equalities(
     substitution: dict[GroundTerm, GroundTerm],
     steps: Optional[list[ChaseStep]],
     round_index: int,
+    stats: ChaseStats,
 ) -> None:
     """Apply FD/EGD merges to fixpoint (raises on constant clashes)."""
     changed = True
@@ -177,12 +280,13 @@ def _apply_equalities(
                 if isinstance(dependency, FunctionalDependency):
                     violation = _fd_violation(instance, dependency)
                 else:
-                    violation = _egd_violation(instance, dependency)
+                    violation = _egd_violation(instance, dependency, stats)
                 if violation is None:
                     break
                 kept, removed = _merge_terms(
                     instance, violation[0], violation[1], substitution
                 )
+                stats.merges += 1
                 if steps is not None:
                     steps.append(
                         MergeStep(dependency, removed, kept, round_index)
@@ -201,35 +305,324 @@ def _frontier_key(
     )
 
 
-def chase(
-    start: Instance,
-    dependencies: Iterable[Dependency],
-    *,
-    max_rounds: Optional[int] = None,
-    max_facts: Optional[int] = None,
-    policy: str = "restricted",
-    record_steps: bool = False,
-    null_factory: Optional[NullFactory] = None,
-    stop_when: Optional[Callable[[Instance], bool]] = None,
-) -> ChaseResult:
-    """Chase `start` with the dependencies.
+def _seed_from_fact(atom: Atom, fact: Atom) -> Optional[dict[Term, GroundTerm]]:
+    """Partial assignment forcing `atom` onto `fact`, or None on clash.
 
-    The input instance is not modified.  See the module docstring for the
-    policies and outcome semantics.  ``stop_when`` is checked after every
-    round (and once before the first round) and short-circuits the run —
-    used by the containment solver to stop as soon as the target query
-    matches.
+    Constants (and rigid nulls) in the body atom must match the fact
+    literally; repeated variables must see equal terms.
     """
-    if policy not in ("restricted", "semi_oblivious"):
-        raise ValueError(f"unknown chase policy: {policy}")
+    if len(atom.terms) != len(fact.terms):
+        return None
+    seed: dict[Term, GroundTerm] = {}
+    for term, value in zip(atom.terms, fact.terms):
+        if isinstance(term, Variable):
+            bound = seed.get(term)
+            if bound is None:
+                seed[term] = value
+            elif bound != value:
+                return None
+        elif term != value:
+            return None
+    return seed
+
+
+# ----------------------------------------------------------------------
+# Delta (semi-naive) engine
+# ----------------------------------------------------------------------
+
+
+class _DeltaState:
+    """Mutable state of a delta chase run.
+
+    All instance mutations flow through `_add` / `_discard` so the FD
+    witness tables and the two delta queues (equality worklist, next
+    round's trigger delta) stay in sync with the fact set.
+    """
+
+    __slots__ = (
+        "instance", "uf", "egds", "fd_indexes", "equality_delta",
+        "trigger_delta", "stats", "steps",
+    )
+
+    def __init__(
+        self,
+        start: Instance,
+        equality_deps: Sequence[Union[EGD, FunctionalDependency]],
+        steps: Optional[list[ChaseStep]],
+        stats: ChaseStats,
+    ) -> None:
+        self.instance = Instance()
+        self.uf = _UnionFind()
+        self.egds = [d for d in equality_deps if isinstance(d, EGD)]
+        self.fd_indexes = [
+            FDWitnessIndex(d)
+            for d in equality_deps
+            if isinstance(d, FunctionalDependency)
+        ]
+        self.equality_delta: deque[Atom] = deque()
+        self.trigger_delta: list[Atom] = []
+        self.stats = stats
+        self.steps = steps
+        for fact in start:
+            self._add(fact)
+
+    # -- mutation ------------------------------------------------------
+    def _add(self, fact: Atom) -> bool:
+        if not self.instance.add(fact):
+            return False
+        for index in self.fd_indexes:
+            index.on_add(fact)
+        if self.egds:
+            self.equality_delta.append(fact)
+        self.trigger_delta.append(fact)
+        return True
+
+    def _discard(self, fact: Atom) -> None:
+        if self.instance.discard(fact):
+            for index in self.fd_indexes:
+                index.on_remove(fact)
+
+    def _merge(
+        self,
+        left: GroundTerm,
+        right: GroundTerm,
+        dependency: Union[EGD, FunctionalDependency],
+        round_index: int,
+    ) -> None:
+        """Identify two terms using the occurrence index."""
+        if left == right:
+            return
+        kept, removed = _choose_kept(left, right)
+        affected = list(self.instance.facts_containing(removed))
+        for fact in affected:
+            self._discard(fact)
+        for fact in affected:
+            self._add(
+                Atom(
+                    fact.relation,
+                    tuple(kept if t == removed else t for t in fact.terms),
+                )
+            )
+        self.uf.record(removed, kept)
+        self.stats.merges += 1
+        if self.steps is not None:
+            self.steps.append(MergeStep(dependency, removed, kept, round_index))
+
+    # -- equality fixpoint ---------------------------------------------
+    def _drain_fd_violations(self, round_index: int) -> None:
+        """Merge until every FD witness table is clean."""
+        progress = True
+        while progress:
+            progress = False
+            for index in self.fd_indexes:
+                violation = index.next_violation()
+                if violation is not None:
+                    self._merge(
+                        violation[0], violation[1], index.fd, round_index
+                    )
+                    progress = True
+
+    def _next_equality_fact(self) -> Optional[Atom]:
+        while self.equality_delta:
+            fact = self.equality_delta.popleft()
+            if fact in self.instance:
+                return fact
+        return None
+
+    def _process_egd_fact(self, fact: Atom, round_index: int) -> None:
+        """Resolve every EGD violation whose body image touches `fact`."""
+        for egd in self.egds:
+            for atom_index in egd.body_atoms_of_relation(fact.relation):
+                while fact in self.instance:
+                    seed = _seed_from_fact(egd.body[atom_index], fact)
+                    if seed is None:
+                        break
+                    violation = None
+                    for h in homomorphisms(
+                        egd.body, self.instance, seed=seed
+                    ):
+                        self.stats.egd_checks += 1
+                        if h[egd.left] != h[egd.right]:
+                            violation = (h[egd.left], h[egd.right])
+                            break
+                    if violation is None:
+                        break
+                    self._merge(violation[0], violation[1], egd, round_index)
+                if fact not in self.instance:
+                    # The fact itself was rewritten; its replacement is
+                    # queued on the equality delta and restarts the scan.
+                    return
+
+    def apply_equalities(self, round_index: int) -> None:
+        """Apply FD/EGD merges to fixpoint, driven by the delta worklist."""
+        while True:
+            self._drain_fd_violations(round_index)
+            if not self.egds:
+                return
+            fact = self._next_equality_fact()
+            if fact is None:
+                return
+            self._process_egd_fact(fact, round_index)
+
+    # -- trigger collection --------------------------------------------
+    def take_trigger_delta(self) -> list[Atom]:
+        delta = self.trigger_delta
+        self.trigger_delta = []
+        return delta
+
+
+def _chase_delta(
+    start: Instance,
+    tgds: Sequence[TGD],
+    equality_deps: Sequence[Union[EGD, FunctionalDependency]],
+    *,
+    max_rounds: Optional[int],
+    max_facts: Optional[int],
+    policy: str,
+    record_steps: bool,
+    factory: NullFactory,
+    stop_when: Optional[Callable[[Instance], bool]],
+) -> ChaseResult:
+    """Semi-naive chase: only delta-touching triggers are enumerated."""
+    stats = ChaseStats()
+    steps: Optional[list[ChaseStep]] = [] if record_steps else None
+    state = _DeltaState(start, equality_deps, steps, stats)
+    # Static relation → (rule index, body atom index) dependency map.
+    body_map: dict[str, list[tuple[int, int]]] = {}
+    for index, dependency in enumerate(tgds):
+        for atom_index, atom in enumerate(dependency.body):
+            body_map.setdefault(atom.relation, []).append((index, atom_index))
+    fired: set[tuple] = set()
+    rounds = 0
+
+    def result(outcome: ChaseOutcome) -> ChaseResult:
+        return ChaseResult(
+            state.instance, outcome, rounds, steps or [],
+            state.uf.resolved(), stats,
+        )
+
+    try:
+        state.apply_equalities(0)
+    except _Unsatisfiable:
+        return result(ChaseOutcome.FAILED)
+    if stop_when is not None and stop_when(state.instance):
+        return result(ChaseOutcome.EARLY_STOP)
+
+    while True:
+        if max_rounds is not None and rounds >= max_rounds:
+            return result(ChaseOutcome.BOUND_REACHED)
+        rounds += 1
+        # Collect triggers whose body image touches the delta; dedupe on
+        # the full body binding (a trigger can be reachable from several
+        # of its delta facts).
+        delta = state.take_trigger_delta()
+        pending: list[tuple[int, TGD, dict, tuple[Atom, ...]]] = []
+        seen: set[tuple] = set()
+        instance = state.instance
+        for fact in delta:
+            if fact not in instance:
+                continue  # rewritten away by a later merge
+            for rule_index, atom_index in body_map.get(fact.relation, ()):
+                dependency = tgds[rule_index]
+                seed = _seed_from_fact(dependency.body[atom_index], fact)
+                if seed is None:
+                    continue
+                body_vars = dependency.body_variables()
+                for trigger in homomorphisms(
+                    dependency.body, instance, seed=seed
+                ):
+                    stats.triggers_enumerated += 1
+                    key = (
+                        rule_index,
+                        tuple(trigger[v] for v in body_vars),
+                    )
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    if policy == "semi_oblivious":
+                        frontier = _frontier_key(
+                            rule_index, dependency, trigger
+                        )
+                        if frontier in fired:
+                            continue
+                        fired.add(frontier)
+                    else:
+                        stats.head_checks += 1
+                        if not dependency.is_active_trigger(
+                            trigger, instance
+                        ):
+                            continue
+                    head_map = dict(trigger)
+                    for existential in dependency.existential_variables():
+                        head_map[existential] = factory.fresh(
+                            existential.name
+                        )
+                    produced = tuple(
+                        a.substitute(head_map) for a in dependency.head
+                    )
+                    pending.append((rule_index, dependency, trigger, produced))
+
+        # Fire in rule order (the naive engine's order): under the
+        # restricted policy the firing-time re-check makes the round's
+        # outcome depend on firing order, so matching the reference
+        # order keeps the engines' results identical up to null renaming.
+        pending.sort(key=lambda entry: entry[0])
+        added_any = False
+        for __, dependency, trigger, produced in pending:
+            if policy == "restricted":
+                # Re-check activeness: an earlier firing in this round may
+                # already satisfy this trigger.
+                exported = {
+                    v: trigger[v]
+                    for v in dependency.exported_variables()
+                    if v in trigger
+                }
+                stats.head_checks += 1
+                if find_homomorphism(
+                    dependency.head, instance, seed=exported
+                ) is not None:
+                    continue
+            new_here = [f for f in produced if state._add(f)]
+            if new_here:
+                added_any = True
+                if steps is not None:
+                    steps.append(
+                        TGDStep(dependency, trigger, tuple(new_here), rounds)
+                    )
+            if max_facts is not None and len(instance) > max_facts:
+                return result(ChaseOutcome.BOUND_REACHED)
+
+        try:
+            state.apply_equalities(rounds)
+        except _Unsatisfiable:
+            return result(ChaseOutcome.FAILED)
+
+        if stop_when is not None and stop_when(state.instance):
+            return result(ChaseOutcome.EARLY_STOP)
+        if not added_any:
+            return result(ChaseOutcome.FIXPOINT)
+
+
+# ----------------------------------------------------------------------
+# Naive (reference) engine
+# ----------------------------------------------------------------------
+
+
+def _chase_naive(
+    start: Instance,
+    tgds: Sequence[TGD],
+    equality_deps: Sequence[Union[EGD, FunctionalDependency]],
+    *,
+    max_rounds: Optional[int],
+    max_facts: Optional[int],
+    policy: str,
+    record_steps: bool,
+    factory: NullFactory,
+    stop_when: Optional[Callable[[Instance], bool]],
+) -> ChaseResult:
+    """Round-based reference chase: full re-enumeration every round."""
+    stats = ChaseStats()
     instance = start.copy()
-    tgds = [d for d in dependencies if isinstance(d, TGD)]
-    equality_deps = [
-        d
-        for d in dependencies
-        if isinstance(d, (EGD, FunctionalDependency))
-    ]
-    factory = null_factory or NullFactory(prefix="c")
     steps: Optional[list[ChaseStep]] = [] if record_steps else None
     substitution: dict[GroundTerm, GroundTerm] = {}
     fired: set[tuple] = set()
@@ -237,11 +630,13 @@ def chase(
 
     def result(outcome: ChaseOutcome) -> ChaseResult:
         return ChaseResult(
-            instance, outcome, rounds, steps or [], substitution
+            instance, outcome, rounds, steps or [], substitution, stats
         )
 
     try:
-        _apply_equalities(instance, equality_deps, substitution, steps, 0)
+        _apply_equalities(
+            instance, equality_deps, substitution, steps, 0, stats
+        )
     except _Unsatisfiable:
         return result(ChaseOutcome.FAILED)
     if stop_when is not None and stop_when(instance):
@@ -255,13 +650,16 @@ def chase(
         # Collect triggers against the instance as of the round start.
         for index, dependency in enumerate(tgds):
             for trigger in list(dependency.triggers(instance)):
+                stats.triggers_enumerated += 1
                 if policy == "semi_oblivious":
                     key = _frontier_key(index, dependency, trigger)
                     if key in fired:
                         continue
                     fired.add(key)
-                elif not dependency.is_active_trigger(trigger, instance):
-                    continue
+                else:
+                    stats.head_checks += 1
+                    if not dependency.is_active_trigger(trigger, instance):
+                        continue
                 head_map = dict(trigger)
                 for existential in dependency.existential_variables():
                     head_map[existential] = factory.fresh(existential.name)
@@ -280,6 +678,7 @@ def chase(
                     for v in dependency.exported_variables()
                     if v in trigger
                 }
+                stats.head_checks += 1
                 if find_homomorphism(
                     dependency.head, instance, seed=exported
                 ) is not None:
@@ -296,7 +695,7 @@ def chase(
 
         try:
             _apply_equalities(
-                instance, equality_deps, substitution, steps, rounds
+                instance, equality_deps, substitution, steps, rounds, stats
             )
         except _Unsatisfiable:
             return result(ChaseOutcome.FAILED)
@@ -305,6 +704,61 @@ def chase(
             return result(ChaseOutcome.EARLY_STOP)
         if not added_any:
             return result(ChaseOutcome.FIXPOINT)
+
+
+def chase(
+    start: Instance,
+    dependencies: Iterable[Dependency],
+    *,
+    max_rounds: Optional[int] = None,
+    max_facts: Optional[int] = None,
+    policy: str = "restricted",
+    record_steps: bool = False,
+    null_factory: Optional[NullFactory] = None,
+    stop_when: Optional[Callable[[Instance], bool]] = None,
+    engine: str = "delta",
+) -> ChaseResult:
+    """Chase `start` with the dependencies.
+
+    The input instance is not modified.  See the module docstring for the
+    policies and outcome semantics.  ``stop_when`` is checked after every
+    round (and once before the first round) and short-circuits the run —
+    used by the containment solver to stop as soon as the target query
+    matches.
+
+    ``engine`` selects the implementation:
+
+    * ``"delta"`` (default) — the semi-naive engine: per-round delta fact
+      sets, trigger search seeded from new facts only, indexed equality
+      merging, union-find substitution tracking.  This is the fast path.
+    * ``"naive"`` — the reference engine that re-enumerates all triggers
+      over the whole instance every round.  Same observable semantics
+      (outcomes, final instance up to null renaming); kept for
+      cross-checking and as an executable specification.
+    """
+    if policy not in ("restricted", "semi_oblivious"):
+        raise ValueError(f"unknown chase policy: {policy}")
+    if engine not in ("delta", "naive"):
+        raise ValueError(f"unknown chase engine: {engine}")
+    tgds = [d for d in dependencies if isinstance(d, TGD)]
+    equality_deps = [
+        d
+        for d in dependencies
+        if isinstance(d, (EGD, FunctionalDependency))
+    ]
+    factory = null_factory or NullFactory(prefix="c")
+    runner = _chase_delta if engine == "delta" else _chase_naive
+    return runner(
+        start,
+        tgds,
+        equality_deps,
+        max_rounds=max_rounds,
+        max_facts=max_facts,
+        policy=policy,
+        record_steps=record_steps,
+        factory=factory,
+        stop_when=stop_when,
+    )
 
 
 def satisfies(instance: Instance, dependencies: Iterable[Dependency]) -> bool:

@@ -34,6 +34,21 @@ class EGD(Constraint):
         if self.left not in body_vars or self.right not in body_vars:
             raise ValueError("EGD equality must use body variables")
 
+    def body_atoms_of_relation(self, relation: str) -> tuple[int, ...]:
+        """Indices of body atoms over `relation` (cached).
+
+        The delta chase seeds its violation search per body atom from a
+        changed fact; this is the lookup it drives that with.
+        """
+        index = self.__dict__.get("_atoms_by_relation")
+        if index is None:
+            index = {}
+            for i, a in enumerate(self.body):
+                index.setdefault(a.relation, []).append(i)
+            index = {rel: tuple(ix) for rel, ix in index.items()}
+            object.__setattr__(self, "_atoms_by_relation", index)
+        return index.get(relation, ())
+
     def satisfied_by(self, instance: Instance) -> bool:
         for assignment in homomorphisms(self.body, instance):
             if assignment[self.left] != assignment[self.right]:

@@ -41,12 +41,26 @@ class FunctionalDependency(Constraint):
     def is_trivial(self) -> bool:
         return self.determined in self.determiner
 
+    def sorted_determiner(self) -> tuple[int, ...]:
+        """The determiner positions in ascending order (cached)."""
+        cached = self.__dict__.get("_sorted_determiner")
+        if cached is None:
+            cached = tuple(sorted(self.determiner))
+            object.__setattr__(self, "_sorted_determiner", cached)
+        return cached
+
+    def project(self, fact) -> tuple[tuple, object]:
+        """The (determiner-key, determined-value) projection of a fact."""
+        terms = fact.terms
+        return (
+            tuple(terms[i] for i in self.sorted_determiner()),
+            terms[self.determined],
+        )
+
     def satisfied_by(self, instance: Instance) -> bool:
         projections: dict[tuple, object] = {}
-        determiner = sorted(self.determiner)
         for fact in instance.facts_of(self.relation):
-            key = tuple(fact.terms[i] for i in determiner)
-            value = fact.terms[self.determined]
+            key, value = self.project(fact)
             previous = projections.setdefault(key, value)
             if previous != value:
                 return False
@@ -64,6 +78,58 @@ class FunctionalDependency(Constraint):
         lhs = ",".join(str(i + 1) for i in sorted(self.determiner))
         label = f"[{self.name}] " if self.name else ""
         return f"{label}{self.relation}: {lhs} -> {self.determined + 1}"
+
+
+class FDWitnessIndex:
+    """Incremental witness table for one FD over a mutating fact set.
+
+    Maps each determiner key to the multiset of determined values seen,
+    maintained on fact add/remove; keys currently holding two or more
+    distinct values are kept in a dirty set so the chase can pull the
+    next violation in O(1) instead of rescanning the relation.
+    """
+
+    __slots__ = ("fd", "_table", "_dirty")
+
+    def __init__(self, dependency: FunctionalDependency) -> None:
+        self.fd = dependency
+        self._table: dict[tuple, dict[object, int]] = {}
+        self._dirty: set[tuple] = set()
+
+    def on_add(self, fact) -> None:
+        if fact.relation != self.fd.relation:
+            return
+        key, value = self.fd.project(fact)
+        values = self._table.setdefault(key, {})
+        values[value] = values.get(value, 0) + 1
+        if len(values) > 1:
+            self._dirty.add(key)
+
+    def on_remove(self, fact) -> None:
+        if fact.relation != self.fd.relation:
+            return
+        key, value = self.fd.project(fact)
+        values = self._table.get(key)
+        if values is None or value not in values:
+            return
+        values[value] -= 1
+        if values[value] == 0:
+            del values[value]
+        if len(values) <= 1:
+            self._dirty.discard(key)
+            if not values:
+                del self._table[key]
+
+    def next_violation(self):
+        """Two distinct determined values sharing a key, or None."""
+        while self._dirty:
+            key = next(iter(self._dirty))
+            values = self._table.get(key, {})
+            if len(values) > 1:
+                first, second, *__ = values
+                return first, second
+            self._dirty.discard(key)
+        return None
 
 
 def fd(relation: str, determiner: Iterable[int], determined: int,

@@ -45,30 +45,57 @@ class TGD(Constraint):
 
     # ------------------------------------------------------------------
     # Variables
+    #
+    # The four variable projections are pure functions of the (frozen)
+    # body and head; the chase calls them once per trigger, so each is
+    # computed once and cached on the instance.
     # ------------------------------------------------------------------
+    def _cached(self, key: str, compute: Callable[[], tuple]) -> tuple:
+        value = self.__dict__.get(key)
+        if value is None:
+            value = compute()
+            object.__setattr__(self, key, value)
+        return value
+
     def body_variables(self) -> tuple[Variable, ...]:
-        seen: dict[Variable, None] = {}
-        for a in self.body:
-            for v in a.variables():
-                seen.setdefault(v, None)
-        return tuple(seen)
+        def compute() -> tuple[Variable, ...]:
+            seen: dict[Variable, None] = {}
+            for a in self.body:
+                for v in a.variables():
+                    seen.setdefault(v, None)
+            return tuple(seen)
+
+        return self._cached("_body_vars", compute)
 
     def head_variables(self) -> tuple[Variable, ...]:
-        seen: dict[Variable, None] = {}
-        for a in self.head:
-            for v in a.variables():
-                seen.setdefault(v, None)
-        return tuple(seen)
+        def compute() -> tuple[Variable, ...]:
+            seen: dict[Variable, None] = {}
+            for a in self.head:
+                for v in a.variables():
+                    seen.setdefault(v, None)
+            return tuple(seen)
+
+        return self._cached("_head_vars", compute)
 
     def exported_variables(self) -> tuple[Variable, ...]:
         """Body variables that occur in the head (the frontier)."""
-        head_vars = set(self.head_variables())
-        return tuple(v for v in self.body_variables() if v in head_vars)
+
+        def compute() -> tuple[Variable, ...]:
+            head_vars = set(self.head_variables())
+            return tuple(v for v in self.body_variables() if v in head_vars)
+
+        return self._cached("_exported_vars", compute)
 
     def existential_variables(self) -> tuple[Variable, ...]:
         """Head variables that do not occur in the body."""
-        body_vars = set(self.body_variables())
-        return tuple(v for v in self.head_variables() if v not in body_vars)
+
+        def compute() -> tuple[Variable, ...]:
+            body_vars = set(self.body_variables())
+            return tuple(
+                v for v in self.head_variables() if v not in body_vars
+            )
+
+        return self._cached("_existential_vars", compute)
 
     # ------------------------------------------------------------------
     # Syntactic classes

@@ -59,11 +59,14 @@ def contains(
     max_rounds: Optional[int] = None,
     max_facts: Optional[int] = DEFAULT_MAX_FACTS,
     policy: str = "restricted",
+    engine: str = "delta",
 ) -> Decision:
     """Decide ``query ⊆_dependencies target`` by chasing.
 
     ``target`` may be a CQ or a UCQ.  The chase stops as soon as the
     target matches (YES), at a fixpoint (NO), or at the bound (UNKNOWN).
+    ``engine`` picks the chase implementation (``"delta"``/``"naive"``,
+    see `repro.chase.engine.chase`).
     """
     dependencies = list(dependencies)
     canonical, __ = query.canonical_instance()
@@ -85,6 +88,7 @@ def contains(
         max_facts=max_facts,
         policy=policy,
         stop_when=matcher,
+        engine=engine,
     )
     if result.outcome is ChaseOutcome.FAILED:
         return Decision.yes(
@@ -125,6 +129,7 @@ def certain_answer_boolean(
     *,
     max_rounds: Optional[int] = None,
     max_facts: Optional[int] = DEFAULT_MAX_FACTS,
+    engine: str = "delta",
 ) -> Decision:
     """Certain-answer test: does `query` hold in every model of the
     dependencies containing `instance`?
@@ -141,6 +146,7 @@ def certain_answer_boolean(
         max_rounds=max_rounds,
         max_facts=max_facts,
         stop_when=lambda inst: holds(query, inst),
+        engine=engine,
     )
     if result.outcome is ChaseOutcome.FAILED:
         return Decision.yes("constraints unsatisfiable on the accessed data")

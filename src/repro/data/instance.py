@@ -10,12 +10,15 @@ counterexample models, and the simulated web-service data.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Iterable, Iterator, Mapping
+from typing import AbstractSet, Callable, Iterable, Iterator, Mapping
 
 from ..logic.atoms import Atom
 from ..logic.terms import Constant, GroundTerm, Null, Variable
 
 Fact = Atom  # facts are ground atoms
+
+#: Shared empty result for index misses (avoids allocating per lookup).
+_EMPTY: frozenset[Fact] = frozenset()
 
 
 class Instance:
@@ -26,16 +29,26 @@ class Instance:
     * ``facts_of(relation)`` — all facts of a relation;
     * ``facts_with(relation, position, term)`` — facts of a relation having
       a given term at a given (0-based) position;
+    * ``facts_containing(term)`` — all facts mentioning a term anywhere
+      (the occurrence index driving indexed EGD/FD merges in the chase);
     * ``active_domain()`` — every term occurring in some fact.
+
+    The query methods return **live read-only views** of the internal
+    index buckets, not snapshots: they are valid only until the next
+    mutation of the instance.  Callers that mutate while iterating must
+    copy first (``list(...)`` / ``frozenset(...)``).
     """
 
-    __slots__ = ("_by_relation", "_by_position", "_domain_counts", "_size")
+    __slots__ = (
+        "_by_relation", "_by_position", "_by_term", "_domain_counts", "_size"
+    )
 
     def __init__(self, facts: Iterable[Fact] = ()) -> None:
         self._by_relation: dict[str, set[Fact]] = defaultdict(set)
         self._by_position: dict[tuple[str, int, GroundTerm], set[Fact]] = (
             defaultdict(set)
         )
+        self._by_term: dict[GroundTerm, set[Fact]] = defaultdict(set)
         self._domain_counts: dict[GroundTerm, int] = defaultdict(int)
         self._size = 0
         for fact in facts:
@@ -54,6 +67,7 @@ class Instance:
         bucket.add(fact)
         for position, term in enumerate(fact.terms):
             self._by_position[(fact.relation, position, term)].add(fact)
+            self._by_term[term].add(fact)
             self._domain_counts[term] += 1
         self._size += 1
         return True
@@ -74,9 +88,12 @@ class Instance:
             entry.discard(fact)
             if not entry:
                 del self._by_position[key]
+            occurrences = self._by_term[term]
+            occurrences.discard(fact)
             self._domain_counts[term] -= 1
             if self._domain_counts[term] == 0:
                 del self._domain_counts[term]
+                del self._by_term[term]
         self._size -= 1
         return True
 
@@ -129,13 +146,26 @@ class Instance:
             sorted(rel for rel, bucket in self._by_relation.items() if bucket)
         )
 
-    def facts_of(self, relation: str) -> frozenset[Fact]:
-        return frozenset(self._by_relation.get(relation, ()))
+    def facts_of(self, relation: str) -> AbstractSet[Fact]:
+        """Live view of the facts of a relation (valid until mutation)."""
+        bucket = self._by_relation.get(relation)
+        return bucket if bucket is not None else _EMPTY
 
     def facts_with(
         self, relation: str, position: int, term: GroundTerm
-    ) -> frozenset[Fact]:
-        return frozenset(self._by_position.get((relation, position, term), ()))
+    ) -> AbstractSet[Fact]:
+        """Live view of the facts with `term` at `position` of `relation`."""
+        bucket = self._by_position.get((relation, position, term))
+        return bucket if bucket is not None else _EMPTY
+
+    def facts_containing(self, term: GroundTerm) -> AbstractSet[Fact]:
+        """Live view of every fact mentioning `term` at any position.
+
+        This is the occurrence index the chase uses to merge terms
+        without scanning the whole instance.
+        """
+        bucket = self._by_term.get(term)
+        return bucket if bucket is not None else _EMPTY
 
     def active_domain(self) -> frozenset[GroundTerm]:
         return frozenset(self._domain_counts)
@@ -162,6 +192,34 @@ class Instance:
         for other in others:
             result.add_all(other)
         return result
+
+    def validate_indexes(self) -> None:
+        """Recompute every index from scratch and compare (test hook).
+
+        Raises ``AssertionError`` on any drift between the incremental
+        indexes and the ground truth implied by the fact set.
+        """
+        facts = [f for bucket in self._by_relation.values() for f in bucket]
+        assert self._size == len(facts), (
+            f"size drift: {self._size} != {len(facts)}"
+        )
+        by_position: dict[tuple[str, int, GroundTerm], set[Fact]] = (
+            defaultdict(set)
+        )
+        by_term: dict[GroundTerm, set[Fact]] = defaultdict(set)
+        counts: dict[GroundTerm, int] = defaultdict(int)
+        for fact in facts:
+            for position, term in enumerate(fact.terms):
+                by_position[(fact.relation, position, term)].add(fact)
+                by_term[term].add(fact)
+                counts[term] += 1
+        assert dict(self._by_position) == dict(by_position), (
+            "positional index drift"
+        )
+        assert dict(self._by_term) == dict(by_term), "occurrence index drift"
+        assert dict(self._domain_counts) == dict(counts), (
+            "domain count drift"
+        )
 
     def __repr__(self) -> str:
         shown = ", ".join(sorted(str(f) for f in self))

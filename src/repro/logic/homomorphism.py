@@ -41,7 +41,8 @@ def _candidate_facts(
     Uses the most selective available positional index; falls back to the
     full relation bucket when no term of the atom is determined yet.
     """
-    best: Optional[frozenset[Atom]] = None
+    best: Optional[Iterable[Atom]] = None
+    best_size = -1
     for position, term in enumerate(atom.terms):
         bound: Optional[GroundTerm] = None
         if isinstance(term, Constant):
@@ -52,10 +53,14 @@ def _candidate_facts(
             bound = assignment[term]
         if bound is not None:
             facts = instance.facts_with(atom.relation, position, bound)
-            if best is None or len(facts) < len(best):
+            size = len(facts)
+            if size <= 1:
+                # An empty or singleton bucket cannot be beaten: stop the
+                # position scan immediately (empty ⇒ no match at all).
+                return facts
+            if best is None or size < best_size:
                 best = facts
-            if best is not None and len(best) <= 1:
-                break
+                best_size = size
     if best is not None:
         return best
     return instance.facts_of(atom.relation)

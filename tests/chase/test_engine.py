@@ -1,5 +1,7 @@
 """Tests for the chase engine."""
 
+import pytest
+
 from repro.chase import ChaseOutcome, chase, satisfies
 from repro.constraints import EGD, fd, tgd
 from repro.data import Instance
@@ -152,3 +154,106 @@ class TestInteraction:
         )
         assert result.outcome is ChaseOutcome.EARLY_STOP
         assert result.rounds <= 3
+
+
+class TestEngineSelection:
+    """The `engine=` knob: delta is the default, naive is the reference."""
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown chase engine"):
+            chase(Instance(), [], engine="turbo")
+
+    @pytest.mark.parametrize("engine", ["delta", "naive"])
+    def test_basic_scenarios_per_engine(self, engine):
+        inst = Instance([ground_atom("R", 1), ground_atom("S", 1, 7)])
+        rules = [tgd("R(x) -> S(x, z)"), fd("S", [0], 1)]
+        result = chase(inst, rules, engine=engine)
+        assert result.outcome is ChaseOutcome.FIXPOINT
+        assert result.instance.facts_of("S") == frozenset(
+            {ground_atom("S", 1, 7)}
+        )
+        assert satisfies(result.instance, rules)
+
+    @pytest.mark.parametrize("engine", ["delta", "naive"])
+    def test_stats_populated(self, engine):
+        inst = Instance([ground_atom("R", 1)])
+        result = chase(inst, [tgd("R(x) -> S(x)")], engine=engine)
+        assert result.stats.triggers_enumerated >= 1
+        assert result.stats.searches >= result.stats.triggers_enumerated
+
+
+class TestDeterministicMerges:
+    """Null-null merges keep a deterministic representative."""
+
+    @pytest.mark.parametrize("engine", ["delta", "naive"])
+    def test_older_null_kept(self, engine):
+        # n2 is older than n10 by creation order (numeric index parse).
+        inst = Instance(
+            [ground_atom("R", 1, Null("n10")), ground_atom("R", 1, Null("n2"))]
+        )
+        result = chase(inst, [fd("R", [0], 1)], engine=engine)
+        assert result.substitution == {Null("n10"): Null("n2")}
+        assert ground_atom("R", 1, Null("n2")) in result.instance
+
+    @pytest.mark.parametrize("engine", ["delta", "naive"])
+    def test_constant_still_beats_age(self, engine):
+        inst = Instance(
+            [ground_atom("R", 1, Null("n0")), ground_atom("R", 1, "v")]
+        )
+        result = chase(inst, [fd("R", [0], 1)], engine=engine)
+        assert result.substitution == {Null("n0"): Constant("v")}
+
+    @pytest.mark.parametrize("engine", ["delta", "naive"])
+    def test_unnumbered_labels_ordered_lexicographically(self, engine):
+        inst = Instance(
+            [ground_atom("R", 1, Null("beta")), ground_atom("R", 1, Null("alpha"))]
+        )
+        result = chase(inst, [fd("R", [0], 1)], engine=engine)
+        assert result.substitution == {Null("beta"): Null("alpha")}
+
+
+class TestFrontierDedupAfterMerges:
+    """Semi-oblivious dedup when an EGD merge renames a frontier term.
+
+    The frontier-key ledger stores the terms seen at firing time; a
+    merge that renames a frontier term makes the rewritten trigger a
+    *new* frontier binding, so the rule fires again on it.  Both engines
+    must agree on this behaviour.
+    """
+
+    @pytest.mark.parametrize("engine", ["delta", "naive"])
+    def test_renamed_frontier_refires(self, engine):
+        # Round 1: S(n5) fires the observed rule (frontier n5) and also
+        # produces R(1, n5), which violates the FD against R(1, n0); the
+        # merge keeps n0 (older) and rewrites S(n5) to S(n0).  The
+        # rewritten trigger is a *new* frontier binding, so the observed
+        # rule fires once more in round 2.
+        inst = Instance(
+            [
+                ground_atom("R", 1, Null("n0")),
+                ground_atom("S", Null("n5")),
+            ]
+        )
+        rules = [
+            tgd("S(x) -> T(x, w)"),
+            tgd("S(x) -> R(1, x)"),
+            fd("R", [0], 1),
+        ]
+        result = chase(
+            inst, rules, policy="semi_oblivious", max_rounds=6, engine=engine
+        )
+        assert result.outcome is ChaseOutcome.FIXPOINT
+        t_facts = result.instance.facts_of("T")
+        # Two firings: one on the original frontier (its output rewritten
+        # to n0 by the merge), one on the renamed frontier.
+        assert len(t_facts) == 2
+        assert all(f.terms[0] == Null("n0") for f in t_facts)
+
+    @pytest.mark.parametrize("engine", ["delta", "naive"])
+    def test_stable_frontier_fires_once(self, engine):
+        inst = Instance([ground_atom("S", 3)])
+        rules = [tgd("S(x) -> T(x, w)")]
+        result = chase(
+            inst, rules, policy="semi_oblivious", max_rounds=6, engine=engine
+        )
+        assert len(result.instance.facts_of("T")) == 1

@@ -120,3 +120,102 @@ class TestInstanceTransforms:
 
     def test_equality(self):
         assert Instance(facts3()) == Instance(reversed(facts3()))
+
+
+class TestOccurrenceIndex:
+    def test_facts_containing(self):
+        inst = Instance(facts3())
+        b = Constant("b")
+        assert inst.facts_containing(b) == {
+            ground_atom("R", "a", "b"), ground_atom("S", "b")
+        }
+        assert inst.facts_containing(Constant("zzz")) == frozenset()
+
+    def test_facts_containing_repeated_term(self):
+        inst = Instance([ground_atom("R", "a", "a")])
+        assert inst.facts_containing(Constant("a")) == {
+            ground_atom("R", "a", "a")
+        }
+        inst.discard(ground_atom("R", "a", "a"))
+        assert inst.facts_containing(Constant("a")) == frozenset()
+
+    def test_views_are_live(self):
+        inst = Instance([ground_atom("R", "a", "b")])
+        view = inst.facts_of("R")
+        inst.add(ground_atom("R", "a", "c"))
+        assert len(view) == 2  # live view tracks mutation
+
+
+class TestIndexIntegrityUnderChurn:
+    """The incremental indexes must stay exact under add/discard/merge
+    churn (the workload the delta chase subjects them to)."""
+
+    def test_random_add_discard_churn(self):
+        import random
+
+        rng = random.Random(1234)
+        inst = Instance()
+        pool = []
+        for step in range(600):
+            if pool and rng.random() < 0.45:
+                fact = rng.choice(pool)
+                inst.discard(fact)
+            else:
+                relation = rng.choice(["R", "S", "T"])
+                arity = {"R": 2, "S": 1, "T": 3}[relation]
+                terms = tuple(
+                    rng.choice(
+                        [Constant(rng.randrange(6)), Null(f"n{rng.randrange(6)}")]
+                    )
+                    for __ in range(arity)
+                )
+                fact = ground_atom(relation, *[t.value if isinstance(t, Constant) else t for t in terms])
+                inst.add(fact)
+                pool.append(fact)
+            if step % 50 == 0:
+                inst.validate_indexes()
+        inst.validate_indexes()
+
+    def test_merge_churn_via_chase(self):
+        """Chase-driven merges leave every index consistent."""
+        import random
+
+        from repro.chase import chase
+        from repro.constraints import fd, tgd
+
+        rng = random.Random(99)
+        for trial in range(10):
+            facts = []
+            for __ in range(rng.randint(3, 12)):
+                facts.append(
+                    ground_atom(
+                        "R", rng.randrange(3), Null(f"n{rng.randrange(8)}")
+                    )
+                )
+            inst = Instance(facts)
+            result = chase(
+                inst,
+                [tgd("R(x, y) -> S(y, x)"), fd("R", [0], 1), fd("S", [1], 0)],
+                max_rounds=6,
+            )
+            result.instance.validate_indexes()
+            # facts_with agrees with a fresh scan
+            for fact in result.instance:
+                for position, term in enumerate(fact.terms):
+                    assert fact in result.instance.facts_with(
+                        fact.relation, position, term
+                    )
+
+    def test_substitution_consistency_after_merges(self):
+        from repro.chase import chase
+        from repro.constraints import fd
+
+        inst = Instance(
+            [ground_atom("R", 1, Null(f"n{i}")) for i in range(6)]
+        )
+        result = chase(inst, [fd("R", [0], 1)])
+        result.instance.validate_indexes()
+        # All merged nulls resolve to the single kept representative.
+        kept = {v for v in result.substitution.values()}
+        assert kept == {Null("n0")}
+        assert set(result.substitution) == {Null(f"n{i}") for i in range(1, 6)}
