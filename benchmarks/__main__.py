@@ -10,13 +10,16 @@ Options:
 
 * ``--only PATTERN``  — run only bench modules whose name contains
   PATTERN (e.g. ``--only chase``);
-* ``--skip-pytest``   — run only the direct (JSON-emitting) suites.
+* ``--skip-pytest``   — run only the direct (JSON-emitting) suites;
+* ``--smoke``         — pass ``--smoke`` to direct suites that take
+  arguments (small sizes, for CI).
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib.util
+import inspect
 import sys
 from pathlib import Path
 
@@ -43,6 +46,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m benchmarks")
     parser.add_argument("--only", default="", metavar="PATTERN")
     parser.add_argument("--skip-pytest", action="store_true")
+    parser.add_argument("--smoke", action="store_true")
     args = parser.parse_args(argv)
 
     selected = [
@@ -58,7 +62,10 @@ def main(argv: list[str] | None = None) -> int:
         runner = getattr(module, "main", None)
         if callable(runner):
             print(f"=== {path.stem} ===")
-            runner()
+            if inspect.signature(runner).parameters:
+                runner(["--smoke"] if args.smoke else [])
+            else:
+                runner()
         else:
             pytest_paths.append(str(path))
 

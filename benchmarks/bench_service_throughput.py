@@ -1,0 +1,206 @@
+"""Service-layer throughput: compiled schemas + session caching.
+
+Measures what the `repro.service` layer buys over the legacy free
+functions, which re-derive the per-schema analysis (classification,
+simplification, AMonDet axioms, linearization) on every call:
+
+* **repeated-query decide** — the same query against the same schema N
+  times: the session answers from its LRU decision cache after the
+  first call;
+* **distinct-query batch** — N *different* queries against one schema
+  (no cache hits): the speedup isolates the compiled-schema
+  amortization;
+* **batch JSON round-trip** — `decide_many` plus response serialization,
+  the CLI ``batch`` hot path.
+
+Each workload family records the uncached baseline (fresh
+`decide_monotone_answerability` per query, exactly what the pre-service
+API did), the session time, and the speedup, persisted to
+``BENCH_service.json``.  Run directly or via ``python -m benchmarks
+--only service``; ``--smoke`` shrinks the sizes for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from _harness import BenchRecord, write_bench_json
+
+from repro.answerability import decide_monotone_answerability
+from repro.logic.queries import boolean_cq
+from repro.logic.atoms import atom
+from repro.service import Session, compile_schema
+from repro.workloads import (
+    fd_determinacy_workload,
+    lookup_chain_workload,
+    query_q2,
+    tgd_transfer_workload,
+    university_schema,
+    uid_fd_workload,
+)
+
+
+def _chain_queries(lengths: range):
+    """Distinct join queries over one lookup-chain schema."""
+    queries = []
+    for length in lengths:
+        atoms = [atom(f"L{i}", "x", f"y{i}") for i in range(length)]
+        queries.append(boolean_cq(atoms, name=f"Qchain{length}"))
+    return queries
+
+
+def _timed(run) -> float:
+    start = time.perf_counter()
+    run()
+    return time.perf_counter() - start
+
+
+def _family(
+    name: str,
+    schema,
+    queries,
+    *,
+    repeats: int,
+    serialize: bool = False,
+) -> BenchRecord:
+    """Time `repeats` passes over `queries`: legacy (fresh analysis per
+    decide) vs a single session over a compiled schema."""
+
+    def legacy() -> None:
+        for __ in range(repeats):
+            for query in queries:
+                decide_monotone_answerability(schema, query)
+
+    def service() -> None:
+        session = Session(compile_schema(schema))
+        for __ in range(repeats):
+            responses = session.decide_many(queries)
+            if serialize:
+                for response in responses:
+                    json.dumps(response.to_dict())
+
+    # Verify agreement before timing (the point of the refactor is that
+    # nothing semantic changed).
+    session = Session(compile_schema(schema))
+    for query in queries:
+        legacy_result = decide_monotone_answerability(schema, query)
+        assert (
+            session.decide(query).decision == legacy_result.truth.value
+        ), f"service/legacy disagree on {query!r}"
+
+    baseline = min(_timed(legacy) for __ in range(2))
+    with_service = min(_timed(service) for __ in range(2))
+    speedup = baseline / with_service if with_service else float("inf")
+    print(
+        f"  {name:34} legacy {baseline * 1000:9.2f} ms   "
+        f"service {with_service * 1000:9.2f} ms   {speedup:6.1f}x"
+    )
+    return BenchRecord(
+        name,
+        with_service,
+        2,
+        {
+            "baseline_seconds": baseline,
+            "speedup": round(speedup, 2),
+            "queries": len(queries),
+            "repeats": repeats,
+            "mode": "repeated" if repeats > 1 else "distinct",
+        },
+    )
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(prog="bench_service_throughput")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes for CI smoke runs (written to a .smoke.json "
+        "sidecar so the committed BENCH_service.json is untouched)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: BENCH_service.json at the repo "
+        "root, or BENCH_service.smoke.json under --smoke)",
+    )
+    args = parser.parse_args(argv)
+    repeats = 5 if args.smoke else 50
+    chain = 4 if args.smoke else 8
+    # Backward UCQ rewriting grows ~5x per join atom; cap the distinct
+    # query lengths so the family measures amortization, not rewriting.
+    lengths = range(1, (3 if args.smoke else 4) + 1)
+
+    fd_views = fd_determinacy_workload(6)
+    uid_fd = uid_fd_workload(4)
+    tgd_transfer = tgd_transfer_workload(4)
+    chain_schema = lookup_chain_workload(chain, dump_bound=None).schema
+    chain_queries = _chain_queries(lengths)
+
+    print("service-layer throughput (legacy free functions vs Session)")
+    records = [
+        # Same query over and over: LRU decision cache + compiled schema.
+        _family(
+            f"university-q2-repeat-{repeats}",
+            university_schema(ud_bound=100),
+            [query_q2()],
+            repeats=repeats,
+        ),
+        _family(
+            f"fd-views-repeat-{repeats}",
+            fd_views.schema,
+            [fd_views.query],
+            repeats=repeats,
+        ),
+        _family(
+            f"uid-fd-repeat-{repeats}",
+            uid_fd.schema,
+            [uid_fd.query],
+            repeats=repeats,
+        ),
+        _family(
+            f"tgd-transfer-repeat-{repeats}",
+            tgd_transfer.schema,
+            [tgd_transfer.query],
+            repeats=repeats,
+        ),
+        # Distinct queries, one schema: pure compiled-schema amortization
+        # (every decide is a cache miss).
+        _family(
+            f"lookup-chain-{chain}-distinct",
+            chain_schema,
+            chain_queries,
+            repeats=1,
+        ),
+        # The CLI batch hot path: decide_many + JSON serialization; the
+        # second pass is served from the decision cache.
+        _family(
+            f"batch-json-chain-{chain}",
+            chain_schema,
+            chain_queries,
+            repeats=2,
+            serialize=True,
+        ),
+    ]
+    from pathlib import Path
+
+    from _harness import ROOT
+
+    if args.out is not None:
+        out = Path(args.out)
+    elif args.smoke:
+        out = ROOT / "BENCH_service.smoke.json"
+    else:
+        out = None  # write_bench_json's default: BENCH_service.json
+    path = write_bench_json(
+        "service",
+        records,
+        extra={"smoke": args.smoke},
+        path=out,
+    )
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

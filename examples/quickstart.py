@@ -126,6 +126,27 @@ def main() -> None:
           f"{reference.stats.searches} trigger searches")
     assert set(fast.instance) == set(reference.instance)
 
+    banner("7. Sessions: compiled schemas, cached decisions, wire output")
+    # The service layer amortizes the per-schema analysis (detection,
+    # simplification, linearization) across queries and caches
+    # decisions by canonical query form — this is what the CLI's
+    # `batch` mode and any future server sit on:
+    from repro import Session
+
+    session = Session(university_schema(ud_bound=100))
+    first = session.decide("Udirectory(i, a, p)")      # full decision
+    again = session.decide("Udirectory(x, y, z)")      # alpha-variant: hit
+    print(f"  first decide : {first.decision.upper()} via {first.route} "
+          f"in {first.elapsed_ms} ms")
+    print(f"  repeat decide: cached={again.cached}")
+    print(f"  fingerprint  : {session.fingerprint[:16]}…")
+    print(f"  wire form    : {sorted(first.to_dict())}")
+    responses = session.decide_many(
+        ["Udirectory(i, a, p)", "Prof(i, n, 10000)"]
+    )
+    assert [r.decision for r in responses] == ["yes", "no"]
+    assert session.compiled.stats["linearization"] == 1  # built once
+
     print("\nAll quickstart checks passed.")
 
 

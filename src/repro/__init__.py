@@ -11,10 +11,10 @@ with integrity constraints and access methods — some returning at most
 ``k`` tuples, chosen nondeterministically — can a conjunctive query be
 implemented exactly by a monotone plan over the methods?
 
-Quickstart::
+Quickstart — open a `Session` on a schema and decide queries against
+it (per-schema analysis runs once, decisions are cached)::
 
-    from repro import Schema, boolean_cq, atom, tgd
-    from repro import decide_monotone_answerability
+    from repro import Schema, Session, tgd
 
     schema = Schema()
     schema.add_relation("Prof", 3)
@@ -23,9 +23,17 @@ Quickstart::
     schema.add_method("ud", "Udirectory", inputs=[], result_bound=100)
     schema.add_constraint(tgd("Prof(i,n,s) -> Udirectory(i,a,p)"))
 
+    session = Session(schema)
+    response = session.decide("Udirectory(i, a, p)")
+    assert response.is_yes        # Example 1.4 of the paper
+    response.to_dict()            # JSON-ready wire form
+    session.plan("Udirectory(i, a, p)").plan   # the static plan text
+
+The one-shot free functions remain::
+
+    from repro import boolean_cq, atom, decide_monotone_answerability
     q2 = boolean_cq([atom("Udirectory", "i", "a", "p")])
-    result = decide_monotone_answerability(schema, q2)
-    assert result.is_yes          # Example 1.4 of the paper
+    assert decide_monotone_answerability(schema, q2).is_yes
 
 Package map (details in DESIGN.md):
 
@@ -38,6 +46,9 @@ Package map (details in DESIGN.md):
 * `repro.plans` — the plan language, execution, plan→UCQ;
 * `repro.answerability` — the paper's core: AMonDet reduction, schema
   simplifications, per-class deciders, linearization, plan generation;
+* `repro.service` — compiled schemas, sessions, decision caching (the
+  serving layer the CLI and batch mode sit on);
+* `repro.io` — JSON codecs: schemas, queries, requests, responses;
 * `repro.workloads` — paper examples, generators, simulated services.
 """
 
@@ -81,8 +92,17 @@ from .logic import (
 )
 from .plans import Plan, execute, plan_to_ucq
 from .schema import AccessMethod, Relation, Schema
+from .service import (
+    CompiledSchema,
+    DecideRequest,
+    DecideResponse,
+    PlanResponse,
+    Session,
+    compile_schema,
+    schema_fingerprint,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AnswerabilityResult", "UniversalPlan", "choice_simplification",
@@ -99,5 +119,7 @@ __all__ = [
     "evaluate_cq", "ground_atom", "holds", "parse_cq",
     "Plan", "execute", "plan_to_ucq",
     "AccessMethod", "Relation", "Schema",
+    "CompiledSchema", "DecideRequest", "DecideResponse", "PlanResponse",
+    "Session", "compile_schema", "schema_fingerprint",
     "__version__",
 ]

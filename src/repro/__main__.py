@@ -2,15 +2,26 @@
 
 Commands
 --------
-``decide SCHEMA.json QUERY``
+``decide SCHEMA.json QUERY [--json]``
     Decide monotone answerability of the query under the schema; exit
     code 0 for YES, 1 for NO, 2 for UNKNOWN.
-``plan SCHEMA.json QUERY``
+``plan SCHEMA.json QUERY [--json]``
     Extract and print a static plan for an answerable query.
+``batch SCHEMA.json [--input FILE]``
+    JSON-lines service mode: one request per input line (a bare query
+    string or a `DecideRequest` object), one `DecideResponse` JSON per
+    output line.  Requests may carry an inline ``schema``; sessions are
+    compiled once per distinct schema and reused across lines.
 ``simplify SCHEMA.json {existence-check,fd,choice}``
     Print the simplified schema (JSON).
-``classify SCHEMA.json``
+``classify SCHEMA.json [--json]``
     Print the detected constraint fragment and its Table-1 row.
+
+All commands are built on `repro.service.Session`, so a process serving
+many queries pays the per-schema analysis once.  ``--max-rounds`` /
+``--max-facts`` default to the chase limits of
+`repro.answerability.deciders` (`DEFAULT_CHASE_ROUNDS`,
+`DEFAULT_CHASE_FACTS`) — the single source of truth.
 
 The schema format is documented in `repro.io`; queries use the text
 syntax ``"Q(n) :- Prof(i, n, 10000)"`` (or a bare Boolean body), either
@@ -20,18 +31,27 @@ inline or as a path to a file containing it.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 
 from .answerability import (
     choice_simplification,
-    decide_monotone_answerability,
     existence_check_simplification,
     fd_simplification,
-    generate_static_plan,
 )
-from .answerability.finite import decide_finite_monotone_answerability
-from .io import load_query, load_schema, schema_to_dict
+from .answerability.deciders import (
+    DEFAULT_CHASE_FACTS,
+    DEFAULT_CHASE_ROUNDS,
+)
+from .io import (
+    DecideRequest,
+    load_query,
+    load_schema,
+    schema_from_dict,
+    schema_to_dict,
+)
+from .service import Session, compile_schema
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -44,6 +64,22 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    def add_limits(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--max-rounds",
+            type=int,
+            default=DEFAULT_CHASE_ROUNDS,
+            help="chase round cap for the semidecidable routes "
+            f"(default: {DEFAULT_CHASE_ROUNDS})",
+        )
+        subparser.add_argument(
+            "--max-facts",
+            type=int,
+            default=DEFAULT_CHASE_FACTS,
+            help="chase fact cap protecting against breadth explosion "
+            f"(default: {DEFAULT_CHASE_FACTS})",
+        )
+
     decide = commands.add_parser(
         "decide", help="decide monotone answerability"
     )
@@ -55,17 +91,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="decide the finite variant (Prop 2.2 / Cor 7.3)",
     )
     decide.add_argument(
-        "--max-rounds",
-        type=int,
-        default=25,
-        help="chase round cap for the semidecidable routes",
+        "--json",
+        action="store_true",
+        help="emit the DecideResponse as JSON instead of text",
     )
+    add_limits(decide)
 
     plan = commands.add_parser(
         "plan", help="extract a static plan for an answerable query"
     )
     plan.add_argument("schema")
     plan.add_argument("query")
+    plan.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the PlanResponse as JSON instead of text",
+    )
+    add_limits(plan)
+
+    batch = commands.add_parser(
+        "batch",
+        help="decide many queries: JSON-lines in, JSON-lines out",
+    )
+    batch.add_argument("schema", help="path to the default JSON schema")
+    batch.add_argument(
+        "--input",
+        default="-",
+        help="path to the JSON-lines request file (default: stdin)",
+    )
+    add_limits(batch)
 
     simplify = commands.add_parser(
         "simplify", help="print a simplified schema"
@@ -79,37 +133,113 @@ def _build_parser() -> argparse.ArgumentParser:
         "classify", help="detect the constraint fragment"
     )
     classify.add_argument("schema")
+    classify.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the classification as JSON instead of text",
+    )
     return parser
 
 
+def _session(args: argparse.Namespace) -> Session:
+    return Session(
+        load_schema(args.schema),
+        max_rounds=args.max_rounds,
+        max_facts=args.max_facts,
+    )
+
+
 def _cmd_decide(args: argparse.Namespace) -> int:
-    schema = load_schema(args.schema)
-    query = load_query(args.query)
-    if args.finite:
-        result = decide_finite_monotone_answerability(
-            schema, query, max_rounds=args.max_rounds
-        )
+    session = _session(args)
+    response = session.decide(load_query(args.query), finite=args.finite)
+    if args.json:
+        print(json.dumps(response.to_dict()))
     else:
-        result = decide_monotone_answerability(
-            schema, query, max_rounds=args.max_rounds
-        )
-    print(f"query     : {query!r}")
-    print(f"fragment  : {result.constraint_class.value}")
-    print(f"route     : {result.route}")
-    print(f"decision  : {result.truth.value.upper()}")
-    print(f"reason    : {result.decision.reason}")
-    return {"yes": 0, "no": 1, "unknown": 2}[result.truth.value]
+        print(f"query     : {response.query}")
+        print(f"fragment  : {response.constraint_class}")
+        print(f"route     : {response.route}")
+        print(f"decision  : {response.decision.upper()}")
+        print(f"reason    : {response.reason}")
+    return response.exit_code
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
-    schema = load_schema(args.schema)
-    query = load_query(args.query)
-    plan = generate_static_plan(schema, query)
-    if plan is None:
+    session = _session(args)
+    response = session.plan(load_query(args.query))
+    if args.json:
+        print(json.dumps(response.to_dict()))
+        return 0 if response.answerable else 1
+    if not response.answerable:
         print("no plan: the query is not (provably) monotone answerable")
         return 1
-    print(plan)
+    print(response.plan)
     return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    default_session = _session(args)
+    # Inline-schema sessions, two-level: the serialized description
+    # skips recompilation for byte-identical spellings, the content
+    # fingerprint dedupes reordered spellings of the same schema.
+    sessions_by_text: dict[str, Session] = {}
+    sessions_by_fingerprint: dict[str, Session] = {}
+    if args.input == "-":
+        lines = sys.stdin
+    else:
+        lines = open(args.input)
+    failures = 0
+    try:
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            request = None
+            try:
+                request = DecideRequest.from_dict(json.loads(line))
+                if request.schema is None:
+                    session = default_session
+                else:
+                    text_key = json.dumps(request.schema, sort_keys=True)
+                    session = sessions_by_text.get(text_key)
+                    if session is None:
+                        compiled = compile_schema(
+                            schema_from_dict(request.schema)
+                        )
+                        session = sessions_by_fingerprint.get(
+                            compiled.fingerprint
+                        )
+                        if session is None:
+                            session = Session(
+                                compiled,
+                                max_rounds=args.max_rounds,
+                                max_facts=args.max_facts,
+                            )
+                            sessions_by_fingerprint[
+                                compiled.fingerprint
+                            ] = session
+                        sessions_by_text[text_key] = session
+                response = session.decide(
+                    request.query, finite=request.finite
+                )
+                if request.id is not None:
+                    # Copy: the session cache keeps the id-free original.
+                    response = dataclasses.replace(
+                        response, id=request.id
+                    )
+                print(json.dumps(response.to_dict()), flush=True)
+            except Exception as error:  # keep the stream going
+                failures += 1
+                report = {
+                    "error": f"{type(error).__name__}: {error}",
+                    "line": line,
+                }
+                if request is not None and request.id is not None:
+                    report["id"] = request.id
+                print(json.dumps(report), flush=True)
+    finally:
+        if lines is not sys.stdin:
+            lines.close()
+    return 1 if failures else 0
 
 
 def _cmd_simplify(args: argparse.Namespace) -> int:
@@ -125,10 +255,30 @@ def _cmd_simplify(args: argparse.Namespace) -> int:
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
-    schema = load_schema(args.schema)
-    fragment = schema.constraint_class()
-    print(f"fragment      : {fragment.value}")
-    print(f"result bounds : {len(schema.result_bounded_methods())} methods")
+    compiled = compile_schema(load_schema(args.schema))
+    if args.json:
+        schema = compiled.schema
+        print(
+            json.dumps(
+                {
+                    "fingerprint": compiled.fingerprint,
+                    "constraint_class": compiled.constraint_class.value,
+                    "result_bounded_methods": [
+                        m.name for m in compiled.result_bounded_methods
+                    ],
+                    "relations": len(schema.relations),
+                    "methods": len(schema.methods),
+                    "constraints": len(schema.constraints),
+                }
+            )
+        )
+        return 0
+    print(f"fragment      : {compiled.constraint_class.value}")
+    print(
+        "result bounds : "
+        f"{len(compiled.result_bounded_methods)} methods"
+    )
+    print(f"fingerprint   : {compiled.fingerprint[:16]}")
     return 0
 
 
@@ -137,6 +287,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "decide": _cmd_decide,
         "plan": _cmd_plan,
+        "batch": _cmd_batch,
         "simplify": _cmd_simplify,
         "classify": _cmd_classify,
     }

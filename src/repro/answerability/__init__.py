@@ -3,6 +3,8 @@
 from .axioms import (
     AMonDetContainment,
     AxiomError,
+    amondet_constraints,
+    amondet_start_instance,
     build_amondet_containment,
     prime_constraint,
     prime_query,
@@ -51,7 +53,8 @@ from .simplification import (
 from .universal_plan import UniversalPlan, UniversalPlanRun
 
 __all__ = [
-    "AMonDetContainment", "AxiomError", "build_amondet_containment",
+    "AMonDetContainment", "AxiomError", "amondet_constraints",
+    "amondet_start_instance", "build_amondet_containment",
     "prime_constraint", "prime_query",
     "AMonDetCounterexample", "blow_up_instance", "candidate_instances_for",
     "find_amondet_counterexample",

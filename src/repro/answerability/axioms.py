@@ -184,25 +184,23 @@ def accessed_transfer_axioms(schema: Schema) -> list[TGD]:
     return axioms
 
 
-def build_amondet_containment(
+def amondet_constraints(
     schema: Schema,
-    query: ConjunctiveQuery,
     *,
     inline: bool = True,
     treat_bounds_as_one: bool = False,
-) -> AMonDetContainment:
-    """Build the AMonDet containment for a (Boolean) CQ and a schema.
+) -> list[Dependency]:
+    """Γ: the schema-only part of the AMonDet containment.
+
+    This is the expensive, query-independent half of Prop 3.4 — Σ, Σ',
+    and the accessibility axioms.  `CompiledSchema` caches it so a
+    session pays for it once per schema rather than once per query.
 
     Raises `AxiomError` when a method carries a bound k > 1 and
     ``treat_bounds_as_one`` is False: such schemas need a §4/§6 schema
     simplification first (that is the paper's whole point — the naïve
     encoding needs the cardinality axioms of Example 3.5).
     """
-    if query.free_variables:
-        raise AxiomError(
-            "the reduction is stated for Boolean CQs; bind the free "
-            "variables first (the paper's results extend routinely)"
-        )
     constraints: list[Dependency] = list(schema.constraints)
     constraints.extend(prime_constraint(c) for c in schema.constraints)
     for method in schema.methods:
@@ -221,13 +219,43 @@ def build_amondet_containment(
             constraints.extend(bounded_method_axioms(method, inline=inline))
     if not inline:
         constraints.extend(accessed_transfer_axioms(schema))
+    return constraints
 
+
+def amondet_start_instance(query: ConjunctiveQuery) -> Instance:
+    """CanonDB(Q) with every query constant made accessible."""
     start, __ = query.canonical_instance()
     for constant in query.constants():
         start.add(Atom(ACCESSIBLE, (constant,)))
+    return start
+
+
+def build_amondet_containment(
+    schema: Schema,
+    query: ConjunctiveQuery,
+    *,
+    inline: bool = True,
+    treat_bounds_as_one: bool = False,
+) -> AMonDetContainment:
+    """Build the AMonDet containment for a (Boolean) CQ and a schema.
+
+    The constraint set is query-independent; callers deciding many
+    queries against one schema should cache `amondet_constraints` (as
+    `repro.service.CompiledSchema` does) and pair it with
+    `amondet_start_instance` per query.
+    """
+    if query.free_variables:
+        raise AxiomError(
+            "the reduction is stated for Boolean CQs; bind the free "
+            "variables first (the paper's results extend routinely)"
+        )
     return AMonDetContainment(
         query=query,
         target=prime_query(query),
-        constraints=constraints,
-        start_instance=start,
+        constraints=amondet_constraints(
+            schema,
+            inline=inline,
+            treat_bounds_as_one=treat_bounds_as_one,
+        ),
+        start_instance=amondet_start_instance(query),
     )

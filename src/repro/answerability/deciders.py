@@ -21,12 +21,18 @@ Each decider follows the paper's recipe for its Table-1 row:
 `decide_monotone_answerability` dispatches on the detected constraint
 class.  Non-Boolean queries are decided by freezing their free variables
 into fresh constants (the standard reduction the paper alludes to in §2).
+
+Every decider accepts either a raw `Schema` or a
+`repro.service.CompiledSchema`; raw schemas are compiled on the fly, so
+the free functions keep their historical behavior while sessions
+deciding many queries amortize the per-schema analysis (simplification,
+AMonDet axioms, linearization) across calls.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Union
 
 from ..chase.engine import ChaseOutcome, chase
 from ..constraints.analysis import ConstraintClass
@@ -44,24 +50,28 @@ from ..logic.queries import ConjunctiveQuery
 from ..logic.terms import Constant, Variable
 from ..schema.schema import Schema
 from .axioms import (
-    build_amondet_containment,
+    amondet_start_instance,
     exact_method_axioms,
-    prime_constraint,
     prime_query,
 )
-from .elimub import elim_ub
-from .linearization import linearize
 from .naming import ACCESSIBLE, primed
-from .simplification import (
-    choice_simplification,
-    existence_check_simplification,
-    fd_simplification,
-)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..service.compiled import CompiledSchema
+
+SchemaLike = Union[Schema, "CompiledSchema"]
 
 #: Round cap used when no termination guarantee applies.
 DEFAULT_CHASE_ROUNDS = 25
 #: Fact cap protecting against breadth explosion.
 DEFAULT_CHASE_FACTS = 100_000
+
+
+def _as_compiled(schema: SchemaLike) -> "CompiledSchema":
+    # Imported lazily: `repro.service` depends on this module.
+    from ..service.compiled import as_compiled
+
+    return as_compiled(schema)
 
 
 def freeze_free_variables(
@@ -82,7 +92,7 @@ def freeze_free_variables(
 
 def _chase_containment(
     start: Instance,
-    constraints: list,
+    constraints,
     target: ConjunctiveQuery,
     *,
     max_rounds: Optional[int],
@@ -126,10 +136,11 @@ def _chase_containment(
 # FDs (Theorem 5.2) — also covers the constraint-free case
 # ----------------------------------------------------------------------
 def decide_with_fds(
-    schema: Schema,
+    schema: SchemaLike,
     query: ConjunctiveQuery,
     *,
     max_rounds: Optional[int] = 500,
+    max_facts: int = DEFAULT_CHASE_FACTS,
 ) -> Decision:
     """Monotone answerability for FD constraints (NP, Thm 5.2).
 
@@ -137,15 +148,16 @@ def decide_with_fds(
     terminates (the only existential rules fire once per view fact), so
     the answer is definitive.
     """
+    compiled = _as_compiled(schema)
     if query.free_variables:
         query, __ = freeze_free_variables(query)
-    simplified = fd_simplification(elim_ub(schema))
-    problem = build_amondet_containment(simplified.schema, query)
+    simplified = compiled.simplification("fd")
     decision = _chase_containment(
-        problem.start_instance,
-        problem.constraints,
-        problem.target,
+        amondet_start_instance(query),
+        compiled.amondet("fd"),
+        prime_query(query),
         max_rounds=max_rounds,
+        max_facts=max_facts,
     )
     decision.detail["simplification"] = simplified.kind
     return decision
@@ -155,11 +167,12 @@ def decide_with_fds(
 # IDs (Theorems 5.3 / 5.4) — linearization route (complete) + chase route
 # ----------------------------------------------------------------------
 def decide_with_ids(
-    schema: Schema,
+    schema: SchemaLike,
     query: ConjunctiveQuery,
     *,
     route: str = "linearization",
     max_rounds: Optional[int] = DEFAULT_CHASE_ROUNDS,
+    max_facts: int = DEFAULT_CHASE_FACTS,
     max_disjuncts: int = 50_000,
 ) -> Decision:
     """Monotone answerability for ID constraints.
@@ -170,24 +183,23 @@ def decide_with_ids(
     simplification and chases directly (ablation baseline; may return
     UNKNOWN on divergent chases).
     """
+    compiled = _as_compiled(schema)
     if query.free_variables:
         query, __ = freeze_free_variables(query)
-    schema = elim_ub(schema)
     if route == "chase":
-        simplified = existence_check_simplification(schema)
-        problem = build_amondet_containment(simplified.schema, query)
         decision = _chase_containment(
-            problem.start_instance,
-            problem.constraints,
-            problem.target,
+            amondet_start_instance(query),
+            compiled.amondet("existence-check"),
+            prime_query(query),
             max_rounds=max_rounds,
+            max_facts=max_facts,
         )
         decision.detail["route"] = "chase"
         return decision
     if route != "linearization":
         raise ValueError(f"unknown route {route}")
 
-    system = linearize(schema)
+    system = compiled.linearization()
     start = system.initial_instance(query)
     target = prime_query(query)
     try:
@@ -280,10 +292,11 @@ def minimize_query_under_fds(
 
 
 def decide_with_uids_and_fds(
-    schema: Schema,
+    schema: SchemaLike,
     query: ConjunctiveQuery,
     *,
     max_rounds: Optional[int] = DEFAULT_CHASE_ROUNDS,
+    max_facts: int = DEFAULT_CHASE_FACTS,
 ) -> Decision:
     """Monotone answerability for UIDs + FDs (Thm 7.2).
 
@@ -291,27 +304,19 @@ def decide_with_uids_and_fds(
     minimization of Q, then the FDs are dropped and the remaining GTGD
     containment is chased.  Definitive on termination; UNKNOWN at the
     round cap (the paper's EXPTIME bound uses a generalized linearization
-    we approximate by the chase — see DESIGN.md §3).
+    we approximate by the chase — see DESIGN.md §2).
     """
+    compiled = _as_compiled(schema)
     if query.free_variables:
         query, __ = freeze_free_variables(query)
-    simplified = choice_simplification(elim_ub(schema))
-    working = simplified.schema
-    fds = [
-        c for c in working.constraints if isinstance(c, FunctionalDependency)
-    ]
-    uids = [c for c in working.constraints if isinstance(c, TGD)]
+    fds, constraints = compiled.uids_fds()
 
-    minimized = minimize_query_under_fds(query, fds)
+    minimized = minimize_query_under_fds(query, list(fds))
     if minimized is None:
         return Decision.yes(
             "query unsatisfiable under the FDs; the empty plan answers it",
             simplification="choice",
         )
-
-    constraints: list = list(uids)
-    constraints.extend(prime_constraint(c) for c in uids)
-    constraints.extend(_separability_axioms(working, fds))
 
     start, __ = minimized.canonical_instance()
     for constant in minimized.constants():
@@ -321,6 +326,7 @@ def decide_with_uids_and_fds(
         constraints,
         prime_query(minimized),
         max_rounds=max_rounds,
+        max_facts=max_facts,
     )
     decision.detail["simplification"] = "choice+separability"
     return decision
@@ -330,10 +336,11 @@ def decide_with_uids_and_fds(
 # Expressive classes via choice simplification (Thm 6.3 / 7.1)
 # ----------------------------------------------------------------------
 def decide_with_choice_simplification(
-    schema: Schema,
+    schema: SchemaLike,
     query: ConjunctiveQuery,
     *,
     max_rounds: Optional[int] = DEFAULT_CHASE_ROUNDS,
+    max_facts: int = DEFAULT_CHASE_FACTS,
 ) -> Decision:
     """Monotone answerability via choice simplification (TGD classes).
 
@@ -341,15 +348,15 @@ def decide_with_choice_simplification(
     containment is definitive when it terminates (e.g. weakly-acyclic or
     full TGDs) and UNKNOWN at the cap otherwise.
     """
+    compiled = _as_compiled(schema)
     if query.free_variables:
         query, __ = freeze_free_variables(query)
-    simplified = choice_simplification(elim_ub(schema))
-    problem = build_amondet_containment(simplified.schema, query)
     decision = _chase_containment(
-        problem.start_instance,
-        problem.constraints,
-        problem.target,
+        amondet_start_instance(query),
+        compiled.amondet("choice"),
+        prime_query(query),
         max_rounds=max_rounds,
+        max_facts=max_facts,
     )
     decision.detail["simplification"] = "choice"
     return decision
@@ -384,34 +391,44 @@ class AnswerabilityResult:
 
 
 def decide_monotone_answerability(
-    schema: Schema,
+    schema: SchemaLike,
     query: ConjunctiveQuery,
     *,
     max_rounds: Optional[int] = DEFAULT_CHASE_ROUNDS,
+    max_facts: int = DEFAULT_CHASE_FACTS,
 ) -> AnswerabilityResult:
     """Decide monotone answerability, dispatching on the constraint class.
 
     The routes implement Table 1 of the paper; see the per-class deciders
-    for guarantees.  Schemas mixing arbitrary TGDs with FDs *and*
+    for guarantees.  ``max_rounds`` caps the semidecidable chase routes
+    only (the FD route's chase terminates on its own; the linearized ID
+    route does not chase).  Schemas mixing arbitrary TGDs with FDs *and*
     carrying result bounds have no applicable simplifiability theorem
     (the paper leaves choice simplifiability of FDs + general IDs open,
     §9) — those return UNKNOWN.
     """
-    fragment = schema.constraint_class()
+    compiled = _as_compiled(schema)
+    fragment = compiled.constraint_class
     if fragment in (ConstraintClass.NONE, ConstraintClass.FDS):
         return AnswerabilityResult(
-            decide_with_fds(schema, query), "fd-simplification", fragment
+            decide_with_fds(compiled, query, max_facts=max_facts),
+            "fd-simplification",
+            fragment,
         )
     if fragment in (
         ConstraintClass.IDS,
         ConstraintClass.BOUNDED_WIDTH_IDS,
     ):
         return AnswerabilityResult(
-            decide_with_ids(schema, query), "linearization", fragment
+            decide_with_ids(compiled, query, max_facts=max_facts),
+            "linearization",
+            fragment,
         )
     if fragment is ConstraintClass.UIDS_AND_FDS:
         return AnswerabilityResult(
-            decide_with_uids_and_fds(schema, query, max_rounds=max_rounds),
+            decide_with_uids_and_fds(
+                compiled, query, max_rounds=max_rounds, max_facts=max_facts
+            ),
             "choice+separability",
             fragment,
         )
@@ -423,21 +440,21 @@ def decide_monotone_answerability(
     ):
         return AnswerabilityResult(
             decide_with_choice_simplification(
-                schema, query, max_rounds=max_rounds
+                compiled, query, max_rounds=max_rounds, max_facts=max_facts
             ),
             "choice-simplification",
             fragment,
         )
-    if not schema.has_result_bounds():
+    if not compiled.has_result_bounds:
         # No bounds: Prop 3.4 applies directly for arbitrary dependencies.
         if query.free_variables:
             query, __ = freeze_free_variables(query)
-        problem = build_amondet_containment(schema, query)
         decision = _chase_containment(
-            problem.start_instance,
-            problem.constraints,
-            problem.target,
+            amondet_start_instance(query),
+            compiled.amondet("direct"),
+            prime_query(query),
             max_rounds=max_rounds,
+            max_facts=max_facts,
         )
         return AnswerabilityResult(decision, "direct", fragment)
     return AnswerabilityResult(

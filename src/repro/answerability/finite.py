@@ -29,7 +29,10 @@ from ..containment.decision import Decision
 from ..logic.queries import ConjunctiveQuery
 from ..schema.schema import Schema
 from .deciders import (
+    DEFAULT_CHASE_FACTS,
     AnswerabilityResult,
+    SchemaLike,
+    _as_compiled,
     decide_monotone_answerability,
     decide_with_uids_and_fds,
 )
@@ -61,31 +64,34 @@ def schema_with_finite_closure(schema: Schema) -> Schema:
 
 
 def decide_finite_monotone_answerability(
-    schema: Schema,
+    schema: SchemaLike,
     query: ConjunctiveQuery,
     *,
     max_rounds: Optional[int] = 25,
+    max_facts: int = DEFAULT_CHASE_FACTS,
 ) -> AnswerabilityResult:
     """Decide monotone answerability over *finite* instances.
 
     Dispatch: finitely controllable fragments delegate to the
     unrestricted decider (Prop 2.2); UIDs + FDs go through the finite
-    closure (Cor 7.3); other fragments with result bounds are out of the
-    paper's decidable territory and return UNKNOWN.
+    closure (Cor 7.3, compiled and cached on the `CompiledSchema`);
+    other fragments with result bounds are out of the paper's decidable
+    territory and return UNKNOWN.
     """
-    fragment = schema.constraint_class()
+    compiled = _as_compiled(schema)
+    fragment = compiled.constraint_class
     if fragment in _FINITELY_CONTROLLABLE:
         result = decide_monotone_answerability(
-            schema, query, max_rounds=max_rounds
+            compiled, query, max_rounds=max_rounds, max_facts=max_facts
         )
         result.decision.detail["finite_variant"] = (
             "delegated (finitely controllable, Prop 2.2)"
         )
         return result
     if fragment is ConstraintClass.UIDS_AND_FDS:
-        closed = schema_with_finite_closure(schema)
+        closed = compiled.finite_closure()
         decision = decide_with_uids_and_fds(
-            closed, query, max_rounds=max_rounds
+            closed, query, max_rounds=max_rounds, max_facts=max_facts
         )
         decision.detail["finite_variant"] = (
             "finite closure Σ* (Cor 7.3 / Thm 7.4)"

@@ -336,46 +336,50 @@ def saturation_plan(
 
 
 def generate_static_plan(
-    schema: Schema,
+    schema,
     query: ConjunctiveQuery,
     *,
-    max_rounds: int = 25,
+    max_rounds: Optional[int] = 25,
+    max_facts: Optional[int] = None,
 ) -> Optional[Plan]:
     """Decide answerability via a proof-producing route and compile the
     proof to a static plan; None when the query is not (provably)
     answerable through a chase certificate.
 
-    Uses the choice-simplification chase for TGD classes (plans transfer
-    verbatim to the original bounds) and the FD simplification for FD
-    classes (view accesses are translated back).  Boolean queries only.
+    Accepts a `Schema` or a `repro.service.CompiledSchema` (the cached
+    simplification and AMonDet axioms are reused).  Uses the
+    choice-simplification chase for TGD classes (plans transfer verbatim
+    to the original bounds) and the FD simplification for FD classes
+    (view accesses are translated back).  Boolean queries only.
     """
     from ..constraints.analysis import ConstraintClass
-    from .deciders import _chase_containment
-    from .axioms import build_amondet_containment
-    from .elimub import elim_ub
-    from .simplification import choice_simplification, fd_simplification
+    from .axioms import amondet_start_instance, prime_query
+    from .deciders import DEFAULT_CHASE_FACTS, _as_compiled, _chase_containment
 
     if query.free_variables:
         raise PlanExtractionError("static plans are extracted for Boolean CQs")
 
-    fragment = schema.constraint_class()
+    compiled = _as_compiled(schema)
+    fragment = compiled.constraint_class
     if fragment in (ConstraintClass.NONE, ConstraintClass.FDS):
-        simplified = fd_simplification(elim_ub(schema))
+        kind = "fd"
     else:
-        simplified = choice_simplification(elim_ub(schema))
-    problem = build_amondet_containment(simplified.schema, query)
+        kind = "choice"
+    simplified = compiled.simplification(kind)
+    target = prime_query(query)
     decision = _chase_containment(
-        problem.start_instance,
-        problem.constraints,
-        problem.target,
+        amondet_start_instance(query),
+        compiled.amondet(kind),
+        target,
         max_rounds=max_rounds,
+        max_facts=DEFAULT_CHASE_FACTS if max_facts is None else max_facts,
     )
     if not decision.is_yes or decision.certificate is None:
         return None
-    proof = extract_proof(decision.certificate, problem.target)
+    proof = extract_proof(decision.certificate, target)
     use_translation = simplified.kind != "choice"
     return saturation_plan(
-        schema,
+        compiled.schema,
         query,
         proof,
         simplification=simplified if use_translation else None,

@@ -2,7 +2,7 @@
 
 For any CQ Q that is AMonDet w.r.t. a schema, the following *dynamic*
 plan answers Q on every instance I and every valid access selection σ
-(see DESIGN.md §3 for the two-line proof from Prop 3.2):
+(see DESIGN.md §2 for the two-line proof from Prop 3.2):
 
 1. compute the accessible part ``A = AccPart(σ, I)``, seeding the query's
    constants;

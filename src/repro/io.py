@@ -1,4 +1,7 @@
-"""Loading schemas and queries from JSON descriptions (CLI support).
+"""Wire formats: schemas, queries, and service requests/responses.
+
+This module is the serialization boundary of the library: everything a
+server, batch pipeline, or CLI exchanges goes through the codecs here.
 
 The JSON schema format::
 
@@ -12,20 +15,32 @@ The JSON schema format::
       ],
       "constraints": [
         "Prof(i,n,s) -> Udirectory(i,a,p)",     // TGD/ID text syntax
-        "Udirectory: 1 -> 2"                     // FD text syntax
+        "Udirectory: 1 -> 2",                    // FD text syntax
+        "[tau] Prof(i,n,s) -> Udirectory(i,a,p)" // optional [name] label
       ]
     }
 
 Positions in the JSON (method inputs, FD positions) are **1-based**, as
 in the paper.  Queries use the text syntax of `repro.logic.parser`:
 ``"Q(n) :- Prof(i, n, 10000)"`` or a bare Boolean body.
+
+`schema_to_dict` / `schema_from_dict` round-trip: relations, attributes,
+methods (inputs, result bounds, lower bounds), and constraints —
+including constraint names, emitted as a ``[name]`` label prefix.
+
+The request/response dataclasses (`DecideRequest`, `DecideResponse`,
+`PlanResponse`) are the typed wire surface of `repro.service.Session`;
+each carries ``to_dict`` / ``from_dict`` JSON codecs so every result is
+directly serializable (used by the ``--json`` and ``batch`` CLI modes).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Union
+from typing import Any, Optional, Union
 
 from .constraints.fd import parse_fd
 from .constraints.tgd import tgd
@@ -36,6 +51,28 @@ from .schema.schema import Schema
 
 class SchemaFormatError(ValueError):
     """Raised on malformed JSON schema descriptions."""
+
+
+# ----------------------------------------------------------------------
+# Schemas
+# ----------------------------------------------------------------------
+def parse_constraint(text: str):
+    """Parse one constraint string: TGD/ID or FD, with an optional
+    ``[name]`` label prefix (the form `repr` emits)."""
+    name = ""
+    stripped = text.strip()
+    if stripped.startswith("["):
+        label, bracket, rest = stripped[1:].partition("]")
+        if not bracket:
+            raise SchemaFormatError(f"unterminated constraint label: {text!r}")
+        name, stripped = label.strip(), rest.strip()
+    head = stripped.split("->", 1)[0]
+    if "->" in stripped and ":" in head and "(" not in stripped:
+        parsed = parse_fd(stripped)
+        if name:
+            parsed = dataclasses.replace(parsed, name=name)
+        return parsed
+    return tgd(stripped, name=name)
 
 
 def schema_from_dict(description: dict[str, Any]) -> Schema:
@@ -69,10 +106,7 @@ def schema_from_dict(description: dict[str, Any]) -> Schema:
             result_lower_bound=method.get("result_lower_bound"),
         )
     for text in description.get("constraints", []):
-        if "->" in text and ":" in text.split("->")[0] and "(" not in text:
-            schema.add_constraint(parse_fd(text))
-        else:
-            schema.add_constraint(tgd(text))
+        schema.add_constraint(parse_constraint(text))
     return schema
 
 
@@ -118,3 +152,169 @@ def schema_to_dict(schema: Schema) -> dict[str, Any]:
             entry["result_lower_bound"] = method.result_lower_bound
         description["methods"].append(entry)
     return description
+
+
+# ----------------------------------------------------------------------
+# Service requests and responses
+# ----------------------------------------------------------------------
+def json_safe(value: Any) -> Any:
+    """Project a value onto the JSON-serializable subset.
+
+    Primitives pass through; containers are converted recursively;
+    everything else (certificates, chase results, ...) becomes its repr.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [json_safe(v) for v in value]
+    return repr(value)
+
+
+@dataclass
+class DecideRequest:
+    """One decision request: a query plus optional per-request knobs.
+
+    ``schema`` is an optional inline JSON schema description; when
+    absent the processing session's schema applies (the batch CLI
+    compiles and caches inline schemas by their serialized form).
+    """
+
+    query: str
+    schema: Optional[dict[str, Any]] = None
+    id: Optional[Union[str, int]] = None
+    finite: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"query": self.query}
+        if self.schema is not None:
+            payload["schema"] = self.schema
+        if self.id is not None:
+            payload["id"] = self.id
+        if self.finite:
+            payload["finite"] = True
+        return payload
+
+    @staticmethod
+    def from_dict(payload: Union[str, dict[str, Any]]) -> "DecideRequest":
+        if isinstance(payload, str):
+            return DecideRequest(query=payload)
+        if "query" not in payload:
+            raise SchemaFormatError(f"request missing 'query': {payload}")
+        return DecideRequest(
+            query=payload["query"],
+            schema=payload.get("schema"),
+            id=payload.get("id"),
+            finite=bool(payload.get("finite", False)),
+        )
+
+
+@dataclass
+class DecideResponse:
+    """The wire form of one answerability decision.
+
+    ``decision`` is ``"yes"`` / ``"no"`` / ``"unknown"`` (the CLI maps
+    these to exit codes 0/1/2); ``fingerprint`` identifies the compiled
+    schema that produced the answer; ``cached`` marks session-cache hits.
+    """
+
+    query: str
+    decision: str
+    reason: str = ""
+    route: str = ""
+    constraint_class: str = ""
+    fingerprint: str = ""
+    cached: bool = False
+    elapsed_ms: Optional[float] = None
+    id: Optional[Union[str, int]] = None
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_yes(self) -> bool:
+        return self.decision == "yes"
+
+    @property
+    def is_no(self) -> bool:
+        return self.decision == "no"
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.decision == "unknown"
+
+    @property
+    def exit_code(self) -> int:
+        return {"yes": 0, "no": 1, "unknown": 2}[self.decision]
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "query": self.query,
+            "decision": self.decision,
+            "reason": self.reason,
+            "route": self.route,
+            "constraint_class": self.constraint_class,
+            "fingerprint": self.fingerprint,
+            "cached": self.cached,
+        }
+        if self.elapsed_ms is not None:
+            payload["elapsed_ms"] = self.elapsed_ms
+        if self.id is not None:
+            payload["id"] = self.id
+        if self.detail:
+            payload["detail"] = json_safe(self.detail)
+        return payload
+
+    @staticmethod
+    def from_dict(payload: dict[str, Any]) -> "DecideResponse":
+        return DecideResponse(
+            query=payload["query"],
+            decision=payload["decision"],
+            reason=payload.get("reason", ""),
+            route=payload.get("route", ""),
+            constraint_class=payload.get("constraint_class", ""),
+            fingerprint=payload.get("fingerprint", ""),
+            cached=bool(payload.get("cached", False)),
+            elapsed_ms=payload.get("elapsed_ms"),
+            id=payload.get("id"),
+            detail=dict(payload.get("detail", {})),
+        )
+
+
+@dataclass
+class PlanResponse:
+    """The wire form of a plan extraction.
+
+    ``plan`` is the plan-language text (None when the query is not
+    provably monotone answerable); ``answerable`` mirrors whether a plan
+    was produced.
+    """
+
+    query: str
+    answerable: bool
+    plan: Optional[str] = None
+    reason: str = ""
+    fingerprint: str = ""
+    cached: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "query": self.query,
+            "answerable": self.answerable,
+            "plan": self.plan,
+            "fingerprint": self.fingerprint,
+            "cached": self.cached,
+        }
+        if self.reason:
+            payload["reason"] = self.reason
+        return payload
+
+    @staticmethod
+    def from_dict(payload: dict[str, Any]) -> "PlanResponse":
+        return PlanResponse(
+            query=payload["query"],
+            answerable=bool(payload["answerable"]),
+            plan=payload.get("plan"),
+            reason=payload.get("reason", ""),
+            fingerprint=payload.get("fingerprint", ""),
+            cached=bool(payload.get("cached", False)),
+        )

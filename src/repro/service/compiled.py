@@ -1,0 +1,201 @@
+"""Compiled schemas: per-schema analysis amortized across queries.
+
+The deciders in `repro.answerability` derive several expensive,
+*query-independent* artifacts from a schema:
+
+* the detected constraint class (Table-1 dispatch);
+* the §4/§6 schema simplifications (existence-check, FD, choice);
+* the AMonDet constraint set Γ of Prop 3.4, per simplification;
+* the linearized system Σ^Lin of Prop 5.5 (truncated-accessibility
+  saturation — the dominant cost of the ID route);
+* the separability axioms of Thm 7.2 and the finite closure Σ* of
+  Cor 7.3.
+
+A `CompiledSchema` is an immutable artifact bundling the source schema
+with a content fingerprint and a lazily-computed-then-frozen cache of
+those outputs, so a `Session` (or any caller deciding many queries
+against one schema) runs each analysis exactly once.  The `stats`
+counters record how many times each artifact was actually built — the
+test suite asserts they stay at one across repeated decisions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from typing import TYPE_CHECKING, Any, Callable, Union
+
+from ..constraints.analysis import ClassifiedConstraints, ConstraintClass
+from ..constraints.fd import FunctionalDependency
+from ..constraints.tgd import TGD
+from ..schema.schema import Schema
+from ..io import schema_to_dict
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from ..answerability.linearization import LinearizedSystem
+    from ..answerability.simplification import SimplificationResult
+
+#: Simplification kinds a compiled schema can hold.
+SIMPLIFICATION_KINDS = ("existence-check", "fd", "choice")
+
+
+def schema_fingerprint(schema: Schema) -> str:
+    """A content fingerprint of the schema (order-insensitive).
+
+    Two schemas with the same relations, attributes, methods (including
+    bounds), and constraints — in any declaration order — get the same
+    fingerprint; any semantic difference changes it.
+    """
+    description = schema_to_dict(schema)
+    description["methods"] = sorted(
+        description["methods"], key=lambda entry: entry["name"]
+    )
+    description["constraints"] = sorted(description["constraints"])
+    blob = json.dumps(description, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class CompiledSchema:
+    """An immutable schema plus its frozen per-schema analysis outputs.
+
+    Build one with `compile_schema`; every decider accepts it in place
+    of a raw `Schema`.  Artifacts are computed on first use and frozen;
+    `stats` counts how often each was built (at most once).
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        # Private copy: later mutation of the caller's Schema must not
+        # invalidate the fingerprint or the frozen artifacts.
+        self._schema = schema.copy()
+        self.fingerprint = schema_fingerprint(self._schema)
+        self.classified: ClassifiedConstraints = (
+            self._schema.classified_constraints()
+        )
+        self.constraint_class: ConstraintClass = self.classified.fragment
+        self.result_bounded_methods = self._schema.result_bounded_methods()
+        self.has_result_bounds = bool(self.result_bounded_methods)
+        self.stats: dict[str, int] = {}
+        self._artifacts: dict[str, Any] = {}
+        self._lock = threading.RLock()
+
+    @property
+    def schema(self) -> Schema:
+        """A copy of the compiled schema (mutating it cannot desync the
+        fingerprint or the frozen artifacts)."""
+        return self._schema.copy()
+
+    # ------------------------------------------------------------------
+    def _artifact(self, key: str, build: Callable[[], Any]) -> Any:
+        """Build-once storage: the first caller computes, the rest read."""
+        with self._lock:
+            if key not in self._artifacts:
+                self.stats[key] = self.stats.get(key, 0) + 1
+                self._artifacts[key] = build()
+            return self._artifacts[key]
+
+    # ------------------------------------------------------------------
+    # Frozen artifacts
+    # ------------------------------------------------------------------
+    def elimub(self) -> Schema:
+        """ElimUB(Sch): result bounds turned into lower bounds (Prop 3.3)."""
+        from ..answerability.elimub import elim_ub
+
+        return self._artifact("elimub", lambda: elim_ub(self._schema))
+
+    def simplification(self, kind: str) -> "SimplificationResult":
+        """The §4/§6 simplification of ElimUB(Sch) for ``kind`` (one of
+        ``existence-check`` / ``fd`` / ``choice``)."""
+        from ..answerability.simplification import (
+            choice_simplification,
+            existence_check_simplification,
+            fd_simplification,
+        )
+
+        transforms = {
+            "existence-check": existence_check_simplification,
+            "fd": fd_simplification,
+            "choice": choice_simplification,
+        }
+        if kind not in transforms:
+            raise ValueError(f"unknown simplification kind {kind!r}")
+        return self._artifact(
+            f"simplification:{kind}", lambda: transforms[kind](self.elimub())
+        )
+
+    def amondet(self, kind: str) -> tuple:
+        """Γ for the AMonDet containment over the ``kind``-simplified
+        schema (``direct`` builds it over the original schema — only
+        legal when the schema carries no result bounds)."""
+        from ..answerability.axioms import amondet_constraints
+
+        if kind == "direct":
+            build = lambda: tuple(amondet_constraints(self._schema))
+        else:
+            build = lambda: tuple(
+                amondet_constraints(self.simplification(kind).schema)
+            )
+        return self._artifact(f"amondet:{kind}", build)
+
+    def linearization(self) -> "LinearizedSystem":
+        """Σ^Lin of Prop 5.5 over ElimUB(Sch) (ID constraints only)."""
+        from ..answerability.linearization import linearize
+
+        return self._artifact(
+            "linearization", lambda: linearize(self.elimub())
+        )
+
+    def uids_fds(self) -> tuple[tuple[FunctionalDependency, ...], tuple]:
+        """The Thm 7.2 artifacts: the FDs of the choice-simplified
+        schema, plus the full constraint set for its GTGD containment
+        (UIDs, their primed copies, and the separability axioms)."""
+
+        def build() -> tuple[tuple[FunctionalDependency, ...], tuple]:
+            from ..answerability.axioms import prime_constraint
+            from ..answerability.deciders import _separability_axioms
+
+            working = self.simplification("choice").schema
+            fds = tuple(
+                c
+                for c in working.constraints
+                if isinstance(c, FunctionalDependency)
+            )
+            uids = tuple(
+                c for c in working.constraints if isinstance(c, TGD)
+            )
+            constraints = list(uids)
+            constraints.extend(prime_constraint(c) for c in uids)
+            constraints.extend(_separability_axioms(working, list(fds)))
+            return fds, tuple(constraints)
+
+        return self._artifact("uids-fds", build)
+
+    def finite_closure(self) -> "CompiledSchema":
+        """Sch* of Cor 7.3, compiled (UIDs + FDs finite variant)."""
+        from ..answerability.finite import schema_with_finite_closure
+
+        return self._artifact(
+            "finite-closure",
+            lambda: CompiledSchema(schema_with_finite_closure(self._schema)),
+        )
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"CompiledSchema({self.fingerprint[:12]}, "
+            f"{self.constraint_class.value}, "
+            f"{len(self._schema.relations)} relations, "
+            f"{len(self._schema.methods)} methods)"
+        )
+
+
+def compile_schema(schema: Schema) -> CompiledSchema:
+    """Compile a schema into an immutable, analysis-carrying artifact."""
+    return CompiledSchema(schema)
+
+
+def as_compiled(schema: Union[Schema, CompiledSchema]) -> CompiledSchema:
+    """Coerce: pass compiled schemas through, compile raw ones."""
+    if isinstance(schema, CompiledSchema):
+        return schema
+    return compile_schema(schema)

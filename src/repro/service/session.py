@@ -1,0 +1,279 @@
+"""Sessions: the user-facing service facade.
+
+A `Session` binds a `CompiledSchema` to per-session resource limits and
+an LRU decision cache, and exposes the four service verbs:
+
+* ``decide(query)`` — monotone answerability, as a `DecideResponse`;
+* ``decide_many(queries)`` — the batch form, one response per query;
+* ``plan(query)`` — static-plan extraction, as a `PlanResponse`;
+* ``explain(query)`` — the decision plus compilation/cache diagnostics.
+
+Queries may be `ConjunctiveQuery` objects or text in the
+`repro.logic.parser` syntax.  The cache key is the pair (schema
+fingerprint, canonical query form): queries that differ only in
+variable names or in the query name share an entry.  Responses are
+wire-ready (`to_dict`) and mark cache hits with ``cached=True``.
+
+Resource limits (``max_rounds``, ``max_facts``) bound the semidecidable
+chase routes, replacing the per-call keyword defaults of the free
+functions; routes with their own termination guarantee (the FD chase,
+the linearized-rewriting ID route) are unaffected by ``max_rounds``.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Any, Iterable, Optional, Union
+
+from ..answerability.deciders import (
+    DEFAULT_CHASE_FACTS,
+    DEFAULT_CHASE_ROUNDS,
+    AnswerabilityResult,
+    decide_monotone_answerability,
+)
+from ..answerability.finite import decide_finite_monotone_answerability
+from ..answerability.plangen import PlanExtractionError, generate_static_plan
+from ..io import DecideResponse, PlanResponse, json_safe
+from ..logic.parser import parse_cq
+from ..logic.queries import ConjunctiveQuery
+from ..logic.terms import Constant, Variable
+from ..schema.schema import Schema
+from .compiled import CompiledSchema, as_compiled
+
+QueryLike = Union[str, ConjunctiveQuery]
+
+
+def canonical_query_key(query: ConjunctiveQuery) -> str:
+    """A canonical text form of a CQ, stable under variable renaming.
+
+    Variables are numbered by first occurrence (free variables keep
+    their answer positions); constants carry their value.  Two queries
+    with the same key are identical up to variable names and the query
+    name, so a cached decision transfers.
+    """
+    renaming: dict[Variable, str] = {}
+
+    def term_key(term: Any) -> str:
+        if isinstance(term, Variable):
+            if term not in renaming:
+                renaming[term] = f"?{len(renaming)}"
+            return renaming[term]
+        if isinstance(term, Constant):
+            return f"c:{term.value!r}"
+        return f"t:{term!r}"
+
+    atoms = ";".join(
+        f"{atom.relation}({','.join(term_key(t) for t in atom.terms)})"
+        for atom in query.atoms
+    )
+    free = ",".join(term_key(v) for v in query.free_variables)
+    return f"{atoms}|{free}"
+
+
+class Session:
+    """A reusable decision session over one compiled schema.
+
+    ::
+
+        session = Session(schema, max_rounds=50)
+        response = session.decide("Udirectory(i, a, p)")
+        assert response.is_yes
+        wire = response.to_dict()          # JSON-ready
+
+    Thread-safe: the compiled artifacts freeze after first use and the
+    decision cache takes a lock; concurrent `decide` calls are fine.
+    """
+
+    def __init__(
+        self,
+        schema: Union[Schema, CompiledSchema],
+        *,
+        max_rounds: Optional[int] = DEFAULT_CHASE_ROUNDS,
+        max_facts: int = DEFAULT_CHASE_FACTS,
+        cache_size: int = 1024,
+    ) -> None:
+        self.compiled = as_compiled(schema)
+        self.max_rounds = max_rounds
+        self.max_facts = max_facts
+        self.cache_size = cache_size
+        self._cache: OrderedDict[tuple, Any] = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self.compiled.schema
+
+    @property
+    def fingerprint(self) -> str:
+        return self.compiled.fingerprint
+
+    def _coerce(self, query: QueryLike) -> ConjunctiveQuery:
+        if isinstance(query, str):
+            return parse_cq(query)
+        return query
+
+    def _cache_get(self, key: tuple) -> Optional[Any]:
+        with self._lock:
+            if key in self._cache:
+                self._cache.move_to_end(key)
+                self.hits += 1
+                return self._cache[key]
+            self.misses += 1
+            return None
+
+    def _cache_put(self, key: tuple, value: Any) -> None:
+        if self.cache_size <= 0:
+            return
+        with self._lock:
+            self._cache[key] = value
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Service verbs
+    # ------------------------------------------------------------------
+    def decide(
+        self, query: QueryLike, *, finite: bool = False
+    ) -> DecideResponse:
+        """Decide monotone answerability; cached by canonical form."""
+        started = time.perf_counter()
+        parsed = self._coerce(query)
+        key = ("decide", canonical_query_key(parsed), finite)
+        hit = self._cache_get(key)
+        if hit is not None:
+            # Fresh copy (detail included): callers may annotate the
+            # response without poisoning the cache entry.  elapsed_ms is
+            # this lookup's cost, not the original decision's.
+            return replace(
+                hit,
+                cached=True,
+                query=repr(parsed),
+                elapsed_ms=round(
+                    (time.perf_counter() - started) * 1000.0, 3
+                ),
+                detail=copy.deepcopy(hit.detail),
+            )
+        result = self._decide_result(parsed, finite=finite)
+        response = DecideResponse(
+            query=repr(parsed),
+            decision=result.truth.value,
+            reason=result.decision.reason,
+            route=result.route,
+            constraint_class=result.constraint_class.value,
+            fingerprint=self.compiled.fingerprint,
+            cached=False,
+            elapsed_ms=round(
+                (time.perf_counter() - started) * 1000.0, 3
+            ),
+            detail=json_safe(result.decision.detail),
+        )
+        self._cache_put(
+            key, replace(response, detail=copy.deepcopy(response.detail))
+        )
+        return response
+
+    def _decide_result(
+        self, query: ConjunctiveQuery, *, finite: bool
+    ) -> AnswerabilityResult:
+        if finite:
+            return decide_finite_monotone_answerability(
+                self.compiled,
+                query,
+                max_rounds=self.max_rounds,
+                max_facts=self.max_facts,
+            )
+        return decide_monotone_answerability(
+            self.compiled,
+            query,
+            max_rounds=self.max_rounds,
+            max_facts=self.max_facts,
+        )
+
+    def decide_many(
+        self, queries: Iterable[QueryLike], *, finite: bool = False
+    ) -> list[DecideResponse]:
+        """Decide a batch of queries against the shared compiled schema."""
+        return [self.decide(query, finite=finite) for query in queries]
+
+    def plan(self, query: QueryLike) -> PlanResponse:
+        """Extract a static plan (Boolean queries); cached like decide."""
+        parsed = self._coerce(query)
+        key = ("plan", canonical_query_key(parsed))
+        hit = self._cache_get(key)
+        if hit is not None:
+            return replace(hit, cached=True, query=repr(parsed))
+        try:
+            plan = generate_static_plan(
+                self.compiled,
+                parsed,
+                max_rounds=self.max_rounds,
+                max_facts=self.max_facts,
+            )
+        except PlanExtractionError as error:
+            return PlanResponse(
+                query=repr(parsed),
+                answerable=False,
+                reason=str(error),
+                fingerprint=self.compiled.fingerprint,
+            )
+        if plan is None:
+            response = PlanResponse(
+                query=repr(parsed),
+                answerable=False,
+                reason=(
+                    "the query is not (provably) monotone answerable "
+                    "through a chase certificate"
+                ),
+                fingerprint=self.compiled.fingerprint,
+            )
+        else:
+            response = PlanResponse(
+                query=repr(parsed),
+                answerable=True,
+                plan=str(plan),
+                fingerprint=self.compiled.fingerprint,
+            )
+        # Store a copy so caller attribute assignment cannot poison the
+        # cache entry (all field values are immutable).
+        self._cache_put(key, replace(response))
+        return response
+
+    def explain(self, query: QueryLike, *, finite: bool = False) -> dict:
+        """The decision plus session/compilation diagnostics, JSON-safe."""
+        response = self.decide(query, finite=finite)
+        report = response.to_dict()
+        report["limits"] = {
+            "max_rounds": self.max_rounds,
+            "max_facts": self.max_facts,
+        }
+        report["cache"] = self.cache_info()
+        report["compile_stats"] = dict(self.compiled.stats)
+        return report
+
+    # ------------------------------------------------------------------
+    def cache_info(self) -> dict:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._cache),
+                "capacity": self.cache_size,
+            }
+
+    def clear_cache(self) -> None:
+        with self._lock:
+            self._cache.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"Session({self.compiled!r}, max_rounds={self.max_rounds}, "
+            f"max_facts={self.max_facts})"
+        )

@@ -1,0 +1,126 @@
+"""Compiled schemas: fingerprints and build-once artifact caching."""
+
+import pytest
+
+from repro.answerability import (
+    decide_monotone_answerability,
+    decide_with_fds,
+    decide_with_ids,
+)
+from repro.logic.atoms import atom
+from repro.logic.queries import boolean_cq
+from repro.service import (
+    CompiledSchema,
+    as_compiled,
+    compile_schema,
+    schema_fingerprint,
+)
+from repro.workloads import (
+    fd_determinacy_workload,
+    query_q1_boolean,
+    query_q2,
+    tgd_transfer_workload,
+    university_schema,
+)
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        a = schema_fingerprint(university_schema())
+        b = schema_fingerprint(university_schema())
+        assert a == b
+
+    def test_distinguishes_bounds(self):
+        assert schema_fingerprint(
+            university_schema(ud_bound=100)
+        ) != schema_fingerprint(university_schema(ud_bound=None))
+
+    def test_distinguishes_constraints(self):
+        assert schema_fingerprint(
+            university_schema(with_fd=True)
+        ) != schema_fingerprint(university_schema(with_fd=False))
+
+    def test_method_order_insensitive(self):
+        from repro.schema.schema import Schema
+
+        ab = Schema()
+        ab.add_relation("R", 2)
+        ab.add_method("a", "R", inputs=[0])
+        ab.add_method("b", "R", inputs=[1])
+        ba = Schema()
+        ba.add_relation("R", 2)
+        ba.add_method("b", "R", inputs=[1])
+        ba.add_method("a", "R", inputs=[0])
+        assert schema_fingerprint(ab) == schema_fingerprint(ba)
+
+
+class TestArtifactCaching:
+    def test_linearization_runs_once_across_queries(self):
+        compiled = compile_schema(university_schema(ud_bound=100))
+        queries = [
+            query_q2(),
+            query_q1_boolean(),
+            boolean_cq([atom("Prof", "i", "n", "s")], name="Qall"),
+        ]
+        for query in queries:
+            decide_monotone_answerability(compiled, query)
+        assert compiled.stats.get("linearization") == 1
+        # And the repeated artifact is the very same object.
+        assert compiled.linearization() is compiled.linearization()
+
+    def test_fd_simplification_runs_once_across_queries(self):
+        workload = fd_determinacy_workload(4)
+        compiled = compile_schema(workload.schema)
+        for __ in range(5):
+            decide_with_fds(compiled, workload.query)
+        assert compiled.stats.get("simplification:fd") == 1
+        assert compiled.stats.get("amondet:fd") == 1
+
+    def test_choice_amondet_runs_once(self):
+        workload = tgd_transfer_workload(3)
+        compiled = compile_schema(workload.schema)
+        for __ in range(4):
+            decide_monotone_answerability(compiled, workload.query)
+        assert compiled.stats.get("simplification:choice") == 1
+        assert compiled.stats.get("amondet:choice") == 1
+
+    def test_existence_check_cached_on_chase_route(self):
+        compiled = compile_schema(university_schema(ud_bound=100))
+        for __ in range(3):
+            decide_with_ids(
+                compiled, query_q2(), route="chase", max_rounds=10
+            )
+        assert compiled.stats.get("simplification:existence-check") == 1
+
+
+class TestCoercion:
+    def test_as_compiled_passthrough(self):
+        compiled = compile_schema(university_schema())
+        assert as_compiled(compiled) is compiled
+
+    def test_as_compiled_wraps_schema(self):
+        compiled = as_compiled(university_schema())
+        assert isinstance(compiled, CompiledSchema)
+
+    def test_unknown_simplification_kind(self):
+        compiled = compile_schema(university_schema())
+        with pytest.raises(ValueError):
+            compiled.simplification("nope")
+
+    def test_isolated_from_later_schema_mutation(self):
+        from repro.constraints import fd
+
+        schema = university_schema(ud_bound=100)
+        compiled = compile_schema(schema)
+        fingerprint = compiled.fingerprint
+        constraint_count = len(compiled.schema.constraints)
+        schema.add_constraint(fd("Udirectory", [0], 1))
+        assert compiled.fingerprint == fingerprint
+        assert len(compiled.schema.constraints) == constraint_count
+        assert compiled.fingerprint != compile_schema(schema).fingerprint
+
+    def test_classification_matches_schema(self):
+        schema = university_schema(with_fd=True, with_ud2=True)
+        compiled = compile_schema(schema)
+        assert compiled.constraint_class is schema.constraint_class()
+        assert compiled.has_result_bounds

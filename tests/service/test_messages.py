@@ -1,0 +1,99 @@
+"""Round trips for the wire dataclasses in `repro.io`."""
+
+import json
+
+import pytest
+
+from repro.io import DecideRequest, DecideResponse, PlanResponse, json_safe
+
+
+class TestDecideRequest:
+    def test_round_trip_full(self):
+        request = DecideRequest(
+            query="Q() :- R(x, y)",
+            schema={"relations": {"R": 2}},
+            id="req-1",
+            finite=True,
+        )
+        again = DecideRequest.from_dict(request.to_dict())
+        assert again == request
+
+    def test_round_trip_minimal(self):
+        request = DecideRequest(query="R(x, y)")
+        payload = request.to_dict()
+        assert payload == {"query": "R(x, y)"}
+        assert DecideRequest.from_dict(payload) == request
+
+    def test_bare_string_is_a_query(self):
+        assert DecideRequest.from_dict("R(x)") == DecideRequest(query="R(x)")
+
+    def test_missing_query_rejected(self):
+        from repro.io import SchemaFormatError
+
+        with pytest.raises(SchemaFormatError):
+            DecideRequest.from_dict({"id": 3})
+
+
+class TestDecideResponse:
+    def test_round_trip(self):
+        response = DecideResponse(
+            query="Q() :- R(x)",
+            decision="yes",
+            reason="chase proved it",
+            route="linearization",
+            constraint_class="inclusion dependencies",
+            fingerprint="abc123",
+            cached=True,
+            elapsed_ms=1.25,
+            id=7,
+            detail={"rounds": 3},
+        )
+        payload = json.loads(json.dumps(response.to_dict()))
+        assert DecideResponse.from_dict(payload) == response
+
+    def test_exit_codes(self):
+        assert DecideResponse("q", "yes").exit_code == 0
+        assert DecideResponse("q", "no").exit_code == 1
+        assert DecideResponse("q", "unknown").exit_code == 2
+
+    def test_predicates(self):
+        assert DecideResponse("q", "yes").is_yes
+        assert DecideResponse("q", "no").is_no
+        assert DecideResponse("q", "unknown").is_unknown
+
+
+class TestPlanResponse:
+    def test_round_trip_with_plan(self):
+        response = PlanResponse(
+            query="Q() :- R(x)",
+            answerable=True,
+            plan="T0 <= m <= {};\nreturn T0",
+            fingerprint="abc",
+        )
+        payload = json.loads(json.dumps(response.to_dict()))
+        assert PlanResponse.from_dict(payload) == response
+
+    def test_round_trip_refusal(self):
+        response = PlanResponse(
+            query="Q() :- R(x)", answerable=False, reason="not answerable"
+        )
+        assert (
+            PlanResponse.from_dict(response.to_dict()) == response
+        )
+
+
+class TestJsonSafe:
+    def test_primitives_pass_through(self):
+        assert json_safe({"a": 1, "b": [True, None, "x"]}) == {
+            "a": 1,
+            "b": [True, None, "x"],
+        }
+
+    def test_objects_become_reprs(self):
+        class Thing:
+            def __repr__(self):
+                return "<thing>"
+
+        safe = json_safe({"cert": Thing()})
+        assert safe == {"cert": "<thing>"}
+        json.dumps(safe)  # must not raise

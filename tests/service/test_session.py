@@ -1,0 +1,207 @@
+"""Sessions: caching, limits, batch agreement with the free functions."""
+
+import pytest
+
+from repro.answerability import decide_monotone_answerability
+from repro.logic.atoms import atom
+from repro.logic.queries import boolean_cq
+from repro.service import Session, canonical_query_key, compile_schema
+from repro.workloads import (
+    example_6_1_schema,
+    fd_determinacy_workload,
+    id_width_workload,
+    lookup_chain_workload,
+    query_example_6_1,
+    query_q1_boolean,
+    query_q2,
+    query_q3_boolean,
+    tgd_transfer_workload,
+    uid_fd_workload,
+    university_schema,
+)
+
+#: One workload per Table-1 row family (schema, queries to decide).
+TABLE1_CASES = [
+    ("fds", fd_determinacy_workload(3)),
+    ("fds-undet", fd_determinacy_workload(3, ask_undetermined=True)),
+    ("ids", lookup_chain_workload(3, dump_bound=None)),
+    ("ids-bounded", lookup_chain_workload(3, dump_bound=5)),
+    ("bounded-width", id_width_workload(2)),
+    ("uids-fds", uid_fd_workload(3)),
+    ("uids-nofd", uid_fd_workload(3, with_fd=False)),
+    ("tgds", tgd_transfer_workload(3)),
+]
+
+
+class TestCanonicalKey:
+    def test_alpha_equivalent_queries_share_keys(self):
+        q1 = boolean_cq([atom("R", "x", "y"), atom("S", "y")], name="A")
+        q2 = boolean_cq([atom("R", "u", "v"), atom("S", "v")], name="B")
+        assert canonical_query_key(q1) == canonical_query_key(q2)
+
+    def test_different_join_shapes_differ(self):
+        q1 = boolean_cq([atom("R", "x", "x")])
+        q2 = boolean_cq([atom("R", "x", "y")])
+        assert canonical_query_key(q1) != canonical_query_key(q2)
+
+    def test_free_variables_distinguish(self):
+        x = atom("R", "x", "y")
+        boolean = boolean_cq([x])
+        from repro.logic.queries import cq
+        from repro.logic.terms import Variable
+
+        non_boolean = cq([x], free=[Variable("x")])
+        assert canonical_query_key(boolean) != canonical_query_key(
+            non_boolean
+        )
+
+
+class TestDecide:
+    def test_matches_legacy_on_university(self):
+        schema = university_schema(ud_bound=100, with_ud2=True, with_fd=True)
+        session = Session(schema)
+        for query in (query_q1_boolean(), query_q2(), query_q3_boolean()):
+            legacy = decide_monotone_answerability(schema, query)
+            assert session.decide(query).decision == legacy.truth.value
+
+    @pytest.mark.parametrize(
+        "label,workload", TABLE1_CASES, ids=[c[0] for c in TABLE1_CASES]
+    )
+    def test_decide_many_agrees_with_legacy(self, label, workload):
+        session = Session(compile_schema(workload.schema))
+        responses = session.decide_many([workload.query] * 2)
+        legacy = decide_monotone_answerability(
+            workload.schema, workload.query
+        )
+        for response in responses:
+            assert response.decision == legacy.truth.value
+        if workload.expected_answerable is not None:
+            assert responses[0].is_yes == workload.expected_answerable
+
+    def test_accepts_query_text(self):
+        session = Session(university_schema(ud_bound=100))
+        assert session.decide("Udirectory(i, a, p)").is_yes
+
+    def test_response_is_wire_ready(self):
+        import json
+
+        session = Session(university_schema(ud_bound=100))
+        payload = session.decide(query_q2()).to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["decision"] == "yes"
+        assert payload["fingerprint"] == session.fingerprint
+
+
+class TestCache:
+    def test_repeat_hits_cache(self):
+        session = Session(university_schema(ud_bound=100))
+        first = session.decide(query_q2())
+        second = session.decide(query_q2())
+        assert not first.cached
+        assert second.cached
+        assert second.decision == first.decision
+        assert session.cache_info()["hits"] == 1
+
+    def test_alpha_variant_hits_cache(self):
+        session = Session(university_schema(ud_bound=100))
+        session.decide("Udirectory(i, a, p)")
+        response = session.decide("Udirectory(x, y, z)")
+        assert response.cached
+
+    def test_eviction_respects_capacity(self):
+        session = Session(
+            university_schema(ud_bound=100), cache_size=1
+        )
+        session.decide(query_q2())
+        session.decide(query_q1_boolean())  # evicts q2
+        assert session.cache_info()["size"] == 1
+        assert not session.decide(query_q2()).cached
+
+    def test_zero_capacity_disables_caching(self):
+        session = Session(university_schema(ud_bound=100), cache_size=0)
+        session.decide(query_q2())
+        assert not session.decide(query_q2()).cached
+
+    def test_caller_mutation_cannot_poison_the_cache(self):
+        session = Session(university_schema(ud_bound=100))
+        first = session.decide(query_q2())
+        first.id = "request-1"
+        first.detail["annotation"] = "mine"
+        second = session.decide(query_q2())
+        assert second.id is None
+        assert "annotation" not in second.detail
+        second.detail["annotation"] = "other"
+        assert "annotation" not in session.decide(query_q2()).detail
+
+    def test_clear_cache(self):
+        session = Session(university_schema(ud_bound=100))
+        session.decide(query_q2())
+        session.clear_cache()
+        assert session.cache_info()["size"] == 0
+
+
+class TestLimitsAndExplain:
+    def test_max_rounds_limits_semidecidable_routes(self):
+        # Example 6.1 decides YES via the choice-simplification chase in
+        # a few rounds; max_rounds=1 must stop short with UNKNOWN.
+        schema = example_6_1_schema()
+        strict = Session(schema, max_rounds=1)
+        relaxed = Session(schema)
+        assert strict.decide(query_example_6_1()).is_unknown
+        assert relaxed.decide(query_example_6_1()).is_yes
+
+    def test_max_facts_is_threaded(self):
+        schema = example_6_1_schema()
+        strict = Session(schema, max_facts=2)
+        assert strict.decide(query_example_6_1()).is_unknown
+
+    def test_explain_reports_diagnostics(self):
+        session = Session(university_schema(ud_bound=100), max_rounds=7)
+        report = session.explain(query_q2())
+        assert report["decision"] == "yes"
+        assert report["limits"]["max_rounds"] == 7
+        assert report["compile_stats"].get("linearization") == 1
+        assert report["cache"]["misses"] >= 1
+
+
+class TestPlan:
+    def test_plan_for_answerable_query(self):
+        session = Session(university_schema(ud_bound=100))
+        response = session.plan(query_q2())
+        assert response.answerable
+        assert "<= ud <=" in response.plan
+        assert session.plan(query_q2()).cached
+
+    def test_plan_refused_for_unanswerable_query(self):
+        session = Session(university_schema(ud_bound=100))
+        response = session.plan(query_q1_boolean())
+        assert not response.answerable
+        assert response.plan is None
+
+    def test_plan_honors_session_limits(self):
+        # The Example 6.1 certificate needs several chase rounds; a
+        # one-round session must refuse where the default extracts.
+        schema = example_6_1_schema()
+        assert Session(schema).plan(query_example_6_1()).answerable
+        strict = Session(schema, max_rounds=1)
+        assert not strict.plan(query_example_6_1()).answerable
+
+    def test_plan_refused_for_non_boolean_query(self):
+        from repro.workloads import query_q1
+
+        session = Session(university_schema(ud_bound=100))
+        response = session.plan(query_q1())
+        assert not response.answerable
+        assert "Boolean" in response.reason
+
+
+class TestFinite:
+    def test_finite_variant_cached_separately(self):
+        schema = university_schema(ud_bound=100)
+        session = Session(schema)
+        unrestricted = session.decide(query_q2())
+        finite = session.decide(query_q2(), finite=True)
+        assert unrestricted.decision == finite.decision
+        # Distinct cache keys: the second finite call is the hit.
+        assert not finite.cached
+        assert session.decide(query_q2(), finite=True).cached

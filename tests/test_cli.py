@@ -114,3 +114,118 @@ class TestCLI:
         code = main(["classify", schema_file])
         assert code == 0
         assert "bounded-width" in capsys.readouterr().out
+
+    def test_max_rounds_default_is_the_shared_constant(self):
+        from repro.__main__ import _build_parser
+        from repro.answerability.deciders import (
+            DEFAULT_CHASE_FACTS,
+            DEFAULT_CHASE_ROUNDS,
+        )
+
+        args = _build_parser().parse_args(["decide", "s.json", "R(x)"])
+        assert args.max_rounds == DEFAULT_CHASE_ROUNDS
+        assert args.max_facts == DEFAULT_CHASE_FACTS
+
+
+class TestCLIJson:
+    def test_decide_json(self, schema_file, capsys):
+        code = main(["decide", schema_file, "Udirectory(i,a,p)", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["decision"] == "yes"
+        assert payload["route"] == "linearization"
+        assert payload["fingerprint"]
+
+    def test_decide_json_no(self, schema_file, capsys):
+        code = main(["decide", schema_file, "Prof(i,n,10000)", "--json"])
+        assert code == 1
+        assert json.loads(capsys.readouterr().out)["decision"] == "no"
+
+    def test_plan_json(self, schema_file, capsys):
+        code = main(["plan", schema_file, "Udirectory(i,a,p)", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["answerable"] is True
+        assert "<= ud <=" in payload["plan"]
+
+    def test_plan_json_refused(self, schema_file, capsys):
+        code = main(["plan", schema_file, "Prof(i,n,10000)", "--json"])
+        assert code == 1
+        assert json.loads(capsys.readouterr().out)["plan"] is None
+
+    def test_classify_json(self, schema_file, capsys):
+        code = main(["classify", schema_file, "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["constraint_class"].startswith("bounded-width")
+        assert payload["result_bounded_methods"] == ["ud"]
+
+
+class TestCLIBatch:
+    def _run(self, schema_file, lines, tmp_path, extra=()):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text("\n".join(lines) + "\n")
+        return main(
+            ["batch", schema_file, "--input", str(requests), *extra]
+        )
+
+    def test_batch_round_trip(self, schema_file, tmp_path, capsys):
+        code = self._run(
+            schema_file,
+            [
+                '"Udirectory(i,a,p)"',
+                json.dumps({"query": "Prof(i,n,10000)", "id": 7}),
+                json.dumps({"query": "Udirectory(x,y,z)", "id": "again"}),
+            ],
+            tmp_path,
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        payloads = [json.loads(line) for line in lines]
+        assert [p["decision"] for p in payloads] == ["yes", "no", "yes"]
+        assert payloads[1]["id"] == 7
+        # Third line is alpha-equivalent to the first: a cache hit.
+        assert payloads[2]["cached"] is True
+
+    def test_batch_inline_schema(self, schema_file, tmp_path, capsys):
+        inline = {
+            "relations": {"Udirectory": 3},
+            "methods": [
+                {"name": "ud", "relation": "Udirectory", "inputs": []}
+            ],
+        }
+        code = self._run(
+            schema_file,
+            [json.dumps({"query": "Udirectory(i,a,p)", "schema": inline})],
+            tmp_path,
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["decision"] == "yes"
+        assert payload["constraint_class"] == "no constraints"
+
+    def test_batch_bad_line_keeps_streaming(
+        self, schema_file, tmp_path, capsys
+    ):
+        code = self._run(
+            schema_file,
+            ["not-json", '"Udirectory(i,a,p)"'],
+            tmp_path,
+        )
+        assert code == 1
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert "error" in json.loads(lines[0])
+        assert json.loads(lines[1])["decision"] == "yes"
+
+    def test_batch_error_echoes_request_id(
+        self, schema_file, tmp_path, capsys
+    ):
+        code = self._run(
+            schema_file,
+            [json.dumps({"query": "Bad((", "id": 7})],
+            tmp_path,
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert "error" in payload
+        assert payload["id"] == 7

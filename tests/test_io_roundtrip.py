@@ -1,0 +1,121 @@
+"""Schema JSON round-trips: `schema_from_dict(schema_to_dict(s)) ≡ s`.
+
+Covers every paper workload in `repro.workloads.paperschemas` plus the
+generator families, checking relations, attributes, methods (inputs and
+bounds), and constraints — including named constraints, whose ``[name]``
+label `schema_to_dict` emits and `parse_constraint` reads back.
+"""
+
+import pytest
+
+from repro.io import parse_constraint, schema_from_dict, schema_to_dict
+from repro.workloads import (
+    example_6_1_schema,
+    example_8_1_story,
+    fd_determinacy_workload,
+    id_width_workload,
+    lookup_chain_workload,
+    tgd_transfer_workload,
+    uid_fd_workload,
+    university_schema,
+)
+
+PAPER_SCHEMAS = [
+    ("university-plain", lambda: university_schema()),
+    ("university-unbounded", lambda: university_schema(ud_bound=None)),
+    (
+        "university-full",
+        lambda: university_schema(
+            ud_bound=100, with_ud2=True, with_fd=True
+        ),
+    ),
+    ("example-6-1", example_6_1_schema),
+    ("example-8-1", lambda: example_8_1_story().schema),
+]
+
+GENERATED_SCHEMAS = [
+    ("lookup-chain", lambda: lookup_chain_workload(3, dump_bound=7).schema),
+    ("id-width", lambda: id_width_workload(3).schema),
+    ("fd-determinacy", lambda: fd_determinacy_workload(3).schema),
+    ("uid-fd", lambda: uid_fd_workload(3).schema),
+    ("tgd-transfer", lambda: tgd_transfer_workload(3).schema),
+]
+
+
+def assert_schemas_equivalent(original, rebuilt):
+    assert {r.name: r.arity for r in rebuilt.relations} == {
+        r.name: r.arity for r in original.relations
+    }
+    assert {r.name: r.attributes for r in rebuilt.relations} == {
+        r.name: r.attributes for r in original.relations
+    }
+    original_methods = {m.name: m for m in original.methods}
+    rebuilt_methods = {m.name: m for m in rebuilt.methods}
+    assert rebuilt_methods.keys() == original_methods.keys()
+    for name, method in original_methods.items():
+        other = rebuilt_methods[name]
+        assert other.relation.name == method.relation.name
+        assert other.input_positions == method.input_positions
+        assert other.result_bound == method.result_bound
+        assert other.result_lower_bound == method.result_lower_bound
+    assert sorted(repr(c) for c in rebuilt.constraints) == sorted(
+        repr(c) for c in original.constraints
+    )
+
+
+@pytest.mark.parametrize(
+    "label,build",
+    PAPER_SCHEMAS + GENERATED_SCHEMAS,
+    ids=[c[0] for c in PAPER_SCHEMAS + GENERATED_SCHEMAS],
+)
+def test_round_trip(label, build):
+    schema = build()
+    rebuilt = schema_from_dict(schema_to_dict(schema))
+    assert_schemas_equivalent(schema, rebuilt)
+
+
+@pytest.mark.parametrize(
+    "label,build",
+    PAPER_SCHEMAS + GENERATED_SCHEMAS,
+    ids=[c[0] for c in PAPER_SCHEMAS + GENERATED_SCHEMAS],
+)
+def test_dict_form_is_a_fixpoint(label, build):
+    description = schema_to_dict(build())
+    assert schema_to_dict(schema_from_dict(description)) == description
+
+
+@pytest.mark.parametrize(
+    "label,build",
+    PAPER_SCHEMAS + GENERATED_SCHEMAS,
+    ids=[c[0] for c in PAPER_SCHEMAS + GENERATED_SCHEMAS],
+)
+def test_fingerprint_survives_round_trip(label, build):
+    from repro.service import schema_fingerprint
+
+    schema = build()
+    rebuilt = schema_from_dict(schema_to_dict(schema))
+    assert schema_fingerprint(rebuilt) == schema_fingerprint(schema)
+
+
+class TestParseConstraint:
+    def test_named_tgd(self):
+        parsed = parse_constraint(
+            "[tau] Prof(i, n, s) -> exists a, p. Udirectory(i, a, p)"
+        )
+        assert parsed.name == "tau"
+        assert repr(parsed) == (
+            "[tau] Prof(i, n, s) -> exists a, p. Udirectory(i, a, p)"
+        )
+
+    def test_named_fd(self):
+        parsed = parse_constraint("[phi] Udirectory: 1 -> 2")
+        assert parsed.name == "phi"
+        assert parsed.relation == "Udirectory"
+        assert parsed.determiner == frozenset({0})
+        assert parsed.determined == 1
+
+    def test_unterminated_label_rejected(self):
+        from repro.io import SchemaFormatError
+
+        with pytest.raises(SchemaFormatError):
+            parse_constraint("[oops R(x) -> S(x)")
