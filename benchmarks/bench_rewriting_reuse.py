@@ -1,0 +1,215 @@
+"""Cross-query rewriting reuse: the `RewriteEngine` vs per-query rewriting.
+
+The ID-route deciders (Thm 5.3/5.4) answer through a backward UCQ
+rewriting of the linearized system.  Before the engine, that rewriting
+was recomputed from scratch for every query — the dominant cost on
+distinct-query batches (`BENCH_service.json` recorded ~1.0x for
+`lookup-chain-distinct`).  This suite measures what sharing one
+`RewriteEngine` per compiled schema buys:
+
+* **id-chain rewriting** — distinct queries ``R_0(x) .. R_n(x)`` down a
+  linear ID chain: their rewriting frontiers are nested, so the shared
+  engine expands each canonical state once ever while the per-query
+  baseline re-derives the whole chain suffix for every query;
+* **id-chain decide batch** — the same batch end to end through the ID
+  decide route: legacy per-query free functions (fresh schema analysis
+  + fresh rewriting, the pre-service API) vs one `Session` over one
+  compiled schema owning one engine;
+* **lookup-chain joins** — the `bench_service_throughput` distinct-join
+  family: disjoint-relation joins share no frontier states, so the win
+  here is the memoized per-atom rewrite steps and the compiled rule
+  index (a smaller, honest number).
+
+Each record carries the engine's cache counters (expansions reused,
+atom-pattern hits) so the speedup can be attributed.  Results persist
+to ``BENCH_rewriting.json``; ``--smoke`` shrinks sizes for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from _harness import BenchRecord, write_bench_json
+
+from repro.answerability import decide_monotone_answerability
+from repro.answerability.axioms import prime_query
+from repro.containment.rewriting import RewriteEngine
+from repro.logic.atoms import atom
+from repro.logic.queries import boolean_cq
+from repro.service import Session, compile_schema
+from repro.workloads import id_chain_workload, lookup_chain_workload
+
+
+def _timed(run) -> float:
+    start = time.perf_counter()
+    run()
+    return time.perf_counter() - start
+
+
+def _best(run, repeats: int = 4) -> float:
+    return min(_timed(run) for __ in range(repeats))
+
+
+def _chain_queries(depth: int):
+    return [
+        boolean_cq([atom(f"R{i}", "x")], name=f"Qlink{i}")
+        for i in range(depth + 1)
+    ]
+
+
+def _join_queries(lengths: range):
+    return [
+        boolean_cq(
+            [atom(f"L{i}", "x", f"y{i}") for i in range(length)],
+            name=f"Qchain{length}",
+        )
+        for length in lengths
+    ]
+
+
+def _rewriting_family(name: str, schema, queries) -> BenchRecord:
+    """Fresh `RewriteEngine` per query vs one shared engine, rewriting
+    the primed queries of the linearized system (the ID-route hot path,
+    isolated from compilation and matching)."""
+    compiled = compile_schema(schema)
+    system = compiled.linearization()
+    targets = [prime_query(query) for query in queries]
+
+    def per_query() -> None:
+        for target in targets:
+            RewriteEngine(system.rules).rewrite(target)
+
+    def shared() -> None:
+        engine = RewriteEngine(system.rules)
+        for target in targets:
+            engine.rewrite(target)
+
+    # Agreement first: the shared engine must emit the same disjunct
+    # sets as fresh per-query rewritings (determinism makes this ==).
+    engine = RewriteEngine(system.rules)
+    for target in targets:
+        fresh = RewriteEngine(system.rules).rewrite(target)
+        memoized = engine.rewrite(target)
+        assert [repr(d.atoms) for d in fresh.disjuncts] == [
+            repr(d.atoms) for d in memoized.disjuncts
+        ], f"shared/fresh rewriting disagree on {target.name}"
+
+    baseline = _best(per_query)
+    with_engine = _best(shared)
+    stats_engine = RewriteEngine(system.rules)
+    for target in targets:
+        stats_engine.rewrite(target)
+    stats = stats_engine.stats()
+    speedup = baseline / with_engine if with_engine else float("inf")
+    print(
+        f"  {name:34} per-query {baseline * 1000:9.2f} ms   "
+        f"shared {with_engine * 1000:9.2f} ms   {speedup:6.1f}x"
+    )
+    return BenchRecord(
+        name,
+        with_engine,
+        4,
+        {
+            "baseline_seconds": baseline,
+            "speedup": round(speedup, 2),
+            "queries": len(queries),
+            "mode": "rewriting",
+            "expansions_built": stats["expansions_built"],
+            "expansions_reused": stats["expansions_reused"],
+            "atom_patterns_compiled": stats["atom_patterns_compiled"],
+            "atom_pattern_hits": stats["atom_pattern_hits"],
+        },
+    )
+
+
+def _decide_family(name: str, schema, queries) -> BenchRecord:
+    """The end-to-end distinct-query ID-route batch: legacy per-query
+    free functions vs one session (compiled schema + shared engine)."""
+
+    def legacy() -> None:
+        for query in queries:
+            decide_monotone_answerability(schema, query)
+
+    def service() -> None:
+        session = Session(compile_schema(schema))
+        session.decide_many(queries)
+
+    session = Session(compile_schema(schema))
+    for query in queries:
+        fresh = decide_monotone_answerability(schema, query)
+        assert session.decide(query).decision == fresh.truth.value, (
+            f"service/legacy disagree on {query.name}"
+        )
+
+    baseline = _best(legacy)
+    with_service = _best(service)
+    speedup = baseline / with_service if with_service else float("inf")
+    print(
+        f"  {name:34} legacy    {baseline * 1000:9.2f} ms   "
+        f"shared {with_service * 1000:9.2f} ms   {speedup:6.1f}x"
+    )
+    return BenchRecord(
+        name,
+        with_service,
+        4,
+        {
+            "baseline_seconds": baseline,
+            "speedup": round(speedup, 2),
+            "queries": len(queries),
+            "mode": "decide-batch",
+        },
+    )
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(prog="bench_rewriting_reuse")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes for CI smoke runs (written to a .smoke.json "
+        "sidecar so the committed BENCH_rewriting.json is untouched)",
+    )
+    parser.add_argument("--out", default=None, help="output path override")
+    args = parser.parse_args(argv)
+
+    depth = 8 if args.smoke else 32
+    joins = 4 if args.smoke else 8
+    lengths = range(1, (3 if args.smoke else 4) + 1)
+
+    chain = id_chain_workload(depth)
+    chain_queries = _chain_queries(depth)
+    join_schema = lookup_chain_workload(joins, dump_bound=None).schema
+    join_queries = _join_queries(lengths)
+
+    print("rewriting reuse (per-query baseline vs shared RewriteEngine)")
+    records = [
+        _rewriting_family(
+            f"id-chain-{depth}-rewriting", chain.schema, chain_queries
+        ),
+        _decide_family(
+            f"id-chain-{depth}-decide-batch", chain.schema, chain_queries
+        ),
+        _rewriting_family(
+            f"lookup-chain-{joins}-join-rewriting", join_schema, join_queries
+        ),
+    ]
+
+    from pathlib import Path
+
+    from _harness import ROOT
+
+    if args.out is not None:
+        out = Path(args.out)
+    elif args.smoke:
+        out = ROOT / "BENCH_rewriting.smoke.json"
+    else:
+        out = None  # write_bench_json's default: BENCH_rewriting.json
+    path = write_bench_json(
+        "rewriting", records, extra={"smoke": args.smoke}, path=out
+    )
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

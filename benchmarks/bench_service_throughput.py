@@ -34,6 +34,7 @@ from repro.logic.atoms import atom
 from repro.service import Session, compile_schema
 from repro.workloads import (
     fd_determinacy_workload,
+    id_chain_workload,
     lookup_chain_workload,
     query_q2,
     tgd_transfer_workload,
@@ -90,8 +91,8 @@ def _family(
             session.decide(query).decision == legacy_result.truth.value
         ), f"service/legacy disagree on {query!r}"
 
-    baseline = min(_timed(legacy) for __ in range(2))
-    with_service = min(_timed(service) for __ in range(2))
+    baseline = min(_timed(legacy) for __ in range(4))
+    with_service = min(_timed(service) for __ in range(4))
     speedup = baseline / with_service if with_service else float("inf")
     print(
         f"  {name:34} legacy {baseline * 1000:9.2f} ms   "
@@ -100,7 +101,7 @@ def _family(
     return BenchRecord(
         name,
         with_service,
-        2,
+        4,
         {
             "baseline_seconds": baseline,
             "speedup": round(speedup, 2),
@@ -137,6 +138,12 @@ def main(argv: list[str] | None = None) -> None:
     tgd_transfer = tgd_transfer_workload(4)
     chain_schema = lookup_chain_workload(chain, dump_bound=None).schema
     chain_queries = _chain_queries(lengths)
+    id_depth = 6 if args.smoke else 16
+    id_chain_schema = id_chain_workload(id_depth).schema
+    id_chain_queries = [
+        boolean_cq([atom(f"R{i}", "x")], name=f"Qlink{i}")
+        for i in range(id_depth + 1)
+    ]
 
     print("service-layer throughput (legacy free functions vs Session)")
     records = [
@@ -165,12 +172,23 @@ def main(argv: list[str] | None = None) -> None:
             [tgd_transfer.query],
             repeats=repeats,
         ),
-        # Distinct queries, one schema: pure compiled-schema amortization
-        # (every decide is a cache miss).
+        # Distinct queries, one schema: every decide is a decision-cache
+        # miss, so this isolates compiled-schema amortization plus the
+        # shared rewrite engine's per-atom-step reuse (the join queries
+        # span disjoint relations, so no frontier states are shared).
         _family(
             f"lookup-chain-{chain}-distinct",
             chain_schema,
             chain_queries,
+            repeats=1,
+        ),
+        # Distinct queries with *nested* rewriting frontiers: the shared
+        # rewrite engine expands each canonical state once for the whole
+        # batch (see bench_rewriting_reuse for the isolated numbers).
+        _family(
+            f"id-chain-{id_depth}-distinct",
+            id_chain_schema,
+            id_chain_queries,
             repeats=1,
         ),
         # The CLI batch hot path: decide_many + JSON serialization; the

@@ -1,0 +1,122 @@
+"""Gate a fresh benchmark pass against the committed BENCH_*.json files.
+
+Usage (after regenerating the artifacts in the working tree, e.g. by
+``python -m benchmarks --skip-pytest``)::
+
+    python benchmarks/check_regression.py [--tolerance 0.4]
+
+For every ``BENCH_*.json`` at the repo root the committed version is
+read from git (``git show HEAD:...``) and compared with the fresh
+working-tree file:
+
+* workloads carrying a ``speedup`` field (the service/rewriting suites)
+  must retain at least ``tolerance`` × the committed speedup — ratios
+  are what shared CI runners can be gated on, absolute times are not;
+* workloads without one (the chase suite) must not run slower than
+  ``1 / tolerance`` × the committed ``best_seconds``;
+* a workload recorded in the committed file but absent from the fresh
+  run is an error (silently dropped coverage reads as "no regression").
+
+Exit code 0 when everything holds, 1 with a per-workload report when
+anything regressed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def committed_version(path: Path) -> dict | None:
+    proc = subprocess.run(
+        ["git", "show", f"HEAD:{path.name}"],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    return json.loads(proc.stdout)
+
+
+def _key(workload: dict) -> tuple:
+    # The chase suite records one row per engine under the same name.
+    return (workload["name"], workload.get("engine", ""))
+
+
+def compare(name: str, committed: dict, fresh: dict, tolerance: float):
+    """Yield (workload, message) for every regression found."""
+    fresh_by_name = {_key(w): w for w in fresh.get("workloads", [])}
+    for recorded in committed.get("workloads", []):
+        workload = "/".join(filter(None, _key(recorded)))
+        current = fresh_by_name.get(_key(recorded))
+        if current is None:
+            yield workload, "present in committed artifact, missing from fresh run"
+            continue
+        if "speedup" in recorded:
+            floor = recorded["speedup"] * tolerance
+            if current.get("speedup", 0.0) < floor:
+                yield workload, (
+                    f"speedup {current.get('speedup')}x fell below "
+                    f"{floor:.2f}x (committed {recorded['speedup']}x, "
+                    f"tolerance {tolerance})"
+                )
+        else:
+            ceiling = recorded["best_seconds"] / tolerance
+            if current["best_seconds"] > ceiling:
+                yield workload, (
+                    f"best_seconds {current['best_seconds']:.4f} exceeded "
+                    f"{ceiling:.4f} (committed "
+                    f"{recorded['best_seconds']:.4f}, tolerance {tolerance})"
+                )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="check_regression")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.4,
+        help="fraction of the committed number a fresh run must retain "
+        "(default 0.4 — CI runners are noisy, only gate on collapses)",
+    )
+    args = parser.parse_args(argv)
+
+    failures = 0
+    checked = 0
+    for path in sorted(ROOT.glob("BENCH_*.json")):
+        if ".smoke." in path.name:
+            continue
+        committed = committed_version(path)
+        if committed is None:
+            print(f"{path.name}: not committed yet, skipping")
+            continue
+        fresh = json.loads(path.read_text())
+        if fresh.get("smoke"):
+            print(f"{path.name}: fresh file is a --smoke run, refusing")
+            failures += 1
+            continue
+        for workload, message in compare(
+            path.name, committed, fresh, args.tolerance
+        ):
+            print(f"REGRESSION {path.name} :: {workload}: {message}")
+            failures += 1
+        checked += 1
+        print(f"{path.name}: checked against HEAD")
+    if not checked:
+        print("no committed BENCH_*.json artifacts found")
+        return 1
+    if failures:
+        print(f"{failures} regression(s)")
+        return 1
+    print("ok: no benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

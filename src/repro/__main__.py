@@ -44,6 +44,7 @@ from .answerability.deciders import (
     DEFAULT_CHASE_FACTS,
     DEFAULT_CHASE_ROUNDS,
 )
+from .containment.rewriting import DEFAULT_MAX_DISJUNCTS
 from .io import (
     DecideRequest,
     load_query,
@@ -78,6 +79,14 @@ def _build_parser() -> argparse.ArgumentParser:
             default=DEFAULT_CHASE_FACTS,
             help="chase fact cap protecting against breadth explosion "
             f"(default: {DEFAULT_CHASE_FACTS})",
+        )
+        subparser.add_argument(
+            "--max-disjuncts",
+            type=int,
+            default=DEFAULT_MAX_DISJUNCTS,
+            help="budget for the ID route's backward UCQ rewriting; "
+            "exceeding it yields UNKNOWN with a structured error "
+            f"(default: {DEFAULT_MAX_DISJUNCTS})",
         )
 
     decide = commands.add_parser(
@@ -119,6 +128,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default="-",
         help="path to the JSON-lines request file (default: stdin)",
     )
+    batch.add_argument(
+        "--stats",
+        action="store_true",
+        help="after the stream, print per-session cache and rewrite-"
+        "engine statistics as one JSON line on stderr",
+    )
     add_limits(batch)
 
     simplify = commands.add_parser(
@@ -146,6 +161,7 @@ def _session(args: argparse.Namespace) -> Session:
         load_schema(args.schema),
         max_rounds=args.max_rounds,
         max_facts=args.max_facts,
+        max_disjuncts=args.max_disjuncts,
     )
 
 
@@ -160,6 +176,8 @@ def _cmd_decide(args: argparse.Namespace) -> int:
         print(f"route     : {response.route}")
         print(f"decision  : {response.decision.upper()}")
         print(f"reason    : {response.reason}")
+        if response.error is not None:
+            print(f"error     : {json.dumps(response.error)}")
     return response.exit_code
 
 
@@ -213,6 +231,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                                 compiled,
                                 max_rounds=args.max_rounds,
                                 max_facts=args.max_facts,
+                                max_disjuncts=args.max_disjuncts,
                             )
                             sessions_by_fingerprint[
                                 compiled.fingerprint
@@ -239,6 +258,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     finally:
         if lines is not sys.stdin:
             lines.close()
+    if args.stats:
+        sessions = [default_session, *sessions_by_fingerprint.values()]
+        print(
+            json.dumps(
+                {"sessions": [session.stats() for session in sessions]}
+            ),
+            file=sys.stderr,
+            flush=True,
+        )
     return 1 if failures else 0
 
 

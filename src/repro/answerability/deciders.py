@@ -40,8 +40,9 @@ from ..constraints.fd import FunctionalDependency, det_by
 from ..constraints.tgd import TGD
 from ..containment.decision import Decision, Truth
 from ..containment.rewriting import (
+    DEFAULT_MAX_DISJUNCTS,
+    RewritingBudgetExceeded,
     RewritingError,
-    rewrite as ucq_rewrite,
 )
 from ..data.instance import Instance
 from ..logic.atoms import Atom
@@ -173,13 +174,15 @@ def decide_with_ids(
     route: str = "linearization",
     max_rounds: Optional[int] = DEFAULT_CHASE_ROUNDS,
     max_facts: int = DEFAULT_CHASE_FACTS,
-    max_disjuncts: int = 50_000,
+    max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
 ) -> Decision:
     """Monotone answerability for ID constraints.
 
     ``route="linearization"`` (default) is complete and terminating: the
     containment is simulated by linear TGDs (Prop 5.5) and decided by
-    backward UCQ rewriting.  ``route="chase"`` applies the existence-check
+    the backward UCQ rewriting of the compiled schema's `RewriteEngine`
+    — so a batch of queries over one compiled schema shares every
+    rewriting step.  ``route="chase"`` applies the existence-check
     simplification and chases directly (ablation baseline; may return
     UNKNOWN on divergent chases).
     """
@@ -203,8 +206,12 @@ def decide_with_ids(
     start = system.initial_instance(query)
     target = prime_query(query)
     try:
-        rewriting = ucq_rewrite(
-            target, system.rules, max_disjuncts=max_disjuncts
+        rewriting = compiled.rewrite_engine().rewrite(
+            target, max_disjuncts=max_disjuncts
+        )
+    except RewritingBudgetExceeded as error:
+        return Decision.unknown(
+            str(error), route="linearization", error=error.as_detail()
         )
     except RewritingError as error:
         return Decision.unknown(str(error), route="linearization")
@@ -396,16 +403,20 @@ def decide_monotone_answerability(
     *,
     max_rounds: Optional[int] = DEFAULT_CHASE_ROUNDS,
     max_facts: int = DEFAULT_CHASE_FACTS,
+    max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
 ) -> AnswerabilityResult:
     """Decide monotone answerability, dispatching on the constraint class.
 
     The routes implement Table 1 of the paper; see the per-class deciders
     for guarantees.  ``max_rounds`` caps the semidecidable chase routes
     only (the FD route's chase terminates on its own; the linearized ID
-    route does not chase).  Schemas mixing arbitrary TGDs with FDs *and*
-    carrying result bounds have no applicable simplifiability theorem
-    (the paper leaves choice simplifiability of FDs + general IDs open,
-    §9) — those return UNKNOWN.
+    route does not chase).  ``max_disjuncts`` bounds the backward
+    rewriting of the ID route; exceeding it yields UNKNOWN with a
+    structured `RewritingBudgetExceeded` detail.  Schemas mixing
+    arbitrary TGDs with FDs *and* carrying result bounds have no
+    applicable simplifiability theorem (the paper leaves choice
+    simplifiability of FDs + general IDs open, §9) — those return
+    UNKNOWN.
     """
     compiled = _as_compiled(schema)
     fragment = compiled.constraint_class
@@ -420,7 +431,12 @@ def decide_monotone_answerability(
         ConstraintClass.BOUNDED_WIDTH_IDS,
     ):
         return AnswerabilityResult(
-            decide_with_ids(compiled, query, max_facts=max_facts),
+            decide_with_ids(
+                compiled,
+                query,
+                max_facts=max_facts,
+                max_disjuncts=max_disjuncts,
+            ),
             "linearization",
             fragment,
         )

@@ -28,6 +28,7 @@ from ..constraints.tgd import TGD
 from ..containment.decision import Decision
 from ..logic.queries import ConjunctiveQuery
 from ..schema.schema import Schema
+from ..containment.rewriting import DEFAULT_MAX_DISJUNCTS
 from .deciders import (
     DEFAULT_CHASE_FACTS,
     AnswerabilityResult,
@@ -69,6 +70,7 @@ def decide_finite_monotone_answerability(
     *,
     max_rounds: Optional[int] = 25,
     max_facts: int = DEFAULT_CHASE_FACTS,
+    max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
 ) -> AnswerabilityResult:
     """Decide monotone answerability over *finite* instances.
 
@@ -82,7 +84,11 @@ def decide_finite_monotone_answerability(
     fragment = compiled.constraint_class
     if fragment in _FINITELY_CONTROLLABLE:
         result = decide_monotone_answerability(
-            compiled, query, max_rounds=max_rounds, max_facts=max_facts
+            compiled,
+            query,
+            max_rounds=max_rounds,
+            max_facts=max_facts,
+            max_disjuncts=max_disjuncts,
         )
         result.decision.detail["finite_variant"] = (
             "delegated (finitely controllable, Prop 2.2)"

@@ -341,6 +341,7 @@ def generate_static_plan(
     *,
     max_rounds: Optional[int] = 25,
     max_facts: Optional[int] = None,
+    max_disjuncts: Optional[int] = None,
 ) -> Optional[Plan]:
     """Decide answerability via a proof-producing route and compile the
     proof to a static plan; None when the query is not (provably)
@@ -350,17 +351,43 @@ def generate_static_plan(
     simplification and AMonDet axioms are reused).  Uses the
     choice-simplification chase for TGD classes (plans transfer verbatim
     to the original bounds) and the FD simplification for FD classes
-    (view accesses are translated back).  Boolean queries only.
+    (view accesses are translated back).  For ID classes the compiled
+    schema's shared `RewriteEngine` decides answerability *first* —
+    complete and terminating — so provably unanswerable queries are
+    refused without running the (possibly divergent) extraction chase.
+    Boolean queries only.
     """
     from ..constraints.analysis import ConstraintClass
     from .axioms import amondet_start_instance, prime_query
-    from .deciders import DEFAULT_CHASE_FACTS, _as_compiled, _chase_containment
+    from .deciders import (
+        DEFAULT_CHASE_FACTS,
+        _as_compiled,
+        _chase_containment,
+        decide_with_ids,
+    )
 
     if query.free_variables:
         raise PlanExtractionError("static plans are extracted for Boolean CQs")
 
     compiled = _as_compiled(schema)
     fragment = compiled.constraint_class
+    if fragment in (
+        ConstraintClass.IDS,
+        ConstraintClass.BOUNDED_WIDTH_IDS,
+    ):
+        # The rewriting route shares the per-fingerprint engine with the
+        # deciders, so on a session this gate is usually a cache hit.
+        from ..containment.rewriting import DEFAULT_MAX_DISJUNCTS
+
+        gate = decide_with_ids(
+            compiled,
+            query,
+            max_disjuncts=DEFAULT_MAX_DISJUNCTS
+            if max_disjuncts is None
+            else max_disjuncts,
+        )
+        if gate.is_no:
+            return None
     if fragment in (ConstraintClass.NONE, ConstraintClass.FDS):
         kind = "fd"
     else:

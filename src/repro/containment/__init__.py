@@ -6,10 +6,17 @@ from .chase_containment import (
     default_bound_for,
 )
 from .decision import Decision, Truth
-from .rewriting import RewritingError, linear_contains, rewrite
+from .rewriting import (
+    RewriteEngine,
+    RewritingBudgetExceeded,
+    RewritingError,
+    linear_contains,
+    rewrite,
+)
 
 __all__ = [
     "certain_answer_boolean", "contains", "default_bound_for",
     "Decision", "Truth",
-    "RewritingError", "linear_contains", "rewrite",
+    "RewriteEngine", "RewritingBudgetExceeded", "RewritingError",
+    "linear_contains", "rewrite",
 ]

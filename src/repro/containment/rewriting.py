@@ -12,13 +12,33 @@ which complements the chase route (complete only on terminating classes).
 The deciders for IDs and bounded-width IDs use this module after
 linearizing, exactly as Theorem 5.4 prescribes.
 
-Only single-head linear TGDs are supported (every rule emitted by our
-linearization has this shape); `rewrite` raises otherwise.
+The work is organized around `RewriteEngine`, an *incremental* rewriter
+over one fixed rule set:
+
+* at construction the rules are validated, renamed apart once, and
+  indexed by head relation/arity (the only rules that can resolve
+  against an atom);
+* every backward-resolution step is compiled per **atom pattern** (the
+  atom's relation plus its variable-repetition/constant shape and which
+  of its variables are shared with the rest of the query) and memoized —
+  the unification work is done once per (pattern, rule) ever;
+* query states are kept in **canonical form** (variables renamed by a
+  deterministic scheme), and the full expansion of each canonical state
+  is memoized, so rewriting query N+1 reuses every frontier state
+  already explored for queries 1..N;
+* emitted UCQs are deduplicated by canonical isomorphism class and
+  sorted deterministically, so the output (and any cache key derived
+  from it) is stable across runs and across engine instances.
+
+The free `rewrite()` keeps its historical signature as a thin
+compile-on-the-fly wrapper.  Only single-head linear TGDs are supported
+(every rule emitted by our linearization has this shape); the engine
+raises otherwise.
 """
 
 from __future__ import annotations
 
-import itertools
+import threading
 from typing import Iterable, Optional, Sequence
 
 from ..constraints.tgd import TGD
@@ -31,9 +51,41 @@ from .decision import Decision
 #: Safety valve on the number of generated disjuncts.
 DEFAULT_MAX_DISJUNCTS = 50_000
 
+#: A canonical Boolean CQ body: atoms over `_q*` variables in sorted order.
+State = tuple[Atom, ...]
+
 
 class RewritingError(ValueError):
     """Raised on unsupported inputs (non-linear rules, non-Boolean CQs)."""
+
+
+class RewritingBudgetExceeded(RewritingError):
+    """The rewriting grew past ``max_disjuncts`` (Q remains undecided).
+
+    A typed subclass so service layers can surface the budget as a
+    structured error (``as_detail``) instead of a bare traceback, while
+    existing ``except RewritingError`` handlers keep working.
+    ``reached`` is the frontier size at which the overflow was detected
+    — always ``max_disjuncts + 1``, whether the overflow is found live
+    or on a memoized result, so replays of one request report the same
+    error regardless of engine cache warmth.
+    """
+
+    def __init__(self, max_disjuncts: int, reached: int) -> None:
+        super().__init__(
+            f"rewriting exceeded {max_disjuncts} disjuncts "
+            f"(reached {reached}); raise max_disjuncts to continue"
+        )
+        self.max_disjuncts = max_disjuncts
+        self.reached = reached
+
+    def as_detail(self) -> dict:
+        """The structured wire form (`DecideResponse.error`, CLI JSON)."""
+        return {
+            "type": "RewritingBudgetExceeded",
+            "max_disjuncts": self.max_disjuncts,
+            "reached": self.reached,
+        }
 
 
 # ----------------------------------------------------------------------
@@ -75,96 +127,131 @@ class _Unifier:
         return groups
 
 
-def _fresh_rule(rule: TGD, counter: itertools.count) -> TGD:
-    """Rename the rule's variables apart from everything else."""
-    index = next(counter)
-    renaming = {
-        v: Variable(f"r{index}_{v.name}")
-        for v in set(rule.body_variables()) | set(rule.head_variables())
-    }
-    return TGD(
-        tuple(a.substitute(renaming) for a in rule.body),
-        tuple(a.substitute(renaming) for a in rule.head),
-        rule.name,
-    )
+# ----------------------------------------------------------------------
+# Canonical states
+# ----------------------------------------------------------------------
+def _shape(a: Atom) -> tuple:
+    """A variable-blind pattern of one atom (repetitions + constants)."""
+    pattern = []
+    first_seen: dict[Term, int] = {}
+    for term in a.terms:
+        if isinstance(term, Variable):
+            pattern.append(("v", first_seen.setdefault(term, len(first_seen))))
+        else:
+            pattern.append(("c", repr(term)))
+    return (a.relation, tuple(pattern))
 
 
-def _occurrences(atoms: Sequence[Atom], term: Term) -> int:
-    return sum(a.terms.count(term) for a in atoms)
+#: Interned canonical/fresh variables (the hot loop allocates none).
+#: The pools are process-global — engines on different schemas share
+#: them — so growth takes a lock; reads are safe because the pools only
+#: ever append.
+_CANONICAL_VARS: list[Variable] = []
+_FRESH_VARS: list[Variable] = []
+_POOL_LOCK = threading.Lock()
 
 
-def _rewrite_atom(
-    atoms: tuple[Atom, ...],
-    atom_index: int,
-    rule: TGD,
-) -> Optional[tuple[Atom, ...]]:
-    """One backward-resolution step of `rule` against one atom.
+def _interned(pool: list[Variable], prefix: str, index: int) -> Variable:
+    if index < len(pool):
+        return pool[index]
+    with _POOL_LOCK:
+        while len(pool) <= index:
+            pool.append(Variable(f"{prefix}{len(pool)}"))
+    return pool[index]
 
-    Returns the rewritten atom tuple, or None if the rule is not
-    applicable (head does not unify, or an existential variable of the
-    head would be exported into the rest of the query).
+
+def canonical_state(atoms: Iterable[Atom]) -> State:
+    """A renaming-invariant normal form of a Boolean CQ body.
+
+    Atoms are ordered by a variable-blind shape, variables renamed to
+    ``_q0, _q1, ...`` by first occurrence, duplicates dropped, and the
+    result sorted deterministically.  Alpha-equivalent bodies presented
+    in the same atom order map to the same state (shape-sort ties may
+    distinguish some isomorphic bodies — see the isomorphism dedup at
+    emission — which costs duplicates, never correctness).
     """
-    atom = atoms[atom_index]
-    head = rule.head[0]
-    if head.relation != atom.relation or head.arity != atom.arity:
-        return None
+    ordered = sorted(dict.fromkeys(atoms), key=_shape)
+    renaming: dict[Variable, int] = {}
+    rebuilt = []
+    for a in ordered:
+        terms = []
+        sort_terms = []
+        for t in a.terms:
+            if isinstance(t, Variable):
+                index = renaming.get(t)
+                if index is None:
+                    index = len(renaming)
+                    renaming[t] = index
+                terms.append(_interned(_CANONICAL_VARS, "_q", index))
+                sort_terms.append((0, index))
+            else:
+                terms.append(t)
+                sort_terms.append((1, repr(t)))
+        rebuilt.append(
+            ((a.relation, tuple(sort_terms)), Atom(a.relation, tuple(terms)))
+        )
+    rebuilt.sort(key=lambda pair: pair[0])
+    return tuple(dict.fromkeys(a for __, a in rebuilt))
 
-    unifier = _Unifier()
-    for query_term, head_term in zip(atom.terms, head.terms):
-        if not unifier.union(query_term, head_term):
-            return None
 
-    existentials = set(rule.existential_variables())
-    rest = atoms[:atom_index] + atoms[atom_index + 1:]
-    for root, members in unifier.classes().items():
-        if not any(m in existentials for m in members):
-            continue
-        # This class witnesses an existential position of the head.  Every
-        # query term in it must be a variable occurring nowhere else.
-        for member in members:
-            if member in existentials:
-                continue
-            if isinstance(member, (Constant, Null)):
+def _isomorphic(left: State, right: State) -> bool:
+    """Exact isomorphism of two CQ bodies (bijective variable renaming)."""
+    if len(left) != len(right):
+        return False
+    used = [False] * len(right)
+    forward: dict[Variable, Variable] = {}
+    backward: dict[Variable, Variable] = {}
+
+    def try_match(a: Atom, b: Atom) -> Optional[list]:
+        added: list[tuple[Variable, Variable]] = []
+
+        def undo() -> None:
+            for t, u in added:
+                del forward[t]
+                del backward[u]
+
+        for t, u in zip(a.terms, b.terms):
+            t_var = isinstance(t, Variable)
+            if t_var != isinstance(u, Variable):
+                undo()
                 return None
-            if isinstance(member, Variable):
-                if member in set(rule.body_variables()):
-                    # Exported rule variable unified with an existential.
+            if not t_var:
+                if t != u:
+                    undo()
                     return None
-                if _occurrences(rest, member) > 0:
-                    return None
-                query_positions = [
-                    i for i, t in enumerate(atom.terms) if t == member
-                ]
-                if any(
-                    not isinstance(head.terms[i], Variable)
-                    or head.terms[i] not in existentials
-                    for i in query_positions
-                ):
-                    return None
+                continue
+            if forward.get(t, u) != u or backward.get(u, t) != t:
+                undo()
+                return None
+            if t not in forward:
+                forward[t] = u
+                backward[u] = t
+                added.append((t, u))
+        return added
 
-    def representative(term: Term) -> Term:
-        root = unifier.find(term)
-        members = unifier.classes().get(root, [root])
-        for candidate in members:
-            if isinstance(candidate, (Constant, Null)):
-                return candidate
-        for candidate in members:
-            if isinstance(candidate, Variable) and candidate not in (
-                set(rule.body_variables()) | set(rule.head_variables())
-            ):
-                return candidate
-        return root
+    def backtrack(i: int) -> bool:
+        if i == len(left):
+            return True
+        a = left[i]
+        for j, b in enumerate(right):
+            if used[j] or b.relation != a.relation or b.arity != a.arity:
+                continue
+            added = try_match(a, b)
+            if added is None:
+                continue
+            used[j] = True
+            if backtrack(i + 1):
+                return True
+            used[j] = False
+            for t, u in added:
+                del forward[t]
+                del backward[u]
+        return False
 
-    substitution = {
-        term: representative(term)
-        for term in list(unifier._parent)
-    }
-    new_atom = rule.body[0].substitute(substitution)
-    rewritten = tuple(a.substitute(substitution) for a in rest) + (new_atom,)
-    return tuple(dict.fromkeys(rewritten))
+    return backtrack(0)
 
 
-def _factorizations(atoms: tuple[Atom, ...]) -> Iterable[tuple[Atom, ...]]:
+def _factorizations(atoms: State) -> Iterable[tuple[Atom, ...]]:
     """Unify pairs of same-relation atoms (the 'reduce' step)."""
     for i in range(len(atoms)):
         for j in range(i + 1, len(atoms)):
@@ -190,38 +277,371 @@ def _factorizations(atoms: tuple[Atom, ...]) -> Iterable[tuple[Atom, ...]]:
                 yield merged
 
 
-def _canonical_key(atoms: tuple[Atom, ...]) -> tuple:
-    """A renaming-invariant key for a Boolean CQ body.
+# ----------------------------------------------------------------------
+# The incremental engine
+# ----------------------------------------------------------------------
+#: A compiled backward-resolution step: the body relation of the rule,
+#: the produced atom as tokens over the source atom's local variables
+#: (("v", local_id) | ("c", constant) | ("f", fresh_id)), and the
+#: equalities the head unification forces on the rest of the query.
+_Step = tuple[str, tuple, tuple]
 
-    Variables are numbered in order of first occurrence after sorting the
-    atoms by a variable-blind shape.  This key is invariant under variable
-    renaming (it may distinguish some isomorphic queries that differ in
-    atom multiset shape ties, which costs duplicates but not correctness).
+
+class RewriteEngine:
+    """Incremental backward UCQ rewriting over one fixed linear-TGD set.
+
+    Construction validates and indexes the rules; `rewrite` memoizes
+    per-atom-pattern resolution steps, canonical-state expansions, and
+    whole results, so a batch of distinct queries over the same rules
+    shares every step already derived.  Thread-safe (one coarse lock —
+    the memo tables are shared mutable state).
+
+    ::
+
+        engine = RewriteEngine(system.rules)
+        ucq = engine.rewrite(query)          # complete UCQ rewriting
+        engine.stats()["expansions_reused"]  # cross-query cache traffic
     """
-    def shape(a: Atom) -> tuple:
-        pattern = []
-        first_seen: dict[Term, int] = {}
-        for term in a.terms:
+
+    def __init__(
+        self,
+        rules: Sequence[TGD],
+        *,
+        max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
+    ) -> None:
+        for rule in rules:
+            if len(rule.body) != 1 or len(rule.head) != 1:
+                raise RewritingError(
+                    f"rewriting needs single-head linear TGDs, got {rule}"
+                )
+        # Rename every rule apart once, into a reserved namespace that
+        # cannot collide with canonical state variables (`_q*`), pattern
+        # variables (`_p*`), or application-fresh variables (`_f*`).
+        self.rules: tuple[TGD, ...] = tuple(
+            self._reserved(rule, index) for index, rule in enumerate(rules)
+        )
+        self.max_disjuncts = max_disjuncts
+        #: (head relation, arity) -> indices of rules that resolve there.
+        self._rules_by_head: dict[tuple[str, int], tuple[int, ...]] = {}
+        for index, rule in enumerate(self.rules):
+            head = rule.head[0]
+            key = (head.relation, head.arity)
+            self._rules_by_head[key] = self._rules_by_head.get(key, ()) + (
+                index,
+            )
+        #: atom pattern -> compiled steps (the per-atom rewrite memo).
+        self._steps: dict[tuple, tuple[_Step, ...]] = {}
+        #: canonical state -> canonical successor states.
+        self._expansions: dict[State, tuple[State, ...]] = {}
+        #: initial canonical state -> (frontier size, emitted disjuncts).
+        self._results: dict[State, tuple[int, tuple[State, ...]]] = {}
+        self._lock = threading.RLock()
+        self._counters = {
+            "rewrites": 0,
+            "result_hits": 0,
+            "states": 0,
+            "expansions_built": 0,
+            "expansions_reused": 0,
+            "atom_patterns_compiled": 0,
+            "atom_pattern_hits": 0,
+            "disjuncts_emitted": 0,
+            "disjuncts_deduped": 0,
+        }
+
+    @staticmethod
+    def _reserved(rule: TGD, index: int) -> TGD:
+        renaming = {
+            v: Variable(f"_r{index}_{v.name}")
+            for v in set(rule.body_variables()) | set(rule.head_variables())
+        }
+        return TGD(
+            tuple(a.substitute(renaming) for a in rule.body),
+            tuple(a.substitute(renaming) for a in rule.head),
+            rule.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Per-atom-pattern step compilation
+    # ------------------------------------------------------------------
+    def _atom_steps(
+        self, a: Atom, shared: frozenset[int], local_of: dict[Variable, int]
+    ) -> tuple[_Step, ...]:
+        """Compiled steps for one atom occurrence.
+
+        ``shared`` holds the local ids of the atom's variables that also
+        occur elsewhere in the query; together with the atom's shape it
+        fully determines applicability and effect of every rule, so the
+        result is memoized across states *and* across queries.
+        """
+        pattern = tuple(
+            ("v", local_of[t]) if isinstance(t, Variable) else ("c", t)
+            for t in a.terms
+        )
+        key = (a.relation, pattern, shared)
+        steps = self._steps.get(key)
+        if steps is not None:
+            self._counters["atom_pattern_hits"] += 1
+            return steps
+        self._counters["atom_patterns_compiled"] += 1
+        variables = {
+            lid: Variable(f"_p{lid}") for lid in set(local_of.values())
+        }
+        terms = tuple(
+            variables[token[1]] if token[0] == "v" else token[1]
+            for token in pattern
+        )
+        patom = Atom(a.relation, terms)
+        compiled = []
+        for rule_index in self._rules_by_head.get((a.relation, a.arity), ()):
+            step = self._compile_step(patom, variables, shared, rule_index)
+            if step is not None:
+                compiled.append(step)
+        steps = tuple(compiled)
+        self._steps[key] = steps
+        return steps
+
+    def _compile_step(
+        self,
+        patom: Atom,
+        variables: dict[int, Variable],
+        shared: frozenset[int],
+        rule_index: int,
+    ) -> Optional[_Step]:
+        """One backward-resolution step of a rule against an atom pattern.
+
+        Returns None if the rule is not applicable (head does not unify,
+        or an existential variable of the head would be exported into
+        the rest of the query).
+        """
+        rule = self.rules[rule_index]
+        head = rule.head[0]
+        unifier = _Unifier()
+        for query_term, head_term in zip(patom.terms, head.terms):
+            if not unifier.union(query_term, head_term):
+                return None
+
+        existentials = set(rule.existential_variables())
+        body_vars = set(rule.body_variables())
+        local_id = {var: lid for lid, var in variables.items()}
+        classes = unifier.classes()
+        for members in classes.values():
+            if not any(m in existentials for m in members):
+                continue
+            # This class witnesses an existential position of the head.
+            # Every query term in it must be a variable occurring nowhere
+            # else, and only at existential positions of the head.
+            for member in members:
+                if member in existentials:
+                    continue
+                if isinstance(member, (Constant, Null)):
+                    return None
+                if member in body_vars:
+                    # Exported rule variable unified with an existential.
+                    return None
+                if local_id[member] in shared:
+                    return None
+                for i, term in enumerate(patom.terms):
+                    if term == member and not (
+                        isinstance(head.terms[i], Variable)
+                        and head.terms[i] in existentials
+                    ):
+                        return None
+
+        rule_vars = body_vars | set(rule.head_variables())
+
+        def representative(term: Term) -> Term:
+            root = unifier.find(term)
+            members = classes.get(root, [root])
+            for candidate in members:
+                if isinstance(candidate, (Constant, Null)):
+                    return candidate
+            for candidate in members:
+                if isinstance(candidate, Variable) and candidate not in rule_vars:
+                    return candidate
+            return root
+
+        substitution = {
+            term: representative(term) for term in list(unifier._parent)
+        }
+        new_atom = rule.body[0].substitute(substitution)
+
+        fresh_ids: dict[Variable, int] = {}
+
+        def token_of(term: Term) -> tuple:
             if isinstance(term, Variable):
-                pattern.append(("v", first_seen.setdefault(term, len(first_seen))))
+                if term in local_id:
+                    return ("v", local_id[term])
+                # A rule variable surviving into the rewritten query: it
+                # must be instantiated fresh at every application.
+                if term not in fresh_ids:
+                    fresh_ids[term] = len(fresh_ids)
+                return ("f", fresh_ids[term])
+            return ("c", term)
+
+        produced = tuple(token_of(t) for t in new_atom.terms)
+        merges = tuple(
+            (lid, token_of(representative(var)))
+            for var, lid in local_id.items()
+            if representative(var) != var
+        )
+        return (new_atom.relation, produced, merges)
+
+    # ------------------------------------------------------------------
+    # State expansion
+    # ------------------------------------------------------------------
+    def _apply(self, state: State, index: int, step: _Step,
+               var_of_local: dict[int, Variable]) -> State:
+        relation, produced, merges = step
+        substitution: dict[Term, Term] = {}
+        for lid, (kind, value) in merges:
+            substitution[var_of_local[lid]] = (
+                value if kind == "c" else var_of_local[value]
+            )
+        rest = state[:index] + state[index + 1:]
+        if substitution:
+            rest = tuple(a.substitute(substitution) for a in rest)
+        terms = []
+        for kind, value in produced:
+            if kind == "v":
+                terms.append(var_of_local[value])
+            elif kind == "c":
+                terms.append(value)
             else:
-                pattern.append(("c", repr(term)))
-        return (a.relation, tuple(pattern))
+                terms.append(_interned(_FRESH_VARS, "_f", value))
+        return canonical_state(rest + (Atom(relation, tuple(terms)),))
 
-    ordered = sorted(atoms, key=shape)
-    numbering: dict[Term, int] = {}
-    key = []
-    for a in ordered:
-        row = [a.relation]
-        for term in a.terms:
-            if isinstance(term, Variable):
-                row.append(("v", numbering.setdefault(term, len(numbering))))
+    def _expand(self, state: State) -> tuple[State, ...]:
+        cached = self._expansions.get(state)
+        if cached is not None:
+            self._counters["expansions_reused"] += 1
+            return cached
+        successors: list[State] = []
+        for factored in _factorizations(state):
+            successors.append(canonical_state(factored))
+        occurrences: dict[Variable, int] = {}
+        for a in state:
+            for v in a.variables():
+                occurrences[v] = occurrences.get(v, 0) + a.terms.count(v)
+        for index, a in enumerate(state):
+            local_of: dict[Variable, int] = {}
+            for t in a.terms:
+                if isinstance(t, Variable) and t not in local_of:
+                    local_of[t] = len(local_of)
+            shared = frozenset(
+                lid
+                for v, lid in local_of.items()
+                if occurrences[v] > a.terms.count(v)
+            )
+            var_of_local = {lid: v for v, lid in local_of.items()}
+            for step in self._atom_steps(a, shared, local_of):
+                successors.append(self._apply(state, index, step, var_of_local))
+        result = tuple(dict.fromkeys(successors))
+        self._expansions[state] = result
+        self._counters["expansions_built"] += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Deterministic, isomorphism-deduplicated emission
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _emission_key(state: State) -> tuple:
+        return (
+            len(state),
+            tuple(
+                (a.relation, tuple(repr(t) for t in a.terms)) for a in state
+            ),
+        )
+
+    def _emit(self, states: Iterable[State]) -> tuple[State, ...]:
+        ordered = sorted(states, key=self._emission_key)
+        buckets: dict[tuple, list[State]] = {}
+        kept: list[State] = []
+        for state in ordered:
+            invariant = tuple(sorted(_shape(a) for a in state))
+            bucket = buckets.setdefault(invariant, [])
+            if any(_isomorphic(state, other) for other in bucket):
+                self._counters["disjuncts_deduped"] += 1
+                continue
+            bucket.append(state)
+            kept.append(state)
+        self._counters["disjuncts_emitted"] += len(kept)
+        return tuple(kept)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def rewrite(
+        self,
+        query: ConjunctiveQuery,
+        *,
+        max_disjuncts: Optional[int] = None,
+    ) -> UnionOfConjunctiveQueries:
+        """Perfect UCQ rewriting of a Boolean CQ under the engine's rules.
+
+        Every disjunct q of the result satisfies q ⊨Σ query, and the
+        union is complete: for any instance I, ``chase(I, Σ) ⊨ query``
+        iff I satisfies some disjunct.  Disjuncts are deduplicated by
+        isomorphism class and emitted in a deterministic order.  Raises
+        `RewritingBudgetExceeded` past the disjunct budget.
+        """
+        if query.free_variables:
+            raise RewritingError("rewriting is implemented for Boolean CQs")
+        budget = self.max_disjuncts if max_disjuncts is None else max_disjuncts
+        with self._lock:
+            self._counters["rewrites"] += 1
+            start = canonical_state(query.atoms)
+            cached = self._results.get(start)
+            if cached is not None:
+                frontier_size, disjuncts = cached
+                self._counters["result_hits"] += 1
+                if frontier_size > budget:
+                    raise RewritingBudgetExceeded(budget, budget + 1)
             else:
-                row.append(("c", repr(term)))
-        key.append(tuple(row))
-    return tuple(sorted(key))
+                seen = {start}
+                frontier = [start]
+                queue = [start]
+                while queue:
+                    for successor in self._expand(queue.pop()):
+                        if successor not in seen:
+                            seen.add(successor)
+                            frontier.append(successor)
+                            queue.append(successor)
+                            if len(frontier) > budget:
+                                raise RewritingBudgetExceeded(
+                                    budget, len(frontier)
+                                )
+                self._counters["states"] += len(frontier)
+                disjuncts = self._emit(frontier)
+                self._results[start] = (len(frontier), disjuncts)
+        return UnionOfConjunctiveQueries(
+            tuple(
+                ConjunctiveQuery(atoms, (), f"{query.name}_rw{i}")
+                for i, atoms in enumerate(disjuncts)
+            ),
+            name=f"{query.name}_rewriting",
+        )
+
+    def stats(self) -> dict:
+        """Cache-traffic counters (cross-query reuse shows up here)."""
+        with self._lock:
+            return {
+                "rules": len(self.rules),
+                "cached_results": len(self._results),
+                "cached_states": len(self._expansions),
+                "cached_atom_patterns": len(self._steps),
+                **self._counters,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"RewriteEngine({len(self.rules)} rules, "
+            f"{len(self._expansions)} states cached)"
+        )
 
 
+# ----------------------------------------------------------------------
+# Free-function wrappers (compile on the fly)
+# ----------------------------------------------------------------------
 def rewrite(
     query: ConjunctiveQuery,
     rules: Sequence[TGD],
@@ -230,53 +650,13 @@ def rewrite(
 ) -> UnionOfConjunctiveQueries:
     """Perfect UCQ rewriting of a Boolean CQ under single-head linear TGDs.
 
-    Every disjunct q of the result satisfies q ⊨Σ query, and the union is
-    complete: for any instance I, ``chase(I, Σ) ⊨ query`` iff I satisfies
-    some disjunct.
+    A thin wrapper constructing a throwaway `RewriteEngine`; callers
+    rewriting many queries over one rule set should hold an engine (or a
+    `repro.service.CompiledSchema`, which owns one per fingerprint) to
+    share the memoized steps.
     """
-    if query.free_variables:
-        raise RewritingError("rewriting is implemented for Boolean CQs")
-    for rule in rules:
-        if len(rule.body) != 1 or len(rule.head) != 1:
-            raise RewritingError(
-                f"rewriting needs single-head linear TGDs, got {rule}"
-            )
-
-    counter = itertools.count()
-    seen: set[tuple] = set()
-    disjuncts: list[tuple[Atom, ...]] = []
-    queue: list[tuple[Atom, ...]] = []
-
-    def push(atoms: tuple[Atom, ...]) -> None:
-        key = _canonical_key(atoms)
-        if key not in seen:
-            seen.add(key)
-            disjuncts.append(atoms)
-            queue.append(atoms)
-
-    push(tuple(dict.fromkeys(query.atoms)))
-    while queue:
-        if len(disjuncts) > max_disjuncts:
-            raise RewritingError(
-                f"rewriting exceeded {max_disjuncts} disjuncts"
-            )
-        atoms = queue.pop()
-        for factored in _factorizations(atoms):
-            push(factored)
-        for atom_index in range(len(atoms)):
-            for rule in rules:
-                fresh = _fresh_rule(rule, counter)
-                rewritten = _rewrite_atom(atoms, atom_index, fresh)
-                if rewritten is not None:
-                    push(rewritten)
-
-    return UnionOfConjunctiveQueries(
-        tuple(
-            ConjunctiveQuery(atoms, (), f"{query.name}_rw{i}")
-            for i, atoms in enumerate(disjuncts)
-        ),
-        name=f"{query.name}_rewriting",
-    )
+    engine = RewriteEngine(rules, max_disjuncts=max_disjuncts)
+    return engine.rewrite(query)
 
 
 def linear_contains(
@@ -285,13 +665,19 @@ def linear_contains(
     rules: Sequence[TGD],
     *,
     max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
+    engine: Optional[RewriteEngine] = None,
 ) -> Decision:
     """Decide ``query ⊆Σ target`` for single-head linear TGDs Σ.
 
-    Complete and terminating (up to the disjunct safety valve).
+    Complete and terminating (up to the disjunct safety valve).  Pass an
+    ``engine`` over the same rules to share rewriting work across calls.
     """
     try:
-        rewriting = rewrite(target, rules, max_disjuncts=max_disjuncts)
+        if engine is None:
+            engine = RewriteEngine(rules, max_disjuncts=max_disjuncts)
+        rewriting = engine.rewrite(target, max_disjuncts=max_disjuncts)
+    except RewritingBudgetExceeded as error:
+        return Decision.unknown(str(error), error=error.as_detail())
     except RewritingError as error:
         return Decision.unknown(str(error))
     canonical, __ = query.canonical_instance()

@@ -217,6 +217,9 @@ class DecideResponse:
     ``decision`` is ``"yes"`` / ``"no"`` / ``"unknown"`` (the CLI maps
     these to exit codes 0/1/2); ``fingerprint`` identifies the compiled
     schema that produced the answer; ``cached`` marks session-cache hits.
+    ``error`` carries a structured, machine-readable failure (e.g. a
+    ``RewritingBudgetExceeded`` with its budget and the size reached)
+    when the decision is UNKNOWN because a resource limit was hit.
     """
 
     query: str
@@ -229,6 +232,7 @@ class DecideResponse:
     elapsed_ms: Optional[float] = None
     id: Optional[Union[str, int]] = None
     detail: dict[str, Any] = field(default_factory=dict)
+    error: Optional[dict[str, Any]] = None
 
     @property
     def is_yes(self) -> bool:
@@ -262,6 +266,8 @@ class DecideResponse:
             payload["id"] = self.id
         if self.detail:
             payload["detail"] = json_safe(self.detail)
+        if self.error is not None:
+            payload["error"] = json_safe(self.error)
         return payload
 
     @staticmethod
@@ -277,6 +283,7 @@ class DecideResponse:
             elapsed_ms=payload.get("elapsed_ms"),
             id=payload.get("id"),
             detail=dict(payload.get("detail", {})),
+            error=payload.get("error"),
         )
 
 

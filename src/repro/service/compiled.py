@@ -35,6 +35,7 @@ from ..io import schema_to_dict
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from ..answerability.linearization import LinearizedSystem
     from ..answerability.simplification import SimplificationResult
+    from ..containment.rewriting import RewriteEngine
 
 #: Simplification kinds a compiled schema can hold.
 SIMPLIFICATION_KINDS = ("existence-check", "fd", "choice")
@@ -144,6 +145,26 @@ class CompiledSchema:
         return self._artifact(
             "linearization", lambda: linearize(self.elimub())
         )
+
+    def rewrite_engine(self) -> "RewriteEngine":
+        """The incremental backward-rewriting engine over Σ^Lin.
+
+        One engine per fingerprint: every query decided on the ID route
+        through this compiled schema shares its memoized rule index,
+        per-atom rewrite steps, and canonical frontier states.
+        """
+        from ..containment.rewriting import RewriteEngine
+
+        return self._artifact(
+            "rewrite-engine",
+            lambda: RewriteEngine(self.linearization().rules),
+        )
+
+    def engine_stats(self) -> dict:
+        """Cache counters of the rewrite engine ({} until it is built)."""
+        with self._lock:
+            engine = self._artifacts.get("rewrite-engine")
+        return engine.stats() if engine is not None else {}
 
     def uids_fds(self) -> tuple[tuple[FunctionalDependency, ...], tuple]:
         """The Thm 7.2 artifacts: the FDs of the choice-simplified

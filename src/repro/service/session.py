@@ -18,6 +18,9 @@ Resource limits (``max_rounds``, ``max_facts``) bound the semidecidable
 chase routes, replacing the per-call keyword defaults of the free
 functions; routes with their own termination guarantee (the FD chase,
 the linearized-rewriting ID route) are unaffected by ``max_rounds``.
+``max_disjuncts`` bounds the ID route's backward rewriting; exceeding
+it yields UNKNOWN with a structured ``error`` on the response instead
+of a traceback.
 """
 
 from __future__ import annotations
@@ -35,6 +38,7 @@ from ..answerability.deciders import (
     AnswerabilityResult,
     decide_monotone_answerability,
 )
+from ..containment.rewriting import DEFAULT_MAX_DISJUNCTS
 from ..answerability.finite import decide_finite_monotone_answerability
 from ..answerability.plangen import PlanExtractionError, generate_static_plan
 from ..io import DecideResponse, PlanResponse, json_safe
@@ -94,11 +98,13 @@ class Session:
         *,
         max_rounds: Optional[int] = DEFAULT_CHASE_ROUNDS,
         max_facts: int = DEFAULT_CHASE_FACTS,
+        max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
         cache_size: int = 1024,
     ) -> None:
         self.compiled = as_compiled(schema)
         self.max_rounds = max_rounds
         self.max_facts = max_facts
+        self.max_disjuncts = max_disjuncts
         self.cache_size = cache_size
         self._cache: OrderedDict[tuple, Any] = OrderedDict()
         self._lock = threading.RLock()
@@ -160,8 +166,18 @@ class Session:
                     (time.perf_counter() - started) * 1000.0, 3
                 ),
                 detail=copy.deepcopy(hit.detail),
+                error=copy.deepcopy(hit.error),
             )
         result = self._decide_result(parsed, finite=finite)
+        # Promote a structured error (e.g. RewritingBudgetExceeded) to
+        # the top-level wire field; it leaves `detail` so the payload
+        # carries it exactly once.
+        detail = dict(result.decision.detail)
+        structured_error = detail.get("error")
+        if isinstance(structured_error, dict):
+            del detail["error"]
+        else:
+            structured_error = None
         response = DecideResponse(
             query=repr(parsed),
             decision=result.truth.value,
@@ -173,10 +189,18 @@ class Session:
             elapsed_ms=round(
                 (time.perf_counter() - started) * 1000.0, 3
             ),
-            detail=json_safe(result.decision.detail),
+            detail=json_safe(detail),
+            error=json_safe(structured_error)
+            if structured_error is not None
+            else None,
         )
         self._cache_put(
-            key, replace(response, detail=copy.deepcopy(response.detail))
+            key,
+            replace(
+                response,
+                detail=copy.deepcopy(response.detail),
+                error=copy.deepcopy(response.error),
+            ),
         )
         return response
 
@@ -189,12 +213,14 @@ class Session:
                 query,
                 max_rounds=self.max_rounds,
                 max_facts=self.max_facts,
+                max_disjuncts=self.max_disjuncts,
             )
         return decide_monotone_answerability(
             self.compiled,
             query,
             max_rounds=self.max_rounds,
             max_facts=self.max_facts,
+            max_disjuncts=self.max_disjuncts,
         )
 
     def decide_many(
@@ -216,6 +242,7 @@ class Session:
                 parsed,
                 max_rounds=self.max_rounds,
                 max_facts=self.max_facts,
+                max_disjuncts=self.max_disjuncts,
             )
         except PlanExtractionError as error:
             return PlanResponse(
@@ -253,9 +280,11 @@ class Session:
         report["limits"] = {
             "max_rounds": self.max_rounds,
             "max_facts": self.max_facts,
+            "max_disjuncts": self.max_disjuncts,
         }
         report["cache"] = self.cache_info()
         report["compile_stats"] = dict(self.compiled.stats)
+        report["rewrite_engine"] = self.compiled.engine_stats()
         return report
 
     # ------------------------------------------------------------------
@@ -267,6 +296,16 @@ class Session:
                 "size": len(self._cache),
                 "capacity": self.cache_size,
             }
+
+    def stats(self) -> dict:
+        """Session-wide diagnostics: decision cache, per-schema compile
+        counters, and the rewrite engine's cross-query cache traffic."""
+        return {
+            "fingerprint": self.compiled.fingerprint,
+            "cache": self.cache_info(),
+            "compile_stats": dict(self.compiled.stats),
+            "rewrite_engine": self.compiled.engine_stats(),
+        }
 
     def clear_cache(self) -> None:
         with self._lock:

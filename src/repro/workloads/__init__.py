@@ -4,6 +4,7 @@ from .generators import (
     Workload,
     directory_instance,
     fd_determinacy_workload,
+    id_chain_workload,
     id_width_workload,
     lookup_chain_workload,
     random_id_workload,
@@ -33,7 +34,8 @@ from .paperschemas import (
 
 __all__ = [
     "Workload", "directory_instance", "fd_determinacy_workload",
-    "id_width_workload", "lookup_chain_workload", "random_id_workload",
+    "id_chain_workload", "id_width_workload",
+    "lookup_chain_workload", "random_id_workload",
     "tgd_transfer_workload", "uid_fd_workload",
     "RateLimitExceeded", "ServiceSelection", "WebService",
     "chemistry_service", "movie_service",

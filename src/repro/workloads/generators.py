@@ -85,6 +85,43 @@ def lookup_chain_workload(
     )
 
 
+def id_chain_workload(depth: int, *, query_index: Optional[int] = None) -> Workload:
+    """A linear ID chain R_0 ⊆ R_1 ⊆ ... ⊆ R_depth, top-dumped.
+
+    ``R_depth`` has an unbounded input-free dump; every ``R_i`` has an
+    exact membership check keyed on its single column.  The query asks
+    ``R_i(x)`` (default: the bottom of the chain).  Ground truth: YES —
+    any R_i value reaches R_depth through the chain, so the dump
+    surfaces it and the membership check confirms it.
+
+    The interesting property for the rewriting engine: the backward
+    rewritings of the queries ``R_0(x) .. R_depth(x)`` are *nested* —
+    query i's frontier is a subset of query i+1's — so a distinct-query
+    batch over one schema is the worst case for per-query rewriting and
+    the best case for cross-query frontier memoization.
+    """
+    if query_index is None:
+        query_index = 0
+    schema = Schema()
+    for i in range(depth + 1):
+        name = f"R{i}"
+        schema.add_relation(name, 1)
+        schema.add_method(f"check_{i}", name, inputs=[0])
+        if i:
+            schema.add_constraint(
+                inclusion_dependency(f"R{i - 1}", (0,), name, (0,), 1, 1)
+            )
+    schema.add_method("dump", f"R{depth}", inputs=[])
+    query = boolean_cq([atom(f"R{query_index}", "x")], name=f"Qlink{query_index}")
+    return Workload(
+        f"id-chain-{depth}",
+        schema,
+        query,
+        True,
+        "nested-rewriting family (cross-query reuse stress)",
+    )
+
+
 def id_width_workload(width: int, *, bounded: bool = True) -> Workload:
     """A width-w ID feeding a bounded dump — scales the width dimension.
 

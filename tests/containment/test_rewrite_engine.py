@@ -1,0 +1,259 @@
+"""The incremental `RewriteEngine`: memoization ≡ fresh rewriting.
+
+The engine's contract is that sharing rule indexes, per-atom rewrite
+steps, and canonical frontier states across queries changes *nothing*
+about any individual rewriting: every output must equal a fresh
+`rewrite()` call, deterministically.  The randomized suites generate
+linear schemas and query batches and assert exactly that; the unit
+tests pin the cache behavior (hits actually happen), the deterministic
+emission order, the isomorphism dedup, and the typed budget error.
+"""
+
+import random
+
+import pytest
+
+from repro.answerability.axioms import prime_query
+from repro.containment import (
+    RewriteEngine,
+    RewritingBudgetExceeded,
+    RewritingError,
+    rewrite,
+)
+from repro.containment.rewriting import _isomorphic, canonical_state
+from repro.constraints.tgd import TGD
+from repro.logic import Variable, atom, boolean_cq
+from repro.logic.atoms import Atom
+from repro.logic.terms import Constant
+from repro.service import compile_schema
+from repro.workloads import id_chain_workload, lookup_chain_workload
+
+
+def _disjunct_reprs(ucq):
+    return [repr(d.atoms) for d in ucq.disjuncts]
+
+
+# ----------------------------------------------------------------------
+# Cache behavior
+# ----------------------------------------------------------------------
+class TestMemoization:
+    def test_distinct_query_batch_reuses_frontier_states(self):
+        # The id-chain queries have nested rewriting frontiers: by the
+        # time the deepest query runs, every state below it is cached.
+        compiled = compile_schema(id_chain_workload(6).schema)
+        engine = RewriteEngine(compiled.linearization().rules)
+        queries = [
+            prime_query(boolean_cq([atom(f"R{i}", "x")], name=f"Q{i}"))
+            for i in range(7)
+        ]
+        for query in queries:
+            engine.rewrite(query)
+        stats = engine.stats()
+        assert stats["rewrites"] == 7
+        assert stats["expansions_reused"] > 0
+        assert stats["expansions_built"] < stats["states"]
+
+    def test_atom_steps_shared_across_join_queries(self):
+        # Join queries over disjoint relations share no frontier states,
+        # but every atom pattern (and so every unification) is shared.
+        compiled = compile_schema(
+            lookup_chain_workload(4, dump_bound=None).schema
+        )
+        engine = RewriteEngine(compiled.linearization().rules)
+        for length in (1, 2, 3):
+            engine.rewrite(
+                prime_query(
+                    boolean_cq(
+                        [atom(f"L{i}", "x", f"y{i}") for i in range(length)],
+                        name=f"Q{length}",
+                    )
+                )
+            )
+        stats = engine.stats()
+        assert stats["atom_pattern_hits"] > 0
+
+    def test_repeated_query_served_from_result_memo(self):
+        rules = [TGD((atom("S", "x"),), (atom("R", "x"),))]
+        engine = RewriteEngine(rules)
+        q = boolean_cq([atom("R", "u")])
+        first = engine.rewrite(q)
+        second = engine.rewrite(q)
+        assert _disjunct_reprs(first) == _disjunct_reprs(second)
+        assert engine.stats()["result_hits"] == 1
+
+    def test_alpha_variant_hits_the_result_memo(self):
+        rules = [TGD((atom("S", "x"),), (atom("R", "x"),))]
+        engine = RewriteEngine(rules)
+        engine.rewrite(boolean_cq([atom("R", "u"), atom("T", "u", "v")]))
+        engine.rewrite(boolean_cq([atom("R", "a"), atom("T", "a", "b")]))
+        assert engine.stats()["result_hits"] == 1
+
+
+class TestDeterminism:
+    def test_two_engines_emit_identical_output(self):
+        compiled = compile_schema(
+            lookup_chain_workload(3, dump_bound=None).schema
+        )
+        rules = compiled.linearization().rules
+        query = prime_query(
+            boolean_cq(
+                [atom("L0", "x", "y0"), atom("L1", "x", "y1")], name="Q"
+            )
+        )
+        left = RewriteEngine(rules).rewrite(query)
+        right = RewriteEngine(rules).rewrite(query)
+        assert _disjunct_reprs(left) == _disjunct_reprs(right)
+
+    def test_disjuncts_sorted_smallest_first(self):
+        rules = [TGD((atom("S", "x"),), (atom("R", "x", "z"),))]
+        q = boolean_cq([atom("R", "u", "v"), atom("R", "u", "w")])
+        result = rewrite(q, rules)
+        sizes = [len(d.atoms) for d in result.disjuncts]
+        assert sizes == sorted(sizes)
+
+    def test_no_isomorphic_disjunct_pairs(self):
+        compiled = compile_schema(
+            lookup_chain_workload(3, dump_bound=None).schema
+        )
+        query = prime_query(
+            boolean_cq(
+                [atom("L0", "x", "y0"), atom("L1", "x", "y1")], name="Q"
+            )
+        )
+        result = RewriteEngine(compiled.linearization().rules).rewrite(query)
+        states = [d.atoms for d in result.disjuncts]
+        for i in range(len(states)):
+            for j in range(i + 1, len(states)):
+                assert not _isomorphic(states[i], states[j])
+
+
+class TestCanonicalState:
+    def test_alpha_equivalent_bodies_share_a_state(self):
+        left = canonical_state((atom("R", "x", "y"), atom("S", "y")))
+        right = canonical_state((atom("R", "u", "v"), atom("S", "v")))
+        assert left == right
+
+    def test_join_shape_distinguishes(self):
+        assert canonical_state((atom("R", "x", "x"),)) != canonical_state(
+            (atom("R", "x", "y"),)
+        )
+
+    def test_duplicates_dropped(self):
+        state = canonical_state((atom("R", "x"), atom("R", "x")))
+        assert len(state) == 1
+
+    def test_isomorphism_checker(self):
+        a = canonical_state((atom("R", "x", "y"), atom("R", "y", "x")))
+        b = canonical_state((atom("R", "u", "v"), atom("R", "v", "u")))
+        assert _isomorphic(a, b)
+        c = canonical_state((atom("R", "x", "y"), atom("R", "y", "z")))
+        assert not _isomorphic(a, c)
+
+    def test_isomorphism_backtracks_failed_partial_matches(self):
+        # Matching R(x,y) against R(a,a) fails mid-atom; the stale
+        # x->a constraint must not block the correct pairing.
+        left = (atom("R", "x", "y"), atom("R", "z", "z"))
+        right = (atom("R", "a", "a"), atom("R", "b", "c"))
+        assert _isomorphic(left, right)
+
+
+class TestBudget:
+    def test_typed_error_with_fields(self):
+        compiled = compile_schema(id_chain_workload(4).schema)
+        engine = RewriteEngine(compiled.linearization().rules)
+        query = prime_query(boolean_cq([atom("R4", "x")], name="Q"))
+        with pytest.raises(RewritingBudgetExceeded) as caught:
+            engine.rewrite(query, max_disjuncts=2)
+        error = caught.value
+        assert isinstance(error, RewritingError)  # back-compat handlers
+        assert error.max_disjuncts == 2
+        assert error.reached > 2
+        detail = error.as_detail()
+        assert detail["type"] == "RewritingBudgetExceeded"
+        assert detail["max_disjuncts"] == 2
+
+    def test_budget_enforced_on_memoized_results(self):
+        compiled = compile_schema(id_chain_workload(4).schema)
+        engine = RewriteEngine(compiled.linearization().rules)
+        query = prime_query(boolean_cq([atom("R4", "x")], name="Q"))
+        engine.rewrite(query)  # populate the result memo
+        with pytest.raises(RewritingBudgetExceeded):
+            engine.rewrite(query, max_disjuncts=2)
+
+    def test_budget_error_identical_cold_and_warm(self):
+        # The structured error must not leak cache warmth: a memoized
+        # overflow reports the same `reached` as a live one.
+        compiled = compile_schema(id_chain_workload(4).schema)
+        query = prime_query(boolean_cq([atom("R4", "x")], name="Q"))
+        cold = RewriteEngine(compiled.linearization().rules)
+        with pytest.raises(RewritingBudgetExceeded) as cold_caught:
+            cold.rewrite(query, max_disjuncts=2)
+        warm = RewriteEngine(compiled.linearization().rules)
+        warm.rewrite(query)
+        with pytest.raises(RewritingBudgetExceeded) as warm_caught:
+            warm.rewrite(query, max_disjuncts=2)
+        assert cold_caught.value.as_detail() == warm_caught.value.as_detail()
+        assert cold_caught.value.reached == 3
+
+
+# ----------------------------------------------------------------------
+# Randomized equivalence: memoized engine ≡ fresh rewrite()
+# ----------------------------------------------------------------------
+_RELATIONS = [("R", 2), ("S", 1), ("T", 2), ("U", 3)]
+
+
+def _random_atom(rng, variables, *, allow_constants=True):
+    name, arity = rng.choice(_RELATIONS)
+    terms = []
+    for __ in range(arity):
+        if allow_constants and rng.random() < 0.15:
+            terms.append(Constant(rng.randint(0, 2)))
+        else:
+            terms.append(rng.choice(variables))
+    return Atom(name, tuple(terms))
+
+
+def _random_linear_rules(rng, count):
+    rules = []
+    for index in range(count):
+        body_vars = [Variable(f"b{index}_{i}") for i in range(3)]
+        body = _random_atom(rng, body_vars, allow_constants=False)
+        head_pool = list(body.variables()) + [
+            Variable(f"e{index}_{i}") for i in range(2)
+        ]
+        head = _random_atom(rng, head_pool, allow_constants=False)
+        rules.append(TGD((body,), (head,), f"rule{index}"))
+    return rules
+
+
+def _random_query(rng, name):
+    variables = [Variable(v) for v in ("x", "y", "z")]
+    atoms = tuple(
+        _random_atom(rng, variables) for __ in range(rng.randint(1, 3))
+    )
+    return boolean_cq(atoms, name=name)
+
+
+def _check_batch(seed: int, rule_count: int, batch: int) -> None:
+    rng = random.Random(seed)
+    rules = _random_linear_rules(rng, rule_count)
+    engine = RewriteEngine(rules)
+    for index in range(batch):
+        query = _random_query(rng, f"q{seed}_{index}")
+        fresh = rewrite(query, rules)
+        memoized = engine.rewrite(query)
+        assert _disjunct_reprs(fresh) == _disjunct_reprs(memoized), (
+            f"seed={seed} query={query}: memoized engine diverged from "
+            "fresh rewriting"
+        )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_linear_schemas_memoized_equals_fresh(seed):
+    _check_batch(seed, rule_count=4, batch=6)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(60))
+def test_random_linear_schemas_memoized_equals_fresh_sweep(seed):
+    _check_batch(seed, rule_count=6, batch=12)

@@ -163,6 +163,67 @@ class TestLimitsAndExplain:
         assert report["compile_stats"].get("linearization") == 1
         assert report["cache"]["misses"] >= 1
 
+    def test_explain_reports_rewrite_engine_stats(self):
+        # The ID route decides through the compiled schema's engine, so
+        # explain must surface its cache counters.
+        session = Session(university_schema(ud_bound=100))
+        report = session.explain(query_q2())
+        assert report["rewrite_engine"]["rewrites"] >= 1
+        assert report["limits"]["max_disjuncts"] > 0
+
+    def test_stats_shows_cross_query_engine_reuse(self):
+        from repro.workloads import id_chain_workload
+
+        session = Session(id_chain_workload(5).schema)
+        for i in range(6):
+            assert session.decide(f"R{i}(x)").is_yes
+        engine = session.stats()["rewrite_engine"]
+        assert engine["rewrites"] == 6
+        assert engine["expansions_reused"] > 0
+
+    def test_rewriting_budget_surfaces_structured_error(self):
+        from repro.workloads import id_chain_workload
+
+        session = Session(id_chain_workload(4).schema, max_disjuncts=2)
+        response = session.decide("R4(x)")
+        assert response.is_unknown
+        assert response.error["type"] == "RewritingBudgetExceeded"
+        assert response.error["max_disjuncts"] == 2
+        payload = response.to_dict()
+        assert payload["error"]["type"] == "RewritingBudgetExceeded"
+        # Promoted to the top level exactly once, not repeated in detail.
+        assert "error" not in payload.get("detail", {})
+        from repro.io import DecideResponse
+
+        assert DecideResponse.from_dict(payload).error == payload["error"]
+
+    def test_error_mutation_cannot_poison_the_cache(self):
+        from repro.workloads import id_chain_workload
+
+        session = Session(id_chain_workload(4).schema, max_disjuncts=2)
+        first = session.decide("R4(x)")
+        first.error["note"] = "mine"
+        second = session.decide("R4(x)")
+        assert second.cached
+        assert "note" not in second.error
+
+    def test_plan_threads_the_rewriting_budget(self):
+        # The ID-route plan gate must run under the session's budget,
+        # not the module default (a starved gate degrades to the chase
+        # route instead of spending the full 50k-disjunct allowance).
+        from repro.answerability.plangen import generate_static_plan
+        from repro.workloads import lookup_chain_workload
+
+        workload = lookup_chain_workload(2, dump_bound=None)
+        assert (
+            generate_static_plan(
+                workload.schema, workload.query, max_disjuncts=50_000
+            )
+            is not None
+        )
+        session = Session(workload.schema, max_disjuncts=1)
+        assert session.plan(workload.query).answerable
+
 
 class TestPlan:
     def test_plan_for_answerable_query(self):

@@ -122,9 +122,12 @@ class TestCLI:
             DEFAULT_CHASE_ROUNDS,
         )
 
+        from repro.containment.rewriting import DEFAULT_MAX_DISJUNCTS
+
         args = _build_parser().parse_args(["decide", "s.json", "R(x)"])
         assert args.max_rounds == DEFAULT_CHASE_ROUNDS
         assert args.max_facts == DEFAULT_CHASE_FACTS
+        assert args.max_disjuncts == DEFAULT_MAX_DISJUNCTS
 
 
 class TestCLIJson:
@@ -159,6 +162,42 @@ class TestCLIJson:
         payload = json.loads(capsys.readouterr().out)
         assert payload["constraint_class"].startswith("bounded-width")
         assert payload["result_bounded_methods"] == ["ud"]
+
+    def test_decide_json_budget_error_is_structured(
+        self, schema_file, capsys
+    ):
+        # A starved rewriting budget must come back as exit code 2 with
+        # a machine-readable error object, not a traceback.
+        code = main(
+            [
+                "decide",
+                schema_file,
+                "Udirectory(i,a,p)",
+                "--json",
+                "--max-disjuncts",
+                "1",
+            ]
+        )
+        assert code == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["decision"] == "unknown"
+        assert payload["error"]["type"] == "RewritingBudgetExceeded"
+        assert payload["error"]["max_disjuncts"] == 1
+
+    def test_decide_text_budget_error_line(self, schema_file, capsys):
+        code = main(
+            [
+                "decide",
+                schema_file,
+                "Udirectory(i,a,p)",
+                "--max-disjuncts",
+                "1",
+            ]
+        )
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "UNKNOWN" in out
+        assert "RewritingBudgetExceeded" in out
 
 
 class TestCLIBatch:
@@ -229,3 +268,22 @@ class TestCLIBatch:
         payload = json.loads(capsys.readouterr().out)
         assert "error" in payload
         assert payload["id"] == 7
+
+    def test_batch_stats_line_on_stderr(
+        self, schema_file, tmp_path, capsys
+    ):
+        code = self._run(
+            schema_file,
+            ['"Udirectory(i,a,p)"', '"Udirectory(x,y,z)"'],
+            tmp_path,
+            extra=["--stats"],
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        # stdout stays a pure response stream; stats go to stderr.
+        for line in captured.out.strip().splitlines():
+            assert "sessions" not in json.loads(line)
+        stats = json.loads(captured.err.strip().splitlines()[-1])
+        session = stats["sessions"][0]
+        assert session["cache"]["hits"] == 1
+        assert session["rewrite_engine"]["rewrites"] >= 1
