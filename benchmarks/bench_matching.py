@@ -1,0 +1,257 @@
+"""The compiled matching core: planned matcher vs the naive reference.
+
+Every chase trigger search, activeness check, and containment probe
+bottoms out in `repro.matching`.  This suite runs the *same* delta chase
+engine with the two matcher implementations swapped — `Matcher` (planned,
+memoized) vs `NaiveMatcher` (the pre-compilation reference search) — so
+the speedup is attributable to plan compilation, ground probes, and the
+generation-invalidated check cache alone:
+
+* **closure-activeness** — restricted chase of transitive closure
+  (full TGDs): per-round trigger joins plus an activeness check and a
+  firing-time re-check per trigger.  Head-satisfaction checks are fully
+  seeded here, so the planned matcher serves them as ground probes;
+  this is the family the ROADMAP named as the dominant remaining chase
+  cost.
+* **existential-activeness** — closure through an existentially headed
+  rule: activeness checks must search (not probe), exercising the
+  check cache across the firing loop.
+* **mixed-trigger-containment** — a batch of distinct reachability
+  containments (``contains``) over one rule set: chase trigger search
+  plus a per-round target probe per query, sharing one matcher across
+  the batch the way a `CompiledSchema` does.
+
+Each family asserts planned/naive agreement (outcomes, fact counts,
+decisions) before timing, and records the planned matcher's cache
+counters so the speedup can be attributed.  Results persist to
+``BENCH_matching.json``; ``--smoke`` shrinks sizes for CI and writes a
+sidecar so the committed artifact is untouched.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from _harness import BenchRecord, write_bench_json
+
+from repro.chase import chase
+from repro.constraints import tgd
+from repro.containment import contains
+from repro.data import Instance
+from repro.logic import Atom, Constant, boolean_cq, atom
+from repro.matching import Matcher, NaiveMatcher
+
+
+def _timed(run) -> float:
+    start = time.perf_counter()
+    run()
+    return time.perf_counter() - start
+
+
+def _best(run, repeats: int) -> float:
+    return min(_timed(run) for __ in range(repeats))
+
+
+def _path(n: int) -> Instance:
+    return Instance(
+        Atom("E", (Constant(i), Constant(i + 1))) for i in range(n)
+    )
+
+
+def _closure_rules():
+    return [tgd("E(x, y) -> T(x, y)"), tgd("T(x, y), E(y, z) -> T(x, z)")]
+
+
+def _existential_rules():
+    return [
+        tgd("E(x, y) -> T(x, y)"),
+        tgd("T(x, y), E(y, z) -> T(x, z)"),
+        tgd("T(x, y) -> W(x, w)"),
+    ]
+
+
+def _record(
+    name: str,
+    run_with,
+    *,
+    meta_of,
+    agreement,
+    planned_repeats: int = 3,
+    naive_repeats: int = 2,
+    extra_meta=None,
+) -> BenchRecord:
+    """Time `run_with(matcher)` on both matcher implementations.
+
+    ``agreement(planned_result, naive_result)`` asserts the two runs
+    computed the same thing; ``meta_of(result)`` extracts counters.
+    """
+    # The agreement run doubles as the counter-collection run.
+    stats_matcher = Matcher()
+    result = run_with(stats_matcher)
+    naive_result = run_with(NaiveMatcher())
+    agreement(result, naive_result)
+    stats = stats_matcher.stats()
+
+    naive_seconds = _best(lambda: run_with(NaiveMatcher()), naive_repeats)
+    planned_seconds = _best(lambda: run_with(Matcher()), planned_repeats)
+    speedup = (
+        naive_seconds / planned_seconds if planned_seconds else float("inf")
+    )
+    meta = {
+        "baseline_seconds": naive_seconds,
+        "speedup": round(speedup, 2),
+        "plans_compiled": stats["plans_compiled"],
+        "plan_hits": stats["plan_hits"],
+        "ground_probe_checks": stats["ground_probe_checks"],
+        "check_hits": stats["check_hits"],
+        "check_misses": stats["check_misses"],
+    }
+    meta.update(meta_of(result))
+    if extra_meta:
+        meta.update(extra_meta)
+    print(
+        f"  {name:34} naive {naive_seconds * 1000:9.2f} ms   "
+        f"planned {planned_seconds * 1000:9.2f} ms   {speedup:6.1f}x"
+    )
+    return BenchRecord(name, planned_seconds, planned_repeats, meta)
+
+
+def _chase_agreement(planned, naive) -> None:
+    assert planned.outcome is naive.outcome, "outcomes diverge"
+    assert len(planned.instance) == len(naive.instance), "fact counts diverge"
+    assert planned.rounds == naive.rounds, "round counts diverge"
+    assert planned.stats.searches == naive.stats.searches, (
+        "search counts diverge"
+    )
+
+
+def _chase_meta(result) -> dict:
+    return {
+        "facts": len(result.instance),
+        "rounds": result.rounds,
+        "trigger_searches": result.stats.searches,
+        "head_checks": result.stats.head_checks,
+        "mode": "chase",
+    }
+
+
+def closure_family(size: int) -> BenchRecord:
+    """Activeness-dominated closure: the ROADMAP's named chase target."""
+    start = _path(size)
+    rules = _closure_rules()
+    return _record(
+        f"closure-activeness-n{size}",
+        lambda matcher: chase(start, rules, matcher=matcher),
+        meta_of=_chase_meta,
+        agreement=_chase_agreement,
+    )
+
+
+def existential_family(size: int) -> BenchRecord:
+    """Closure plus an existential head: activeness checks must search,
+    so the generation-invalidated check cache carries the win."""
+    start = _path(size)
+    rules = _existential_rules()
+    return _record(
+        f"existential-activeness-n{size}",
+        lambda matcher: chase(start, rules, matcher=matcher),
+        meta_of=_chase_meta,
+        agreement=_chase_agreement,
+    )
+
+
+def containment_family(size: int, queries: int) -> BenchRecord:
+    """Distinct reachability containments sharing one matcher: chase
+    trigger search + per-round target probes, the `CompiledSchema`
+    usage pattern."""
+    rules = _closure_rules()
+    step = max(1, size // queries)
+    cases = []
+    for k in range(1, queries + 1):
+        hop = min(k * step, size)
+        query = boolean_cq(
+            [
+                Atom("E", (Constant(i), Constant(i + 1)))
+                for i in range(hop)
+            ],
+            name=f"path{hop}",
+        )
+        target = boolean_cq(
+            [Atom("T", (Constant(0), Constant(hop)))], name=f"reach{hop}"
+        )
+        cases.append((query, target))
+    # An unreachable target forces a full chase to fixpoint as well.
+    cases.append(
+        (
+            boolean_cq(
+                [Atom("E", (Constant(0), Constant(1)))], name="edge"
+            ),
+            boolean_cq([atom("T", "x", "x")], name="cycle"),
+        )
+    )
+
+    def run(matcher):
+        return [
+            contains(query, target, rules, matcher=matcher)
+            for query, target in cases
+        ]
+
+    def agreement(planned, naive) -> None:
+        assert [d.truth for d in planned] == [d.truth for d in naive], (
+            "containment decisions diverge"
+        )
+
+    return _record(
+        f"mixed-trigger-containment-q{len(cases)}",
+        run,
+        meta_of=lambda decisions: {
+            "queries": len(decisions),
+            "yes": sum(1 for d in decisions if d.is_yes),
+            "mode": "containment",
+        },
+        agreement=agreement,
+    )
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(prog="bench_matching")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes for CI smoke runs (written to a .smoke.json "
+        "sidecar so the committed BENCH_matching.json is untouched)",
+    )
+    parser.add_argument("--out", default=None, help="output path override")
+    args = parser.parse_args(argv)
+
+    closure_sizes = [30] if args.smoke else [60, 120]
+    existential_size = 20 if args.smoke else 60
+    containment_size = 16 if args.smoke else 48
+    containment_queries = 3 if args.smoke else 8
+
+    print("matching core (planned Matcher vs NaiveMatcher, same engine):")
+    records = [
+        *(closure_family(size) for size in closure_sizes),
+        existential_family(existential_size),
+        containment_family(containment_size, containment_queries),
+    ]
+
+    from pathlib import Path
+
+    from _harness import ROOT
+
+    if args.out is not None:
+        out = Path(args.out)
+    elif args.smoke:
+        out = ROOT / "BENCH_matching.smoke.json"
+    else:
+        out = None  # write_bench_json's default: BENCH_matching.json
+    path = write_bench_json(
+        "matching", records, extra={"smoke": args.smoke}, path=out
+    )
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

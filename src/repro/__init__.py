@@ -38,6 +38,10 @@ The one-shot free functions remain::
 Package map (details in DESIGN.md):
 
 * `repro.logic` / `repro.data` — queries, homomorphisms, instances;
+* `repro.matching` — the compiled matching core: planned, memoized
+  homomorphism evaluation shared by the chase, containment, and
+  rewriting (free functions in `repro.logic.homomorphism` delegate
+  here);
 * `repro.constraints` — TGDs/IDs/UIDs/FDs/EGDs and their analysis;
 * `repro.chase` / `repro.containment` — the chase and query containment
   (chase-based and backward-rewriting routes);

@@ -131,8 +131,9 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--stats",
         action="store_true",
-        help="after the stream, print per-session cache and rewrite-"
-        "engine statistics as one JSON line on stderr",
+        help="after the stream, print per-session cache, rewrite-engine, "
+        "and matching (plan/check cache) statistics as one JSON line "
+        "on stderr",
     )
     add_limits(batch)
 

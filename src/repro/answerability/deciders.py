@@ -99,16 +99,27 @@ def _chase_containment(
     max_rounds: Optional[int],
     max_facts: int = DEFAULT_CHASE_FACTS,
     engine: str = "delta",
+    matcher=None,
 ) -> Decision:
-    """Run the containment chase from an explicit start instance."""
+    """Run the containment chase from an explicit start instance.
+
+    ``matcher`` is the compiled schema's per-fingerprint matcher: the
+    chase's trigger/activeness searches and the per-round target probe
+    all share its plans and check caches across queries.
+    """
+    if matcher is not None:
+        stop_when = lambda inst: matcher.has(target.atoms, inst)  # noqa: E731
+    else:
+        stop_when = lambda inst: holds(target, inst)  # noqa: E731
     result = chase(
         start,
         constraints,
         max_rounds=max_rounds,
         max_facts=max_facts,
-        stop_when=lambda inst: holds(target, inst),
+        stop_when=stop_when,
         record_steps=True,
         engine=engine,
+        matcher=matcher,
     )
     if result.outcome is ChaseOutcome.FAILED:
         return Decision.yes(
@@ -159,6 +170,7 @@ def decide_with_fds(
         prime_query(query),
         max_rounds=max_rounds,
         max_facts=max_facts,
+        matcher=compiled.matcher(),
     )
     decision.detail["simplification"] = simplified.kind
     return decision
@@ -196,6 +208,7 @@ def decide_with_ids(
             prime_query(query),
             max_rounds=max_rounds,
             max_facts=max_facts,
+            matcher=compiled.matcher(),
         )
         decision.detail["route"] = "chase"
         return decision
@@ -215,8 +228,9 @@ def decide_with_ids(
         )
     except RewritingError as error:
         return Decision.unknown(str(error), route="linearization")
+    matcher = compiled.matcher()
     for disjunct in rewriting.disjuncts:
-        if holds(disjunct, start):
+        if matcher.has(disjunct.atoms, start):
             return Decision.yes(
                 "linearized rewriting matches the saturated canonical "
                 "database (Prop 5.5 + backward rewriting)",
@@ -334,6 +348,7 @@ def decide_with_uids_and_fds(
         prime_query(minimized),
         max_rounds=max_rounds,
         max_facts=max_facts,
+        matcher=compiled.matcher(),
     )
     decision.detail["simplification"] = "choice+separability"
     return decision
@@ -364,6 +379,7 @@ def decide_with_choice_simplification(
         prime_query(query),
         max_rounds=max_rounds,
         max_facts=max_facts,
+        matcher=compiled.matcher(),
     )
     decision.detail["simplification"] = "choice"
     return decision
@@ -471,6 +487,7 @@ def decide_monotone_answerability(
             prime_query(query),
             max_rounds=max_rounds,
             max_facts=max_facts,
+            matcher=compiled.matcher(),
         )
         return AnswerabilityResult(decision, "direct", fragment)
     return AnswerabilityResult(

@@ -400,6 +400,7 @@ def generate_static_plan(
         target,
         max_rounds=max_rounds,
         max_facts=DEFAULT_CHASE_FACTS if max_facts is None else max_facts,
+        matcher=compiled.matcher(),
     )
     if not decision.is_yes or decision.certificate is None:
         return None

@@ -31,6 +31,16 @@ Two engines implement those semantics:
   O(1), the ``facts_containing`` occurrence index confines a merge to the
   facts actually mentioning the removed term, and merges are tracked in a
   union-find rather than by rewriting the substitution dict.
+
+Both engines search through a `repro.matching` matcher (the ``matcher``
+argument; the process default when omitted): join orders and per-atom
+instructions are compiled once per (body, seed-shape) and reused across
+rounds, activeness/head-satisfaction checks are served as ground probes
+or from the generation-invalidated check cache, and — under the
+semi-oblivious policy — the delta engine enumerates triggers through
+`distinct_matches`, so frontier bindings that already fired prune the
+body search instead of being filtered after a full homomorphism was
+built.
 * ``naive``: the reference engine.  Every round re-enumerates all
   triggers over the whole instance and rescans relations for FD/EGD
   violations.  It is kept as the executable specification the delta
@@ -56,8 +66,8 @@ from ..constraints.fd import FDWitnessIndex, FunctionalDependency
 from ..constraints.tgd import TGD
 from ..data.instance import Instance
 from ..logic.atoms import Atom
-from ..logic.homomorphism import find_homomorphism, homomorphisms
 from ..logic.terms import Constant, GroundTerm, Null, NullFactory, Term, Variable
+from ..matching.matcher import default_matcher
 
 Dependency = Union[TGD, EGD, FunctionalDependency]
 
@@ -252,9 +262,9 @@ def _fd_violation(
 
 
 def _egd_violation(
-    instance: Instance, dependency: EGD, stats: ChaseStats
+    instance: Instance, dependency: EGD, stats: ChaseStats, matcher
 ) -> Optional[tuple[GroundTerm, GroundTerm]]:
-    for assignment in homomorphisms(dependency.body, instance):
+    for assignment in matcher.homomorphisms(dependency.body, instance):
         stats.egd_checks += 1
         left = assignment[dependency.left]
         right = assignment[dependency.right]
@@ -270,6 +280,7 @@ def _apply_equalities(
     steps: Optional[list[ChaseStep]],
     round_index: int,
     stats: ChaseStats,
+    matcher,
 ) -> None:
     """Apply FD/EGD merges to fixpoint (raises on constant clashes)."""
     changed = True
@@ -280,7 +291,9 @@ def _apply_equalities(
                 if isinstance(dependency, FunctionalDependency):
                     violation = _fd_violation(instance, dependency)
                 else:
-                    violation = _egd_violation(instance, dependency, stats)
+                    violation = _egd_violation(
+                        instance, dependency, stats, matcher
+                    )
                 if violation is None:
                     break
                 kept, removed = _merge_terms(
@@ -303,6 +316,18 @@ def _frontier_key(
         dependency_index,
         tuple(trigger[v] for v in frontier if v in trigger),
     )
+
+
+def _instantiate_head(
+    dependency: TGD, trigger: dict, factory: NullFactory
+) -> tuple[Atom, ...]:
+    """The facts a firing produces: the trigger's exported bindings plus
+    a fresh null per existential head variable.  Shared by both engines
+    so their null-naming cannot drift apart."""
+    head_map = dict(trigger)
+    for existential in dependency.existential_variables():
+        head_map[existential] = factory.fresh(existential.name)
+    return tuple(a.substitute(head_map) for a in dependency.head)
 
 
 def _seed_from_fact(atom: Atom, fact: Atom) -> Optional[dict[Term, GroundTerm]]:
@@ -341,7 +366,7 @@ class _DeltaState:
 
     __slots__ = (
         "instance", "uf", "egds", "fd_indexes", "equality_delta",
-        "trigger_delta", "stats", "steps",
+        "trigger_delta", "stats", "steps", "matcher",
     )
 
     def __init__(
@@ -350,7 +375,9 @@ class _DeltaState:
         equality_deps: Sequence[Union[EGD, FunctionalDependency]],
         steps: Optional[list[ChaseStep]],
         stats: ChaseStats,
+        matcher,
     ) -> None:
+        self.matcher = matcher
         self.instance = Instance()
         self.uf = _UnionFind()
         self.egds = [d for d in equality_deps if isinstance(d, EGD)]
@@ -438,7 +465,7 @@ class _DeltaState:
                     if seed is None:
                         break
                     violation = None
-                    for h in homomorphisms(
+                    for h in self.matcher.homomorphisms(
                         egd.body, self.instance, seed=seed
                     ):
                         self.stats.egd_checks += 1
@@ -482,17 +509,24 @@ def _chase_delta(
     record_steps: bool,
     factory: NullFactory,
     stop_when: Optional[Callable[[Instance], bool]],
+    matcher,
 ) -> ChaseResult:
     """Semi-naive chase: only delta-touching triggers are enumerated."""
     stats = ChaseStats()
     steps: Optional[list[ChaseStep]] = [] if record_steps else None
-    state = _DeltaState(start, equality_deps, steps, stats)
+    state = _DeltaState(start, equality_deps, steps, stats, matcher)
     # Static relation → (rule index, body atom index) dependency map.
     body_map: dict[str, list[tuple[int, int]]] = {}
     for index, dependency in enumerate(tgds):
         for atom_index, atom in enumerate(dependency.body):
             body_map.setdefault(atom.relation, []).append((index, atom_index))
-    fired: set[tuple] = set()
+    # Semi-oblivious firing registry: per rule, the frontier bindings
+    # already fired.  The matcher consults it *during* enumeration, so
+    # duplicate frontier keys prune the body search instead of being
+    # filtered after a full homomorphism was built.
+    fired: dict[int, set[tuple]] = {
+        index: set() for index in range(len(tgds))
+    }
     rounds = 0
 
     def result(outcome: ChaseOutcome) -> ChaseResult:
@@ -516,7 +550,7 @@ def _chase_delta(
         # the full body binding (a trigger can be reachable from several
         # of its delta facts).
         delta = state.take_trigger_delta()
-        pending: list[tuple[int, TGD, dict, tuple[Atom, ...]]] = []
+        pending: list[tuple[int, TGD, dict, dict, tuple[Atom, ...]]] = []
         seen: set[tuple] = set()
         instance = state.instance
         for fact in delta:
@@ -527,8 +561,28 @@ def _chase_delta(
                 seed = _seed_from_fact(dependency.body[atom_index], fact)
                 if seed is None:
                     continue
+                if policy == "semi_oblivious":
+                    # Frontier fast path: enumerate one trigger per
+                    # *unfired* frontier binding, pruning the rest of
+                    # the body search for bindings already fired.
+                    triggers = matcher.distinct_matches(
+                        dependency.body,
+                        instance,
+                        on=dependency.exported_variables(),
+                        seed=seed,
+                        skip=fired[rule_index],
+                    )
+                    for trigger in triggers:
+                        stats.triggers_enumerated += 1
+                        produced = _instantiate_head(
+                            dependency, trigger, factory
+                        )
+                        pending.append(
+                            (rule_index, dependency, trigger, {}, produced)
+                        )
+                    continue
                 body_vars = dependency.body_variables()
-                for trigger in homomorphisms(
+                for trigger in matcher.homomorphisms(
                     dependency.body, instance, seed=seed
                 ):
                     stats.triggers_enumerated += 1
@@ -539,28 +593,22 @@ def _chase_delta(
                     if key in seen:
                         continue
                     seen.add(key)
-                    if policy == "semi_oblivious":
-                        frontier = _frontier_key(
-                            rule_index, dependency, trigger
-                        )
-                        if frontier in fired:
-                            continue
-                        fired.add(frontier)
-                    else:
-                        stats.head_checks += 1
-                        if not dependency.is_active_trigger(
-                            trigger, instance
-                        ):
-                            continue
-                    head_map = dict(trigger)
-                    for existential in dependency.existential_variables():
-                        head_map[existential] = factory.fresh(
-                            existential.name
-                        )
-                    produced = tuple(
-                        a.substitute(head_map) for a in dependency.head
+                    exported = {
+                        v: trigger[v]
+                        for v in dependency.exported_variables()
+                        if v in trigger
+                    }
+                    stats.head_checks += 1
+                    if matcher.has(
+                        dependency.head, instance, seed=exported
+                    ):
+                        continue  # head satisfied: trigger not active
+                    produced = _instantiate_head(
+                        dependency, trigger, factory
                     )
-                    pending.append((rule_index, dependency, trigger, produced))
+                    pending.append(
+                        (rule_index, dependency, trigger, exported, produced)
+                    )
 
         # Fire in rule order (the naive engine's order): under the
         # restricted policy the firing-time re-check makes the round's
@@ -568,19 +616,16 @@ def _chase_delta(
         # order keeps the engines' results identical up to null renaming.
         pending.sort(key=lambda entry: entry[0])
         added_any = False
-        for __, dependency, trigger, produced in pending:
+        for __, dependency, trigger, exported, produced in pending:
             if policy == "restricted":
                 # Re-check activeness: an earlier firing in this round may
-                # already satisfy this trigger.
-                exported = {
-                    v: trigger[v]
-                    for v in dependency.exported_variables()
-                    if v in trigger
-                }
+                # already satisfy this trigger.  A check-cache hit here
+                # means no relation of the head changed since the
+                # enumeration-time check, so nothing is re-searched.
                 stats.head_checks += 1
-                if find_homomorphism(
+                if matcher.has(
                     dependency.head, instance, seed=exported
-                ) is not None:
+                ):
                     continue
             new_here = [f for f in produced if state._add(f)]
             if new_here:
@@ -619,6 +664,7 @@ def _chase_naive(
     record_steps: bool,
     factory: NullFactory,
     stop_when: Optional[Callable[[Instance], bool]],
+    matcher,
 ) -> ChaseResult:
     """Round-based reference chase: full re-enumeration every round."""
     stats = ChaseStats()
@@ -635,7 +681,7 @@ def _chase_naive(
 
     try:
         _apply_equalities(
-            instance, equality_deps, substitution, steps, 0, stats
+            instance, equality_deps, substitution, steps, 0, stats, matcher
         )
     except _Unsatisfiable:
         return result(ChaseOutcome.FAILED)
@@ -649,7 +695,9 @@ def _chase_naive(
         new_facts: list[tuple[TGD, dict, tuple[Atom, ...]]] = []
         # Collect triggers against the instance as of the round start.
         for index, dependency in enumerate(tgds):
-            for trigger in list(dependency.triggers(instance)):
+            for trigger in list(
+                matcher.homomorphisms(dependency.body, instance)
+            ):
                 stats.triggers_enumerated += 1
                 if policy == "semi_oblivious":
                     key = _frontier_key(index, dependency, trigger)
@@ -658,14 +706,11 @@ def _chase_naive(
                     fired.add(key)
                 else:
                     stats.head_checks += 1
-                    if not dependency.is_active_trigger(trigger, instance):
+                    if not dependency.is_active_trigger(
+                        trigger, instance, matcher
+                    ):
                         continue
-                head_map = dict(trigger)
-                for existential in dependency.existential_variables():
-                    head_map[existential] = factory.fresh(existential.name)
-                produced = tuple(
-                    a.substitute(head_map) for a in dependency.head
-                )
+                produced = _instantiate_head(dependency, trigger, factory)
                 new_facts.append((dependency, dict(trigger), produced))
 
         added_any = False
@@ -679,9 +724,7 @@ def _chase_naive(
                     if v in trigger
                 }
                 stats.head_checks += 1
-                if find_homomorphism(
-                    dependency.head, instance, seed=exported
-                ) is not None:
+                if matcher.has(dependency.head, instance, seed=exported):
                     continue
             new_here = [f for f in produced if instance.add(f)]
             if new_here:
@@ -695,7 +738,8 @@ def _chase_naive(
 
         try:
             _apply_equalities(
-                instance, equality_deps, substitution, steps, rounds, stats
+                instance, equality_deps, substitution, steps, rounds,
+                stats, matcher,
             )
         except _Unsatisfiable:
             return result(ChaseOutcome.FAILED)
@@ -717,6 +761,7 @@ def chase(
     null_factory: Optional[NullFactory] = None,
     stop_when: Optional[Callable[[Instance], bool]] = None,
     engine: str = "delta",
+    matcher=None,
 ) -> ChaseResult:
     """Chase `start` with the dependencies.
 
@@ -735,6 +780,15 @@ def chase(
       over the whole instance every round.  Same observable semantics
       (outcomes, final instance up to null renaming); kept for
       cross-checking and as an executable specification.
+
+    ``matcher`` supplies the homomorphism engine — any object with the
+    `repro.matching.Matcher` interface.  ``None`` (default) uses the
+    process-wide planned matcher; callers holding a
+    `repro.service.CompiledSchema` should pass its per-fingerprint
+    matcher so compiled plans and check caches are shared across runs,
+    and the cross-check/benchmark suites pass
+    `repro.matching.NaiveMatcher` to run the same engine on the
+    uncompiled reference search.
     """
     if policy not in ("restricted", "semi_oblivious"):
         raise ValueError(f"unknown chase policy: {policy}")
@@ -758,6 +812,7 @@ def chase(
         record_steps=record_steps,
         factory=factory,
         stop_when=stop_when,
+        matcher=matcher if matcher is not None else default_matcher(),
     )
 
 

@@ -138,17 +138,35 @@ class TGD(Constraint):
     # ------------------------------------------------------------------
     # Semantics
     # ------------------------------------------------------------------
-    def triggers(self, instance: Instance) -> Iterable[dict[Term, Term]]:
-        """All homomorphisms of the body into the instance."""
+    def triggers(
+        self, instance: Instance, matcher=None
+    ) -> Iterable[dict[Term, Term]]:
+        """All homomorphisms of the body into the instance.
+
+        ``matcher`` optionally supplies a `repro.matching` matcher; the
+        default is the process-wide planned matcher.  (The chase
+        engines search bodies through their own matcher directly — this
+        method is the off-path convenience for library callers and
+        `satisfied_by`.)
+        """
+        if matcher is not None:
+            return matcher.homomorphisms(self.body, instance)
         return homomorphisms(self.body, instance)
 
     def is_active_trigger(
-        self, trigger: Mapping[Term, Term], instance: Instance
+        self, trigger: Mapping[Term, Term], instance: Instance, matcher=None
     ) -> bool:
-        """True iff the trigger cannot be extended to the head."""
+        """True iff the trigger cannot be extended to the head.
+
+        With a `repro.matching` matcher, the head-satisfaction check is
+        served from its generation-invalidated check cache when nothing
+        relevant changed since the last identical check.
+        """
         exported = {
             v: trigger[v] for v in self.exported_variables() if v in trigger
         }
+        if matcher is not None:
+            return not matcher.has(self.head, instance, seed=exported)
         return (
             find_homomorphism(self.head, instance, seed=exported) is None
         )

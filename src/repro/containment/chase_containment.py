@@ -19,8 +19,8 @@ from ..chase.engine import ChaseOutcome, Dependency, chase
 from ..constraints.analysis import is_weakly_acyclic
 from ..constraints.tgd import TGD
 from ..data.instance import Instance
-from ..logic.evaluation import holds, ucq_holds
 from ..logic.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from ..matching.matcher import default_matcher
 from .decision import Decision
 
 #: Default round cap when no termination guarantee applies.
@@ -60,22 +60,32 @@ def contains(
     max_facts: Optional[int] = DEFAULT_MAX_FACTS,
     policy: str = "restricted",
     engine: str = "delta",
+    matcher=None,
 ) -> Decision:
     """Decide ``query ⊆_dependencies target`` by chasing.
 
     ``target`` may be a CQ or a UCQ.  The chase stops as soon as the
     target matches (YES), at a fixpoint (NO), or at the bound (UNKNOWN).
     ``engine`` picks the chase implementation (``"delta"``/``"naive"``,
-    see `repro.chase.engine.chase`).
+    see `repro.chase.engine.chase`); ``matcher`` the homomorphism engine
+    — pass a `CompiledSchema`'s matcher to share compiled plans across
+    calls.  The per-round target probe goes through the matcher's check
+    cache, so rounds that do not touch the target's relations skip the
+    match search entirely.
     """
     dependencies = list(dependencies)
     canonical, __ = query.canonical_instance()
+    matcher = matcher if matcher is not None else default_matcher()
 
     if isinstance(target, UnionOfConjunctiveQueries):
-        matcher = lambda inst: ucq_holds(target, inst)  # noqa: E731
+        target_holds = lambda inst: any(  # noqa: E731
+            matcher.has(cq.atoms, inst) for cq in target.disjuncts
+        )
         target_size = max(len(cq.atoms) for cq in target.disjuncts)
     else:
-        matcher = lambda inst: holds(target, inst)  # noqa: E731
+        target_holds = lambda inst: matcher.has(  # noqa: E731
+            target.atoms, inst
+        )
         target_size = len(target.atoms)
 
     if max_rounds is None:
@@ -87,8 +97,9 @@ def contains(
         max_rounds=max_rounds,
         max_facts=max_facts,
         policy=policy,
-        stop_when=matcher,
+        stop_when=target_holds,
         engine=engine,
+        matcher=matcher,
     )
     if result.outcome is ChaseOutcome.FAILED:
         return Decision.yes(
@@ -103,7 +114,7 @@ def contains(
             rounds=result.rounds,
         )
     if result.outcome is ChaseOutcome.FIXPOINT:
-        if matcher(result.instance):  # defensive; stop_when should catch it
+        if target_holds(result.instance):  # defensive; stop_when catches it
             return Decision.yes(
                 "target query holds in the chase fixpoint",
                 certificate=result,
@@ -130,6 +141,7 @@ def certain_answer_boolean(
     max_rounds: Optional[int] = None,
     max_facts: Optional[int] = DEFAULT_MAX_FACTS,
     engine: str = "delta",
+    matcher=None,
 ) -> Decision:
     """Certain-answer test: does `query` hold in every model of the
     dependencies containing `instance`?
@@ -138,6 +150,7 @@ def certain_answer_boolean(
     saturates the accessible part and returns the certain answers over it.
     """
     dependencies = list(dependencies)
+    matcher = matcher if matcher is not None else default_matcher()
     if max_rounds is None:
         max_rounds = default_bound_for(dependencies, len(query.atoms))
     result = chase(
@@ -145,8 +158,9 @@ def certain_answer_boolean(
         dependencies,
         max_rounds=max_rounds,
         max_facts=max_facts,
-        stop_when=lambda inst: holds(query, inst),
+        stop_when=lambda inst: matcher.has(query.atoms, inst),
         engine=engine,
+        matcher=matcher,
     )
     if result.outcome is ChaseOutcome.FAILED:
         return Decision.yes("constraints unsatisfiable on the accessed data")

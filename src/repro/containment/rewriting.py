@@ -46,6 +46,7 @@ from ..logic.atoms import Atom
 from ..logic.evaluation import holds
 from ..logic.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
 from ..logic.terms import Constant, Null, Term, Variable
+from ..matching.matcher import default_matcher, freeze_atoms
 from .decision import Decision
 
 #: Safety valve on the number of generated disjuncts.
@@ -195,60 +196,15 @@ def canonical_state(atoms: Iterable[Atom]) -> State:
 
 
 def _isomorphic(left: State, right: State) -> bool:
-    """Exact isomorphism of two CQ bodies (bijective variable renaming)."""
-    if len(left) != len(right):
-        return False
-    used = [False] * len(right)
-    forward: dict[Variable, Variable] = {}
-    backward: dict[Variable, Variable] = {}
+    """Exact isomorphism of two CQ bodies (bijective variable renaming).
 
-    def try_match(a: Atom, b: Atom) -> Optional[list]:
-        added: list[tuple[Variable, Variable]] = []
-
-        def undo() -> None:
-            for t, u in added:
-                del forward[t]
-                del backward[u]
-
-        for t, u in zip(a.terms, b.terms):
-            t_var = isinstance(t, Variable)
-            if t_var != isinstance(u, Variable):
-                undo()
-                return None
-            if not t_var:
-                if t != u:
-                    undo()
-                    return None
-                continue
-            if forward.get(t, u) != u or backward.get(u, t) != t:
-                undo()
-                return None
-            if t not in forward:
-                forward[t] = u
-                backward[u] = t
-                added.append((t, u))
-        return added
-
-    def backtrack(i: int) -> bool:
-        if i == len(left):
-            return True
-        a = left[i]
-        for j, b in enumerate(right):
-            if used[j] or b.relation != a.relation or b.arity != a.arity:
-                continue
-            added = try_match(a, b)
-            if added is None:
-                continue
-            used[j] = True
-            if backtrack(i + 1):
-                return True
-            used[j] = False
-            for t, u in added:
-                del forward[t]
-                del backward[u]
-        return False
-
-    return backtrack(0)
+    Decided by the compiled matching core: an injective planned search
+    of `left` against `right` frozen, bindings restricted to variable
+    images (`repro.matching.Matcher.is_isomorphic`).  Kept as a free
+    function for callers outside an engine; `RewriteEngine` dedups on
+    its own matcher.
+    """
+    return default_matcher().is_isomorphic(left, right)
 
 
 def _factorizations(atoms: State) -> Iterable[tuple[Atom, ...]]:
@@ -308,7 +264,17 @@ class RewriteEngine:
         rules: Sequence[TGD],
         *,
         max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
+        subsumption: bool = False,
+        matcher=None,
     ) -> None:
+        #: The compiled matcher running the isomorphism dedup (and the
+        #: optional subsumption pruning).  `CompiledSchema` passes its
+        #: per-fingerprint matcher so rewriting shares its plan cache.
+        self._matcher = matcher if matcher is not None else default_matcher()
+        # Construction-time only: memoized results are keyed by the
+        # canonical start state alone, so flipping the flag on a live
+        # engine would serve output computed under the other setting.
+        self._subsumption = subsumption
         for rule in rules:
             if len(rule.body) != 1 or len(rule.head) != 1:
                 raise RewritingError(
@@ -346,7 +312,16 @@ class RewriteEngine:
             "atom_pattern_hits": 0,
             "disjuncts_emitted": 0,
             "disjuncts_deduped": 0,
+            "subsumption_checks": 0,
+            "disjuncts_subsumed": 0,
         }
+
+    @property
+    def subsumption(self) -> bool:
+        """Whether emitted disjuncts hom-implied by smaller kept ones
+        are dropped.  Fixed at construction (memoized results do not
+        record which setting produced them)."""
+        return self._subsumption
 
     @staticmethod
     def _reserved(rule: TGD, index: int) -> TGD:
@@ -556,16 +531,46 @@ class RewriteEngine:
         ordered = sorted(states, key=self._emission_key)
         buckets: dict[tuple, list[State]] = {}
         kept: list[State] = []
+        matcher = self._matcher
         for state in ordered:
             invariant = tuple(sorted(_shape(a) for a in state))
             bucket = buckets.setdefault(invariant, [])
-            if any(_isomorphic(state, other) for other in bucket):
+            if any(matcher.is_isomorphic(state, other) for other in bucket):
                 self._counters["disjuncts_deduped"] += 1
                 continue
             bucket.append(state)
             kept.append(state)
+        if self._subsumption:
+            kept = self._prune_subsumed(kept)
         self._counters["disjuncts_emitted"] += len(kept)
         return tuple(kept)
+
+    def _prune_subsumed(self, ordered: list[State]) -> list[State]:
+        """Drop disjuncts hom-implied by a smaller kept disjunct.
+
+        A homomorphism p → CanonDB(q) means q ⊨ p, so any instance
+        satisfying q already satisfies p and q adds nothing to the
+        union: completeness of the rewriting is preserved.  States
+        arrive smallest-first, so kept disjuncts only ever subsume
+        later (larger-or-equal) ones — deterministic output.
+        """
+        matcher = self._matcher
+        kept: list[State] = []
+        for state in ordered:
+            frozen, __ = freeze_atoms(state)
+            subsumed = False
+            for smaller in kept:
+                if len(smaller) > len(state):
+                    continue
+                self._counters["subsumption_checks"] += 1
+                if matcher.maps_into(smaller, frozen):
+                    subsumed = True
+                    break
+            if subsumed:
+                self._counters["disjuncts_subsumed"] += 1
+                continue
+            kept.append(state)
+        return kept
 
     # ------------------------------------------------------------------
     # Public API
@@ -647,15 +652,20 @@ def rewrite(
     rules: Sequence[TGD],
     *,
     max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
+    subsumption: bool = False,
 ) -> UnionOfConjunctiveQueries:
     """Perfect UCQ rewriting of a Boolean CQ under single-head linear TGDs.
 
     A thin wrapper constructing a throwaway `RewriteEngine`; callers
     rewriting many queries over one rule set should hold an engine (or a
     `repro.service.CompiledSchema`, which owns one per fingerprint) to
-    share the memoized steps.
+    share the memoized steps.  ``subsumption=True`` additionally drops
+    disjuncts hom-implied by smaller ones (logically equivalent, smaller
+    output).
     """
-    engine = RewriteEngine(rules, max_disjuncts=max_disjuncts)
+    engine = RewriteEngine(
+        rules, max_disjuncts=max_disjuncts, subsumption=subsumption
+    )
     return engine.rewrite(query)
 
 

@@ -40,7 +40,8 @@ class Instance:
     """
 
     __slots__ = (
-        "_by_relation", "_by_position", "_by_term", "_domain_counts", "_size"
+        "_by_relation", "_by_position", "_by_term", "_domain_counts",
+        "_size", "_generations", "match_cache",
     )
 
     def __init__(self, facts: Iterable[Fact] = ()) -> None:
@@ -51,6 +52,12 @@ class Instance:
         self._by_term: dict[GroundTerm, set[Fact]] = defaultdict(set)
         self._domain_counts: dict[GroundTerm, int] = defaultdict(int)
         self._size = 0
+        #: Per-relation mutation counters (see `generation_of`).
+        self._generations: dict[str, int] = {}
+        #: Opaque storage for `repro.matching`'s check cache; entries
+        #: carry the generation counters they were computed under, so
+        #: stale results are never served (only re-derived).
+        self.match_cache: dict = {}
         for fact in facts:
             self.add(fact)
 
@@ -70,6 +77,8 @@ class Instance:
             self._by_term[term].add(fact)
             self._domain_counts[term] += 1
         self._size += 1
+        generations = self._generations
+        generations[fact.relation] = generations.get(fact.relation, 0) + 1
         return True
 
     def add_all(self, facts: Iterable[Fact]) -> int:
@@ -95,6 +104,8 @@ class Instance:
                 del self._domain_counts[term]
                 del self._by_term[term]
         self._size -= 1
+        generations = self._generations
+        generations[fact.relation] = generations.get(fact.relation, 0) + 1
         return True
 
     def substitute(self, mapping: Mapping[GroundTerm, GroundTerm]) -> "Instance":
@@ -166,6 +177,19 @@ class Instance:
         """
         bucket = self._by_term.get(term)
         return bucket if bucket is not None else _EMPTY
+
+    def generation_of(self, relation: str) -> int:
+        """Mutation counter of a relation: bumped on every add/discard
+        of one of its facts.  `repro.matching` caches boolean match
+        results against these counters — an unchanged counter certifies
+        the relation's fact set is byte-identical to when the result was
+        computed."""
+        return self._generations.get(relation, 0)
+
+    def generations(self, relations: Iterable[str]) -> tuple[int, ...]:
+        """The generation counters of several relations, aligned."""
+        generations = self._generations
+        return tuple(generations.get(r, 0) for r in relations)
 
     def active_domain(self) -> frozenset[GroundTerm]:
         return frozenset(self._domain_counts)

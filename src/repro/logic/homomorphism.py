@@ -1,27 +1,33 @@
 """Homomorphism search between atom sets and instances.
 
-This is the workhorse of the whole library: CQ evaluation, trigger
-detection in the chase, containment checks, and instance-level
-homomorphisms (used by the blow-up constructions of the paper's
-simplification proofs) all reduce to finding a mapping ``h`` such that
-``h(atoms) ⊆ instance``, with:
+This module is the stable public facade over `repro.matching`: CQ
+evaluation, trigger detection, containment checks, and instance-level
+homomorphisms (the blow-up constructions of the paper's simplification
+proofs) all reduce to finding a mapping ``h`` with ``h(atoms) ⊆
+instance``, where
 
-* constants mapped to themselves,
-* variables mapped to arbitrary ground terms,
-* nulls either mapped rigidly (when checking subinstances) or flexibly
-  (instance-to-instance homomorphisms, where nulls behave like variables).
+* constants map to themselves,
+* variables map to arbitrary ground terms,
+* nulls map rigidly (subinstance checks) or flexibly
+  (instance-to-instance homomorphisms) per ``flexible_nulls``.
 
-The search is backtracking over atoms, ordered greedily by estimated
-selectivity, and uses the instance's positional indexes to enumerate only
-candidate facts consistent with the partial assignment.
+The search itself lives in the compiled matching core: the free
+functions here delegate to the process-wide
+`repro.matching.default_matcher()`, which memoizes join-order plans per
+atom-set shape and caches boolean results against the instance's
+generation counters.  They are compile-on-the-fly conveniences —
+consumers deciding many queries against one schema should call the
+matcher owned by their `repro.service.CompiledSchema` instead, and the
+original uncompiled search survives as `repro.matching.naive` (the
+cross-check reference).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, Mapping, Optional, Sequence
 
 from .atoms import Atom
-from .terms import Constant, GroundTerm, Null, Term, Variable
+from .terms import Constant, GroundTerm, Term
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from ..data.instance import Instance
@@ -30,103 +36,14 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 Assignment = dict[Term, GroundTerm]
 
 
-def _candidate_facts(
-    instance: "Instance",
-    atom: Atom,
-    assignment: Mapping[Term, GroundTerm],
-    flexible_nulls: bool,
-) -> Iterable[Atom]:
-    """Facts of `instance` possibly matching `atom` under `assignment`.
+def _matcher():
+    # Imported lazily: `repro.matching` imports `repro.logic` modules,
+    # so a module-level import here would cycle through the package
+    # __init__.  The function-local import is a cached sys.modules hit
+    # after the first call.
+    from ..matching.matcher import default_matcher
 
-    Uses the most selective available positional index; falls back to the
-    full relation bucket when no term of the atom is determined yet.
-    """
-    best: Optional[Iterable[Atom]] = None
-    best_size = -1
-    for position, term in enumerate(atom.terms):
-        bound: Optional[GroundTerm] = None
-        if isinstance(term, Constant):
-            bound = term
-        elif isinstance(term, Null) and not flexible_nulls:
-            bound = term
-        elif term in assignment:
-            bound = assignment[term]
-        if bound is not None:
-            facts = instance.facts_with(atom.relation, position, bound)
-            size = len(facts)
-            if size <= 1:
-                # An empty or singleton bucket cannot be beaten: stop the
-                # position scan immediately (empty ⇒ no match at all).
-                return facts
-            if best is None or size < best_size:
-                best = facts
-                best_size = size
-    if best is not None:
-        return best
-    return instance.facts_of(atom.relation)
-
-
-def _try_extend(
-    atom: Atom,
-    fact: Atom,
-    assignment: Assignment,
-    flexible_nulls: bool,
-) -> Optional[list[Term]]:
-    """Extend `assignment` in place so that atom maps to fact.
-
-    Returns the list of newly bound terms (for backtracking), or None if
-    the fact is incompatible.
-    """
-    if fact.relation != atom.relation or len(fact.terms) != len(atom.terms):
-        return None
-    newly_bound: list[Term] = []
-    for term, value in zip(atom.terms, fact.terms):
-        if isinstance(term, Constant) or (
-            isinstance(term, Null) and not flexible_nulls
-        ):
-            if term != value:
-                for t in newly_bound:
-                    del assignment[t]
-                return None
-            continue
-        current = assignment.get(term)
-        if current is None:
-            assignment[term] = value
-            newly_bound.append(term)
-        elif current != value:
-            for t in newly_bound:
-                del assignment[t]
-            return None
-    return newly_bound
-
-
-def _order_atoms(atoms: Sequence[Atom]) -> list[Atom]:
-    """Heuristic join order: start anywhere, then prefer connected atoms."""
-    remaining = list(atoms)
-    if not remaining:
-        return []
-    ordered: list[Atom] = []
-    bound_terms: set[Term] = set()
-    # Start with the atom having the most constants (most selective guess).
-    remaining.sort(key=lambda a: -sum(
-        1 for t in a.terms if not isinstance(t, Variable)
-    ))
-    while remaining:
-        best_index = 0
-        best_score = -1
-        for i, candidate in enumerate(remaining):
-            score = sum(
-                1
-                for t in candidate.terms
-                if t in bound_terms or not isinstance(t, Variable)
-            )
-            if score > best_score:
-                best_score = score
-                best_index = i
-        chosen = remaining.pop(best_index)
-        ordered.append(chosen)
-        bound_terms.update(chosen.terms)
-    return ordered
+    return default_matcher()
 
 
 def homomorphisms(
@@ -149,27 +66,9 @@ def homomorphisms(
         themselves (used for subinstance-style matching and CQ evaluation
         over canonical databases).
     """
-    assignment: Assignment = dict(seed) if seed else {}
-    ordered = _order_atoms(atoms)
-
-    def search(index: int) -> Iterator[Assignment]:
-        if index == len(ordered):
-            yield dict(assignment)
-            return
-        current = ordered[index]
-        for fact in _candidate_facts(
-            instance, current, assignment, flexible_nulls
-        ):
-            newly_bound = _try_extend(
-                current, fact, assignment, flexible_nulls
-            )
-            if newly_bound is None:
-                continue
-            yield from search(index + 1)
-            for term in newly_bound:
-                del assignment[term]
-
-    return search(0)
+    return _matcher().homomorphisms(
+        atoms, instance, seed=seed, flexible_nulls=flexible_nulls
+    )
 
 
 def find_homomorphism(
@@ -180,11 +79,9 @@ def find_homomorphism(
     flexible_nulls: bool = False,
 ) -> Optional[Assignment]:
     """Return one homomorphism, or None if none exists."""
-    for assignment in homomorphisms(
+    return _matcher().find(
         atoms, instance, seed=seed, flexible_nulls=flexible_nulls
-    ):
-        return assignment
-    return None
+    )
 
 
 def has_homomorphism(
@@ -195,11 +92,8 @@ def has_homomorphism(
     flexible_nulls: bool = False,
 ) -> bool:
     """True iff some homomorphism from `atoms` into `instance` exists."""
-    return (
-        find_homomorphism(
-            atoms, instance, seed=seed, flexible_nulls=flexible_nulls
-        )
-        is not None
+    return _matcher().has(
+        atoms, instance, seed=seed, flexible_nulls=flexible_nulls
     )
 
 
@@ -212,8 +106,16 @@ def instance_homomorphism(
     preserved, nulls may be mapped anywhere.  Returns the full mapping on
     the active domain of `source`, or None.
     """
+    # One-shot by nature (the atom set is the full fact list of a
+    # transient instance), so use the naive search directly instead of
+    # polluting the shared plan cache with never-reused keys.
+    from ..matching.naive import naive_homomorphisms
+
     atoms = list(source)
-    result = find_homomorphism(atoms, target, flexible_nulls=True)
+    result = None
+    for assignment in naive_homomorphisms(atoms, target, flexible_nulls=True):
+        result = assignment
+        break
     if result is None:
         return None
     mapping: dict[GroundTerm, GroundTerm] = {}

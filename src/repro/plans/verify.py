@@ -17,7 +17,7 @@ Two complementary checkers:
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional, Union
 
 from ..containment.chase_containment import contains
 from ..containment.decision import Decision
@@ -28,11 +28,16 @@ from .execution import plan_answers_query_on
 from .plan import Plan
 from .to_ucq import UCQConversionError, plan_to_ucq
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..service.compiled import CompiledSchema
+
+SchemaLike = Union[Schema, "CompiledSchema"]
+
 
 def verify_plan_symbolically(
     plan: Plan,
     query: ConjunctiveQuery,
-    schema: Schema,
+    schema: SchemaLike,
     *,
     instances: Iterable[Instance] = (),
     max_rounds: Optional[int] = None,
@@ -43,7 +48,19 @@ def verify_plan_symbolically(
     touches result-bounded methods — the empirical check passes on the
     supplied `instances`; NO when a containment is refuted or an
     execution mismatch is found; UNKNOWN when a chase was cut off.
+
+    ``schema`` may be a raw `Schema` or a `repro.service.CompiledSchema`;
+    the containment chases of a compiled schema run on its
+    per-fingerprint matcher, so verifying several plan/query pairs over
+    one compiled schema shares every match plan and check cache.
     """
+    # Imported lazily: `repro.service` depends (transitively) on this
+    # module, so the compiled-schema coercion cannot be a top import.
+    from ..service.compiled import as_compiled
+
+    compiled = as_compiled(schema)
+    schema = compiled.schema
+    matcher = compiled.matcher()
     try:
         ucq = plan_to_ucq(plan, schema)
     except UCQConversionError as error:
@@ -52,7 +69,9 @@ def verify_plan_symbolically(
     constraints = list(schema.constraints)
 
     # Q ⊆_Σ UCQ(plan): the plan finds every answer.
-    forward = contains(query, ucq, constraints, max_rounds=max_rounds)
+    forward = contains(
+        query, ucq, constraints, max_rounds=max_rounds, matcher=matcher
+    )
     if forward.is_no:
         return Decision.no(
             "the plan can miss answers: Q ⊄ UCQ(plan) under Σ",
@@ -65,7 +84,13 @@ def verify_plan_symbolically(
 
     # UCQ(plan) ⊆_Σ Q: the plan returns only answers.
     for disjunct in ucq.disjuncts:
-        backward = contains(disjunct, query, constraints, max_rounds=max_rounds)
+        backward = contains(
+            disjunct,
+            query,
+            constraints,
+            max_rounds=max_rounds,
+            matcher=matcher,
+        )
         if backward.is_no:
             return Decision.no(
                 f"the plan can return non-answers: disjunct "

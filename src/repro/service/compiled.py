@@ -36,6 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from ..answerability.linearization import LinearizedSystem
     from ..answerability.simplification import SimplificationResult
     from ..containment.rewriting import RewriteEngine
+    from ..matching.matcher import Matcher
 
 #: Simplification kinds a compiled schema can hold.
 SIMPLIFICATION_KINDS = ("existence-check", "fd", "choice")
@@ -151,13 +152,16 @@ class CompiledSchema:
 
         One engine per fingerprint: every query decided on the ID route
         through this compiled schema shares its memoized rule index,
-        per-atom rewrite steps, and canonical frontier states.
+        per-atom rewrite steps, and canonical frontier states.  The
+        engine's isomorphism dedup runs on this schema's matcher.
         """
         from ..containment.rewriting import RewriteEngine
 
         return self._artifact(
             "rewrite-engine",
-            lambda: RewriteEngine(self.linearization().rules),
+            lambda: RewriteEngine(
+                self.linearization().rules, matcher=self.matcher()
+            ),
         )
 
     def engine_stats(self) -> dict:
@@ -165,6 +169,25 @@ class CompiledSchema:
         with self._lock:
             engine = self._artifacts.get("rewrite-engine")
         return engine.stats() if engine is not None else {}
+
+    def matcher(self) -> "Matcher":
+        """The compiled homomorphism matcher owned by this fingerprint.
+
+        Every decision routed through this schema shares its memoized
+        match plans (join orders, instruction tuples) and its
+        generation-invalidated check caches — chase trigger search,
+        activeness checks, containment probes, and the rewrite engine's
+        isomorphism dedup all run on this one matcher.
+        """
+        from ..matching.matcher import Matcher
+
+        return self._artifact("matcher", lambda: Matcher())
+
+    def matcher_stats(self) -> dict:
+        """Plan/check cache counters ({} until the matcher is built)."""
+        with self._lock:
+            matcher = self._artifacts.get("matcher")
+        return matcher.stats() if matcher is not None else {}
 
     def uids_fds(self) -> tuple[tuple[FunctionalDependency, ...], tuple]:
         """The Thm 7.2 artifacts: the FDs of the choice-simplified

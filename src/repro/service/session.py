@@ -285,6 +285,7 @@ class Session:
         report["cache"] = self.cache_info()
         report["compile_stats"] = dict(self.compiled.stats)
         report["rewrite_engine"] = self.compiled.engine_stats()
+        report["matching"] = self.compiled.matcher_stats()
         return report
 
     # ------------------------------------------------------------------
@@ -299,12 +300,15 @@ class Session:
 
     def stats(self) -> dict:
         """Session-wide diagnostics: decision cache, per-schema compile
-        counters, and the rewrite engine's cross-query cache traffic."""
+        counters, and the cross-query cache traffic of the rewrite
+        engine and the compiled matcher (plan-cache and check-cache
+        hit counters)."""
         return {
             "fingerprint": self.compiled.fingerprint,
             "cache": self.cache_info(),
             "compile_stats": dict(self.compiled.stats),
             "rewrite_engine": self.compiled.engine_stats(),
+            "matching": self.compiled.matcher_stats(),
         }
 
     def clear_cache(self) -> None:

@@ -197,6 +197,80 @@ class TestBudget:
 
 
 # ----------------------------------------------------------------------
+# Subsumption pruning (optional): drop hom-implied disjuncts
+# ----------------------------------------------------------------------
+class TestSubsumptionPruning:
+    def _rules(self):
+        return [
+            TGD(
+                (atom("S", "x"),),
+                (atom("R", "x"),),
+                "s_to_r",
+            )
+        ]
+
+    def test_hom_implied_disjuncts_dropped(self):
+        # Full rewriting of R(x) ∧ S(y): {S}, {R,S}, {S,S'}; the single-
+        # atom {S} hom-maps into both larger disjuncts, so only it
+        # survives pruning.
+        query = boolean_cq([atom("R", "x"), atom("S", "y")], name="Q")
+        plain = RewriteEngine(self._rules()).rewrite(query)
+        pruned_engine = RewriteEngine(self._rules(), subsumption=True)
+        pruned = pruned_engine.rewrite(query)
+        assert len(plain.disjuncts) == 3
+        assert len(pruned.disjuncts) == 1
+        assert {a.relation for a in pruned.disjuncts[0].atoms} == {"S"}
+        stats = pruned_engine.stats()
+        assert stats["disjuncts_subsumed"] == 2
+        assert stats["subsumption_checks"] >= 2
+
+    def test_off_by_default(self):
+        query = boolean_cq([atom("R", "x"), atom("S", "y")], name="Q")
+        engine = RewriteEngine(self._rules())
+        assert engine.subsumption is False
+        assert engine.stats()["disjuncts_subsumed"] == 0
+        assert len(engine.rewrite(query).disjuncts) == 3
+
+    def test_free_function_option(self):
+        query = boolean_cq([atom("R", "x"), atom("S", "y")], name="Q")
+        assert len(rewrite(query, self._rules()).disjuncts) == 3
+        assert (
+            len(
+                rewrite(
+                    query, self._rules(), subsumption=True
+                ).disjuncts
+            )
+            == 1
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_pruned_output_is_hom_covered_subset(self, seed):
+        """Every dropped disjunct is hom-implied by a kept smaller one
+        (so the pruned UCQ is logically equivalent to the full one)."""
+        from repro.matching import default_matcher
+
+        rng = random.Random(seed)
+        rules = _random_linear_rules(rng, 4)
+        plain = RewriteEngine(rules)
+        pruned = RewriteEngine(rules, subsumption=True)
+        matcher = default_matcher()
+        for index in range(5):
+            query = _random_query(rng, f"q{seed}_{index}")
+            full = [d.atoms for d in plain.rewrite(query).disjuncts]
+            kept = [d.atoms for d in pruned.rewrite(query).disjuncts]
+            kept_reprs = {repr(k) for k in kept}
+            assert kept_reprs <= {repr(d) for d in full}
+            for disjunct in full:
+                if repr(disjunct) in kept_reprs:
+                    continue
+                assert any(
+                    len(k) <= len(disjunct)
+                    and matcher.subsumes(k, disjunct)
+                    for k in kept
+                ), f"dropped disjunct not covered: {disjunct}"
+
+
+# ----------------------------------------------------------------------
 # Randomized equivalence: memoized engine ≡ fresh rewrite()
 # ----------------------------------------------------------------------
 _RELATIONS = [("R", 2), ("S", 1), ("T", 2), ("U", 3)]

@@ -181,6 +181,21 @@ class TestLimitsAndExplain:
         assert engine["rewrites"] == 6
         assert engine["expansions_reused"] > 0
 
+    def test_stats_shows_matcher_cache_traffic(self):
+        # The ID route probes every rewriting disjunct through the
+        # compiled schema's matcher; a batch of queries must show plan
+        # reuse in the session stats.
+        from repro.workloads import id_chain_workload
+
+        session = Session(id_chain_workload(5).schema)
+        for i in range(6):
+            assert session.decide(f"R{i}(x)").is_yes
+        matching = session.stats()["matching"]
+        assert matching["strategy"] == "planned"
+        assert matching["plans_compiled"] >= 1
+        assert matching["plan_hits"] > 0
+        assert session.explain("R0(x)")["matching"]["plan_hits"] > 0
+
     def test_rewriting_budget_surfaces_structured_error(self):
         from repro.workloads import id_chain_workload
 
