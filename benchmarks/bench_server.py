@@ -1,0 +1,248 @@
+"""Server throughput: concurrent clients vs the serial front ends.
+
+Measures what the `repro.server` layer buys on **mixed-fingerprint**
+traffic — the workload the per-fingerprint `SessionPool` exists for.
+The request stream interleaves four schemas (FD, ID-chain, lookup-chain
+and the university example: every Table-1 route family), so consecutive
+requests almost never share a schema:
+
+* **single-session serial** (the speedup baseline, and what the
+  pre-server API offered a serving loop): one live `Session` at a
+  time, torn down and recompiled whenever the incoming fingerprint
+  changes — cross-fingerprint interleaving defeats every per-schema
+  cache;
+* **pooled batch serial** (the ``batch`` CLI path): a serial loop over
+  one `SessionPool`, fingerprint routing but no concurrency — recorded
+  for context, not gated;
+* **server, N concurrent clients**: a live `DecideServer` (worker
+  threads + per-fingerprint pooling), the stream sharded over N TCP
+  connections.
+
+The headline ``speedup`` is single-session-serial / server wall time.
+Decisions are CPU-bound Python, so the win is *architectural* — the
+pool amortizes per-fingerprint compilation and decision caches across
+interleaved traffic while clients overlap framing and I/O — not GIL
+parallelism.  Agreement between all three paths is asserted before
+timing.  Results go to ``BENCH_server.json`` (``--smoke`` writes a
+sidecar and shrinks sizes for CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import time
+from pathlib import Path
+
+from _harness import ROOT, BenchRecord, write_bench_json
+
+from repro.io import schema_from_dict, schema_to_dict
+from repro.server import DecideServer, SessionPool
+from repro.service import Session
+from repro.workloads import (
+    fd_determinacy_workload,
+    id_chain_workload,
+    lookup_chain_workload,
+    university_schema,
+)
+
+CLIENTS = 8
+
+
+def schema_families(smoke: bool):
+    """(name, description, queries) per fingerprint in the mix."""
+    chain = 3 if smoke else 4
+    depth = 4 if smoke else 8
+    fd = fd_determinacy_workload(4)
+    fd_query = ", ".join(
+        f"{a.relation}({', '.join(map(str, a.terms))})"
+        for a in fd.query.atoms
+    )
+    return [
+        (
+            "university",
+            schema_to_dict(university_schema(ud_bound=100)),
+            ["Udirectory(i, a, p)", "Prof(i, n, 10000)"],
+        ),
+        (
+            "lookup-chain",
+            schema_to_dict(lookup_chain_workload(chain).schema),
+            ["L0(x, y)", "L0(x, y), L1(x, z)", "L2(x, y)"],
+        ),
+        (
+            "id-chain",
+            schema_to_dict(id_chain_workload(depth).schema),
+            [f"R{i}(x)" for i in range(depth + 1)],
+        ),
+        ("fd-views", schema_to_dict(fd.schema), [fd_query]),
+    ]
+
+
+def build_stream(families, rounds: int) -> list[dict]:
+    """Interleaved requests: consecutive frames change fingerprint."""
+    stream = []
+    for round_index in range(rounds):
+        for __, description, queries in families:
+            stream.append(
+                {
+                    "query": queries[round_index % len(queries)],
+                    "schema": description,
+                    "id": len(stream),
+                }
+            )
+    return stream
+
+
+# ----------------------------------------------------------------------
+# The three execution paths
+# ----------------------------------------------------------------------
+def run_single_session_serial(stream) -> dict[int, str]:
+    """One live session; fingerprint switches recompile everything."""
+    decisions: dict[int, str] = {}
+    session = None
+    current = None
+    for request in stream:
+        text = json.dumps(request["schema"], sort_keys=True)
+        if text != current:
+            session = Session(schema_from_dict(request["schema"]))
+            current = text
+        decisions[request["id"]] = session.decide(
+            request["query"]
+        ).decision
+    return decisions
+
+
+def run_pooled_batch_serial(stream) -> dict[int, str]:
+    """The batch CLI path: serial loop over a fingerprint-routed pool."""
+    from repro.io import DecideRequest
+
+    pool = SessionPool(pool_size=1)
+    decisions: dict[int, str] = {}
+    for request in stream:
+        response = pool.process(
+            DecideRequest(
+                query=request["query"],
+                schema=request["schema"],
+                id=request["id"],
+            )
+        )
+        decisions[request["id"]] = response.decision
+    return decisions
+
+
+async def _run_server_clients(stream, clients: int) -> dict[int, str]:
+    pool = SessionPool(pool_size=2)
+    server = await DecideServer(pool, port=0, workers=clients).start()
+    host, port = server.address
+    decisions: dict[int, str] = {}
+
+    async def client(shard) -> None:
+        reader, writer = await asyncio.open_connection(host, port)
+        for request in shard:
+            writer.write(json.dumps(request).encode("utf-8") + b"\n")
+        await writer.drain()
+        for __ in shard:
+            payload = json.loads(await reader.readline())
+            decisions[payload["id"]] = payload["decision"]
+        writer.close()
+        await writer.wait_closed()
+
+    try:
+        await asyncio.gather(
+            *(client(stream[i::clients]) for i in range(clients))
+        )
+    finally:
+        await server.close()
+    return decisions
+
+
+def run_server_concurrent(stream, clients: int = CLIENTS) -> dict[int, str]:
+    """A fresh server per run: cold pool, like the serial baselines."""
+    return asyncio.run(_run_server_clients(stream, clients))
+
+
+def _timed(run) -> tuple[float, dict[int, str]]:
+    start = time.perf_counter()
+    result = run()
+    return time.perf_counter() - start, result
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(prog="bench_server")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes for CI (written to a .smoke.json sidecar)",
+    )
+    parser.add_argument("--out", default=None, help="output path")
+    args = parser.parse_args(argv)
+
+    repeat = 2 if args.smoke else 3
+    rounds = 10 if args.smoke else 40
+    families = schema_families(args.smoke)
+    stream = build_stream(families, rounds)
+
+    # Agreement first: all three paths must decide identically.
+    expected = run_single_session_serial(stream)
+    assert run_pooled_batch_serial(stream) == expected
+    assert run_server_concurrent(stream) == expected
+    print(
+        f"agreement: {len(stream)} mixed-fingerprint requests over "
+        f"{len(families)} schemas decide identically on all paths"
+    )
+
+    single = min(
+        _timed(lambda: run_single_session_serial(stream))[0]
+        for __ in range(repeat)
+    )
+    pooled = min(
+        _timed(lambda: run_pooled_batch_serial(stream))[0]
+        for __ in range(repeat)
+    )
+    concurrent = min(
+        _timed(lambda: run_server_concurrent(stream))[0]
+        for __ in range(repeat)
+    )
+    speedup = single / concurrent if concurrent else float("inf")
+    pooled_speedup = single / pooled if pooled else float("inf")
+    print(
+        f"  single-session serial {single * 1000:9.2f} ms   "
+        f"pooled batch {pooled * 1000:9.2f} ms   "
+        f"server x{CLIENTS} clients {concurrent * 1000:9.2f} ms   "
+        f"{speedup:5.1f}x"
+    )
+    records = [
+        BenchRecord(
+            f"mixed-fingerprint-{CLIENTS}-clients",
+            concurrent,
+            repeat,
+            {
+                "baseline_seconds": single,
+                "pooled_batch_seconds": pooled,
+                "speedup": round(speedup, 2),
+                "pooled_batch_speedup": round(pooled_speedup, 2),
+                "requests": len(stream),
+                "fingerprints": len(families),
+                "clients": CLIENTS,
+                "mode": "mixed-fingerprint",
+                "baseline": "single-session sequential decide "
+                "(recompiles on every fingerprint switch)",
+            },
+        ),
+    ]
+
+    if args.out is not None:
+        out = Path(args.out)
+    elif args.smoke:
+        out = ROOT / "BENCH_server.smoke.json"
+    else:
+        out = None  # write_bench_json's default: BENCH_server.json
+    path = write_bench_json(
+        "server", records, extra={"smoke": args.smoke}, path=out
+    )
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -35,6 +35,17 @@ The one-shot free functions remain::
     q2 = boolean_cq([atom("Udirectory", "i", "a", "p")])
     assert decide_monotone_answerability(schema, q2).is_yes
 
+To serve decisions over TCP (JSON-lines protocol, per-fingerprint
+session pooling; see `repro.server` and DESIGN.md §3a)::
+
+    python -m repro serve schema.json --port 8765
+
+or in-process::
+
+    from repro import SessionPool
+    pool = SessionPool(schema, pool_size=4)
+    pool.process(DecideRequest(query="Udirectory(i, a, p)"))
+
 Package map (details in DESIGN.md):
 
 * `repro.logic` / `repro.data` — queries, homomorphisms, instances;
@@ -52,7 +63,10 @@ Package map (details in DESIGN.md):
   simplifications, per-class deciders, linearization, plan generation;
 * `repro.service` — compiled schemas, sessions, decision caching (the
   serving layer the CLI and batch mode sit on);
-* `repro.io` — JSON codecs: schemas, queries, requests, responses;
+* `repro.server` — the serving front end: per-fingerprint session
+  pooling, the asyncio JSON-lines server, the WSGI adapter;
+* `repro.io` — JSON codecs: schemas, queries, requests, responses,
+  error frames;
 * `repro.workloads` — paper examples, generators, simulated services.
 """
 
@@ -96,17 +110,24 @@ from .logic import (
 )
 from .plans import Plan, execute, plan_to_ucq
 from .schema import AccessMethod, Relation, Schema
+from .server import (
+    DecideServer,
+    SessionLimits,
+    SessionPool,
+    make_wsgi_app,
+)
 from .service import (
     CompiledSchema,
     DecideRequest,
     DecideResponse,
+    ErrorFrame,
     PlanResponse,
     Session,
     compile_schema,
     schema_fingerprint,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AnswerabilityResult", "UniversalPlan", "choice_simplification",
@@ -123,7 +144,9 @@ __all__ = [
     "evaluate_cq", "ground_atom", "holds", "parse_cq",
     "Plan", "execute", "plan_to_ucq",
     "AccessMethod", "Relation", "Schema",
-    "CompiledSchema", "DecideRequest", "DecideResponse", "PlanResponse",
+    "DecideServer", "SessionLimits", "SessionPool", "make_wsgi_app",
+    "CompiledSchema", "DecideRequest", "DecideResponse", "ErrorFrame",
+    "PlanResponse",
     "Session", "compile_schema", "schema_fingerprint",
     "__version__",
 ]

@@ -10,8 +10,16 @@ Commands
 ``batch SCHEMA.json [--input FILE]``
     JSON-lines service mode: one request per input line (a bare query
     string or a `DecideRequest` object), one `DecideResponse` JSON per
-    output line.  Requests may carry an inline ``schema``; sessions are
-    compiled once per distinct schema and reused across lines.
+    output line.  Requests may carry an inline ``schema``; routing goes
+    through a `repro.server.SessionPool`, so sessions are compiled once
+    per distinct schema fingerprint and reused across lines.
+``serve [SCHEMA.json] [--host H] [--port P] [--workers N] ...``
+    The asyncio JSON-lines TCP server: the ``batch`` protocol on a
+    socket, decisions on a worker-thread pool, per-fingerprint session
+    pooling with LRU eviction (``--pool-size``, ``--max-fingerprints``)
+    and bounded in-flight backpressure (``--max-pending``).  ``op``
+    frames ``stats`` and ``ping`` expose introspection; the default
+    schema is optional when every request carries its own.
 ``simplify SCHEMA.json {existence-check,fd,choice}``
     Print the simplified schema (JSON).
 ``classify SCHEMA.json [--json]``
@@ -31,7 +39,6 @@ inline or as a path to a file containing it.
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import json
 import sys
 
@@ -47,10 +54,21 @@ from .answerability.deciders import (
 from .containment.rewriting import DEFAULT_MAX_DISJUNCTS
 from .io import (
     DecideRequest,
+    ErrorFrame,
     load_query,
     load_schema,
-    schema_from_dict,
     schema_to_dict,
+)
+from .server import (
+    DEFAULT_MAX_FINGERPRINTS,
+    DEFAULT_MAX_PENDING,
+    DEFAULT_POOL_SIZE,
+    DEFAULT_PORT,
+    DEFAULT_WORKERS,
+    DecideServer,
+    SessionLimits,
+    SessionPool,
+    introspection_frame,
 )
 from .service import Session, compile_schema
 
@@ -87,6 +105,13 @@ def _build_parser() -> argparse.ArgumentParser:
             help="budget for the ID route's backward UCQ rewriting; "
             "exceeding it yields UNKNOWN with a structured error "
             f"(default: {DEFAULT_MAX_DISJUNCTS})",
+        )
+        subparser.add_argument(
+            "--no-subsumption",
+            action="store_true",
+            help="disable subsumption pruning of the ID route's "
+            "rewriting (the pruned UCQ is logically equivalent; this "
+            "opt-out restores the raw rewriting output)",
         )
 
     decide = commands.add_parser(
@@ -131,11 +156,63 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--stats",
         action="store_true",
-        help="after the stream, print per-session cache, rewrite-engine, "
-        "and matching (plan/check cache) statistics as one JSON line "
-        "on stderr",
+        help="after the stream, print the session pool's aggregated "
+        "cache, rewrite-engine, and matching statistics as one JSON "
+        "line on stderr",
     )
     add_limits(batch)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve the batch protocol on a TCP socket (asyncio, "
+        "per-fingerprint session pooling)",
+    )
+    serve.add_argument(
+        "schema",
+        nargs="?",
+        default=None,
+        help="path to the default JSON schema (optional: requests may "
+        "each carry an inline schema)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help=f"TCP port, 0 for ephemeral (default: {DEFAULT_PORT})",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=DEFAULT_WORKERS,
+        help="decision worker threads "
+        f"(default: {DEFAULT_WORKERS})",
+    )
+    serve.add_argument(
+        "--pool-size",
+        type=int,
+        default=DEFAULT_POOL_SIZE,
+        help="sessions per schema fingerprint "
+        f"(default: {DEFAULT_POOL_SIZE})",
+    )
+    serve.add_argument(
+        "--max-fingerprints",
+        type=int,
+        default=DEFAULT_MAX_FINGERPRINTS,
+        help="distinct schema fingerprints held live before LRU "
+        f"eviction (default: {DEFAULT_MAX_FINGERPRINTS})",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=DEFAULT_MAX_PENDING,
+        help="bound on queued-or-running decisions; past it the server "
+        "stops reading new frames until capacity frees "
+        f"(default: {DEFAULT_MAX_PENDING})",
+    )
+    add_limits(serve)
 
     simplify = commands.add_parser(
         "simplify", help="print a simplified schema"
@@ -163,6 +240,7 @@ def _session(args: argparse.Namespace) -> Session:
         max_rounds=args.max_rounds,
         max_facts=args.max_facts,
         max_disjuncts=args.max_disjuncts,
+        subsumption=not args.no_subsumption,
     )
 
 
@@ -195,13 +273,31 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _limits(args: argparse.Namespace) -> SessionLimits:
+    return SessionLimits(
+        max_rounds=args.max_rounds,
+        max_facts=args.max_facts,
+        max_disjuncts=args.max_disjuncts,
+        subsumption=not args.no_subsumption,
+    )
+
+
+def _pool(args: argparse.Namespace, *, pool_size: int) -> SessionPool:
+    schema = getattr(args, "schema", None)
+    return SessionPool(
+        load_schema(schema) if schema is not None else None,
+        limits=_limits(args),
+        pool_size=pool_size,
+        max_fingerprints=getattr(
+            args, "max_fingerprints", DEFAULT_MAX_FINGERPRINTS
+        ),
+    )
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
-    default_session = _session(args)
-    # Inline-schema sessions, two-level: the serialized description
-    # skips recompilation for byte-identical spellings, the content
-    # fingerprint dedupes reordered spellings of the same schema.
-    sessions_by_text: dict[str, Session] = {}
-    sessions_by_fingerprint: dict[str, Session] = {}
+    # One session per fingerprint: a serial stream gains nothing from
+    # round-robin, and a single decision cache keeps repeat lines hits.
+    pool = _pool(args, pool_size=1)
     if args.input == "-":
         lines = sys.stdin
     else:
@@ -215,60 +311,59 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             request = None
             try:
                 request = DecideRequest.from_dict(json.loads(line))
-                if request.schema is None:
-                    session = default_session
+                if request.op in ("ping", "stats"):
+                    frame = introspection_frame(request, pool)
                 else:
-                    text_key = json.dumps(request.schema, sort_keys=True)
-                    session = sessions_by_text.get(text_key)
-                    if session is None:
-                        compiled = compile_schema(
-                            schema_from_dict(request.schema)
-                        )
-                        session = sessions_by_fingerprint.get(
-                            compiled.fingerprint
-                        )
-                        if session is None:
-                            session = Session(
-                                compiled,
-                                max_rounds=args.max_rounds,
-                                max_facts=args.max_facts,
-                                max_disjuncts=args.max_disjuncts,
-                            )
-                            sessions_by_fingerprint[
-                                compiled.fingerprint
-                            ] = session
-                        sessions_by_text[text_key] = session
-                response = session.decide(
-                    request.query, finite=request.finite
-                )
-                if request.id is not None:
-                    # Copy: the session cache keeps the id-free original.
-                    response = dataclasses.replace(
-                        response, id=request.id
-                    )
-                print(json.dumps(response.to_dict()), flush=True)
+                    frame = pool.process(request).to_dict()
+                print(json.dumps(frame), flush=True)
             except Exception as error:  # keep the stream going
                 failures += 1
-                report = {
-                    "error": f"{type(error).__name__}: {error}",
-                    "line": line,
-                }
-                if request is not None and request.id is not None:
-                    report["id"] = request.id
-                print(json.dumps(report), flush=True)
+                report = ErrorFrame.from_exception(
+                    error,
+                    id=request.id if request is not None else None,
+                    line=line,
+                )
+                print(json.dumps(report.to_dict()), flush=True)
     finally:
         if lines is not sys.stdin:
             lines.close()
     if args.stats:
-        sessions = [default_session, *sessions_by_fingerprint.values()]
+        print(json.dumps(pool.stats()), file=sys.stderr, flush=True)
+    return 1 if failures else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    pool = _pool(args, pool_size=args.pool_size)
+
+    async def serve() -> None:
+        server = DecideServer(
+            pool,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_pending=args.max_pending,
+        )
+        await server.start()
+        host, port = server.address
         print(
-            json.dumps(
-                {"sessions": [session.stats() for session in sessions]}
-            ),
+            f"serving on {host}:{port} "
+            f"(workers={args.workers}, pool_size={args.pool_size}, "
+            f"max_pending={args.max_pending}; Ctrl-C to stop)",
             file=sys.stderr,
             flush=True,
         )
-    return 1 if failures else 0
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr, flush=True)
+    return 0
 
 
 def _cmd_simplify(args: argparse.Namespace) -> int:
@@ -317,6 +412,7 @@ def main(argv: list[str] | None = None) -> int:
         "decide": _cmd_decide,
         "plan": _cmd_plan,
         "batch": _cmd_batch,
+        "serve": _cmd_serve,
         "simplify": _cmd_simplify,
         "classify": _cmd_classify,
     }

@@ -187,6 +187,7 @@ def decide_with_ids(
     max_rounds: Optional[int] = DEFAULT_CHASE_ROUNDS,
     max_facts: int = DEFAULT_CHASE_FACTS,
     max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
+    subsumption: bool = True,
 ) -> Decision:
     """Monotone answerability for ID constraints.
 
@@ -197,6 +198,12 @@ def decide_with_ids(
     rewriting step.  ``route="chase"`` applies the existence-check
     simplification and chases directly (ablation baseline; may return
     UNKNOWN on divergent chases).
+
+    ``subsumption`` (default on) prunes rewriting disjuncts hom-implied
+    by smaller kept ones before the canonical-database probes: the
+    pruned UCQ is logically equivalent, so the decision is unchanged
+    while fewer disjuncts are matched (set False to probe the raw
+    isomorphism-deduplicated rewriting — the pre-pruning behavior).
     """
     compiled = _as_compiled(schema)
     if query.free_variables:
@@ -219,7 +226,7 @@ def decide_with_ids(
     start = system.initial_instance(query)
     target = prime_query(query)
     try:
-        rewriting = compiled.rewrite_engine().rewrite(
+        rewriting = compiled.rewrite_engine(subsumption=subsumption).rewrite(
             target, max_disjuncts=max_disjuncts
         )
     except RewritingBudgetExceeded as error:
@@ -420,6 +427,7 @@ def decide_monotone_answerability(
     max_rounds: Optional[int] = DEFAULT_CHASE_ROUNDS,
     max_facts: int = DEFAULT_CHASE_FACTS,
     max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
+    subsumption: bool = True,
 ) -> AnswerabilityResult:
     """Decide monotone answerability, dispatching on the constraint class.
 
@@ -428,8 +436,10 @@ def decide_monotone_answerability(
     only (the FD route's chase terminates on its own; the linearized ID
     route does not chase).  ``max_disjuncts`` bounds the backward
     rewriting of the ID route; exceeding it yields UNKNOWN with a
-    structured `RewritingBudgetExceeded` detail.  Schemas mixing
-    arbitrary TGDs with FDs *and* carrying result bounds have no
+    structured `RewritingBudgetExceeded` detail.  ``subsumption``
+    (default on) lets the ID route prune rewriting disjuncts hom-implied
+    by smaller ones — logically equivalent, decision unchanged.  Schemas
+    mixing arbitrary TGDs with FDs *and* carrying result bounds have no
     applicable simplifiability theorem (the paper leaves choice
     simplifiability of FDs + general IDs open, §9) — those return
     UNKNOWN.
@@ -452,6 +462,7 @@ def decide_monotone_answerability(
                 query,
                 max_facts=max_facts,
                 max_disjuncts=max_disjuncts,
+                subsumption=subsumption,
             ),
             "linearization",
             fragment,

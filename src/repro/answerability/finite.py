@@ -71,6 +71,7 @@ def decide_finite_monotone_answerability(
     max_rounds: Optional[int] = 25,
     max_facts: int = DEFAULT_CHASE_FACTS,
     max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
+    subsumption: bool = True,
 ) -> AnswerabilityResult:
     """Decide monotone answerability over *finite* instances.
 
@@ -89,6 +90,7 @@ def decide_finite_monotone_answerability(
             max_rounds=max_rounds,
             max_facts=max_facts,
             max_disjuncts=max_disjuncts,
+            subsumption=subsumption,
         )
         result.decision.detail["finite_variant"] = (
             "delegated (finitely controllable, Prop 2.2)"

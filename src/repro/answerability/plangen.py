@@ -342,6 +342,7 @@ def generate_static_plan(
     max_rounds: Optional[int] = 25,
     max_facts: Optional[int] = None,
     max_disjuncts: Optional[int] = None,
+    subsumption: bool = True,
 ) -> Optional[Plan]:
     """Decide answerability via a proof-producing route and compile the
     proof to a static plan; None when the query is not (provably)
@@ -385,6 +386,7 @@ def generate_static_plan(
             max_disjuncts=DEFAULT_MAX_DISJUNCTS
             if max_disjuncts is None
             else max_disjuncts,
+            subsumption=subsumption,
         )
         if gate.is_no:
             return None

@@ -553,23 +553,52 @@ class RewriteEngine:
         union: completeness of the rewriting is preserved.  States
         arrive smallest-first, so kept disjuncts only ever subsume
         later (larger-or-equal) ones — deterministic output.
+
+        The pass is quadratic in the disjunct count, so two things keep
+        it cheap on wide rewritings: a homomorphism preserves relations
+        and constants, so a kept disjunct whose relation set (or
+        constant set) is not contained in the candidate's cannot map
+        into it — checked on precomputed frozensets before any search —
+        and each kept disjunct's match plan is fetched once and reused
+        across every candidate it is probed against.
         """
         matcher = self._matcher
         kept: list[State] = []
+        kept_relations: list[frozenset] = []
+        kept_constants: list[frozenset] = []
+        kept_plans: list = []
         for state in ordered:
+            state_relations = frozenset(a.relation for a in state)
+            state_constants = frozenset(
+                t
+                for a in state
+                for t in a.terms
+                if not isinstance(t, Variable)
+            )
             frozen, __ = freeze_atoms(state)
             subsumed = False
-            for smaller in kept:
+            for index, smaller in enumerate(kept):
                 if len(smaller) > len(state):
                     continue
+                if not kept_relations[index] <= state_relations:
+                    continue
+                if not kept_constants[index] <= state_constants:
+                    continue
                 self._counters["subsumption_checks"] += 1
-                if matcher.maps_into(smaller, frozen):
+                plan = kept_plans[index]
+                if plan is None:
+                    plan = matcher.plan_for(smaller, frozen)
+                    kept_plans[index] = plan
+                if matcher.maps_into(smaller, frozen, plan=plan):
                     subsumed = True
                     break
             if subsumed:
                 self._counters["disjuncts_subsumed"] += 1
                 continue
             kept.append(state)
+            kept_relations.append(state_relations)
+            kept_constants.append(state_constants)
+            kept_plans.append(None)
         return kept
 
     # ------------------------------------------------------------------

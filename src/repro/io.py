@@ -29,9 +29,18 @@ methods (inputs, result bounds, lower bounds), and constraints —
 including constraint names, emitted as a ``[name]`` label prefix.
 
 The request/response dataclasses (`DecideRequest`, `DecideResponse`,
-`PlanResponse`) are the typed wire surface of `repro.service.Session`;
-each carries ``to_dict`` / ``from_dict`` JSON codecs so every result is
-directly serializable (used by the ``--json`` and ``batch`` CLI modes).
+`PlanResponse`, `ErrorFrame`) are the typed wire surface of
+`repro.service.Session`; each carries ``to_dict`` / ``from_dict`` JSON
+codecs so every result is directly serializable (used by the ``--json``
+and ``batch`` CLI modes, and by the JSON-lines protocol of
+`repro.server`).
+
+Requests carry an ``op`` (default ``"decide"``): ``"plan"`` asks for a
+static plan (`PlanResponse`), ``"stats"`` for serving-side diagnostics,
+``"ping"`` for a liveness probe.  A request the server cannot process —
+unparseable JSON, a bad schema, an unknown op — always comes back as an
+`ErrorFrame` (``{"error": {"type": ..., "message": ...}}``), never as a
+stack trace or a dropped connection.
 """
 
 from __future__ import annotations
@@ -172,41 +181,83 @@ def json_safe(value: Any) -> Any:
     return repr(value)
 
 
+#: Operations a request frame may carry.  ``decide``/``plan`` need a
+#: query; ``stats`` and ``ping`` are serving-side introspection frames.
+REQUEST_OPS = ("decide", "plan", "stats", "ping")
+
+
 @dataclass
 class DecideRequest:
-    """One decision request: a query plus optional per-request knobs.
+    """One request frame: an operation plus optional per-request knobs.
 
     ``schema`` is an optional inline JSON schema description; when
-    absent the processing session's schema applies (the batch CLI
-    compiles and caches inline schemas by their serialized form).
+    absent the processing session's schema applies (the batch CLI and
+    the server compile and cache inline schemas by their serialized
+    form, then route by content fingerprint).  ``op`` defaults to
+    ``"decide"``; ``"plan"`` yields a `PlanResponse`, ``"stats"`` the
+    processor's aggregated diagnostics, ``"ping"`` a liveness pong.
     """
 
-    query: str
+    query: str = ""
     schema: Optional[dict[str, Any]] = None
     id: Optional[Union[str, int]] = None
     finite: bool = False
+    op: str = "decide"
 
     def to_dict(self) -> dict[str, Any]:
-        payload: dict[str, Any] = {"query": self.query}
+        payload: dict[str, Any] = {}
+        if self.query:
+            payload["query"] = self.query
         if self.schema is not None:
             payload["schema"] = self.schema
         if self.id is not None:
             payload["id"] = self.id
         if self.finite:
             payload["finite"] = True
+        if self.op != "decide":
+            payload["op"] = self.op
         return payload
 
     @staticmethod
     def from_dict(payload: Union[str, dict[str, Any]]) -> "DecideRequest":
         if isinstance(payload, str):
             return DecideRequest(query=payload)
-        if "query" not in payload:
+        if not isinstance(payload, dict):
+            raise SchemaFormatError(
+                f"request frame must be a string or object, "
+                f"got {type(payload).__name__}"
+            )
+        op = payload.get("op", "decide")
+        if op not in REQUEST_OPS:
+            raise SchemaFormatError(
+                f"unknown op {op!r} (expected one of {REQUEST_OPS})"
+            )
+        query = payload.get("query", "")
+        if not isinstance(query, str):
+            raise SchemaFormatError(
+                f"'query' must be a string, got {type(query).__name__}"
+            )
+        if op in ("decide", "plan") and not query:
             raise SchemaFormatError(f"request missing 'query': {payload}")
+        schema = payload.get("schema")
+        if schema is not None and not isinstance(schema, dict):
+            raise SchemaFormatError(
+                f"'schema' must be an object, got {type(schema).__name__}"
+            )
+        request_id = payload.get("id")
+        if request_id is not None and not isinstance(
+            request_id, (str, int)
+        ):
+            raise SchemaFormatError(
+                f"'id' must be a string or integer, "
+                f"got {type(request_id).__name__}"
+            )
         return DecideRequest(
-            query=payload["query"],
-            schema=payload.get("schema"),
-            id=payload.get("id"),
+            query=query,
+            schema=schema,
+            id=request_id,
             finite=bool(payload.get("finite", False)),
+            op=op,
         )
 
 
@@ -302,6 +353,7 @@ class PlanResponse:
     reason: str = ""
     fingerprint: str = ""
     cached: bool = False
+    id: Optional[Union[str, int]] = None
 
     def to_dict(self) -> dict[str, Any]:
         payload: dict[str, Any] = {
@@ -313,6 +365,8 @@ class PlanResponse:
         }
         if self.reason:
             payload["reason"] = self.reason
+        if self.id is not None:
+            payload["id"] = self.id
         return payload
 
     @staticmethod
@@ -324,4 +378,61 @@ class PlanResponse:
             reason=payload.get("reason", ""),
             fingerprint=payload.get("fingerprint", ""),
             cached=bool(payload.get("cached", False)),
+            id=payload.get("id"),
+        )
+
+
+@dataclass
+class ErrorFrame:
+    """The wire form of a failed request: structured, never a traceback.
+
+    ``type`` is the exception class name (``SchemaFormatError``,
+    ``ParseError``, ...), ``message`` its text; ``detail`` carries
+    machine-readable context (the offending line, a budget, ...).  The
+    serialized form nests them under a single ``error`` key so stream
+    consumers can discriminate response frames from error frames by key
+    (a `DecideResponse` uses ``error`` for a *decision-level* resource
+    failure and always carries ``decision``; an `ErrorFrame` never
+    does).
+    """
+
+    type: str
+    message: str
+    id: Optional[Union[str, int]] = None
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    @staticmethod
+    def from_exception(
+        error: BaseException,
+        *,
+        id: Optional[Union[str, int]] = None,
+        **detail: Any,
+    ) -> "ErrorFrame":
+        return ErrorFrame(
+            type=type(error).__name__,
+            message=str(error),
+            id=id,
+            detail=detail,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        error: dict[str, Any] = {
+            "type": self.type,
+            "message": self.message,
+        }
+        if self.detail:
+            error["detail"] = json_safe(self.detail)
+        payload: dict[str, Any] = {"error": error}
+        if self.id is not None:
+            payload["id"] = self.id
+        return payload
+
+    @staticmethod
+    def from_dict(payload: dict[str, Any]) -> "ErrorFrame":
+        error = payload["error"]
+        return ErrorFrame(
+            type=error["type"],
+            message=error.get("message", ""),
+            id=payload.get("id"),
+            detail=dict(error.get("detail", {})),
         )

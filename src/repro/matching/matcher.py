@@ -398,6 +398,18 @@ class Matcher:
         counters["check_misses"] += 1
         assignment = dict(seed) if seed else {}
         result = _find_one(plan, instance, assignment, 0, [])
+        # Concurrency note (the tests/concurrency battery leans on
+        # this): the cache is deliberately lock-free.  Entries are
+        # tagged with the generations read *before* the search — if
+        # another thread mutates the instance mid-search, the computed
+        # result is stored under a now-stale tag, and because
+        # generation counters only ever increase, no later read can
+        # match that tag: the entry is dead, never wrong.  Concurrent
+        # clear/insert interleavings can at worst drop an entry
+        # (re-derived on the next miss).  This holds for threads
+        # sharing a *quiescent* instance (the serving layer's case);
+        # mutating an instance while another thread searches it remains
+        # outside the contract of `Instance`'s live index views.
         if len(cache) >= self.check_cache_limit:
             cache.clear()
             counters["check_evictions"] += 1
@@ -487,12 +499,23 @@ class Matcher:
         return self.maps_into(smaller, frozen)
 
     def maps_into(
-        self, atoms: Sequence[Atom], frozen: Instance
+        self,
+        atoms: Sequence[Atom],
+        frozen: Instance,
+        *,
+        plan: Optional[MatchPlan] = None,
     ) -> bool:
         """Subsumption against an already-frozen right-hand side (use
-        `freeze_atoms` once when testing many candidates)."""
+        `freeze_atoms` once when testing many candidates).
+
+        ``plan`` short-circuits the plan-cache lookup: a caller probing
+        one left-hand side against many frozen instances (the rewriting
+        engine's pruning pass) fetches the plan once via `plan_for` and
+        passes it back, skipping the per-probe key hashing.
+        """
         self._counters["subsumption_checks"] += 1
-        plan = self.plan_for(tuple(atoms), frozen)
+        if plan is None:
+            plan = self.plan_for(tuple(atoms), frozen)
         return _find_one(plan, frozen, {}, 0, [])
 
     # -- diagnostics ---------------------------------------------------

@@ -1,0 +1,40 @@
+"""Serving front end: per-fingerprint session pooling over asyncio.
+
+The layer that turns the service seam into a server:
+
+* `SessionPool` — routes requests to `Session`s by schema content
+  fingerprint (two-level: serialized spelling, then fingerprint), a
+  bounded pool per fingerprint over one shared `CompiledSchema`, LRU
+  eviction of cold fingerprints, aggregated `stats()`;
+* `DecideServer` / `run_server` — the asyncio JSON-lines TCP front end:
+  decisions on a bounded worker-thread executor, backpressure via a
+  bounded in-flight gate, structured `ErrorFrame`s for every failure;
+* `make_wsgi_app` — the same pool behind any WSGI httpd (stdlib
+  ``wsgiref`` pairs with it for a dependency-free HTTP server).
+
+Exposed on the CLI as ``python -m repro serve``.
+"""
+
+from .pool import (
+    DEFAULT_MAX_FINGERPRINTS,
+    DEFAULT_POOL_SIZE,
+    SessionLimits,
+    SessionPool,
+    introspection_frame,
+)
+from .server import (
+    DEFAULT_MAX_PENDING,
+    DEFAULT_PORT,
+    DEFAULT_WORKERS,
+    DecideServer,
+    run_server,
+)
+from .wsgi import make_wsgi_app
+
+__all__ = [
+    "DEFAULT_MAX_FINGERPRINTS", "DEFAULT_POOL_SIZE",
+    "SessionLimits", "SessionPool", "introspection_frame",
+    "DEFAULT_MAX_PENDING", "DEFAULT_PORT", "DEFAULT_WORKERS",
+    "DecideServer", "run_server",
+    "make_wsgi_app",
+]

@@ -1,0 +1,342 @@
+"""Per-fingerprint session pooling: the serving layer's routing core.
+
+A `SessionPool` routes every request to a `Session` keyed by the
+*content fingerprint* of its schema — the sharding design the service
+layer was built for: `CompiledSchema` artifacts (classification,
+simplifications, linearization, the rewrite engine, the matcher) are
+immutable and thread-safe, so any number of sessions and worker threads
+can share one per fingerprint.
+
+Routing is two-level, like the batch CLI it generalizes: the serialized
+inline description skips recompilation for byte-identical spellings,
+and the content fingerprint dedupes reordered spellings of the same
+schema.  Each fingerprint owns a bounded pool of `Session`s (all over
+the one shared `CompiledSchema`) handed out round-robin — sessions are
+individually thread-safe, so pooling exists to spread decision-cache
+lock contention, not to serialize access.  Cold fingerprints are
+evicted LRU once `max_fingerprints` distinct schemas have been seen
+(the default schema, when configured, is pinned).
+
+`process(request)` is the transport-independent request path shared by
+the asyncio server, the WSGI adapter, and the batch CLI: route, decide
+or plan, stamp the request id.  `stats()` aggregates `Session.stats()`
+across the pool per fingerprint, plus the pool's own routing counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Optional, Union
+
+from ..answerability.deciders import (
+    DEFAULT_CHASE_FACTS,
+    DEFAULT_CHASE_ROUNDS,
+)
+from ..containment.rewriting import DEFAULT_MAX_DISJUNCTS
+from ..io import DecideRequest, DecideResponse, PlanResponse, schema_from_dict
+from ..schema.schema import Schema
+from ..service import CompiledSchema, Session, as_compiled
+
+#: Default bound on distinct fingerprints held live (LRU past this).
+DEFAULT_MAX_FINGERPRINTS = 64
+#: Default sessions per fingerprint.
+DEFAULT_POOL_SIZE = 2
+
+
+@dataclass(frozen=True)
+class SessionLimits:
+    """The per-session resource limits a pool stamps on every session
+    it creates (one place to configure, so every fingerprint's sessions
+    behave identically)."""
+
+    max_rounds: Optional[int] = DEFAULT_CHASE_ROUNDS
+    max_facts: int = DEFAULT_CHASE_FACTS
+    max_disjuncts: int = DEFAULT_MAX_DISJUNCTS
+    subsumption: bool = True
+    cache_size: int = 1024
+
+    def make_session(self, compiled: CompiledSchema) -> Session:
+        return Session(
+            compiled,
+            max_rounds=self.max_rounds,
+            max_facts=self.max_facts,
+            max_disjuncts=self.max_disjuncts,
+            subsumption=self.subsumption,
+            cache_size=self.cache_size,
+        )
+
+
+class _Entry:
+    """One fingerprint's slice of the pool: the shared compiled schema
+    plus up to ``pool_size`` sessions, created lazily, served
+    round-robin."""
+
+    __slots__ = ("compiled", "sessions", "cursor", "requests")
+
+    def __init__(self, compiled: CompiledSchema) -> None:
+        self.compiled = compiled
+        self.sessions: list[Session] = []
+        self.cursor = 0
+        self.requests = 0
+
+    def next_session(self, limits: SessionLimits, pool_size: int) -> Session:
+        """Round-robin across the slice, growing it until full."""
+        self.requests += 1
+        if len(self.sessions) < pool_size:
+            session = limits.make_session(self.compiled)
+            self.sessions.append(session)
+            return session
+        self.cursor = (self.cursor + 1) % len(self.sessions)
+        return self.sessions[self.cursor]
+
+    def stats(self) -> dict:
+        """`Session.stats()` aggregated over the slice: per-schema
+        artifacts (compile/rewrite/matcher counters) are shared objects
+        reported once; decision-cache traffic is summed."""
+        cache = {"hits": 0, "misses": 0, "size": 0, "capacity": 0}
+        for session in self.sessions:
+            for key, value in session.cache_info().items():
+                cache[key] += value
+        return {
+            "fingerprint": self.compiled.fingerprint,
+            "requests": self.requests,
+            "sessions": len(self.sessions),
+            "cache": cache,
+            "compile_stats": dict(self.compiled.stats),
+            "rewrite_engine": self.compiled.engine_stats(),
+            "matching": self.compiled.matcher_stats(),
+        }
+
+
+SchemaLike = Union[None, dict, Schema, CompiledSchema]
+
+
+class SessionPool:
+    """Fingerprint-routed, LRU-bounded pool of decision sessions.
+
+    ::
+
+        pool = SessionPool(default_schema=schema, pool_size=4)
+        response = pool.process(DecideRequest(query="R(x)"))
+        pool.stats()["fingerprints"]
+
+    Thread-safe: routing state is under one lock; the sessions handed
+    out are themselves thread-safe, so `process` may be called from any
+    number of worker threads concurrently.
+    """
+
+    def __init__(
+        self,
+        default_schema: SchemaLike = None,
+        *,
+        limits: Optional[SessionLimits] = None,
+        pool_size: int = DEFAULT_POOL_SIZE,
+        max_fingerprints: int = DEFAULT_MAX_FINGERPRINTS,
+    ) -> None:
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        if max_fingerprints < 1:
+            raise ValueError(
+                f"max_fingerprints must be >= 1, got {max_fingerprints}"
+            )
+        self.limits = limits if limits is not None else SessionLimits()
+        self.pool_size = pool_size
+        self.max_fingerprints = max_fingerprints
+        self._lock = threading.RLock()
+        #: fingerprint -> entry, in LRU order (hot end last).
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+        #: serialized inline description -> fingerprint.  Bounded two
+        #: ways: evicting a fingerprint drops its spellings, and the
+        #: map itself is LRU-capped (`_max_text_keys`) so a stream of
+        #: distinct spellings of one hot fingerprint cannot grow it
+        #: without bound.
+        self._text_keys: OrderedDict[str, str] = OrderedDict()
+        self._max_text_keys = 8 * max_fingerprints
+        self._counters = {
+            "requests": 0,
+            "schemas_compiled": 0,
+            "sessions_created": 0,
+            "text_key_hits": 0,
+            "fingerprint_hits": 0,
+            "evictions": 0,
+        }
+        self._default: Optional[_Entry] = None
+        if default_schema is not None:
+            self._default = _Entry(self._compile(default_schema))
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _compile(self, schema: Union[dict, Schema, CompiledSchema]):
+        if isinstance(schema, dict):
+            schema = schema_from_dict(schema)
+        compiled = as_compiled(schema)
+        self._counters["schemas_compiled"] += 1
+        return compiled
+
+    def _remember_text_key(self, text_key: str, fingerprint: str) -> None:
+        self._text_keys[text_key] = fingerprint
+        self._text_keys.move_to_end(text_key)
+        while len(self._text_keys) > self._max_text_keys:
+            self._text_keys.popitem(last=False)
+
+    def _entry_for(self, schema: SchemaLike) -> _Entry:
+        if schema is None:
+            if self._default is None:
+                raise ValueError(
+                    "request carries no schema and the pool has no default"
+                )
+            return self._default
+        text_key = None
+        if isinstance(schema, dict):
+            text_key = json.dumps(schema, sort_keys=True)
+            fingerprint = self._text_keys.get(text_key)
+            if fingerprint is not None:
+                self._text_keys.move_to_end(text_key)
+                if (
+                    self._default is not None
+                    and fingerprint == self._default.compiled.fingerprint
+                ):
+                    self._counters["text_key_hits"] += 1
+                    return self._default
+                entry = self._entries.get(fingerprint)
+                if entry is not None:
+                    self._counters["text_key_hits"] += 1
+                    self._entries.move_to_end(fingerprint)
+                    return entry
+        compiled = self._compile(schema)
+        if (
+            self._default is not None
+            and compiled.fingerprint == self._default.compiled.fingerprint
+        ):
+            # An inline spelling of the pinned default schema: remember
+            # the spelling so the next occurrence skips recompilation.
+            if text_key is not None:
+                self._remember_text_key(text_key, compiled.fingerprint)
+            return self._default
+        entry = self._entries.get(compiled.fingerprint)
+        if entry is None:
+            entry = _Entry(compiled)
+            self._entries[compiled.fingerprint] = entry
+        else:
+            self._counters["fingerprint_hits"] += 1
+        self._entries.move_to_end(compiled.fingerprint)
+        if text_key is not None:
+            self._remember_text_key(text_key, compiled.fingerprint)
+        while len(self._entries) > self.max_fingerprints:
+            evicted_fingerprint, __ = self._entries.popitem(last=False)
+            self._counters["evictions"] += 1
+            for text in [
+                text
+                for text, fp in self._text_keys.items()
+                if fp == evicted_fingerprint
+            ]:
+                del self._text_keys[text]
+        return entry
+
+    def session(self, schema: SchemaLike = None) -> Session:
+        """Route to a pooled session.
+
+        ``schema`` may be None (the pinned default), an inline JSON
+        description (dict), a `Schema`, or a `CompiledSchema`.
+        """
+        with self._lock:
+            self._counters["requests"] += 1
+            entry = self._entry_for(schema)
+            before = len(entry.sessions)
+            session = entry.next_session(self.limits, self.pool_size)
+            if len(entry.sessions) != before:
+                self._counters["sessions_created"] += 1
+            return session
+
+    # ------------------------------------------------------------------
+    # The transport-independent request path
+    # ------------------------------------------------------------------
+    def process(
+        self, request: DecideRequest
+    ) -> Union[DecideResponse, PlanResponse]:
+        """Route and execute one request frame (op decide or plan).
+
+        Raises on malformed input (bad schema, unparseable query, an op
+        this layer does not handle) — transports turn exceptions into
+        `ErrorFrame`s.
+        """
+        if request.op not in ("decide", "plan"):
+            raise ValueError(
+                f"op {request.op!r} is not a session operation"
+            )
+        session = self.session(request.schema)
+        if request.op == "plan":
+            response: Union[DecideResponse, PlanResponse] = session.plan(
+                request.query
+            )
+        else:
+            response = session.decide(request.query, finite=request.finite)
+        if request.id is not None:
+            # Copy: the session cache keeps the id-free original.
+            response = dataclasses.replace(response, id=request.id)
+        return response
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Pool-level routing counters plus per-fingerprint aggregated
+        session statistics (hot fingerprints last, mirroring LRU
+        order)."""
+        with self._lock:
+            entries = list(self._entries.values())
+            if self._default is not None:
+                entries.insert(0, self._default)
+            return {
+                "fingerprints": len(entries),
+                "pool_size": self.pool_size,
+                "max_fingerprints": self.max_fingerprints,
+                "counters": dict(self._counters),
+                "limits": {
+                    "max_rounds": self.limits.max_rounds,
+                    "max_facts": self.limits.max_facts,
+                    "max_disjuncts": self.limits.max_disjuncts,
+                    "subsumption": self.limits.subsumption,
+                },
+                "sessions": [entry.stats() for entry in entries],
+            }
+
+    def fingerprints(self) -> tuple[str, ...]:
+        """Live fingerprints, cold to hot (default first when pinned)."""
+        with self._lock:
+            live = tuple(self._entries)
+            if self._default is not None:
+                return (self._default.compiled.fingerprint,) + live
+            return live
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"SessionPool({len(self._entries)} fingerprints, "
+                f"pool_size={self.pool_size})"
+            )
+
+
+def introspection_frame(
+    request: DecideRequest, pool: SessionPool, **sections: Any
+) -> dict:
+    """The pong/stats frames, shared by every transport.
+
+    The TCP server, the WSGI adapter, and the batch CLI all answer
+    ``op: ping``/``op: stats`` through this one builder, so the frame
+    shape cannot drift between front ends.  ``sections`` adds
+    transport-specific stats blocks (the TCP server passes
+    ``server=...``) ahead of the pool's.
+    """
+    if request.op == "ping":
+        frame: dict = {"op": "pong"}
+    else:
+        frame = {"op": "stats", **sections, "pool": pool.stats()}
+    if request.id is not None:
+        frame["id"] = request.id
+    return frame

@@ -1,0 +1,265 @@
+"""The asyncio JSON-lines front end over a `SessionPool`.
+
+One TCP connection speaks the `repro.io` wire protocol, newline-framed:
+each request line is a `DecideRequest` frame (a bare query string or an
+object with ``op``/``schema``/``id``/``finite``), each response line a
+`DecideResponse`, `PlanResponse`, stats, pong, or `ErrorFrame` JSON
+object.  Frames on one connection are processed in order (responses
+line up with requests); concurrency comes from concurrent connections.
+
+The event loop never decides anything itself: decisions run on a
+bounded worker-thread executor, so slow chases cannot stall frame
+parsing, stats probes, or other connections.  Backpressure is a
+bounded in-flight gate: once ``max_pending`` decisions are queued or
+running, readers simply stop pulling new frames until capacity frees —
+the TCP receive window, not an unbounded buffer, absorbs the burst.
+
+Malformed frames (bad JSON, unknown op, invalid schema, a query that
+does not parse) come back as structured `ErrorFrame`s on the stream —
+never a traceback, and the connection stays open.  The one exception
+is a frame longer than `MAX_FRAME_BYTES`: the line stream cannot be
+resynchronized past it, so the server sends a ``FrameTooLong`` error
+frame and then closes that connection.
+
+::
+
+    server = DecideServer(pool, port=0)        # port 0: ephemeral
+    await server.start()
+    host, port = server.address
+    ...
+    await server.close()
+
+or, blocking: ``python -m repro serve schema.json --port 8765``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+from ..io import DecideRequest, ErrorFrame
+from .pool import SessionPool, introspection_frame
+
+#: Default TCP port (unassigned by IANA; "answerability" has no port).
+DEFAULT_PORT = 8765
+#: Default bound on queued-or-running decisions (the backpressure gate).
+DEFAULT_MAX_PENDING = 64
+#: Default worker threads deciding concurrently.
+DEFAULT_WORKERS = 4
+
+#: Cap on one request line; longer frames get a structured error (the
+#: asyncio default readline limit would kill the connection instead).
+MAX_FRAME_BYTES = 1 << 20
+
+
+class DecideServer:
+    """Serve `SessionPool` decisions over newline-framed JSON on TCP.
+
+    The server owns a worker-thread executor (``workers`` threads) and
+    an in-flight gate (``max_pending``); the pool may be shared with
+    other front ends (e.g. the WSGI adapter) — all its state is
+    thread-safe.
+    """
+
+    def __init__(
+        self,
+        pool: SessionPool,
+        *,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        workers: int = DEFAULT_WORKERS,
+        max_pending: int = DEFAULT_MAX_PENDING,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.pool = pool
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.max_pending = max_pending
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._gate: Optional[asyncio.Semaphore] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._counters = {
+            "connections": 0,
+            "connections_open": 0,
+            "frames": 0,
+            "responses": 0,
+            "errors": 0,
+            "in_flight": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "DecideServer":
+        """Bind and start accepting connections (idempotent)."""
+        if self._server is not None:
+            return self
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve"
+        )
+        self._gate = asyncio.Semaphore(self.max_pending)
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=MAX_FRAME_BYTES,
+        )
+        # Resolve the actual port (supports port=0 for tests).
+        sockets = self._server.sockets or ()
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and block until cancelled/closed."""
+        await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def close(self) -> None:
+        """Stop accepting, close the listener, release the executor.
+
+        In-flight executor decisions run to completion (``shutdown``
+        waits), so a clean close never abandons a worker mid-chase.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._executor is not None:
+            executor = self._executor
+            self._executor = None
+            await asyncio.get_running_loop().run_in_executor(
+                None, lambda: executor.shutdown(wait=True)
+            )
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._counters["connections"] += 1
+        self._counters["connections_open"] += 1
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                ):  # frame longer than MAX_FRAME_BYTES
+                    self._counters["errors"] += 1
+                    frame = ErrorFrame(
+                        "FrameTooLong",
+                        f"request frame exceeds {MAX_FRAME_BYTES} bytes",
+                    ).to_dict()
+                    await self._write(writer, frame)
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                frame = await self._process_line(line)
+                await self._write(writer, frame)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._counters["connections_open"] -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    @staticmethod
+    async def _write(writer: asyncio.StreamWriter, frame: dict) -> None:
+        writer.write(json.dumps(frame).encode("utf-8") + b"\n")
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Frame processing
+    # ------------------------------------------------------------------
+    async def _process_line(self, line: bytes) -> dict:
+        self._counters["frames"] += 1
+        request: Optional[DecideRequest] = None
+        try:
+            request = DecideRequest.from_dict(
+                json.loads(line.decode("utf-8"))
+            )
+        except Exception as error:
+            self._counters["errors"] += 1
+            snippet = line.decode("utf-8", "replace").strip()
+            return ErrorFrame.from_exception(
+                error, line=snippet[:200]
+            ).to_dict()
+        if request.op in ("ping", "stats"):
+            self._counters["responses"] += 1
+            return introspection_frame(
+                request,
+                self.pool,
+                server={
+                    "workers": self.workers,
+                    "max_pending": self.max_pending,
+                    **self._counters,
+                },
+            )
+        assert self._gate is not None and self._executor is not None
+        async with self._gate:  # backpressure: bounded in-flight work
+            self._counters["in_flight"] += 1
+            try:
+                response = await asyncio.get_running_loop().run_in_executor(
+                    self._executor, self.pool.process, request
+                )
+            except Exception as error:
+                self._counters["errors"] += 1
+                return ErrorFrame.from_exception(
+                    error, id=request.id
+                ).to_dict()
+            finally:
+                self._counters["in_flight"] -= 1
+        self._counters["responses"] += 1
+        return response.to_dict()
+
+    def __repr__(self) -> str:
+        state = "listening" if self._server is not None else "stopped"
+        return f"DecideServer({self.host}:{self.port}, {state})"
+
+
+async def run_server(
+    pool: SessionPool,
+    *,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    workers: int = DEFAULT_WORKERS,
+    max_pending: int = DEFAULT_MAX_PENDING,
+    ready: Optional[asyncio.Event] = None,
+) -> None:
+    """Start a `DecideServer` and serve until cancelled.
+
+    ``ready`` (when given) is set once the socket is bound — test and
+    benchmark harnesses wait on it instead of polling the port.
+    """
+    server = DecideServer(
+        pool, host=host, port=port, workers=workers, max_pending=max_pending
+    )
+    await server.start()
+    if ready is not None:
+        ready.set()
+    try:
+        await server.serve_forever()
+    finally:
+        await server.close()

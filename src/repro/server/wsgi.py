@@ -1,0 +1,119 @@
+"""Optional WSGI adapter: the same pool behind any WSGI httpd.
+
+Stdlib-only (pairs with ``wsgiref.simple_server`` for a dependency-free
+HTTP front end); the heavy lifting — routing, session pooling, limits —
+is the shared `SessionPool`, so an HTTP deployment and the JSON-lines
+TCP server give byte-identical response payloads.
+
+Routes:
+
+* ``POST /decide`` (or ``/``) — body is one `DecideRequest` JSON
+  object (or a bare query string); response is the `DecideResponse` /
+  `PlanResponse` JSON.  The frame's ``op`` may also be ``plan``.
+* ``GET /stats``  — the pool's aggregated statistics.
+* ``GET /healthz`` — liveness probe.
+
+Errors are `ErrorFrame` JSON — never a traceback page: HTTP 400 for
+bad input (malformed frame, bad schema, unparseable query), 404/413
+for routing/size problems, 500 for internal failures.
+
+::
+
+    from wsgiref.simple_server import make_server
+    from repro.server import SessionPool, make_wsgi_app
+
+    app = make_wsgi_app(SessionPool(schema))
+    make_server("127.0.0.1", 8080, app).serve_forever()
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Iterable
+
+from ..io import DecideRequest, ErrorFrame
+from .pool import SessionPool, introspection_frame
+
+#: Request bodies past this come back 400 (mirrors MAX_FRAME_BYTES).
+MAX_BODY_BYTES = 1 << 20
+
+_JSON = [("Content-Type", "application/json")]
+
+
+def make_wsgi_app(pool: SessionPool) -> Callable:
+    """A WSGI application deciding requests against ``pool``."""
+
+    def respond(start_response, status: str, payload: dict) -> Iterable[bytes]:
+        body = json.dumps(payload).encode("utf-8")
+        start_response(
+            status, _JSON + [("Content-Length", str(len(body)))]
+        )
+        return [body]
+
+    def application(environ, start_response) -> Iterable[bytes]:
+        method = environ.get("REQUEST_METHOD", "GET")
+        path = environ.get("PATH_INFO", "/") or "/"
+        if method == "GET" and path == "/healthz":
+            return respond(start_response, "200 OK", {"ok": True})
+        if method == "GET" and path == "/stats":
+            return respond(
+                start_response,
+                "200 OK",
+                introspection_frame(DecideRequest(op="stats"), pool),
+            )
+        if method != "POST" or path not in ("/", "/decide"):
+            return respond(
+                start_response,
+                "404 Not Found",
+                ErrorFrame(
+                    "NotFound", f"no route {method} {path}"
+                ).to_dict(),
+            )
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+        except ValueError:
+            length = 0
+        if length > MAX_BODY_BYTES:
+            return respond(
+                start_response,
+                "413 Payload Too Large",
+                ErrorFrame(
+                    "FrameTooLong",
+                    f"request body exceeds {MAX_BODY_BYTES} bytes",
+                ).to_dict(),
+            )
+        body = environ["wsgi.input"].read(length) if length else b""
+        try:
+            request = DecideRequest.from_dict(
+                json.loads(body.decode("utf-8"))
+            )
+        except Exception as error:
+            return respond(
+                start_response,
+                "400 Bad Request",
+                ErrorFrame.from_exception(error).to_dict(),
+            )
+        if request.op in ("ping", "stats"):
+            return respond(
+                start_response,
+                "200 OK",
+                introspection_frame(request, pool),
+            )
+        try:
+            response = pool.process(request)
+        except Exception as error:
+            # Bad input is the client's fault (400): SchemaFormatError,
+            # ParseError, and routing errors are all ValueErrors.
+            # Anything else is an internal failure and must alert as
+            # one (500).
+            bad_request = isinstance(error, ValueError)
+            return respond(
+                start_response,
+                "400 Bad Request"
+                if bad_request
+                else "500 Internal Server Error",
+                ErrorFrame.from_exception(error, id=request.id).to_dict(),
+            )
+        return respond(start_response, "200 OK", response.to_dict())
+
+    return application

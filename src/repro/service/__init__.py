@@ -13,7 +13,7 @@ CLI, a batch pipeline, or a future server/shard:
   `PlanResponse`).
 """
 
-from ..io import DecideRequest, DecideResponse, PlanResponse
+from ..io import DecideRequest, DecideResponse, ErrorFrame, PlanResponse
 from .compiled import (
     CompiledSchema,
     as_compiled,
@@ -26,5 +26,5 @@ __all__ = [
     "CompiledSchema", "as_compiled", "compile_schema",
     "schema_fingerprint",
     "Session", "canonical_query_key",
-    "DecideRequest", "DecideResponse", "PlanResponse",
+    "DecideRequest", "DecideResponse", "ErrorFrame", "PlanResponse",
 ]

@@ -147,28 +147,50 @@ class CompiledSchema:
             "linearization", lambda: linearize(self.elimub())
         )
 
-    def rewrite_engine(self) -> "RewriteEngine":
+    def rewrite_engine(self, *, subsumption: bool = False) -> "RewriteEngine":
         """The incremental backward-rewriting engine over Σ^Lin.
 
-        One engine per fingerprint: every query decided on the ID route
-        through this compiled schema shares its memoized rule index,
-        per-atom rewrite steps, and canonical frontier states.  The
-        engine's isomorphism dedup runs on this schema's matcher.
+        One engine per (fingerprint, subsumption flag): every query
+        decided on the ID route through this compiled schema shares its
+        memoized rule index, per-atom rewrite steps, and canonical
+        frontier states.  The flag is part of the artifact key because
+        an engine's memoized results are fixed to the setting it was
+        constructed under; both variants share this schema's matcher.
         """
         from ..containment.rewriting import RewriteEngine
 
+        key = "rewrite-engine:subsumption" if subsumption else "rewrite-engine"
         return self._artifact(
-            "rewrite-engine",
+            key,
             lambda: RewriteEngine(
-                self.linearization().rules, matcher=self.matcher()
+                self.linearization().rules,
+                matcher=self.matcher(),
+                subsumption=subsumption,
             ),
         )
 
     def engine_stats(self) -> dict:
-        """Cache counters of the rewrite engine ({} until it is built)."""
+        """Cache counters of the rewrite engine(s) ({} until one is built).
+
+        When both the plain and the subsumption-pruning engine exist,
+        integer counters are summed (``rules`` is shared, not summed) so
+        session-level diagnostics see the fingerprint's total rewriting
+        traffic."""
         with self._lock:
-            engine = self._artifacts.get("rewrite-engine")
-        return engine.stats() if engine is not None else {}
+            engines = [
+                self._artifacts[key]
+                for key in ("rewrite-engine", "rewrite-engine:subsumption")
+                if key in self._artifacts
+            ]
+        if not engines:
+            return {}
+        merged = engines[0].stats()
+        for engine in engines[1:]:
+            for name, value in engine.stats().items():
+                if name == "rules":
+                    continue
+                merged[name] = merged.get(name, 0) + value
+        return merged
 
     def matcher(self) -> "Matcher":
         """The compiled homomorphism matcher owned by this fingerprint.

@@ -20,7 +20,10 @@ functions; routes with their own termination guarantee (the FD chase,
 the linearized-rewriting ID route) are unaffected by ``max_rounds``.
 ``max_disjuncts`` bounds the ID route's backward rewriting; exceeding
 it yields UNKNOWN with a structured ``error`` on the response instead
-of a traceback.
+of a traceback.  ``subsumption`` (on by default) lets the ID route
+prune rewriting disjuncts hom-implied by smaller kept ones — the
+pruned UCQ is logically equivalent, so decisions are unchanged;
+``subsumption=False`` restores the raw rewriting output.
 """
 
 from __future__ import annotations
@@ -99,12 +102,14 @@ class Session:
         max_rounds: Optional[int] = DEFAULT_CHASE_ROUNDS,
         max_facts: int = DEFAULT_CHASE_FACTS,
         max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
+        subsumption: bool = True,
         cache_size: int = 1024,
     ) -> None:
         self.compiled = as_compiled(schema)
         self.max_rounds = max_rounds
         self.max_facts = max_facts
         self.max_disjuncts = max_disjuncts
+        self.subsumption = subsumption
         self.cache_size = cache_size
         self._cache: OrderedDict[tuple, Any] = OrderedDict()
         self._lock = threading.RLock()
@@ -214,6 +219,7 @@ class Session:
                 max_rounds=self.max_rounds,
                 max_facts=self.max_facts,
                 max_disjuncts=self.max_disjuncts,
+                subsumption=self.subsumption,
             )
         return decide_monotone_answerability(
             self.compiled,
@@ -221,6 +227,7 @@ class Session:
             max_rounds=self.max_rounds,
             max_facts=self.max_facts,
             max_disjuncts=self.max_disjuncts,
+            subsumption=self.subsumption,
         )
 
     def decide_many(
@@ -243,6 +250,7 @@ class Session:
                 max_rounds=self.max_rounds,
                 max_facts=self.max_facts,
                 max_disjuncts=self.max_disjuncts,
+                subsumption=self.subsumption,
             )
         except PlanExtractionError as error:
             return PlanResponse(
@@ -281,6 +289,7 @@ class Session:
             "max_rounds": self.max_rounds,
             "max_facts": self.max_facts,
             "max_disjuncts": self.max_disjuncts,
+            "subsumption": self.subsumption,
         }
         report["cache"] = self.cache_info()
         report["compile_stats"] = dict(self.compiled.stats)

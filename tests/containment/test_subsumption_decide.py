@@ -1,0 +1,161 @@
+"""Subsumption pruning on the decide route: the coverage pass.
+
+The ID route now defaults to ``subsumption=True`` (rewriting disjuncts
+hom-implied by smaller kept ones are dropped before the canonical-
+database probes).  These property tests are the evidence behind the
+flip: across the paper/generator schema corpus, the pruned and
+unpruned routes must decide **identically** — same truth value, same
+route — and the pruning itself must be sound (every dropped disjunct
+hom-maps into some kept one, so the union is logically unchanged).
+
+A seeded tier-1 sample runs on every push; the randomized sweep
+carries the ``slow`` marker and runs nightly.
+"""
+
+import random
+
+import pytest
+
+from repro.answerability.deciders import decide_with_ids
+from repro.matching.matcher import Matcher
+from repro.service import Session, compile_schema
+from repro.workloads import (
+    id_chain_workload,
+    id_width_workload,
+    lookup_chain_workload,
+    random_id_workload,
+    university_schema,
+)
+
+
+def id_corpus():
+    """(schema, queries) pairs that dispatch to the ID route."""
+    chain = lookup_chain_workload(3)
+    bounded = lookup_chain_workload(3, dump_bound=5)
+    id_chain = id_chain_workload(6)
+    return [
+        (
+            university_schema(ud_bound=100),
+            ["Udirectory(i, a, p)", "Prof(i, n, 10000)",
+             "Prof(i, n, s), Udirectory(i, a, p)"],
+        ),
+        (chain.schema, ["L0(x, y)", "L0(x, y), L1(x, z)"]),
+        (bounded.schema, ["L0(x, y)", "L0(x, y), L2(x, z)"]),
+        (id_chain.schema, [f"R{i}(x)" for i in range(7)]),
+        (id_width_workload(2).schema,
+         ["A(x0, x1), B(x0, x1, z)"]),
+    ]
+
+
+def assert_equivalent(compiled, query) -> None:
+    pruned = decide_with_ids(compiled, query_of(compiled, query))
+    raw = decide_with_ids(
+        compiled, query_of(compiled, query), subsumption=False
+    )
+    assert pruned.truth == raw.truth, (
+        f"subsumption changed the decision on {query!r}: "
+        f"{pruned.truth} vs {raw.truth}"
+    )
+    # Pruning never *adds* disjuncts.
+    pruned_count = pruned.detail.get("disjuncts")
+    raw_count = raw.detail.get("disjuncts")
+    if pruned_count is not None and raw_count is not None:
+        assert pruned_count <= raw_count
+
+
+def query_of(compiled, query):
+    from repro.logic.parser import parse_cq
+
+    return parse_cq(query) if isinstance(query, str) else query
+
+
+class TestDecideEquivalence:
+    def test_corpus_decides_identically_with_and_without_pruning(self):
+        for schema, queries in id_corpus():
+            compiled = compile_schema(schema)
+            for query in queries:
+                assert_equivalent(compiled, query)
+
+    def test_plan_route_honors_the_session_opt_out(self):
+        # The plan NO-gate must run on the engine variant the session
+        # was configured with (the opt-out is not decide-only).
+        compiled = compile_schema(university_schema(ud_bound=100))
+        off = Session(compiled, subsumption=False)
+        response = off.plan("Udirectory(i, a, p)")
+        assert response.answerable
+        assert "rewrite-engine" in compiled.stats
+        assert "rewrite-engine:subsumption" not in compiled.stats
+
+    def test_sessions_agree_across_the_flag(self):
+        for schema, queries in id_corpus():
+            compiled = compile_schema(schema)
+            on = Session(compiled, subsumption=True)
+            off = Session(compiled, subsumption=False)
+            for query in queries:
+                assert (
+                    on.decide(query).decision == off.decide(query).decision
+                )
+
+    def test_random_id_schemas_sample(self):
+        for seed in range(25):
+            workload = random_id_workload(seed, bound=None)
+            compiled = compile_schema(workload.schema)
+            if compiled.constraint_class.value not in (
+                "inclusion dependencies",
+                "bounded-width inclusion dependencies",
+            ):
+                continue
+            assert_equivalent(compiled, workload.query)
+
+    @pytest.mark.slow
+    def test_random_id_schemas_sweep(self):
+        rng = random.Random(515)
+        checked = 0
+        for __ in range(250):
+            seed = rng.randrange(100_000)
+            workload = random_id_workload(
+                seed,
+                relations=rng.randint(2, 6),
+                ids=rng.randint(1, 7),
+                bound=None,
+            )
+            compiled = compile_schema(workload.schema)
+            if compiled.constraint_class.value not in (
+                "inclusion dependencies",
+                "bounded-width inclusion dependencies",
+            ):
+                continue
+            assert_equivalent(compiled, workload.query)
+            checked += 1
+        assert checked > 50  # the sweep actually exercised the route
+
+
+class TestPruningSoundness:
+    def test_dropped_disjuncts_are_hom_implied_by_kept_ones(self):
+        matcher = Matcher()
+        for schema, queries in id_corpus():
+            compiled = compile_schema(schema)
+            raw_engine = compiled.rewrite_engine(subsumption=False)
+            pruned_engine = compiled.rewrite_engine(subsumption=True)
+            for query in queries:
+                target = primed_boolean(compiled, query)
+                raw = raw_engine.rewrite(target)
+                pruned = pruned_engine.rewrite(target)
+                kept = [d.atoms for d in pruned.disjuncts]
+                assert len(kept) <= len(raw.disjuncts)
+                for disjunct in raw.disjuncts:
+                    assert any(
+                        matcher.subsumes(k, disjunct.atoms) for k in kept
+                    ), f"dropped disjunct not implied: {disjunct}"
+
+
+def primed_boolean(compiled, query):
+    """The rewriting target the ID route uses: the primed Boolean CQ."""
+    from repro.answerability.axioms import prime_query
+    from repro.answerability.deciders import freeze_free_variables
+    from repro.logic.parser import parse_cq
+
+    parsed = parse_cq(query) if isinstance(query, str) else query
+    if parsed.free_variables:
+        parsed, __ = freeze_free_variables(parsed)
+    return prime_query(parsed)

@@ -1,0 +1,231 @@
+"""Unit tests for the per-fingerprint `SessionPool`."""
+
+import pytest
+
+from repro.io import DecideRequest, schema_from_dict
+from repro.server import SessionLimits, SessionPool
+from repro.service import compile_schema
+from repro.workloads import lookup_chain_workload, university_schema
+
+UNIVERSITY = {
+    "relations": {"Prof": 3, "Udirectory": 3},
+    "methods": [
+        {"name": "pr", "relation": "Prof", "inputs": [1]},
+        {
+            "name": "ud",
+            "relation": "Udirectory",
+            "inputs": [],
+            "result_bound": 100,
+        },
+    ],
+    "constraints": ["Prof(i,n,s) -> Udirectory(i,a,p)"],
+}
+
+
+def reordered(description: dict) -> dict:
+    """The same schema, spelled differently (methods reversed)."""
+    spelled = dict(description)
+    spelled["methods"] = list(reversed(description["methods"]))
+    return spelled
+
+
+class TestRouting:
+    def test_default_schema_serves_schemaless_requests(self):
+        pool = SessionPool(university_schema(ud_bound=100))
+        response = pool.process(DecideRequest(query="Udirectory(i,a,p)"))
+        assert response.is_yes
+
+    def test_no_default_and_no_schema_is_an_error(self):
+        pool = SessionPool()
+        with pytest.raises(ValueError, match="no default"):
+            pool.process(DecideRequest(query="R(x)"))
+
+    def test_same_spelling_shares_a_session(self):
+        pool = SessionPool()
+        first = pool.session(UNIVERSITY)
+        second = pool.session(UNIVERSITY)
+        assert first.compiled is second.compiled
+        assert pool.stats()["counters"]["schemas_compiled"] == 1
+        assert pool.stats()["counters"]["text_key_hits"] == 1
+
+    def test_reordered_spelling_shares_the_compiled_schema(self):
+        pool = SessionPool(pool_size=1)
+        first = pool.session(UNIVERSITY)
+        second = pool.session(reordered(UNIVERSITY))
+        # Different spelling, same content fingerprint: recompiled once
+        # to discover the fingerprint, then routed to the same entry.
+        assert first.compiled is second.compiled
+        assert first is second
+        assert len(pool.fingerprints()) == 1
+
+    def test_inline_spelling_of_the_default_routes_to_it(self):
+        pool = SessionPool(schema_from_dict(UNIVERSITY), pool_size=1)
+        session = pool.session(UNIVERSITY)
+        assert session is pool.session(None)
+        # The default is pinned, not an LRU entry.
+        stats = pool.stats()
+        assert stats["fingerprints"] == 1
+
+    def test_inline_default_spelling_is_cached_after_first_sight(self):
+        pool = SessionPool(schema_from_dict(UNIVERSITY), pool_size=1)
+        pool.session(UNIVERSITY)  # learns the spelling
+        compiled_before = pool.stats()["counters"]["schemas_compiled"]
+        for __ in range(3):
+            assert pool.session(UNIVERSITY) is pool.session(None)
+        stats = pool.stats()["counters"]
+        # The hot path: no re-parse/re-fingerprint per request.
+        assert stats["schemas_compiled"] == compiled_before
+        assert stats["text_key_hits"] >= 3
+
+    def test_text_key_map_is_bounded(self):
+        pool = SessionPool(pool_size=1, max_fingerprints=2)
+        # Many distinct spellings of one hot fingerprint: constraints
+        # reordered (json.dumps sorts dict keys, not list items).
+        base = {
+            "relations": {"R": 1, "S": 1},
+            "methods": [{"name": "m", "relation": "R", "inputs": []}],
+            "constraints": ["R(x) -> S(x)", "S(x) -> R(x)"],
+        }
+        flipped = dict(base)
+        flipped["constraints"] = list(reversed(base["constraints"]))
+        for spelling in (base, flipped):
+            pool.session(spelling)
+        assert len(pool.fingerprints()) == 1
+        assert len(pool._text_keys) <= pool._max_text_keys
+
+    def test_compiled_schema_accepted_directly(self):
+        compiled = compile_schema(schema_from_dict(UNIVERSITY))
+        pool = SessionPool()
+        assert pool.session(compiled).compiled is compiled
+
+
+class TestPooling:
+    def test_round_robin_grows_to_pool_size_then_cycles(self):
+        pool = SessionPool(pool_size=3)
+        sessions = [pool.session(UNIVERSITY) for __ in range(7)]
+        distinct = {id(s) for s in sessions}
+        assert len(distinct) == 3
+        # All share the one compiled schema (and thus matcher/engine).
+        assert len({id(s.compiled) for s in sessions}) == 1
+        assert pool.stats()["counters"]["sessions_created"] == 3
+
+    def test_pool_size_one_is_a_single_session(self):
+        pool = SessionPool(pool_size=1)
+        assert pool.session(UNIVERSITY) is pool.session(UNIVERSITY)
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            SessionPool(pool_size=0)
+        with pytest.raises(ValueError):
+            SessionPool(max_fingerprints=0)
+
+
+class TestEviction:
+    def _schemas(self, count: int):
+        return [
+            {
+                "relations": {f"R{i}": 1},
+                "methods": [
+                    {"name": f"m{i}", "relation": f"R{i}", "inputs": []}
+                ],
+            }
+            for i in range(count)
+        ]
+
+    def test_lru_evicts_the_coldest_fingerprint(self):
+        pool = SessionPool(max_fingerprints=2, pool_size=1)
+        a, b, c = self._schemas(3)
+        pool.session(a)
+        pool.session(b)
+        pool.session(a)  # refresh a: b is now coldest
+        pool.session(c)  # evicts b
+        fingerprints = pool.fingerprints()
+        assert len(fingerprints) == 2
+        assert pool.stats()["counters"]["evictions"] == 1
+        # b returns: recompiled (its text key was dropped with it).
+        compiled_before = pool.stats()["counters"]["schemas_compiled"]
+        pool.session(b)
+        assert (
+            pool.stats()["counters"]["schemas_compiled"]
+            == compiled_before + 1
+        )
+
+    def test_default_is_never_evicted(self):
+        pool = SessionPool(
+            university_schema(ud_bound=100),
+            max_fingerprints=1,
+            pool_size=1,
+        )
+        for description in self._schemas(3):
+            pool.session(description)
+        response = pool.process(DecideRequest(query="Udirectory(i,a,p)"))
+        assert response.is_yes
+
+
+class TestProcess:
+    def test_decide_and_plan_and_id_stamping(self):
+        pool = SessionPool(university_schema(ud_bound=100))
+        decided = pool.process(
+            DecideRequest(query="Udirectory(i,a,p)", id=7)
+        )
+        assert decided.is_yes and decided.id == 7
+        planned = pool.process(
+            DecideRequest(query="Udirectory(i,a,p)", op="plan", id="p")
+        )
+        assert planned.answerable and planned.id == "p"
+        assert "<= ud <=" in planned.plan
+
+    def test_cached_response_does_not_leak_ids(self):
+        pool = SessionPool(university_schema(ud_bound=100), pool_size=1)
+        pool.process(DecideRequest(query="Udirectory(i,a,p)", id="one"))
+        again = pool.process(DecideRequest(query="Udirectory(x,y,z)"))
+        assert again.cached is True
+        assert again.id is None
+
+    def test_non_session_ops_are_rejected(self):
+        pool = SessionPool(university_schema(ud_bound=100))
+        with pytest.raises(ValueError, match="not a session operation"):
+            pool.process(DecideRequest(op="stats"))
+
+    def test_limits_reach_the_sessions(self):
+        pool = SessionPool(
+            university_schema(ud_bound=100),
+            limits=SessionLimits(max_disjuncts=1),
+        )
+        response = pool.process(DecideRequest(query="Udirectory(i,a,p)"))
+        assert response.is_unknown
+        assert response.error["type"] == "RewritingBudgetExceeded"
+
+    def test_subsumption_opt_out_reaches_the_engine(self):
+        chain = lookup_chain_workload(3).schema
+        on = SessionPool(chain, limits=SessionLimits(subsumption=True))
+        off = SessionPool(chain, limits=SessionLimits(subsumption=False))
+        query = "L0(x, y)"
+        assert (
+            on.process(DecideRequest(query=query)).decision
+            == off.process(DecideRequest(query=query)).decision
+        )
+        assert on.session(None).subsumption is True
+        assert off.session(None).subsumption is False
+
+
+class TestStats:
+    def test_aggregation_shape_and_counts(self):
+        pool = SessionPool(
+            university_schema(ud_bound=100), pool_size=2
+        )
+        for __ in range(4):
+            pool.process(DecideRequest(query="Udirectory(i,a,p)"))
+        stats = pool.stats()
+        assert stats["pool_size"] == 2
+        assert stats["counters"]["requests"] == 4
+        [entry] = stats["sessions"]
+        assert entry["requests"] == 4
+        assert entry["sessions"] == 2
+        cache = entry["cache"]
+        # 4 requests over 2 round-robin sessions: each decides once,
+        # then hits its own cache.
+        assert cache["misses"] == 2
+        assert cache["hits"] == 2
+        assert entry["rewrite_engine"]["rewrites"] >= 1
+        assert entry["matching"]["checks"] >= 1

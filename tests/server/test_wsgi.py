@@ -1,0 +1,148 @@
+"""Tests for the stdlib WSGI adapter (app called directly, no httpd)."""
+
+import io
+import json
+
+from repro.server import SessionPool, make_wsgi_app
+from repro.workloads import university_schema
+
+
+def call(app, method="GET", path="/", body=None):
+    """Invoke the WSGI app; return (status, payload)."""
+    raw = b"" if body is None else json.dumps(body).encode("utf-8")
+    environ = {
+        "REQUEST_METHOD": method,
+        "PATH_INFO": path,
+        "CONTENT_LENGTH": str(len(raw)),
+        "wsgi.input": io.BytesIO(raw),
+    }
+    captured = {}
+
+    def start_response(status, headers):
+        captured["status"] = status
+        captured["headers"] = dict(headers)
+
+    chunks = b"".join(app(environ, start_response))
+    assert captured["headers"]["Content-Type"] == "application/json"
+    assert int(captured["headers"]["Content-Length"]) == len(chunks)
+    return captured["status"], json.loads(chunks)
+
+
+def app():
+    return make_wsgi_app(SessionPool(university_schema(ud_bound=100)))
+
+
+class TestRoutes:
+    def test_decide(self):
+        status, payload = call(
+            app(), "POST", "/decide", {"query": "Udirectory(i,a,p)"}
+        )
+        assert status == "200 OK"
+        assert payload["decision"] == "yes"
+
+    def test_decide_at_root_and_plan_op(self):
+        application = app()
+        status, payload = call(
+            application,
+            "POST",
+            "/",
+            {"op": "plan", "query": "Udirectory(i,a,p)", "id": 3},
+        )
+        assert status == "200 OK"
+        assert payload["answerable"] is True and payload["id"] == 3
+
+    def test_stats_and_healthz(self):
+        application = app()
+        call(application, "POST", "/", {"query": "Udirectory(i,a,p)"})
+        status, payload = call(application, "GET", "/stats")
+        assert status == "200 OK"
+        assert payload["pool"]["counters"]["requests"] == 1
+        status, payload = call(application, "GET", "/healthz")
+        assert status == "200 OK" and payload == {"ok": True}
+
+    def test_ping_op(self):
+        status, payload = call(
+            app(), "POST", "/", {"op": "ping", "id": "x"}
+        )
+        assert status == "200 OK"
+        assert payload == {"op": "pong", "id": "x"}
+
+
+class TestErrors:
+    def test_unknown_route_is_structured_404(self):
+        status, payload = call(app(), "GET", "/nope")
+        assert status == "404 Not Found"
+        assert payload["error"]["type"] == "NotFound"
+
+    def test_malformed_body_is_structured_400(self):
+        application = app()
+        environ = {
+            "REQUEST_METHOD": "POST",
+            "PATH_INFO": "/",
+            "CONTENT_LENGTH": "9",
+            "wsgi.input": io.BytesIO(b"not-json!"),
+        }
+        captured = {}
+        body = b"".join(
+            application(
+                environ,
+                lambda s, h: captured.update(status=s),
+            )
+        )
+        assert captured["status"] == "400 Bad Request"
+        assert json.loads(body)["error"]["type"] == "JSONDecodeError"
+
+    def test_decision_error_is_structured_400(self):
+        status, payload = call(
+            app(), "POST", "/", {"query": "Bad((", "id": 9}
+        )
+        assert status == "400 Bad Request"
+        assert payload["error"]["type"] == "ParseError"
+        assert payload["id"] == 9
+
+    def test_internal_failure_is_500_not_400(self):
+        class ExplodingPool:
+            def process(self, request):
+                raise RuntimeError("decider blew up")
+
+        application = make_wsgi_app(ExplodingPool())
+        status, payload = call(
+            application, "POST", "/", {"query": "R(x)", "id": 5}
+        )
+        assert status == "500 Internal Server Error"
+        assert payload["error"]["type"] == "RuntimeError"
+        assert payload["id"] == 5
+
+    def test_oversized_body_is_413(self):
+        application = app()
+        environ = {
+            "REQUEST_METHOD": "POST",
+            "PATH_INFO": "/",
+            "CONTENT_LENGTH": str((1 << 20) + 1),
+            "wsgi.input": io.BytesIO(b""),
+        }
+        captured = {}
+        body = b"".join(
+            application(environ, lambda s, h: captured.update(status=s))
+        )
+        assert captured["status"] == "413 Payload Too Large"
+        assert json.loads(body)["error"]["type"] == "FrameTooLong"
+
+    def test_agrees_with_tcp_protocol_payloads(self):
+        # The WSGI and TCP front ends share SessionPool.process, so
+        # their response payloads are identical modulo timing fields.
+        pool = SessionPool(university_schema(ud_bound=100), pool_size=1)
+        application = make_wsgi_app(pool)
+        __, via_wsgi = call(
+            application, "POST", "/", {"query": "Udirectory(i,a,p)"}
+        )
+        from repro.io import DecideRequest
+
+        direct = pool.process(
+            DecideRequest(query="Udirectory(a,b,c)")
+        ).to_dict()
+        for payload in (via_wsgi, direct):
+            payload.pop("elapsed_ms", None)
+            payload.pop("cached", None)
+            payload.pop("query", None)
+        assert via_wsgi == direct

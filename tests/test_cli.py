@@ -128,6 +128,27 @@ class TestCLI:
         assert args.max_rounds == DEFAULT_CHASE_ROUNDS
         assert args.max_facts == DEFAULT_CHASE_FACTS
         assert args.max_disjuncts == DEFAULT_MAX_DISJUNCTS
+        assert args.no_subsumption is False
+
+    def test_serve_parser_defaults_are_the_shared_constants(self):
+        from repro.__main__ import _build_parser
+        from repro.server import (
+            DEFAULT_MAX_FINGERPRINTS,
+            DEFAULT_MAX_PENDING,
+            DEFAULT_POOL_SIZE,
+            DEFAULT_PORT,
+            DEFAULT_WORKERS,
+        )
+
+        args = _build_parser().parse_args(["serve"])
+        assert args.schema is None
+        assert args.host == "127.0.0.1"
+        assert args.port == DEFAULT_PORT
+        assert args.workers == DEFAULT_WORKERS
+        assert args.pool_size == DEFAULT_POOL_SIZE
+        assert args.max_fingerprints == DEFAULT_MAX_FINGERPRINTS
+        assert args.max_pending == DEFAULT_MAX_PENDING
+        assert args.no_subsumption is False
 
 
 class TestCLIJson:
@@ -253,7 +274,10 @@ class TestCLIBatch:
         )
         assert code == 1
         lines = capsys.readouterr().out.strip().splitlines()
-        assert "error" in json.loads(lines[0])
+        error = json.loads(lines[0])["error"]
+        # Structured ErrorFrame: typed, with the offending line.
+        assert error["type"] == "JSONDecodeError"
+        assert error["detail"]["line"] == "not-json"
         assert json.loads(lines[1])["decision"] == "yes"
 
     def test_batch_error_echoes_request_id(
@@ -266,8 +290,33 @@ class TestCLIBatch:
         )
         assert code == 1
         payload = json.loads(capsys.readouterr().out)
-        assert "error" in payload
+        assert payload["error"]["type"] == "ParseError"
         assert payload["id"] == 7
+
+    def test_batch_plan_ping_and_stats_ops(
+        self, schema_file, tmp_path, capsys
+    ):
+        code = self._run(
+            schema_file,
+            [
+                json.dumps(
+                    {"op": "plan", "query": "Udirectory(i,a,p)", "id": 1}
+                ),
+                json.dumps({"op": "ping", "id": 2}),
+                json.dumps({"op": "stats"}),
+            ],
+            tmp_path,
+        )
+        assert code == 0
+        plan, pong, stats = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert plan["answerable"] is True and plan["id"] == 1
+        assert "<= ud <=" in plan["plan"]
+        assert pong == {"op": "pong", "id": 2}
+        assert stats["op"] == "stats"
+        assert stats["pool"]["counters"]["requests"] == 1
 
     def test_batch_stats_line_on_stderr(
         self, schema_file, tmp_path, capsys
