@@ -63,8 +63,11 @@ Package map (details in DESIGN.md):
   simplifications, per-class deciders, linearization, plan generation;
 * `repro.service` — compiled schemas, sessions, decision caching (the
   serving layer the CLI and batch mode sit on);
+* `repro.runtime` — request budgets: deadlines, cooperative
+  cancellation, the retryable `DeadlineExceeded`/`Overloaded` errors;
 * `repro.server` — the serving front end: per-fingerprint session
-  pooling, the asyncio JSON-lines server, the WSGI adapter;
+  pooling, the asyncio JSON-lines server (quotas, shedding, graceful
+  drain), the crash-tolerant worker supervisor, the WSGI adapter;
 * `repro.io` — JSON codecs: schemas, queries, requests, responses,
   error frames;
 * `repro.workloads` — paper examples, generators, simulated services.
@@ -109,11 +112,14 @@ from .logic import (
     parse_cq,
 )
 from .plans import Plan, execute, plan_to_ucq
+from .runtime import Budget, DeadlineExceeded, Overloaded
 from .schema import AccessMethod, Relation, Schema
 from .server import (
+    CrashLoopError,
     DecideServer,
     SessionLimits,
     SessionPool,
+    Supervisor,
     make_wsgi_app,
 )
 from .service import (
@@ -127,7 +133,7 @@ from .service import (
     schema_fingerprint,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AnswerabilityResult", "UniversalPlan", "choice_simplification",
@@ -144,7 +150,9 @@ __all__ = [
     "evaluate_cq", "ground_atom", "holds", "parse_cq",
     "Plan", "execute", "plan_to_ucq",
     "AccessMethod", "Relation", "Schema",
-    "DecideServer", "SessionLimits", "SessionPool", "make_wsgi_app",
+    "Budget", "DeadlineExceeded", "Overloaded",
+    "CrashLoopError", "DecideServer", "SessionLimits", "SessionPool",
+    "Supervisor", "make_wsgi_app",
     "CompiledSchema", "DecideRequest", "DecideResponse", "ErrorFrame",
     "PlanResponse",
     "Session", "compile_schema", "schema_fingerprint",

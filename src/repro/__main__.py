@@ -19,7 +19,15 @@ Commands
     pooling with LRU eviction (``--pool-size``, ``--max-fingerprints``)
     and bounded in-flight backpressure (``--max-pending``).  ``op``
     frames ``stats`` and ``ping`` expose introspection; the default
-    schema is optional when every request carries its own.
+    schema is optional when every request carries its own.  Resilience
+    knobs: ``--request-deadline`` (per-request budget),
+    ``--drain-timeout`` (graceful SIGTERM drain), ``--client-rate`` /
+    ``--client-burst`` / ``--max-inflight-per-client`` (per-client
+    quotas), ``--shed-after`` (Overloaded shedding at gate saturation).
+``supervise [SCHEMA.json] [--port P] ...``
+    The ``serve`` loop in a supervised child process: an ``op: ping``
+    health watchdog, crash restarts with jittered exponential backoff,
+    and a crash-loop breaker (``--max-crashes``/``--crash-window``).
 ``simplify SCHEMA.json {existence-check,fd,choice}``
     Print the simplified schema (JSON).
 ``classify SCHEMA.json [--json]``
@@ -212,7 +220,132 @@ def _build_parser() -> argparse.ArgumentParser:
         "stops reading new frames until capacity frees "
         f"(default: {DEFAULT_MAX_PENDING})",
     )
+
+    def add_serving_options(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--request-deadline",
+            type=float,
+            default=None,
+            metavar="MS",
+            help="default per-request deadline in milliseconds; a "
+            "request's own deadline_ms is capped at this value "
+            "(default: unbounded)",
+        )
+        subparser.add_argument(
+            "--drain-timeout",
+            type=float,
+            default=10.0,
+            metavar="SECONDS",
+            help="on SIGTERM/shutdown, seconds to let in-flight work "
+            "finish (budgets are cancelled halfway through) before "
+            "force-closing connections (default: 10)",
+        )
+        subparser.add_argument(
+            "--client-rate",
+            type=float,
+            default=None,
+            metavar="PER_SECOND",
+            help="per-client token-bucket refill rate in requests per "
+            "second; past it requests are shed with retryable "
+            "Overloaded frames (default: no rate limit)",
+        )
+        subparser.add_argument(
+            "--client-burst",
+            type=float,
+            default=8.0,
+            help="per-client token-bucket capacity (default: 8)",
+        )
+        subparser.add_argument(
+            "--max-inflight-per-client",
+            type=int,
+            default=None,
+            metavar="N",
+            help="concurrent in-flight requests allowed per client "
+            "address before shedding (default: unbounded)",
+        )
+        subparser.add_argument(
+            "--shed-after",
+            type=float,
+            default=None,
+            metavar="MS",
+            help="shed (Overloaded) instead of queueing when the global "
+            "in-flight gate stays saturated this long "
+            "(default: queue indefinitely)",
+        )
+
+    add_serving_options(serve)
     add_limits(serve)
+
+    supervise = commands.add_parser(
+        "supervise",
+        help="run the serve loop in a supervised child process: "
+        "health-check watchdog, crash restarts with jittered "
+        "exponential backoff, crash-loop breaker",
+    )
+    supervise.add_argument(
+        "schema",
+        nargs="?",
+        default=None,
+        help="path to the default JSON schema (optional: requests may "
+        "each carry an inline schema)",
+    )
+    supervise.add_argument("--host", default="127.0.0.1")
+    supervise.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help=f"TCP port for the worker (default: {DEFAULT_PORT}; "
+        "must be concrete so the watchdog can probe it)",
+    )
+    supervise.add_argument(
+        "--workers", type=int, default=DEFAULT_WORKERS
+    )
+    supervise.add_argument(
+        "--pool-size", type=int, default=DEFAULT_POOL_SIZE
+    )
+    supervise.add_argument(
+        "--max-fingerprints", type=int, default=DEFAULT_MAX_FINGERPRINTS
+    )
+    supervise.add_argument(
+        "--max-pending", type=int, default=DEFAULT_MAX_PENDING
+    )
+    supervise.add_argument(
+        "--max-crashes",
+        type=int,
+        default=5,
+        help="crash-loop breaker: crashes tolerated inside the window "
+        "before giving up (default: 5)",
+    )
+    supervise.add_argument(
+        "--crash-window",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="crash-loop breaker window (default: 30)",
+    )
+    supervise.add_argument(
+        "--backoff-base",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help="restart backoff base delay (default: 0.1)",
+    )
+    supervise.add_argument(
+        "--backoff-cap",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="restart backoff delay cap (default: 5)",
+    )
+    supervise.add_argument(
+        "--health-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="seconds between op:ping health probes (default: 1)",
+    )
+    add_serving_options(supervise)
+    add_limits(supervise)
 
     simplify = commands.add_parser(
         "simplify", help="print a simplified schema"
@@ -279,6 +412,7 @@ def _limits(args: argparse.Namespace) -> SessionLimits:
         max_facts=args.max_facts,
         max_disjuncts=args.max_disjuncts,
         subsumption=not args.no_subsumption,
+        deadline_ms=getattr(args, "request_deadline", None),
     )
 
 
@@ -334,6 +468,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
     pool = _pool(args, pool_size=args.pool_size)
 
@@ -344,9 +479,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             port=args.port,
             workers=args.workers,
             max_pending=args.max_pending,
+            client_rate=args.client_rate,
+            client_burst=args.client_burst,
+            max_inflight_per_client=args.max_inflight_per_client,
+            shed_after_ms=args.shed_after,
         )
         await server.start()
         host, port = server.address
+        # SIGTERM/SIGINT trigger a graceful drain: stop accepting,
+        # finish (or deadline-cancel) in-flight work, flush responses,
+        # exit 0 — bounded by --drain-timeout.  Handlers are installed
+        # *before* the banner: the banner is the readiness signal, and
+        # a SIGTERM sent the instant it appears must already drain.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        hooked = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                hooked.append(signum)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix loop: fall back to KeyboardInterrupt
         print(
             f"serving on {host}:{port} "
             f"(workers={args.workers}, pool_size={args.pool_size}, "
@@ -354,15 +507,123 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
             flush=True,
         )
+        forever = asyncio.ensure_future(server.serve_forever())
+        stopped = asyncio.ensure_future(stop.wait())
         try:
-            await server.serve_forever()
+            await asyncio.wait(
+                {forever, stopped}, return_when=asyncio.FIRST_COMPLETED
+            )
         finally:
-            await server.close()
+            for signum in hooked:
+                loop.remove_signal_handler(signum)
+            stopped.cancel()
+            forever.cancel()
+            print(
+                f"draining (timeout {args.drain_timeout:g}s)",
+                file=sys.stderr,
+                flush=True,
+            )
+            await server.close(drain_timeout=args.drain_timeout)
+            print("shutdown complete", file=sys.stderr, flush=True)
 
     try:
         asyncio.run(serve())
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr, flush=True)
+    return 0
+
+
+def _serve_argv(args: argparse.Namespace) -> list:
+    """Reconstruct the child worker's ``serve`` argument vector from a
+    parsed ``supervise`` namespace (shared flags pass straight
+    through)."""
+    argv: list = []
+    if args.schema is not None:
+        argv.append(args.schema)
+    argv += ["--host", args.host, "--port", str(args.port)]
+    argv += ["--workers", str(args.workers)]
+    argv += ["--pool-size", str(args.pool_size)]
+    argv += ["--max-fingerprints", str(args.max_fingerprints)]
+    argv += ["--max-pending", str(args.max_pending)]
+    argv += ["--max-rounds", str(args.max_rounds)]
+    argv += ["--max-facts", str(args.max_facts)]
+    argv += ["--max-disjuncts", str(args.max_disjuncts)]
+    if args.no_subsumption:
+        argv.append("--no-subsumption")
+    argv += ["--drain-timeout", str(args.drain_timeout)]
+    if args.request_deadline is not None:
+        argv += ["--request-deadline", str(args.request_deadline)]
+    if args.client_rate is not None:
+        argv += ["--client-rate", str(args.client_rate)]
+    argv += ["--client-burst", str(args.client_burst)]
+    if args.max_inflight_per_client is not None:
+        argv += [
+            "--max-inflight-per-client",
+            str(args.max_inflight_per_client),
+        ]
+    if args.shed_after is not None:
+        argv += ["--shed-after", str(args.shed_after)]
+    return argv
+
+
+def _cmd_supervise(args: argparse.Namespace) -> int:
+    from .server import (
+        BackoffPolicy,
+        BreakerPolicy,
+        CrashLoopError,
+        Supervisor,
+        serve_spawn,
+        tcp_ping,
+    )
+
+    if args.port == 0:
+        print(
+            "supervise needs a concrete --port (the watchdog probes it)",
+            file=sys.stderr,
+        )
+        return 2
+    supervisor = Supervisor(
+        serve_spawn(_serve_argv(args)),
+        health_check=lambda: tcp_ping(args.host, args.port),
+        health_interval_s=args.health_interval,
+        backoff=BackoffPolicy(
+            base_s=args.backoff_base, cap_s=args.backoff_cap
+        ),
+        breaker=BreakerPolicy(
+            max_crashes=args.max_crashes, window_s=args.crash_window
+        ),
+    )
+    print(
+        f"supervising serve worker on {args.host}:{args.port} "
+        f"(breaker: {args.max_crashes} crashes/{args.crash_window:g}s)",
+        file=sys.stderr,
+        flush=True,
+    )
+    # SIGTERM stops supervision gracefully: run()'s cleanup SIGTERMs
+    # the worker (which drains) and only then returns.
+    import signal
+
+    previous = None
+    try:
+        previous = signal.signal(
+            signal.SIGTERM, lambda *_: supervisor.stop()
+        )
+    except (ValueError, OSError):
+        previous = None  # non-main thread / platform without SIGTERM
+    try:
+        supervisor.run()
+    except KeyboardInterrupt:
+        # run()'s cleanup already drained the worker (SIGTERM, then
+        # kill after the grace period).
+        supervisor.stop()
+        print("supervisor stopped", file=sys.stderr, flush=True)
+        return 0
+    except CrashLoopError as error:
+        print(f"crash loop: {error}", file=sys.stderr, flush=True)
+        return 1
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
     return 0
 
 
@@ -413,6 +674,7 @@ def main(argv: list[str] | None = None) -> int:
         "plan": _cmd_plan,
         "batch": _cmd_batch,
         "serve": _cmd_serve,
+        "supervise": _cmd_supervise,
         "simplify": _cmd_simplify,
         "classify": _cmd_classify,
     }

@@ -49,6 +49,7 @@ from ..logic.atoms import Atom
 from ..logic.evaluation import holds
 from ..logic.queries import ConjunctiveQuery
 from ..logic.terms import Constant, Variable
+from ..runtime import Budget
 from ..schema.schema import Schema
 from .axioms import (
     amondet_start_instance,
@@ -100,15 +101,21 @@ def _chase_containment(
     max_facts: int = DEFAULT_CHASE_FACTS,
     engine: str = "delta",
     matcher=None,
+    budget: Optional[Budget] = None,
 ) -> Decision:
     """Run the containment chase from an explicit start instance.
 
     ``matcher`` is the compiled schema's per-fingerprint matcher: the
     chase's trigger/activeness searches and the per-round target probe
-    all share its plans and check caches across queries.
+    all share its plans and check caches across queries.  ``budget`` is
+    handed to the chase (checked every round) and to the per-round
+    target probe; `repro.runtime.DeadlineExceeded` propagates to the
+    caller rather than being folded into a Decision.
     """
     if matcher is not None:
-        stop_when = lambda inst: matcher.has(target.atoms, inst)  # noqa: E731
+        stop_when = lambda inst: matcher.has(  # noqa: E731
+            target.atoms, inst, budget=budget
+        )
     else:
         stop_when = lambda inst: holds(target, inst)  # noqa: E731
     result = chase(
@@ -120,6 +127,7 @@ def _chase_containment(
         record_steps=True,
         engine=engine,
         matcher=matcher,
+        budget=budget,
     )
     if result.outcome is ChaseOutcome.FAILED:
         return Decision.yes(
@@ -141,6 +149,11 @@ def _chase_containment(
         f"chase bound hit after {result.rounds} rounds / "
         f"{len(result.instance)} facts",
         rounds=result.rounds,
+        error={
+            "type": "ChaseBudgetExceeded",
+            "rounds": result.rounds,
+            "facts": len(result.instance),
+        },
     )
 
 
@@ -153,6 +166,7 @@ def decide_with_fds(
     *,
     max_rounds: Optional[int] = 500,
     max_facts: int = DEFAULT_CHASE_FACTS,
+    budget: Optional[Budget] = None,
 ) -> Decision:
     """Monotone answerability for FD constraints (NP, Thm 5.2).
 
@@ -171,6 +185,7 @@ def decide_with_fds(
         max_rounds=max_rounds,
         max_facts=max_facts,
         matcher=compiled.matcher(),
+        budget=budget,
     )
     decision.detail["simplification"] = simplified.kind
     return decision
@@ -188,6 +203,7 @@ def decide_with_ids(
     max_facts: int = DEFAULT_CHASE_FACTS,
     max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
     subsumption: bool = True,
+    budget: Optional[Budget] = None,
 ) -> Decision:
     """Monotone answerability for ID constraints.
 
@@ -216,6 +232,7 @@ def decide_with_ids(
             max_rounds=max_rounds,
             max_facts=max_facts,
             matcher=compiled.matcher(),
+            budget=budget,
         )
         decision.detail["route"] = "chase"
         return decision
@@ -227,7 +244,7 @@ def decide_with_ids(
     target = prime_query(query)
     try:
         rewriting = compiled.rewrite_engine(subsumption=subsumption).rewrite(
-            target, max_disjuncts=max_disjuncts
+            target, max_disjuncts=max_disjuncts, budget=budget
         )
     except RewritingBudgetExceeded as error:
         return Decision.unknown(
@@ -237,7 +254,7 @@ def decide_with_ids(
         return Decision.unknown(str(error), route="linearization")
     matcher = compiled.matcher()
     for disjunct in rewriting.disjuncts:
-        if matcher.has(disjunct.atoms, start):
+        if matcher.has(disjunct.atoms, start, budget=budget):
             return Decision.yes(
                 "linearized rewriting matches the saturated canonical "
                 "database (Prop 5.5 + backward rewriting)",
@@ -325,6 +342,7 @@ def decide_with_uids_and_fds(
     *,
     max_rounds: Optional[int] = DEFAULT_CHASE_ROUNDS,
     max_facts: int = DEFAULT_CHASE_FACTS,
+    budget: Optional[Budget] = None,
 ) -> Decision:
     """Monotone answerability for UIDs + FDs (Thm 7.2).
 
@@ -356,6 +374,7 @@ def decide_with_uids_and_fds(
         max_rounds=max_rounds,
         max_facts=max_facts,
         matcher=compiled.matcher(),
+        budget=budget,
     )
     decision.detail["simplification"] = "choice+separability"
     return decision
@@ -370,6 +389,7 @@ def decide_with_choice_simplification(
     *,
     max_rounds: Optional[int] = DEFAULT_CHASE_ROUNDS,
     max_facts: int = DEFAULT_CHASE_FACTS,
+    budget: Optional[Budget] = None,
 ) -> Decision:
     """Monotone answerability via choice simplification (TGD classes).
 
@@ -387,6 +407,7 @@ def decide_with_choice_simplification(
         max_rounds=max_rounds,
         max_facts=max_facts,
         matcher=compiled.matcher(),
+        budget=budget,
     )
     decision.detail["simplification"] = "choice"
     return decision
@@ -428,6 +449,7 @@ def decide_monotone_answerability(
     max_facts: int = DEFAULT_CHASE_FACTS,
     max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
     subsumption: bool = True,
+    budget: Optional[Budget] = None,
 ) -> AnswerabilityResult:
     """Decide monotone answerability, dispatching on the constraint class.
 
@@ -448,7 +470,9 @@ def decide_monotone_answerability(
     fragment = compiled.constraint_class
     if fragment in (ConstraintClass.NONE, ConstraintClass.FDS):
         return AnswerabilityResult(
-            decide_with_fds(compiled, query, max_facts=max_facts),
+            decide_with_fds(
+                compiled, query, max_facts=max_facts, budget=budget
+            ),
             "fd-simplification",
             fragment,
         )
@@ -463,6 +487,7 @@ def decide_monotone_answerability(
                 max_facts=max_facts,
                 max_disjuncts=max_disjuncts,
                 subsumption=subsumption,
+                budget=budget,
             ),
             "linearization",
             fragment,
@@ -470,7 +495,11 @@ def decide_monotone_answerability(
     if fragment is ConstraintClass.UIDS_AND_FDS:
         return AnswerabilityResult(
             decide_with_uids_and_fds(
-                compiled, query, max_rounds=max_rounds, max_facts=max_facts
+                compiled,
+                query,
+                max_rounds=max_rounds,
+                max_facts=max_facts,
+                budget=budget,
             ),
             "choice+separability",
             fragment,
@@ -483,7 +512,11 @@ def decide_monotone_answerability(
     ):
         return AnswerabilityResult(
             decide_with_choice_simplification(
-                compiled, query, max_rounds=max_rounds, max_facts=max_facts
+                compiled,
+                query,
+                max_rounds=max_rounds,
+                max_facts=max_facts,
+                budget=budget,
             ),
             "choice-simplification",
             fragment,
@@ -499,6 +532,7 @@ def decide_monotone_answerability(
             max_rounds=max_rounds,
             max_facts=max_facts,
             matcher=compiled.matcher(),
+            budget=budget,
         )
         return AnswerabilityResult(decision, "direct", fragment)
     return AnswerabilityResult(

@@ -27,6 +27,7 @@ from ..constraints.finite_closure import finite_closure
 from ..constraints.tgd import TGD
 from ..containment.decision import Decision
 from ..logic.queries import ConjunctiveQuery
+from ..runtime import Budget
 from ..schema.schema import Schema
 from ..containment.rewriting import DEFAULT_MAX_DISJUNCTS
 from .deciders import (
@@ -72,6 +73,7 @@ def decide_finite_monotone_answerability(
     max_facts: int = DEFAULT_CHASE_FACTS,
     max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
     subsumption: bool = True,
+    budget: Optional[Budget] = None,
 ) -> AnswerabilityResult:
     """Decide monotone answerability over *finite* instances.
 
@@ -91,6 +93,7 @@ def decide_finite_monotone_answerability(
             max_facts=max_facts,
             max_disjuncts=max_disjuncts,
             subsumption=subsumption,
+            budget=budget,
         )
         result.decision.detail["finite_variant"] = (
             "delegated (finitely controllable, Prop 2.2)"
@@ -99,7 +102,11 @@ def decide_finite_monotone_answerability(
     if fragment is ConstraintClass.UIDS_AND_FDS:
         closed = compiled.finite_closure()
         decision = decide_with_uids_and_fds(
-            closed, query, max_rounds=max_rounds, max_facts=max_facts
+            closed,
+            query,
+            max_rounds=max_rounds,
+            max_facts=max_facts,
+            budget=budget,
         )
         decision.detail["finite_variant"] = (
             "finite closure Σ* (Cor 7.3 / Thm 7.4)"

@@ -343,6 +343,7 @@ def generate_static_plan(
     max_facts: Optional[int] = None,
     max_disjuncts: Optional[int] = None,
     subsumption: bool = True,
+    budget=None,
 ) -> Optional[Plan]:
     """Decide answerability via a proof-producing route and compile the
     proof to a static plan; None when the query is not (provably)
@@ -387,6 +388,7 @@ def generate_static_plan(
             if max_disjuncts is None
             else max_disjuncts,
             subsumption=subsumption,
+            budget=budget,
         )
         if gate.is_no:
             return None
@@ -403,6 +405,7 @@ def generate_static_plan(
         max_rounds=max_rounds,
         max_facts=DEFAULT_CHASE_FACTS if max_facts is None else max_facts,
         matcher=compiled.matcher(),
+        budget=budget,
     )
     if not decision.is_yes or decision.certificate is None:
         return None

@@ -68,6 +68,7 @@ from ..data.instance import Instance
 from ..logic.atoms import Atom
 from ..logic.terms import Constant, GroundTerm, Null, NullFactory, Term, Variable
 from ..matching.matcher import default_matcher
+from ..runtime import Budget
 
 Dependency = Union[TGD, EGD, FunctionalDependency]
 
@@ -510,6 +511,7 @@ def _chase_delta(
     factory: NullFactory,
     stop_when: Optional[Callable[[Instance], bool]],
     matcher,
+    budget: Optional[Budget] = None,
 ) -> ChaseResult:
     """Semi-naive chase: only delta-touching triggers are enumerated."""
     stats = ChaseStats()
@@ -543,6 +545,11 @@ def _chase_delta(
         return result(ChaseOutcome.EARLY_STOP)
 
     while True:
+        # Cooperative cancellation: the round boundary is the chase's
+        # coarse check; matcher calls below carry the budget for the
+        # fine-grained (per backtrack batch) checks inside a round.
+        if budget is not None:
+            budget.check()
         if max_rounds is not None and rounds >= max_rounds:
             return result(ChaseOutcome.BOUND_REACHED)
         rounds += 1
@@ -571,6 +578,7 @@ def _chase_delta(
                         on=dependency.exported_variables(),
                         seed=seed,
                         skip=fired[rule_index],
+                        budget=budget,
                     )
                     for trigger in triggers:
                         stats.triggers_enumerated += 1
@@ -583,7 +591,7 @@ def _chase_delta(
                     continue
                 body_vars = dependency.body_variables()
                 for trigger in matcher.homomorphisms(
-                    dependency.body, instance, seed=seed
+                    dependency.body, instance, seed=seed, budget=budget
                 ):
                     stats.triggers_enumerated += 1
                     key = (
@@ -665,6 +673,7 @@ def _chase_naive(
     factory: NullFactory,
     stop_when: Optional[Callable[[Instance], bool]],
     matcher,
+    budget: Optional[Budget] = None,
 ) -> ChaseResult:
     """Round-based reference chase: full re-enumeration every round."""
     stats = ChaseStats()
@@ -689,6 +698,8 @@ def _chase_naive(
         return result(ChaseOutcome.EARLY_STOP)
 
     while True:
+        if budget is not None:
+            budget.check()
         if max_rounds is not None and rounds >= max_rounds:
             return result(ChaseOutcome.BOUND_REACHED)
         rounds += 1
@@ -696,7 +707,9 @@ def _chase_naive(
         # Collect triggers against the instance as of the round start.
         for index, dependency in enumerate(tgds):
             for trigger in list(
-                matcher.homomorphisms(dependency.body, instance)
+                matcher.homomorphisms(
+                    dependency.body, instance, budget=budget
+                )
             ):
                 stats.triggers_enumerated += 1
                 if policy == "semi_oblivious":
@@ -762,6 +775,7 @@ def chase(
     stop_when: Optional[Callable[[Instance], bool]] = None,
     engine: str = "delta",
     matcher=None,
+    budget: Optional[Budget] = None,
 ) -> ChaseResult:
     """Chase `start` with the dependencies.
 
@@ -789,6 +803,12 @@ def chase(
     and the cross-check/benchmark suites pass
     `repro.matching.NaiveMatcher` to run the same engine on the
     uncompiled reference search.
+
+    ``budget`` makes the run cooperatively cancellable: it is checked
+    at every round boundary (alongside ``max_rounds``/``max_facts``)
+    and threaded into the matcher's trigger searches, so an exhausted
+    deadline raises `repro.runtime.DeadlineExceeded` out of the chase
+    within one backtrack batch.
     """
     if policy not in ("restricted", "semi_oblivious"):
         raise ValueError(f"unknown chase policy: {policy}")
@@ -813,6 +833,7 @@ def chase(
         factory=factory,
         stop_when=stop_when,
         matcher=matcher if matcher is not None else default_matcher(),
+        budget=budget,
     )
 
 

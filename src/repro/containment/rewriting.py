@@ -47,6 +47,7 @@ from ..logic.evaluation import holds
 from ..logic.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
 from ..logic.terms import Constant, Null, Term, Variable
 from ..matching.matcher import default_matcher, freeze_atoms
+from ..runtime import Budget
 from .decision import Decision
 
 #: Safety valve on the number of generated disjuncts.
@@ -527,12 +528,16 @@ class RewriteEngine:
             ),
         )
 
-    def _emit(self, states: Iterable[State]) -> tuple[State, ...]:
+    def _emit(
+        self, states: Iterable[State], budget: Optional[Budget] = None
+    ) -> tuple[State, ...]:
         ordered = sorted(states, key=self._emission_key)
         buckets: dict[tuple, list[State]] = {}
         kept: list[State] = []
         matcher = self._matcher
         for state in ordered:
+            if budget is not None:
+                budget.tick()
             invariant = tuple(sorted(_shape(a) for a in state))
             bucket = buckets.setdefault(invariant, [])
             if any(matcher.is_isomorphic(state, other) for other in bucket):
@@ -541,11 +546,13 @@ class RewriteEngine:
             bucket.append(state)
             kept.append(state)
         if self._subsumption:
-            kept = self._prune_subsumed(kept)
+            kept = self._prune_subsumed(kept, budget)
         self._counters["disjuncts_emitted"] += len(kept)
         return tuple(kept)
 
-    def _prune_subsumed(self, ordered: list[State]) -> list[State]:
+    def _prune_subsumed(
+        self, ordered: list[State], budget: Optional[Budget] = None
+    ) -> list[State]:
         """Drop disjuncts hom-implied by a smaller kept disjunct.
 
         A homomorphism p → CanonDB(q) means q ⊨ p, so any instance
@@ -568,6 +575,8 @@ class RewriteEngine:
         kept_constants: list[frozenset] = []
         kept_plans: list = []
         for state in ordered:
+            if budget is not None:
+                budget.tick()
             state_relations = frozenset(a.relation for a in state)
             state_constants = frozenset(
                 t
@@ -609,6 +618,7 @@ class RewriteEngine:
         query: ConjunctiveQuery,
         *,
         max_disjuncts: Optional[int] = None,
+        budget: Optional[Budget] = None,
     ) -> UnionOfConjunctiveQueries:
         """Perfect UCQ rewriting of a Boolean CQ under the engine's rules.
 
@@ -617,10 +627,18 @@ class RewriteEngine:
         iff I satisfies some disjunct.  Disjuncts are deduplicated by
         isomorphism class and emitted in a deterministic order.  Raises
         `RewritingBudgetExceeded` past the disjunct budget.
+
+        ``budget`` is checked once per expansion step (each state popped
+        off the BFS queue) and ticked through the emission/pruning
+        passes; `repro.runtime.DeadlineExceeded` propagates *before*
+        the result memo is written, so an aborted rewrite leaves only
+        complete artifacts behind (``_expansions`` entries are whole
+        per-state expansions — valid regardless of which rewrite built
+        them).
         """
         if query.free_variables:
             raise RewritingError("rewriting is implemented for Boolean CQs")
-        budget = self.max_disjuncts if max_disjuncts is None else max_disjuncts
+        limit = self.max_disjuncts if max_disjuncts is None else max_disjuncts
         with self._lock:
             self._counters["rewrites"] += 1
             start = canonical_state(query.atoms)
@@ -628,24 +646,26 @@ class RewriteEngine:
             if cached is not None:
                 frontier_size, disjuncts = cached
                 self._counters["result_hits"] += 1
-                if frontier_size > budget:
-                    raise RewritingBudgetExceeded(budget, budget + 1)
+                if frontier_size > limit:
+                    raise RewritingBudgetExceeded(limit, limit + 1)
             else:
                 seen = {start}
                 frontier = [start]
                 queue = [start]
                 while queue:
+                    if budget is not None:
+                        budget.check()
                     for successor in self._expand(queue.pop()):
                         if successor not in seen:
                             seen.add(successor)
                             frontier.append(successor)
                             queue.append(successor)
-                            if len(frontier) > budget:
+                            if len(frontier) > limit:
                                 raise RewritingBudgetExceeded(
-                                    budget, len(frontier)
+                                    limit, len(frontier)
                                 )
                 self._counters["states"] += len(frontier)
-                disjuncts = self._emit(frontier)
+                disjuncts = self._emit(frontier, budget)
                 self._results[start] = (len(frontier), disjuncts)
         return UnionOfConjunctiveQueries(
             tuple(

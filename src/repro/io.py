@@ -203,6 +203,11 @@ class DecideRequest:
     id: Optional[Union[str, int]] = None
     finite: bool = False
     op: str = "decide"
+    #: Per-request wall-clock budget in milliseconds; the processing
+    #: side cancels the decision cooperatively once it is exhausted and
+    #: answers with a retryable ``DeadlineExceeded`` error frame.  None
+    #: defers to the server's configured default (if any).
+    deadline_ms: Optional[float] = None
 
     def to_dict(self) -> dict[str, Any]:
         payload: dict[str, Any] = {}
@@ -216,6 +221,8 @@ class DecideRequest:
             payload["finite"] = True
         if self.op != "decide":
             payload["op"] = self.op
+        if self.deadline_ms is not None:
+            payload["deadline_ms"] = self.deadline_ms
         return payload
 
     @staticmethod
@@ -252,12 +259,25 @@ class DecideRequest:
                 f"'id' must be a string or integer, "
                 f"got {type(request_id).__name__}"
             )
+        deadline_ms = payload.get("deadline_ms")
+        if deadline_ms is not None:
+            if (
+                isinstance(deadline_ms, bool)
+                or not isinstance(deadline_ms, (int, float))
+                or deadline_ms <= 0
+            ):
+                raise SchemaFormatError(
+                    f"'deadline_ms' must be a positive number, "
+                    f"got {deadline_ms!r}"
+                )
+            deadline_ms = float(deadline_ms)
         return DecideRequest(
             query=query,
             schema=schema,
             id=request_id,
             finite=bool(payload.get("finite", False)),
             op=op,
+            deadline_ms=deadline_ms,
         )
 
 
@@ -394,12 +414,24 @@ class ErrorFrame:
     (a `DecideResponse` uses ``error`` for a *decision-level* resource
     failure and always carries ``decision``; an `ErrorFrame` never
     does).
+
+    ``retryable`` is the machine-readable retry contract: True means
+    the same request may succeed if resent (transient overload, an
+    exhausted deadline, a draining server); False means the request
+    itself is at fault and retrying verbatim cannot help (malformed
+    JSON, a bad schema, an unknown op).  ``retry_after_ms``, when
+    present, hints how long to back off first.  Both default off, so
+    frames produced by older peers parse unchanged (absent ⇒ not
+    retryable, no hint).  The full error-type taxonomy is documented in
+    DESIGN.md's wire-protocol section.
     """
 
     type: str
     message: str
     id: Optional[Union[str, int]] = None
     detail: dict[str, Any] = field(default_factory=dict)
+    retryable: bool = False
+    retry_after_ms: Optional[float] = None
 
     @staticmethod
     def from_exception(
@@ -408,18 +440,30 @@ class ErrorFrame:
         id: Optional[Union[str, int]] = None,
         **detail: Any,
     ) -> "ErrorFrame":
+        """Build a frame, lifting the exception's retry contract.
+
+        Exceptions may declare ``retryable`` (bool) and
+        ``retry_after_ms`` (float) attributes — `repro.runtime`'s
+        `DeadlineExceeded` and `Overloaded` do — which map straight
+        onto the wire fields; anything else is non-retryable.
+        """
         return ErrorFrame(
             type=type(error).__name__,
             message=str(error),
             id=id,
             detail=detail,
+            retryable=bool(getattr(error, "retryable", False)),
+            retry_after_ms=getattr(error, "retry_after_ms", None),
         )
 
     def to_dict(self) -> dict[str, Any]:
         error: dict[str, Any] = {
             "type": self.type,
             "message": self.message,
+            "retryable": self.retryable,
         }
+        if self.retry_after_ms is not None:
+            error["retry_after_ms"] = self.retry_after_ms
         if self.detail:
             error["detail"] = json_safe(self.detail)
         payload: dict[str, Any] = {"error": error}
@@ -435,4 +479,6 @@ class ErrorFrame:
             message=error.get("message", ""),
             id=payload.get("id"),
             detail=dict(error.get("detail", {})),
+            retryable=bool(error.get("retryable", False)),
+            retry_after_ms=error.get("retry_after_ms"),
         )

@@ -41,6 +41,7 @@ from typing import Iterable, Iterator, Mapping, Optional, Sequence
 from ..data.instance import Instance
 from ..logic.atoms import Atom
 from ..logic.terms import GroundTerm, Null, Term, Variable, fresh_null
+from ..runtime import Budget
 from .plan import MatchPlan, plan_key
 
 Assignment = dict[Term, GroundTerm]
@@ -120,9 +121,17 @@ def _extend(entry, fact: Atom, assignment: Assignment):
 
 
 def _search(
-    plan: MatchPlan, instance: Instance, assignment: Assignment, depth: int
+    plan: MatchPlan,
+    instance: Instance,
+    assignment: Assignment,
+    depth: int,
+    budget: Optional[Budget] = None,
 ) -> Iterator[Assignment]:
-    """Enumerate all extensions of `assignment` from `depth` on."""
+    """Enumerate all extensions of `assignment` from `depth` on.
+
+    ``budget`` (when given) is ticked once per candidate fact tried —
+    the per-backtrack-batch cancellation point of plan execution.
+    """
     compiled = plan.compiled
     if depth == len(compiled):
         yield dict(assignment)
@@ -130,13 +139,15 @@ def _search(
     entry = compiled[depth]
     if entry.probe_template is not None:
         if _probe(entry, instance, assignment):
-            yield from _search(plan, instance, assignment, depth + 1)
+            yield from _search(plan, instance, assignment, depth + 1, budget)
         return
     for fact in _candidates(entry, instance, assignment):
+        if budget is not None:
+            budget.tick()
         newly = _extend(entry, fact, assignment)
         if newly is None:
             continue
-        yield from _search(plan, instance, assignment, depth + 1)
+        yield from _search(plan, instance, assignment, depth + 1, budget)
         for term in newly:
             del assignment[term]
 
@@ -147,6 +158,7 @@ def _find_one(
     assignment: Assignment,
     depth: int,
     trail: list[Term],
+    budget: Optional[Budget] = None,
 ) -> bool:
     """Find one completion; on success the bindings stay in `assignment`
     (their terms appended to `trail`), on failure everything unwinds."""
@@ -156,13 +168,15 @@ def _find_one(
     entry = compiled[depth]
     if entry.probe_template is not None:
         return _probe(entry, instance, assignment) and _find_one(
-            plan, instance, assignment, depth + 1, trail
+            plan, instance, assignment, depth + 1, trail, budget
         )
     for fact in _candidates(entry, instance, assignment):
+        if budget is not None:
+            budget.tick()
         newly = _extend(entry, fact, assignment)
         if newly is None:
             continue
-        if _find_one(plan, instance, assignment, depth + 1, trail):
+        if _find_one(plan, instance, assignment, depth + 1, trail, budget):
             trail.extend(newly)
             return True
         for term in newly:
@@ -327,20 +341,23 @@ class Matcher:
         *,
         seed: Optional[Mapping[Term, GroundTerm]] = None,
         flexible_nulls: bool = False,
+        budget: Optional[Budget] = None,
     ) -> Iterator[Assignment]:
         """Enumerate homomorphisms of `atoms` into `instance`.
 
         Yields full assignments (seed entries included), like the
         historical `repro.logic.homomorphism.homomorphisms`; enumeration
         order is unspecified.  The instance must not be mutated while
-        the iterator is live.
+        the iterator is live.  ``budget`` (when given) is ticked per
+        candidate fact: an exhausted budget raises `DeadlineExceeded`
+        out of the iterator.
         """
         plan = self.plan_for(
             atoms, instance, seed=seed, flexible_nulls=flexible_nulls
         )
         self._counters["enumerations"] += 1
         assignment: Assignment = dict(seed) if seed else {}
-        return _search(plan, instance, assignment, 0)
+        return _search(plan, instance, assignment, 0, budget)
 
     def find(
         self,
@@ -349,13 +366,14 @@ class Matcher:
         *,
         seed: Optional[Mapping[Term, GroundTerm]] = None,
         flexible_nulls: bool = False,
+        budget: Optional[Budget] = None,
     ) -> Optional[Assignment]:
         """One homomorphism, or None."""
         plan = self.plan_for(
             atoms, instance, seed=seed, flexible_nulls=flexible_nulls
         )
         assignment: Assignment = dict(seed) if seed else {}
-        if _find_one(plan, instance, assignment, 0, []):
+        if _find_one(plan, instance, assignment, 0, [], budget):
             return assignment
         return None
 
@@ -366,6 +384,7 @@ class Matcher:
         *,
         seed: Optional[Mapping[Term, GroundTerm]] = None,
         flexible_nulls: bool = False,
+        budget: Optional[Budget] = None,
     ) -> bool:
         """Cached existence check.
 
@@ -375,6 +394,10 @@ class Matcher:
         touches are unchanged — so the restricted chase's activeness
         re-checks and a containment loop's per-round query probes only
         recompute when a relevant relation actually changed.
+
+        A `DeadlineExceeded` raised mid-search propagates *before* the
+        cache write below — an aborted check never stores a partial
+        (wrong) boolean.
         """
         plan = self.plan_for(
             atoms, instance, seed=seed, flexible_nulls=flexible_nulls
@@ -397,7 +420,7 @@ class Matcher:
             return entry[0]
         counters["check_misses"] += 1
         assignment = dict(seed) if seed else {}
-        result = _find_one(plan, instance, assignment, 0, [])
+        result = _find_one(plan, instance, assignment, 0, [], budget)
         # Concurrency note (the tests/concurrency battery leans on
         # this): the cache is deliberately lock-free.  Entries are
         # tagged with the generations read *before* the search — if
@@ -425,6 +448,7 @@ class Matcher:
         seed: Optional[Mapping[Term, GroundTerm]] = None,
         skip: Optional[set] = None,
         flexible_nulls: bool = False,
+        budget: Optional[Budget] = None,
     ) -> Iterator[Assignment]:
         """One full match per distinct projection on ``on``.
 
@@ -445,7 +469,7 @@ class Matcher:
         self._counters["distinct_enumerations"] += 1
         assignment: Assignment = dict(seed) if seed else {}
         return _distinct_search(
-            plan, instance, assignment, on, bound_depth, skip
+            plan, instance, assignment, on, bound_depth, skip, budget
         )
 
     # -- query-shape predicates ---------------------------------------
@@ -538,6 +562,7 @@ def _distinct_search(
     on: tuple[Term, ...],
     bound_depth: int,
     skip: set,
+    budget: Optional[Budget] = None,
 ) -> Iterator[Assignment]:
     compiled = plan.compiled
 
@@ -548,7 +573,9 @@ def _distinct_search(
         if key in skip:
             return None
         trail: list[Term] = []
-        if _find_one(plan, instance, assignment, bound_depth + 1, trail):
+        if _find_one(
+            plan, instance, assignment, bound_depth + 1, trail, budget
+        ):
             skip.add(key)
             result = dict(assignment)
             for term in trail:
@@ -569,6 +596,8 @@ def _distinct_search(
                     yield from search(depth + 1)
             return
         for fact in _candidates(entry, instance, assignment):
+            if budget is not None:
+                budget.tick()
             newly = _extend(entry, fact, assignment)
             if newly is None:
                 continue

@@ -176,10 +176,23 @@ class NaiveMatcher:
         *,
         seed: Optional[Mapping[Term, GroundTerm]] = None,
         flexible_nulls: bool = False,
+        budget=None,
     ) -> Iterator[Assignment]:
-        return naive_homomorphisms(
+        iterator = naive_homomorphisms(
             atoms, instance, seed=seed, flexible_nulls=flexible_nulls
         )
+        if budget is None:
+            return iterator
+        # Coarser than the planned matcher's per-candidate tick (one
+        # tick per yielded match), but the contract — an exhausted
+        # budget raises out of the iterator — is the same.
+        return self._ticked(iterator, budget)
+
+    @staticmethod
+    def _ticked(iterator: Iterator[Assignment], budget) -> Iterator[Assignment]:
+        for assignment in iterator:
+            budget.tick()
+            yield assignment
 
     def find(
         self,
@@ -188,9 +201,14 @@ class NaiveMatcher:
         *,
         seed: Optional[Mapping[Term, GroundTerm]] = None,
         flexible_nulls: bool = False,
+        budget=None,
     ) -> Optional[Assignment]:
         for assignment in self.homomorphisms(
-            atoms, instance, seed=seed, flexible_nulls=flexible_nulls
+            atoms,
+            instance,
+            seed=seed,
+            flexible_nulls=flexible_nulls,
+            budget=budget,
         ):
             return assignment
         return None
@@ -202,10 +220,15 @@ class NaiveMatcher:
         *,
         seed: Optional[Mapping[Term, GroundTerm]] = None,
         flexible_nulls: bool = False,
+        budget=None,
     ) -> bool:
         return (
             self.find(
-                atoms, instance, seed=seed, flexible_nulls=flexible_nulls
+                atoms,
+                instance,
+                seed=seed,
+                flexible_nulls=flexible_nulls,
+                budget=budget,
             )
             is not None
         )
@@ -219,12 +242,17 @@ class NaiveMatcher:
         seed: Optional[Mapping[Term, GroundTerm]] = None,
         skip: Optional[set] = None,
         flexible_nulls: bool = False,
+        budget=None,
     ) -> Iterator[Assignment]:
         """Post-hoc dedup on the projection (the planned matcher prunes
         the search instead; the yielded set is identical)."""
         skip = skip if skip is not None else set()
         for assignment in self.homomorphisms(
-            atoms, instance, seed=seed, flexible_nulls=flexible_nulls
+            atoms,
+            instance,
+            seed=seed,
+            flexible_nulls=flexible_nulls,
+            budget=budget,
         ):
             key = tuple(assignment[t] for t in on)
             if key in skip:

@@ -8,11 +8,17 @@ The layer that turns the service seam into a server:
   eviction of cold fingerprints, aggregated `stats()`;
 * `DecideServer` / `run_server` — the asyncio JSON-lines TCP front end:
   decisions on a bounded worker-thread executor, backpressure via a
-  bounded in-flight gate, structured `ErrorFrame`s for every failure;
+  bounded in-flight gate (optionally shedding `Overloaded` frames),
+  per-request deadlines with cooperative cancellation, per-client
+  token-bucket quotas, graceful drain, and structured `ErrorFrame`s
+  for every failure;
+* `Supervisor` — the crash-tolerant worker supervisor: serve loop in a
+  child process, health-check watchdog, jittered-exponential-backoff
+  restarts, crash-loop breaker;
 * `make_wsgi_app` — the same pool behind any WSGI httpd (stdlib
   ``wsgiref`` pairs with it for a dependency-free HTTP server).
 
-Exposed on the CLI as ``python -m repro serve``.
+Exposed on the CLI as ``python -m repro serve`` / ``supervise``.
 """
 
 from .pool import (
@@ -29,6 +35,14 @@ from .server import (
     DecideServer,
     run_server,
 )
+from .supervisor import (
+    BackoffPolicy,
+    BreakerPolicy,
+    CrashLoopError,
+    Supervisor,
+    serve_spawn,
+    tcp_ping,
+)
 from .wsgi import make_wsgi_app
 
 __all__ = [
@@ -36,5 +50,7 @@ __all__ = [
     "SessionLimits", "SessionPool", "introspection_frame",
     "DEFAULT_MAX_PENDING", "DEFAULT_PORT", "DEFAULT_WORKERS",
     "DecideServer", "run_server",
+    "BackoffPolicy", "BreakerPolicy", "CrashLoopError",
+    "Supervisor", "serve_spawn", "tcp_ping",
     "make_wsgi_app",
 ]

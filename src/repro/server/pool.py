@@ -38,6 +38,7 @@ from ..answerability.deciders import (
 )
 from ..containment.rewriting import DEFAULT_MAX_DISJUNCTS
 from ..io import DecideRequest, DecideResponse, PlanResponse, schema_from_dict
+from ..runtime import Budget
 from ..schema.schema import Schema
 from ..service import CompiledSchema, Session, as_compiled
 
@@ -58,6 +59,10 @@ class SessionLimits:
     max_disjuncts: int = DEFAULT_MAX_DISJUNCTS
     subsumption: bool = True
     cache_size: int = 1024
+    #: Wall-clock deadline applied to every request that does not carry
+    #: its own ``deadline_ms`` (None = unbounded).  A request deadline
+    #: is capped at this value when both are set.
+    deadline_ms: Optional[float] = None
 
     def make_session(self, compiled: CompiledSchema) -> Session:
         return Session(
@@ -256,26 +261,53 @@ class SessionPool:
     # ------------------------------------------------------------------
     # The transport-independent request path
     # ------------------------------------------------------------------
+    def budget_for(self, request: DecideRequest) -> Optional[Budget]:
+        """The `Budget` governing one request, or None when unbounded.
+
+        The effective deadline is the *tighter* of the request's own
+        ``deadline_ms`` and the pool's configured default
+        (``limits.deadline_ms``): clients may always ask for less time
+        than the server allows, never more.
+        """
+        deadlines = [
+            d
+            for d in (request.deadline_ms, self.limits.deadline_ms)
+            if d is not None
+        ]
+        if not deadlines:
+            return None
+        return Budget(min(deadlines))
+
     def process(
-        self, request: DecideRequest
+        self,
+        request: DecideRequest,
+        *,
+        budget: Optional[Budget] = None,
     ) -> Union[DecideResponse, PlanResponse]:
         """Route and execute one request frame (op decide or plan).
 
         Raises on malformed input (bad schema, unparseable query, an op
         this layer does not handle) — transports turn exceptions into
-        `ErrorFrame`s.
+        `ErrorFrame`s.  ``budget`` defaults to `budget_for(request)`;
+        transports that need to cancel in-flight work (drain, client
+        disconnect) construct the budget themselves and keep a handle.
+        An exhausted budget raises `repro.runtime.DeadlineExceeded`.
         """
         if request.op not in ("decide", "plan"):
             raise ValueError(
                 f"op {request.op!r} is not a session operation"
             )
+        if budget is None:
+            budget = self.budget_for(request)
         session = self.session(request.schema)
         if request.op == "plan":
             response: Union[DecideResponse, PlanResponse] = session.plan(
-                request.query
+                request.query, budget=budget
             )
         else:
-            response = session.decide(request.query, finite=request.finite)
+            response = session.decide(
+                request.query, finite=request.finite, budget=budget
+            )
         if request.id is not None:
             # Copy: the session cache keeps the id-free original.
             response = dataclasses.replace(response, id=request.id)
@@ -302,6 +334,7 @@ class SessionPool:
                     "max_facts": self.limits.max_facts,
                     "max_disjuncts": self.limits.max_disjuncts,
                     "subsumption": self.limits.subsumption,
+                    "deadline_ms": self.limits.deadline_ms,
                 },
                 "sessions": [entry.stats() for entry in entries],
             }

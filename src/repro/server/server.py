@@ -2,10 +2,11 @@
 
 One TCP connection speaks the `repro.io` wire protocol, newline-framed:
 each request line is a `DecideRequest` frame (a bare query string or an
-object with ``op``/``schema``/``id``/``finite``), each response line a
-`DecideResponse`, `PlanResponse`, stats, pong, or `ErrorFrame` JSON
-object.  Frames on one connection are processed in order (responses
-line up with requests); concurrency comes from concurrent connections.
+object with ``op``/``schema``/``id``/``finite``/``deadline_ms``), each
+response line a `DecideResponse`, `PlanResponse`, stats, pong, or
+`ErrorFrame` JSON object.  Frames on one connection are processed in
+order (responses line up with requests); concurrency comes from
+concurrent connections.
 
 The event loop never decides anything itself: decisions run on a
 bounded worker-thread executor, so slow chases cannot stall frame
@@ -13,6 +14,27 @@ parsing, stats probes, or other connections.  Backpressure is a
 bounded in-flight gate: once ``max_pending`` decisions are queued or
 running, readers simply stop pulling new frames until capacity frees —
 the TCP receive window, not an unbounded buffer, absorbs the burst.
+With ``shed_after_ms`` set, a frame that cannot acquire the gate in
+time is *shed* with a retryable ``Overloaded`` error frame instead of
+waiting — saturation becomes visible to clients, never a silent stall.
+
+**Deadlines.** Each decide/plan frame runs under a
+`repro.runtime.Budget` (from the frame's ``deadline_ms``, capped by the
+pool's configured default); an exhausted budget surfaces as a
+retryable ``DeadlineExceeded`` error frame while the connection stays
+open.  The server keeps a registry of in-flight budgets so drain (and
+only drain) can cancel them cooperatively.
+
+**Per-client fairness.** Optional token-bucket rate limiting
+(``client_rate``/``client_burst``) and an in-flight quota
+(``max_inflight_per_client``), both keyed by peer address: one hostile
+client saturating its bucket gets ``Overloaded`` frames with a
+``retry_after_ms`` hint while other clients' latency stays flat.
+
+**Graceful drain.** ``close(drain_timeout=...)`` stops accepting,
+lets in-flight work finish (cancelling budgets once half the timeout
+is spent), flushes final frames, and only then releases the executor.
+``python -m repro serve`` wires SIGTERM to exactly this path.
 
 Malformed frames (bad JSON, unknown op, invalid schema, a query that
 does not parse) come back as structured `ErrorFrame`s on the stream —
@@ -27,7 +49,7 @@ frame and then closes that connection.
     await server.start()
     host, port = server.address
     ...
-    await server.close()
+    await server.close(drain_timeout=5.0)
 
 or, blocking: ``python -m repro serve schema.json --port 8765``.
 """
@@ -35,11 +57,14 @@ or, blocking: ``python -m repro serve schema.json --port 8765``.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import json
+import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Optional
+from typing import Callable, Optional
 
 from ..io import DecideRequest, ErrorFrame
+from ..runtime import Budget, DeadlineExceeded, Overloaded
 from .pool import SessionPool, introspection_frame
 
 #: Default TCP port (unassigned by IANA; "answerability" has no port).
@@ -53,6 +78,37 @@ DEFAULT_WORKERS = 4
 #: asyncio default readline limit would kill the connection instead).
 MAX_FRAME_BYTES = 1 << 20
 
+#: Retry hint on quota/in-flight shedding when no better estimate exists.
+DEFAULT_RETRY_AFTER_MS = 50.0
+#: Bound on tracked per-client states (idle states are pruned first).
+MAX_CLIENT_STATES = 1024
+
+
+class _ClientState:
+    """Token bucket + in-flight count for one peer address."""
+
+    __slots__ = ("tokens", "stamp", "inflight")
+
+    def __init__(self, burst: float, now: float) -> None:
+        self.tokens = burst
+        self.stamp = now
+        self.inflight = 0
+
+    def refill(self, rate: float, burst: float, now: float) -> None:
+        self.tokens = min(burst, self.tokens + (now - self.stamp) * rate)
+        self.stamp = now
+
+    def take(self, rate: float, burst: float, now: float) -> Optional[float]:
+        """Take one token; None on success, else a retry-after hint (ms)."""
+        self.refill(rate, burst, now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return None
+        return max(1.0, (1.0 - self.tokens) / rate * 1000.0)
+
+    def idle(self, burst: float) -> bool:
+        return self.inflight == 0 and self.tokens >= burst
+
 
 class DecideServer:
     """Serve `SessionPool` decisions over newline-framed JSON on TCP.
@@ -61,6 +117,12 @@ class DecideServer:
     an in-flight gate (``max_pending``); the pool may be shared with
     other front ends (e.g. the WSGI adapter) — all its state is
     thread-safe.
+
+    ``client_rate`` (tokens/second, with ``client_burst`` capacity) and
+    ``max_inflight_per_client`` are per-peer quotas, off by default;
+    ``shed_after_ms`` turns global-gate saturation into ``Overloaded``
+    shedding, off (pure backpressure) by default.  ``clock`` is the
+    monotonic clock the token buckets read — injectable for tests.
     """
 
     def __init__(
@@ -71,19 +133,42 @@ class DecideServer:
         port: int = DEFAULT_PORT,
         workers: int = DEFAULT_WORKERS,
         max_pending: int = DEFAULT_MAX_PENDING,
+        client_rate: Optional[float] = None,
+        client_burst: float = 8.0,
+        max_inflight_per_client: Optional[int] = None,
+        shed_after_ms: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if client_rate is not None and client_rate <= 0:
+            raise ValueError(f"client_rate must be > 0, got {client_rate}")
+        if client_burst < 1:
+            raise ValueError(f"client_burst must be >= 1, got {client_burst}")
+        if max_inflight_per_client is not None and max_inflight_per_client < 1:
+            raise ValueError(
+                "max_inflight_per_client must be >= 1, got "
+                f"{max_inflight_per_client}"
+            )
         self.pool = pool
         self.host = host
         self.port = port
         self.workers = workers
         self.max_pending = max_pending
+        self.client_rate = client_rate
+        self.client_burst = float(client_burst)
+        self.max_inflight_per_client = max_inflight_per_client
+        self.shed_after_ms = shed_after_ms
+        self._clock = clock
         self._executor: Optional[ThreadPoolExecutor] = None
         self._gate: Optional[asyncio.Semaphore] = None
         self._server: Optional[asyncio.AbstractServer] = None
+        self._draining: Optional[asyncio.Event] = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._budgets: set[Budget] = set()
+        self._clients: dict[str, _ClientState] = {}
         self._counters = {
             "connections": 0,
             "connections_open": 0,
@@ -91,6 +176,9 @@ class DecideServer:
             "responses": 0,
             "errors": 0,
             "in_flight": 0,
+            "overloaded": 0,
+            "deadline_exceeded": 0,
+            "cancelled": 0,
         }
 
     # ------------------------------------------------------------------
@@ -104,6 +192,7 @@ class DecideServer:
             max_workers=self.workers, thread_name_prefix="repro-serve"
         )
         self._gate = asyncio.Semaphore(self.max_pending)
+        self._draining = asyncio.Event()
         self._server = await asyncio.start_server(
             self._handle_connection,
             self.host,
@@ -120,6 +209,10 @@ class DecideServer:
     def address(self) -> tuple[str, int]:
         return (self.host, self.port)
 
+    @property
+    def draining(self) -> bool:
+        return self._draining is not None and self._draining.is_set()
+
     async def serve_forever(self) -> None:
         """Start (if needed) and block until cancelled/closed."""
         await self.start()
@@ -129,16 +222,44 @@ class DecideServer:
         except asyncio.CancelledError:
             pass
 
-    async def close(self) -> None:
-        """Stop accepting, close the listener, release the executor.
+    async def close(self, *, drain_timeout: Optional[float] = None) -> None:
+        """Stop accepting and drain, then release the executor.
 
-        In-flight executor decisions run to completion (``shutdown``
-        waits), so a clean close never abandons a worker mid-chase.
+        Drain is staged: (1) set the drain flag — connection readers
+        stop pulling new frames — and close the listener; (2) wait for
+        in-flight work to finish naturally; with ``drain_timeout`` set,
+        after half the timeout every in-flight `Budget` is cancelled
+        (reason ``drain``) so workers surface retryable
+        ``DeadlineExceeded`` frames instead of running long; (3) any
+        connection task still alive at the deadline is force-cancelled.
+        Responses for completed work are always flushed before their
+        connection closes.  Without ``drain_timeout`` the server waits
+        indefinitely for in-flight work (the pre-drain behavior, minus
+        accepting new frames).
         """
+        if self._draining is not None:
+            self._draining.set()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        tasks = set(self._conn_tasks)
+        if tasks:
+            if drain_timeout is None:
+                await asyncio.wait(tasks)
+            else:
+                __, pending = await asyncio.wait(
+                    tasks, timeout=drain_timeout / 2.0
+                )
+                if pending:
+                    self.cancel_in_flight("drain")
+                    __, pending = await asyncio.wait(
+                        pending, timeout=drain_timeout / 2.0
+                    )
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    await asyncio.wait(pending, timeout=1.0)
         if self._executor is not None:
             executor = self._executor
             self._executor = None
@@ -146,18 +267,100 @@ class DecideServer:
                 None, lambda: executor.shutdown(wait=True)
             )
 
+    def cancel_in_flight(self, reason: str = "cancelled") -> int:
+        """Cancel every in-flight request budget; returns the count."""
+        budgets = list(self._budgets)
+        for budget in budgets:
+            budget.cancel(reason)
+        self._counters["cancelled"] += len(budgets)
+        return len(budgets)
+
+    # ------------------------------------------------------------------
+    # Per-client quotas
+    # ------------------------------------------------------------------
+    def _client_state(self, peer: str) -> _ClientState:
+        state = self._clients.get(peer)
+        if state is None:
+            if len(self._clients) >= MAX_CLIENT_STATES:
+                for key in [
+                    k
+                    for k, s in self._clients.items()
+                    if s.idle(self.client_burst)
+                ]:
+                    del self._clients[key]
+            state = _ClientState(self.client_burst, self._clock())
+            self._clients[peer] = state
+        return state
+
+    def _admit(self, peer: str) -> Optional[ErrorFrame]:
+        """Apply per-client quotas; an `ErrorFrame` means *shed*."""
+        if self.client_rate is None and self.max_inflight_per_client is None:
+            return None
+        state = self._client_state(peer)
+        if (
+            self.max_inflight_per_client is not None
+            and state.inflight >= self.max_inflight_per_client
+        ):
+            return ErrorFrame.from_exception(
+                Overloaded(
+                    f"client {peer} has {state.inflight} requests in "
+                    "flight (limit "
+                    f"{self.max_inflight_per_client})",
+                    retry_after_ms=DEFAULT_RETRY_AFTER_MS,
+                    scope="client",
+                )
+            )
+        if self.client_rate is not None:
+            retry_after = state.take(
+                self.client_rate, self.client_burst, self._clock()
+            )
+            if retry_after is not None:
+                return ErrorFrame.from_exception(
+                    Overloaded(
+                        f"client {peer} exceeds {self.client_rate:g} "
+                        "requests/second",
+                        retry_after_ms=retry_after,
+                        scope="client",
+                    )
+                )
+        return None
+
     # ------------------------------------------------------------------
     # Connection handling
     # ------------------------------------------------------------------
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        peername = writer.get_extra_info("peername")
+        peer = peername[0] if peername else "?"
         self._counters["connections"] += 1
         self._counters["connections_open"] += 1
+        assert self._draining is not None
         try:
-            while True:
+            while not self._draining.is_set():
+                read = asyncio.ensure_future(reader.readline())
+                drain = asyncio.ensure_future(self._draining.wait())
                 try:
-                    line = await reader.readline()
+                    await asyncio.wait(
+                        {read, drain}, return_when=asyncio.FIRST_COMPLETED
+                    )
+                finally:
+                    drain.cancel()
+                    if not read.done():
+                        # Drain won the race: stop reading; no frame is
+                        # lost (the request was never accepted).
+                        read.cancel()
+                        try:
+                            await read
+                        except (asyncio.CancelledError, Exception):
+                            pass
+                if not read.done() or read.cancelled():
+                    break
+                try:
+                    line = read.result()
                 except (
                     asyncio.LimitOverrunError,
                     ValueError,
@@ -173,12 +376,14 @@ class DecideServer:
                     break
                 if not line.strip():
                     continue
-                frame = await self._process_line(line)
+                frame = await self._process_line(line, peer)
                 await self._write(writer, frame)
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
             self._counters["connections_open"] -= 1
+            if task is not None:
+                self._conn_tasks.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -193,7 +398,7 @@ class DecideServer:
     # ------------------------------------------------------------------
     # Frame processing
     # ------------------------------------------------------------------
-    async def _process_line(self, line: bytes) -> dict:
+    async def _process_line(self, line: bytes, peer: str = "?") -> dict:
         self._counters["frames"] += 1
         request: Optional[DecideRequest] = None
         try:
@@ -214,25 +419,74 @@ class DecideServer:
                 server={
                     "workers": self.workers,
                     "max_pending": self.max_pending,
+                    "draining": self.draining,
                     **self._counters,
                 },
             )
+        shed = self._admit(peer)
+        if shed is not None:
+            self._counters["errors"] += 1
+            self._counters["overloaded"] += 1
+            if request.id is not None:
+                shed = dataclasses.replace(shed, id=request.id)
+            return shed.to_dict()
         assert self._gate is not None and self._executor is not None
-        async with self._gate:  # backpressure: bounded in-flight work
-            self._counters["in_flight"] += 1
+        acquired = False
+        if self.shed_after_ms is not None:
             try:
-                response = await asyncio.get_running_loop().run_in_executor(
-                    self._executor, self.pool.process, request
+                await asyncio.wait_for(
+                    self._gate.acquire(), self.shed_after_ms / 1000.0
                 )
-            except Exception as error:
+                acquired = True
+            except asyncio.TimeoutError:
                 self._counters["errors"] += 1
+                self._counters["overloaded"] += 1
                 return ErrorFrame.from_exception(
-                    error, id=request.id
+                    Overloaded(
+                        f"server gate saturated ({self.max_pending} "
+                        "requests pending)",
+                        retry_after_ms=self.shed_after_ms,
+                        scope="server",
+                    ),
+                    id=request.id,
                 ).to_dict()
-            finally:
-                self._counters["in_flight"] -= 1
+        else:
+            await self._gate.acquire()  # backpressure: wait, don't shed
+            acquired = True
+        state = self._client_state(peer) if self._quotas_on else None
+        budget = self.pool.budget_for(request) or Budget()
+        self._budgets.add(budget)
+        if state is not None:
+            state.inflight += 1
+        self._counters["in_flight"] += 1
+        try:
+            response = await asyncio.get_running_loop().run_in_executor(
+                self._executor,
+                lambda: self.pool.process(request, budget=budget),
+            )
+        except Exception as error:
+            self._counters["errors"] += 1
+            if isinstance(error, DeadlineExceeded):
+                self._counters["deadline_exceeded"] += 1
+            return ErrorFrame.from_exception(
+                error, id=request.id
+            ).to_dict()
+        finally:
+            self._counters["in_flight"] -= 1
+            self._budgets.discard(budget)
+            if state is not None:
+                state.inflight -= 1
+            if acquired:
+                self._gate.release()
         self._counters["responses"] += 1
         return response.to_dict()
+
+    @property
+    def _quotas_on(self) -> bool:
+        return (
+            self.client_rate is not None
+            or self.max_inflight_per_client is not None
+        )
 
     def __repr__(self) -> str:
         state = "listening" if self._server is not None else "stopped"
@@ -246,15 +500,30 @@ async def run_server(
     port: int = DEFAULT_PORT,
     workers: int = DEFAULT_WORKERS,
     max_pending: int = DEFAULT_MAX_PENDING,
+    client_rate: Optional[float] = None,
+    client_burst: float = 8.0,
+    max_inflight_per_client: Optional[int] = None,
+    shed_after_ms: Optional[float] = None,
+    drain_timeout: Optional[float] = None,
     ready: Optional[asyncio.Event] = None,
 ) -> None:
     """Start a `DecideServer` and serve until cancelled.
 
     ``ready`` (when given) is set once the socket is bound — test and
     benchmark harnesses wait on it instead of polling the port.
+    Cancellation (or SIGTERM via the CLI) triggers a graceful drain
+    bounded by ``drain_timeout``.
     """
     server = DecideServer(
-        pool, host=host, port=port, workers=workers, max_pending=max_pending
+        pool,
+        host=host,
+        port=port,
+        workers=workers,
+        max_pending=max_pending,
+        client_rate=client_rate,
+        client_burst=client_burst,
+        max_inflight_per_client=max_inflight_per_client,
+        shed_after_ms=shed_after_ms,
     )
     await server.start()
     if ready is not None:
@@ -262,4 +531,4 @@ async def run_server(
     try:
         await server.serve_forever()
     finally:
-        await server.close()
+        await server.close(drain_timeout=drain_timeout)

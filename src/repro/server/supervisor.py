@@ -1,0 +1,261 @@
+"""A crash-tolerant supervisor for serve workers.
+
+The first concrete piece of the ROADMAP's prefork fleet: one
+`Supervisor` owns one worker (the serve loop in a child process),
+watches its liveness and — optionally — its health over the wire
+(``op: ping``), and restarts it when it dies:
+
+* **jittered exponential backoff** between restarts
+  (`BackoffPolicy`): crash n waits ``min(cap, base * 2^(n-1))``
+  seconds, scaled by a uniform ±jitter factor so a fleet of
+  supervisors never thunders back in lockstep;
+* **crash-loop breaker** (`BreakerPolicy`): more than ``max_crashes``
+  crashes inside a sliding ``window_s`` trips the breaker —
+  `Supervisor.run` raises `CrashLoopError` instead of burning CPU on a
+  worker that can never come up (a bad schema, a bound port);
+* **health-check watchdog**: a failing health probe (``health_failures``
+  consecutive misses) is treated exactly like a crash — the worker is
+  terminated and restarted under the same backoff/breaker accounting.
+
+Everything time- and process-shaped is injectable (``spawn``,
+``health_check``, ``clock``, ``sleep``, ``rng``), so the restart and
+breaker logic is tested deterministically with fake workers and a fake
+clock; the real path (`serve_spawn`) runs ``python -m repro serve``
+semantics in a ``multiprocessing`` child, which inherits the CLI's
+SIGTERM graceful drain.
+
+::
+
+    spawn = serve_spawn(["schema.json", "--port", "8765"])
+    supervisor = Supervisor(spawn, health_check=lambda: tcp_ping("127.0.0.1", 8765))
+    supervisor.run()        # blocks; Ctrl-C/stop() to leave
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = [
+    "BackoffPolicy",
+    "BreakerPolicy",
+    "CrashLoopError",
+    "Supervisor",
+    "serve_spawn",
+    "tcp_ping",
+]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Jittered exponential restart backoff."""
+
+    base_s: float = 0.1
+    cap_s: float = 5.0
+    #: Fractional uniform jitter: delay is scaled by 1 ± jitter.
+    jitter: float = 0.25
+
+    def delay(self, consecutive_crashes: int, rng: random.Random) -> float:
+        raw = min(
+            self.cap_s,
+            self.base_s * (2 ** max(0, consecutive_crashes - 1)),
+        )
+        if self.jitter <= 0:
+            return raw
+        return raw * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """The crash-loop breaker: give up past ``max_crashes`` crashes
+    within a sliding ``window_s``-second window."""
+
+    max_crashes: int = 5
+    window_s: float = 30.0
+
+
+class CrashLoopError(RuntimeError):
+    """The worker crashed too often; the supervisor refuses to restart."""
+
+
+def tcp_ping(host: str, port: int, timeout: float = 1.0) -> bool:
+    """One ``op: ping`` round trip against a serving worker."""
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as conn:
+            conn.settimeout(timeout)
+            conn.sendall(b'{"op": "ping"}\n')
+            data = b""
+            while not data.endswith(b"\n"):
+                chunk = conn.recv(4096)
+                if not chunk:
+                    return False
+                data += chunk
+        return b'"pong"' in data
+    except OSError:
+        return False
+
+
+def _serve_argv(argv: list) -> None:  # pragma: no cover - child process
+    """Child-process entry: the CLI ``serve`` path (SIGTERM drain and
+    all), exit code propagated to the supervisor."""
+    from ..__main__ import main
+
+    sys.exit(main(["serve", *argv]))
+
+
+def serve_spawn(argv: list) -> Callable[[], object]:
+    """A spawn callable running ``python -m repro serve <argv...>`` in a
+    ``multiprocessing`` child (spawn context: a clean interpreter, no
+    inherited event loops or locks)."""
+    import multiprocessing
+
+    context = multiprocessing.get_context("spawn")
+
+    def spawn() -> object:
+        process = context.Process(
+            target=_serve_argv, args=(list(argv),), daemon=True
+        )
+        process.start()
+        return process
+
+    return spawn
+
+
+class Supervisor:
+    """Run one worker, restart it on crash, give up on a crash loop.
+
+    ``spawn`` returns a *started* worker handle exposing the
+    ``multiprocessing.Process`` surface used here: ``is_alive()``,
+    ``exitcode``, ``terminate()``, ``kill()``, ``join(timeout)``.
+    ``health_check`` (optional) is polled every ``health_interval_s``
+    while the worker is alive; ``health_failures`` consecutive misses
+    terminate and restart it.
+    """
+
+    def __init__(
+        self,
+        spawn: Callable[[], object],
+        *,
+        health_check: Optional[Callable[[], bool]] = None,
+        health_interval_s: float = 1.0,
+        health_failures: int = 3,
+        health_grace_s: float = 5.0,
+        backoff: Optional[BackoffPolicy] = None,
+        breaker: Optional[BreakerPolicy] = None,
+        stop_grace_s: float = 10.0,
+        poll_interval_s: float = 0.05,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Optional[Callable[[float], None]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if health_failures < 1:
+            raise ValueError(
+                f"health_failures must be >= 1, got {health_failures}"
+            )
+        self._spawn = spawn
+        self._health_check = health_check
+        self.health_interval_s = health_interval_s
+        self.health_failures = health_failures
+        self.health_grace_s = health_grace_s
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.breaker = breaker if breaker is not None else BreakerPolicy()
+        self.stop_grace_s = stop_grace_s
+        self.poll_interval_s = poll_interval_s
+        self._clock = clock
+        self._stop = threading.Event()
+        self._sleep = sleep if sleep is not None else self._default_sleep
+        self._rng = rng if rng is not None else random.Random()
+        #: Crash timestamps inside the breaker window.
+        self._crashes: deque = deque()
+        self.restarts = 0
+        self.generation = 0
+        self.worker: Optional[object] = None
+
+    def _default_sleep(self, seconds: float) -> None:
+        # Interruptible: stop() wakes a supervisor dozing in backoff.
+        self._stop.wait(seconds)
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Supervise until `stop()` (returns) or a crash loop (raises
+        `CrashLoopError`)."""
+        try:
+            while not self._stop.is_set():
+                self.generation += 1
+                self.worker = self._spawn()
+                healthy_exit = self._watch(self.worker)
+                if self._stop.is_set():
+                    break
+                if healthy_exit:
+                    # The worker exited cleanly on its own (e.g. it was
+                    # SIGTERMed out of band): supervision is done.
+                    break
+                self._record_crash()
+                self.restarts += 1
+                self._sleep(
+                    self.backoff.delay(len(self._crashes), self._rng)
+                )
+        finally:
+            worker = self.worker
+            self.worker = None
+            if worker is not None:
+                self._terminate(worker)
+
+    def stop(self) -> None:
+        """Ask the supervisor to stop; the worker is drained (SIGTERM,
+        then killed after ``stop_grace_s``) by the `run` loop's exit."""
+        self._stop.set()
+
+    # ------------------------------------------------------------------
+    def _watch(self, worker: object) -> bool:
+        """Block while the worker lives; True iff it exited cleanly."""
+        started = self._clock()
+        last_probe = started
+        misses = 0
+        while not self._stop.is_set():
+            if not worker.is_alive():
+                return worker.exitcode == 0
+            now = self._clock()
+            if (
+                self._health_check is not None
+                and now - started >= self.health_grace_s
+                and now - last_probe >= self.health_interval_s
+            ):
+                last_probe = now
+                if self._health_check():
+                    misses = 0
+                else:
+                    misses += 1
+                    if misses >= self.health_failures:
+                        # A live-but-unresponsive worker is a crash.
+                        self._terminate(worker)
+                        return False
+            self._sleep(self.poll_interval_s)
+        return True
+
+    def _record_crash(self) -> None:
+        now = self._clock()
+        self._crashes.append(now)
+        while self._crashes and now - self._crashes[0] > self.breaker.window_s:
+            self._crashes.popleft()
+        if len(self._crashes) > self.breaker.max_crashes:
+            raise CrashLoopError(
+                f"{len(self._crashes)} crashes in "
+                f"{self.breaker.window_s:g}s (limit "
+                f"{self.breaker.max_crashes}); refusing to restart"
+            )
+
+    def _terminate(self, worker: object) -> None:
+        if not worker.is_alive():
+            return
+        worker.terminate()  # SIGTERM: the serve CLI drains gracefully
+        worker.join(self.stop_grace_s)
+        if worker.is_alive():
+            worker.kill()
+            worker.join(1.0)

@@ -15,7 +15,9 @@ Routes:
 
 Errors are `ErrorFrame` JSON — never a traceback page: HTTP 400 for
 bad input (malformed frame, bad schema, unparseable query), 404/413
-for routing/size problems, 500 for internal failures.
+for routing/size problems, 503 with a ``Retry-After`` header for
+retryable resource exhaustion (an expired request deadline, an
+overloaded pool), 500 for internal failures.
 
 ::
 
@@ -29,9 +31,11 @@ for routing/size problems, 500 for internal failures.
 from __future__ import annotations
 
 import json
+import math
 from typing import Callable, Iterable
 
 from ..io import DecideRequest, ErrorFrame
+from ..runtime import DeadlineExceeded, Overloaded
 from .pool import SessionPool, introspection_frame
 
 #: Request bodies past this come back 400 (mirrors MAX_FRAME_BYTES).
@@ -43,10 +47,18 @@ _JSON = [("Content-Type", "application/json")]
 def make_wsgi_app(pool: SessionPool) -> Callable:
     """A WSGI application deciding requests against ``pool``."""
 
-    def respond(start_response, status: str, payload: dict) -> Iterable[bytes]:
+    def respond(
+        start_response,
+        status: str,
+        payload: dict,
+        extra_headers: list = (),
+    ) -> Iterable[bytes]:
         body = json.dumps(payload).encode("utf-8")
         start_response(
-            status, _JSON + [("Content-Length", str(len(body)))]
+            status,
+            _JSON
+            + [("Content-Length", str(len(body)))]
+            + list(extra_headers),
         )
         return [body]
 
@@ -101,6 +113,27 @@ def make_wsgi_app(pool: SessionPool) -> Callable:
             )
         try:
             response = pool.process(request)
+        except (DeadlineExceeded, Overloaded) as error:
+            # Retryable resource exhaustion: 503 + Retry-After so
+            # well-behaved HTTP clients back off (header granularity is
+            # whole seconds; the frame's retry_after_ms is exact).
+            retry_after = getattr(error, "retry_after_ms", None)
+            headers = [
+                (
+                    "Retry-After",
+                    str(
+                        max(1, math.ceil(retry_after / 1000.0))
+                        if retry_after is not None
+                        else 1
+                    ),
+                )
+            ]
+            return respond(
+                start_response,
+                "503 Service Unavailable",
+                ErrorFrame.from_exception(error, id=request.id).to_dict(),
+                headers,
+            )
         except Exception as error:
             # Bad input is the client's fault (400): SchemaFormatError,
             # ParseError, and routing errors are all ValueErrors.

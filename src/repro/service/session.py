@@ -48,6 +48,7 @@ from ..io import DecideResponse, PlanResponse, json_safe
 from ..logic.parser import parse_cq
 from ..logic.queries import ConjunctiveQuery
 from ..logic.terms import Constant, Variable
+from ..runtime import Budget
 from ..schema.schema import Schema
 from .compiled import CompiledSchema, as_compiled
 
@@ -152,9 +153,23 @@ class Session:
     # Service verbs
     # ------------------------------------------------------------------
     def decide(
-        self, query: QueryLike, *, finite: bool = False
+        self,
+        query: QueryLike,
+        *,
+        finite: bool = False,
+        budget: Optional[Budget] = None,
     ) -> DecideResponse:
-        """Decide monotone answerability; cached by canonical form."""
+        """Decide monotone answerability; cached by canonical form.
+
+        ``budget`` is threaded through the decision procedures
+        (chase rounds, rewriting expansions, matcher backtracking all
+        poll it); an exhausted budget raises
+        `repro.runtime.DeadlineExceeded` out of this method *without*
+        caching anything — a deadline abort is a property of the
+        request, not of the query, so it must never masquerade as a
+        decision on later lookups.  Cache hits are served even when the
+        budget is already exhausted (they cost microseconds).
+        """
         started = time.perf_counter()
         parsed = self._coerce(query)
         key = ("decide", canonical_query_key(parsed), finite)
@@ -173,7 +188,9 @@ class Session:
                 detail=copy.deepcopy(hit.detail),
                 error=copy.deepcopy(hit.error),
             )
-        result = self._decide_result(parsed, finite=finite)
+        if budget is not None:
+            budget.check()
+        result = self._decide_result(parsed, finite=finite, budget=budget)
         # Promote a structured error (e.g. RewritingBudgetExceeded) to
         # the top-level wire field; it leaves `detail` so the payload
         # carries it exactly once.
@@ -199,18 +216,27 @@ class Session:
             if structured_error is not None
             else None,
         )
-        self._cache_put(
-            key,
-            replace(
-                response,
-                detail=copy.deepcopy(response.detail),
-                error=copy.deepcopy(response.error),
-            ),
-        )
+        if response.error is None:
+            self._cache_put(
+                key,
+                replace(
+                    response,
+                    detail=copy.deepcopy(response.detail),
+                    error=None,
+                ),
+            )
+        # Responses carrying a structured error (rewriting/chase budget
+        # hits) are *not* cached: they reflect resource limits, not the
+        # query, and must be recomputed — and rechecked against the
+        # limits — on every request.
         return response
 
     def _decide_result(
-        self, query: ConjunctiveQuery, *, finite: bool
+        self,
+        query: ConjunctiveQuery,
+        *,
+        finite: bool,
+        budget: Optional[Budget] = None,
     ) -> AnswerabilityResult:
         if finite:
             return decide_finite_monotone_answerability(
@@ -220,6 +246,7 @@ class Session:
                 max_facts=self.max_facts,
                 max_disjuncts=self.max_disjuncts,
                 subsumption=self.subsumption,
+                budget=budget,
             )
         return decide_monotone_answerability(
             self.compiled,
@@ -228,21 +255,33 @@ class Session:
             max_facts=self.max_facts,
             max_disjuncts=self.max_disjuncts,
             subsumption=self.subsumption,
+            budget=budget,
         )
 
     def decide_many(
-        self, queries: Iterable[QueryLike], *, finite: bool = False
+        self,
+        queries: Iterable[QueryLike],
+        *,
+        finite: bool = False,
+        budget: Optional[Budget] = None,
     ) -> list[DecideResponse]:
         """Decide a batch of queries against the shared compiled schema."""
-        return [self.decide(query, finite=finite) for query in queries]
+        return [
+            self.decide(query, finite=finite, budget=budget)
+            for query in queries
+        ]
 
-    def plan(self, query: QueryLike) -> PlanResponse:
+    def plan(
+        self, query: QueryLike, *, budget: Optional[Budget] = None
+    ) -> PlanResponse:
         """Extract a static plan (Boolean queries); cached like decide."""
         parsed = self._coerce(query)
         key = ("plan", canonical_query_key(parsed))
         hit = self._cache_get(key)
         if hit is not None:
             return replace(hit, cached=True, query=repr(parsed))
+        if budget is not None:
+            budget.check()
         try:
             plan = generate_static_plan(
                 self.compiled,
@@ -251,6 +290,7 @@ class Session:
                 max_facts=self.max_facts,
                 max_disjuncts=self.max_disjuncts,
                 subsumption=self.subsumption,
+                budget=budget,
             )
         except PlanExtractionError as error:
             return PlanResponse(
@@ -281,9 +321,15 @@ class Session:
         self._cache_put(key, replace(response))
         return response
 
-    def explain(self, query: QueryLike, *, finite: bool = False) -> dict:
+    def explain(
+        self,
+        query: QueryLike,
+        *,
+        finite: bool = False,
+        budget: Optional[Budget] = None,
+    ) -> dict:
         """The decision plus session/compilation diagnostics, JSON-safe."""
-        response = self.decide(query, finite=finite)
+        response = self.decide(query, finite=finite, budget=budget)
         report = response.to_dict()
         report["limits"] = {
             "max_rounds": self.max_rounds,

@@ -1,0 +1,186 @@
+"""The chaos transport: seeded fault injection against a live server.
+
+A chaos run drives a real `DecideServer` over real TCP connections,
+interleaving well-formed requests with injected faults — malformed
+JSON, truncated frames, oversized frames, mid-frame disconnects,
+byte-at-a-time slow writes, deadline expiries — according to a
+``random.Random(seed)`` plan (deterministic, no external
+dependencies).  Used by the property tests in ``test_faults.py`` and
+the CI smoke in ``smoke_chaos.py``.
+
+The invariant the consumers assert (`verify`): every accepted request
+resolves to either a **correct decision** (it matches a fresh-session
+oracle) or a **structured error frame** of a known type — never a
+wrong answer, never a hang (every read is deadline-bounded), and the
+server survives every fault with its caches unpoisoned.
+"""
+
+import asyncio
+import json
+import random
+
+#: Error types a fault may legitimately surface (the full taxonomy is
+#: documented in DESIGN.md §wire protocol).
+KNOWN_ERROR_TYPES = {
+    "JSONDecodeError",
+    "SchemaFormatError",
+    "ParseError",
+    "ValueError",
+    "FrameTooLong",
+    "DeadlineExceeded",
+    "Overloaded",
+}
+
+#: Read timeout for every reply: a hang is a test failure, not a stall.
+REPLY_TIMEOUT = 30.0
+
+FAULTS = (
+    "valid",
+    "malformed_json",
+    "truncated_frame",
+    "oversized_frame",
+    "disconnect_mid_frame",
+    "slow_write",
+    "deadline_expiry",
+    "empty_line_then_valid",
+)
+
+
+async def _read_reply(reader):
+    line = await asyncio.wait_for(reader.readline(), timeout=REPLY_TIMEOUT)
+    if not line:
+        return None
+    return json.loads(line)
+
+
+async def _close(writer):
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+
+
+async def run_action(host, port, action, rng, queries, slow_request):
+    """Execute one chaos action on a fresh connection.
+
+    Returns ``(action, query_or_None, reply_or_None)``; a None reply
+    means the action legitimately forfeits its response (the client
+    disconnected first, or the frame could never be parsed as a
+    request).
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    query = None
+    reply = None
+    try:
+        if action == "valid":
+            query = rng.choice(queries)
+            writer.write(
+                json.dumps({"query": query, "id": 1}).encode() + b"\n"
+            )
+            await writer.drain()
+            reply = await _read_reply(reader)
+        elif action == "malformed_json":
+            junk = rng.choice(
+                [b"{not json", b'{"query": ', b"\x00\xff\xfe garbage", b"]["]
+            )
+            writer.write(junk + b"\n")
+            # The connection must survive: a valid frame still answers.
+            query = rng.choice(queries)
+            writer.write(
+                json.dumps({"query": query, "id": 2}).encode() + b"\n"
+            )
+            await writer.drain()
+            error = await _read_reply(reader)
+            assert error is not None and "error" in error, error
+            reply = await _read_reply(reader)
+        elif action == "truncated_frame":
+            query = None
+            half = json.dumps({"query": rng.choice(queries)}).encode()
+            writer.write(half[: max(1, len(half) // 2)])
+            await writer.drain()
+            # Disconnect with the frame unterminated: the server must
+            # drop it without stalling (no newline ⇒ no request).
+        elif action == "oversized_frame":
+            writer.write(b'{"query": "' + b"x" * (1 << 20) + b'"}\n')
+            await writer.drain()
+            reply = await _read_reply(reader)
+            assert reply is not None and "error" in reply, reply
+            assert reply["error"]["type"] == "FrameTooLong"
+            reply = None  # the connection is closed by contract
+        elif action == "disconnect_mid_frame":
+            writer.write(b'{"query": "Udir')
+            await writer.drain()
+        elif action == "slow_write":
+            query = rng.choice(queries)
+            frame = json.dumps({"query": query, "id": 3}).encode() + b"\n"
+            step = max(1, len(frame) // 5)
+            for start in range(0, len(frame), step):
+                writer.write(frame[start : start + step])
+                await writer.drain()
+                await asyncio.sleep(0.01)
+            reply = await _read_reply(reader)
+        elif action == "deadline_expiry":
+            frame = dict(slow_request)
+            frame["deadline_ms"] = rng.choice([1, 2, 5])
+            frame["id"] = 4
+            writer.write(json.dumps(frame).encode() + b"\n")
+            await writer.drain()
+            reply = await _read_reply(reader)
+        elif action == "empty_line_then_valid":
+            query = rng.choice(queries)
+            writer.write(b"\n   \n")
+            writer.write(json.dumps({"query": query}).encode() + b"\n")
+            await writer.drain()
+            reply = await _read_reply(reader)
+        else:  # pragma: no cover - plan bug
+            raise AssertionError(f"unknown action {action}")
+    finally:
+        await _close(writer)
+    return (action, query, reply)
+
+
+async def run_chaos(host, port, *, seed, rounds, queries, slow_request):
+    """One seeded chaos session; returns the list of action records."""
+    rng = random.Random(seed)
+    records = []
+    for __ in range(rounds):
+        action = rng.choice(FAULTS)
+        records.append(
+            await run_action(host, port, action, rng, queries, slow_request)
+        )
+    return records
+
+
+def verify(records, oracle):
+    """Check the chaos invariant; returns a list of violation strings.
+
+    ``oracle`` maps query text to the fresh-session decision.  A reply
+    must be either a decision frame agreeing with the oracle or an
+    error frame of a known type; anything else is a violation.
+    """
+    violations = []
+    for action, query, reply in records:
+        if reply is None:
+            continue  # legitimately forfeited (disconnect faults)
+        if "error" in reply and "decision" not in reply:
+            error = reply["error"]
+            if error.get("type") not in KNOWN_ERROR_TYPES:
+                violations.append(
+                    f"{action}: unknown error type {error.get('type')!r}"
+                )
+            if error["type"] in ("DeadlineExceeded", "Overloaded") and not (
+                error.get("retryable") is True
+            ):
+                violations.append(
+                    f"{action}: {error['type']} must be retryable"
+                )
+        elif "decision" in reply:
+            if query is not None and reply["decision"] != oracle[query]:
+                violations.append(
+                    f"{action}: WRONG ANSWER {reply['decision']!r} for "
+                    f"{query!r} (oracle {oracle[query]!r})"
+                )
+        else:
+            violations.append(f"{action}: unclassifiable reply {reply}")
+    return violations

@@ -1,0 +1,220 @@
+"""End-to-end graceful drain: a real ``python -m repro serve`` child,
+a real in-flight request, a real SIGTERM.
+
+The contract under test is the CLI's: on SIGTERM the server stops
+accepting, finishes (or deadline-cancels) in-flight work, flushes each
+connection's final frame, and exits 0 within ``--drain-timeout``.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.io import schema_to_dict
+from repro.workloads import lookup_chain_workload
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+def start_server(tmp_path, depth, *extra_args):
+    """Spawn ``python -m repro serve`` on an ephemeral port; returns
+    (process, host, port) once the banner confirms it is listening."""
+    workload = lookup_chain_workload(depth)
+    schema_path = tmp_path / "schema.json"
+    schema_path.write_text(json.dumps(schema_to_dict(workload.schema)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            str(schema_path),
+            "--port",
+            "0",
+            *extra_args,
+        ],
+        env=env,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + 30
+    banner = ""
+    while time.monotonic() < deadline:
+        banner = process.stderr.readline()
+        if banner.startswith("serving on "):
+            break
+        if process.poll() is not None:
+            raise AssertionError(
+                f"server died before binding: {process.stderr.read()}"
+            )
+    else:
+        raise AssertionError("no serving banner within 30s")
+    address = banner.split()[2]
+    host, port = address.rsplit(":", 1)
+    return process, workload, host, int(port)
+
+
+def terminate(process):
+    if process.poll() is None:
+        process.kill()
+    process.stderr.close()
+    process.wait(10)
+
+
+class TestSigtermDrain:
+    def test_in_flight_request_finishes_and_exit_is_clean(self, tmp_path):
+        # lookup_chain(5) decides in ~0.3s: SIGTERM lands mid-decision,
+        # the generous drain budget lets it finish naturally.
+        process, workload, host, port = start_server(
+            tmp_path, 5, "--drain-timeout", "30"
+        )
+        try:
+            with socket.create_connection((host, port), timeout=30) as conn:
+                conn.settimeout(30)
+                frame = {"query": repr(workload.query), "id": "inflight"}
+                conn.sendall(json.dumps(frame).encode() + b"\n")
+                time.sleep(0.1)  # let the worker pick the frame up
+                process.send_signal(signal.SIGTERM)
+                stream = conn.makefile("rb")
+                reply = json.loads(stream.readline())
+                assert reply.get("decision") in ("yes", "no")
+                assert reply["id"] == "inflight"
+                assert stream.readline() == b""  # then the close
+            assert process.wait(timeout=30) == 0
+            drained = process.stderr.read()
+            assert "draining" in drained
+            assert "shutdown complete" in drained
+        finally:
+            terminate(process)
+
+    def test_slow_request_is_deadline_cancelled_within_drain_timeout(
+        self, tmp_path
+    ):
+        # lookup_chain(6) runs for seconds; a 1s drain budget cancels
+        # it halfway through and the client still gets a final frame.
+        process, workload, host, port = start_server(
+            tmp_path, 6, "--drain-timeout", "1"
+        )
+        try:
+            with socket.create_connection((host, port), timeout=30) as conn:
+                conn.settimeout(30)
+                frame = {"query": repr(workload.query), "id": "doomed"}
+                conn.sendall(json.dumps(frame).encode() + b"\n")
+                time.sleep(0.3)
+                sigterm_at = time.monotonic()
+                process.send_signal(signal.SIGTERM)
+                stream = conn.makefile("rb")
+                reply = json.loads(stream.readline())
+                assert reply["error"]["type"] == "DeadlineExceeded"
+                assert reply["error"]["retryable"] is True
+                assert "drain" in reply["error"]["message"]
+                assert reply["id"] == "doomed"
+            assert process.wait(timeout=30) == 0
+            # Exit landed within the drain timeout (plus slack for the
+            # interpreter to unwind), not after the full computation.
+            assert time.monotonic() - sigterm_at < 10.0
+        finally:
+            terminate(process)
+
+    def test_idle_server_exits_promptly_on_sigterm(self, tmp_path):
+        process, __, host, port = start_server(
+            tmp_path, 3, "--drain-timeout", "10"
+        )
+        try:
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=15) == 0
+        finally:
+            terminate(process)
+
+
+@pytest.mark.slow
+class TestSupervisorEndToEnd:
+    def test_supervise_restarts_a_killed_worker(self, tmp_path):
+        """Kill -9 the worker: the supervisor must bring a fresh one up
+        on the same port."""
+        workload = lookup_chain_workload(3)
+        schema_path = tmp_path / "schema.json"
+        schema_path.write_text(
+            json.dumps(schema_to_dict(workload.schema))
+        )
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "supervise",
+                str(schema_path),
+                "--port",
+                str(port),
+                "--health-interval",
+                "0.2",
+                "--backoff-base",
+                "0.05",
+            ],
+            env=env,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+
+        def ping():
+            try:
+                with socket.create_connection(
+                    ("127.0.0.1", port), timeout=1
+                ) as conn:
+                    conn.settimeout(1)
+                    conn.sendall(b'{"op": "stats"}\n')
+                    data = b""
+                    while not data.endswith(b"\n"):
+                        chunk = conn.recv(4096)
+                        if not chunk:
+                            return None
+                        data += chunk
+                return json.loads(data)
+            except OSError:
+                return None
+
+        def wait_healthy(deadline_s=30):
+            deadline = time.monotonic() + deadline_s
+            while time.monotonic() < deadline:
+                stats = ping()
+                if stats is not None:
+                    return stats
+                time.sleep(0.1)
+            raise AssertionError("worker never became healthy")
+
+        try:
+            first = wait_healthy()
+            assert first["server"]["workers"] >= 1
+            # Find and SIGKILL the worker (the supervisor's only child).
+            children = subprocess.run(
+                ["pgrep", "-P", str(process.pid)],
+                capture_output=True,
+                text=True,
+            ).stdout.split()
+            assert children, "no worker child found"
+            os.kill(int(children[0]), signal.SIGKILL)
+            # A fresh worker (fresh counters) comes back on the port.
+            second = wait_healthy()
+            assert second["server"]["connections"] <= first["server"][
+                "connections"
+            ] + 1
+        finally:
+            process.send_signal(signal.SIGTERM)
+            try:
+                process.wait(15)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(10)

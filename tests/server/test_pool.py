@@ -196,6 +196,38 @@ class TestProcess:
         assert response.is_unknown
         assert response.error["type"] == "RewritingBudgetExceeded"
 
+    def test_budget_for_takes_the_tighter_deadline(self):
+        schema = university_schema(ud_bound=100)
+        unbounded = SessionPool(schema)
+        assert unbounded.budget_for(DecideRequest(query="Q()")) is None
+        assert (
+            unbounded.budget_for(
+                DecideRequest(query="Q()", deadline_ms=40.0)
+            ).deadline_ms
+            == 40.0
+        )
+        capped = SessionPool(
+            schema, limits=SessionLimits(deadline_ms=25.0)
+        )
+        assert (
+            capped.budget_for(DecideRequest(query="Q()")).deadline_ms
+            == 25.0
+        )
+        # min(request, pool) wins in both directions.
+        assert (
+            capped.budget_for(
+                DecideRequest(query="Q()", deadline_ms=10.0)
+            ).deadline_ms
+            == 10.0
+        )
+        assert (
+            capped.budget_for(
+                DecideRequest(query="Q()", deadline_ms=60_000.0)
+            ).deadline_ms
+            == 25.0
+        )
+        assert capped.stats()["limits"]["deadline_ms"] == 25.0
+
     def test_subsumption_opt_out_reaches_the_engine(self):
         chain = lookup_chain_workload(3).schema
         on = SessionPool(chain, limits=SessionLimits(subsumption=True))

@@ -45,6 +45,7 @@ def random_request(rng: random.Random, description: dict, query) -> DecideReques
         id=rng.choice([None, rng.randrange(1000), f"req-{rng.random()}"]),
         finite=rng.random() < 0.2,
         op=op,
+        deadline_ms=rng.choice([None, None, 1.0, 250.0, 60_000.0]),
     )
 
 
@@ -157,6 +158,39 @@ class TestErrorFrameRoundTrip:
         assert wire["error"]["type"] == "SchemaFormatError"
         assert wire["error"]["detail"]["line"] == "{...}"
 
+    def test_retry_contract_fields_round_trip(self):
+        from repro.runtime import DeadlineExceeded, Overloaded
+
+        # from_exception lifts retryable / retry_after_ms off the error.
+        frame = ErrorFrame.from_exception(
+            Overloaded("busy", retry_after_ms=125.0), id="r1"
+        )
+        wire = json.loads(json.dumps(frame.to_dict()))
+        assert wire["error"]["retryable"] is True
+        assert wire["error"]["retry_after_ms"] == 125.0
+        assert ErrorFrame.from_dict(wire) == frame
+
+        frame = ErrorFrame.from_exception(
+            DeadlineExceeded("late", deadline_ms=5.0, elapsed_ms=6.0)
+        )
+        wire = json.loads(json.dumps(frame.to_dict()))
+        assert wire["error"]["retryable"] is True
+        assert "retry_after_ms" not in wire["error"]  # no hint, no key
+        assert ErrorFrame.from_dict(wire) == frame
+
+        # Non-retryable errors say so explicitly on the wire.
+        wire = ErrorFrame.from_exception(ValueError("bad")).to_dict()
+        assert wire["error"]["retryable"] is False
+
+    def test_pre_retry_contract_frames_still_parse(self):
+        # Frames emitted before retryable/retry_after_ms existed carry
+        # neither key; they must parse as non-retryable.
+        legacy = {"error": {"type": "ParseError", "message": "nope"}}
+        frame = ErrorFrame.from_dict(legacy)
+        assert frame.type == "ParseError"
+        assert frame.retryable is False
+        assert frame.retry_after_ms is None
+
     def test_error_frames_never_collide_with_responses(self):
         # The discriminator: an ErrorFrame has no "decision" and a
         # DecideResponse always does, even when it carries an error.
@@ -181,6 +215,10 @@ MALFORMED = [
     {"query": "R(x)", "schema": ["x"]},
     {"query": "R(x)", "id": [1]},
     {"query": "R(x)", "id": {"k": 1}},
+    {"query": "R(x)", "deadline_ms": 0},
+    {"query": "R(x)", "deadline_ms": -5},
+    {"query": "R(x)", "deadline_ms": True},
+    {"query": "R(x)", "deadline_ms": "fast"},
 ]
 
 

@@ -128,6 +128,18 @@ class TestErrors:
         assert captured["status"] == "413 Payload Too Large"
         assert json.loads(body)["error"]["type"] == "FrameTooLong"
 
+    def test_wrong_method_is_structured_404(self):
+        application = app()
+        for method, path in [
+            ("GET", "/decide"),
+            ("POST", "/healthz"),
+            ("POST", "/stats"),
+            ("DELETE", "/"),
+        ]:
+            status, payload = call(application, method, path)
+            assert status == "404 Not Found", (method, path)
+            assert payload["error"]["type"] == "NotFound"
+
     def test_agrees_with_tcp_protocol_payloads(self):
         # The WSGI and TCP front ends share SessionPool.process, so
         # their response payloads are identical modulo timing fields.
@@ -146,3 +158,62 @@ class TestErrors:
             payload.pop("cached", None)
             payload.pop("query", None)
         assert via_wsgi == direct
+
+
+def call_with_headers(app, body):
+    """Like `call` but also returns the response headers."""
+    raw = json.dumps(body).encode("utf-8")
+    environ = {
+        "REQUEST_METHOD": "POST",
+        "PATH_INFO": "/",
+        "CONTENT_LENGTH": str(len(raw)),
+        "wsgi.input": io.BytesIO(raw),
+    }
+    captured = {}
+
+    def start_response(status, headers):
+        captured["status"] = status
+        captured["headers"] = dict(headers)
+
+    chunks = b"".join(app(environ, start_response))
+    return captured["status"], captured["headers"], json.loads(chunks)
+
+
+class TestRetryableErrors:
+    """Resource exhaustion maps to 503 + Retry-After, never 4xx/500."""
+
+    def test_deadline_exceeded_is_503_with_retry_after(self):
+        from repro.server import SessionLimits
+        from repro.workloads import lookup_chain_workload
+
+        pool = SessionPool(
+            lookup_chain_workload(6).schema,
+            limits=SessionLimits(deadline_ms=5.0),
+        )
+        application = make_wsgi_app(pool)
+        status, headers, payload = call_with_headers(
+            application,
+            {"query": repr(lookup_chain_workload(6).query), "id": 7},
+        )
+        assert status == "503 Service Unavailable"
+        assert headers["Retry-After"] == "1"  # floor when no hint
+        assert payload["error"]["type"] == "DeadlineExceeded"
+        assert payload["error"]["retryable"] is True
+        assert payload["id"] == 7
+
+    def test_overloaded_hint_rounds_up_to_whole_seconds(self):
+        from repro.runtime import Overloaded
+
+        class SheddingPool:
+            def process(self, request, **kwargs):
+                raise Overloaded("full up", retry_after_ms=1800.0)
+
+        status, headers, payload = call_with_headers(
+            make_wsgi_app(SheddingPool()), {"query": "R(x)", "id": 8}
+        )
+        assert status == "503 Service Unavailable"
+        assert headers["Retry-After"] == "2"  # ceil(1800ms)
+        assert payload["error"]["type"] == "Overloaded"
+        assert payload["error"]["retryable"] is True
+        assert payload["error"]["retry_after_ms"] == 1800.0
+        assert payload["id"] == 8

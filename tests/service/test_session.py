@@ -212,15 +212,28 @@ class TestLimitsAndExplain:
 
         assert DecideResponse.from_dict(payload).error == payload["error"]
 
-    def test_error_mutation_cannot_poison_the_cache(self):
+    def test_budget_failures_are_not_cached_as_decisions(self):
+        # A request that failed under tight limits must not
+        # short-circuit a later request with looser limits: structured
+        # budget errors bypass the decision LRU entirely.
         from repro.workloads import id_chain_workload
 
         session = Session(id_chain_workload(4).schema, max_disjuncts=2)
         first = session.decide("R4(x)")
-        first.error["note"] = "mine"
+        assert first.is_unknown
+        assert first.error["type"] == "RewritingBudgetExceeded"
+        first.error["note"] = "mine"  # callers can't poison anything
         second = session.decide("R4(x)")
-        assert second.cached
+        assert not second.cached
         assert "note" not in second.error
+        # Loosening the limits now succeeds instead of replaying the
+        # stale budget failure from the cache.
+        session.max_disjuncts = 50_000
+        third = session.decide("R4(x)")
+        assert not third.cached
+        assert third.is_yes
+        # ... and the successful decision *is* cached.
+        assert session.decide("R4(x)").cached
 
     def test_plan_threads_the_rewriting_budget(self):
         # The ID-route plan gate must run under the session's budget,

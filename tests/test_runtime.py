@@ -1,0 +1,124 @@
+"""Unit tests for `repro.runtime`: budgets, deadlines, cancellation.
+
+Everything here runs on an injected fake clock — no sleeps, no wall
+time — so deadline arithmetic and the tick stride are exact.
+"""
+
+import pytest
+
+from repro.runtime import (
+    TICK_STRIDE,
+    Budget,
+    DeadlineExceeded,
+    Overloaded,
+)
+
+
+class FakeClock:
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+        self.reads = 0
+
+    def __call__(self) -> float:
+        self.reads += 1
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestBudget:
+    def test_unbounded_budget_never_expires(self):
+        clock = FakeClock()
+        budget = Budget(clock=clock)
+        clock.advance(1e9)
+        assert not budget.expired()
+        assert budget.remaining_ms() is None
+        budget.check()  # no raise
+        for __ in range(3 * TICK_STRIDE):
+            budget.tick()
+
+    def test_deadline_expiry_raises_with_detail(self):
+        clock = FakeClock()
+        budget = Budget(50.0, clock=clock)
+        budget.check()
+        clock.advance(0.049)
+        budget.check()
+        assert budget.remaining_ms() == pytest.approx(1.0)
+        clock.advance(0.002)
+        assert budget.expired()
+        with pytest.raises(DeadlineExceeded) as info:
+            budget.check()
+        detail = info.value.as_detail()
+        assert detail["type"] == "DeadlineExceeded"
+        assert detail["reason"] == "deadline"
+        assert detail["deadline_ms"] == 50.0
+        assert detail["elapsed_ms"] >= 50.0
+        assert info.value.retryable is True
+
+    def test_remaining_is_clamped_at_zero(self):
+        clock = FakeClock()
+        budget = Budget(10.0, clock=clock)
+        clock.advance(1.0)
+        assert budget.remaining_ms() == 0.0
+        assert budget.elapsed_ms() == pytest.approx(1000.0)
+
+    def test_bad_deadlines_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(0)
+        with pytest.raises(ValueError):
+            Budget(-5.0)
+
+    def test_cancel_raises_immediately_with_reason(self):
+        budget = Budget()
+        assert not budget.cancelled
+        budget.cancel("drain")
+        assert budget.cancelled
+        with pytest.raises(DeadlineExceeded) as info:
+            budget.check()
+        assert info.value.as_detail()["reason"] == "drain"
+        # tick() does not wait for the stride when cancelled.
+        with pytest.raises(DeadlineExceeded):
+            budget.tick()
+
+    def test_tick_amortizes_clock_reads(self):
+        clock = FakeClock()
+        budget = Budget(1000.0, clock=clock)
+        baseline = clock.reads
+        for __ in range(TICK_STRIDE - 1):
+            budget.tick()
+        assert clock.reads == baseline  # no clock read inside a stride
+        budget.tick()  # stride boundary: one real check
+        assert clock.reads > baseline
+
+    def test_tick_raises_on_expiry_at_stride_boundary(self):
+        clock = FakeClock()
+        budget = Budget(5.0, clock=clock)
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceeded):
+            for __ in range(2 * TICK_STRIDE):
+                budget.tick()
+
+    def test_exhausted_covers_both_modes(self):
+        clock = FakeClock()
+        budget = Budget(5.0, clock=clock)
+        assert not budget.exhausted()
+        clock.advance(1.0)
+        assert budget.exhausted()
+        other = Budget()
+        other.cancel()
+        assert other.exhausted()
+
+
+class TestErrorTypes:
+    def test_deadline_exceeded_is_retryable(self):
+        error = DeadlineExceeded("out of time")
+        assert error.retryable is True
+        assert error.retry_after_ms is None
+
+    def test_overloaded_carries_retry_hint_and_scope(self):
+        error = Overloaded("busy", retry_after_ms=125.0, scope="client")
+        assert error.retryable is True
+        assert error.retry_after_ms == 125.0
+        assert error.scope == "client"
+        assert "busy" in str(error)
