@@ -112,7 +112,7 @@ from .logic import (
     parse_cq,
 )
 from .plans import Plan, execute, plan_to_ucq
-from .runtime import Budget, DeadlineExceeded, Overloaded
+from .runtime import Budget, DeadlineExceeded, Overloaded, WorkerLost
 from .schema import AccessMethod, Relation, Schema
 from .server import (
     CrashLoopError,
@@ -150,7 +150,7 @@ __all__ = [
     "evaluate_cq", "ground_atom", "holds", "parse_cq",
     "Plan", "execute", "plan_to_ucq",
     "AccessMethod", "Relation", "Schema",
-    "Budget", "DeadlineExceeded", "Overloaded",
+    "Budget", "DeadlineExceeded", "Overloaded", "WorkerLost",
     "CrashLoopError", "DecideServer", "SessionLimits", "SessionPool",
     "Supervisor", "make_wsgi_app",
     "CompiledSchema", "DecideRequest", "DecideResponse", "ErrorFrame",

@@ -63,8 +63,10 @@ from .containment.rewriting import DEFAULT_MAX_DISJUNCTS
 from .io import (
     DecideRequest,
     ErrorFrame,
+    ReadyFrame,
     load_query,
     load_schema,
+    load_warm_manifest,
     schema_to_dict,
 )
 from .server import (
@@ -220,6 +222,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "stops reading new frames until capacity frees "
         f"(default: {DEFAULT_MAX_PENDING})",
     )
+    serve.add_argument(
+        "--warm",
+        default=None,
+        metavar="MANIFEST",
+        help="fingerprint warmup manifest (JSON: a 'schemas' list of "
+        "inline schema objects or paths); every entry is precompiled "
+        "into the session pool before the readiness line is emitted, "
+        "so warmed fingerprints never pay first-request compile "
+        "latency",
+    )
 
     def add_serving_options(subparser: argparse.ArgumentParser) -> None:
         subparser.add_argument(
@@ -289,63 +301,130 @@ def _build_parser() -> argparse.ArgumentParser:
         help="path to the default JSON schema (optional: requests may "
         "each carry an inline schema)",
     )
+    def add_worker_options(subparser: argparse.ArgumentParser) -> None:
+        """Flags shared by the process-spawning commands (`supervise`,
+        `fleet`): the worker's serving shape plus restart policy."""
+        subparser.add_argument(
+            "--pool-size", type=int, default=DEFAULT_POOL_SIZE
+        )
+        subparser.add_argument(
+            "--max-fingerprints",
+            type=int,
+            default=DEFAULT_MAX_FINGERPRINTS,
+        )
+        subparser.add_argument(
+            "--max-pending", type=int, default=DEFAULT_MAX_PENDING
+        )
+        subparser.add_argument(
+            "--warm",
+            default=None,
+            metavar="MANIFEST",
+            help="fingerprint warmup manifest each worker precompiles "
+            "before reporting ready (and, in a fleet, before joining "
+            "the ring)",
+        )
+        subparser.add_argument(
+            "--max-crashes",
+            type=int,
+            default=5,
+            help="crash-loop breaker: crashes tolerated inside the "
+            "window before giving up (default: 5)",
+        )
+        subparser.add_argument(
+            "--crash-window",
+            type=float,
+            default=30.0,
+            metavar="SECONDS",
+            help="crash-loop breaker window (default: 30)",
+        )
+        subparser.add_argument(
+            "--backoff-base",
+            type=float,
+            default=0.1,
+            metavar="SECONDS",
+            help="restart backoff base delay (default: 0.1)",
+        )
+        subparser.add_argument(
+            "--backoff-cap",
+            type=float,
+            default=5.0,
+            metavar="SECONDS",
+            help="restart backoff delay cap (default: 5)",
+        )
+        subparser.add_argument(
+            "--health-interval",
+            type=float,
+            default=1.0,
+            metavar="SECONDS",
+            help="seconds between op:ping health probes (default: 1)",
+        )
+
+    supervise.add_argument(
+        "--workers", type=int, default=DEFAULT_WORKERS
+    )
     supervise.add_argument("--host", default="127.0.0.1")
     supervise.add_argument(
         "--port",
         type=int,
         default=DEFAULT_PORT,
-        help=f"TCP port for the worker (default: {DEFAULT_PORT}; "
-        "must be concrete so the watchdog can probe it)",
+        help=f"TCP port for the worker (default: {DEFAULT_PORT}; 0 "
+        "for ephemeral — the watchdog follows the bound port "
+        "discovered from the worker's readiness line)",
     )
-    supervise.add_argument(
-        "--workers", type=int, default=DEFAULT_WORKERS
-    )
-    supervise.add_argument(
-        "--pool-size", type=int, default=DEFAULT_POOL_SIZE
-    )
-    supervise.add_argument(
-        "--max-fingerprints", type=int, default=DEFAULT_MAX_FINGERPRINTS
-    )
-    supervise.add_argument(
-        "--max-pending", type=int, default=DEFAULT_MAX_PENDING
-    )
-    supervise.add_argument(
-        "--max-crashes",
-        type=int,
-        default=5,
-        help="crash-loop breaker: crashes tolerated inside the window "
-        "before giving up (default: 5)",
-    )
-    supervise.add_argument(
-        "--crash-window",
-        type=float,
-        default=30.0,
-        metavar="SECONDS",
-        help="crash-loop breaker window (default: 30)",
-    )
-    supervise.add_argument(
-        "--backoff-base",
-        type=float,
-        default=0.1,
-        metavar="SECONDS",
-        help="restart backoff base delay (default: 0.1)",
-    )
-    supervise.add_argument(
-        "--backoff-cap",
-        type=float,
-        default=5.0,
-        metavar="SECONDS",
-        help="restart backoff delay cap (default: 5)",
-    )
-    supervise.add_argument(
-        "--health-interval",
-        type=float,
-        default=1.0,
-        metavar="SECONDS",
-        help="seconds between op:ping health probes (default: 1)",
-    )
+    add_worker_options(supervise)
     add_serving_options(supervise)
     add_limits(supervise)
+
+    fleet = commands.add_parser(
+        "fleet",
+        help="prefork worker fleet: N supervised serve processes on "
+        "ephemeral ports behind a consistent-hashing dispatcher that "
+        "routes by schema fingerprint, fails worker loss over as "
+        "typed retryable errors, and rebalances the ring on "
+        "death/restart",
+    )
+    fleet.add_argument(
+        "schema",
+        nargs="?",
+        default=None,
+        help="path to the default JSON schema (optional: requests may "
+        "each carry an inline schema)",
+    )
+    fleet.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes behind the dispatcher (default: 2)",
+    )
+    fleet.add_argument(
+        "--worker-threads",
+        type=int,
+        default=DEFAULT_WORKERS,
+        help="decision threads inside each worker process "
+        f"(default: {DEFAULT_WORKERS})",
+    )
+    fleet.add_argument(
+        "--channels-per-worker",
+        type=int,
+        default=None,
+        help="dispatcher connections per worker (default: the "
+        "worker's thread count, so one worker's threads can all stay "
+        "busy)",
+    )
+    fleet.add_argument(
+        "--host", default="127.0.0.1", help="dispatcher bind address"
+    )
+    fleet.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help="dispatcher TCP port, 0 for ephemeral (default: "
+        f"{DEFAULT_PORT}); workers always bind ephemeral ports, "
+        "discovered from their readiness lines",
+    )
+    add_worker_options(fleet)
+    add_serving_options(fleet)
+    add_limits(fleet)
 
     simplify = commands.add_parser(
         "simplify", help="print a simplified schema"
@@ -466,11 +545,25 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _warm_pool(pool: SessionPool, manifest: str | None) -> int:
+    """Precompile every manifest schema into the pool; returns the
+    count (the readiness frame reports it)."""
+    if manifest is None:
+        return 0
+    warmed = 0
+    for description in load_warm_manifest(manifest):
+        pool.warm(description)
+        warmed += 1
+    return warmed
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import os
     import signal
 
     pool = _pool(args, pool_size=args.pool_size)
+    warmed = _warm_pool(pool, getattr(args, "warm", None))
 
     async def serve() -> None:
         server = DecideServer(
@@ -507,6 +600,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
             flush=True,
         )
+        # The machine channel: one ReadyFrame JSON line on *stdout*
+        # (the banner above is for humans).  Supervisors and the fleet
+        # dispatcher parse this to discover ephemeral ports and pids.
+        print(
+            json.dumps(
+                ReadyFrame(
+                    host=host, port=port, pid=os.getpid(), warmed=warmed
+                ).to_dict()
+            ),
+            flush=True,
+        )
         forever = asyncio.ensure_future(server.serve_forever())
         stopped = asyncio.ensure_future(stop.wait())
         try:
@@ -533,15 +637,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _serve_argv(args: argparse.Namespace) -> list:
-    """Reconstruct the child worker's ``serve`` argument vector from a
-    parsed ``supervise`` namespace (shared flags pass straight
-    through)."""
+def _worker_serve_args(
+    args: argparse.Namespace, *, threads: int
+) -> tuple:
+    """The ``serve`` CLI flags a child worker inherits from a parsed
+    ``supervise``/``fleet`` namespace (everything except schema, bind
+    address, and warm manifest — those live on the `WorkerSpec`
+    proper)."""
     argv: list = []
-    if args.schema is not None:
-        argv.append(args.schema)
-    argv += ["--host", args.host, "--port", str(args.port)]
-    argv += ["--workers", str(args.workers)]
+    argv += ["--workers", str(threads)]
     argv += ["--pool-size", str(args.pool_size)]
     argv += ["--max-fingerprints", str(args.max_fingerprints)]
     argv += ["--max-pending", str(args.max_pending)]
@@ -563,28 +667,26 @@ def _serve_argv(args: argparse.Namespace) -> list:
         ]
     if args.shed_after is not None:
         argv += ["--shed-after", str(args.shed_after)]
-    return argv
+    return tuple(argv)
 
 
-def _cmd_supervise(args: argparse.Namespace) -> int:
-    from .server import (
-        BackoffPolicy,
-        BreakerPolicy,
-        CrashLoopError,
-        Supervisor,
-        serve_spawn,
-        tcp_ping,
-    )
+def _worker_spec(
+    args: argparse.Namespace,
+    *,
+    threads: int,
+    host: str | None = None,
+    port: int | None = None,
+):
+    """Build the `WorkerSpec` shared by ``supervise`` and ``fleet`` —
+    one code path for spawn argv, health policy, and restart policy."""
+    from .server import BackoffPolicy, BreakerPolicy, WorkerSpec
 
-    if args.port == 0:
-        print(
-            "supervise needs a concrete --port (the watchdog probes it)",
-            file=sys.stderr,
-        )
-        return 2
-    supervisor = Supervisor(
-        serve_spawn(_serve_argv(args)),
-        health_check=lambda: tcp_ping(args.host, args.port),
+    return WorkerSpec(
+        schema=args.schema,
+        host=args.host if host is None else host,
+        port=args.port if port is None else port,
+        serve_args=_worker_serve_args(args, threads=threads),
+        warm=getattr(args, "warm", None),
         health_interval_s=args.health_interval,
         backoff=BackoffPolicy(
             base_s=args.backoff_base, cap_s=args.backoff_cap
@@ -593,8 +695,20 @@ def _cmd_supervise(args: argparse.Namespace) -> int:
             max_crashes=args.max_crashes, window_s=args.crash_window
         ),
     )
+
+
+def _cmd_supervise(args: argparse.Namespace) -> int:
+    from .server import CrashLoopError
+
+    spec = _worker_spec(args, threads=args.workers)
+    supervisor = spec.supervisor()
+    where = (
+        f"{args.host}:{args.port}"
+        if args.port
+        else f"{args.host}:<ephemeral>"
+    )
     print(
-        f"supervising serve worker on {args.host}:{args.port} "
+        f"supervising serve worker on {where} "
         f"(breaker: {args.max_crashes} crashes/{args.crash_window:g}s)",
         file=sys.stderr,
         flush=True,
@@ -624,6 +738,92 @@ def _cmd_supervise(args: argparse.Namespace) -> int:
     finally:
         if previous is not None:
             signal.signal(signal.SIGTERM, previous)
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+    import signal
+
+    from .server import Fleet, FleetDispatcher
+
+    workers = max(1, args.workers)
+    channels = args.channels_per_worker or args.worker_threads
+    # Workers always bind loopback ephemeral ports and announce them
+    # via the readiness handshake; --host/--port are the *dispatcher*.
+    specs = [
+        _worker_spec(
+            args, threads=args.worker_threads, host="127.0.0.1", port=0
+        )
+        for __ in range(workers)
+    ]
+
+    async def serve() -> None:
+        dispatcher = FleetDispatcher(
+            host=args.host, port=args.port, channels_per_worker=channels
+        )
+        await dispatcher.start()
+        fleet = Fleet(specs, dispatcher)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        hooked = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                hooked.append(signum)
+            except (NotImplementedError, RuntimeError):
+                pass
+        try:
+            admitted = await fleet.start()
+            host, port = dispatcher.address
+            print(
+                f"fleet dispatcher on {host}:{port} "
+                f"({admitted}/{workers} workers in ring, "
+                f"{args.worker_threads} threads each; Ctrl-C to stop)",
+                file=sys.stderr,
+                flush=True,
+            )
+            print(
+                json.dumps(
+                    ReadyFrame(
+                        host=host,
+                        port=port,
+                        pid=os.getpid(),
+                        role="fleet",
+                        workers=admitted,
+                    ).to_dict()
+                ),
+                flush=True,
+            )
+            forever = asyncio.ensure_future(dispatcher.serve_forever())
+            stopped = asyncio.ensure_future(stop.wait())
+            try:
+                await asyncio.wait(
+                    {forever, stopped},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+            finally:
+                stopped.cancel()
+                forever.cancel()
+        finally:
+            for signum in hooked:
+                loop.remove_signal_handler(signum)
+            print(
+                f"draining fleet (timeout {args.drain_timeout:g}s)",
+                file=sys.stderr,
+                flush=True,
+            )
+            await fleet.close(drain_timeout=args.drain_timeout)
+            print("fleet shutdown complete", file=sys.stderr, flush=True)
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr, flush=True)
+    except RuntimeError as error:
+        print(f"fleet failed: {error}", file=sys.stderr, flush=True)
+        return 1
     return 0
 
 
@@ -675,6 +875,7 @@ def main(argv: list[str] | None = None) -> int:
         "batch": _cmd_batch,
         "serve": _cmd_serve,
         "supervise": _cmd_supervise,
+        "fleet": _cmd_fleet,
         "simplify": _cmd_simplify,
         "classify": _cmd_classify,
     }

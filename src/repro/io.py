@@ -88,6 +88,11 @@ def schema_from_dict(description: dict[str, Any]) -> Schema:
     """Build a `Schema` from a parsed JSON description."""
     if "relations" not in description:
         raise SchemaFormatError("missing 'relations' section")
+    if not isinstance(description["relations"], dict):
+        raise SchemaFormatError(
+            "'relations' must map names to arities, got "
+            f"{type(description['relations']).__name__}"
+        )
     schema = Schema()
     attributes = description.get("attributes", {})
     for name, arity in description["relations"].items():
@@ -133,6 +138,53 @@ def load_query(text_or_path: str) -> ConjunctiveQuery:
     if candidate.exists() and candidate.is_file():
         text_or_path = candidate.read_text().strip()
     return parse_cq(text_or_path)
+
+
+def load_warm_manifest(path: Union[str, Path]) -> list[dict[str, Any]]:
+    """Load a fingerprint warmup manifest: the schemas a worker
+    precompiles *before* it reports ready (and, in a fleet, before it
+    joins the ring), so first requests on warmed fingerprints never pay
+    compile latency.
+
+    The file is either a JSON object ``{"schemas": [...]}`` or a bare
+    JSON array; each entry is an inline schema description (the
+    `schema_from_dict` format) or a string path to a schema JSON file,
+    resolved relative to the manifest.  Returns the inline descriptions
+    (paths loaded and serialized), validated by a full compile-free
+    parse — a malformed manifest fails the worker at startup, not at
+    first request.
+    """
+    manifest_path = Path(path)
+    with open(manifest_path) as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict):
+        entries = payload.get("schemas")
+        if not isinstance(entries, list):
+            raise SchemaFormatError(
+                f"warm manifest {manifest_path}: expected a 'schemas' list"
+            )
+    elif isinstance(payload, list):
+        entries = payload
+    else:
+        raise SchemaFormatError(
+            f"warm manifest {manifest_path}: expected an object or array, "
+            f"got {type(payload).__name__}"
+        )
+    descriptions: list[dict[str, Any]] = []
+    for index, entry in enumerate(entries):
+        if isinstance(entry, str):
+            candidate = Path(entry)
+            if not candidate.is_absolute():
+                candidate = manifest_path.parent / candidate
+            entry = schema_to_dict(load_schema(candidate))
+        if not isinstance(entry, dict):
+            raise SchemaFormatError(
+                f"warm manifest {manifest_path}: entry {index} must be "
+                f"a schema object or path, got {type(entry).__name__}"
+            )
+        schema_from_dict(entry)  # validate eagerly
+        descriptions.append(entry)
+    return descriptions
 
 
 def schema_to_dict(schema: Schema) -> dict[str, Any]:
@@ -482,3 +534,77 @@ class ErrorFrame:
             retryable=bool(error.get("retryable", False)),
             retry_after_ms=error.get("retry_after_ms"),
         )
+
+
+@dataclass
+class ReadyFrame:
+    """The machine-parsable readiness handshake of a serving process.
+
+    ``python -m repro serve`` (and ``fleet``) emit exactly one of these
+    as a JSON line on **stdout** once the socket is bound and any
+    warmup manifest has been compiled — the human banner stays on
+    stderr.  Supervisors and the fleet dispatcher discover a worker's
+    ephemeral port and pid by parsing this line instead of scraping
+    log text; ``warmed`` reports how many manifest schemas were
+    precompiled before the frame was emitted (the worker serves no
+    traffic colder than this).
+
+    The serialized form nests under a single ``ready`` key, so stream
+    consumers can discriminate it from response frames the same way
+    ``error`` frames are discriminated.
+    """
+
+    host: str
+    port: int
+    pid: int
+    role: str = "serve"
+    #: Worker processes behind the address (fleet only).
+    workers: Optional[int] = None
+    #: Schemas precompiled from the warmup manifest before readiness.
+    warmed: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        ready: dict[str, Any] = {
+            "host": self.host,
+            "port": self.port,
+            "pid": self.pid,
+            "role": self.role,
+        }
+        if self.workers is not None:
+            ready["workers"] = self.workers
+        if self.warmed:
+            ready["warmed"] = self.warmed
+        return {"ready": ready}
+
+    @staticmethod
+    def from_dict(payload: dict[str, Any]) -> "ReadyFrame":
+        ready = payload["ready"]
+        return ReadyFrame(
+            host=ready["host"],
+            port=int(ready["port"]),
+            pid=int(ready["pid"]),
+            role=ready.get("role", "serve"),
+            workers=ready.get("workers"),
+            warmed=int(ready.get("warmed", 0)),
+        )
+
+    @staticmethod
+    def from_line(line: Union[str, bytes]) -> Optional["ReadyFrame"]:
+        """Parse one stdout line; None when it is not a ready frame
+        (supervisors skim worker output with this — anything that is
+        not the handshake is ignored, never fatal)."""
+        if isinstance(line, bytes):
+            line = line.decode("utf-8", "replace")
+        line = line.strip()
+        if not line.startswith("{"):
+            return None
+        try:
+            payload = json.loads(line)
+        except ValueError:
+            return None
+        if not isinstance(payload, dict) or "ready" not in payload:
+            return None
+        try:
+            return ReadyFrame.from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            return None

@@ -95,6 +95,32 @@ class Overloaded(RuntimeError):
         self.scope = scope
 
 
+class WorkerLost(RuntimeError):
+    """A fleet worker died (or its connection dropped) with the request
+    in flight.
+
+    Retryable by contract: the dispatcher has already removed the
+    worker from its ring, so a retry routes to the shard's new owner
+    (or to the restarted worker once it rejoins).  The answer that was
+    being computed is simply lost — never replaced with a guess — which
+    preserves the fault invariant: a correct decision or a typed
+    retryable error, nothing in between.
+    """
+
+    retryable = True
+
+    def __init__(
+        self,
+        message: str = "worker lost with request in flight",
+        *,
+        worker: str = "",
+        retry_after_ms: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.worker = worker
+        self.retry_after_ms = retry_after_ms
+
+
 class Budget:
     """A deadline plus a cancellation flag, polled cooperatively.
 

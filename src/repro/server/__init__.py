@@ -5,22 +5,31 @@ The layer that turns the service seam into a server:
 * `SessionPool` — routes requests to `Session`s by schema content
   fingerprint (two-level: serialized spelling, then fingerprint), a
   bounded pool per fingerprint over one shared `CompiledSchema`, LRU
-  eviction of cold fingerprints, aggregated `stats()`;
+  eviction of cold fingerprints, aggregated `stats()` with per-shard
+  heat, and `warm()` for manifest-driven precompilation;
 * `DecideServer` / `run_server` — the asyncio JSON-lines TCP front end:
   decisions on a bounded worker-thread executor, backpressure via a
   bounded in-flight gate (optionally shedding `Overloaded` frames),
   per-request deadlines with cooperative cancellation, per-client
   token-bucket quotas, graceful drain, and structured `ErrorFrame`s
   for every failure;
-* `Supervisor` — the crash-tolerant worker supervisor: serve loop in a
-  child process, health-check watchdog, jittered-exponential-backoff
-  restarts, crash-loop breaker;
+* `Supervisor` / `WorkerSpec` / `WorkerHandle` — the crash-tolerant
+  worker supervisor: serve loop in a child process with a readiness
+  handshake on stdout, health-check watchdog, jittered-exponential-
+  backoff restarts, crash-loop breaker;
+* `HashRing` / `FleetDispatcher` / `Fleet` — the prefork fleet: N
+  supervised worker processes behind one dispatcher that routes frames
+  by consistent hashing of the schema fingerprint, failing over worker
+  deaths as typed retryable `WorkerLost` errors;
 * `make_wsgi_app` — the same pool behind any WSGI httpd (stdlib
   ``wsgiref`` pairs with it for a dependency-free HTTP server).
 
-Exposed on the CLI as ``python -m repro serve`` / ``supervise``.
+Exposed on the CLI as ``python -m repro serve`` / ``supervise`` /
+``fleet``.
 """
 
+from .fleet import Fleet, FleetDispatcher, run_fleet
+from .hashring import DEFAULT_REPLICAS, HashRing
 from .pool import (
     DEFAULT_MAX_FINGERPRINTS,
     DEFAULT_POOL_SIZE,
@@ -40,6 +49,8 @@ from .supervisor import (
     BreakerPolicy,
     CrashLoopError,
     Supervisor,
+    WorkerHandle,
+    WorkerSpec,
     serve_spawn,
     tcp_ping,
 )
@@ -51,6 +62,9 @@ __all__ = [
     "DEFAULT_MAX_PENDING", "DEFAULT_PORT", "DEFAULT_WORKERS",
     "DecideServer", "run_server",
     "BackoffPolicy", "BreakerPolicy", "CrashLoopError",
-    "Supervisor", "serve_spawn", "tcp_ping",
+    "Supervisor", "WorkerHandle", "WorkerSpec",
+    "serve_spawn", "tcp_ping",
+    "DEFAULT_REPLICAS", "HashRing",
+    "Fleet", "FleetDispatcher", "run_fleet",
     "make_wsgi_app",
 ]

@@ -1,0 +1,837 @@
+"""The prefork worker fleet: sharded multi-process serving.
+
+The decision core is CPU-bound pure Python, so one interpreter — no
+matter how many threads — decides on one core.  The fleet is the scale
+step past that: N worker processes (each the existing ``serve`` loop —
+a `DecideServer` over a `SessionPool` — spawned and restarted by the
+PR-6 supervisor machinery, one `Supervisor` per worker) behind an
+asyncio **dispatcher** that speaks the same JSON-lines wire protocol
+and routes every frame by consistent hashing of its schema fingerprint
+(`repro.server.hashring`).  Sharding is the point, not just
+parallelism: all traffic for one schema lands on one worker, so that
+worker's compiled artifacts and decision caches stay hot on its shard
+and the fleet's *aggregate* live-fingerprint capacity grows with N.
+
+**Routing keys.**  The dispatcher never compiles schemas.  A frame's
+routing key is the canonical serialization of its inline schema (or
+``""`` for the pinned default) — until the first response for that
+spelling comes back carrying the *content* fingerprint, which the
+dispatcher learns (bounded table) so every spelling of one schema
+converges onto one shard, exactly like the pool's own two-level
+routing.
+
+**Failure semantics.**  A worker death (or dropped connection) fails
+every in-flight frame on it with a typed, retryable
+`repro.runtime.WorkerLost` error — never a wrong answer, never a hang
+(the `tests/fleet/` battery enforces the same invariant as
+`tests/faults/`).  The worker is evicted from the ring immediately;
+its supervisor restarts it with backoff, the new generation warms its
+manifest, reports ready, and is re-admitted — reclaiming its original
+arcs (consistent hashing moves no other shard).  An empty ring sheds
+with retryable ``Overloaded`` frames.
+
+**Warm starts.**  Each worker precompiles the ``--warm`` manifest
+*before* emitting its readiness line, hence before it joins the ring:
+a restarted worker never serves its shard colder than the manifest.
+
+**Stats.**  ``op: stats`` aggregates fleet-wide: dispatcher routing
+counters, the live ring, per-worker supervision state, and each
+worker's own stats frame (whose pool ``per_fingerprint`` map is the
+per-shard heat).
+
+::
+
+    python -m repro fleet --workers 4 --port 8765 --warm manifest.json
+
+or embedded (the benchmark and the test battery drive it this way)::
+
+    dispatcher = FleetDispatcher(port=0)
+    await dispatcher.start()
+    fleet = Fleet([WorkerSpec(...) for _ in range(4)], dispatcher)
+    await fleet.start()
+    ...
+    await fleet.close(drain_timeout=10.0)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import threading
+from collections import OrderedDict, deque
+from typing import Awaitable, Callable, Optional
+
+from ..io import DecideRequest, ErrorFrame
+from ..runtime import Overloaded, WorkerLost
+from .hashring import DEFAULT_REPLICAS, HashRing
+from .server import MAX_FRAME_BYTES
+from .supervisor import CrashLoopError, Supervisor, WorkerSpec
+
+__all__ = ["Fleet", "FleetDispatcher", "run_fleet"]
+
+#: Retry hint stamped on WorkerLost/empty-ring errors: long enough for
+#: the ring to rebalance, short enough that clients re-probe promptly.
+DEFAULT_RETRY_AFTER_MS = 100.0
+#: Bound on learned spelling->fingerprint routes.
+MAX_LEARNED_ROUTES = 4096
+#: Per-worker stats probe timeout inside the aggregated stats frame.
+STATS_TIMEOUT_S = 5.0
+#: Worker response lines (stats, plans) can outgrow request frames.
+CHANNEL_LIMIT_BYTES = 8 * MAX_FRAME_BYTES
+
+
+class _Channel:
+    """One TCP connection to a worker, multiplexing requests FIFO.
+
+    The worker processes frames on one connection strictly in order,
+    so matching responses to requests needs no correlation ids: a
+    deque of futures, resolved in arrival order.  A connection error
+    fails every pending future with `WorkerLost` — the caller turns
+    that into a retryable error frame.
+    """
+
+    def __init__(
+        self,
+        worker_id: str,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        on_lost: Callable[[], None],
+    ) -> None:
+        self.worker_id = worker_id
+        self._reader = reader
+        self._writer = writer
+        self._on_lost = on_lost
+        self._pending: deque[asyncio.Future] = deque()
+        self._write_lock = asyncio.Lock()
+        self._closed = False
+        self._read_task = asyncio.ensure_future(self._read_loop())
+
+    async def request(self, line: bytes) -> dict:
+        """Send one newline-framed request; await its response dict.
+
+        Raises `WorkerLost` if the connection is (or goes) down before
+        the response arrives.
+        """
+        if self._closed:
+            raise WorkerLost(
+                f"worker {self.worker_id} is gone", worker=self.worker_id
+            )
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        async with self._write_lock:
+            if self._closed:
+                raise WorkerLost(
+                    f"worker {self.worker_id} is gone",
+                    worker=self.worker_id,
+                )
+            # Append under the write lock so the pending order matches
+            # the wire order exactly.
+            self._pending.append(future)
+            try:
+                self._writer.write(line.rstrip(b"\n") + b"\n")
+                await self._writer.drain()
+            except (ConnectionError, OSError):
+                self._pending.remove(future)
+                self._lost()
+                raise WorkerLost(
+                    f"worker {self.worker_id} connection dropped on send",
+                    worker=self.worker_id,
+                    retry_after_ms=DEFAULT_RETRY_AFTER_MS,
+                ) from None
+        return await future
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    payload = json.loads(line)
+                except ValueError:
+                    break  # a worker emitting garbage is a lost worker
+                if self._pending:
+                    future = self._pending.popleft()
+                    if not future.done():
+                        future.set_result(payload)
+        except (ConnectionError, OSError, asyncio.LimitOverrunError):
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._lost()
+
+    def _lost(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        while self._pending:
+            future = self._pending.popleft()
+            if not future.done():
+                future.set_exception(
+                    WorkerLost(
+                        f"worker {self.worker_id} lost with request "
+                        "in flight",
+                        worker=self.worker_id,
+                        retry_after_ms=DEFAULT_RETRY_AFTER_MS,
+                    )
+                )
+        try:
+            self._writer.close()
+        except Exception:
+            pass
+        self._on_lost()
+
+    async def close(self) -> None:
+        """Tear the channel down, failing anything still pending."""
+        self._lost()
+        self._read_task.cancel()
+        try:
+            await self._read_task
+        except (asyncio.CancelledError, Exception):
+            pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class _WorkerClient:
+    """The dispatcher's view of one live worker: its address plus a
+    small pool of channels served round-robin (one worker connection
+    is strictly serial — the worker decides frames on a connection in
+    order — so ``channels`` bounds that worker's usable concurrency)."""
+
+    def __init__(
+        self, worker_id: str, host: str, port: int, pid: Optional[int]
+    ) -> None:
+        self.worker_id = worker_id
+        self.host = host
+        self.port = port
+        self.pid = pid
+        self.requests = 0
+        self.channels: list[_Channel] = []
+        self._cursor = itertools.count()
+
+    async def connect(
+        self, channels: int, on_lost: Callable[[], None]
+    ) -> None:
+        for __ in range(channels):
+            reader, writer = await asyncio.open_connection(
+                self.host, self.port, limit=CHANNEL_LIMIT_BYTES
+            )
+            self.channels.append(
+                _Channel(self.worker_id, reader, writer, on_lost)
+            )
+
+    async def request(
+        self, line: bytes, timeout: Optional[float] = None
+    ) -> dict:
+        self.requests += 1
+        live = [c for c in self.channels if not c.closed]
+        if not live:
+            raise WorkerLost(
+                f"worker {self.worker_id} has no live connections",
+                worker=self.worker_id,
+                retry_after_ms=DEFAULT_RETRY_AFTER_MS,
+            )
+        channel = live[next(self._cursor) % len(live)]
+        if timeout is None:
+            return await channel.request(line)
+        return await asyncio.wait_for(channel.request(line), timeout)
+
+    async def close(self) -> None:
+        channels, self.channels = self.channels, []
+        for channel in channels:
+            await channel.close()
+
+    def describe(self) -> dict:
+        return {
+            "address": f"{self.host}:{self.port}",
+            "pid": self.pid,
+            "channels": len(self.channels),
+            "channels_live": sum(
+                1 for c in self.channels if not c.closed
+            ),
+            "requests_routed": self.requests,
+        }
+
+
+class FleetDispatcher:
+    """The fleet's front door: a JSON-lines asyncio server that owns
+    the consistent-hash ring and forwards each frame to its
+    shard's worker.
+
+    Process management lives elsewhere (`Fleet`); the dispatcher only
+    knows addresses.  `add_worker` / `remove_worker` are the admission
+    API — the fleet calls them from supervisor threads via the event
+    loop, tests call them directly with in-process servers.  Both are
+    idempotent, and re-adding a known worker id atomically replaces
+    its old address (the restart path).
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        channels_per_worker: int = 4,
+        replicas: int = DEFAULT_REPLICAS,
+        info_provider: Optional[Callable[[], dict]] = None,
+    ) -> None:
+        if channels_per_worker < 1:
+            raise ValueError(
+                "channels_per_worker must be >= 1, got "
+                f"{channels_per_worker}"
+            )
+        self.host = host
+        self.port = port
+        self.channels_per_worker = channels_per_worker
+        self.ring = HashRing(replicas)
+        #: Extra "fleet" stats section (supervision state) — wired by
+        #: `Fleet`, absent for bare dispatchers.
+        self.info_provider = info_provider
+        self._workers: dict[str, _WorkerClient] = {}
+        #: canonical schema spelling -> learned content fingerprint.
+        self._routes: OrderedDict[str, str] = OrderedDict()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._draining: Optional[asyncio.Event] = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._counters = {
+            "connections": 0,
+            "connections_open": 0,
+            "frames": 0,
+            "responses": 0,
+            "errors": 0,
+            "routed": 0,
+            "worker_lost": 0,
+            "no_worker": 0,
+            "routes_learned": 0,
+            "workers_added": 0,
+            "workers_removed": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "FleetDispatcher":
+        if self._server is not None:
+            return self
+        self._draining = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=MAX_FRAME_BYTES,
+        )
+        sockets = self._server.sockets or ()
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining is not None and self._draining.is_set()
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def close(self, *, drain_timeout: Optional[float] = None) -> None:
+        """Stop accepting, drain client connections, drop workers.
+
+        Mirrors `DecideServer.close`: in-flight forwarded frames get
+        ``drain_timeout`` to come back from their workers (the workers
+        are being SIGTERMed in parallel and cancel long work
+        themselves), then remaining connection tasks are
+        force-cancelled and every worker channel torn down.
+        """
+        if self._draining is not None:
+            self._draining.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        tasks = set(self._conn_tasks)
+        if tasks:
+            __, pending = await asyncio.wait(
+                tasks, timeout=drain_timeout
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.wait(pending, timeout=1.0)
+        for worker_id in list(self._workers):
+            await self.remove_worker(worker_id)
+
+    # ------------------------------------------------------------------
+    # Worker admission
+    # ------------------------------------------------------------------
+    async def add_worker(
+        self,
+        worker_id: str,
+        host: str,
+        port: int,
+        *,
+        pid: Optional[int] = None,
+    ) -> None:
+        """Connect to a ready worker and admit it to the ring.
+
+        A failure to connect raises (and leaves the ring unchanged);
+        a known ``worker_id`` is replaced atomically — the restart
+        path, which by consistent hashing hands the new generation
+        exactly the arcs the old one owned.
+        """
+        client = _WorkerClient(worker_id, host, port, pid)
+        await client.connect(
+            self.channels_per_worker,
+            lambda: self._on_channel_lost(worker_id, client),
+        )
+        previous = self._workers.get(worker_id)
+        self._workers[worker_id] = client
+        self.ring.add(worker_id)
+        self._counters["workers_added"] += 1
+        if previous is not None:
+            await previous.close()
+
+    async def remove_worker(self, worker_id: str) -> None:
+        """Evict a worker: drop it from the ring, fail its in-flight
+        frames with `WorkerLost` (idempotent)."""
+        self.ring.remove(worker_id)
+        client = self._workers.pop(worker_id, None)
+        if client is not None:
+            self._counters["workers_removed"] += 1
+            await client.close()
+
+    def _on_channel_lost(
+        self, worker_id: str, client: _WorkerClient
+    ) -> None:
+        """A channel hit EOF/error: evict the worker eagerly (don't
+        wait for the supervisor's poll to notice the death) so new
+        frames reroute instead of piling more `WorkerLost` errors."""
+        if self._workers.get(worker_id) is not client:
+            return  # already replaced by a newer generation
+        if all(channel.closed for channel in client.channels):
+            task = asyncio.ensure_future(self.remove_worker(worker_id))
+            # Keep a reference so the cleanup cannot be GC-cancelled.
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+
+    @property
+    def workers(self) -> tuple[str, ...]:
+        return tuple(self._workers)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def routing_key(self, request: DecideRequest) -> str:
+        """The ring key for one frame: the learned content fingerprint
+        when known, else the canonical serialized spelling (``""`` for
+        the default schema)."""
+        if request.schema is None:
+            return ""
+        spelling = json.dumps(request.schema, sort_keys=True)
+        return self._routes.get(spelling, spelling)
+
+    def _learn_route(self, request: DecideRequest, response: dict) -> None:
+        if request.schema is None:
+            return
+        fingerprint = response.get("fingerprint")
+        if not fingerprint or not isinstance(fingerprint, str):
+            return
+        spelling = json.dumps(request.schema, sort_keys=True)
+        if self._routes.get(spelling) == fingerprint:
+            self._routes.move_to_end(spelling)
+            return
+        self._routes[spelling] = fingerprint
+        self._routes.move_to_end(spelling)
+        self._counters["routes_learned"] += 1
+        while len(self._routes) > MAX_LEARNED_ROUTES:
+            self._routes.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Connection handling (same staging as DecideServer)
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._counters["connections"] += 1
+        self._counters["connections_open"] += 1
+        assert self._draining is not None
+        try:
+            while not self._draining.is_set():
+                read = asyncio.ensure_future(reader.readline())
+                drain = asyncio.ensure_future(self._draining.wait())
+                try:
+                    await asyncio.wait(
+                        {read, drain}, return_when=asyncio.FIRST_COMPLETED
+                    )
+                finally:
+                    drain.cancel()
+                    if not read.done():
+                        read.cancel()
+                        try:
+                            await read
+                        except (asyncio.CancelledError, Exception):
+                            pass
+                if not read.done() or read.cancelled():
+                    break
+                try:
+                    line = read.result()
+                except (asyncio.LimitOverrunError, ValueError):
+                    self._counters["errors"] += 1
+                    frame = ErrorFrame(
+                        "FrameTooLong",
+                        f"request frame exceeds {MAX_FRAME_BYTES} bytes",
+                    ).to_dict()
+                    await self._write(writer, frame)
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                frame = await self._process_line(line)
+                await self._write(writer, frame)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._counters["connections_open"] -= 1
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    @staticmethod
+    async def _write(writer: asyncio.StreamWriter, frame: dict) -> None:
+        writer.write(json.dumps(frame).encode("utf-8") + b"\n")
+        await writer.drain()
+
+    async def _process_line(self, line: bytes) -> dict:
+        self._counters["frames"] += 1
+        try:
+            request = DecideRequest.from_dict(
+                json.loads(line.decode("utf-8"))
+            )
+        except Exception as error:
+            self._counters["errors"] += 1
+            snippet = line.decode("utf-8", "replace").strip()
+            return ErrorFrame.from_exception(
+                error, line=snippet[:200]
+            ).to_dict()
+        if request.op == "ping":
+            self._counters["responses"] += 1
+            frame: dict = {"op": "pong"}
+            if request.id is not None:
+                frame["id"] = request.id
+            return frame
+        if request.op == "stats":
+            self._counters["responses"] += 1
+            return await self._stats_frame(request)
+        return await self._forward(request, line)
+
+    async def _forward(self, request: DecideRequest, line: bytes) -> dict:
+        key = self.routing_key(request)
+        worker_id = self.ring.node_for(key)
+        client = (
+            self._workers.get(worker_id) if worker_id is not None else None
+        )
+        if client is None:
+            self._counters["errors"] += 1
+            self._counters["no_worker"] += 1
+            return ErrorFrame.from_exception(
+                Overloaded(
+                    "no live workers in the fleet ring",
+                    retry_after_ms=DEFAULT_RETRY_AFTER_MS,
+                    scope="fleet",
+                ),
+                id=request.id,
+            ).to_dict()
+        self._counters["routed"] += 1
+        try:
+            response = await client.request(line)
+        except WorkerLost as error:
+            self._counters["errors"] += 1
+            self._counters["worker_lost"] += 1
+            return ErrorFrame.from_exception(error, id=request.id).to_dict()
+        self._counters["responses"] += 1
+        self._learn_route(request, response)
+        return response
+
+    # ------------------------------------------------------------------
+    # Aggregated stats
+    # ------------------------------------------------------------------
+    async def _stats_frame(self, request: DecideRequest) -> dict:
+        workers = dict(self._workers)
+        probes = {
+            worker_id: asyncio.ensure_future(
+                client.request(b'{"op": "stats"}', timeout=STATS_TIMEOUT_S)
+            )
+            for worker_id, client in workers.items()
+        }
+        if probes:
+            await asyncio.wait(probes.values())
+        per_worker = []
+        for worker_id, client in workers.items():
+            entry: dict = {"worker": worker_id, **client.describe()}
+            probe = probes[worker_id]
+            error = probe.exception() if probe.done() else None
+            if error is not None:
+                entry["error"] = {
+                    "type": type(error).__name__,
+                    "message": str(error),
+                }
+            else:
+                entry["stats"] = probe.result()
+            per_worker.append(entry)
+        fleet: dict = {
+            "workers": len(workers),
+            "ring": {
+                "nodes": sorted(self.ring.nodes),
+                "replicas": self.ring.replicas,
+            },
+            "counters": dict(self._counters),
+            "routes": len(self._routes),
+            "shards": self.ring.assignments(self._routes.values()),
+            "draining": self.draining,
+        }
+        if self.info_provider is not None:
+            fleet["supervision"] = self.info_provider()
+        frame: dict = {"op": "stats", "fleet": fleet, "workers": per_worker}
+        if request.id is not None:
+            frame["id"] = request.id
+        return frame
+
+    def __repr__(self) -> str:
+        state = "listening" if self._server is not None else "stopped"
+        return (
+            f"FleetDispatcher({self.host}:{self.port}, {state}, "
+            f"{len(self._workers)} workers)"
+        )
+
+
+class _Member:
+    """One fleet slot: a spec, its supervisor, and the thread the
+    supervisor runs on."""
+
+    def __init__(self, worker_id: str, spec: WorkerSpec) -> None:
+        self.worker_id = worker_id
+        self.spec = spec
+        self.supervisor: Optional[Supervisor] = None
+        self.thread: Optional[threading.Thread] = None
+        self.failure: Optional[BaseException] = None
+
+
+class Fleet:
+    """N supervised serve workers admitted to one dispatcher's ring.
+
+    Each worker gets its own `Supervisor` (the per-worker supervisor
+    registry) running on its own thread; the supervisor's
+    ``on_worker_up`` hook waits for the worker's readiness handshake —
+    warm manifest compiled, socket bound — and only then admits it to
+    the ring, and ``on_worker_down`` evicts it the moment the watch
+    ends.  A worker whose handshake never arrives is terminated, which
+    feeds the normal crash/backoff/breaker accounting; a tripped
+    breaker takes that slot out of the fleet permanently (visible in
+    ``stats``) while the rest keep serving.
+    """
+
+    def __init__(
+        self,
+        specs: list[WorkerSpec],
+        dispatcher: FleetDispatcher,
+        *,
+        admit_timeout_s: float = 30.0,
+    ) -> None:
+        if not specs:
+            raise ValueError("a fleet needs at least one WorkerSpec")
+        self.dispatcher = dispatcher
+        self.admit_timeout_s = admit_timeout_s
+        self._members = [
+            _Member(f"worker-{index}", spec)
+            for index, spec in enumerate(specs)
+        ]
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        if dispatcher.info_provider is None:
+            dispatcher.info_provider = self.describe
+
+    # ------------------------------------------------------------------
+    def _admit(self, member: _Member, worker: object) -> None:
+        """Supervisor-thread side of admission: block on the readiness
+        handshake, then hand the discovered address to the event
+        loop."""
+        ready = worker.wait_ready(member.spec.ready_timeout_s)
+        if ready is None:
+            # No handshake: treat as a crash (terminate; the watch sees
+            # the death and applies backoff/breaker).
+            worker.terminate()
+            return
+        assert self._loop is not None
+        future = asyncio.run_coroutine_threadsafe(
+            self.dispatcher.add_worker(
+                member.worker_id,
+                ready.host,
+                ready.port,
+                pid=getattr(worker, "pid", None),
+            ),
+            self._loop,
+        )
+        try:
+            future.result(timeout=self.admit_timeout_s)
+        except Exception:
+            # Could not connect/admit: recycle the worker through the
+            # crash path rather than leaving it dark.
+            worker.terminate()
+
+    def _evict(self, member: _Member) -> None:
+        assert self._loop is not None
+        future = asyncio.run_coroutine_threadsafe(
+            self.dispatcher.remove_worker(member.worker_id), self._loop
+        )
+        try:
+            future.result(timeout=self.admit_timeout_s)
+        except Exception:
+            pass  # the loop is shutting down; channels die with it
+
+    def _supervise(self, member: _Member) -> None:
+        assert member.supervisor is not None
+        try:
+            member.supervisor.run()
+        except CrashLoopError as error:
+            member.failure = error
+        except Exception as error:  # pragma: no cover - defensive
+            member.failure = error
+
+    # ------------------------------------------------------------------
+    async def start(
+        self, *, min_workers: Optional[int] = None, timeout_s: float = 120.0
+    ) -> int:
+        """Spawn every worker and wait until ``min_workers`` (default:
+        all) are admitted to the ring; returns the admitted count.
+
+        Raises `RuntimeError` when the quorum is not reached in
+        ``timeout_s`` — with every supervisor stopped, so no orphan
+        processes outlive the failure.
+        """
+        self._loop = asyncio.get_running_loop()
+        quorum = len(self._members) if min_workers is None else min_workers
+        for member in self._members:
+            member.supervisor = member.spec.supervisor(
+                on_worker_up=lambda worker, m=member: self._admit(m, worker),
+                on_worker_down=lambda worker, m=member: self._evict(m),
+            )
+            member.thread = threading.Thread(
+                target=self._supervise,
+                args=(member,),
+                name=f"supervise-{member.worker_id}",
+                daemon=True,
+            )
+            member.thread.start()
+        deadline = self._loop.time() + timeout_s
+        while True:
+            admitted = len(self.dispatcher.workers)
+            if admitted >= quorum:
+                return admitted
+            if all(m.failure is not None for m in self._members):
+                await self.close()
+                raise RuntimeError(
+                    "every fleet worker crash-looped: "
+                    + "; ".join(
+                        f"{m.worker_id}: {m.failure}" for m in self._members
+                    )
+                )
+            if self._loop.time() >= deadline:
+                await self.close()
+                raise RuntimeError(
+                    f"fleet quorum not reached: {admitted}/{quorum} "
+                    f"workers ready within {timeout_s:g}s"
+                )
+            await asyncio.sleep(0.05)
+
+    async def close(self, *, drain_timeout: Optional[float] = None) -> None:
+        """Drain the dispatcher, then stop every supervisor (SIGTERM →
+        worker graceful drain → kill after the grace period)."""
+        await self.dispatcher.close(drain_timeout=drain_timeout)
+        for member in self._members:
+            if member.supervisor is not None:
+                member.supervisor.stop()
+        loop = asyncio.get_running_loop()
+        for member in self._members:
+            thread = member.thread
+            if thread is not None and thread.is_alive():
+                await loop.run_in_executor(None, thread.join)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """Per-worker supervision state (the stats frame's
+        ``fleet.supervision`` section)."""
+        report = {}
+        for member in self._members:
+            supervisor = member.supervisor
+            worker = supervisor.worker if supervisor is not None else None
+            state = "starting"
+            if member.failure is not None:
+                state = "crash-loop"
+            elif member.worker_id in self.dispatcher.workers:
+                state = "in-ring"
+            elif worker is not None and worker.is_alive():
+                state = "spawned"
+            elif supervisor is not None and supervisor.generation > 0:
+                state = "down"
+            report[member.worker_id] = {
+                "state": state,
+                "generation": getattr(supervisor, "generation", 0),
+                "restarts": getattr(supervisor, "restarts", 0),
+                "pid": getattr(worker, "pid", None),
+                "failure": (
+                    str(member.failure)
+                    if member.failure is not None
+                    else None
+                ),
+            }
+        return report
+
+    @property
+    def members(self) -> tuple[str, ...]:
+        return tuple(member.worker_id for member in self._members)
+
+
+async def run_fleet(
+    specs: list[WorkerSpec],
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    channels_per_worker: int = 4,
+    drain_timeout: Optional[float] = None,
+    ready: Optional[Callable[[FleetDispatcher], Awaitable[None]]] = None,
+    min_workers: Optional[int] = None,
+) -> None:
+    """Start a dispatcher + fleet and serve until cancelled; the CLI
+    and the smoke harness sit on this.  ``ready`` (when given) is
+    awaited once the quorum is admitted — the CLI emits its readiness
+    frame there."""
+    dispatcher = FleetDispatcher(
+        host=host, port=port, channels_per_worker=channels_per_worker
+    )
+    await dispatcher.start()
+    fleet = Fleet(specs, dispatcher)
+    try:
+        await fleet.start(min_workers=min_workers)
+        if ready is not None:
+            await ready(dispatcher)
+        await dispatcher.serve_forever()
+    finally:
+        await fleet.close(drain_timeout=drain_timeout)

@@ -1,0 +1,128 @@
+"""Consistent hashing of schema fingerprints over serve workers.
+
+The fleet dispatcher routes every request by the *routing key* of its
+schema (the content fingerprint once learned, the canonical serialized
+spelling before that) so that all traffic for one schema lands on one
+worker — that worker's `SessionPool` then holds the compiled artifacts
+and decision caches for its shard, and no other worker wastes memory
+on them.
+
+The ring is the classic Karger construction: every worker is hashed to
+``replicas`` virtual points on a circle keyed by SHA-256 (stable across
+processes and Python builds — `hash()` is salted and useless here), and
+a key routes to the first worker point at or after the key's own hash.
+Properties the fleet relies on:
+
+* **determinism** — two dispatchers with the same worker set route a
+  key identically (no coordination needed);
+* **minimal movement** — removing a worker reassigns *only* that
+  worker's keys (its arcs fall to the next point on the circle);
+  re-adding it restores exactly the original assignment, so a restarted
+  worker reclaims its still-warm shard;
+* **balance** — with the default 64 virtual points per worker the
+  largest shard stays within a small factor of the mean.
+
+The ring itself is a pure data structure (no locks, no I/O); the
+dispatcher mutates it only from the event loop.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Optional
+
+__all__ = ["DEFAULT_REPLICAS", "HashRing"]
+
+#: Virtual points per worker; 64 keeps the max/mean shard ratio low
+#: while add/remove stay O(replicas log n).
+DEFAULT_REPLICAS = 64
+
+
+def _point(data: str) -> int:
+    """A stable 64-bit position on the circle."""
+    digest = hashlib.sha256(data.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring mapping routing keys to worker ids.
+
+    ::
+
+        ring = HashRing()
+        ring.add("worker-0"); ring.add("worker-1")
+        ring.node_for(fingerprint)      # -> "worker-0" | "worker-1"
+        ring.remove("worker-0")         # worker-1 inherits its arcs
+    """
+
+    def __init__(self, replicas: int = DEFAULT_REPLICAS) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._nodes: set[str] = set()
+        #: Sorted virtual points and the node owning each, kept aligned.
+        self._points: list[int] = []
+        self._owners: list[str] = []
+
+    # ------------------------------------------------------------------
+    def add(self, node: str) -> None:
+        """Add a worker (idempotent)."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for replica in range(self.replicas):
+            point = _point(f"{node}#{replica}")
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, node)
+
+    def remove(self, node: str) -> None:
+        """Remove a worker (idempotent); its arcs fall to the next
+        point on the circle."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != node
+        ]
+        self._points = [point for point, __ in keep]
+        self._owners = [owner for __, owner in keep]
+
+    def node_for(self, key: str) -> Optional[str]:
+        """The worker owning ``key``, or None when the ring is empty."""
+        if not self._points:
+            return None
+        index = bisect.bisect(self._points, _point(key))
+        if index == len(self._points):
+            index = 0  # wrap around the circle
+        return self._owners[index]
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def assignments(self, keys: Iterable[str]) -> dict[str, list[str]]:
+        """Group ``keys`` by owning worker (observability helper: the
+        fleet's ``stats`` frame reports the live shard map with it)."""
+        shards: dict[str, list[str]] = {node: [] for node in self._nodes}
+        for key in keys:
+            owner = self.node_for(key)
+            if owner is not None:
+                shards[owner].append(key)
+        return shards
+
+    def __repr__(self) -> str:
+        return (
+            f"HashRing({len(self._nodes)} nodes, "
+            f"{self.replicas} replicas)"
+        )

@@ -168,7 +168,14 @@ class SessionPool:
             "text_key_hits": 0,
             "fingerprint_hits": 0,
             "evictions": 0,
+            "warmed": 0,
         }
+        #: fingerprint -> {"requests", "cache_hits"}, LRU-bounded but
+        #: *not* tied to entry eviction: shard heat stays observable
+        #: even for fingerprints the pool has since evicted (the fleet
+        #: dispatcher reads ring balance off this map).
+        self._heat: OrderedDict[str, dict[str, int]] = OrderedDict()
+        self._max_heat = 8 * max_fingerprints
         self._default: Optional[_Entry] = None
         if default_schema is not None:
             self._default = _Entry(self._compile(default_schema))
@@ -258,6 +265,43 @@ class SessionPool:
                 self._counters["sessions_created"] += 1
             return session
 
+    def warm(self, schema: SchemaLike) -> str:
+        """Precompile ``schema`` into the pool without serving a
+        request; returns the content fingerprint.
+
+        The entry (compiled artifacts plus one ready session) is
+        registered exactly as a first request would register it — same
+        two-level routing, same LRU accounting — so the first real
+        request on a warmed fingerprint is a plain ``text_key_hits`` /
+        ``fingerprint_hits`` lookup with zero compile latency.  Workers
+        warm their manifest before reporting ready (`--warm`); warmed
+        schemas do not count as requests or shard heat.
+        """
+        if schema is None:
+            raise ValueError("cannot warm None (the default is always hot)")
+        with self._lock:
+            entry = self._entry_for(schema)
+            if not entry.sessions:
+                entry.sessions.append(
+                    self.limits.make_session(entry.compiled)
+                )
+                self._counters["sessions_created"] += 1
+            self._counters["warmed"] += 1
+            return entry.compiled.fingerprint
+
+    def _record_heat(self, fingerprint: str, *, cached: bool) -> None:
+        with self._lock:
+            heat = self._heat.get(fingerprint)
+            if heat is None:
+                heat = {"requests": 0, "cache_hits": 0}
+                self._heat[fingerprint] = heat
+            heat["requests"] += 1
+            if cached:
+                heat["cache_hits"] += 1
+            self._heat.move_to_end(fingerprint)
+            while len(self._heat) > self._max_heat:
+                self._heat.popitem(last=False)
+
     # ------------------------------------------------------------------
     # The transport-independent request path
     # ------------------------------------------------------------------
@@ -308,6 +352,7 @@ class SessionPool:
             response = session.decide(
                 request.query, finite=request.finite, budget=budget
             )
+        self._record_heat(response.fingerprint, cached=response.cached)
         if request.id is not None:
             # Copy: the session cache keeps the id-free original.
             response = dataclasses.replace(response, id=request.id)
@@ -335,6 +380,13 @@ class SessionPool:
                     "max_disjuncts": self.limits.max_disjuncts,
                     "subsumption": self.limits.subsumption,
                     "deadline_ms": self.limits.deadline_ms,
+                },
+                # Shard heat: per-fingerprint request/decision-cache-hit
+                # counts (bounded, eviction-surviving, hot last) — what
+                # the fleet aggregates to observe ring balance.
+                "per_fingerprint": {
+                    fingerprint: dict(heat)
+                    for fingerprint, heat in self._heat.items()
                 },
                 "sessions": [entry.stats() for entry in entries],
             }

@@ -1,0 +1,203 @@
+"""Unit tests for ``benchmarks/check_regression.py`` — the CI gate
+that compares fresh ``BENCH_*.json`` artifacts against the committed
+versions.  The gate guards every perf number in the repo, so its own
+corner cases (glob matching, the noise-tolerance clamp, missing
+baselines, smoke-file refusal) deserve coverage of their own."""
+
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def load_module():
+    spec = importlib.util.spec_from_file_location(
+        "check_regression_under_test",
+        REPO_ROOT / "benchmarks" / "check_regression.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture()
+def check():
+    return load_module()
+
+
+def regressions(check, committed, fresh, tolerance=0.4):
+    return list(check.compare("BENCH_x.json", committed, fresh, tolerance))
+
+
+class TestCompare:
+    def test_identical_artifacts_pass(self, check):
+        artifact = {"workloads": [{"name": "w", "speedup": 10.0}]}
+        assert regressions(check, artifact, artifact) == []
+
+    def test_missing_workload_is_a_regression(self, check):
+        committed = {"workloads": [{"name": "w", "speedup": 10.0}]}
+        fresh = {"workloads": []}
+        [(workload, message)] = regressions(check, committed, fresh)
+        assert workload == "w"
+        assert "missing from fresh run" in message
+
+    def test_speedup_noise_clamp(self, check):
+        committed = {"workloads": [{"name": "w", "speedup": 10.0}]}
+        # exactly at the floor (10.0 * 0.4): noise, not a regression
+        at_floor = {"workloads": [{"name": "w", "speedup": 4.0}]}
+        assert regressions(check, committed, at_floor) == []
+        # just under the floor: a collapse, reported
+        below = {"workloads": [{"name": "w", "speedup": 3.99}]}
+        [(workload, message)] = regressions(check, committed, below)
+        assert "fell below" in message
+
+    def test_speedup_field_missing_from_fresh_counts_as_zero(self, check):
+        committed = {"workloads": [{"name": "w", "speedup": 2.0}]}
+        fresh = {"workloads": [{"name": "w"}]}
+        [(__, message)] = regressions(check, committed, fresh)
+        assert "fell below" in message
+
+    def test_best_seconds_noise_clamp(self, check):
+        committed = {"workloads": [{"name": "w", "best_seconds": 1.0}]}
+        # 1.0 / 0.4 = 2.5 is the ceiling: slower is a regression
+        slow = {"workloads": [{"name": "w", "best_seconds": 2.51}]}
+        [(__, message)] = regressions(check, committed, slow)
+        assert "exceeded" in message
+        ok = {"workloads": [{"name": "w", "best_seconds": 2.5}]}
+        assert regressions(check, committed, ok) == []
+
+    def test_rows_are_keyed_by_name_and_engine(self, check):
+        committed = {
+            "workloads": [
+                {"name": "w", "engine": "a", "best_seconds": 1.0},
+                {"name": "w", "engine": "b", "best_seconds": 1.0},
+            ]
+        }
+        fresh = {
+            "workloads": [
+                {"name": "w", "engine": "a", "best_seconds": 1.0},
+                {"name": "w", "engine": "b", "best_seconds": 9.0},
+            ]
+        }
+        [(workload, __)] = regressions(check, committed, fresh)
+        assert workload == "w/b"
+
+    def test_tolerance_parameter_scales_both_gates(self, check):
+        committed = {
+            "workloads": [
+                {"name": "ratio", "speedup": 10.0},
+                {"name": "time", "best_seconds": 1.0},
+            ]
+        }
+        fresh = {
+            "workloads": [
+                {"name": "ratio", "speedup": 9.0},
+                {"name": "time", "best_seconds": 1.05},
+            ]
+        }
+        assert regressions(check, committed, fresh, tolerance=0.4) == []
+        strict = regressions(check, committed, fresh, tolerance=0.99)
+        assert {w for w, __ in strict} == {"ratio", "time"}
+
+
+class GitSandbox:
+    """A throwaway git repo standing in for the project root."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self.git("init", "-q")
+        self.git("config", "user.email", "bench@example.invalid")
+        self.git("config", "user.name", "bench")
+
+    def git(self, *argv: str) -> None:
+        subprocess.run(
+            ["git", *argv], cwd=self.path, check=True, capture_output=True
+        )
+
+    def commit_artifact(self, name: str, payload: dict) -> Path:
+        path = self.path / name
+        path.write_text(json.dumps(payload))
+        self.git("add", name)
+        self.git("commit", "-q", "-m", f"add {name}")
+        return path
+
+
+@pytest.fixture()
+def sandbox(tmp_path, check, monkeypatch):
+    monkeypatch.setattr(check, "ROOT", tmp_path)
+    return GitSandbox(tmp_path)
+
+
+class TestMain:
+    def test_no_committed_artifacts_fails_loudly(
+        self, check, sandbox, capsys
+    ):
+        assert check.main([]) == 1
+        assert "no committed BENCH_*.json" in capsys.readouterr().out
+
+    def test_uncommitted_artifact_is_skipped_not_checked(
+        self, check, sandbox, capsys
+    ):
+        # glob matches, but git has no baseline: skip (a brand-new
+        # artifact must not fail the gate), and since nothing else was
+        # checked the run still errors out.
+        (sandbox.path / "BENCH_new.json").write_text(
+            json.dumps({"workloads": []})
+        )
+        assert check.main([]) == 1
+        out = capsys.readouterr().out
+        assert "not committed yet, skipping" in out
+
+    def test_smoke_artifacts_are_ignored_by_the_glob(
+        self, check, sandbox, capsys
+    ):
+        sandbox.commit_artifact(
+            "BENCH_x.smoke.json", {"workloads": [], "smoke": True}
+        )
+        assert check.main([]) == 1  # nothing non-smoke to check
+        out = capsys.readouterr().out
+        assert "BENCH_x.smoke.json" not in out
+
+    def test_fresh_smoke_run_is_refused(self, check, sandbox, capsys):
+        path = sandbox.commit_artifact(
+            "BENCH_x.json",
+            {"workloads": [{"name": "w", "speedup": 5.0}]},
+        )
+        path.write_text(
+            json.dumps(
+                {"workloads": [{"name": "w", "speedup": 5.0}], "smoke": True}
+            )
+        )
+        assert check.main([]) == 1
+        assert "refusing" in capsys.readouterr().out
+
+    def test_clean_pass_and_regression_exit_codes(
+        self, check, sandbox, capsys
+    ):
+        path = sandbox.commit_artifact(
+            "BENCH_x.json",
+            {"workloads": [{"name": "w", "speedup": 5.0}]},
+        )
+        assert check.main([]) == 0
+        assert "ok: no benchmark regressions" in capsys.readouterr().out
+        path.write_text(
+            json.dumps({"workloads": [{"name": "w", "speedup": 0.1}]})
+        )
+        assert check.main([]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_tolerance_flag_is_parsed(self, check, sandbox, capsys):
+        path = sandbox.commit_artifact(
+            "BENCH_x.json",
+            {"workloads": [{"name": "w", "speedup": 5.0}]},
+        )
+        path.write_text(
+            json.dumps({"workloads": [{"name": "w", "speedup": 4.0}]})
+        )
+        assert check.main(["--tolerance", "0.5"]) == 0
+        assert check.main(["--tolerance", "0.9"]) == 1

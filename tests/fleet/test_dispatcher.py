@@ -1,0 +1,437 @@
+"""In-process battery for the `FleetDispatcher`.
+
+Real `DecideServer` workers in the same event loop (no subprocesses —
+the process-level plumbing lives in ``test_fleet_process.py``), a real
+dispatcher in front, real TCP both hops.  Covers routing stickiness,
+learned-fingerprint convergence, the fault invariant (worker loss →
+typed retryable `WorkerLost`, never a wrong answer or hang), ring
+re-admission, aggregated stats, and drain.
+"""
+
+import asyncio
+import json
+
+from repro.io import schema_to_dict
+from repro.server import DecideServer, FleetDispatcher, SessionPool
+from repro.workloads import id_chain_workload, university_schema
+
+UNIVERSITY_QUERY = "Udirectory(i,a,p)"
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def started_worker(**kwargs) -> DecideServer:
+    pool = kwargs.pop("pool", None)
+    if pool is None:
+        pool = SessionPool(university_schema(ud_bound=100))
+    server = DecideServer(pool, port=0, **kwargs)
+    return await server.start()
+
+
+async def started_dispatcher(
+    workers: dict[str, DecideServer], **kwargs
+) -> FleetDispatcher:
+    dispatcher = FleetDispatcher(port=0, **kwargs)
+    await dispatcher.start()
+    for worker_id, server in workers.items():
+        host, port = server.address
+        await dispatcher.add_worker(worker_id, host, port)
+    return dispatcher
+
+
+async def exchange(dispatcher: FleetDispatcher, frames: list) -> list:
+    """Send all frames on one client connection; one reply each."""
+    host, port = dispatcher.address
+    reader, writer = await asyncio.open_connection(host, port)
+    for frame in frames:
+        text = frame if isinstance(frame, str) else json.dumps(frame)
+        writer.write(text.encode("utf-8") + b"\n")
+    await writer.drain()
+    replies = []
+    for __ in frames:
+        line = await asyncio.wait_for(reader.readline(), timeout=30)
+        replies.append(json.loads(line))
+    writer.close()
+    await writer.wait_closed()
+    return replies
+
+
+async def shutdown(
+    dispatcher: FleetDispatcher, *servers: DecideServer
+) -> None:
+    await dispatcher.close(drain_timeout=5)
+    for server in servers:
+        await server.close()
+
+
+class TestProtocol:
+    def test_ping_is_answered_locally(self):
+        async def scenario():
+            dispatcher = await started_dispatcher({})
+            try:
+                return await exchange(dispatcher, [{"op": "ping", "id": 9}])
+            finally:
+                await shutdown(dispatcher)
+
+        (pong,) = run(scenario())
+        assert pong == {"op": "pong", "id": 9}
+
+    def test_decide_and_plan_forward_through_a_worker(self):
+        async def scenario():
+            worker = await started_worker()
+            dispatcher = await started_dispatcher({"w0": worker})
+            try:
+                return await exchange(
+                    dispatcher,
+                    [
+                        {"query": UNIVERSITY_QUERY, "id": 1},
+                        {"op": "plan", "query": UNIVERSITY_QUERY, "id": 2},
+                    ],
+                )
+            finally:
+                await shutdown(dispatcher, worker)
+
+        decided, plan = run(scenario())
+        assert decided["decision"] == "yes" and decided["id"] == 1
+        assert plan["answerable"] is True and plan["id"] == 2
+
+    def test_malformed_frame_keeps_the_connection_open(self):
+        async def scenario():
+            worker = await started_worker()
+            dispatcher = await started_dispatcher({"w0": worker})
+            try:
+                return await exchange(
+                    dispatcher,
+                    [
+                        "{not json",
+                        {"op": "no-such-op"},
+                        {"query": UNIVERSITY_QUERY, "id": "after"},
+                    ],
+                )
+            finally:
+                await shutdown(dispatcher, worker)
+
+        bad_json, bad_op, good = run(scenario())
+        assert "error" in bad_json and "error" in bad_op
+        assert good["decision"] == "yes" and good["id"] == "after"
+
+    def test_empty_ring_sheds_with_retryable_overloaded(self):
+        async def scenario():
+            dispatcher = await started_dispatcher({})
+            try:
+                return await exchange(
+                    dispatcher, [{"query": UNIVERSITY_QUERY, "id": 5}]
+                )
+            finally:
+                await shutdown(dispatcher)
+
+        (reply,) = run(scenario())
+        error = reply["error"]
+        assert error["type"] == "Overloaded"
+        assert error["retryable"] is True
+        assert reply["id"] == 5
+
+
+class TestRouting:
+    def test_one_schema_sticks_to_one_worker(self):
+        schema = schema_to_dict(id_chain_workload(3).schema)
+
+        async def scenario():
+            workers = {
+                "w0": await started_worker(),
+                "w1": await started_worker(),
+                "w2": await started_worker(),
+            }
+            dispatcher = await started_dispatcher(workers)
+            try:
+                frames = [
+                    {"query": "Qlink0() :- R0(x)", "schema": schema, "id": i}
+                    for i in range(12)
+                ]
+                replies = await exchange(dispatcher, frames)
+                routed = {
+                    worker_id: await started_worker_requests(server)
+                    for worker_id, server in workers.items()
+                }
+                return replies, routed
+            finally:
+                await shutdown(dispatcher, *workers.values())
+
+        async def started_worker_requests(server: DecideServer) -> int:
+            return server.pool.stats()["counters"]["requests"]
+
+        replies, routed = run(scenario())
+        assert all(r["decision"] == "yes" for r in replies)
+        # all 12 frames landed on exactly one worker's pool
+        assert sorted(routed.values()) == [0, 0, 12]
+
+    def test_spellings_of_one_schema_converge_via_learned_route(self):
+        # Two spellings, same content: each spelling's maiden request
+        # routes by its own serialization (and may land anywhere), but
+        # the response teaches the dispatcher the content fingerprint —
+        # after that, every spelling keys by the fingerprint and all
+        # traffic for the schema collapses onto one canonical worker.
+        schema = schema_to_dict(id_chain_workload(4).schema)
+        respelled = json.loads(json.dumps(schema))
+        respelled["relations"] = dict(
+            reversed(list(schema["relations"].items()))
+        )
+
+        def counters(workers, key):
+            return {
+                worker_id: server.pool.stats()["counters"][key]
+                for worker_id, server in workers.items()
+            }
+
+        async def scenario():
+            workers = {f"w{i}": await started_worker() for i in range(4)}
+            dispatcher = await started_dispatcher(workers)
+            try:
+                first = await exchange(
+                    dispatcher,
+                    [{"query": "Qlink0() :- R0(x)", "schema": schema}],
+                )
+                second = await exchange(
+                    dispatcher,
+                    [{"query": "Qlink0() :- R0(x)", "schema": respelled}],
+                )
+                requests_before = counters(workers, "requests")
+                compiles_before = counters(workers, "schemas_compiled")
+                steady = await exchange(
+                    dispatcher,
+                    [
+                        {"query": "Qlink0() :- R0(x)", "schema": spelling}
+                        for spelling in (schema, respelled) * 3
+                    ],
+                )
+                deltas = {
+                    worker_id: count - requests_before[worker_id]
+                    for worker_id, count in counters(
+                        workers, "requests"
+                    ).items()
+                }
+                recompiled = counters(workers, "schemas_compiled")
+                return (
+                    first,
+                    second,
+                    steady,
+                    deltas,
+                    compiles_before,
+                    recompiled,
+                )
+            finally:
+                await shutdown(dispatcher, *workers.values())
+
+        first, second, steady, deltas, before, after = run(scenario())
+        assert first[0]["fingerprint"] == second[0]["fingerprint"]
+        assert all(r["decision"] == "yes" for r in steady)
+        # steady state: both spellings route to ONE canonical worker
+        assert sorted(deltas.values()) == [0, 0, 0, 6]
+        # ... and the steady-state traffic compiles nothing new
+        assert after == before
+
+    def test_distinct_schemas_spread_over_workers(self):
+        schemas = [
+            schema_to_dict(id_chain_workload(n).schema)
+            for n in range(2, 14)
+        ]
+
+        async def scenario():
+            workers = {f"w{i}": await started_worker() for i in range(4)}
+            dispatcher = await started_dispatcher(workers)
+            try:
+                frames = [
+                    {"query": "Qlink0() :- R0(x)", "schema": schema}
+                    for schema in schemas
+                ]
+                replies = await exchange(dispatcher, frames)
+                touched = sum(
+                    1
+                    for server in workers.values()
+                    if server.pool.stats()["counters"]["requests"]
+                )
+                return replies, touched
+            finally:
+                await shutdown(dispatcher, *workers.values())
+
+        replies, touched = run(scenario())
+        assert all(r.get("decision") == "yes" for r in replies)
+        # 12 distinct fingerprints over 4 workers: sharding must not be
+        # degenerate (everything on one node).
+        assert touched >= 2
+
+
+class TestWorkerLoss:
+    def test_lost_worker_fails_in_flight_frames_typed_and_retryable(self):
+        # A "worker" that accepts the connection, reads one line, then
+        # slams it shut: the dispatcher must fail the in-flight frame
+        # with a retryable WorkerLost error — not a hang, not garbage.
+        async def scenario():
+            async def handler(reader, writer):
+                await reader.readline()
+                writer.close()
+
+            trap = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = trap.sockets[0].getsockname()[1]
+            dispatcher = FleetDispatcher(port=0, channels_per_worker=1)
+            await dispatcher.start()
+            await dispatcher.add_worker("trap", "127.0.0.1", port)
+            try:
+                return await asyncio.wait_for(
+                    exchange(
+                        dispatcher, [{"query": UNIVERSITY_QUERY, "id": 3}]
+                    ),
+                    timeout=10,
+                )
+            finally:
+                await shutdown(dispatcher)
+                trap.close()
+                await trap.wait_closed()
+
+        (reply,) = run(scenario())
+        error = reply["error"]
+        assert error["type"] == "WorkerLost"
+        assert error["retryable"] is True
+        assert error["retry_after_ms"] > 0
+        assert reply["id"] == 3
+
+    def test_dead_worker_is_evicted_and_traffic_reroutes(self):
+        async def scenario():
+            victim = await started_worker()
+            survivor = await started_worker()
+            dispatcher = await started_dispatcher(
+                {"victim": victim, "survivor": survivor}
+            )
+            try:
+                await victim.close()  # the process "dies"
+                # Whatever frame hits the dead worker first comes back
+                # WorkerLost; eviction then reroutes the rest.  Poll
+                # until the ring has healed.
+                outcomes = []
+                for attempt in range(50):
+                    (reply,) = await exchange(
+                        dispatcher,
+                        [{"query": UNIVERSITY_QUERY, "id": attempt}],
+                    )
+                    outcomes.append(reply)
+                    if reply.get("decision") == "yes":
+                        break
+                    error = reply["error"]
+                    assert error["retryable"] is True
+                    assert error["type"] in ("WorkerLost", "Overloaded")
+                    await asyncio.sleep(0.05)
+                return outcomes, dispatcher.workers
+            finally:
+                await shutdown(dispatcher, survivor)
+
+        outcomes, workers = run(scenario())
+        assert outcomes[-1]["decision"] == "yes"
+        assert workers == ("survivor",)
+
+    def test_readded_worker_serves_its_shard_again(self):
+        async def scenario():
+            worker = await started_worker()
+            dispatcher = await started_dispatcher({"w0": worker})
+            try:
+                (before,) = await exchange(
+                    dispatcher, [{"query": UNIVERSITY_QUERY}]
+                )
+                await dispatcher.remove_worker("w0")
+                (during,) = await exchange(
+                    dispatcher, [{"query": UNIVERSITY_QUERY}]
+                )
+                host, port = worker.address
+                await dispatcher.add_worker("w0", host, port)
+                (after,) = await exchange(
+                    dispatcher, [{"query": UNIVERSITY_QUERY}]
+                )
+                return before, during, after
+            finally:
+                await shutdown(dispatcher, worker)
+
+        before, during, after = run(scenario())
+        assert before["decision"] == "yes"
+        assert during["error"]["type"] == "Overloaded"
+        assert during["error"]["retryable"] is True
+        assert after["decision"] == "yes"
+
+
+class TestStats:
+    def test_stats_aggregate_ring_counters_and_worker_pools(self):
+        async def scenario():
+            workers = {
+                "w0": await started_worker(),
+                "w1": await started_worker(),
+            }
+            dispatcher = await started_dispatcher(workers)
+            try:
+                await exchange(
+                    dispatcher, [{"query": UNIVERSITY_QUERY, "id": 1}]
+                )
+                (stats,) = await exchange(
+                    dispatcher, [{"op": "stats", "id": "s"}]
+                )
+                return stats
+            finally:
+                await shutdown(dispatcher, *workers.values())
+
+        stats = run(scenario())
+        assert stats["op"] == "stats" and stats["id"] == "s"
+        fleet = stats["fleet"]
+        assert fleet["workers"] == 2
+        assert sorted(fleet["ring"]["nodes"]) == ["w0", "w1"]
+        assert fleet["counters"]["routed"] >= 1
+        per_worker = {entry["worker"]: entry for entry in stats["workers"]}
+        assert set(per_worker) == {"w0", "w1"}
+        for entry in per_worker.values():
+            # each worker contributes its own full stats frame,
+            # including the pool's per-fingerprint shard heat
+            assert "per_fingerprint" in entry["stats"]["pool"]
+
+    def test_concurrent_clients_interleave_without_crosstalk(self):
+        schemas = {
+            n: schema_to_dict(id_chain_workload(n).schema)
+            for n in (2, 3, 4)
+        }
+
+        async def one_client(dispatcher, n, schema):
+            frames = [
+                {"query": "Qlink0() :- R0(x)", "schema": schema, "id": f"{n}-{i}"}
+                for i in range(6)
+            ]
+            return await exchange(dispatcher, frames)
+
+        async def scenario():
+            workers = {f"w{i}": await started_worker() for i in range(3)}
+            dispatcher = await started_dispatcher(workers)
+            try:
+                batches = await asyncio.gather(
+                    *(
+                        one_client(dispatcher, n, schema)
+                        for n, schema in schemas.items()
+                    )
+                )
+                return batches
+            finally:
+                await shutdown(dispatcher, *workers.values())
+
+        batches = run(scenario())
+        for (n, _), replies in zip(schemas.items(), batches):
+            for i, reply in enumerate(replies):
+                assert reply["decision"] == "yes"
+                assert reply["id"] == f"{n}-{i}"  # FIFO: no crosstalk
+
+
+class TestDrain:
+    def test_close_is_idempotent_and_releases_workers(self):
+        async def scenario():
+            worker = await started_worker()
+            dispatcher = await started_dispatcher({"w0": worker})
+            await dispatcher.close(drain_timeout=2)
+            await dispatcher.close(drain_timeout=2)
+            assert dispatcher.workers == ()
+            await worker.close()
+
+        run(scenario())

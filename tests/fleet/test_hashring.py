@@ -1,0 +1,154 @@
+"""Unit battery for the consistent-hash ring.
+
+The properties the fleet leans on: determinism across processes (the
+dispatcher may be restarted; keys must land where they used to),
+minimal movement on membership change (a worker death moves only its
+own arcs), and exact reclaim on re-add (a restarted worker gets its
+old shard back, so its warm caches still match its traffic).
+"""
+
+import pytest
+
+from repro.server.hashring import DEFAULT_REPLICAS, HashRing
+
+
+def keys(n: int) -> list[str]:
+    return [f"fingerprint-{i:04d}" for i in range(n)]
+
+
+class TestBasics:
+    def test_empty_ring_routes_nothing(self):
+        ring = HashRing()
+        assert len(ring) == 0
+        assert ring.node_for("anything") is None
+        assert ring.nodes == frozenset()
+        assert ring.assignments(["a", "b"]) == {}
+
+    def test_add_and_contains(self):
+        ring = HashRing()
+        ring.add("w0")
+        assert "w0" in ring
+        assert len(ring) == 1
+        assert ring.node_for("any-key") == "w0"
+
+    def test_add_is_idempotent(self):
+        ring = HashRing()
+        ring.add("w0")
+        ring.add("w0")
+        assert len(ring) == 1
+        single = HashRing()
+        single.add("w0")
+        assert ring.assignments(keys(50)) == single.assignments(keys(50))
+
+    def test_remove_is_idempotent(self):
+        ring = HashRing()
+        ring.add("w0")
+        ring.remove("w0")
+        ring.remove("w0")
+        ring.remove("never-added")
+        assert len(ring) == 0
+        assert ring.node_for("key") is None
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+
+    def test_default_replica_count(self):
+        assert HashRing().replicas == DEFAULT_REPLICAS
+
+
+class TestDeterminism:
+    def test_same_members_same_routing_across_instances(self):
+        a, b = HashRing(), HashRing()
+        for node in ("w0", "w1", "w2"):
+            a.add(node)
+        for node in ("w2", "w0", "w1"):  # insertion order is irrelevant
+            b.add(node)
+        for key in keys(200):
+            assert a.node_for(key) == b.node_for(key)
+
+    def test_known_pinning(self):
+        # A frozen sample: if this moves, every deployed dispatcher's
+        # shard map silently reshuffles — that is a breaking change.
+        ring = HashRing()
+        for node in ("w0", "w1", "w2", "w3"):
+            ring.add(node)
+        sample = {key: ring.node_for(key) for key in keys(8)}
+        fresh = HashRing()
+        for node in ("w0", "w1", "w2", "w3"):
+            fresh.add(node)
+        assert {k: fresh.node_for(k) for k in sample} == sample
+
+
+class TestBalanceAndMovement:
+    def test_every_node_owns_some_keys(self):
+        ring = HashRing()
+        nodes = [f"w{i}" for i in range(8)]
+        for node in nodes:
+            ring.add(node)
+        owners = {ring.node_for(key) for key in keys(2000)}
+        assert owners == set(nodes)
+
+    def test_spread_is_not_degenerate(self):
+        ring = HashRing()
+        for i in range(4):
+            ring.add(f"w{i}")
+        shard = ring.assignments(keys(2000))
+        counts = sorted(len(v) for v in shard.values())
+        # With 64 virtual points per node, no worker should own more
+        # than ~3x its fair share of a 2000-key population.
+        assert counts[-1] < 3 * (2000 / 4)
+
+    def test_adding_a_node_only_moves_keys_to_it(self):
+        ring = HashRing()
+        for i in range(4):
+            ring.add(f"w{i}")
+        before = {key: ring.node_for(key) for key in keys(1000)}
+        ring.add("w4")
+        moved = 0
+        for key, owner in before.items():
+            after = ring.node_for(key)
+            if after != owner:
+                moved += 1
+                # keys only ever move TO the new node, never between
+                # the existing ones.
+                assert after == "w4"
+        assert 0 < moved < 1000
+
+    def test_removing_a_node_only_moves_its_keys(self):
+        ring = HashRing()
+        for i in range(4):
+            ring.add(f"w{i}")
+        before = {key: ring.node_for(key) for key in keys(1000)}
+        ring.remove("w2")
+        for key, owner in before.items():
+            after = ring.node_for(key)
+            if owner == "w2":
+                assert after != "w2"
+            else:
+                assert after == owner  # unaffected shards do not move
+
+    def test_readding_reclaims_the_exact_shard(self):
+        # The restart path: a worker dies, is evicted, comes back under
+        # the same id — consistent hashing must hand it exactly the
+        # arcs it owned, so its warm manifest still matches its shard.
+        ring = HashRing()
+        for i in range(4):
+            ring.add(f"w{i}")
+        before = {key: ring.node_for(key) for key in keys(1000)}
+        ring.remove("w1")
+        ring.add("w1")
+        assert {key: ring.node_for(key) for key in keys(1000)} == before
+
+
+class TestAssignments:
+    def test_assignments_partition_the_keys(self):
+        ring = HashRing()
+        for i in range(3):
+            ring.add(f"w{i}")
+        population = keys(300)
+        shard = ring.assignments(population)
+        flat = [key for owned in shard.values() for key in owned]
+        assert sorted(flat) == sorted(population)
+        for node, owned in shard.items():
+            assert all(ring.node_for(key) == node for key in owned)

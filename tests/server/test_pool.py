@@ -261,3 +261,106 @@ class TestStats:
         assert cache["hits"] == 2
         assert entry["rewrite_engine"]["rewrites"] >= 1
         assert entry["matching"]["checks"] >= 1
+
+
+def schema_dict(arity: int = 2) -> dict:
+    """A tiny schema; distinct ``arity`` -> distinct fingerprint."""
+    return {
+        "relations": {"L0": arity},
+        "methods": [{"name": "dump", "relation": "L0", "inputs": []}],
+        "constraints": [],
+    }
+
+
+class TestWarm:
+    """`warm()` — manifest-driven precompilation (the fleet's
+    ``--warm`` path rides on this)."""
+
+    def test_warm_compiles_and_registers_without_a_request(self):
+        pool = SessionPool(None)
+        schema = schema_dict()
+        fingerprint = pool.warm(schema)
+        stats = pool.stats()
+        assert stats["counters"]["warmed"] == 1
+        assert stats["counters"]["schemas_compiled"] == 1
+        assert stats["counters"]["sessions_created"] == 1
+        assert stats["counters"]["requests"] == 0
+        assert stats["per_fingerprint"] == {}  # warmth is not heat
+        assert fingerprint in pool.fingerprints()
+
+    def test_first_request_on_a_warmed_schema_compiles_nothing(self):
+        pool = SessionPool(None)
+        schema = schema_dict()
+        fingerprint = pool.warm(schema)
+        response = pool.process(
+            DecideRequest(query="L0(x, y)", schema=schema)
+        )
+        assert response.fingerprint == fingerprint
+        stats = pool.stats()
+        assert stats["counters"]["schemas_compiled"] == 1  # unchanged
+        assert stats["counters"]["text_key_hits"] == 1
+
+    def test_rewarming_is_cheap(self):
+        pool = SessionPool(None)
+        schema = schema_dict()
+        assert pool.warm(schema) == pool.warm(schema)
+        stats = pool.stats()
+        assert stats["counters"]["warmed"] == 2
+        assert stats["counters"]["schemas_compiled"] == 1
+
+    def test_warming_none_is_rejected(self):
+        pool = SessionPool(university_schema(ud_bound=100))
+        with pytest.raises(ValueError):
+            pool.warm(None)
+
+
+class TestShardHeat:
+    """`stats()["per_fingerprint"]` — the bounded per-fingerprint
+    hit/request breakdown the fleet dispatcher aggregates as shard
+    heat."""
+
+    def test_requests_and_cache_hits_per_fingerprint(self):
+        pool = SessionPool(
+            university_schema(ud_bound=100), pool_size=1
+        )
+        for __ in range(3):
+            pool.process(DecideRequest(query="Udirectory(i,a,p)"))
+        heat = pool.stats()["per_fingerprint"]
+        [(fingerprint, entry)] = heat.items()
+        assert entry["requests"] == 3
+        assert entry["cache_hits"] == 2  # first decides, rest hit
+
+    def test_hot_fingerprints_sort_last(self):
+        pool = SessionPool(university_schema(ud_bound=100))
+        chain = schema_dict()
+        pool.process(DecideRequest(query="Udirectory(i,a,p)"))
+        pool.process(DecideRequest(query="L0(x, y)", schema=chain))
+        pool.process(DecideRequest(query="Udirectory(i,a,p)"))
+        heat = pool.stats()["per_fingerprint"]
+        assert len(heat) == 2
+        hottest = list(heat)[-1]
+        assert heat[hottest]["requests"] == 2
+
+    def test_heat_survives_fingerprint_eviction(self):
+        pool = SessionPool(None, max_fingerprints=1)
+        first = schema_dict()
+        second = schema_dict(arity=3)
+        pool.process(DecideRequest(query="L0(x, y)", schema=first))
+        pool.process(
+            DecideRequest(query="L0(x, y, z)", schema=second)
+        )
+        stats = pool.stats()
+        assert stats["counters"]["evictions"] == 1
+        assert stats["fingerprints"] == 1
+        # the evicted shard's heat is still visible
+        assert len(stats["per_fingerprint"]) == 2
+
+    def test_heat_table_is_bounded(self):
+        pool = SessionPool(None, max_fingerprints=1)
+        for arity in range(2, 14):
+            query = "L0(" + ", ".join(f"x{i}" for i in range(arity)) + ")"
+            pool.process(
+                DecideRequest(query=query, schema=schema_dict(arity=arity))
+            )
+        heat = pool.stats()["per_fingerprint"]
+        assert len(heat) == 8  # 8 * max_fingerprints

@@ -119,3 +119,87 @@ class TestParseConstraint:
 
         with pytest.raises(SchemaFormatError):
             parse_constraint("[oops R(x) -> S(x)")
+
+
+class TestReadyFrame:
+    """The worker readiness handshake: one JSON line on stdout that
+    supervisors and the fleet dispatcher parse for ephemeral ports."""
+
+    def test_roundtrip(self):
+        from repro.io import ReadyFrame
+
+        frame = ReadyFrame(
+            host="127.0.0.1", port=8765, pid=42, role="fleet",
+            workers=4, warmed=3,
+        )
+        import json as jsonlib
+
+        line = jsonlib.dumps(frame.to_dict())
+        parsed = ReadyFrame.from_line(line)
+        assert parsed == frame
+
+    def test_defaults_omit_optional_fields(self):
+        from repro.io import ReadyFrame
+
+        payload = ReadyFrame(host="h", port=1, pid=2).to_dict()
+        assert "workers" not in payload["ready"]
+        assert payload["ready"]["role"] == "serve"
+
+    def test_from_line_ignores_non_ready_output(self):
+        from repro.io import ReadyFrame
+
+        assert ReadyFrame.from_line("") is None
+        assert ReadyFrame.from_line("serving on 127.0.0.1:80") is None
+        assert ReadyFrame.from_line('{"op": "pong"}') is None
+        assert ReadyFrame.from_line('{"ready": "not-an-object"}') is None
+
+
+class TestWarmManifest:
+    """``--warm`` manifests: schema paths or inline schema objects."""
+
+    def test_inline_schemas_and_bare_array(self, tmp_path):
+        import json as jsonlib
+
+        from repro.io import load_warm_manifest
+
+        inline = {
+            "relations": {"R": 1},
+            "methods": [{"name": "dump", "relation": "R", "inputs": []}],
+        }
+        nested = tmp_path / "manifest.json"
+        nested.write_text(jsonlib.dumps({"schemas": [inline]}))
+        bare = tmp_path / "bare.json"
+        bare.write_text(jsonlib.dumps([inline]))
+        assert load_warm_manifest(str(nested)) == [inline]
+        assert load_warm_manifest(str(bare)) == [inline]
+
+    def test_path_entries_resolve_relative_to_the_manifest(self, tmp_path):
+        import json as jsonlib
+
+        from repro.io import load_warm_manifest
+
+        schema = {
+            "relations": {"R": 1},
+            "methods": [{"name": "dump", "relation": "R", "inputs": []}],
+        }
+        (tmp_path / "schema.json").write_text(jsonlib.dumps(schema))
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(jsonlib.dumps({"schemas": ["schema.json"]}))
+        [loaded] = load_warm_manifest(str(manifest))
+        assert loaded["relations"] == {"R": 1}
+
+    def test_malformed_manifests_are_rejected_eagerly(self, tmp_path):
+        import json as jsonlib
+
+        from repro.io import SchemaFormatError, load_warm_manifest
+
+        bad_shape = tmp_path / "bad.json"
+        bad_shape.write_text(jsonlib.dumps({"not-schemas": []}))
+        with pytest.raises(SchemaFormatError):
+            load_warm_manifest(str(bad_shape))
+        bad_schema = tmp_path / "worse.json"
+        bad_schema.write_text(
+            jsonlib.dumps({"schemas": [{"relations": "nope"}]})
+        )
+        with pytest.raises(SchemaFormatError):
+            load_warm_manifest(str(bad_schema))
