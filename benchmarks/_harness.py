@@ -19,6 +19,7 @@ records.
 
 from __future__ import annotations
 
+import gc
 import json
 import time
 from dataclasses import dataclass, field
@@ -74,13 +75,29 @@ def time_workload(
     meta_of: Optional[Callable[[object], dict]] = None,
 ) -> BenchRecord:
     """Best-of-`repeat` timing of `run`; `meta_of` extracts counters
-    (fact counts, rounds, ...) from the last result."""
+    (fact counts, rounds, ...) from the last result.
+
+    Each repeat starts from a freshly collected heap with the cyclic
+    collector paused, so a generation-2 sweep triggered by the previous
+    repeat's garbage doesn't land inside the timed region — the
+    cross-engine ratios in BENCH_chase.json are gated in CI and must
+    not flap on collector scheduling.
+    """
     best = float("inf")
     result: object = None
-    for __ in range(repeat):
-        start = time.perf_counter()
-        result = run()
-        best = min(best, time.perf_counter() - start)
+    was_enabled = gc.isenabled()
+    try:
+        for __ in range(repeat):
+            gc.collect()
+            gc.disable()
+            start = time.perf_counter()
+            result = run()
+            best = min(best, time.perf_counter() - start)
+            if was_enabled:
+                gc.enable()
+    finally:
+        if was_enabled:
+            gc.enable()
     meta = meta_of(result) if meta_of is not None else {}
     return BenchRecord(name, best, repeat, meta)
 

@@ -4,10 +4,20 @@ Times the restricted chase on full-TGD closure workloads, existential
 TGD chains, FD merge cascades, and the semi-oblivious policy — the
 machinery every decider sits on.  Besides the pytest-benchmark tests,
 `collect_records` times every workload on both engines (``delta`` vs the
-``naive`` reference) and `main` persists the comparison to
-``BENCH_chase.json`` — the perf trajectory artifact future chase PRs
-regress against.  Run it via ``python -m benchmarks --only chase``.
+``naive`` reference) plus, on the transitive-closure family, the delta
+engine on the object-executor matcher (``delta/object``) so the interned
+int-slot executor's speedup is measured in the same run on the same
+host.  ``main`` persists the comparison to ``BENCH_chase.json`` — the
+perf trajectory artifact future chase PRs regress against
+(`check_regression.py` gates the closure-family int-vs-object speedup
+at ≥2×).  Run it via ``python -m benchmarks --only chase``; ``--smoke``
+shrinks sizes for CI, ``--parallelism N`` routes every chase through
+the parallel trigger-collection pool.
 """
+
+import argparse
+import os
+from pathlib import Path
 
 import pytest
 
@@ -15,15 +25,20 @@ from repro.chase import ChaseOutcome, chase
 from repro.constraints import fd, tgd
 from repro.data import Instance
 from repro.logic import Atom, Constant, Null
+from repro.matching import Matcher
 
-from _harness import BenchRecord, time_workload, write_bench_json
+from _harness import ROOT, BenchRecord, time_workload, write_bench_json
 
 SIZES = [20, 60, 120]
+
+#: The previously-impractical scaling point: delta-only (the naive
+#: reference needs minutes here) with full best-of-3 repeats.
+LARGE_SIZE = 240
 
 #: Per-(workload, engine) repeat counts for the JSON run: the naive
 #: engine is orders of magnitude slower on the large scaling points, so
 #: it gets a single measured run where delta gets best-of-3.
-_REPEATS = {"delta": 3, "naive": 1}
+_REPEATS = {"delta": 3, "naive": 1, "delta/object": 3}
 
 
 def _path(n):
@@ -36,44 +51,45 @@ def _closure_rules():
     return [tgd("E(x, y) -> T(x, y)"), tgd("T(x, y), E(y, z) -> T(x, z)")]
 
 
-def chase_workloads():
+def chase_workloads(*, smoke: bool = False, parallelism: int = 0):
     """The scaling families timed by the JSON artifact.
 
-    Each entry is ``(name, build)`` where ``build(engine)`` runs one
-    chase and returns its `ChaseResult`.  The last transitive-closure
-    point is the "largest scaling point" of the acceptance criterion.
+    Each entry is ``(name, build)`` where ``build(engine, matcher=None)``
+    runs one chase and returns its `ChaseResult`.  The
+    transitive-closure points are the family the ≥2× executor gate is
+    measured on; `LARGE_SIZE` is the "previously-impractical" scaling
+    point of the acceptance criterion (delta-only).
     """
+
+    def runner(start, rules, **fixed):
+        return lambda engine, matcher=None, s=start, r=rules: chase(
+            s, r, engine=engine, matcher=matcher, parallelism=parallelism,
+            **fixed,
+        )
+
     workloads = []
-    for size in SIZES:
-        start = _path(size)
-        rules = _closure_rules()
+    closure_sizes = [20, 40] if smoke else SIZES + [LARGE_SIZE]
+    for size in closure_sizes:
         workloads.append((
             f"transitive-closure-n{size}",
-            lambda engine, s=start, r=rules: chase(s, r, engine=engine),
+            runner(_path(size), _closure_rules()),
         ))
-    for size in [200, 1000]:
+    for size in [200] if smoke else [200, 1000]:
         start = Instance(Atom("A", (Constant(i),)) for i in range(size))
         rules = [tgd("A(x) -> B(x, z)"), tgd("B(x, z) -> C(z)")]
-        workloads.append((
-            f"existential-chain-n{size}",
-            lambda engine, s=start, r=rules: chase(s, r, engine=engine),
-        ))
-    for size in [200, 600]:
+        workloads.append((f"existential-chain-n{size}", runner(start, rules)))
+    for size in [200] if smoke else [200, 600]:
         start = Instance(
             Atom("R", (Constant("k"), Null(f"n{i}"))) for i in range(size)
         )
-        rules = [fd("R", [0], 1)]
         workloads.append((
-            f"fd-merge-cascade-n{size}",
-            lambda engine, s=start, r=rules: chase(s, r, engine=engine),
+            f"fd-merge-cascade-n{size}", runner(start, [fd("R", [0], 1)]),
         ))
-    start = _path(30)
-    rules = [tgd("E(x, y) -> E(y, z)")]
     workloads.append((
         "semi-oblivious-n30",
-        lambda engine, s=start, r=rules: chase(
-            s, r, policy="semi_oblivious", max_rounds=3, max_facts=50_000,
-            engine=engine,
+        runner(
+            _path(30), [tgd("E(x, y) -> E(y, z)")],
+            policy="semi_oblivious", max_rounds=3, max_facts=50_000,
         ),
     ))
     return workloads
@@ -89,21 +105,49 @@ def _result_meta(result):
     }
 
 
-def collect_records(engines=("delta", "naive")):
-    """Time every workload on every engine; return `BenchRecord` rows."""
+def collect_records(
+    engines=("delta", "naive"), *, smoke=False, parallelism=0
+):
+    """Time every workload on every engine; return `BenchRecord` rows.
+
+    Besides the requested engines, every transitive-closure workload is
+    additionally timed as ``delta/object`` — the delta engine on a
+    `Matcher(execution="object")` — so the int-executor speedup is a
+    same-run, same-host ratio rather than a cross-commit wall-clock
+    comparison.  The naive reference is skipped on the `LARGE_SIZE`
+    closure point (it needs minutes there; that point exists precisely
+    because the delta+int engine makes it practical).
+    """
     records: list[BenchRecord] = []
-    for name, build in chase_workloads():
-        for engine in engines:
+    host_cpus = os.cpu_count()
+    for name, build in chase_workloads(smoke=smoke, parallelism=parallelism):
+        is_closure = name.startswith("transitive-closure")
+        runs = list(engines)
+        if is_closure:
+            runs.append("delta/object")
+        if name == f"transitive-closure-n{LARGE_SIZE}" and "naive" in runs:
+            runs.remove("naive")
+        for engine in runs:
+            matcher_of = (
+                (lambda: Matcher(execution="object"))
+                if engine == "delta/object"
+                else (lambda: Matcher(execution="int"))
+            )
             record = time_workload(
                 f"{name}",
-                lambda engine=engine, build=build: build(engine),
+                lambda build=build, engine=engine, matcher_of=matcher_of: (
+                    build(engine.split("/")[0], matcher=matcher_of())
+                ),
                 repeat=_REPEATS.get(engine, 1),
                 meta_of=_result_meta,
             )
             record.meta["engine"] = engine
+            record.meta["host_cpus"] = host_cpus
+            record.meta["parallelism"] = parallelism
             records.append(record)
             print(
-                f"  {name:32s} {engine:6s} {record.best_seconds * 1000:10.2f} ms"
+                f"  {name:32s} {engine:12s} "
+                f"{record.best_seconds * 1000:10.2f} ms"
                 f"  ({record.meta['facts']} facts, "
                 f"{record.meta['rounds']} rounds, "
                 f"{record.meta['trigger_searches']} searches)"
@@ -111,14 +155,14 @@ def collect_records(engines=("delta", "naive")):
     return records
 
 
-def _speedups(records):
-    """delta-vs-naive speedup per workload name, where both were run."""
+def _speedups(records, reference_engine, target_engine="delta"):
+    """Per-workload speedup of `target_engine` over `reference_engine`."""
     by_key = {(r.name, r.meta.get("engine")): r for r in records}
     speedups = {}
     for (name, engine), record in by_key.items():
-        if engine != "delta":
+        if engine != target_engine:
             continue
-        reference = by_key.get((name, "naive"))
+        reference = by_key.get((name, reference_engine))
         if reference is not None and record.best_seconds > 0:
             speedups[name] = round(
                 reference.best_seconds / record.best_seconds, 2
@@ -126,15 +170,52 @@ def _speedups(records):
     return speedups
 
 
-def main() -> None:
-    """Regenerate BENCH_chase.json (delta vs naive on all workloads)."""
-    print("chase engine benchmark (delta vs naive):")
-    records = collect_records()
-    speedups = _speedups(records)
-    target = write_bench_json(
-        "chase", records, extra={"speedups_delta_vs_naive": speedups}
+def main(argv: list[str] | None = None) -> None:
+    """Regenerate BENCH_chase.json (delta vs naive vs object executor)."""
+    parser = argparse.ArgumentParser(prog="bench_chase_engine")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes for CI smoke runs (written to a .smoke.json "
+        "sidecar unless --out is given)",
     )
-    print(f"speedups (delta vs naive): {speedups}")
+    parser.add_argument("--out", default=None, help="output path override")
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=0,
+        help="chase trigger-collection worker threads (0 = sequential; "
+        "the CI smoke step passes 2 to exercise the parallel engine)",
+    )
+    args = parser.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "full"
+    print(
+        f"chase engine benchmark ({mode}, parallelism={args.parallelism}):"
+    )
+    records = collect_records(smoke=args.smoke, parallelism=args.parallelism)
+    delta_vs_naive = _speedups(records, "naive")
+    int_vs_object = _speedups(records, "delta/object")
+    if args.out:
+        out = Path(args.out)
+    elif args.smoke:
+        out = ROOT / "BENCH_chase.smoke.json"
+    else:
+        out = None
+    target = write_bench_json(
+        "chase",
+        records,
+        extra={
+            "smoke": args.smoke,
+            "host_cpus": os.cpu_count(),
+            "parallelism": args.parallelism,
+            "speedups_delta_vs_naive": delta_vs_naive,
+            "speedups_int_vs_object": int_vs_object,
+        },
+        path=out,
+    )
+    print(f"speedups (delta vs naive): {delta_vs_naive}")
+    print(f"speedups (int vs object executor): {int_vs_object}")
     print(f"wrote {target}")
 
 
@@ -192,3 +273,7 @@ def test_semi_oblivious_vs_restricted(benchmark, size):
 
     result = benchmark(run)
     assert len(result.instance) > size
+
+
+if __name__ == "__main__":
+    main()

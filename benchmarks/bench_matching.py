@@ -31,6 +31,7 @@ sidecar so the committed artifact is untouched.
 from __future__ import annotations
 
 import argparse
+import gc
 import time
 
 from _harness import BenchRecord, write_bench_json
@@ -44,9 +45,16 @@ from repro.matching import Matcher, NaiveMatcher
 
 
 def _timed(run) -> float:
-    start = time.perf_counter()
-    run()
-    return time.perf_counter() - start
+    # Fresh heap, collector paused: keep gen-2 sweeps out of the timed
+    # region (these figures feed noise-clamped regression gates).
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        run()
+        return time.perf_counter() - start
+    finally:
+        gc.enable()
 
 
 def _best(run, repeats: int) -> float:
@@ -77,7 +85,7 @@ def _record(
     *,
     meta_of,
     agreement,
-    planned_repeats: int = 3,
+    planned_repeats: int = 5,
     naive_repeats: int = 2,
     extra_meta=None,
 ) -> BenchRecord:

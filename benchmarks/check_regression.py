@@ -13,7 +13,13 @@ working-tree file:
   must retain at least ``tolerance`` × the committed speedup — ratios
   are what shared CI runners can be gated on, absolute times are not;
 * workloads without one (the chase suite) must not run slower than
-  ``1 / tolerance`` × the committed ``best_seconds``;
+  ``1 / tolerance`` × the committed ``best_seconds``, with sub-``--min-
+  seconds`` timings clamped up to the noise floor first (microsecond
+  workloads flap on scheduler jitter, not regressions);
+* the chase artifact's ``speedups_int_vs_object`` map must keep a
+  median ≥ `CLOSURE_SPEEDUP_FLOOR` (2×) across the transitive-closure
+  family — the interned-executor speedup is a same-run, same-host
+  ratio, so it is gated absolutely, not against the committed copy;
 * a workload recorded in the committed file but absent from the fresh
   run is an error (silently dropped coverage reads as "no regression").
 
@@ -30,6 +36,11 @@ import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
+
+#: The interned int-slot executor must stay ≥2× the object executor on
+#: the transitive-closure family (median over the family's sizes — the
+#: smallest point sits near the crossover and is noise-dominated).
+CLOSURE_SPEEDUP_FLOOR = 2.0
 
 
 def committed_version(path: Path) -> dict | None:
@@ -49,7 +60,13 @@ def _key(workload: dict) -> tuple:
     return (workload["name"], workload.get("engine", ""))
 
 
-def compare(name: str, committed: dict, fresh: dict, tolerance: float):
+def compare(
+    name: str,
+    committed: dict,
+    fresh: dict,
+    tolerance: float,
+    min_seconds: float = 0.0,
+):
     """Yield (workload, message) for every regression found."""
     fresh_by_name = {_key(w): w for w in fresh.get("workloads", [])}
     for recorded in committed.get("workloads", []):
@@ -67,13 +84,49 @@ def compare(name: str, committed: dict, fresh: dict, tolerance: float):
                     f"tolerance {tolerance})"
                 )
         else:
-            ceiling = recorded["best_seconds"] / tolerance
+            # Noise clamp: a 2 ms workload that "doubles" to 4 ms is
+            # scheduler jitter, not a regression — compare against the
+            # noise floor instead of the raw committed figure.
+            reference = max(recorded["best_seconds"], min_seconds)
+            ceiling = reference / tolerance
             if current["best_seconds"] > ceiling:
                 yield workload, (
                     f"best_seconds {current['best_seconds']:.4f} exceeded "
                     f"{ceiling:.4f} (committed "
-                    f"{recorded['best_seconds']:.4f}, tolerance {tolerance})"
+                    f"{recorded['best_seconds']:.4f}, tolerance {tolerance}, "
+                    f"noise floor {min_seconds})"
                 )
+
+
+def check_closure_speedup(fresh: dict):
+    """Gate the chase artifact's int-vs-object closure-family speedup.
+
+    Yields (workload, message) when the fresh run's median
+    transitive-closure speedup falls below `CLOSURE_SPEEDUP_FLOOR`, or
+    when the field vanished (a regenerated artifact that stopped
+    measuring the ratio must not silently pass).
+    """
+    speedups = fresh.get("speedups_int_vs_object")
+    if speedups is None:
+        yield "speedups_int_vs_object", (
+            "field missing from the fresh chase artifact (the executor "
+            "comparison was not measured)"
+        )
+        return
+    closure = sorted(
+        value
+        for name, value in speedups.items()
+        if name.startswith("transitive-closure")
+    )
+    if not closure:
+        yield "speedups_int_vs_object", "no transitive-closure entries"
+        return
+    median = closure[len(closure) // 2]
+    if median < CLOSURE_SPEEDUP_FLOOR:
+        yield "speedups_int_vs_object", (
+            f"median closure-family int-vs-object speedup {median}x fell "
+            f"below the {CLOSURE_SPEEDUP_FLOOR}x floor (all: {speedups})"
+        )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -84,6 +137,14 @@ def main(argv: list[str] | None = None) -> int:
         default=0.4,
         help="fraction of the committed number a fresh run must retain "
         "(default 0.4 — CI runners are noisy, only gate on collapses)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.005,
+        help="noise floor for absolute-time comparisons: committed "
+        "timings below this are clamped up to it before the tolerance "
+        "is applied (default 5 ms)",
     )
     args = parser.parse_args(argv)
 
@@ -102,10 +163,14 @@ def main(argv: list[str] | None = None) -> int:
             failures += 1
             continue
         for workload, message in compare(
-            path.name, committed, fresh, args.tolerance
+            path.name, committed, fresh, args.tolerance, args.min_seconds
         ):
             print(f"REGRESSION {path.name} :: {workload}: {message}")
             failures += 1
+        if path.name == "BENCH_chase.json":
+            for workload, message in check_closure_speedup(fresh):
+                print(f"REGRESSION {path.name} :: {workload}: {message}")
+                failures += 1
         checked += 1
         print(f"{path.name}: checked against HEAD")
     if not checked:

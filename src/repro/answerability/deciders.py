@@ -102,6 +102,7 @@ def _chase_containment(
     engine: str = "delta",
     matcher=None,
     budget: Optional[Budget] = None,
+    parallelism: int = 0,
 ) -> Decision:
     """Run the containment chase from an explicit start instance.
 
@@ -128,6 +129,7 @@ def _chase_containment(
         engine=engine,
         matcher=matcher,
         budget=budget,
+        parallelism=parallelism,
     )
     if result.outcome is ChaseOutcome.FAILED:
         return Decision.yes(
@@ -167,6 +169,7 @@ def decide_with_fds(
     max_rounds: Optional[int] = 500,
     max_facts: int = DEFAULT_CHASE_FACTS,
     budget: Optional[Budget] = None,
+    parallelism: int = 0,
 ) -> Decision:
     """Monotone answerability for FD constraints (NP, Thm 5.2).
 
@@ -186,6 +189,7 @@ def decide_with_fds(
         max_facts=max_facts,
         matcher=compiled.matcher(),
         budget=budget,
+        parallelism=parallelism,
     )
     decision.detail["simplification"] = simplified.kind
     return decision
@@ -204,6 +208,7 @@ def decide_with_ids(
     max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
     subsumption: bool = True,
     budget: Optional[Budget] = None,
+    parallelism: int = 0,
 ) -> Decision:
     """Monotone answerability for ID constraints.
 
@@ -233,6 +238,7 @@ def decide_with_ids(
             max_facts=max_facts,
             matcher=compiled.matcher(),
             budget=budget,
+            parallelism=parallelism,
         )
         decision.detail["route"] = "chase"
         return decision
@@ -343,6 +349,7 @@ def decide_with_uids_and_fds(
     max_rounds: Optional[int] = DEFAULT_CHASE_ROUNDS,
     max_facts: int = DEFAULT_CHASE_FACTS,
     budget: Optional[Budget] = None,
+    parallelism: int = 0,
 ) -> Decision:
     """Monotone answerability for UIDs + FDs (Thm 7.2).
 
@@ -375,6 +382,7 @@ def decide_with_uids_and_fds(
         max_facts=max_facts,
         matcher=compiled.matcher(),
         budget=budget,
+        parallelism=parallelism,
     )
     decision.detail["simplification"] = "choice+separability"
     return decision
@@ -390,6 +398,7 @@ def decide_with_choice_simplification(
     max_rounds: Optional[int] = DEFAULT_CHASE_ROUNDS,
     max_facts: int = DEFAULT_CHASE_FACTS,
     budget: Optional[Budget] = None,
+    parallelism: int = 0,
 ) -> Decision:
     """Monotone answerability via choice simplification (TGD classes).
 
@@ -408,6 +417,7 @@ def decide_with_choice_simplification(
         max_facts=max_facts,
         matcher=compiled.matcher(),
         budget=budget,
+        parallelism=parallelism,
     )
     decision.detail["simplification"] = "choice"
     return decision
@@ -450,6 +460,7 @@ def decide_monotone_answerability(
     max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
     subsumption: bool = True,
     budget: Optional[Budget] = None,
+    parallelism: int = 0,
 ) -> AnswerabilityResult:
     """Decide monotone answerability, dispatching on the constraint class.
 
@@ -471,7 +482,11 @@ def decide_monotone_answerability(
     if fragment in (ConstraintClass.NONE, ConstraintClass.FDS):
         return AnswerabilityResult(
             decide_with_fds(
-                compiled, query, max_facts=max_facts, budget=budget
+                compiled,
+                query,
+                max_facts=max_facts,
+                budget=budget,
+                parallelism=parallelism,
             ),
             "fd-simplification",
             fragment,
@@ -488,6 +503,7 @@ def decide_monotone_answerability(
                 max_disjuncts=max_disjuncts,
                 subsumption=subsumption,
                 budget=budget,
+                parallelism=parallelism,
             ),
             "linearization",
             fragment,
@@ -500,6 +516,7 @@ def decide_monotone_answerability(
                 max_rounds=max_rounds,
                 max_facts=max_facts,
                 budget=budget,
+                parallelism=parallelism,
             ),
             "choice+separability",
             fragment,
@@ -517,6 +534,7 @@ def decide_monotone_answerability(
                 max_rounds=max_rounds,
                 max_facts=max_facts,
                 budget=budget,
+                parallelism=parallelism,
             ),
             "choice-simplification",
             fragment,
@@ -533,6 +551,7 @@ def decide_monotone_answerability(
             max_facts=max_facts,
             matcher=compiled.matcher(),
             budget=budget,
+            parallelism=parallelism,
         )
         return AnswerabilityResult(decision, "direct", fragment)
     return AnswerabilityResult(

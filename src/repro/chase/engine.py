@@ -58,6 +58,7 @@ from __future__ import annotations
 import enum
 import re
 from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence, Union
 
@@ -67,6 +68,11 @@ from ..constraints.tgd import TGD
 from ..data.instance import Instance
 from ..logic.atoms import Atom
 from ..logic.terms import Constant, GroundTerm, Null, NullFactory, Term, Variable
+from ..matching.intexec import (
+    int_plan_of,
+    int_seeded_context,
+    int_slot_search,
+)
 from ..matching.matcher import default_matcher
 from ..runtime import Budget
 
@@ -499,6 +505,297 @@ class _DeltaState:
         return delta
 
 
+class _RuleExec:
+    """Per-rule compiled state for the delta engine's trigger pipeline.
+
+    Caches the variable tuples a rule's collection phase keeps
+    re-deriving and, for the int executor, a per-plan *spec*:
+
+    * ``body_slots`` — the plan's slot numbers of the body variables,
+      in ``body_variables()`` order, so the per-rule dedup key is a
+      plain projection of the slot row (ids are plan-independent:
+      they come from the instance interner);
+    * ``exported_pairs`` — ``(variable, slot)`` pairs for externing a
+      trigger's frontier binding;
+    * ``head_specs`` — for *full* TGDs only: per head atom, the
+      relation plus a template of ``(True, slot)`` / ``(False, term)``
+      entries from which the head's concrete int rows are built and
+      membership-tested directly, bypassing the matcher entirely for
+      the chase's hottest check (head satisfaction of closure rules).
+    """
+
+    __slots__ = (
+        "index", "dependency", "body_vars", "exported", "is_full", "_specs",
+    )
+
+    def __init__(self, index: int, dependency: TGD) -> None:
+        self.index = index
+        self.dependency = dependency
+        self.body_vars = dependency.body_variables()
+        self.exported = dependency.exported_variables()
+        self.is_full = not dependency.existential_variables()
+        self._specs: dict = {}
+
+    def spec_for(self, plan) -> tuple:
+        """The int-space spec under this plan (idempotent; benign races)."""
+        spec = self._specs.get(plan)
+        if spec is None:
+            slot_of = int_plan_of(plan).slot_of
+            body_slots = tuple(slot_of[v] for v in self.body_vars)
+            exported_pairs = tuple((v, slot_of[v]) for v in self.exported)
+            if self.is_full:
+                head_specs = tuple(
+                    (
+                        atom.relation,
+                        tuple(
+                            (True, slot_of[term])
+                            if isinstance(term, Variable)
+                            else (False, term)
+                            for term in atom.terms
+                        ),
+                    )
+                    for atom in self.dependency.head
+                )
+            else:
+                head_specs = None
+            spec = (body_slots, exported_pairs, head_specs)
+            self._specs[plan] = spec
+        return spec
+
+
+def _head_rows_present(instance: Instance, head_rows: tuple) -> bool:
+    """Are all of a full TGD's instantiated head rows already stored?
+
+    Rows may carry the ``-1`` sentinel for a rigid head constant the
+    instance has never interned; such a row can't be present, so the
+    probe fails and the trigger fires — harmless for a full TGD, whose
+    firing is a no-op exactly when the head facts already exist.
+    """
+    rows_by_relation = instance._rows
+    for relation, row in head_rows:
+        rows = rows_by_relation.get(relation)
+        if rows is None or row not in rows:
+            return False
+    return True
+
+
+def _collect_semi_oblivious(
+    exec_: _RuleExec,
+    seeds: list,
+    instance: Instance,
+    matcher,
+    fired: set,
+    budget: Optional[Budget],
+    record_env: bool,
+) -> tuple[list, int, int]:
+    """Semi-oblivious collection for one rule: one trigger per unfired
+    frontier binding (`distinct_matches` prunes fired ones mid-search)."""
+    dependency = exec_.dependency
+    body = dependency.body
+    pending = []
+    enumerated = 0
+    for atom_index, fact, __ in seeds:
+        seed = _seed_from_fact(body[atom_index], fact)
+        if seed is None:
+            continue
+        for trigger in matcher.distinct_matches(
+            dependency.body,
+            instance,
+            on=exec_.exported,
+            seed=seed,
+            skip=fired,
+            budget=budget,
+        ):
+            enumerated += 1
+            pending.append((exec_.index, dependency, trigger, {}, None))
+    return pending, enumerated, 0
+
+
+def _collect_restricted_int(
+    exec_: _RuleExec,
+    seeds: list,
+    instance: Instance,
+    matcher,
+    budget: Optional[Budget],
+    record_env: bool,
+) -> tuple[list, int, int]:
+    """Restricted collection for one rule, entirely in int space.
+
+    Seeds arrive as ``(atom_index, fact, row)`` triples — the fact's
+    interned int row rides along from the delta bucketing — and are
+    unified against the body atom in int space (rigid positions and
+    repeated variables are plain id comparisons, and the seed slots
+    fill straight from the row with no term-space round trip).
+    Triggers are enumerated as raw slot rows, deduped on the int
+    projection of the body variables, and — for full TGDs — activeness
+    is checked by direct int-row membership probes; the probed rows are
+    kept on the pending entry so the firing-time re-check repeats the
+    probe without touching the matcher.  Environments are only externed
+    for the survivors (frontier binding, plus the full trigger when
+    steps are being recorded).
+    """
+    dependency = exec_.dependency
+    body = dependency.body
+    pending = []
+    seen: set[tuple] = set()
+    enumerated = 0
+    head_checks = 0
+    id_terms = instance.id_terms
+    term_id = instance.term_id
+    rows_by_relation = instance._rows
+    body_vars = exec_.body_vars
+    # Plan + resolved context per body atom: every seed of one atom has
+    # the same key shape, so the plan lookup, spec derivation, the
+    # seed-independent half of the execution prologue, and the atom's
+    # row-unification spec run once per atom per round instead of once
+    # per delta fact.
+    contexts: dict[int, tuple] = {}
+    for atom_index, fact, row in seeds:
+        context = contexts.get(atom_index)
+        if context is None:
+            atom = body[atom_index]
+            variables = {
+                term for term in atom.terms if isinstance(term, Variable)
+            }
+            plan = matcher.plan_for(
+                body, instance, seed=dict.fromkeys(variables)
+            )
+            iplan, rig, views = int_seeded_context(plan, instance)
+            slot_of = iplan.slot_of
+            fill = []      # (position, slot): first occurrence per var
+            repeats = []   # (position, first position): must agree
+            rigids = []    # (position, id): constants/rigid nulls
+            first_at: dict = {}
+            for position, term in enumerate(atom.terms):
+                if isinstance(term, Variable):
+                    first = first_at.get(term)
+                    if first is None:
+                        first_at[term] = position
+                        fill.append((position, slot_of[term]))
+                    else:
+                        repeats.append((position, first))
+                else:
+                    rigids.append((position, term_id(term)))
+            context = (
+                exec_.spec_for(plan),
+                (iplan, rig, views),
+                (len(atom.terms), tuple(fill), tuple(repeats), tuple(rigids)),
+            )
+            contexts[atom_index] = context
+        spec, resolved, seed_spec = context
+        body_slots, exported_pairs, head_specs = spec
+        iplan, rig, views = resolved
+        arity, fill, repeats, rigids = seed_spec
+        # Unify the delta row against the atom: ids never collide, so
+        # these integer comparisons are exact term comparisons.
+        if len(row) != arity:
+            continue
+        if any(row[position] != expected for position, expected in rigids):
+            continue
+        if any(row[position] != row[first] for position, first in repeats):
+            continue
+        slots = [-1] * iplan.n_slots
+        for position, slot in fill:
+            slots[slot] = row[position]
+        for slots in int_slot_search(iplan, rig, views, slots, budget):
+            enumerated += 1
+            key = tuple(slots[s] for s in body_slots)
+            if key in seen:
+                continue
+            seen.add(key)
+            head_checks += 1
+            head_rows = None
+            if head_specs is not None:
+                rows_list = []
+                present = True
+                direct = True
+                for relation, template in head_specs:
+                    row = tuple(
+                        slots[index] if is_slot else term_id(index)
+                        for is_slot, index in template
+                    )
+                    rows = rows_by_relation.get(relation)
+                    if rows is None or row not in rows:
+                        present = False
+                        # A -1 entry (a rigid head constant the
+                        # instance never interned) cannot be probed or
+                        # rebuilt from ids; such triggers take the
+                        # matcher path below.
+                        if -1 in row:
+                            direct = False
+                    rows_list.append((relation, row))
+                if present:
+                    continue  # head satisfied: trigger not active
+                if direct:
+                    head_rows = tuple(rows_list)
+            exported = {
+                v: id_terms[slots[s]] for v, s in exported_pairs
+            }
+            if head_rows is None and matcher.has(
+                dependency.head, instance, seed=exported
+            ):
+                continue
+            if record_env:
+                trigger = {
+                    v: id_terms[slots[s]]
+                    for v, s in zip(body_vars, body_slots)
+                }
+            else:
+                # Head instantiation only reads the frontier binding,
+                # so the exported map doubles as the trigger.
+                trigger = exported
+            pending.append(
+                (exec_.index, dependency, trigger, exported, head_rows)
+            )
+    return pending, enumerated, head_checks
+
+
+def _collect_restricted_obj(
+    exec_: _RuleExec,
+    seeds: list,
+    instance: Instance,
+    matcher,
+    budget: Optional[Budget],
+    record_env: bool,
+) -> tuple[list, int, int]:
+    """Restricted collection for one rule over dict environments (the
+    path taken for matchers without an int executor, e.g. the naive
+    reference matcher).  Mirrors `_collect_restricted_int` exactly."""
+    dependency = exec_.dependency
+    body = dependency.body
+    pending = []
+    seen: set[tuple] = set()
+    enumerated = 0
+    head_checks = 0
+    body_vars = exec_.body_vars
+    for atom_index, fact, __ in seeds:
+        seed = _seed_from_fact(body[atom_index], fact)
+        if seed is None:
+            continue
+        for trigger in matcher.homomorphisms(
+            dependency.body, instance, seed=seed, budget=budget
+        ):
+            enumerated += 1
+            key = tuple(trigger[v] for v in body_vars)
+            if key in seen:
+                continue
+            seen.add(key)
+            exported = {
+                v: trigger[v] for v in exec_.exported if v in trigger
+            }
+            head_checks += 1
+            if matcher.has(dependency.head, instance, seed=exported):
+                continue  # head satisfied: trigger not active
+            pending.append((
+                exec_.index,
+                dependency,
+                dict(trigger) if record_env else exported,
+                exported,
+                None,
+            ))
+    return pending, enumerated, head_checks
+
+
 def _chase_delta(
     start: Instance,
     tgds: Sequence[TGD],
@@ -512,8 +809,21 @@ def _chase_delta(
     stop_when: Optional[Callable[[Instance], bool]],
     matcher,
     budget: Optional[Budget] = None,
+    parallelism: int = 0,
 ) -> ChaseResult:
-    """Semi-naive chase: only delta-touching triggers are enumerated."""
+    """Semi-naive chase: only delta-touching triggers are enumerated.
+
+    Each round is a collect/fire pair.  Collection — the read-only
+    enumeration of delta-touching triggers — is sharded **per rule**:
+    every rule's seeds, dedup set, and (semi-oblivious) fired registry
+    are rule-local, so the per-rule collectors are independent and,
+    when ``parallelism > 1``, run on a thread pool.  Collector results
+    are merged in rule-index order, which reproduces the sequential
+    engine's firing order exactly: the merged pending list is
+    identical whatever the thread schedule, so parallel runs are
+    deterministic (and null names match the sequential engine's,
+    because heads are instantiated at *firing* time, in merged order).
+    """
     stats = ChaseStats()
     steps: Optional[list[ChaseStep]] = [] if record_steps else None
     state = _DeltaState(start, equality_deps, steps, stats, matcher)
@@ -522,6 +832,9 @@ def _chase_delta(
     for index, dependency in enumerate(tgds):
         for atom_index, atom in enumerate(dependency.body):
             body_map.setdefault(atom.relation, []).append((index, atom_index))
+    rule_execs = [
+        _RuleExec(index, dependency) for index, dependency in enumerate(tgds)
+    ]
     # Semi-oblivious firing registry: per rule, the frontier bindings
     # already fired.  The matcher consults it *during* enumeration, so
     # duplicate frontier keys prune the body search instead of being
@@ -529,6 +842,14 @@ def _chase_delta(
     fired: dict[int, set[tuple]] = {
         index: set() for index in range(len(tgds))
     }
+    use_int = getattr(matcher, "execution", None) == "int"
+    record_env = steps is not None
+    pool: Optional[ThreadPoolExecutor] = None
+    if parallelism > 1 and len(tgds) > 1:
+        pool = ThreadPoolExecutor(
+            max_workers=min(parallelism, len(tgds)),
+            thread_name_prefix="chase-collect",
+        )
     rounds = 0
 
     def result(outcome: ChaseOutcome) -> ChaseResult:
@@ -537,123 +858,139 @@ def _chase_delta(
             state.uf.resolved(), stats,
         )
 
-    try:
-        state.apply_equalities(0)
-    except _Unsatisfiable:
-        return result(ChaseOutcome.FAILED)
-    if stop_when is not None and stop_when(state.instance):
-        return result(ChaseOutcome.EARLY_STOP)
+    def collect(rule_index: int, seeds: list) -> tuple[list, int, int]:
+        exec_ = rule_execs[rule_index]
+        if policy == "semi_oblivious":
+            return _collect_semi_oblivious(
+                exec_, seeds, state.instance, matcher,
+                fired[rule_index], budget, record_env,
+            )
+        if use_int:
+            return _collect_restricted_int(
+                exec_, seeds, state.instance, matcher, budget, record_env
+            )
+        return _collect_restricted_obj(
+            exec_, seeds, state.instance, matcher, budget, record_env
+        )
 
-    while True:
-        # Cooperative cancellation: the round boundary is the chase's
-        # coarse check; matcher calls below carry the budget for the
-        # fine-grained (per backtrack batch) checks inside a round.
-        if budget is not None:
-            budget.check()
-        if max_rounds is not None and rounds >= max_rounds:
-            return result(ChaseOutcome.BOUND_REACHED)
-        rounds += 1
-        # Collect triggers whose body image touches the delta; dedupe on
-        # the full body binding (a trigger can be reachable from several
-        # of its delta facts).
-        delta = state.take_trigger_delta()
-        pending: list[tuple[int, TGD, dict, dict, tuple[Atom, ...]]] = []
-        seen: set[tuple] = set()
-        instance = state.instance
-        for fact in delta:
-            if fact not in instance:
-                continue  # rewritten away by a later merge
-            for rule_index, atom_index in body_map.get(fact.relation, ()):
-                dependency = tgds[rule_index]
-                seed = _seed_from_fact(dependency.body[atom_index], fact)
-                if seed is None:
+    try:
+        try:
+            state.apply_equalities(0)
+        except _Unsatisfiable:
+            return result(ChaseOutcome.FAILED)
+        if stop_when is not None and stop_when(state.instance):
+            return result(ChaseOutcome.EARLY_STOP)
+
+        while True:
+            # Cooperative cancellation: the round boundary is the chase's
+            # coarse check; matcher calls below carry the budget for the
+            # fine-grained (per backtrack batch) checks inside a round.
+            if budget is not None:
+                budget.check()
+            if max_rounds is not None and rounds >= max_rounds:
+                return result(ChaseOutcome.BOUND_REACHED)
+            rounds += 1
+            # Bucket the delta's seeds per rule as (atom index, fact,
+            # interned row) triples; unification against the body atom
+            # happens inside the collectors (in int space on the int
+            # path).  A trigger can be reachable from several of its
+            # delta facts; the rule-local dedup sets collapse the
+            # duplicates.
+            delta = state.take_trigger_delta()
+            instance = state.instance
+            term_ids = instance._term_ids
+            seeds_by_rule: dict[int, list] = {}
+            for fact in delta:
+                if fact not in instance:
+                    continue  # rewritten away by a later merge
+                targets = body_map.get(fact.relation)
+                if not targets:
                     continue
-                if policy == "semi_oblivious":
-                    # Frontier fast path: enumerate one trigger per
-                    # *unfired* frontier binding, pruning the rest of
-                    # the body search for bindings already fired.
-                    triggers = matcher.distinct_matches(
-                        dependency.body,
-                        instance,
-                        on=dependency.exported_variables(),
-                        seed=seed,
-                        skip=fired[rule_index],
-                        budget=budget,
+                row = tuple(term_ids[term] for term in fact.terms)
+                for rule_index, atom_index in targets:
+                    seeds_by_rule.setdefault(rule_index, []).append(
+                        (atom_index, fact, row)
                     )
-                    for trigger in triggers:
-                        stats.triggers_enumerated += 1
-                        produced = _instantiate_head(
-                            dependency, trigger, factory
-                        )
-                        pending.append(
-                            (rule_index, dependency, trigger, {}, produced)
-                        )
-                    continue
-                body_vars = dependency.body_variables()
-                for trigger in matcher.homomorphisms(
-                    dependency.body, instance, seed=seed, budget=budget
-                ):
-                    stats.triggers_enumerated += 1
-                    key = (
-                        rule_index,
-                        tuple(trigger[v] for v in body_vars),
-                    )
-                    if key in seen:
-                        continue
-                    seen.add(key)
-                    exported = {
-                        v: trigger[v]
-                        for v in dependency.exported_variables()
-                        if v in trigger
-                    }
+
+            # Collect per rule — in parallel when a pool is up — and
+            # merge in rule order (the naive engine's order): under the
+            # restricted policy the firing-time re-check makes a round's
+            # outcome depend on firing order, so matching the reference
+            # order keeps engines and thread counts interchangeable.
+            active = sorted(seeds_by_rule)
+            if pool is not None and len(active) > 1:
+                futures = [
+                    pool.submit(collect, rule_index, seeds_by_rule[rule_index])
+                    for rule_index in active
+                ]
+                collected = [future.result() for future in futures]
+            else:
+                collected = [
+                    collect(rule_index, seeds_by_rule[rule_index])
+                    for rule_index in active
+                ]
+            pending: list = []
+            for entries, enumerated, head_checks in collected:
+                pending.extend(entries)
+                stats.triggers_enumerated += enumerated
+                stats.head_checks += head_checks
+
+            added_any = False
+            id_terms = instance.id_terms
+            for __, dependency, trigger, exported, head_rows in pending:
+                if policy == "restricted":
+                    # Re-check activeness: an earlier firing in this
+                    # round may already satisfy this trigger.  Full-TGD
+                    # entries re-probe their instantiated head rows
+                    # directly; the rest go through the matcher's
+                    # generation-tagged check cache.
                     stats.head_checks += 1
-                    if matcher.has(
+                    if head_rows is not None:
+                        if _head_rows_present(instance, head_rows):
+                            continue
+                    elif matcher.has(
                         dependency.head, instance, seed=exported
                     ):
-                        continue  # head satisfied: trigger not active
+                        continue
+                if head_rows is not None:
+                    # Full TGD with fully interned head rows: the
+                    # produced facts are the rows read back through the
+                    # interner — no substitution pass needed.
+                    produced = tuple(
+                        Atom(
+                            relation,
+                            tuple(id_terms[value] for value in row),
+                        )
+                        for relation, row in head_rows
+                    )
+                else:
                     produced = _instantiate_head(
                         dependency, trigger, factory
                     )
-                    pending.append(
-                        (rule_index, dependency, trigger, exported, produced)
-                    )
+                new_here = [f for f in produced if state._add(f)]
+                if new_here:
+                    added_any = True
+                    if steps is not None:
+                        steps.append(
+                            TGDStep(
+                                dependency, trigger, tuple(new_here), rounds
+                            )
+                        )
+                if max_facts is not None and len(instance) > max_facts:
+                    return result(ChaseOutcome.BOUND_REACHED)
 
-        # Fire in rule order (the naive engine's order): under the
-        # restricted policy the firing-time re-check makes the round's
-        # outcome depend on firing order, so matching the reference
-        # order keeps the engines' results identical up to null renaming.
-        pending.sort(key=lambda entry: entry[0])
-        added_any = False
-        for __, dependency, trigger, exported, produced in pending:
-            if policy == "restricted":
-                # Re-check activeness: an earlier firing in this round may
-                # already satisfy this trigger.  A check-cache hit here
-                # means no relation of the head changed since the
-                # enumeration-time check, so nothing is re-searched.
-                stats.head_checks += 1
-                if matcher.has(
-                    dependency.head, instance, seed=exported
-                ):
-                    continue
-            new_here = [f for f in produced if state._add(f)]
-            if new_here:
-                added_any = True
-                if steps is not None:
-                    steps.append(
-                        TGDStep(dependency, trigger, tuple(new_here), rounds)
-                    )
-            if max_facts is not None and len(instance) > max_facts:
-                return result(ChaseOutcome.BOUND_REACHED)
+            try:
+                state.apply_equalities(rounds)
+            except _Unsatisfiable:
+                return result(ChaseOutcome.FAILED)
 
-        try:
-            state.apply_equalities(rounds)
-        except _Unsatisfiable:
-            return result(ChaseOutcome.FAILED)
-
-        if stop_when is not None and stop_when(state.instance):
-            return result(ChaseOutcome.EARLY_STOP)
-        if not added_any:
-            return result(ChaseOutcome.FIXPOINT)
+            if stop_when is not None and stop_when(state.instance):
+                return result(ChaseOutcome.EARLY_STOP)
+            if not added_any:
+                return result(ChaseOutcome.FIXPOINT)
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True)
 
 
 # ----------------------------------------------------------------------
@@ -674,8 +1011,14 @@ def _chase_naive(
     stop_when: Optional[Callable[[Instance], bool]],
     matcher,
     budget: Optional[Budget] = None,
+    parallelism: int = 0,
 ) -> ChaseResult:
-    """Round-based reference chase: full re-enumeration every round."""
+    """Round-based reference chase: full re-enumeration every round.
+
+    ``parallelism`` is accepted for signature parity with the delta
+    engine and ignored: the reference engine stays strictly sequential
+    so cross-checks compare against an unsharded specification.
+    """
     stats = ChaseStats()
     instance = start.copy()
     steps: Optional[list[ChaseStep]] = [] if record_steps else None
@@ -776,6 +1119,7 @@ def chase(
     engine: str = "delta",
     matcher=None,
     budget: Optional[Budget] = None,
+    parallelism: int = 0,
 ) -> ChaseResult:
     """Chase `start` with the dependencies.
 
@@ -809,11 +1153,23 @@ def chase(
     and threaded into the matcher's trigger searches, so an exhausted
     deadline raises `repro.runtime.DeadlineExceeded` out of the chase
     within one backtrack batch.
+
+    ``parallelism`` shards each round's trigger *collection* (the
+    read-only enumeration phase) by rule across a thread pool of that
+    many workers.  ``0`` (the default) and ``1`` run sequentially;
+    results are deterministic and identical for every value, because
+    per-rule results are merged in rule order before any fact is added
+    (the firing phase stays sequential).  Only the delta engine
+    parallelizes; the naive reference engine ignores the setting.
     """
     if policy not in ("restricted", "semi_oblivious"):
         raise ValueError(f"unknown chase policy: {policy}")
     if engine not in ("delta", "naive"):
         raise ValueError(f"unknown chase engine: {engine}")
+    if parallelism < 0:
+        raise ValueError(
+            f"parallelism must be non-negative, got {parallelism}"
+        )
     tgds = [d for d in dependencies if isinstance(d, TGD)]
     equality_deps = [
         d
@@ -834,6 +1190,7 @@ def chase(
         stop_when=stop_when,
         matcher=matcher if matcher is not None else default_matcher(),
         budget=budget,
+        parallelism=parallelism,
     )
 
 

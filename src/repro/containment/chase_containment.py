@@ -61,6 +61,7 @@ def contains(
     policy: str = "restricted",
     engine: str = "delta",
     matcher=None,
+    parallelism: int = 0,
 ) -> Decision:
     """Decide ``query ⊆_dependencies target`` by chasing.
 
@@ -71,7 +72,8 @@ def contains(
     — pass a `CompiledSchema`'s matcher to share compiled plans across
     calls.  The per-round target probe goes through the matcher's check
     cache, so rounds that do not touch the target's relations skip the
-    match search entirely.
+    match search entirely.  ``parallelism`` shards the chase rounds'
+    trigger collection by rule (see `repro.chase.engine.chase`).
     """
     dependencies = list(dependencies)
     canonical, __ = query.canonical_instance()
@@ -100,6 +102,7 @@ def contains(
         stop_when=target_holds,
         engine=engine,
         matcher=matcher,
+        parallelism=parallelism,
     )
     if result.outcome is ChaseOutcome.FAILED:
         return Decision.yes(
@@ -142,6 +145,7 @@ def certain_answer_boolean(
     max_facts: Optional[int] = DEFAULT_MAX_FACTS,
     engine: str = "delta",
     matcher=None,
+    parallelism: int = 0,
 ) -> Decision:
     """Certain-answer test: does `query` hold in every model of the
     dependencies containing `instance`?
@@ -161,6 +165,7 @@ def certain_answer_boolean(
         stop_when=lambda inst: matcher.has(query.atoms, inst),
         engine=engine,
         matcher=matcher,
+        parallelism=parallelism,
     )
     if result.outcome is ChaseOutcome.FAILED:
         return Decision.yes("constraints unsatisfiable on the accessed data")

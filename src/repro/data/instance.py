@@ -20,6 +20,10 @@ Fact = Atom  # facts are ground atoms
 #: Shared empty result for index misses (avoids allocating per lookup).
 _EMPTY: frozenset[Fact] = frozenset()
 
+#: Shared empty int-row view (see `int_view`).
+_EMPTY_ROWS: frozenset[tuple[int, ...]] = frozenset()
+_EMPTY_COLS: Mapping[tuple[int, int], AbstractSet[tuple[int, ...]]] = {}
+
 
 class Instance:
     """A set of facts with incremental indexes.
@@ -42,14 +46,25 @@ class Instance:
     __slots__ = (
         "_by_relation", "_by_position", "_by_term", "_domain_counts",
         "_size", "_generations", "match_cache",
+        "_term_ids", "_id_terms", "_rows", "_cols",
     )
 
     def __init__(self, facts: Iterable[Fact] = ()) -> None:
         self._by_relation: dict[str, set[Fact]] = defaultdict(set)
-        self._by_position: dict[tuple[str, int, GroundTerm], set[Fact]] = (
-            defaultdict(set)
-        )
-        self._by_term: dict[GroundTerm, set[Fact]] = defaultdict(set)
+        #: Positional index, built lazily on the first `facts_with` call
+        #: and maintained incrementally afterwards: it serves only the
+        #: object-space executors, so instances driven purely by the
+        #: int executor never pay the three extra tuple-hash-set
+        #: operations per added fact.
+        self._by_position: (
+            dict[tuple[str, int, GroundTerm], set[Fact]] | None
+        ) = None
+        #: Occurrence index, also lazy: it serves only the EGD/FD merge
+        #: paths (`facts_containing`), so TGD-only chases — the hot
+        #: closure workloads — never pay its per-term set insert.  Plan
+        #: selectivity statistics read `occurrence_count` instead, which
+        #: `_domain_counts` answers without the index.
+        self._by_term: dict[GroundTerm, set[Fact]] | None = None
         self._domain_counts: dict[GroundTerm, int] = defaultdict(int)
         self._size = 0
         #: Per-relation mutation counters (see `generation_of`).
@@ -58,6 +73,16 @@ class Instance:
         #: carry the generation counters they were computed under, so
         #: stale results are never served (only re-derived).
         self.match_cache: dict = {}
+        #: Interning tables: each distinct ground term gets a dense int
+        #: id on first appearance (append-only, so ids stay valid across
+        #: discards) and every fact is mirrored as a tuple-of-int row.
+        #: The int-space executor in `repro.matching.intexec` runs
+        #: entirely over `_rows`/`_cols`; the object view above stays
+        #: authoritative at the API boundary.
+        self._term_ids: dict[GroundTerm, int] = {}
+        self._id_terms: list[GroundTerm] = []
+        self._rows: dict[str, set[tuple[int, ...]]] = {}
+        self._cols: dict[str, dict[tuple[int, int], set[tuple[int, ...]]]] = {}
         for fact in facts:
             self.add(fact)
 
@@ -66,19 +91,50 @@ class Instance:
     # ------------------------------------------------------------------
     def add(self, fact: Fact) -> bool:
         """Add a fact; return True if it was new."""
-        if any(isinstance(term, Variable) for term in fact.terms):
-            raise ValueError(f"fact contains a variable: {fact}")
-        bucket = self._by_relation[fact.relation]
+        terms = fact.terms
+        relation = fact.relation
+        for term in terms:
+            if isinstance(term, Variable):
+                raise ValueError(f"fact contains a variable: {fact}")
+        bucket = self._by_relation[relation]
         if fact in bucket:
             return False
         bucket.add(fact)
-        for position, term in enumerate(fact.terms):
-            self._by_position[(fact.relation, position, term)].add(fact)
-            self._by_term[term].add(fact)
-            self._domain_counts[term] += 1
+        by_position = self._by_position
+        by_term = self._by_term
+        domain_counts = self._domain_counts
+        term_ids = self._term_ids
+        id_terms = self._id_terms
+        row: list[int] = []
+        for position, term in enumerate(terms):
+            if by_position is not None:
+                by_position[(relation, position, term)].add(fact)
+            if by_term is not None:
+                by_term[term].add(fact)
+            domain_counts[term] += 1
+            value_id = term_ids.get(term)
+            if value_id is None:
+                value_id = len(id_terms)
+                term_ids[term] = value_id
+                id_terms.append(term)
+            row.append(value_id)
+        int_row = tuple(row)
+        rows = self._rows.get(relation)
+        if rows is None:
+            rows = self._rows[relation] = set()
+            self._cols[relation] = {}
+        rows.add(int_row)
+        cols = self._cols[relation]
+        for position, value_id in enumerate(int_row):
+            key = (position, value_id)
+            column = cols.get(key)
+            if column is None:
+                cols[key] = {int_row}
+            else:
+                column.add(int_row)
         self._size += 1
         generations = self._generations
-        generations[fact.relation] = generations.get(fact.relation, 0) + 1
+        generations[relation] = generations.get(relation, 0) + 1
         return True
 
     def add_all(self, facts: Iterable[Fact]) -> int:
@@ -91,18 +147,35 @@ class Instance:
         if bucket is None or fact not in bucket:
             return False
         bucket.remove(fact)
+        term_ids = self._term_ids
+        by_position = self._by_position
+        by_term = self._by_term
         for position, term in enumerate(fact.terms):
-            key = (fact.relation, position, term)
-            entry = self._by_position[key]
-            entry.discard(fact)
-            if not entry:
-                del self._by_position[key]
-            occurrences = self._by_term[term]
-            occurrences.discard(fact)
+            if by_position is not None:
+                key = (fact.relation, position, term)
+                entry = by_position[key]
+                entry.discard(fact)
+                if not entry:
+                    del by_position[key]
+            if by_term is not None:
+                by_term[term].discard(fact)
             self._domain_counts[term] -= 1
             if self._domain_counts[term] == 0:
                 del self._domain_counts[term]
-                del self._by_term[term]
+                if by_term is not None:
+                    del by_term[term]
+        # Mirror the removal in int space.  Term ids are append-only
+        # (never recycled), so the row is reconstructible exactly.
+        int_row = tuple(term_ids[term] for term in fact.terms)
+        self._rows[fact.relation].discard(int_row)
+        cols = self._cols[fact.relation]
+        for position, value_id in enumerate(int_row):
+            col_key = (position, value_id)
+            column = cols.get(col_key)
+            if column is not None:
+                column.discard(int_row)
+                if not column:
+                    del cols[col_key]
         self._size -= 1
         generations = self._generations
         generations[fact.relation] = generations.get(fact.relation, 0) + 1
@@ -166,17 +239,99 @@ class Instance:
         self, relation: str, position: int, term: GroundTerm
     ) -> AbstractSet[Fact]:
         """Live view of the facts with `term` at `position` of `relation`."""
-        bucket = self._by_position.get((relation, position, term))
+        index = self._by_position
+        if index is None:
+            index = self._position_index()
+        bucket = index.get((relation, position, term))
         return bucket if bucket is not None else _EMPTY
+
+    def _position_index(self) -> dict:
+        """Build (or return) the lazily-maintained positional index."""
+        index = self._by_position
+        if index is None:
+            index = defaultdict(set)
+            for bucket in self._by_relation.values():
+                for fact in bucket:
+                    for position, term in enumerate(fact.terms):
+                        index[(fact.relation, position, term)].add(fact)
+            self._by_position = index
+        return index
 
     def facts_containing(self, term: GroundTerm) -> AbstractSet[Fact]:
         """Live view of every fact mentioning `term` at any position.
 
         This is the occurrence index the chase uses to merge terms
-        without scanning the whole instance.
+        without scanning the whole instance.  Like the positional
+        index it is built on first use and maintained incrementally
+        afterwards; callers needing only the cardinality should use
+        `occurrence_count`, which never materializes it.
         """
-        bucket = self._by_term.get(term)
+        index = self._by_term
+        if index is None:
+            index = self._term_index()
+        bucket = index.get(term)
         return bucket if bucket is not None else _EMPTY
+
+    def occurrence_count(self, term: GroundTerm) -> int:
+        """How many (fact, position) slots carry `term`.
+
+        An upper bound on ``len(facts_containing(term))`` — they differ
+        only when a term repeats inside one fact — answered from the
+        domain counters, so it never forces the occurrence index.  This
+        is the selectivity statistic the plan compiler orders joins by.
+        """
+        return self._domain_counts.get(term, 0)
+
+    def _term_index(self) -> dict:
+        """Build (or return) the lazily-maintained occurrence index."""
+        index = self._by_term
+        if index is None:
+            index = defaultdict(set)
+            for bucket in self._by_relation.values():
+                for fact in bucket:
+                    for term in fact.terms:
+                        index[term].add(fact)
+            self._by_term = index
+        return index
+
+    # ------------------------------------------------------------------
+    # Int-space view (interned rows; see `repro.matching.intexec`)
+    # ------------------------------------------------------------------
+    def term_id(self, term: GroundTerm) -> int:
+        """The dense int id of a term, or -1 if it never appeared.
+
+        -1 is a safe sentinel for executors: it can never occur inside
+        a stored row, so comparisons against it simply fail.
+        """
+        value_id = self._term_ids.get(term)
+        return -1 if value_id is None else value_id
+
+    def term_of(self, value_id: int) -> GroundTerm:
+        """The term behind a dense id (inverse of `term_id`)."""
+        return self._id_terms[value_id]
+
+    @property
+    def id_terms(self) -> list[GroundTerm]:
+        """The append-only id → term table (read-only by convention)."""
+        return self._id_terms
+
+    def int_view(
+        self, relation: str
+    ) -> tuple[
+        AbstractSet[tuple[int, ...]],
+        Mapping[tuple[int, int], AbstractSet[tuple[int, ...]]],
+    ]:
+        """Live int-space view of a relation: ``(rows, columns)``.
+
+        ``rows`` holds one tuple-of-int row per fact; ``columns`` maps
+        ``(position, value_id)`` to the rows carrying that id there.
+        Like the object views, these are live buckets — valid only
+        until the next mutation.
+        """
+        rows = self._rows.get(relation)
+        if rows is None:
+            return _EMPTY_ROWS, _EMPTY_COLS
+        return rows, self._cols[relation]
 
     def generation_of(self, relation: str) -> int:
         """Mutation counter of a relation: bumped on every add/discard
@@ -237,13 +392,55 @@ class Instance:
                 by_position[(fact.relation, position, term)].add(fact)
                 by_term[term].add(fact)
                 counts[term] += 1
-        assert dict(self._by_position) == dict(by_position), (
-            "positional index drift"
-        )
-        assert dict(self._by_term) == dict(by_term), "occurrence index drift"
+        # The positional index is lazy: validate it only when it has
+        # been materialized (building it here would trivially agree).
+        if self._by_position is not None:
+            assert dict(self._by_position) == dict(by_position), (
+                "positional index drift"
+            )
+        if self._by_term is not None:
+            assert dict(self._by_term) == dict(by_term), (
+                "occurrence index drift"
+            )
         assert dict(self._domain_counts) == dict(counts), (
             "domain count drift"
         )
+        # Interning tables: a bijection between interned terms and ids,
+        # covering (at least) the live active domain.
+        term_ids = self._term_ids
+        id_terms = self._id_terms
+        assert len(term_ids) == len(id_terms), "interner size drift"
+        for term, value_id in term_ids.items():
+            assert id_terms[value_id] is term or id_terms[value_id] == term, (
+                f"interner bijection drift at id {value_id}"
+            )
+        for term in counts:
+            assert term in term_ids, f"uninterned live term: {term}"
+        # Int rows/columns: recompute from the fact set and compare
+        # (empty per-relation buckets are allowed to linger, like the
+        # object indexes' relation buckets).
+        rows: dict[str, set[tuple[int, ...]]] = defaultdict(set)
+        cols: dict[str, dict[tuple[int, int], set[tuple[int, ...]]]] = (
+            defaultdict(dict)
+        )
+        for fact in facts:
+            int_row = tuple(term_ids[term] for term in fact.terms)
+            rows[fact.relation].add(int_row)
+            for position, value_id in enumerate(int_row):
+                cols[fact.relation].setdefault(
+                    (position, value_id), set()
+                ).add(int_row)
+        for relation, bucket in self._rows.items():
+            assert bucket == rows.get(relation, set()), (
+                f"int row drift in {relation}"
+            )
+            assert self._cols[relation] == cols.get(relation, {}), (
+                f"int column drift in {relation}"
+            )
+        for relation in rows:
+            assert rows[relation] == self._rows.get(relation, set()), (
+                f"missing int rows for {relation}"
+            )
 
     def __repr__(self) -> str:
         shown = ", ".join(sorted(str(f) for f in self))

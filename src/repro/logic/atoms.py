@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping
 
 from .terms import Constant, GroundTerm, Null, Term, Variable
@@ -14,10 +14,23 @@ class Atom:
 
     relation: str
     terms: tuple[Term, ...]
+    #: Cached hash (same scheme as the term classes: computed once,
+    #: -1 means "not yet"); atoms are hashed on every instance-index
+    #: update and plan-cache lookup.
+    _hash: int = field(default=-1, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.terms, tuple):
             object.__setattr__(self, "terms", tuple(self.terms))
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached == -1:
+            cached = hash((self.relation, self.terms))
+            if cached == -1:
+                cached = -2
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     @property
     def arity(self) -> int:

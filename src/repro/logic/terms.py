@@ -18,8 +18,16 @@ from __future__ import annotations
 
 import itertools
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Hashable, Union
+
+# Terms are hashed constantly — every instance-index update, plan-cache
+# lookup, and environment write keys on them — so each class caches its
+# hash in a slot on first use instead of re-deriving it per call (the
+# dataclass-generated __hash__ rehashes the field tuple every time,
+# which profiled as a top cost of the chase).  -1 marks "not yet
+# computed"; a real hash of -1 is remapped to -2 (CPython's own
+# convention).  The cache slot is excluded from __eq__/__repr__/init.
 
 
 @dataclass(frozen=True, slots=True)
@@ -27,6 +35,18 @@ class Variable:
     """A first-order variable, identified by its name."""
 
     name: str
+    _hash: int = field(
+        default=-1, init=False, repr=False, compare=False
+    )
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached == -1:
+            cached = hash((self.name,))
+            if cached == -1:
+                cached = -2
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __repr__(self) -> str:
         return self.name
@@ -40,6 +60,18 @@ class Constant:
     """A constant, wrapping an arbitrary hashable Python value."""
 
     value: Hashable
+    _hash: int = field(
+        default=-1, init=False, repr=False, compare=False
+    )
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached == -1:
+            cached = hash((self.value,))
+            if cached == -1:
+                cached = -2
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __repr__(self) -> str:
         if isinstance(self.value, str):
@@ -60,6 +92,18 @@ class Null:
     """
 
     label: str
+    _hash: int = field(
+        default=-1, init=False, repr=False, compare=False
+    )
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached == -1:
+            cached = hash((self.label,))
+            if cached == -1:
+                cached = -2
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __repr__(self) -> str:
         return f"_{self.label}"

@@ -42,6 +42,13 @@ from ..data.instance import Instance
 from ..logic.atoms import Atom
 from ..logic.terms import GroundTerm, Null, Term, Variable, fresh_null
 from ..runtime import Budget
+from .intexec import (
+    int_distinct_search,
+    int_find,
+    int_ground_probe,
+    int_has,
+    int_search,
+)
 from .plan import MatchPlan, plan_key
 
 Assignment = dict[Term, GroundTerm]
@@ -50,6 +57,20 @@ Assignment = dict[Term, GroundTerm]
 DEFAULT_PLAN_CACHE_SIZE = 4096
 #: Per-instance check-cache entries before a wholesale clear.
 DEFAULT_CHECK_CACHE_LIMIT = 65536
+#: Replan-on-drift: a memoized plan is recompiled when some relation it
+#: touches has grown or shrunk past this factor relative to the
+#: cardinality snapshot its join order was chosen under.  The damping
+#: keeps tiny instances from thrashing (0 → 31 facts is not drift;
+#: 100 → 10000 is).
+DRIFT_FACTOR = 8
+DRIFT_DAMPING = 4
+#: Plan-cache hits between two drift checks of the same plan (the very
+#: first reuse is always checked; see `MatchPlan.drift_countdown`).
+DRIFT_CHECK_STRIDE = 16
+#: Stop replanning a key after this many recompiles: a key probed
+#: against many differently-sized instances (the rewriting engine's
+#: subsumption sweeps) would otherwise recompile on every alternation.
+MAX_REPLANS_PER_KEY = 16
 #: Frozen right-hand sides memoized for isomorphism checks (the
 #: rewriting dedup compares each candidate against every kept state of
 #: its shape bucket, so the same right side recurs across comparisons).
@@ -235,6 +256,16 @@ def _find_injective(
     return False
 
 
+def _drifted(plan: MatchPlan, instance: Instance) -> bool:
+    """Has any touched relation's cardinality left the snapshot band?"""
+    for relation, snapshot in zip(plan.relations, plan.stats_snapshot):
+        current = len(instance.facts_of(relation)) + DRIFT_DAMPING
+        recorded = snapshot + DRIFT_DAMPING
+        if current > recorded * DRIFT_FACTOR or recorded > current * DRIFT_FACTOR:
+            return True
+    return False
+
+
 def freeze_atoms(atoms: Sequence[Atom]) -> tuple[Instance, frozenset]:
     """Freeze a CQ body into an instance: variables become tagged nulls.
 
@@ -279,9 +310,18 @@ class Matcher:
         *,
         plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
         check_cache_limit: int = DEFAULT_CHECK_CACHE_LIMIT,
+        execution: str = "int",
     ) -> None:
+        if execution not in ("int", "object"):
+            raise ValueError(
+                f"execution must be 'int' or 'object', got {execution!r}"
+            )
         self.plan_cache_size = plan_cache_size
         self.check_cache_limit = check_cache_limit
+        #: Which executor family runs the plans: "int" (interned rows,
+        #: slot arrays — the default) or "object" (the historical dict
+        #: environments, kept as the round-trip oracle).
+        self.execution = execution
         self._plans: OrderedDict[tuple, MatchPlan] = OrderedDict()
         self._frozen_iso: OrderedDict[
             tuple, tuple[Instance, frozenset]
@@ -291,6 +331,8 @@ class Matcher:
             "plans_compiled": 0,
             "plan_hits": 0,
             "plan_evictions": 0,
+            "drift_checks": 0,
+            "replans": 0,
             "enumerations": 0,
             "distinct_enumerations": 0,
             "checks": 0,
@@ -314,8 +356,14 @@ class Matcher:
         """The memoized plan for this search shape (compiling on miss).
 
         The join order of a fresh plan is chosen from `instance`'s index
-        statistics; the plan is then reused for every instance searched
-        under the same key.
+        statistics, and the plan is reused for every instance searched
+        under the same key — **unless** the cardinalities of the
+        relations it touches have drifted past `DRIFT_FACTOR` from the
+        snapshot the order was chosen under, in which case the join
+        order is recompiled against the current statistics
+        (replan-on-drift; `stats()["replans"]` counts recompiles).
+        Single-atom plans have no order to get wrong and are never
+        drift-checked.
         """
         key = plan_key(atoms, flexible_nulls, seed)
         counters = self._counters
@@ -324,6 +372,20 @@ class Matcher:
             if plan is not None:
                 self._plans.move_to_end(key)
                 counters["plan_hits"] += 1
+                if (
+                    len(plan.compiled) > 1
+                    and plan.replan_count < MAX_REPLANS_PER_KEY
+                ):
+                    plan.drift_countdown -= 1
+                    if plan.drift_countdown <= 0:
+                        plan.drift_countdown = DRIFT_CHECK_STRIDE
+                        counters["drift_checks"] += 1
+                        if _drifted(plan, instance):
+                            replacement = MatchPlan(key, instance)
+                            replacement.replan_count = plan.replan_count + 1
+                            self._plans[key] = replacement
+                            counters["replans"] += 1
+                            return replacement
                 return plan
             plan = MatchPlan(key, instance)
             counters["plans_compiled"] += 1
@@ -356,6 +418,8 @@ class Matcher:
             atoms, instance, seed=seed, flexible_nulls=flexible_nulls
         )
         self._counters["enumerations"] += 1
+        if self.execution == "int":
+            return int_search(plan, instance, seed, budget)
         assignment: Assignment = dict(seed) if seed else {}
         return _search(plan, instance, assignment, 0, budget)
 
@@ -372,6 +436,8 @@ class Matcher:
         plan = self.plan_for(
             atoms, instance, seed=seed, flexible_nulls=flexible_nulls
         )
+        if self.execution == "int":
+            return int_find(plan, instance, seed, budget)
         assignment: Assignment = dict(seed) if seed else {}
         if _find_one(plan, instance, assignment, 0, [], budget):
             return assignment
@@ -406,6 +472,8 @@ class Matcher:
         counters["checks"] += 1
         if plan.all_ground:
             counters["ground_probe_checks"] += 1
+            if self.execution == "int":
+                return int_ground_probe(plan, instance, seed)
             assignment = seed if seed is not None else {}
             return all(
                 _probe(entry, instance, assignment)
@@ -419,8 +487,11 @@ class Matcher:
             counters["check_hits"] += 1
             return entry[0]
         counters["check_misses"] += 1
-        assignment = dict(seed) if seed else {}
-        result = _find_one(plan, instance, assignment, 0, [], budget)
+        if self.execution == "int":
+            result = int_has(plan, instance, seed, budget)
+        else:
+            assignment = dict(seed) if seed else {}
+            result = _find_one(plan, instance, assignment, 0, [], budget)
         # Concurrency note (the tests/concurrency battery leans on
         # this): the cache is deliberately lock-free.  Entries are
         # tagged with the generations read *before* the search — if
@@ -467,6 +538,10 @@ class Matcher:
         if skip is None:
             skip = set()
         self._counters["distinct_enumerations"] += 1
+        if self.execution == "int":
+            return int_distinct_search(
+                plan, instance, on, bound_depth, skip, seed, budget
+            )
         assignment: Assignment = dict(seed) if seed else {}
         return _distinct_search(
             plan, instance, assignment, on, bound_depth, skip, budget
@@ -540,6 +615,8 @@ class Matcher:
         self._counters["subsumption_checks"] += 1
         if plan is None:
             plan = self.plan_for(tuple(atoms), frozen)
+        if self.execution == "int":
+            return int_has(plan, frozen, None, None)
         return _find_one(plan, frozen, {}, 0, [])
 
     # -- diagnostics ---------------------------------------------------
@@ -547,6 +624,7 @@ class Matcher:
         """Plan/check cache traffic counters (approximate under races)."""
         return {
             "strategy": "planned",
+            "executor": self.execution,
             "plans_cached": len(self._plans),
             **self._counters,
         }

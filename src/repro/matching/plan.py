@@ -15,8 +15,8 @@ is paid once per *plan key*:
 The join order is chosen greedily — most-bound atom first, connected
 atoms preferred — with ties broken **adaptively** by instance index
 statistics at compile time: the estimated candidate count of an atom is
-its relation bucket size, sharpened by the ``facts_containing``
-occurrence cardinality of its rigid terms.  Plans are compiled against
+its relation bucket size, sharpened by the ``occurrence_count``
+cardinality of its rigid terms.  Plans are compiled against
 the first instance a key is searched on and reused for every later
 search with that key (the statistics steer the order; correctness never
 depends on them).
@@ -147,6 +147,10 @@ class MatchPlan:
         "relations",
         "all_ground",
         "soft_terms",
+        "stats_snapshot",
+        "int_plan",
+        "replan_count",
+        "drift_countdown",
         "_distinct_depths",
     )
 
@@ -177,6 +181,23 @@ class MatchPlan:
         self.relations = tuple(sorted({a.relation for a in atoms}))
         self.all_ground = all(c.probe_template is not None for c in compiled)
         self.soft_terms = frozenset(soft)
+        #: Relation cardinalities the join order was chosen under,
+        #: aligned with `relations`.  `Matcher.plan_for` compares these
+        #: against the instance being searched and recompiles the plan
+        #: when they have drifted far (replan-on-drift).
+        self.stats_snapshot = tuple(
+            len(instance.facts_of(relation)) for relation in self.relations
+        )
+        #: Lazily lowered int-space form (`repro.matching.intexec`).
+        self.int_plan = None
+        #: How many times this key has been recompiled for drift
+        #: (carried across recompiles; bounds replan churn).
+        self.replan_count = 0
+        #: Plan-cache hits until the next drift check (1: the very
+        #: first reuse is checked, so a plan compiled against an empty
+        #: instance is caught immediately; afterwards checks run every
+        #: `matcher.DRIFT_CHECK_STRIDE` hits).
+        self.drift_countdown = 1
         self._distinct_depths: dict[tuple[Term, ...], int] = {}
 
     def distinct_depth(self, on: tuple[Term, ...]) -> int:
@@ -222,7 +243,7 @@ def _estimate(
     estimate = len(instance.facts_of(atom.relation))
     for term in atom.terms:
         if not _is_soft(term, flexible_nulls):
-            occurrences = len(instance.facts_containing(term))
+            occurrences = instance.occurrence_count(term)
             if occurrences < estimate:
                 estimate = occurrences
     return estimate

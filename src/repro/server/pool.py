@@ -58,6 +58,9 @@ class SessionLimits:
     max_facts: int = DEFAULT_CHASE_FACTS
     max_disjuncts: int = DEFAULT_MAX_DISJUNCTS
     subsumption: bool = True
+    #: Worker threads for the chase's per-round trigger collection
+    #: (0/1 = sequential; deterministic for every value).
+    chase_parallelism: int = 0
     cache_size: int = 1024
     #: Wall-clock deadline applied to every request that does not carry
     #: its own ``deadline_ms`` (None = unbounded).  A request deadline
@@ -71,6 +74,7 @@ class SessionLimits:
             max_facts=self.max_facts,
             max_disjuncts=self.max_disjuncts,
             subsumption=self.subsumption,
+            chase_parallelism=self.chase_parallelism,
             cache_size=self.cache_size,
         )
 

@@ -104,6 +104,7 @@ class Session:
         max_facts: int = DEFAULT_CHASE_FACTS,
         max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
         subsumption: bool = True,
+        chase_parallelism: int = 0,
         cache_size: int = 1024,
     ) -> None:
         self.compiled = as_compiled(schema)
@@ -111,6 +112,10 @@ class Session:
         self.max_facts = max_facts
         self.max_disjuncts = max_disjuncts
         self.subsumption = subsumption
+        #: Worker threads for the chase's per-round trigger collection
+        #: (0/1 = sequential; see `repro.chase.engine.chase`).  Results
+        #: are deterministic and identical for every setting.
+        self.chase_parallelism = chase_parallelism
         self.cache_size = cache_size
         self._cache: OrderedDict[tuple, Any] = OrderedDict()
         self._lock = threading.RLock()
@@ -247,6 +252,7 @@ class Session:
                 max_disjuncts=self.max_disjuncts,
                 subsumption=self.subsumption,
                 budget=budget,
+                parallelism=self.chase_parallelism,
             )
         return decide_monotone_answerability(
             self.compiled,
@@ -256,6 +262,7 @@ class Session:
             max_disjuncts=self.max_disjuncts,
             subsumption=self.subsumption,
             budget=budget,
+            parallelism=self.chase_parallelism,
         )
 
     def decide_many(
@@ -336,6 +343,7 @@ class Session:
             "max_facts": self.max_facts,
             "max_disjuncts": self.max_disjuncts,
             "subsumption": self.subsumption,
+            "chase_parallelism": self.chase_parallelism,
         }
         report["cache"] = self.cache_info()
         report["compile_stats"] = dict(self.compiled.stats)

@@ -1,0 +1,195 @@
+"""Cross-check: parallel trigger collection ≡ sequential, exactly.
+
+`chase(..., parallelism=k)` shards each round's pending triggers by
+rule across a thread pool, but merges per-rule results in rule order
+before any fact is added and assigns null labels at firing time in
+merged order.  The result must therefore be *identical* — not just
+equivalent up to null renaming — for every parallelism setting: same
+facts, same null labels, same outcome, round count, recorded steps,
+and trigger statistics.  These tests pin that down on randomized
+multi-rule workloads under both policies; a seeded sample always runs
+in tier 1, the broad sweep is marked ``slow``.
+"""
+
+import random
+
+import pytest
+
+from repro.chase import chase
+from repro.constraints import EGD, fd, tgd
+from repro.data import Instance
+from repro.logic import Atom, Constant, Null
+from repro.logic.atoms import atom
+from repro.logic.terms import NullFactory
+
+RELATIONS = {"R": 2, "S": 2, "T": 1, "U": 3}
+
+#: Rule templates mixing full/existential TGDs so several rules are
+#: active per round (one worker per rule — a single-rule workload
+#: would never exercise the pool).
+TEMPLATES = [
+    "R(x, y) -> S(y, x)",
+    "S(x, y) -> R(x, y)",
+    "R(x, y), S(y, z) -> R(x, z)",
+    "T(x) -> R(x, z)",
+    "R(x, y) -> T(y)",
+    "R(x, y) -> exists z. S(y, z)",
+    "S(x, y) -> exists z. U(x, y, z)",
+    "U(x, y, z) -> R(x, z)",
+    "T(x) -> exists w. U(x, w, w)",
+]
+
+
+def _random_workload(rng: random.Random):
+    constants = [Constant(f"c{i}") for i in range(rng.randint(2, 5))]
+    nulls = [Null(f"seed{i}") for i in range(rng.randint(0, 3))]
+    terms = constants + nulls
+
+    facts = []
+    for __ in range(rng.randint(2, 10)):
+        relation = rng.choice(list(RELATIONS))
+        arity = RELATIONS[relation]
+        facts.append(
+            Atom(relation, tuple(rng.choice(terms) for __ in range(arity)))
+        )
+    instance = Instance(facts)
+
+    rules = [
+        tgd(template)
+        for template in rng.sample(TEMPLATES, rng.randint(2, 6))
+    ]
+    if rng.random() < 0.6:
+        rules.append(fd("R", [0], 1))
+    if rng.random() < 0.4:
+        rules.append(fd("U", [0, 1], 2))
+    if rng.random() < 0.3:
+        body = (atom("S", "x", "y"), atom("S", "y", "x"))
+        rules.append(EGD(body, body[0].terms[0], body[0].terms[1]))
+    return instance, rules
+
+
+def _run(instance, rules, *, policy, parallelism, record_steps=True):
+    return chase(
+        instance,
+        rules,
+        policy=policy,
+        max_rounds=6,
+        max_facts=120,
+        record_steps=record_steps,
+        parallelism=parallelism,
+        null_factory=NullFactory(prefix="p"),
+    )
+
+
+def _assert_identical(sequential, parallel, context):
+    assert sequential.outcome is parallel.outcome, (
+        f"{context}: outcome {sequential.outcome} != {parallel.outcome}"
+    )
+    assert sequential.rounds == parallel.rounds, (
+        f"{context}: rounds {sequential.rounds} != {parallel.rounds}"
+    )
+    # Exact equality, null labels included: the per-rule merge is
+    # deterministic, so the fact streams must be byte-identical.
+    assert sequential.instance == parallel.instance, (
+        f"{context}: instances differ:\n"
+        f"sequential: {sequential.instance}\nparallel: {parallel.instance}"
+    )
+    assert sequential.substitution == parallel.substitution, (
+        f"{context}: EGD substitutions differ"
+    )
+    assert len(sequential.steps) == len(parallel.steps), (
+        f"{context}: step counts differ"
+    )
+    for left, right in zip(sequential.steps, parallel.steps):
+        assert left == right, f"{context}: steps diverge: {left} != {right}"
+    assert (
+        sequential.stats.triggers_enumerated
+        == parallel.stats.triggers_enumerated
+    ), f"{context}: trigger enumeration counts differ"
+    assert sequential.stats.merges == parallel.stats.merges
+
+
+def check_one_case(seed: int, policy: str, parallelism: int) -> None:
+    rng = random.Random(seed)
+    instance, rules = _random_workload(rng)
+    sequential = _run(instance, rules, policy=policy, parallelism=0)
+    parallel = _run(instance, rules, policy=policy, parallelism=parallelism)
+    context = f"seed={seed} policy={policy} parallelism={parallelism}"
+    _assert_identical(sequential, parallel, context)
+
+
+class TestSeededParallelEquivalence:
+    """Fast deterministic cross-checks (always run in tier 1)."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("policy", ["restricted", "semi_oblivious"])
+    def test_random_workloads_identical(self, seed, policy):
+        check_one_case(seed, policy, parallelism=2)
+
+    def test_transitive_closure_identical(self):
+        instance = Instance(
+            Atom("E", (Constant(i), Constant(i + 1))) for i in range(16)
+        )
+        rules = [
+            tgd("E(x, y) -> P(x, y)"),
+            tgd("P(x, y), E(y, z) -> P(x, z)"),
+        ]
+        def run(parallelism):
+            return chase(
+                instance,
+                rules,
+                policy="restricted",
+                max_rounds=40,
+                max_facts=500,
+                record_steps=True,
+                parallelism=parallelism,
+                null_factory=NullFactory(prefix="p"),
+            )
+
+        sequential = run(0)
+        for parallelism in (1, 2, 4, 8):
+            _assert_identical(
+                sequential, run(parallelism), f"tc p={parallelism}"
+            )
+        # Full closure of the 17-node chain: C(17, 2) P facts + 16 E.
+        assert len(sequential.instance) == 16 + 17 * 16 // 2
+
+    def test_failure_identical(self):
+        """An FD clash on constants fails identically in parallel."""
+        instance = Instance(
+            [
+                Atom("R", (Constant("a"), Constant("b"))),
+                Atom("R", (Constant("a"), Constant("c"))),
+            ]
+        )
+        rules = [fd("R", [0], 1), tgd("R(x, y) -> S(y, x)")]
+        sequential = _run(instance, rules, policy="restricted", parallelism=0)
+        parallel = _run(instance, rules, policy="restricted", parallelism=3)
+        assert sequential.outcome is parallel.outcome
+        assert sequential.failed and parallel.failed
+
+    def test_parallelism_validation(self):
+        with pytest.raises(ValueError):
+            chase(Instance(), [], parallelism=-1)
+
+    def test_naive_engine_accepts_parallelism(self):
+        """The naive engine takes (and ignores) the flag for parity."""
+        instance = Instance([Atom("T", (Constant("a"),))])
+        rules = [tgd("T(x) -> R(x, x)")]
+        result = chase(instance, rules, engine="naive", parallelism=4)
+        assert len(result.instance) == 2
+
+
+@pytest.mark.slow
+class TestParallelSweeps:
+    """Broad randomized sweeps (nightly; run with ``pytest -m slow``)."""
+
+    @pytest.mark.parametrize("seed", range(60))
+    @pytest.mark.parametrize("policy", ["restricted", "semi_oblivious"])
+    def test_restricted_and_oblivious_sweep(self, seed, policy):
+        check_one_case(70_000 + seed, policy, parallelism=4)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_oversubscribed_pool_sweep(self, seed):
+        """More workers than rules: the pool is clamped, results exact."""
+        check_one_case(80_000 + seed, "restricted", parallelism=32)
