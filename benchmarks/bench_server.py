@@ -414,6 +414,184 @@ def run_fleet_scaling(smoke: bool) -> BenchRecord:
     )
 
 
+# ----------------------------------------------------------------------
+# Fleet worker-kill warm restart: re-serving a shard from the store
+# ----------------------------------------------------------------------
+FLEET_RESTART_WORKERS = 2
+
+
+def restart_schema_set(smoke: bool) -> list[dict]:
+    """Deep-chain fingerprints sized to *fit* each worker's budget (no
+    LRU thrash — the scenario isolates restart cost, not capacity)."""
+    sizes = range(17, 21) if smoke else range(17, 25)
+    return [schema_to_dict(id_chain_workload(n).schema) for n in sizes]
+
+
+async def _run_fleet_restart(
+    stream, schemas: list[dict], cache_dir
+) -> dict:
+    """2 supervised workers; populate, SIGKILL one, wait for the ring
+    to re-admit its replacement, then time a full request pass.
+
+    With ``cache_dir`` both workers share one durable store: the
+    restarted worker re-warms its compiled schemas from the store
+    before reporting ready and serves its shard's decisions as durable
+    hits.  Without it the replacement starts empty and recompiles every
+    fingerprint it owns on first touch — the pass the clock sees.
+    """
+    import os
+    import signal
+
+    from repro.server import Fleet, FleetDispatcher, WorkerSpec
+
+    extra = () if cache_dir is None else ("--cache-dir", str(cache_dir))
+    dispatcher = FleetDispatcher(port=0, channels_per_worker=2)
+    await dispatcher.start()
+    specs = [
+        WorkerSpec(
+            port=0,
+            health_interval_s=0.2,
+            serve_args=(
+                "--workers", "2",
+                "--pool-size", "1",
+                "--max-fingerprints", str(len(schemas)),
+                "--drain-timeout", "5",
+                *extra,
+            ),
+        )
+        for __ in range(FLEET_RESTART_WORKERS)
+    ]
+    fleet = Fleet(specs, dispatcher)
+    loop = asyncio.get_running_loop()
+    try:
+        await fleet.start(timeout_s=120)
+        host, port = dispatcher.address
+
+        async def run_pass() -> tuple[dict[int, str], int]:
+            decisions: dict[int, str] = {}
+            cached = 0
+
+            async def client(shard) -> None:
+                nonlocal cached
+                reader, writer = await asyncio.open_connection(host, port)
+                for request in shard:
+                    writer.write(
+                        json.dumps(request).encode("utf-8") + b"\n"
+                    )
+                await writer.drain()
+                for __ in shard:
+                    payload = json.loads(await reader.readline())
+                    assert "error" not in payload, payload
+                    decisions[payload["id"]] = payload["decision"]
+                    cached += bool(payload.get("cached"))
+                writer.close()
+                await writer.wait_closed()
+
+            await asyncio.gather(
+                *(
+                    client(stream[i::FLEET_CLIENTS])
+                    for i in range(FLEET_CLIENTS)
+                )
+            )
+            return decisions, cached
+
+        populate, __ = await run_pass()
+
+        victim_id = sorted(dispatcher.workers)[0]
+        victim_pid = dispatcher._workers[victim_id].pid
+        os.kill(victim_pid, signal.SIGKILL)
+        readmit_start = loop.time()
+        deadline = readmit_start + 120
+        while True:
+            replacement = dispatcher._workers.get(victim_id)
+            if (
+                replacement is not None
+                and replacement.pid != victim_pid
+                and len(dispatcher.workers) == FLEET_RESTART_WORKERS
+            ):
+                break
+            assert loop.time() < deadline, (
+                f"ring never re-admitted {victim_id} "
+                f"(killed pid {victim_pid})"
+            )
+            await asyncio.sleep(0.05)
+        readmit_seconds = loop.time() - readmit_start
+
+        start = time.perf_counter()
+        decisions, cached = await run_pass()
+        elapsed = time.perf_counter() - start
+        assert decisions == populate, "restart changed an answer"
+        return {
+            "pass_seconds": elapsed,
+            "readmit_seconds": readmit_seconds,
+            "cached_responses": cached,
+            "decisions": decisions,
+        }
+    finally:
+        await fleet.close(drain_timeout=5.0)
+
+
+def run_fleet_restart(smoke: bool) -> BenchRecord:
+    import shutil
+    import tempfile
+
+    schemas = restart_schema_set(smoke)
+    rounds = 2
+    stream = build_fleet_stream(schemas, rounds)
+    expected = run_single_session_serial(stream)
+
+    cache_dir = tempfile.mkdtemp(prefix="bench-fleet-restart-")
+    try:
+        warm = asyncio.run(_run_fleet_restart(stream, schemas, cache_dir))
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    cold = asyncio.run(_run_fleet_restart(stream, schemas, None))
+    assert warm["decisions"] == expected, "warm fleet diverged"
+    assert cold["decisions"] == expected, "cold fleet diverged"
+    # The warm pass must be served entirely from caches — the restarted
+    # worker's shard from the durable store, the survivor's from its
+    # in-memory LRU; any recompute shows up as an uncached response.
+    assert warm["cached_responses"] == len(stream), (
+        f"warm restart recomputed: {warm['cached_responses']} of "
+        f"{len(stream)} responses cached"
+    )
+
+    speedup = (
+        cold["pass_seconds"] / warm["pass_seconds"]
+        if warm["pass_seconds"]
+        else float("inf")
+    )
+    print(
+        f"  fleet worker-kill restart: cold pass "
+        f"{cold['pass_seconds'] * 1000:9.2f} ms   warm pass "
+        f"{warm['pass_seconds'] * 1000:9.2f} ms   {speedup:5.1f}x "
+        f"(shared --cache-dir, {len(schemas)} fingerprints)"
+    )
+    return BenchRecord(
+        "fleet-worker-kill-warm-restart",
+        warm["pass_seconds"],
+        1,
+        {
+            "baseline_seconds": cold["pass_seconds"],
+            "speedup": round(speedup, 2),
+            "requests": len(stream),
+            "fingerprints": len(schemas),
+            "workers": FLEET_RESTART_WORKERS,
+            "clients": FLEET_CLIENTS,
+            "readmit_seconds_warm": round(warm["readmit_seconds"], 3),
+            "readmit_seconds_cold": round(cold["readmit_seconds"], 3),
+            "cached_responses_warm": warm["cached_responses"],
+            "cached_responses_cold": cold["cached_responses"],
+            "mode": "warm-restart-fleet",
+            "baseline": "the identical SIGKILL + re-admit cycle with no "
+            "--cache-dir: the replacement worker recompiles every "
+            "fingerprint of its shard on first touch, while the warm "
+            "side re-admits from the shared store and serves its shard "
+            "as durable cache hits",
+        },
+    )
+
+
 def _percentile(sorted_values: list[float], fraction: float) -> float:
     index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
     return sorted_values[index]
@@ -472,6 +650,9 @@ def main(argv: list[str] | None = None) -> None:
     # Fleet scaling: N supervised worker processes behind the
     # consistent-hash dispatcher vs one.
     fleet_record = run_fleet_scaling(args.smoke)
+    # Worker-kill warm restart: a SIGKILLed worker re-serving its shard
+    # from the shared durable store vs recompiling it from scratch.
+    restart_record = run_fleet_restart(args.smoke)
     # Degraded mode: the well-behaved cohort's latency with a hostile
     # slow client attached, with and without per-client quotas.
     unquotaed = asyncio.run(_run_degraded(args.smoke, quotas=False))
@@ -506,6 +687,7 @@ def main(argv: list[str] | None = None) -> None:
             },
         ),
         fleet_record,
+        restart_record,
         BenchRecord(
             "degraded-mode-hostile-client",
             p99_on,

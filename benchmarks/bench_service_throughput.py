@@ -112,6 +112,103 @@ def _family(
     )
 
 
+def _normalized(response) -> str:
+    payload = response.to_dict()
+    payload.pop("elapsed_ms", None)
+    payload.pop("cached", None)
+    return json.dumps(payload, sort_keys=True)
+
+
+def _warm_restart_family(name: str, cases) -> BenchRecord:
+    """Cold vs warm restart: first-pass latency over a durable store.
+
+    ``cases`` is a list of ``(schema, queries)`` pairs — the working
+    set a serving process held before it went down.  Both sides model
+    the *restart*: fresh `Session`s over freshly compiled schemas,
+    nothing carried over in memory.  The cold side recomputes every
+    decision; the warm side reopens the cache directory the previous
+    "process" populated and serves the same queries from the
+    decision/rewrite tiers.  The timed region is the full restart
+    cost: store open (warm side only), schema compiles, and the first
+    pass over every query.
+    """
+    import shutil
+    import tempfile
+
+    from repro.cache import open_directory
+
+    total = sum(len(queries) for __, queries in cases)
+
+    # Oracle first: persisted-then-loaded must be byte-identical to a
+    # storeless fresh session (minus timing/cache markers) — the
+    # equivalence gate, asserted in the benchmark itself.
+    def run_pass(store):
+        outputs = []
+        durable_hits = 0
+        for schema, queries in cases:
+            session = Session(compile_schema(schema), store=store)
+            outputs += [
+                _normalized(session.decide(query)) for query in queries
+            ]
+            durable_hits += getattr(session, "durable_hits", 0)
+        return outputs, durable_hits
+
+    fresh, __ = run_pass(None)
+    workdir = tempfile.mkdtemp(prefix="bench-warm-restart-")
+    try:
+        store = open_directory(workdir)
+        written, __ = run_pass(store)
+        store.close()
+        assert written == fresh, f"store write changed answers in {name}"
+
+        reopened = open_directory(workdir)
+        try:
+            loaded, durable_hits = run_pass(reopened)
+            assert durable_hits == total, (
+                f"{name}: expected every decision from the store, got "
+                f"{durable_hits}/{total} durable hits"
+            )
+        finally:
+            reopened.close()
+        assert loaded == fresh, f"persisted/fresh disagree in {name}"
+
+        def cold() -> None:
+            run_pass(None)
+
+        def warm() -> None:
+            restart_store = open_directory(workdir)
+            try:
+                run_pass(restart_store)
+            finally:
+                restart_store.close()
+
+        cold_seconds = min(_timed(cold) for __ in range(4))
+        warm_seconds = min(_timed(warm) for __ in range(4))
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    speedup = cold_seconds / warm_seconds if warm_seconds else float("inf")
+    print(
+        f"  {name:34} cold   {cold_seconds * 1000:9.2f} ms   "
+        f"warm    {warm_seconds * 1000:9.2f} ms   {speedup:6.1f}x"
+    )
+    return BenchRecord(
+        name,
+        warm_seconds,
+        4,
+        {
+            "baseline_seconds": cold_seconds,
+            "speedup": round(speedup, 2),
+            "queries": total,
+            "schemas": len(cases),
+            "repeats": 1,
+            "mode": "warm-restart",
+            "baseline": "fresh sessions with no store: every decision "
+            "recomputed after the restart (the warm side reopens the "
+            "durable cache and serves the identical answers from it)",
+        },
+    )
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(prog="bench_service_throughput")
     parser.add_argument(
@@ -199,6 +296,26 @@ def main(argv: list[str] | None = None) -> None:
             chain_queries,
             repeats=2,
             serialize=True,
+        ),
+        # Durable-store warm restarts: a fresh process over a reopened
+        # cache directory vs the same fresh process recomputing — the
+        # headline number of the persistence tier.  Agreement between
+        # persisted and fresh answers is asserted inside the family.
+        _warm_restart_family(
+            "warm-restart-repeated-mix",
+            # The four repeated-query families above, restarted as one
+            # working set: a multi-fingerprint store serving each
+            # schema's hot query from the decision tier.
+            [
+                (university_schema(ud_bound=100), [query_q2()]),
+                (fd_views.schema, [fd_views.query]),
+                (uid_fd.schema, [uid_fd.query]),
+                (tgd_transfer.schema, [tgd_transfer.query]),
+            ],
+        ),
+        _warm_restart_family(
+            f"warm-restart-id-chain-{id_depth}",
+            [(id_chain_schema, id_chain_queries)],
         ),
     ]
     from pathlib import Path

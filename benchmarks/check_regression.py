@@ -20,6 +20,9 @@ working-tree file:
   median ≥ `CLOSURE_SPEEDUP_FLOOR` (2×) across the transitive-closure
   family — the interned-executor speedup is a same-run, same-host
   ratio, so it is gated absolutely, not against the committed copy;
+* the service artifact must record ``warm-restart`` workloads whose
+  best cold-vs-warm ratio stays ≥ `WARM_RESTART_SPEEDUP_FLOOR` (5×) —
+  same-run, same-host, so gated absolutely as well;
 * a workload recorded in the committed file but absent from the fresh
   run is an error (silently dropped coverage reads as "no regression").
 
@@ -41,6 +44,13 @@ ROOT = Path(__file__).resolve().parent.parent
 #: the transitive-closure family (median over the family's sizes — the
 #: smallest point sits near the crossover and is noise-dominated).
 CLOSURE_SPEEDUP_FLOOR = 2.0
+
+#: A warm restart over the durable store must stay ≥5× faster than the
+#: cold restart on the best service family (gated absolutely — it is a
+#: same-run, same-host ratio, like the closure gate; the per-family
+#: ratios are additionally gated against the committed copy by the
+#: generic ``speedup`` comparison above).
+WARM_RESTART_SPEEDUP_FLOOR = 5.0
 
 
 def committed_version(path: Path) -> dict | None:
@@ -129,6 +139,37 @@ def check_closure_speedup(fresh: dict):
         )
 
 
+def check_warm_restart(fresh: dict):
+    """Gate the service artifact's cold-vs-warm restart families.
+
+    Yields (workload, message) when the fresh run records no
+    ``warm-restart`` workloads (a regenerated artifact that stopped
+    measuring the restart must not silently pass) or when the best
+    family's cold/warm ratio falls below `WARM_RESTART_SPEEDUP_FLOOR`.
+    """
+    restarts = [
+        w
+        for w in fresh.get("workloads", [])
+        if w.get("mode") == "warm-restart"
+    ]
+    if not restarts:
+        yield "warm-restart", (
+            "no warm-restart workloads in the fresh service artifact "
+            "(the durable-store restart was not measured)"
+        )
+        return
+    best = max(w.get("speedup", 0.0) for w in restarts)
+    if best < WARM_RESTART_SPEEDUP_FLOOR:
+        yield "warm-restart", (
+            f"best cold-vs-warm restart speedup {best}x fell below the "
+            f"{WARM_RESTART_SPEEDUP_FLOOR}x floor (families: "
+            + ", ".join(
+                f"{w['name']}={w.get('speedup')}x" for w in restarts
+            )
+            + ")"
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="check_regression")
     parser.add_argument(
@@ -169,6 +210,10 @@ def main(argv: list[str] | None = None) -> int:
             failures += 1
         if path.name == "BENCH_chase.json":
             for workload, message in check_closure_speedup(fresh):
+                print(f"REGRESSION {path.name} :: {workload}: {message}")
+                failures += 1
+        if path.name == "BENCH_service.json":
+            for workload, message in check_warm_restart(fresh):
                 print(f"REGRESSION {path.name} :: {workload}: {message}")
                 failures += 1
         checked += 1

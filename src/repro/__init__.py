@@ -63,6 +63,10 @@ Package map (details in DESIGN.md):
   simplifications, per-class deciders, linearization, plan generation;
 * `repro.service` — compiled schemas, sessions, decision caching (the
   serving layer the CLI and batch mode sit on);
+* `repro.cache` — the durable persistence tier: fingerprint-addressed
+  SQLite/memory key-value stores, versioned artifact envelopes
+  (decisions, rewrite expansions, precompiled-schema bundles), warm
+  restarts (DESIGN.md §2b);
 * `repro.runtime` — request budgets: deadlines, cooperative
   cancellation, the retryable `DeadlineExceeded`/`Overloaded` errors;
 * `repro.server` — the serving front end: per-fingerprint session
@@ -92,6 +96,16 @@ from .constraints import (
     inclusion_dependency,
     parse_fd,
     tgd,
+)
+from .cache import (
+    ArtifactStore,
+    CacheError,
+    KVStore,
+    MemoryKVStore,
+    SQLiteKVStore,
+    WarmupError,
+    open_directory,
+    write_bundle,
 )
 from .containment import Decision, Truth, contains, linear_contains
 from .chase import ChaseOutcome, chase
@@ -133,9 +147,11 @@ from .service import (
     schema_fingerprint,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
+    "ArtifactStore", "CacheError", "KVStore", "MemoryKVStore",
+    "SQLiteKVStore", "WarmupError", "open_directory", "write_bundle",
     "AnswerabilityResult", "UniversalPlan", "choice_simplification",
     "decide_monotone_answerability", "existence_check_simplification",
     "fd_simplification", "find_amondet_counterexample",

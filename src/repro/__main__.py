@@ -66,7 +66,6 @@ from .io import (
     ReadyFrame,
     load_query,
     load_schema,
-    load_warm_manifest,
     schema_to_dict,
 )
 from .server import (
@@ -132,6 +131,18 @@ def _build_parser() -> argparse.ArgumentParser:
             "every setting)",
         )
 
+    def add_cache_dir(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="directory for the durable artifact cache (a shared "
+            "SQLite store): decisions, rewrite expansions, and warmed "
+            "schemas persist across restarts and are shared between "
+            "concurrent workers; corruption or version drift degrades "
+            "to recompute, never to an error (default: no persistence)",
+        )
+
     decide = commands.add_parser(
         "decide", help="decide monotone answerability"
     )
@@ -148,6 +159,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="emit the DecideResponse as JSON instead of text",
     )
     add_limits(decide)
+    add_cache_dir(decide)
 
     plan = commands.add_parser(
         "plan", help="extract a static plan for an answerable query"
@@ -160,6 +172,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="emit the PlanResponse as JSON instead of text",
     )
     add_limits(plan)
+    add_cache_dir(plan)
 
     batch = commands.add_parser(
         "batch",
@@ -179,6 +192,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "line on stderr",
     )
     add_limits(batch)
+    add_cache_dir(batch)
 
     serve = commands.add_parser(
         "serve",
@@ -235,10 +249,11 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="MANIFEST",
         help="fingerprint warmup manifest (JSON: a 'schemas' list of "
-        "inline schema objects or paths); every entry is precompiled "
-        "into the session pool before the readiness line is emitted, "
-        "so warmed fingerprints never pay first-request compile "
-        "latency",
+        "inline schema objects or paths) or a precompiled bundle "
+        "written by repro.cache.write_bundle; every entry is "
+        "precompiled into the session pool before the readiness line "
+        "is emitted, so warmed fingerprints never pay first-request "
+        "compile latency",
     )
 
     def add_serving_options(subparser: argparse.ArgumentParser) -> None:
@@ -295,6 +310,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     add_serving_options(serve)
     add_limits(serve)
+    add_cache_dir(serve)
 
     supervise = commands.add_parser(
         "supervise",
@@ -327,10 +343,11 @@ def _build_parser() -> argparse.ArgumentParser:
             "--warm",
             default=None,
             metavar="MANIFEST",
-            help="fingerprint warmup manifest each worker precompiles "
-            "before reporting ready (and, in a fleet, before joining "
-            "the ring)",
+            help="fingerprint warmup manifest or precompiled bundle "
+            "each worker loads before reporting ready (and, in a "
+            "fleet, before joining the ring)",
         )
+        add_cache_dir(subparser)
         subparser.add_argument(
             "--max-crashes",
             type=int,
@@ -454,6 +471,27 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _open_store(args: argparse.Namespace):
+    """The durable `ArtifactStore` behind ``--cache-dir`` (None when
+    the flag is unset).  An unusable cache directory degrades to cold
+    operation with a stderr warning — persistence is an accelerant,
+    never a liveness dependency."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is None:
+        return None
+    from .cache import CacheError, open_directory
+
+    try:
+        return open_directory(cache_dir)
+    except CacheError as error:
+        print(
+            f"warning: cache disabled: {error}",
+            file=sys.stderr,
+            flush=True,
+        )
+        return None
+
+
 def _session(args: argparse.Namespace) -> Session:
     return Session(
         load_schema(args.schema),
@@ -462,12 +500,24 @@ def _session(args: argparse.Namespace) -> Session:
         max_disjuncts=args.max_disjuncts,
         subsumption=not args.no_subsumption,
         chase_parallelism=args.chase_parallelism,
+        store=_open_store(args),
     )
+
+
+def _close_store(owner) -> None:
+    store = getattr(owner, "store", None)
+    if store is not None:
+        store.close()
 
 
 def _cmd_decide(args: argparse.Namespace) -> int:
     session = _session(args)
-    response = session.decide(load_query(args.query), finite=args.finite)
+    try:
+        response = session.decide(
+            load_query(args.query), finite=args.finite
+        )
+    finally:
+        _close_store(session)
     if args.json:
         print(json.dumps(response.to_dict()))
     else:
@@ -483,7 +533,10 @@ def _cmd_decide(args: argparse.Namespace) -> int:
 
 def _cmd_plan(args: argparse.Namespace) -> int:
     session = _session(args)
-    response = session.plan(load_query(args.query))
+    try:
+        response = session.plan(load_query(args.query))
+    finally:
+        _close_store(session)
     if args.json:
         print(json.dumps(response.to_dict()))
         return 0 if response.answerable else 1
@@ -514,6 +567,7 @@ def _pool(args: argparse.Namespace, *, pool_size: int) -> SessionPool:
         max_fingerprints=getattr(
             args, "max_fingerprints", DEFAULT_MAX_FINGERPRINTS
         ),
+        store=_open_store(args),
     )
 
 
@@ -552,19 +606,33 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             lines.close()
     if args.stats:
         print(json.dumps(pool.stats()), file=sys.stderr, flush=True)
+    _close_store(pool)
     return 1 if failures else 0
 
 
-def _warm_pool(pool: SessionPool, manifest: str | None) -> int:
-    """Precompile every manifest schema into the pool; returns the
-    count (the readiness frame reports it)."""
-    if manifest is None:
-        return 0
+def _warm_pool(
+    pool: SessionPool, manifest: str | None
+) -> tuple[int, str | None]:
+    """Precompile the warm set into the pool: the ``--warm`` manifest
+    or bundle (when given) plus whatever warm set a bound durable
+    store remembers from previous runs.  Returns ``(warmed count,
+    typed error text or None)`` — a bad warm source degrades to cold
+    serving with the error surfaced on the readiness frame, it does
+    not kill the worker."""
+    from .cache import WarmupError, load_warm_source
+
     warmed = 0
-    for description in load_warm_manifest(manifest):
-        pool.warm(description)
-        warmed += 1
-    return warmed
+    warm_error: str | None = None
+    if manifest is not None:
+        try:
+            descriptions = load_warm_source(manifest)
+        except WarmupError as error:
+            warm_error = str(error)
+        else:
+            warmed += len(pool.warm_many(descriptions))
+    if pool.store is not None:
+        warmed += pool.warm_from_store()
+    return warmed, warm_error
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -573,7 +641,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
     pool = _pool(args, pool_size=args.pool_size)
-    warmed = _warm_pool(pool, getattr(args, "warm", None))
+    warmed, warm_error = _warm_pool(pool, getattr(args, "warm", None))
+    if warm_error is not None:
+        print(
+            f"warning: warmup failed, serving cold: {warm_error}",
+            file=sys.stderr,
+            flush=True,
+        )
 
     async def serve() -> None:
         server = DecideServer(
@@ -616,7 +690,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(
             json.dumps(
                 ReadyFrame(
-                    host=host, port=port, pid=os.getpid(), warmed=warmed
+                    host=host,
+                    port=port,
+                    pid=os.getpid(),
+                    warmed=warmed,
+                    warm_error=warm_error,
                 ).to_dict()
             ),
             flush=True,
@@ -638,6 +716,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 flush=True,
             )
             await server.close(drain_timeout=args.drain_timeout)
+            _close_store(pool)
             print("shutdown complete", file=sys.stderr, flush=True)
 
     try:
@@ -678,6 +757,8 @@ def _worker_serve_args(
         ]
     if args.shed_after is not None:
         argv += ["--shed-after", str(args.shed_after)]
+    if getattr(args, "cache_dir", None) is not None:
+        argv += ["--cache-dir", str(args.cache_dir)]
     return tuple(argv)
 
 

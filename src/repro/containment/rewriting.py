@@ -302,6 +302,11 @@ class RewriteEngine:
         self._expansions: dict[State, tuple[State, ...]] = {}
         #: initial canonical state -> (frontier size, emitted disjuncts).
         self._results: dict[State, tuple[int, tuple[State, ...]]] = {}
+        #: optional durable tier behind the whole-result memo
+        #: (`bind_store`): misses fall through to it before the BFS,
+        #: complete results are written through after the memo.
+        self._store = None
+        self._store_namespace = ""
         self._lock = threading.RLock()
         self._counters = {
             "rewrites": 0,
@@ -315,6 +320,8 @@ class RewriteEngine:
             "disjuncts_deduped": 0,
             "subsumption_checks": 0,
             "disjuncts_subsumed": 0,
+            "persisted_loads": 0,
+            "persisted_writes": 0,
         }
 
     @property
@@ -323,6 +330,60 @@ class RewriteEngine:
         are dropped.  Fixed at construction (memoized results do not
         record which setting produced them)."""
         return self._subsumption
+
+    def bind_store(self, store, namespace: str) -> None:
+        """Attach a durable artifact store behind the result memo.
+
+        ``namespace`` must separate engines that would disagree — the
+        binder (`CompiledSchema`) derives it from the schema fingerprint
+        and the subsumption flag, the two construction inputs a result
+        depends on.  Persistence is strictly advisory: loads that fail
+        to decode are misses, writes that fail are dropped.
+        """
+        with self._lock:
+            self._store = store
+            self._store_namespace = namespace
+
+    def _load_persisted(
+        self, start: State
+    ) -> Optional[tuple[int, tuple[State, ...]]]:
+        from ..cache import codec
+
+        payload = self._store.load(
+            "rewrite", self._store_namespace, codec.state_key(start)
+        )
+        if not isinstance(payload, dict):
+            return None
+        frontier_size = payload.get("frontier")
+        wire = payload.get("disjuncts")
+        if not isinstance(frontier_size, int) or not isinstance(wire, list):
+            return None
+        try:
+            # The stored states are the exact canonical disjuncts a
+            # previous `_emit` produced, digest-protected by the
+            # envelope; decoding reconstructs them verbatim (order
+            # included) so replayed decisions are byte-identical.
+            disjuncts = tuple(codec.decode_state(entry) for entry in wire)
+        except ValueError:
+            return None
+        return (frontier_size, disjuncts)
+
+    def _persist_result(
+        self, start: State, frontier_size: int, disjuncts: tuple[State, ...]
+    ) -> None:
+        from ..cache import codec
+
+        try:
+            wire = [codec.encode_state(state) for state in disjuncts]
+        except codec.UnencodableValue:
+            return
+        if self._store.store(
+            "rewrite",
+            self._store_namespace,
+            codec.state_key(start),
+            {"frontier": frontier_size, "disjuncts": wire},
+        ):
+            self._counters["persisted_writes"] += 1
 
     @staticmethod
     def _reserved(rule: TGD, index: int) -> TGD:
@@ -643,6 +704,11 @@ class RewriteEngine:
             self._counters["rewrites"] += 1
             start = canonical_state(query.atoms)
             cached = self._results.get(start)
+            if cached is None and self._store is not None:
+                cached = self._load_persisted(start)
+                if cached is not None:
+                    self._results[start] = cached
+                    self._counters["persisted_loads"] += 1
             if cached is not None:
                 frontier_size, disjuncts = cached
                 self._counters["result_hits"] += 1
@@ -667,6 +733,8 @@ class RewriteEngine:
                 self._counters["states"] += len(frontier)
                 disjuncts = self._emit(frontier, budget)
                 self._results[start] = (len(frontier), disjuncts)
+                if self._store is not None:
+                    self._persist_result(start, len(frontier), disjuncts)
         return UnionOfConjunctiveQueries(
             tuple(
                 ConjunctiveQuery(atoms, (), f"{query.name}_rw{i}")

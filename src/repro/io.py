@@ -170,21 +170,16 @@ def load_warm_manifest(path: Union[str, Path]) -> list[dict[str, Any]]:
             f"warm manifest {manifest_path}: expected an object or array, "
             f"got {type(payload).__name__}"
         )
-    descriptions: list[dict[str, Any]] = []
-    for index, entry in enumerate(entries):
-        if isinstance(entry, str):
-            candidate = Path(entry)
-            if not candidate.is_absolute():
-                candidate = manifest_path.parent / candidate
-            entry = schema_to_dict(load_schema(candidate))
-        if not isinstance(entry, dict):
-            raise SchemaFormatError(
-                f"warm manifest {manifest_path}: entry {index} must be "
-                f"a schema object or path, got {type(entry).__name__}"
-            )
-        schema_from_dict(entry)  # validate eagerly
-        descriptions.append(entry)
-    return descriptions
+    # One validation path with the bundle loader: every entry is
+    # resolved and eagerly parsed by the shared validator, so both warm
+    # sources fail identically (with the typed `WarmupError`).
+    from .cache.bundle import validate_schema_entries
+
+    return validate_schema_entries(
+        entries,
+        f"warm manifest {manifest_path}",
+        base_dir=manifest_path.parent,
+    )
 
 
 def schema_to_dict(schema: Schema) -> dict[str, Any]:
@@ -562,6 +557,10 @@ class ReadyFrame:
     workers: Optional[int] = None
     #: Schemas precompiled from the warmup manifest before readiness.
     warmed: int = 0
+    #: Typed warm-source failure (`repro.cache.WarmupError` text): the
+    #: process started *cold* but alive — supervisors surface this in
+    #: stats instead of the worker crashing at startup.
+    warm_error: Optional[str] = None
 
     def to_dict(self) -> dict[str, Any]:
         ready: dict[str, Any] = {
@@ -574,6 +573,8 @@ class ReadyFrame:
             ready["workers"] = self.workers
         if self.warmed:
             ready["warmed"] = self.warmed
+        if self.warm_error:
+            ready["warm_error"] = self.warm_error
         return {"ready": ready}
 
     @staticmethod
@@ -586,6 +587,7 @@ class ReadyFrame:
             role=ready.get("role", "serve"),
             workers=ready.get("workers"),
             warmed=int(ready.get("warmed", 0)),
+            warm_error=ready.get("warm_error"),
         )
 
     @staticmethod

@@ -29,15 +29,22 @@ import dataclasses
 import json
 import threading
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Optional, Union
+from typing import Any, Iterable, Optional, Union
 
 from ..answerability.deciders import (
     DEFAULT_CHASE_FACTS,
     DEFAULT_CHASE_ROUNDS,
 )
 from ..containment.rewriting import DEFAULT_MAX_DISJUNCTS
-from ..io import DecideRequest, DecideResponse, PlanResponse, schema_from_dict
+from ..io import (
+    DecideRequest,
+    DecideResponse,
+    PlanResponse,
+    schema_from_dict,
+    schema_to_dict,
+)
 from ..runtime import Budget
 from ..schema.schema import Schema
 from ..service import CompiledSchema, Session, as_compiled
@@ -67,7 +74,9 @@ class SessionLimits:
     #: is capped at this value when both are set.
     deadline_ms: Optional[float] = None
 
-    def make_session(self, compiled: CompiledSchema) -> Session:
+    def make_session(
+        self, compiled: CompiledSchema, *, store=None
+    ) -> Session:
         return Session(
             compiled,
             max_rounds=self.max_rounds,
@@ -76,6 +85,7 @@ class SessionLimits:
             subsumption=self.subsumption,
             chase_parallelism=self.chase_parallelism,
             cache_size=self.cache_size,
+            store=store,
         )
 
 
@@ -92,11 +102,13 @@ class _Entry:
         self.cursor = 0
         self.requests = 0
 
-    def next_session(self, limits: SessionLimits, pool_size: int) -> Session:
+    def next_session(
+        self, limits: SessionLimits, pool_size: int, store=None
+    ) -> Session:
         """Round-robin across the slice, growing it until full."""
         self.requests += 1
         if len(self.sessions) < pool_size:
-            session = limits.make_session(self.compiled)
+            session = limits.make_session(self.compiled, store=store)
             self.sessions.append(session)
             return session
         self.cursor = (self.cursor + 1) % len(self.sessions)
@@ -109,7 +121,7 @@ class _Entry:
         cache = {"hits": 0, "misses": 0, "size": 0, "capacity": 0}
         for session in self.sessions:
             for key, value in session.cache_info().items():
-                cache[key] += value
+                cache[key] = cache.get(key, 0) + value
         return {
             "fingerprint": self.compiled.fingerprint,
             "requests": self.requests,
@@ -145,6 +157,7 @@ class SessionPool:
         limits: Optional[SessionLimits] = None,
         pool_size: int = DEFAULT_POOL_SIZE,
         max_fingerprints: int = DEFAULT_MAX_FINGERPRINTS,
+        store=None,
     ) -> None:
         if pool_size < 1:
             raise ValueError(f"pool_size must be >= 1, got {pool_size}")
@@ -155,6 +168,11 @@ class SessionPool:
         self.limits = limits if limits is not None else SessionLimits()
         self.pool_size = pool_size
         self.max_fingerprints = max_fingerprints
+        #: Optional durable `repro.cache.ArtifactStore` shared by every
+        #: session and compiled schema this pool creates; compiled
+        #: fingerprints are recorded into the store's warm set so a
+        #: restarted process can `warm_from_store()`.
+        self.store = store
         self._lock = threading.RLock()
         #: fingerprint -> entry, in LRU order (hot end last).
         self._entries: OrderedDict[str, _Entry] = OrderedDict()
@@ -187,11 +205,28 @@ class SessionPool:
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    def _compile(self, schema: Union[dict, Schema, CompiledSchema]):
+    @staticmethod
+    def _build(schema: Union[dict, Schema, CompiledSchema]) -> CompiledSchema:
+        """Counter-free compilation (runs outside the lock in
+        `warm_many`; `_compile` adds the accounting)."""
         if isinstance(schema, dict):
             schema = schema_from_dict(schema)
-        compiled = as_compiled(schema)
+        return as_compiled(schema)
+
+    def _register_store(self, compiled: CompiledSchema) -> None:
+        if self.store is None:
+            return
+        compiled.bind_store(self.store)
+        from ..cache.bundle import record_warm_schema
+
+        record_warm_schema(
+            self.store, compiled.fingerprint, schema_to_dict(compiled.schema)
+        )
+
+    def _compile(self, schema: Union[dict, Schema, CompiledSchema]):
+        compiled = self._build(schema)
         self._counters["schemas_compiled"] += 1
+        self._register_store(compiled)
         return compiled
 
     def _remember_text_key(self, text_key: str, fingerprint: str) -> None:
@@ -200,7 +235,11 @@ class SessionPool:
         while len(self._text_keys) > self._max_text_keys:
             self._text_keys.popitem(last=False)
 
-    def _entry_for(self, schema: SchemaLike) -> _Entry:
+    def _entry_for(
+        self,
+        schema: SchemaLike,
+        precompiled: Optional[CompiledSchema] = None,
+    ) -> _Entry:
         if schema is None:
             if self._default is None:
                 raise ValueError(
@@ -224,7 +263,14 @@ class SessionPool:
                     self._counters["text_key_hits"] += 1
                     self._entries.move_to_end(fingerprint)
                     return entry
-        compiled = self._compile(schema)
+        if precompiled is not None:
+            # `warm_many` already built this schema outside the lock;
+            # account for the compile exactly as `_compile` would have.
+            compiled = precompiled
+            self._counters["schemas_compiled"] += 1
+            self._register_store(compiled)
+        else:
+            compiled = self._compile(schema)
         if (
             self._default is not None
             and compiled.fingerprint == self._default.compiled.fingerprint
@@ -264,12 +310,19 @@ class SessionPool:
             self._counters["requests"] += 1
             entry = self._entry_for(schema)
             before = len(entry.sessions)
-            session = entry.next_session(self.limits, self.pool_size)
+            session = entry.next_session(
+                self.limits, self.pool_size, self.store
+            )
             if len(entry.sessions) != before:
                 self._counters["sessions_created"] += 1
             return session
 
-    def warm(self, schema: SchemaLike) -> str:
+    def warm(
+        self,
+        schema: SchemaLike,
+        *,
+        precompiled: Optional[CompiledSchema] = None,
+    ) -> str:
         """Precompile ``schema`` into the pool without serving a
         request; returns the content fingerprint.
 
@@ -284,14 +337,106 @@ class SessionPool:
         if schema is None:
             raise ValueError("cannot warm None (the default is always hot)")
         with self._lock:
-            entry = self._entry_for(schema)
+            entry = self._entry_for(schema, precompiled)
             if not entry.sessions:
                 entry.sessions.append(
-                    self.limits.make_session(entry.compiled)
+                    self.limits.make_session(
+                        entry.compiled, store=self.store
+                    )
                 )
                 self._counters["sessions_created"] += 1
             self._counters["warmed"] += 1
             return entry.compiled.fingerprint
+
+    def warm_many(
+        self,
+        schemas: Iterable[SchemaLike],
+        *,
+        parallelism: int = 4,
+    ) -> list[str]:
+        """Warm a batch of schemas, compiling across a thread pool.
+
+        Per-fingerprint compiles are independent, so warm-source
+        preloading need not serialize startup.  The counter trajectory
+        is kept *byte-exact* with a sequential ``warm()`` loop: the
+        pool lock is held only to (a) decide which entries actually
+        need a compile and (b) register results in input order; the
+        compiles themselves — the expensive part — run unlocked in the
+        pool.  Duplicate spellings compile once (the second occurrence
+        registers as a ``text_key_hits`` lookup, exactly as it would
+        sequentially); distinct spellings of one fingerprint each
+        compile and the later ones count ``fingerprint_hits``.
+        """
+        schemas = list(schemas)
+        if any(schema is None for schema in schemas):
+            raise ValueError("cannot warm None (the default is always hot)")
+        if not schemas:
+            return []
+        if parallelism <= 1 or len(schemas) == 1:
+            return [self.warm(schema) for schema in schemas]
+        # Phase 1: under the lock, find the entries needing a compile.
+        # Dicts are keyed by spelling (so in-batch duplicates compile
+        # once); non-dict schemas always take the compile path, exactly
+        # like sequential warm().
+        to_compile: "OrderedDict[Any, SchemaLike]" = OrderedDict()
+        keys: list[Any] = []
+        with self._lock:
+            for index, schema in enumerate(schemas):
+                key: Any = index
+                if isinstance(schema, CompiledSchema):
+                    keys.append(None)  # passthrough, no build needed
+                    continue
+                if isinstance(schema, dict):
+                    text_key = json.dumps(schema, sort_keys=True)
+                    key = ("text", text_key)
+                    fingerprint = self._text_keys.get(text_key)
+                    if fingerprint is not None and (
+                        (
+                            self._default is not None
+                            and fingerprint
+                            == self._default.compiled.fingerprint
+                        )
+                        or fingerprint in self._entries
+                    ):
+                        keys.append(None)  # live: registration will hit
+                        continue
+                keys.append(key)
+                to_compile.setdefault(key, schema)
+        compiled_by_key: dict[Any, CompiledSchema] = {}
+        if to_compile:
+            workers = max(1, min(parallelism, len(to_compile)))
+            with ThreadPoolExecutor(max_workers=workers) as executor:
+                futures = {
+                    key: executor.submit(self._build, schema)
+                    for key, schema in to_compile.items()
+                }
+                for key, future in futures.items():
+                    compiled_by_key[key] = future.result()
+        # Phase 2: register in input order under the lock.
+        return [
+            self.warm(
+                schema, precompiled=compiled_by_key.get(keys[index])
+            )
+            for index, schema in enumerate(schemas)
+        ]
+
+    def warm_from_store(self, *, parallelism: int = 4) -> int:
+        """Re-warm every schema in the bound store's warm set.
+
+        The warm set is written as a side effect of compiling with a
+        store bound, so a restarted process recovers its working set
+        without any manifest.  Invalid/stale entries are skipped by the
+        loader; returns the number of schemas warmed.
+        """
+        if self.store is None:
+            return 0
+        from ..cache.bundle import load_warm_set
+
+        descriptions = load_warm_set(self.store)
+        if not descriptions:
+            return 0
+        self.warm_many(descriptions, parallelism=parallelism)
+        return len(descriptions)
 
     def _record_heat(self, fingerprint: str, *, cached: bool) -> None:
         with self._lock:
@@ -373,7 +518,7 @@ class SessionPool:
             entries = list(self._entries.values())
             if self._default is not None:
                 entries.insert(0, self._default)
-            return {
+            payload = {
                 "fingerprints": len(entries),
                 "pool_size": self.pool_size,
                 "max_fingerprints": self.max_fingerprints,
@@ -394,6 +539,11 @@ class SessionPool:
                 },
                 "sessions": [entry.stats() for entry in entries],
             }
+            if self.store is not None:
+                # Per-tier hit/miss/write/invalid counters of the
+                # durable artifact store (shared across fingerprints).
+                payload["store"] = self.store.stats()
+            return payload
 
     def fingerprints(self) -> tuple[str, ...]:
         """Live fingerprints, cold to hot (default first when pinned)."""

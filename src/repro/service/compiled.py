@@ -79,6 +79,7 @@ class CompiledSchema:
         self.has_result_bounds = bool(self.result_bounded_methods)
         self.stats: dict[str, int] = {}
         self._artifacts: dict[str, Any] = {}
+        self._store = None
         self._lock = threading.RLock()
 
     @property
@@ -95,6 +96,27 @@ class CompiledSchema:
                 self.stats[key] = self.stats.get(key, 0) + 1
                 self._artifacts[key] = build()
             return self._artifacts[key]
+
+    def bind_store(self, store) -> None:
+        """Attach a durable `repro.cache.ArtifactStore`.
+
+        Rewrite engines built by this compiled schema (existing and
+        future) get the store bound behind their result memo, under a
+        namespace derived from the fingerprint and the subsumption flag
+        — the inputs a memoized result depends on.
+        """
+        with self._lock:
+            self._store = store
+            for key in ("rewrite-engine", "rewrite-engine:subsumption"):
+                engine = self._artifacts.get(key)
+                if engine is not None:
+                    engine.bind_store(
+                        store, self._rewrite_namespace(key.endswith("subsumption"))
+                    )
+
+    def _rewrite_namespace(self, subsumption: bool) -> str:
+        flavor = "sub" if subsumption else "nosub"
+        return f"rewrite:{self.fingerprint}:{flavor}"
 
     # ------------------------------------------------------------------
     # Frozen artifacts
@@ -160,14 +182,20 @@ class CompiledSchema:
         from ..containment.rewriting import RewriteEngine
 
         key = "rewrite-engine:subsumption" if subsumption else "rewrite-engine"
-        return self._artifact(
-            key,
-            lambda: RewriteEngine(
+
+        def build() -> "RewriteEngine":
+            engine = RewriteEngine(
                 self.linearization().rules,
                 matcher=self.matcher(),
                 subsumption=subsumption,
-            ),
-        )
+            )
+            if self._store is not None:
+                engine.bind_store(
+                    self._store, self._rewrite_namespace(subsumption)
+                )
+            return engine
+
+        return self._artifact(key, build)
 
     def engine_stats(self) -> dict:
         """Cache counters of the rewrite engine(s) ({} until one is built).

@@ -29,6 +29,7 @@ pruned UCQ is logically equivalent, so decisions are unchanged;
 from __future__ import annotations
 
 import copy
+import hashlib
 import threading
 import time
 from collections import OrderedDict
@@ -106,6 +107,7 @@ class Session:
         subsumption: bool = True,
         chase_parallelism: int = 0,
         cache_size: int = 1024,
+        store=None,
     ) -> None:
         self.compiled = as_compiled(schema)
         self.max_rounds = max_rounds
@@ -121,6 +123,17 @@ class Session:
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        #: Optional durable `repro.cache.ArtifactStore` behind the LRU:
+        #: decisions and plans are loaded through it on memory misses
+        #: and written through on fresh computes; the compiled schema's
+        #: rewrite engines persist their result memo into the same
+        #: store.  A decision's durable key includes every limit that
+        #: can change the answer, so two sessions only ever share
+        #: entries they would have computed identically.
+        self.store = store
+        self.durable_hits = 0
+        if store is not None:
+            self.compiled.bind_store(store)
 
     # ------------------------------------------------------------------
     @property
@@ -155,6 +168,55 @@ class Session:
                 self._cache.popitem(last=False)
 
     # ------------------------------------------------------------------
+    # Durable tier (load-through / write-through around the LRU)
+    # ------------------------------------------------------------------
+    def _durable_key(self, op: str, canon: str, finite: bool = False) -> str:
+        """Address of one decision in the durable store.
+
+        Besides the operation and the canonical query form, the key
+        folds in every session limit that can change the answer
+        (``max_rounds``/``max_facts``/``max_disjuncts``/``subsumption``)
+        — sessions under different limits never share durable entries.
+        ``chase_parallelism`` is deliberately excluded: results are
+        guaranteed identical for every setting.
+        """
+        text = "|".join(
+            (
+                op,
+                canon,
+                str(bool(finite)),
+                str(self.max_rounds),
+                str(self.max_facts),
+                str(self.max_disjuncts),
+                str(self.subsumption),
+            )
+        )
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def _durable_load(self, key_text: str, decode) -> Optional[Any]:
+        payload = self.store.load(
+            "decision", f"decision:{self.compiled.fingerprint}", key_text
+        )
+        if not isinstance(payload, dict):
+            return None
+        try:
+            response = decode(payload)
+        except (KeyError, TypeError, ValueError):
+            return None
+        if response.fingerprint != self.compiled.fingerprint:
+            return None
+        self.durable_hits += 1
+        return response
+
+    def _durable_put(self, key_text: str, response: Any) -> None:
+        self.store.store(
+            "decision",
+            f"decision:{self.compiled.fingerprint}",
+            key_text,
+            response.to_dict(),
+        )
+
+    # ------------------------------------------------------------------
     # Service verbs
     # ------------------------------------------------------------------
     def decide(
@@ -179,6 +241,15 @@ class Session:
         parsed = self._coerce(query)
         key = ("decide", canonical_query_key(parsed), finite)
         hit = self._cache_get(key)
+        durable_key: Optional[str] = None
+        if self.store is not None:
+            durable_key = self._durable_key("decide", key[1], finite)
+            if hit is None:
+                hit = self._durable_load(
+                    durable_key, DecideResponse.from_dict
+                )
+                if hit is not None:
+                    self._cache_put(key, hit)
         if hit is not None:
             # Fresh copy (detail included): callers may annotate the
             # response without poisoning the cache entry.  elapsed_ms is
@@ -222,14 +293,14 @@ class Session:
             else None,
         )
         if response.error is None:
-            self._cache_put(
-                key,
-                replace(
-                    response,
-                    detail=copy.deepcopy(response.detail),
-                    error=None,
-                ),
+            cacheable = replace(
+                response,
+                detail=copy.deepcopy(response.detail),
+                error=None,
             )
+            self._cache_put(key, cacheable)
+            if durable_key is not None:
+                self._durable_put(durable_key, cacheable)
         # Responses carrying a structured error (rewriting/chase budget
         # hits) are *not* cached: they reflect resource limits, not the
         # query, and must be recomputed — and rechecked against the
@@ -285,6 +356,13 @@ class Session:
         parsed = self._coerce(query)
         key = ("plan", canonical_query_key(parsed))
         hit = self._cache_get(key)
+        durable_key: Optional[str] = None
+        if self.store is not None:
+            durable_key = self._durable_key("plan", key[1])
+            if hit is None:
+                hit = self._durable_load(durable_key, PlanResponse.from_dict)
+                if hit is not None:
+                    self._cache_put(key, hit)
         if hit is not None:
             return replace(hit, cached=True, query=repr(parsed))
         if budget is not None:
@@ -325,7 +403,10 @@ class Session:
             )
         # Store a copy so caller attribute assignment cannot poison the
         # cache entry (all field values are immutable).
-        self._cache_put(key, replace(response))
+        cacheable = replace(response)
+        self._cache_put(key, cacheable)
+        if durable_key is not None:
+            self._durable_put(durable_key, cacheable)
         return response
 
     def explain(
@@ -354,25 +435,32 @@ class Session:
     # ------------------------------------------------------------------
     def cache_info(self) -> dict:
         with self._lock:
-            return {
+            info = {
                 "hits": self.hits,
                 "misses": self.misses,
                 "size": len(self._cache),
                 "capacity": self.cache_size,
             }
+            if self.store is not None:
+                info["durable_hits"] = self.durable_hits
+            return info
 
     def stats(self) -> dict:
         """Session-wide diagnostics: decision cache, per-schema compile
         counters, and the cross-query cache traffic of the rewrite
         engine and the compiled matcher (plan-cache and check-cache
-        hit counters)."""
-        return {
+        hit counters).  With a durable store bound, its per-tier
+        hit/miss/write/invalid counters appear under ``store``."""
+        report = {
             "fingerprint": self.compiled.fingerprint,
             "cache": self.cache_info(),
             "compile_stats": dict(self.compiled.stats),
             "rewrite_engine": self.compiled.engine_stats(),
             "matching": self.compiled.matcher_stats(),
         }
+        if self.store is not None:
+            report["store"] = self.store.stats()
+        return report
 
     def clear_cache(self) -> None:
         with self._lock:

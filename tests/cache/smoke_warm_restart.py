@@ -1,0 +1,123 @@
+"""CI smoke: a real serve → SIGTERM → restart cycle over one cache dir.
+
+Run directly (``PYTHONPATH=src python tests/cache/smoke_warm_restart.py``):
+starts ``python -m repro serve --cache-dir``, decides a request mix
+over two schema fingerprints, drains the server with SIGTERM, starts a
+*fresh* server process on the same cache directory, and asserts
+
+* the restarted server reports ``warmed > 0`` on its readiness line
+  (the warm set came back from the store, no ``--warm`` manifest);
+* every response after the restart is byte-identical to its
+  pre-restart counterpart (minus timing/cache markers);
+* the restarted server's ``op: stats`` shows durable decision-tier
+  hits > 0 — the answers came from the store, not recompute.
+
+Exit code 0 on success — the CI warm-restart step gates on it.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+
+from repro.io import schema_to_dict
+from repro.workloads import id_chain_workload, university_schema
+
+REQUESTS = [
+    {"query": "Q(n) :- Prof(i, n, 10000)", "id": "prof"},
+    {"query": "Q() :- Udirectory(i, a, p)", "id": "udir"},
+    {"query": "Q() :- R0(x)", "id": "chain", "schema": None},  # inline
+]
+
+
+def normalized(payload: dict) -> str:
+    payload = dict(payload)
+    payload.pop("elapsed_ms", None)
+    payload.pop("cached", None)
+    return json.dumps(payload, sort_keys=True)
+
+
+def start_server(schema_path: str, cache_dir: str) -> tuple:
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", schema_path,
+            "--port", "0", "--cache-dir", cache_dir,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    ready = json.loads(process.stdout.readline())["ready"]
+    return process, ready
+
+
+def rpc(port: int, frame: dict) -> dict:
+    with socket.create_connection(("127.0.0.1", port), timeout=60) as conn:
+        stream = conn.makefile("rw")
+        stream.write(json.dumps(frame) + "\n")
+        stream.flush()
+        return json.loads(stream.readline())
+
+
+def drive(port: int, chain_schema: dict) -> list:
+    responses = []
+    for request in REQUESTS:
+        frame = dict(request)
+        if "schema" in frame:
+            frame["schema"] = chain_schema
+        responses.append(rpc(port, frame))
+    return responses
+
+
+def main() -> int:
+    chain_schema = schema_to_dict(id_chain_workload(4).schema)
+    with tempfile.TemporaryDirectory() as workdir:
+        schema_path = os.path.join(workdir, "schema.json")
+        with open(schema_path, "w") as handle:
+            json.dump(schema_to_dict(university_schema()), handle)
+        cache_dir = os.path.join(workdir, "cache")
+
+        first, ready_first = start_server(schema_path, cache_dir)
+        print(f"cold server up (warmed={ready_first['warmed']})")
+        cold = drive(ready_first["port"], chain_schema)
+        first.send_signal(signal.SIGTERM)
+        assert first.wait(timeout=60) == 0, first.returncode
+        print("cold server drained")
+
+        second, ready_second = start_server(schema_path, cache_dir)
+        try:
+            warmed = ready_second["warmed"]
+            assert warmed > 0, f"no warm set after restart: {ready_second}"
+            print(f"warm server up (warmed={warmed})")
+
+            warm = drive(ready_second["port"], chain_schema)
+            for before, after in zip(cold, warm):
+                assert normalized(before) == normalized(after), (
+                    before, after,
+                )
+                assert after["cached"] is True, after
+
+            stats = rpc(ready_second["port"], {"op": "stats"})["pool"]
+            decision_tier = stats["store"]["tiers"]["decision"]
+            assert decision_tier["hits"] > 0, stats["store"]
+            durable_hits = sum(
+                entry["cache"].get("durable_hits", 0)
+                for entry in stats["sessions"]
+            )
+            assert durable_hits > 0, stats["sessions"]
+            print(
+                f"ok: {len(warm)} identical responses after restart, "
+                f"decision hits={decision_tier['hits']}, "
+                f"durable session hits={durable_hits}"
+            )
+        finally:
+            second.send_signal(signal.SIGTERM)
+            second.wait(timeout=60)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,207 @@
+"""Bundles, warm sources, parallel warmup, and store-resident warm sets.
+
+Covers the warm path end to end: `write_bundle`/`load_bundle` round
+trips, `load_warm_source` dispatching between legacy manifests and
+bundles with every failure a typed `WarmupError`,
+`SessionPool.warm_many` keeping its counters byte-identical to the
+sequential loop, and `warm_from_store` re-admitting every schema a
+store-bound pool ever compiled.
+"""
+
+import json
+
+import pytest
+
+from repro.cache import (
+    ArtifactStore,
+    MemoryKVStore,
+    WarmupError,
+    load_bundle,
+    load_warm_set,
+    load_warm_source,
+    open_directory,
+    write_bundle,
+)
+from repro.io import ReadyFrame, SchemaFormatError, schema_to_dict
+from repro.server import SessionLimits, SessionPool
+from repro.service import compile_schema
+from repro.workloads import (
+    id_chain_workload,
+    lookup_chain_workload,
+    university_schema,
+)
+
+
+def descriptions():
+    return [
+        schema_to_dict(university_schema()),
+        schema_to_dict(id_chain_workload(4).schema),
+        schema_to_dict(lookup_chain_workload(3).schema),
+    ]
+
+
+class TestBundleFormat:
+    def test_write_then_load_round_trips(self, tmp_path):
+        path = tmp_path / "warm.bundle"
+        write_bundle(
+            [university_schema(), descriptions()[1]], path
+        )
+        loaded = load_bundle(path)
+        assert loaded[0] == schema_to_dict(university_schema())
+        assert loaded[1] == descriptions()[1]
+
+    def test_bundle_records_fingerprints(self, tmp_path):
+        path = tmp_path / "warm.bundle"
+        write_bundle([university_schema()], path)
+        envelope = json.loads(path.read_bytes())
+        payload = json.loads(envelope["payload"])
+        assert payload["schemas"][0]["fingerprint"] == compile_schema(
+            university_schema()
+        ).fingerprint
+
+    def test_invalid_schema_is_rejected_at_write_time(self, tmp_path):
+        with pytest.raises(SchemaFormatError):
+            write_bundle([{"relations": "nope"}], tmp_path / "bad.bundle")
+
+    def test_corrupt_bundle_is_a_typed_error(self, tmp_path):
+        path = tmp_path / "warm.bundle"
+        write_bundle([university_schema()], path)
+        blob = bytearray(path.read_bytes())
+        # Flip a byte inside the payload: the digest check must fail.
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(WarmupError):
+            load_warm_source(path)
+
+    def test_version_drift_is_a_typed_error(self, tmp_path, monkeypatch):
+        path = tmp_path / "warm.bundle"
+        write_bundle([university_schema()], path)
+        monkeypatch.setattr("repro.__version__", "0.0.0-older")
+        with pytest.raises(WarmupError):
+            load_bundle(path)
+
+
+class TestWarmSourceDispatch:
+    def test_manifest_and_bundle_load_the_same_schemas(self, tmp_path):
+        wanted = descriptions()
+        manifest = tmp_path / "warm.json"
+        manifest.write_text(json.dumps({"schemas": wanted}))
+        bundle = tmp_path / "warm.bundle"
+        write_bundle(wanted, bundle)
+        assert load_warm_source(manifest) == wanted
+        assert load_warm_source(bundle) == wanted
+
+    def test_missing_file_is_a_typed_error(self, tmp_path):
+        with pytest.raises(WarmupError):
+            load_warm_source(tmp_path / "absent.json")
+
+    def test_bad_json_is_a_typed_error(self, tmp_path):
+        broken = tmp_path / "broken.json"
+        broken.write_text('{"schemas": [')
+        with pytest.raises(WarmupError):
+            load_warm_source(broken)
+
+    def test_bad_manifest_entry_is_a_typed_error(self, tmp_path):
+        manifest = tmp_path / "warm.json"
+        manifest.write_text(json.dumps({"schemas": [{"relations": 3}]}))
+        with pytest.raises(WarmupError) as excinfo:
+            load_warm_source(manifest)
+        # WarmupError IS a SchemaFormatError: legacy callers catching
+        # the broad type keep working.
+        assert isinstance(excinfo.value, SchemaFormatError)
+
+
+class TestWarmMany:
+    def _batch(self):
+        wanted = descriptions()
+        # Duplicates exercise the compile-once dedup, and a compiled
+        # passthrough exercises the no-compile path.
+        return [
+            wanted[0],
+            wanted[1],
+            wanted[0],
+            compile_schema(lookup_chain_workload(3).schema),
+            wanted[2],
+            wanted[1],
+        ]
+
+    def test_counters_match_the_sequential_loop_exactly(self):
+        sequential = SessionPool(limits=SessionLimits())
+        for schema in self._batch():
+            sequential.warm(schema)
+        parallel = SessionPool(limits=SessionLimits())
+        warmed = parallel.warm_many(self._batch(), parallelism=4)
+        assert len(warmed) == len(self._batch())
+        assert parallel.stats()["counters"] == sequential.stats()["counters"]
+        assert sorted(parallel.fingerprints()) == sorted(
+            sequential.fingerprints()
+        )
+
+    def test_single_threaded_parallelism_is_equivalent(self):
+        baseline = SessionPool(limits=SessionLimits())
+        fingerprints = baseline.warm_many(self._batch(), parallelism=1)
+        parallel = SessionPool(limits=SessionLimits())
+        assert parallel.warm_many(self._batch(), parallelism=8) == (
+            fingerprints
+        )
+
+    def test_empty_batch_is_a_no_op(self):
+        pool = SessionPool(limits=SessionLimits())
+        assert pool.warm_many([]) == []
+        assert pool.stats()["counters"]["schemas_compiled"] == 0
+
+
+class TestWarmSets:
+    def test_store_bound_pool_records_compiled_schemas(self):
+        store = ArtifactStore(MemoryKVStore())
+        pool = SessionPool(limits=SessionLimits(), store=store)
+        pool.warm(descriptions()[0])
+        pool.warm(descriptions()[1])
+        warm_set = load_warm_set(store)
+        assert len(warm_set) == 2
+
+    def test_warm_from_store_readmits_after_restart(self, tmp_path):
+        store = open_directory(tmp_path / "cache")
+        first = SessionPool(limits=SessionLimits(), store=store)
+        for description in descriptions():
+            first.warm(description)
+        expected = sorted(first.fingerprints())
+        store.close()
+
+        reopened = open_directory(tmp_path / "cache")
+        try:
+            second = SessionPool(limits=SessionLimits(), store=reopened)
+            assert second.fingerprints() == ()
+            assert second.warm_from_store() == len(expected)
+            assert sorted(second.fingerprints()) == expected
+        finally:
+            reopened.close()
+
+    def test_damaged_warm_set_entries_are_skipped(self):
+        store = ArtifactStore(MemoryKVStore())
+        pool = SessionPool(limits=SessionLimits(), store=store)
+        pool.warm(descriptions()[0])
+        store.kv.put("warmset", "bogus", b"garbage")
+        store.store("bundle", "warmset", "wrong-shape", ["not a schema"])
+        fresh = SessionPool(limits=SessionLimits(), store=store)
+        assert fresh.warm_from_store() == 1
+
+
+class TestReadyFrameWarmError:
+    def test_warm_error_round_trips_on_the_wire(self):
+        frame = ReadyFrame(
+            host="127.0.0.1",
+            port=4242,
+            pid=7,
+            warmed=0,
+            warm_error="bundle warm.bundle: not a valid bundle",
+        )
+        wire = frame.to_dict()
+        assert wire["ready"]["warm_error"].startswith("bundle")
+        parsed = ReadyFrame.from_dict(wire)
+        assert parsed.warm_error == frame.warm_error
+
+    def test_absent_warm_error_stays_off_the_wire(self):
+        wire = ReadyFrame(host="h", port=1, pid=2).to_dict()
+        assert "warm_error" not in wire["ready"]
+        assert ReadyFrame.from_dict(wire).warm_error is None

@@ -1,0 +1,135 @@
+"""Corruption end-to-end: a damaged store never damages an answer.
+
+The fault-battery invariant (`tests.faults.chaos`) extended to the
+persistence tier: whatever happens to the cache file — random bit
+flips, truncation, total garbage, version drift — every decision made
+through it is either **byte-identical to a fresh-session oracle** or a
+typed startup error; never a wrong answer, never an unhandled
+exception on the serving path.
+"""
+
+import json
+import random
+
+from repro.cache import open_directory, STORE_FILENAME
+from repro.service import Session, compile_schema
+from repro.workloads import (
+    id_chain_workload,
+    lookup_chain_workload,
+    university_schema,
+)
+
+
+def normalized(payload: dict) -> str:
+    payload = dict(payload)
+    payload.pop("elapsed_ms", None)
+    payload.pop("cached", None)
+    return json.dumps(payload, sort_keys=True)
+
+
+CORPUS = [
+    (university_schema(), "Q(n) :- Prof(i, n, 10000)"),
+    (university_schema(), "Q() :- Udirectory(i, a, p)"),
+    (id_chain_workload(5).schema, "Q() :- R0(x)"),
+    (lookup_chain_workload(3).schema, "Q() :- L2(x, y)"),
+]
+
+
+def oracle():
+    return [
+        normalized(Session(compile_schema(s)).decide(q).to_dict())
+        for s, q in CORPUS
+    ]
+
+
+def decide_all(store):
+    return [
+        normalized(
+            Session(compile_schema(s), store=store).decide(q).to_dict()
+        )
+        for s, q in CORPUS
+    ]
+
+
+class TestBitFlips:
+    def test_random_bit_flips_never_change_a_decision(self, tmp_path):
+        baseline = oracle()
+        rng = random.Random(20180611)  # PODS 2018, deterministically
+        for round_index in range(6):
+            cache_dir = tmp_path / f"round{round_index}"
+            store = open_directory(cache_dir)
+            assert decide_all(store) == baseline  # populate
+            store.close()
+
+            path = cache_dir / STORE_FILENAME
+            blob = bytearray(path.read_bytes())
+            for _ in range(rng.randrange(1, 64)):
+                position = rng.randrange(len(blob))
+                blob[position] ^= 1 << rng.randrange(8)
+            path.write_bytes(bytes(blob))
+            for sidecar in ("-wal", "-shm"):
+                damaged = cache_dir / (STORE_FILENAME + sidecar)
+                if damaged.exists():
+                    damaged.unlink()
+
+            # The damaged store must still serve — every answer equal
+            # to the oracle, whether entries survived, were rejected as
+            # invalid, or the whole file was sidelined.
+            reopened = open_directory(cache_dir)
+            try:
+                assert decide_all(reopened) == baseline
+            finally:
+                reopened.close()
+
+    def test_truncated_store_serves_correctly(self, tmp_path):
+        baseline = oracle()
+        cache_dir = tmp_path / "cache"
+        store = open_directory(cache_dir)
+        decide_all(store)
+        store.close()
+        path = cache_dir / STORE_FILENAME
+        path.write_bytes(path.read_bytes()[: 512])
+        reopened = open_directory(cache_dir)
+        try:
+            assert decide_all(reopened) == baseline
+        finally:
+            reopened.close()
+
+    def test_garbage_store_is_sidelined_and_serving_continues(
+        self, tmp_path
+    ):
+        baseline = oracle()
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        (cache_dir / STORE_FILENAME).write_bytes(
+            b"\x00\xde\xad\xbe\xef" * 1024
+        )
+        store = open_directory(cache_dir)
+        try:
+            assert decide_all(store) == baseline
+        finally:
+            store.close()
+        assert list(cache_dir.glob(f"{STORE_FILENAME}.corrupt-*"))
+
+
+class TestVersionDrift:
+    def test_other_version_entries_are_invalid_not_errors(
+        self, tmp_path, monkeypatch
+    ):
+        cache_dir = tmp_path / "cache"
+        store = open_directory(cache_dir)
+        baseline = decide_all(store)
+        store.close()
+
+        # Re-stamp: pretend every persisted envelope came from another
+        # library release by changing what *this* process considers the
+        # current version.
+        monkeypatch.setattr("repro.__version__", "0.0.0-older")
+        reopened = open_directory(cache_dir)
+        try:
+            assert decide_all(reopened) == baseline
+            tiers = reopened.stats()["tiers"]
+            assert tiers["decision"]["hits"] == 0
+            assert tiers["decision"]["invalid"] >= len(CORPUS)
+        finally:
+            reopened.close()

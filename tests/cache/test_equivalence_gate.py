@@ -1,0 +1,203 @@
+"""The equivalence gate: persisted artifacts decide identically.
+
+Nothing loaded from the store may change an answer — not the decision,
+not the route, not the reason, not the structured detail (chase
+certificates, disjunct counts).  Tier-1 runs the paper/generator
+corpus through a persist-then-reload cycle and a cross-*process* store
+round trip; the randomized sweep (``slow`` marker, nightly) does the
+same over seeded `random_id_workload` schemas.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cache import ArtifactStore, MemoryKVStore, open_directory
+from repro.io import schema_to_dict
+from repro.service import Session, compile_schema
+from repro.workloads import (
+    fd_determinacy_workload,
+    id_chain_workload,
+    lookup_chain_workload,
+    random_id_workload,
+    tgd_transfer_workload,
+    uid_fd_workload,
+    university_schema,
+)
+
+
+def normalized(payload: dict) -> str:
+    payload = dict(payload)
+    payload.pop("elapsed_ms", None)
+    payload.pop("cached", None)
+    return json.dumps(payload, sort_keys=True)
+
+
+def corpus():
+    """Mixed-fragment pairs: every Table-1 route is represented."""
+    chain = lookup_chain_workload(3)
+    return [
+        (university_schema(ud_bound=100), "Udirectory(i, a, p)"),
+        (university_schema(ud_bound=100), "Prof(i, n, 10000)"),
+        (chain.schema, "L0(x, y), L1(x, z)"),
+        (chain.schema, "L2(x, y)"),
+        (fd_determinacy_workload(4).schema, fd_determinacy_workload(4).query),
+        (uid_fd_workload(3).schema, uid_fd_workload(3).query),
+        (tgd_transfer_workload(3).schema, tgd_transfer_workload(3).query),
+        (id_chain_workload(6).schema, "R0(x)"),
+    ]
+
+
+def roundtrip_case(schema, query, tmp_path, label):
+    """Fresh oracle vs a store-mediated rerun, across a real reopen."""
+    compiled = compile_schema(schema)
+    fresh = normalized(Session(compiled).decide(query).to_dict())
+
+    cache_dir = tmp_path / label
+    store = open_directory(cache_dir)
+    writer = normalized(
+        Session(compile_schema(schema), store=store).decide(query).to_dict()
+    )
+    store.close()
+
+    reopened = open_directory(cache_dir)
+    try:
+        reader_session = Session(compile_schema(schema), store=reopened)
+        loaded = normalized(reader_session.decide(query).to_dict())
+        assert reader_session.durable_hits == 1, label
+    finally:
+        reopened.close()
+    assert writer == fresh, label
+    assert loaded == fresh, label
+
+
+class TestCorpusGate:
+    def test_persisted_equals_fresh_across_the_corpus(self, tmp_path):
+        for index, (schema, query) in enumerate(corpus()):
+            roundtrip_case(schema, query, tmp_path, f"case{index}")
+
+    def test_plans_round_trip_identically(self, tmp_path):
+        chain = lookup_chain_workload(3)
+        compiled = compile_schema(chain.schema)
+        query = "Q() :- L0(x, y), L1(x, z)"
+        fresh = normalized(Session(compiled).plan(query).to_dict())
+        store = open_directory(tmp_path / "plans")
+        try:
+            Session(compile_schema(chain.schema), store=store).plan(query)
+            loaded = normalized(
+                Session(compile_schema(chain.schema), store=store)
+                .plan(query)
+                .to_dict()
+            )
+        finally:
+            store.close()
+        assert loaded == fresh
+
+    def test_memory_store_obeys_the_same_gate(self):
+        store = ArtifactStore(MemoryKVStore())
+        for schema, query in corpus():
+            fresh = normalized(
+                Session(compile_schema(schema)).decide(query).to_dict()
+            )
+            Session(compile_schema(schema), store=store).decide(query)
+            loaded = normalized(
+                Session(compile_schema(schema), store=store)
+                .decide(query)
+                .to_dict()
+            )
+            assert loaded == fresh
+
+
+class TestCrossProcess:
+    def test_store_written_by_another_process_serves_identically(
+        self, tmp_path
+    ):
+        schema = university_schema()
+        query = "Q(n) :- Prof(i, n, 10000)"
+        fresh = normalized(
+            Session(compile_schema(schema)).decide(query).to_dict()
+        )
+
+        schema_path = tmp_path / "schema.json"
+        schema_path.write_text(json.dumps(schema_to_dict(schema)))
+        cache_dir = tmp_path / "cache"
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+
+        def run_decide():
+            result = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "decide",
+                    str(schema_path), query,
+                    "--cache-dir", str(cache_dir), "--json",
+                ],
+                capture_output=True, text=True, env=env, timeout=120,
+            )
+            assert result.returncode in (0, 1), result.stderr
+            return json.loads(result.stdout)
+
+        cold = run_decide()
+        assert cold["cached"] is False
+        warm = run_decide()  # a second, fresh process
+        assert warm["cached"] is True
+        assert normalized(warm) == normalized(cold) == fresh
+
+        # And this process reads the store those processes wrote.
+        store = open_directory(cache_dir)
+        try:
+            session = Session(compile_schema(schema), store=store)
+            assert normalized(session.decide(query).to_dict()) == fresh
+            assert session.durable_hits == 1
+        finally:
+            store.close()
+
+
+@pytest.mark.slow
+class TestRandomizedSweep:
+    def test_random_workloads_agree_after_persistence(self, tmp_path):
+        for seed in range(25):
+            workload = random_id_workload(seed=seed)
+            roundtrip_case(
+                workload.schema, workload.query, tmp_path, f"seed{seed}"
+            )
+
+    def test_random_workloads_share_one_store(self, tmp_path):
+        # Many fingerprints in one store file: namespacing by
+        # fingerprint must keep them fully isolated.
+        cache_dir = tmp_path / "shared"
+        oracle = {}
+        for seed in range(12):
+            workload = random_id_workload(seed=seed)
+            oracle[seed] = normalized(
+                Session(compile_schema(workload.schema))
+                .decide(workload.query)
+                .to_dict()
+            )
+        store = open_directory(cache_dir)
+        try:
+            for seed in range(12):
+                workload = random_id_workload(seed=seed)
+                Session(
+                    compile_schema(workload.schema), store=store
+                ).decide(workload.query)
+        finally:
+            store.close()
+        reopened = open_directory(cache_dir)
+        try:
+            for seed in range(12):
+                workload = random_id_workload(seed=seed)
+                session = Session(
+                    compile_schema(workload.schema), store=reopened
+                )
+                assert (
+                    normalized(session.decide(workload.query).to_dict())
+                    == oracle[seed]
+                ), seed
+        finally:
+            reopened.close()

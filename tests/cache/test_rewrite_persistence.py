@@ -1,0 +1,141 @@
+"""Persisted rewrite expansions: the `RewriteEngine` memo on disk.
+
+An engine bound to a store persists each completed rewriting result —
+the frontier size and the emitted disjuncts, in emission order — and a
+*fresh* engine (new process) loads it instead of re-running the BFS.
+The loaded disjuncts must be byte-identical to the freshly computed
+ones (order included: plan extraction and response details depend on
+it), and a persisted frontier larger than the caller's budget must
+replay `RewritingBudgetExceeded` exactly as the live path would.
+"""
+
+import pytest
+
+from repro.cache import ArtifactStore, MemoryKVStore, open_directory
+from repro.cache import codec
+from repro.containment.rewriting import (
+    RewriteEngine,
+    RewritingBudgetExceeded,
+    canonical_state,
+)
+from repro.io import load_query
+from repro.service import compile_schema
+from repro.workloads import id_chain_workload, lookup_chain_workload
+
+NAMESPACE = "rewrite:test:nosub"
+
+
+def engine_for(schema, store=None, **kwargs):
+    compiled = compile_schema(schema)
+    engine = RewriteEngine(
+        compiled.linearization().rules,
+        matcher=compiled.matcher(),
+        **kwargs,
+    )
+    if store is not None:
+        engine.bind_store(store, NAMESPACE)
+    return engine
+
+
+class TestPersistedMemo:
+    def test_fresh_engine_loads_instead_of_expanding(self):
+        store = ArtifactStore(MemoryKVStore())
+        schema = id_chain_workload(6).schema
+        query = load_query("Q() :- R2__prime(x)")
+
+        writer = engine_for(schema, store)
+        fresh = writer.rewrite(query)
+        stats = writer.stats()
+        assert stats["persisted_writes"] == 1
+        assert stats["persisted_loads"] == 0
+
+        reader = engine_for(schema, store)
+        loaded = reader.rewrite(query)
+        stats = reader.stats()
+        assert stats["persisted_loads"] == 1
+        assert stats["expansions_built"] == 0
+        assert repr(loaded) == repr(fresh)
+        assert [d.atoms for d in loaded.disjuncts] == [
+            d.atoms for d in fresh.disjuncts
+        ]
+
+    def test_disjunct_order_is_preserved_verbatim(self, tmp_path):
+        store = open_directory(tmp_path / "cache")
+        schema = lookup_chain_workload(4).schema
+        query = load_query("Q() :- L3__prime(x, y)")
+        fresh = engine_for(schema, store).rewrite(query)
+        store.close()
+
+        reopened = open_directory(tmp_path / "cache")
+        try:
+            loaded = engine_for(schema, reopened).rewrite(query)
+            assert [d.atoms for d in loaded.disjuncts] == [
+                d.atoms for d in fresh.disjuncts
+            ]
+        finally:
+            reopened.close()
+
+    def test_subsumption_results_round_trip(self):
+        store = ArtifactStore(MemoryKVStore())
+        schema = id_chain_workload(5).schema
+        query = load_query("Q() :- R2__prime(x)")
+        fresh = engine_for(schema, store, subsumption=True).rewrite(query)
+        loaded = engine_for(schema, store, subsumption=True).rewrite(query)
+        assert [d.atoms for d in loaded.disjuncts] == [
+            d.atoms for d in fresh.disjuncts
+        ]
+
+    def test_persisted_frontier_replays_budget_errors(self):
+        store = ArtifactStore(MemoryKVStore())
+        schema = id_chain_workload(6).schema
+        # Rewriting the primed top of the chain walks the whole
+        # accessibility ladder: a frontier far over a budget of 1.
+        query = load_query("Q() :- R5__prime(x)")
+        engine_for(schema, store).rewrite(query)  # persist the frontier
+
+        tight = engine_for(schema, store)
+        with pytest.raises(RewritingBudgetExceeded):
+            tight.rewrite(query, max_disjuncts=1)
+        # The replay came from the persisted entry, not a fresh BFS.
+        assert tight.stats()["persisted_loads"] == 1
+        assert tight.stats()["expansions_built"] == 0
+
+    def test_damaged_entry_is_a_miss_and_recomputed(self):
+        store = ArtifactStore(MemoryKVStore())
+        schema = id_chain_workload(4).schema
+        query = load_query("Q() :- R2__prime(x)")
+        fresh = engine_for(schema, store).rewrite(query)
+        # Corrupt every persisted blob in the namespace.
+        for key in list(store.kv.scan(NAMESPACE)):
+            store.kv.put(NAMESPACE, key, b"\xff not an envelope")
+        reader = engine_for(schema, store)
+        recomputed = reader.rewrite(query)
+        assert reader.stats()["persisted_loads"] == 0
+        assert reader.stats()["expansions_built"] > 0
+        assert [d.atoms for d in recomputed.disjuncts] == [
+            d.atoms for d in fresh.disjuncts
+        ]
+        assert store.stats()["tiers"]["rewrite"]["invalid"] >= 1
+
+    def test_malformed_payload_shapes_are_misses(self):
+        store = ArtifactStore(MemoryKVStore())
+        schema = id_chain_workload(4).schema
+        query = load_query("Q() :- R2__prime(x)")
+        baseline = engine_for(schema).rewrite(query)
+        for payload in (
+            ["not", "a", "dict"],
+            {"frontier": "three", "disjuncts": []},
+            {"frontier": 3},
+            {"frontier": 3, "disjuncts": [["bad atom shape"]]},
+        ):
+            store = ArtifactStore(MemoryKVStore())
+            reader = engine_for(schema, store)
+            start = canonical_state(query.atoms)
+            store.store(
+                "rewrite", NAMESPACE, codec.state_key(start), payload
+            )
+            result = reader.rewrite(query)
+            assert reader.stats()["persisted_loads"] == 0
+            assert [d.atoms for d in result.disjuncts] == [
+                d.atoms for d in baseline.disjuncts
+            ]

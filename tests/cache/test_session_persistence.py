@@ -1,0 +1,155 @@
+"""Session-level persistence: the durable decision cache.
+
+A `Session` bound to an `ArtifactStore` writes every clean decision
+and plan through to the store and load-throughs on memory misses — so
+a *fresh* session (new process, cold LRU) over the same store serves
+the same responses without recomputing.  The durable key includes the
+fingerprint, the canonical query, and every limit that can change the
+answer; it deliberately excludes ``chase_parallelism`` (results are
+identical for every setting, per its CLI contract).
+"""
+
+import json
+
+from repro.cache import ArtifactStore, MemoryKVStore, open_directory
+from repro.io import DecideResponse
+from repro.service import Session, compile_schema
+from repro.workloads import (
+    id_chain_workload,
+    lookup_chain_workload,
+    university_schema,
+)
+
+
+def normalized(payload: dict) -> str:
+    payload = dict(payload)
+    payload.pop("elapsed_ms", None)
+    payload.pop("cached", None)
+    return json.dumps(payload, sort_keys=True)
+
+
+class TestDurableDecide:
+    def test_fresh_session_serves_from_store(self):
+        store = ArtifactStore(MemoryKVStore())
+        compiled = compile_schema(university_schema())
+        query = "Q(n) :- Prof(i, n, 10000)"
+
+        first = Session(compiled, store=store)
+        cold = first.decide(query)
+        assert cold.cached is False
+
+        second = Session(compiled, store=store)
+        warm = second.decide(query)
+        assert warm.cached is True
+        assert second.durable_hits == 1
+        assert normalized(warm.to_dict()) == normalized(cold.to_dict())
+        # The load-through populated the memory LRU: the next lookup
+        # does not touch the store again.
+        hits_before = store.stats()["tiers"]["decision"]["hits"]
+        second.decide(query)
+        assert store.stats()["tiers"]["decision"]["hits"] == hits_before
+
+    def test_survives_store_reopen_on_disk(self, tmp_path):
+        compiled = compile_schema(id_chain_workload(4).schema)
+        store = open_directory(tmp_path / "cache")
+        cold = Session(compiled, store=store).decide("R0(x)")
+        store.close()
+
+        reopened = open_directory(tmp_path / "cache")
+        try:
+            warm = Session(compiled, store=reopened).decide("R0(x)")
+            assert warm.cached is True
+            assert normalized(warm.to_dict()) == normalized(cold.to_dict())
+        finally:
+            reopened.close()
+
+    def test_limits_partition_the_durable_space(self):
+        # A decision computed under one disjunct budget must not be
+        # served to a session running under another.
+        store = ArtifactStore(MemoryKVStore())
+        compiled = compile_schema(id_chain_workload(4).schema)
+        Session(compiled, store=store).decide("R0(x)")
+        other = Session(compiled, store=store, max_disjuncts=7)
+        response = other.decide("R0(x)")
+        assert response.cached is False
+        assert other.durable_hits == 0
+
+    def test_chase_parallelism_shares_durable_entries(self):
+        store = ArtifactStore(MemoryKVStore())
+        compiled = compile_schema(id_chain_workload(4).schema)
+        Session(compiled, store=store).decide("R0(x)")
+        parallel = Session(compiled, store=store, chase_parallelism=4)
+        assert parallel.decide("R0(x)").cached is True
+        assert parallel.durable_hits == 1
+
+    def test_finite_and_classical_keys_differ(self):
+        store = ArtifactStore(MemoryKVStore())
+        compiled = compile_schema(university_schema())
+        query = "Q() :- Prof(i, n, s)"
+        Session(compiled, store=store).decide(query)
+        fresh = Session(compiled, store=store)
+        assert fresh.decide(query, finite=True).cached is False
+
+    def test_budget_errors_are_never_persisted(self):
+        store = ArtifactStore(MemoryKVStore())
+        compiled = compile_schema(id_chain_workload(6).schema)
+        constrained = Session(compiled, store=store, max_disjuncts=1)
+        response = constrained.decide("R0(x)")
+        assert response.error is not None
+        assert store.stats()["tiers"].get("decision", {}).get(
+            "writes", 0
+        ) == 0
+        # And a fresh session recomputes (and re-hits the limit).
+        again = Session(compiled, store=store, max_disjuncts=1).decide(
+            "R0(x)"
+        )
+        assert again.cached is False
+        assert again.error is not None
+
+    def test_cache_info_and_stats_report_the_store(self):
+        store = ArtifactStore(MemoryKVStore())
+        session = Session(
+            compile_schema(university_schema()), store=store
+        )
+        assert session.cache_info()["durable_hits"] == 0
+        assert session.stats()["store"]["tiers"] == {}
+        bare = Session(compile_schema(university_schema()))
+        assert "durable_hits" not in bare.cache_info()
+        assert "store" not in bare.stats()
+
+
+class TestDurablePlan:
+    def test_plan_round_trips_through_the_store(self):
+        store = ArtifactStore(MemoryKVStore())
+        chain = lookup_chain_workload(3)
+        compiled = compile_schema(chain.schema)
+        query = "Q() :- L0(x, y), L1(y, z)"
+
+        cold = Session(compiled, store=store).plan(query)
+        warm_session = Session(compiled, store=store)
+        warm = warm_session.plan(query)
+        assert warm.cached is True
+        assert warm_session.durable_hits == 1
+        assert normalized(warm.to_dict()) == normalized(cold.to_dict())
+
+    def test_fingerprint_mismatch_entries_are_rejected(self):
+        # An entry stored under the wrong namespace content (e.g. a
+        # hand-edited store) must not be served: the payload's own
+        # fingerprint is checked against the session's.
+        store = ArtifactStore(MemoryKVStore())
+        compiled = compile_schema(university_schema())
+        session = Session(compiled, store=store)
+        foreign = session.decide("Q() :- Udirectory(i, a, p)").to_dict()
+        foreign["fingerprint"] = "0" * 64
+        forged_key = session._durable_key("decide", "forged")
+        store.store(
+            "decision",
+            f"decision:{compiled.fingerprint}",
+            forged_key,
+            foreign,
+        )
+        fresh = Session(compiled, store=store)
+        assert fresh._durable_load(
+            forged_key, DecideResponse.from_dict
+        ) is None
+        assert fresh.durable_hits == 0
