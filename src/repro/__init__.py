@@ -125,6 +125,12 @@ from .logic import (
     holds,
     parse_cq,
 )
+from .obs import (
+    MetricsRegistry,
+    RequestLogger,
+    StageTimer,
+    render_prometheus,
+)
 from .plans import Plan, execute, plan_to_ucq
 from .runtime import Budget, DeadlineExceeded, Overloaded, WorkerLost
 from .schema import AccessMethod, Relation, Schema
@@ -147,7 +153,7 @@ from .service import (
     schema_fingerprint,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ArtifactStore", "CacheError", "KVStore", "MemoryKVStore",
@@ -166,6 +172,7 @@ __all__ = [
     "evaluate_cq", "ground_atom", "holds", "parse_cq",
     "Plan", "execute", "plan_to_ucq",
     "AccessMethod", "Relation", "Schema",
+    "MetricsRegistry", "RequestLogger", "StageTimer", "render_prometheus",
     "Budget", "DeadlineExceeded", "Overloaded", "WorkerLost",
     "CrashLoopError", "DecideServer", "SessionLimits", "SessionPool",
     "Supervisor", "make_wsgi_app",

@@ -64,6 +64,7 @@ from .io import (
     DecideRequest,
     ErrorFrame,
     ReadyFrame,
+    json_safe,
     load_query,
     load_schema,
     schema_to_dict,
@@ -306,6 +307,15 @@ def _build_parser() -> argparse.ArgumentParser:
             help="shed (Overloaded) instead of queueing when the global "
             "in-flight gate stays saturated this long "
             "(default: queue indefinitely)",
+        )
+        subparser.add_argument(
+            "--log-format",
+            choices=("text", "json"),
+            default="text",
+            help="request logging: 'json' emits one structured JSON "
+            "line per request to stderr (peer, op, fingerprint, "
+            "outcome, stage timings, retry hints); 'text' (default) "
+            "keeps request logging off",
         )
 
     add_serving_options(serve)
@@ -588,11 +598,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             request = None
             try:
                 request = DecideRequest.from_dict(json.loads(line))
-                if request.op in ("ping", "stats"):
+                if request.op in ("ping", "stats", "metrics"):
                     frame = introspection_frame(request, pool)
                 else:
                     frame = pool.process(request).to_dict()
-                print(json.dumps(frame), flush=True)
+                print(json.dumps(frame, sort_keys=True), flush=True)
             except Exception as error:  # keep the stream going
                 failures += 1
                 report = ErrorFrame.from_exception(
@@ -605,7 +615,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         if lines is not sys.stdin:
             lines.close()
     if args.stats:
-        print(json.dumps(pool.stats()), file=sys.stderr, flush=True)
+        print(
+            json.dumps(json_safe(pool.stats()), sort_keys=True),
+            file=sys.stderr,
+            flush=True,
+        )
     _close_store(pool)
     return 1 if failures else 0
 
@@ -649,6 +663,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             flush=True,
         )
 
+    from .obs import MetricsRegistry, request_logger_from_format
+
     async def serve() -> None:
         server = DecideServer(
             pool,
@@ -660,6 +676,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             client_burst=args.client_burst,
             max_inflight_per_client=args.max_inflight_per_client,
             shed_after_ms=args.shed_after,
+            metrics=MetricsRegistry(),
+            request_log=request_logger_from_format(
+                getattr(args, "log_format", None)
+            ),
         )
         await server.start()
         host, port = server.address
@@ -757,6 +777,8 @@ def _worker_serve_args(
         ]
     if args.shed_after is not None:
         argv += ["--shed-after", str(args.shed_after)]
+    if getattr(args, "log_format", "text") != "text":
+        argv += ["--log-format", args.log_format]
     if getattr(args, "cache_dir", None) is not None:
         argv += ["--cache-dir", str(args.cache_dir)]
     return tuple(argv)
@@ -851,9 +873,15 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         for __ in range(workers)
     ]
 
+    from .obs import MetricsRegistry, request_logger_from_format
+
     async def serve() -> None:
         dispatcher = FleetDispatcher(
             host=args.host, port=args.port, channels_per_worker=channels
+        )
+        dispatcher.register_metrics(MetricsRegistry())
+        dispatcher.set_request_log(
+            request_logger_from_format(getattr(args, "log_format", None))
         )
         await dispatcher.start()
         fleet = Fleet(specs, dispatcher)

@@ -88,6 +88,13 @@ class ArtifactStore:
             }
         return {"backend": self.kv.describe(), "tiers": tiers}
 
+    def register_metrics(self, registry, name: str = "store") -> None:
+        """Register per-tier hit/miss/write/invalid counters as a
+        `repro.obs.MetricsRegistry` provider (``repro_store_tiers_*``
+        samples; DESIGN.md §3c).  ``name`` disambiguates when one
+        process observes several stores."""
+        registry.register_provider(name, self.stats)
+
     def close(self) -> None:
         self.kv.close()
 

@@ -73,6 +73,7 @@ from ..matching.intexec import (
     int_seeded_context,
     int_slot_search,
 )
+from ..obs.timing import stage
 from ..matching.matcher import default_matcher
 from ..runtime import Budget
 
@@ -1178,20 +1179,21 @@ def chase(
     ]
     factory = null_factory or NullFactory(prefix="c")
     runner = _chase_delta if engine == "delta" else _chase_naive
-    return runner(
-        start,
-        tgds,
-        equality_deps,
-        max_rounds=max_rounds,
-        max_facts=max_facts,
-        policy=policy,
-        record_steps=record_steps,
-        factory=factory,
-        stop_when=stop_when,
-        matcher=matcher if matcher is not None else default_matcher(),
-        budget=budget,
-        parallelism=parallelism,
-    )
+    with stage("chase"):
+        return runner(
+            start,
+            tgds,
+            equality_deps,
+            max_rounds=max_rounds,
+            max_facts=max_facts,
+            policy=policy,
+            record_steps=record_steps,
+            factory=factory,
+            stop_when=stop_when,
+            matcher=matcher if matcher is not None else default_matcher(),
+            budget=budget,
+            parallelism=parallelism,
+        )
 
 
 def satisfies(instance: Instance, dependencies: Iterable[Dependency]) -> bool:

@@ -13,9 +13,11 @@ guarantees (see `default_bound_for`).
 
 from __future__ import annotations
 
+import functools
 from typing import Iterable, Optional, Sequence
 
 from ..chase.engine import ChaseOutcome, Dependency, chase
+from ..obs.timing import stage
 from ..constraints.analysis import is_weakly_acyclic
 from ..constraints.tgd import TGD
 from ..data.instance import Instance
@@ -51,6 +53,23 @@ def default_bound_for(
     return DEFAULT_MAX_ROUNDS + query_size
 
 
+def _match_stage(fn):
+    """Attribute a decider's own work to the ``match`` timing stage.
+
+    The inner `chase` pushes its own ``chase`` stage, so only the
+    decision shell (canonical instance, target probes, verdict
+    mapping) lands in ``match`` — stages stay exclusive.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        with stage("match"):
+            return fn(*args, **kwargs)
+
+    return wrapper
+
+
+@_match_stage
 def contains(
     query: ConjunctiveQuery,
     target: ConjunctiveQuery | UnionOfConjunctiveQueries,
@@ -136,6 +155,7 @@ def contains(
     )
 
 
+@_match_stage
 def certain_answer_boolean(
     instance: Instance,
     query: ConjunctiveQuery,

@@ -47,6 +47,7 @@ from ..logic.evaluation import holds
 from ..logic.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
 from ..logic.terms import Constant, Null, Term, Variable
 from ..matching.matcher import default_matcher, freeze_atoms
+from ..obs.timing import stage
 from ..runtime import Budget
 from .decision import Decision
 
@@ -700,7 +701,7 @@ class RewriteEngine:
         if query.free_variables:
             raise RewritingError("rewriting is implemented for Boolean CQs")
         limit = self.max_disjuncts if max_disjuncts is None else max_disjuncts
-        with self._lock:
+        with stage("rewrite"), self._lock:
             self._counters["rewrites"] += 1
             start = canonical_state(query.atoms)
             cached = self._results.get(start)

@@ -229,8 +229,10 @@ def json_safe(value: Any) -> Any:
 
 
 #: Operations a request frame may carry.  ``decide``/``plan`` need a
-#: query; ``stats`` and ``ping`` are serving-side introspection frames.
-REQUEST_OPS = ("decide", "plan", "stats", "ping")
+#: query; ``stats``, ``ping``, and ``metrics`` are serving-side
+#: introspection frames (``metrics`` returns a `repro.obs` registry
+#: snapshot, fleet-aggregated when the dispatcher answers it).
+REQUEST_OPS = ("decide", "plan", "stats", "ping", "metrics")
 
 
 @dataclass

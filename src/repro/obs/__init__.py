@@ -1,0 +1,50 @@
+"""`repro.obs`: zero-dependency observability for the serving stack.
+
+* `registry` — `MetricsRegistry` (counters/gauges/histograms with
+  p50/p95/p99 estimation) plus lazy *providers* wrapping the legacy
+  ``stats()`` surfaces, so registry values equal stats values by
+  construction.
+* `exposition` — Prometheus text rendering (``GET /metrics``) and the
+  scrape validator the CI smoke uses.
+* `timing` — thread-local exclusive `StageTimer` and the ``stage()``
+  context the library choke points wrap themselves in.
+* `logs` — `RequestLogger`, one JSON line per request to stderr,
+  behind ``--log-format json``.
+
+See DESIGN.md §3c for the observability contract (what each provider
+registers, label cardinality bounds).
+"""
+
+from .exposition import CONTENT_TYPE, render_prometheus, validate_exposition
+from .logs import RequestLogger, request_logger_from_format
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    flatten_stats,
+    merge_snapshots,
+)
+from .timing import STAGES, StageTimer, activate, current_timer, deactivate, stage
+
+__all__ = [
+    "CONTENT_TYPE",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RequestLogger",
+    "STAGES",
+    "StageTimer",
+    "activate",
+    "current_timer",
+    "deactivate",
+    "flatten_stats",
+    "merge_snapshots",
+    "render_prometheus",
+    "request_logger_from_format",
+    "stage",
+    "validate_exposition",
+]

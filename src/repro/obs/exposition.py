@@ -1,0 +1,177 @@
+"""Prometheus text-format exposition (version 0.0.4) and a validator.
+
+`render_prometheus` turns a `MetricsRegistry` into the classic
+``# HELP`` / ``# TYPE`` / sample-line text format: counters as
+``_total``-suffix-free monotonic samples, gauges as-is, histograms as
+cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``, and
+every provider's flattened numeric leaves as untyped gauges.
+
+`validate_exposition` is the shared scrape check used by the CI smoke
+and the unit tests: every line must parse, and no (name, labelset)
+series may appear twice.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .registry import MetricsRegistry
+
+__all__ = ["CONTENT_TYPE", "render_prometheus", "validate_exposition"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label(value)}"'
+        for name, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: "MetricsRegistry") -> str:
+    from .registry import Histogram
+
+    lines: list[str] = []
+    seen_names: set[str] = set()
+
+    def header(name: str, help_text: str, kind: str) -> None:
+        if help_text:
+            escaped = help_text.replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {name} {escaped}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for instrument in registry.instruments():
+        seen_names.add(instrument.name)
+        if isinstance(instrument, Histogram):
+            header(instrument.name, instrument.help, "histogram")
+            for labels, state in instrument.series():
+                cumulative = 0
+                for bound, count in zip(
+                    instrument.buckets, state["counts"]
+                ):
+                    cumulative += count
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_value(bound)
+                    lines.append(
+                        f"{instrument.name}_bucket"
+                        f"{_format_labels(bucket_labels)} {cumulative}"
+                    )
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = "+Inf"
+                lines.append(
+                    f"{instrument.name}_bucket"
+                    f"{_format_labels(bucket_labels)} {state['count']}"
+                )
+                lines.append(
+                    f"{instrument.name}_sum{_format_labels(labels)} "
+                    f"{_format_value(state['sum'])}"
+                )
+                lines.append(
+                    f"{instrument.name}_count{_format_labels(labels)} "
+                    f"{state['count']}"
+                )
+        else:
+            header(instrument.name, instrument.help, instrument.kind)
+            for labels, value in instrument.samples():
+                lines.append(
+                    f"{instrument.name}{_format_labels(labels)} "
+                    f"{_format_value(value)}"
+                )
+
+    # Providers: legacy stats() leaves as untyped gauges.  A provider
+    # sample whose name collides with a first-class instrument is
+    # dropped (the instrument is authoritative); duplicate provider
+    # samples within one (name, labels) keep the first.
+    provider_seen: set[tuple[str, tuple]] = set()
+    provider_lines: dict[str, list[str]] = {}
+    for name, labels, value in registry.provider_samples():
+        if name in seen_names:
+            continue
+        key = (name, tuple(sorted(labels.items())))
+        if key in provider_seen:
+            continue
+        provider_seen.add(key)
+        provider_lines.setdefault(name, []).append(
+            f"{name}{_format_labels(labels)} {_format_value(value)}"
+        )
+    for name in sorted(provider_lines):
+        lines.append(f"# TYPE {name} gauge")
+        lines.extend(provider_lines[name])
+
+    return "\n".join(lines) + "\n"
+
+
+def validate_exposition(text: str) -> dict[str, int]:
+    """Parse an exposition payload; raise ValueError on malformed
+    lines or duplicate (name, labelset) series.
+
+    Returns ``{series_name: sample_count}`` for assertions.
+    """
+    seen: set[tuple[str, tuple]] = set()
+    names: dict[str, int] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if not (
+                line.startswith("# HELP ") or line.startswith("# TYPE ")
+            ):
+                raise ValueError(f"line {lineno}: bad comment: {line!r}")
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparseable sample: {line!r}")
+        value = match.group("value")
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                raise ValueError(
+                    f"line {lineno}: bad sample value: {line!r}"
+                ) from None
+        raw_labels = match.group("labels") or ""
+        pairs = _LABEL_RE.findall(raw_labels)
+        if raw_labels and raw_labels != "{}" and not pairs:
+            raise ValueError(f"line {lineno}: unparseable labels: {line!r}")
+        labels = tuple(sorted(pairs))
+        name = match.group("name")
+        key = (name, labels)
+        if key in seen:
+            raise ValueError(
+                f"line {lineno}: duplicate series {name}{raw_labels}"
+            )
+        seen.add(key)
+        names[name] = names.get(name, 0) + 1
+    return names

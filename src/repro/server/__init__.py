@@ -22,7 +22,13 @@ The layer that turns the service seam into a server:
   by consistent hashing of the schema fingerprint, failing over worker
   deaths as typed retryable `WorkerLost` errors;
 * `make_wsgi_app` — the same pool behind any WSGI httpd (stdlib
-  ``wsgiref`` pairs with it for a dependency-free HTTP server).
+  ``wsgiref`` pairs with it for a dependency-free HTTP server), with
+  Prometheus exposition on ``GET /metrics``.
+
+Observability rides `repro.obs`: every layer here exposes
+``register_metrics(registry)``, ``op: metrics`` returns the registry
+snapshot (fleet-aggregated at the dispatcher), and ``--log-format
+json`` turns on one-JSON-line-per-request logs.
 
 Exposed on the CLI as ``python -m repro serve`` / ``supervise`` /
 ``fleet``.

@@ -58,11 +58,15 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import os
 import threading
+import time
 from collections import OrderedDict, deque
 from typing import Awaitable, Callable, Optional
 
-from ..io import DecideRequest, ErrorFrame
+from ..io import DecideRequest, ErrorFrame, json_safe
+from ..obs.logs import RequestLogger
+from ..obs.registry import MetricsRegistry, merge_snapshots
 from ..runtime import Overloaded, WorkerLost
 from .hashring import DEFAULT_REPLICAS, HashRing
 from .server import MAX_FRAME_BYTES
@@ -291,6 +295,8 @@ class FleetDispatcher:
         #: Extra "fleet" stats section (supervision state) — wired by
         #: `Fleet`, absent for bare dispatchers.
         self.info_provider = info_provider
+        self.metrics: Optional[MetricsRegistry] = None
+        self._request_log: Optional[RequestLogger] = None
         self._workers: dict[str, _WorkerClient] = {}
         #: canonical schema spelling -> learned content fingerprint.
         self._routes: OrderedDict[str, str] = OrderedDict()
@@ -310,6 +316,48 @@ class FleetDispatcher:
             "workers_added": 0,
             "workers_removed": 0,
         }
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def register_metrics(self, registry: MetricsRegistry) -> None:
+        """Adopt ``registry``: dispatcher-level request instruments
+        plus the ring/routing counters as the ``fleet`` provider
+        (DESIGN.md §3c).  Worker-level series stay on the workers and
+        are fetched/merged per ``op: metrics`` probe."""
+        self.metrics = registry
+        self._m_requests = registry.counter(
+            "repro_fleet_requests_total",
+            "Frames the dispatcher answered, by op and outcome.",
+            labels=("op", "outcome"),
+        )
+        self._m_request_ms = registry.histogram(
+            "repro_fleet_request_ms",
+            "Dispatcher wall time per frame (includes worker RTT), ms.",
+            labels=("op",),
+        )
+        registry.register_provider("fleet", self.fleet_stats)
+
+    def set_request_log(self, request_log: Optional[RequestLogger]) -> None:
+        self._request_log = request_log
+
+    def fleet_stats(self) -> dict:
+        """The ring/routing stats block (``op: stats`` ``fleet``
+        section and the registry's ``fleet`` provider)."""
+        fleet: dict = {
+            "workers": len(self._workers),
+            "ring": {
+                "nodes": sorted(self.ring.nodes),
+                "replicas": self.ring.replicas,
+            },
+            "counters": dict(self._counters),
+            "routes": len(self._routes),
+            "shards": self.ring.assignments(self._routes.values()),
+            "draining": self.draining,
+        }
+        if self.info_provider is not None:
+            fleet["supervision"] = self.info_provider()
+        return fleet
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -517,11 +565,54 @@ class FleetDispatcher:
 
     @staticmethod
     async def _write(writer: asyncio.StreamWriter, frame: dict) -> None:
-        writer.write(json.dumps(frame).encode("utf-8") + b"\n")
+        # sort_keys: aggregated stats/metrics frames promise a stable
+        # key order to scrapers and diffing tools.
+        writer.write(
+            json.dumps(frame, sort_keys=True).encode("utf-8") + b"\n"
+        )
         await writer.drain()
 
     async def _process_line(self, line: bytes) -> dict:
+        started = time.perf_counter()
+        request, frame = await self._process_request(line)
+        if self.metrics is not None or self._request_log is not None:
+            self._observe(request, frame, started)
+        return frame
+
+    def _observe(
+        self,
+        request: Optional[DecideRequest],
+        frame: dict,
+        started: float,
+    ) -> None:
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        op = request.op if request is not None else "invalid"
+        error = frame.get("error")
+        failed = isinstance(error, dict) and "decision" not in frame
+        outcome = "error" if failed else "ok"
+        if self.metrics is not None:
+            self._m_requests.inc(op=op, outcome=outcome)
+            self._m_request_ms.observe(elapsed_ms, op=op)
+        if self._request_log is not None:
+            self._request_log.log(
+                peer="dispatcher",
+                op=op,
+                id=frame.get("id"),
+                fingerprint=frame.get("fingerprint") or None,
+                outcome=outcome,
+                error_type=error.get("type") if failed else None,
+                retryable=error.get("retryable") if failed else None,
+                retry_after_ms=(
+                    error.get("retry_after_ms") if failed else None
+                ),
+                elapsed_ms=round(elapsed_ms, 3),
+            )
+
+    async def _process_request(
+        self, line: bytes
+    ) -> tuple[Optional[DecideRequest], dict]:
         self._counters["frames"] += 1
+        request: Optional[DecideRequest] = None
         try:
             request = DecideRequest.from_dict(
                 json.loads(line.decode("utf-8"))
@@ -529,7 +620,7 @@ class FleetDispatcher:
         except Exception as error:
             self._counters["errors"] += 1
             snippet = line.decode("utf-8", "replace").strip()
-            return ErrorFrame.from_exception(
+            return request, ErrorFrame.from_exception(
                 error, line=snippet[:200]
             ).to_dict()
         if request.op == "ping":
@@ -537,11 +628,14 @@ class FleetDispatcher:
             frame: dict = {"op": "pong"}
             if request.id is not None:
                 frame["id"] = request.id
-            return frame
+            return request, frame
         if request.op == "stats":
             self._counters["responses"] += 1
-            return await self._stats_frame(request)
-        return await self._forward(request, line)
+            return request, await self._stats_frame(request)
+        if request.op == "metrics":
+            self._counters["responses"] += 1
+            return request, await self._metrics_frame(request)
+        return request, await self._forward(request, line)
 
     async def _forward(self, request: DecideRequest, line: bytes) -> dict:
         key = self.routing_key(request)
@@ -597,23 +691,67 @@ class FleetDispatcher:
             else:
                 entry["stats"] = probe.result()
             per_worker.append(entry)
-        fleet: dict = {
-            "workers": len(workers),
-            "ring": {
-                "nodes": sorted(self.ring.nodes),
-                "replicas": self.ring.replicas,
-            },
-            "counters": dict(self._counters),
-            "routes": len(self._routes),
-            "shards": self.ring.assignments(self._routes.values()),
-            "draining": self.draining,
+        frame: dict = {
+            "op": "stats",
+            "fleet": self.fleet_stats(),
+            "workers": per_worker,
         }
-        if self.info_provider is not None:
-            fleet["supervision"] = self.info_provider()
-        frame: dict = {"op": "stats", "fleet": fleet, "workers": per_worker}
         if request.id is not None:
             frame["id"] = request.id
-        return frame
+        return json_safe(frame)
+
+    async def _metrics_frame(self, request: DecideRequest) -> dict:
+        """Fleet-aggregated ``op: metrics``: probe every live worker,
+        return its snapshot labelled by worker id / pid / shard
+        assignment, plus a bucket-wise merged ``aggregate`` (counters
+        summed, histogram buckets merged, percentiles re-estimated
+        from the merged counts) and the dispatcher's own registry."""
+        workers = dict(self._workers)
+        probes = {
+            worker_id: asyncio.ensure_future(
+                client.request(
+                    b'{"op": "metrics"}', timeout=STATS_TIMEOUT_S
+                )
+            )
+            for worker_id, client in workers.items()
+        }
+        if probes:
+            await asyncio.wait(probes.values())
+        shards = self.ring.assignments(self._routes.values())
+        per_worker = []
+        snapshots = []
+        for worker_id, client in workers.items():
+            entry: dict = {
+                "worker": worker_id,
+                **client.describe(),
+                "shards": shards.get(worker_id, []),
+            }
+            probe = probes[worker_id]
+            error = probe.exception() if probe.done() else None
+            if error is not None:
+                entry["error"] = {
+                    "type": type(error).__name__,
+                    "message": str(error),
+                }
+            else:
+                reply = probe.result()
+                entry["pid"] = reply.get("pid", entry.get("pid"))
+                entry["metrics"] = reply.get("metrics")
+                if isinstance(entry["metrics"], dict):
+                    snapshots.append(entry["metrics"])
+            per_worker.append(entry)
+        frame: dict = {
+            "op": "metrics",
+            "pid": os.getpid(),
+            "fleet": self.fleet_stats(),
+            "workers": per_worker,
+            "aggregate": merge_snapshots(snapshots),
+        }
+        if self.metrics is not None:
+            frame["dispatcher"] = self.metrics.snapshot()
+        if request.id is not None:
+            frame["id"] = request.id
+        return json_safe(frame)
 
     def __repr__(self) -> str:
         state = "listening" if self._server is not None else "stopped"
@@ -818,6 +956,8 @@ async def run_fleet(
     drain_timeout: Optional[float] = None,
     ready: Optional[Callable[[FleetDispatcher], Awaitable[None]]] = None,
     min_workers: Optional[int] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    request_log: Optional[RequestLogger] = None,
 ) -> None:
     """Start a dispatcher + fleet and serve until cancelled; the CLI
     and the smoke harness sit on this.  ``ready`` (when given) is
@@ -826,6 +966,9 @@ async def run_fleet(
     dispatcher = FleetDispatcher(
         host=host, port=port, channels_per_worker=channels_per_worker
     )
+    if metrics is not None:
+        dispatcher.register_metrics(metrics)
+    dispatcher.set_request_log(request_log)
     await dispatcher.start()
     fleet = Fleet(specs, dispatcher)
     try:

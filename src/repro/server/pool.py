@@ -42,9 +42,11 @@ from ..io import (
     DecideRequest,
     DecideResponse,
     PlanResponse,
+    json_safe,
     schema_from_dict,
     schema_to_dict,
 )
+from ..obs.timing import stage
 from ..runtime import Budget
 from ..schema.schema import Schema
 from ..service import CompiledSchema, Session, as_compiled
@@ -224,7 +226,8 @@ class SessionPool:
         )
 
     def _compile(self, schema: Union[dict, Schema, CompiledSchema]):
-        compiled = self._build(schema)
+        with stage("compile"):
+            compiled = self._build(schema)
         self._counters["schemas_compiled"] += 1
         self._register_store(compiled)
         return compiled
@@ -545,6 +548,13 @@ class SessionPool:
                 payload["store"] = self.store.stats()
             return payload
 
+    def register_metrics(self, registry: Any) -> None:
+        """Register this pool's legacy `stats` as the ``pool`` provider
+        of a `repro.obs.MetricsRegistry` (DESIGN.md §3c): every pool,
+        session, matcher, engine, and store counter surfaces as
+        ``repro_pool_*`` samples, equal to `stats` by construction."""
+        registry.register_provider("pool", self.stats)
+
     def fingerprints(self) -> tuple[str, ...]:
         """Live fingerprints, cold to hot (default first when pinned)."""
         with self._lock:
@@ -562,20 +572,49 @@ class SessionPool:
 
 
 def introspection_frame(
-    request: DecideRequest, pool: SessionPool, **sections: Any
+    request: DecideRequest,
+    pool: SessionPool,
+    *,
+    metrics: Any = None,
+    **sections: Any,
 ) -> dict:
-    """The pong/stats frames, shared by every transport.
+    """The pong/stats/metrics frames, shared by every transport.
 
     The TCP server, the WSGI adapter, and the batch CLI all answer
-    ``op: ping``/``op: stats`` through this one builder, so the frame
-    shape cannot drift between front ends.  ``sections`` adds
-    transport-specific stats blocks (the TCP server passes
-    ``server=...``) ahead of the pool's.
+    ``op: ping``/``op: stats``/``op: metrics`` through this one
+    builder, so the frame shape cannot drift between front ends.
+    ``sections`` adds transport-specific stats blocks (the TCP server
+    passes ``server=...``) ahead of the pool's.
+
+    ``op: metrics`` returns the `repro.obs.MetricsRegistry` snapshot
+    (``metrics`` when the transport runs one, else an ad-hoc registry
+    over this pool), stamped with the answering worker's pid so fleet
+    aggregation can label per-worker series.  The frame is passed
+    through `repro.io.json_safe`: introspection payloads must always
+    serialize, whatever a provider returns.
     """
     if request.op == "ping":
         frame: dict = {"op": "pong"}
+    elif request.op == "metrics":
+        import os
+
+        registry = metrics
+        if registry is None:
+            from ..obs.registry import MetricsRegistry
+
+            registry = MetricsRegistry()
+            if hasattr(pool, "register_metrics"):
+                pool.register_metrics(registry)
+            elif hasattr(pool, "stats"):
+                registry.register_provider("pool", pool.stats)
+        frame = {
+            "op": "metrics",
+            "pid": os.getpid(),
+            "metrics": registry.snapshot(),
+            **sections,
+        }
     else:
         frame = {"op": "stats", **sections, "pool": pool.stats()}
     if request.id is not None:
         frame["id"] = request.id
-    return frame
+    return json_safe(frame)

@@ -64,6 +64,9 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Optional
 
 from ..io import DecideRequest, ErrorFrame
+from ..obs.logs import RequestLogger
+from ..obs.registry import MetricsRegistry
+from ..obs.timing import StageTimer, activate, deactivate
 from ..runtime import Budget, DeadlineExceeded, Overloaded
 from .pool import SessionPool, introspection_frame
 
@@ -106,8 +109,23 @@ class _ClientState:
             return None
         return max(1.0, (1.0 - self.tokens) / rate * 1000.0)
 
-    def idle(self, burst: float) -> bool:
-        return self.inflight == 0 and self.tokens >= burst
+    def idle(
+        self, rate: Optional[float], burst: float, now: float
+    ) -> bool:
+        """True when this peer holds no resources worth remembering.
+
+        The bucket is *virtually* refilled first: ``tokens`` is only
+        updated inside `take`, so a peer that drained its bucket and
+        then went quiet would otherwise read as busy forever and never
+        be prunable.  The state itself is not mutated — idleness is a
+        read-only question.
+        """
+        if self.inflight != 0:
+            return False
+        if rate is None:
+            return True
+        refilled = min(burst, self.tokens + (now - self.stamp) * rate)
+        return refilled >= burst
 
 
 class DecideServer:
@@ -138,6 +156,8 @@ class DecideServer:
         max_inflight_per_client: Optional[int] = None,
         shed_after_ms: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
+        metrics: Optional[MetricsRegistry] = None,
+        request_log: Optional[RequestLogger] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -169,6 +189,10 @@ class DecideServer:
         self._conn_tasks: set[asyncio.Task] = set()
         self._budgets: set[Budget] = set()
         self._clients: dict[str, _ClientState] = {}
+        #: Shared bucket for peers arriving while the table is full of
+        #: busy entries: they are not tracked individually (the cap is
+        #: hard) but still pay quota — collectively.
+        self._overflow_state: Optional[_ClientState] = None
         self._counters = {
             "connections": 0,
             "connections_open": 0,
@@ -179,7 +203,16 @@ class DecideServer:
             "overloaded": 0,
             "deadline_exceeded": 0,
             "cancelled": 0,
+            "client_evictions": 0,
+            "client_overflow": 0,
         }
+        self.metrics: Optional[MetricsRegistry] = None
+        self._request_log = request_log
+        self._m_requests = None
+        self._m_request_ms = None
+        self._m_stage_ms = None
+        if metrics is not None:
+            self.register_metrics(metrics)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -276,27 +309,132 @@ class DecideServer:
         return len(budgets)
 
     # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def register_metrics(self, registry: MetricsRegistry) -> None:
+        """Adopt ``registry``: request instruments plus the legacy
+        ``stats()`` surfaces as providers (DESIGN.md §3c)."""
+        self.metrics = registry
+        self._m_requests = registry.counter(
+            "repro_requests_total",
+            "Requests processed, by op and outcome.",
+            labels=("op", "outcome"),
+        )
+        self._m_request_ms = registry.histogram(
+            "repro_request_ms",
+            "Wall time from frame receipt to response frame, ms.",
+            labels=("op",),
+        )
+        self._m_stage_ms = registry.histogram(
+            "repro_request_stage_ms",
+            "Exclusive per-stage time within one request, ms.",
+            labels=("stage",),
+        )
+        registry.register_provider("server", self.server_stats)
+        # Duck-typed pools (tests) may lack register_metrics; expose
+        # their stats() directly so the provider surface stays whole.
+        if hasattr(self.pool, "register_metrics"):
+            self.pool.register_metrics(registry)
+        elif hasattr(self.pool, "stats"):
+            registry.register_provider("pool", self.pool.stats)
+        if self._request_log is not None:
+            registry.register_provider(
+                "request_log", self._request_log.stats
+            )
+
+    def server_stats(self) -> dict:
+        """The transport-level stats block (``op: stats`` ``server``
+        section and the registry's ``server`` provider)."""
+        return {
+            "workers": self.workers,
+            "max_pending": self.max_pending,
+            "draining": self.draining,
+            "client_states": len(self._clients),
+            **self._counters,
+        }
+
+    @property
+    def _observing(self) -> bool:
+        return self.metrics is not None or self._request_log is not None
+
+    def _observe(
+        self,
+        request: Optional[DecideRequest],
+        frame: dict,
+        peer: str,
+        started: float,
+        timer: Optional[StageTimer],
+    ) -> None:
+        """Account one finished request: histograms and the log line."""
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        op = request.op if request is not None else "invalid"
+        error = frame.get("error")
+        # A DecideResponse carries ``decision`` even when its
+        # decision-level ``error`` is set; a bare ErrorFrame never does.
+        failed = isinstance(error, dict) and "decision" not in frame
+        outcome = "error" if failed else "ok"
+        stages = timer.as_millis() if timer is not None else {}
+        if self.metrics is not None:
+            self._m_requests.inc(op=op, outcome=outcome)
+            self._m_request_ms.observe(elapsed_ms, op=op)
+            for name, ms in stages.items():
+                self._m_stage_ms.observe(ms, stage=name)
+        if self._request_log is not None:
+            error_type = error.get("type") if failed else None
+            self._request_log.log(
+                peer=peer,
+                op=op,
+                id=frame.get("id"),
+                fingerprint=frame.get("fingerprint") or None,
+                outcome=outcome,
+                error_type=error_type,
+                retryable=error.get("retryable") if failed else None,
+                retry_after_ms=(
+                    error.get("retry_after_ms") if failed else None
+                ),
+                cached=frame.get("cached"),
+                decision=frame.get("decision"),
+                elapsed_ms=round(elapsed_ms, 3),
+                stages_ms=stages or None,
+            )
+
+    # ------------------------------------------------------------------
     # Per-client quotas
     # ------------------------------------------------------------------
     def _client_state(self, peer: str) -> _ClientState:
         state = self._clients.get(peer)
         if state is None:
+            now = self._clock()
             if len(self._clients) >= MAX_CLIENT_STATES:
-                for key in [
+                idle = [
                     k
                     for k, s in self._clients.items()
-                    if s.idle(self.client_burst)
-                ]:
+                    if s.idle(self.client_rate, self.client_burst, now)
+                ]
+                for key in idle:
                     del self._clients[key]
-            state = _ClientState(self.client_burst, self._clock())
+                self._counters["client_evictions"] += len(idle)
+            if len(self._clients) >= MAX_CLIENT_STATES:
+                # Every tracked peer is genuinely busy: hold the cap.
+                # Untracked newcomers share one overflow bucket — they
+                # still pay quota, just collectively, so a many-peer
+                # churn storm cannot grow the table without bound.
+                self._counters["client_overflow"] += 1
+                if self._overflow_state is None:
+                    self._overflow_state = _ClientState(
+                        self.client_burst, now
+                    )
+                return self._overflow_state
+            state = _ClientState(self.client_burst, now)
             self._clients[peer] = state
         return state
 
-    def _admit(self, peer: str) -> Optional[ErrorFrame]:
+    def _admit(
+        self, peer: str, state: Optional[_ClientState]
+    ) -> Optional[ErrorFrame]:
         """Apply per-client quotas; an `ErrorFrame` means *shed*."""
-        if self.client_rate is None and self.max_inflight_per_client is None:
+        if state is None:
             return None
-        state = self._client_state(peer)
         if (
             self.max_inflight_per_client is not None
             and state.inflight >= self.max_inflight_per_client
@@ -392,13 +530,31 @@ class DecideServer:
 
     @staticmethod
     async def _write(writer: asyncio.StreamWriter, frame: dict) -> None:
-        writer.write(json.dumps(frame).encode("utf-8") + b"\n")
+        # sort_keys: introspection payloads promise a stable key order
+        # to scrapers and diffing tools; response frames are small, so
+        # sorting everything costs nothing measurable.
+        writer.write(
+            json.dumps(frame, sort_keys=True).encode("utf-8") + b"\n"
+        )
         await writer.drain()
 
     # ------------------------------------------------------------------
     # Frame processing
     # ------------------------------------------------------------------
     async def _process_line(self, line: bytes, peer: str = "?") -> dict:
+        started = time.perf_counter()
+        timer = StageTimer() if self._observing else None
+        request, frame = await self._process_frame(line, peer, timer)
+        if self._observing:
+            self._observe(request, frame, peer, started, timer)
+        return frame
+
+    async def _process_frame(
+        self,
+        line: bytes,
+        peer: str,
+        timer: Optional[StageTimer],
+    ) -> tuple[Optional[DecideRequest], dict]:
         self._counters["frames"] += 1
         request: Optional[DecideRequest] = None
         try:
@@ -408,28 +564,25 @@ class DecideServer:
         except Exception as error:
             self._counters["errors"] += 1
             snippet = line.decode("utf-8", "replace").strip()
-            return ErrorFrame.from_exception(
+            return request, ErrorFrame.from_exception(
                 error, line=snippet[:200]
             ).to_dict()
-        if request.op in ("ping", "stats"):
+        if request.op in ("ping", "stats", "metrics"):
             self._counters["responses"] += 1
-            return introspection_frame(
+            return request, introspection_frame(
                 request,
                 self.pool,
-                server={
-                    "workers": self.workers,
-                    "max_pending": self.max_pending,
-                    "draining": self.draining,
-                    **self._counters,
-                },
+                metrics=self.metrics,
+                server=self.server_stats(),
             )
-        shed = self._admit(peer)
+        state = self._client_state(peer) if self._quotas_on else None
+        shed = self._admit(peer, state)
         if shed is not None:
             self._counters["errors"] += 1
             self._counters["overloaded"] += 1
             if request.id is not None:
                 shed = dataclasses.replace(shed, id=request.id)
-            return shed.to_dict()
+            return request, shed.to_dict()
         assert self._gate is not None and self._executor is not None
         acquired = False
         if self.shed_after_ms is not None:
@@ -441,7 +594,7 @@ class DecideServer:
             except asyncio.TimeoutError:
                 self._counters["errors"] += 1
                 self._counters["overloaded"] += 1
-                return ErrorFrame.from_exception(
+                return request, ErrorFrame.from_exception(
                     Overloaded(
                         f"server gate saturated ({self.max_pending} "
                         "requests pending)",
@@ -453,22 +606,33 @@ class DecideServer:
         else:
             await self._gate.acquire()  # backpressure: wait, don't shed
             acquired = True
-        state = self._client_state(peer) if self._quotas_on else None
         budget = self.pool.budget_for(request) or Budget()
         self._budgets.add(budget)
         if state is not None:
             state.inflight += 1
         self._counters["in_flight"] += 1
+        submitted = time.perf_counter()
+
+        def work() -> object:
+            previous = None
+            if timer is not None:
+                timer.add("queue", time.perf_counter() - submitted)
+                previous = activate(timer)
+            try:
+                return self.pool.process(request, budget=budget)
+            finally:
+                if timer is not None:
+                    deactivate(previous)
+
         try:
             response = await asyncio.get_running_loop().run_in_executor(
-                self._executor,
-                lambda: self.pool.process(request, budget=budget),
+                self._executor, work
             )
         except Exception as error:
             self._counters["errors"] += 1
             if isinstance(error, DeadlineExceeded):
                 self._counters["deadline_exceeded"] += 1
-            return ErrorFrame.from_exception(
+            return request, ErrorFrame.from_exception(
                 error, id=request.id
             ).to_dict()
         finally:
@@ -479,7 +643,7 @@ class DecideServer:
             if acquired:
                 self._gate.release()
         self._counters["responses"] += 1
-        return response.to_dict()
+        return request, response.to_dict()
 
     @property
     def _quotas_on(self) -> bool:
@@ -506,6 +670,8 @@ async def run_server(
     shed_after_ms: Optional[float] = None,
     drain_timeout: Optional[float] = None,
     ready: Optional[asyncio.Event] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    request_log: Optional[RequestLogger] = None,
 ) -> None:
     """Start a `DecideServer` and serve until cancelled.
 
@@ -524,6 +690,8 @@ async def run_server(
         client_burst=client_burst,
         max_inflight_per_client=max_inflight_per_client,
         shed_after_ms=shed_after_ms,
+        metrics=metrics,
+        request_log=request_log,
     )
     await server.start()
     if ready is not None:

@@ -413,6 +413,28 @@ class Supervisor:
         self._stop.set()
 
     # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """Supervision state as a JSON-safe stats block (the fleet's
+        per-member ``supervision`` entries carry the same fields)."""
+        worker = self.worker
+        return {
+            "generation": self.generation,
+            "restarts": self.restarts,
+            "alive": bool(worker is not None and worker.is_alive()),
+            "pid": getattr(worker, "pid", None),
+            "crashes_in_window": len(self._crashes),
+            "stopping": self._stop.is_set(),
+        }
+
+    def register_metrics(self, registry, name: str = "supervisor") -> None:
+        """Register `describe` as a `repro.obs.MetricsRegistry`
+        provider (``repro_supervisor_*`` samples; DESIGN.md §3c).
+        ``name`` disambiguates multi-supervisor processes."""
+        registry.register_provider(name, self.describe)
+
+    # ------------------------------------------------------------------
     def _watch(self, worker: object) -> bool:
         """Block while the worker lives; True iff it exited cleanly."""
         started = self._clock()

@@ -10,7 +10,12 @@ Routes:
 * ``POST /decide`` (or ``/``) — body is one `DecideRequest` JSON
   object (or a bare query string); response is the `DecideResponse` /
   `PlanResponse` JSON.  The frame's ``op`` may also be ``plan``.
-* ``GET /stats``  — the pool's aggregated statistics.
+* ``GET /stats``  — the pool's aggregated statistics (JSON-safe,
+  stable key order).
+* ``GET /metrics`` — Prometheus text exposition of the app's
+  `repro.obs.MetricsRegistry`: the request-latency histogram, the
+  per-stage split, and every pool/session/matcher/engine/store counter
+  via the registry's providers.
 * ``GET /healthz`` — liveness probe.
 
 Errors are `ErrorFrame` JSON — never a traceback page: HTTP 400 for
@@ -32,9 +37,14 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Callable, Iterable
+import time
+from typing import Callable, Iterable, Optional
 
-from ..io import DecideRequest, ErrorFrame
+from ..io import DecideRequest, ErrorFrame, json_safe
+from ..obs.exposition import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from ..obs.logs import RequestLogger
+from ..obs.registry import MetricsRegistry
+from ..obs.timing import StageTimer, activate, deactivate
 from ..runtime import DeadlineExceeded, Overloaded
 from .pool import SessionPool, introspection_frame
 
@@ -44,8 +54,41 @@ MAX_BODY_BYTES = 1 << 20
 _JSON = [("Content-Type", "application/json")]
 
 
-def make_wsgi_app(pool: SessionPool) -> Callable:
-    """A WSGI application deciding requests against ``pool``."""
+def make_wsgi_app(
+    pool: SessionPool,
+    *,
+    metrics: Optional[MetricsRegistry] = None,
+    request_log: Optional[RequestLogger] = None,
+) -> Callable:
+    """A WSGI application deciding requests against ``pool``.
+
+    ``metrics`` (default: a fresh `MetricsRegistry`) backs the
+    ``GET /metrics`` exposition; pass the server's registry to share
+    one exposition across the TCP and HTTP front ends.  ``request_log``
+    (optional) emits one JSON line per decide/plan request.
+    """
+    registry = metrics if metrics is not None else MetricsRegistry()
+    # Duck-typed pools (tests, adapters) may lack register_metrics;
+    # fall back to exposing their stats() as a provider directly.
+    if hasattr(pool, "register_metrics"):
+        pool.register_metrics(registry)
+    elif hasattr(pool, "stats"):
+        registry.register_provider("pool", pool.stats)
+    m_requests = registry.counter(
+        "repro_http_requests_total",
+        "HTTP requests processed, by op and outcome.",
+        labels=("op", "outcome"),
+    )
+    m_request_ms = registry.histogram(
+        "repro_http_request_ms",
+        "Wall time per HTTP decide/plan request, ms.",
+        labels=("op",),
+    )
+    m_stage_ms = registry.histogram(
+        "repro_http_request_stage_ms",
+        "Exclusive per-stage time within one HTTP request, ms.",
+        labels=("stage",),
+    )
 
     def respond(
         start_response,
@@ -53,7 +96,12 @@ def make_wsgi_app(pool: SessionPool) -> Callable:
         payload: dict,
         extra_headers: list = (),
     ) -> Iterable[bytes]:
-        body = json.dumps(payload).encode("utf-8")
+        # sort_keys: introspection payloads promise a stable key order;
+        # json_safe guards against any provider leaking a non-JSON
+        # value into a frame.
+        body = json.dumps(json_safe(payload), sort_keys=True).encode(
+            "utf-8"
+        )
         start_response(
             status,
             _JSON
@@ -62,11 +110,56 @@ def make_wsgi_app(pool: SessionPool) -> Callable:
         )
         return [body]
 
+    def observe(
+        request: Optional[DecideRequest],
+        frame: dict,
+        started: float,
+        timer: Optional[StageTimer],
+        peer: str,
+    ) -> None:
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        op = request.op if request is not None else "invalid"
+        error = frame.get("error")
+        failed = isinstance(error, dict) and "decision" not in frame
+        outcome = "error" if failed else "ok"
+        stages = timer.as_millis() if timer is not None else {}
+        m_requests.inc(op=op, outcome=outcome)
+        m_request_ms.observe(elapsed_ms, op=op)
+        for name, ms in stages.items():
+            m_stage_ms.observe(ms, stage=name)
+        if request_log is not None:
+            request_log.log(
+                peer=peer,
+                op=op,
+                id=frame.get("id"),
+                fingerprint=frame.get("fingerprint") or None,
+                outcome=outcome,
+                error_type=error.get("type") if failed else None,
+                retryable=error.get("retryable") if failed else None,
+                retry_after_ms=(
+                    error.get("retry_after_ms") if failed else None
+                ),
+                cached=frame.get("cached"),
+                decision=frame.get("decision"),
+                elapsed_ms=round(elapsed_ms, 3),
+                stages_ms=stages or None,
+            )
+
     def application(environ, start_response) -> Iterable[bytes]:
         method = environ.get("REQUEST_METHOD", "GET")
         path = environ.get("PATH_INFO", "/") or "/"
         if method == "GET" and path == "/healthz":
             return respond(start_response, "200 OK", {"ok": True})
+        if method == "GET" and path == "/metrics":
+            body = registry.render().encode("utf-8")
+            start_response(
+                "200 OK",
+                [
+                    ("Content-Type", METRICS_CONTENT_TYPE),
+                    ("Content-Length", str(len(body))),
+                ],
+            )
+            return [body]
         if method == "GET" and path == "/stats":
             return respond(
                 start_response,
@@ -95,22 +188,24 @@ def make_wsgi_app(pool: SessionPool) -> Callable:
                 ).to_dict(),
             )
         body = environ["wsgi.input"].read(length) if length else b""
+        started = time.perf_counter()
+        peer = environ.get("REMOTE_ADDR", "?")
         try:
             request = DecideRequest.from_dict(
                 json.loads(body.decode("utf-8"))
             )
         except Exception as error:
-            return respond(
-                start_response,
-                "400 Bad Request",
-                ErrorFrame.from_exception(error).to_dict(),
-            )
-        if request.op in ("ping", "stats"):
+            frame = ErrorFrame.from_exception(error).to_dict()
+            observe(None, frame, started, None, peer)
+            return respond(start_response, "400 Bad Request", frame)
+        if request.op in ("ping", "stats", "metrics"):
             return respond(
                 start_response,
                 "200 OK",
-                introspection_frame(request, pool),
+                introspection_frame(request, pool, metrics=registry),
             )
+        timer = StageTimer()
+        previous = activate(timer)
         try:
             response = pool.process(request)
         except (DeadlineExceeded, Overloaded) as error:
@@ -128,11 +223,10 @@ def make_wsgi_app(pool: SessionPool) -> Callable:
                     ),
                 )
             ]
+            frame = ErrorFrame.from_exception(error, id=request.id).to_dict()
+            observe(request, frame, started, timer, peer)
             return respond(
-                start_response,
-                "503 Service Unavailable",
-                ErrorFrame.from_exception(error, id=request.id).to_dict(),
-                headers,
+                start_response, "503 Service Unavailable", frame, headers
             )
         except Exception as error:
             # Bad input is the client's fault (400): SchemaFormatError,
@@ -140,13 +234,19 @@ def make_wsgi_app(pool: SessionPool) -> Callable:
             # Anything else is an internal failure and must alert as
             # one (500).
             bad_request = isinstance(error, ValueError)
+            frame = ErrorFrame.from_exception(error, id=request.id).to_dict()
+            observe(request, frame, started, timer, peer)
             return respond(
                 start_response,
                 "400 Bad Request"
                 if bad_request
                 else "500 Internal Server Error",
-                ErrorFrame.from_exception(error, id=request.id).to_dict(),
+                frame,
             )
-        return respond(start_response, "200 OK", response.to_dict())
+        finally:
+            deactivate(previous)
+        frame = response.to_dict()
+        observe(request, frame, started, timer, peer)
+        return respond(start_response, "200 OK", frame)
 
     return application

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Any, Callable, Union
 from ..constraints.analysis import ClassifiedConstraints, ConstraintClass
 from ..constraints.fd import FunctionalDependency
 from ..constraints.tgd import TGD
+from ..obs.timing import stage
 from ..schema.schema import Schema
 from ..io import schema_to_dict
 
@@ -94,8 +95,32 @@ class CompiledSchema:
         with self._lock:
             if key not in self._artifacts:
                 self.stats[key] = self.stats.get(key, 0) + 1
-                self._artifacts[key] = build()
+                # First-use artifact builds inside a request are
+                # compile work, not decide work — attribute them so.
+                with stage("compile"):
+                    self._artifacts[key] = build()
             return self._artifacts[key]
+
+    def register_metrics(self, registry) -> None:
+        """Register this schema's engine/matcher/artifact counters as
+        the ``schema`` provider of a `repro.obs.MetricsRegistry`.
+
+        Samples come out fingerprint-keyed (the flattener turns the
+        hex key into a bounded ``key`` label).  Registering a second
+        compiled schema replaces the provider — multi-schema serving
+        should observe through `SessionPool.register_metrics`, which
+        covers every live fingerprint.
+        """
+        def schema_stats() -> dict:
+            return {
+                self.fingerprint: {
+                    "artifacts": dict(self.stats),
+                    "engine": self.engine_stats(),
+                    "matcher": self.matcher_stats(),
+                }
+            }
+
+        registry.register_provider("schema", schema_stats)
 
     def bind_store(self, store) -> None:
         """Attach a durable `repro.cache.ArtifactStore`.

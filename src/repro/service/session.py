@@ -49,6 +49,7 @@ from ..io import DecideResponse, PlanResponse, json_safe
 from ..logic.parser import parse_cq
 from ..logic.queries import ConjunctiveQuery
 from ..logic.terms import Constant, Variable
+from ..obs.timing import stage
 from ..runtime import Budget
 from ..schema.schema import Schema
 from .compiled import CompiledSchema, as_compiled
@@ -194,9 +195,12 @@ class Session:
         return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
     def _durable_load(self, key_text: str, decode) -> Optional[Any]:
-        payload = self.store.load(
-            "decision", f"decision:{self.compiled.fingerprint}", key_text
-        )
+        with stage("persist"):
+            payload = self.store.load(
+                "decision",
+                f"decision:{self.compiled.fingerprint}",
+                key_text,
+            )
         if not isinstance(payload, dict):
             return None
         try:
@@ -209,12 +213,13 @@ class Session:
         return response
 
     def _durable_put(self, key_text: str, response: Any) -> None:
-        self.store.store(
-            "decision",
-            f"decision:{self.compiled.fingerprint}",
-            key_text,
-            response.to_dict(),
-        )
+        with stage("persist"):
+            self.store.store(
+                "decision",
+                f"decision:{self.compiled.fingerprint}",
+                key_text,
+                response.to_dict(),
+            )
 
     # ------------------------------------------------------------------
     # Service verbs

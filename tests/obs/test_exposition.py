@@ -1,0 +1,117 @@
+"""Prometheus text exposition: rendering and the scrape validator."""
+
+import pytest
+
+from repro.obs import (
+    CONTENT_TYPE,
+    MetricsRegistry,
+    render_prometheus,
+    validate_exposition,
+)
+
+
+def build_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    c = registry.counter(
+        "repro_requests_total", "Requests.", labels=("op", "outcome")
+    )
+    c.inc(op="decide", outcome="ok")
+    c.inc(2, op="decide", outcome="error")
+    registry.gauge("repro_workers", "Worker threads.").set(4)
+    h = registry.histogram(
+        "repro_request_ms", "Latency.", buckets=(10.0, 20.0), labels=("op",)
+    )
+    for value in (1.0, 5.0, 12.0, 99.0):
+        h.observe(value, op="decide")
+    registry.register_provider(
+        "pool", lambda: {"sessions": 2, "hits": {"memory": 7}}
+    )
+    return registry
+
+
+class TestRender:
+    def test_content_type_pins_the_text_format(self):
+        assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+    def test_help_and_type_headers(self):
+        text = render_prometheus(build_registry())
+        assert "# HELP repro_requests_total Requests." in text
+        assert "# TYPE repro_requests_total counter" in text
+        assert "# TYPE repro_workers gauge" in text
+        assert "# TYPE repro_request_ms histogram" in text
+
+    def test_counter_and_gauge_samples(self):
+        text = render_prometheus(build_registry())
+        assert 'repro_requests_total{op="decide",outcome="ok"} 1' in text
+        assert 'repro_requests_total{op="decide",outcome="error"} 2' in text
+        assert "repro_workers 4" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = render_prometheus(build_registry())
+        assert 'repro_request_ms_bucket{le="10",op="decide"} 2' in text
+        assert 'repro_request_ms_bucket{le="20",op="decide"} 3' in text
+        assert 'repro_request_ms_bucket{le="+Inf",op="decide"} 4' in text
+        assert 'repro_request_ms_sum{op="decide"} 117' in text
+        assert 'repro_request_ms_count{op="decide"} 4' in text
+
+    def test_provider_leaves_become_untyped_gauges(self):
+        text = render_prometheus(build_registry())
+        assert "repro_pool_sessions 2" in text
+        assert "repro_pool_hits_memory 7" in text
+
+    def test_provider_name_colliding_with_instrument_is_dropped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_pool_sessions", "c").inc(5)
+        registry.register_provider("pool", lambda: {"sessions": 99})
+        text = render_prometheus(registry)
+        assert "repro_pool_sessions 5" in text
+        assert "99" not in text
+        validate_exposition(text)  # and in particular: no duplicates
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", "x", labels=("who",)).inc(
+            who='pe"er\\1\nx'
+        )
+        text = render_prometheus(registry)
+        assert '{who="pe\\"er\\\\1\\nx"}' in text
+        validate_exposition(text)
+
+    def test_render_is_idempotent_and_validates(self):
+        registry = build_registry()
+        first, second = render_prometheus(registry), render_prometheus(registry)
+        assert first == second
+        names = validate_exposition(first)
+        assert names["repro_requests_total"] == 2
+        assert names["repro_request_ms_bucket"] == 3
+        assert names["repro_request_ms_count"] == 1
+
+
+class TestValidator:
+    def test_rejects_duplicate_series(self):
+        with pytest.raises(ValueError, match="duplicate series"):
+            validate_exposition("repro_x 1\nrepro_x 2\n")
+
+    def test_same_name_different_labels_is_fine(self):
+        names = validate_exposition(
+            'repro_x{op="a"} 1\nrepro_x{op="b"} 2\n'
+        )
+        assert names == {"repro_x": 2}
+
+    def test_rejects_unparseable_sample(self):
+        with pytest.raises(ValueError, match="unparseable sample"):
+            validate_exposition("not a metric line at all !!\n")
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(ValueError, match="bad sample value"):
+            validate_exposition("repro_x notanumber\n")
+
+    def test_accepts_inf_and_nan_spellings(self):
+        validate_exposition("repro_a +Inf\nrepro_b -Inf\nrepro_c NaN\n")
+
+    def test_rejects_stray_comment(self):
+        with pytest.raises(ValueError, match="bad comment"):
+            validate_exposition("# FOO repro_x something\n")
+
+    def test_blank_lines_are_ignored(self):
+        assert validate_exposition("\n\nrepro_x 1\n\n") == {"repro_x": 1}

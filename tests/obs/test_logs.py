@@ -1,0 +1,75 @@
+"""`RequestLogger`: JSON-lines records, drop-not-raise, CLI glue."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import RequestLogger, request_logger_from_format
+
+
+class TestRequestLogger:
+    def test_one_json_object_per_line(self):
+        stream = io.StringIO()
+        logger = RequestLogger(stream=stream, clock=lambda: 1700000000.5)
+        logger.log(peer="1.2.3.4:5", op="decide", outcome="ok")
+        logger.log(peer="1.2.3.4:5", op="plan", outcome="error")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "request"
+        assert first["peer"] == "1.2.3.4:5"
+        assert first["op"] == "decide"
+        assert first["ts"].endswith("Z") and "T" in first["ts"]
+        assert logger.records_written == 2
+
+    def test_injected_clock_is_deterministic(self):
+        stream = io.StringIO()
+        logger = RequestLogger(stream=stream, clock=lambda: 0.0)
+        logger.log()
+        assert json.loads(stream.getvalue())["ts"] == (
+            "1970-01-01T00:00:00.000Z"
+        )
+
+    def test_none_fields_are_omitted(self):
+        stream = io.StringIO()
+        logger = RequestLogger(stream=stream, clock=lambda: 0.0)
+        logger.log(op="decide", error_type=None, retry_after_ms=None)
+        record = json.loads(stream.getvalue())
+        assert "error_type" not in record
+        assert "retry_after_ms" not in record
+        assert record["op"] == "decide"
+
+    def test_unserializable_field_stringifies_rather_than_raises(self):
+        stream = io.StringIO()
+        logger = RequestLogger(stream=stream, clock=lambda: 0.0)
+        logger.log(weird=object())
+        assert logger.records_written == 1
+        assert "object object" in json.loads(stream.getvalue())["weird"]
+
+    def test_closed_stream_drops_and_counts(self):
+        stream = io.StringIO()
+        stream.close()
+        logger = RequestLogger(stream=stream, clock=lambda: 0.0)
+        logger.log(op="decide")  # must not raise
+        assert logger.records_written == 0
+        assert logger.records_dropped == 1
+        assert logger.stats() == {
+            "records_written": 0,
+            "records_dropped": 1,
+        }
+
+
+class TestFormatGlue:
+    def test_json_format_builds_a_logger(self):
+        stream = io.StringIO()
+        logger = request_logger_from_format("json", stream=stream)
+        assert isinstance(logger, RequestLogger)
+
+    def test_text_and_none_mean_no_logger(self):
+        assert request_logger_from_format("text") is None
+        assert request_logger_from_format(None) is None
+
+    def test_unknown_format_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown log format"):
+            request_logger_from_format("xml")

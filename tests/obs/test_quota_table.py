@@ -1,0 +1,159 @@
+"""Per-client quota-table battery: the bugfixes of this PR's satellites.
+
+Regressions covered:
+
+* the table used to grow past `MAX_CLIENT_STATES` when no entry was
+  idle at insertion time — the cap is now hard (overflow peers share
+  one untracked bucket);
+* ``_ClientState.idle`` used to compare stale ``tokens`` against the
+  burst (refill only happened inside ``take``), so a peer that drained
+  its bucket and then went quiet was never prunable.
+
+The battery churns thousands of peers with mixed idle/busy/drained
+states under an injected clock and asserts the cap invariant
+throughout.
+"""
+
+from repro.server import DecideServer
+from repro.server.server import MAX_CLIENT_STATES, _ClientState
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class FakePool:
+    """The quota table never touches the pool; a stats stub suffices."""
+
+    def stats(self) -> dict:
+        return {}
+
+
+def make_server(clock: FakeClock, **kwargs) -> DecideServer:
+    kwargs.setdefault("client_rate", 10.0)
+    kwargs.setdefault("client_burst", 8.0)
+    return DecideServer(FakePool(), port=0, clock=clock, **kwargs)
+
+
+class TestIdleCheck:
+    def test_fresh_state_is_idle(self):
+        state = _ClientState(burst=8.0, now=0.0)
+        assert state.idle(10.0, 8.0, now=0.0)
+
+    def test_inflight_is_never_idle(self):
+        state = _ClientState(burst=8.0, now=0.0)
+        state.inflight = 1
+        assert not state.idle(None, 8.0, now=1e9)
+
+    def test_rate_none_means_idle_when_not_inflight(self):
+        state = _ClientState(burst=8.0, now=0.0)
+        state.tokens = 0.0  # bucket state is meaningless without a rate
+        assert state.idle(None, 8.0, now=0.0)
+
+    def test_drained_then_quiet_peer_becomes_idle(self):
+        # The satellite-2 regression: tokens refill only inside take(),
+        # so idleness must be judged against the *virtually refilled*
+        # bucket, not the stale stored value.
+        state = _ClientState(burst=8.0, now=0.0)
+        for __ in range(8):
+            assert state.take(10.0, 8.0, now=0.0) is None
+        assert state.tokens == 0.0
+        assert not state.idle(10.0, 8.0, now=0.0)  # genuinely drained
+        # 0.8s at 10 tokens/s refills the full burst of 8.
+        assert state.idle(10.0, 8.0, now=0.8)
+
+    def test_idle_check_does_not_mutate(self):
+        state = _ClientState(burst=8.0, now=0.0)
+        state.take(10.0, 8.0, now=0.0)
+        tokens, stamp = state.tokens, state.stamp
+        state.idle(10.0, 8.0, now=100.0)
+        assert state.tokens == tokens and state.stamp == stamp
+
+    def test_partially_refilled_is_still_busy(self):
+        state = _ClientState(burst=8.0, now=0.0)
+        for __ in range(8):
+            state.take(10.0, 8.0, now=0.0)
+        assert not state.idle(10.0, 8.0, now=0.4)  # only 4 of 8 back
+
+
+class TestCapInvariant:
+    def test_idle_churn_sweeps_and_counts_evictions(self):
+        clock = FakeClock()
+        server = make_server(clock)
+        for index in range(4 * MAX_CLIENT_STATES):
+            server._client_state(f"10.0.{index // 256}.{index % 256}:1")
+            clock.tick(0.001)
+            assert len(server._clients) <= MAX_CLIENT_STATES
+        assert server._counters["client_evictions"] > 0
+        assert server._counters["client_overflow"] == 0
+
+    def test_all_busy_table_holds_cap_via_overflow_bucket(self):
+        clock = FakeClock()
+        server = make_server(clock)
+        for index in range(MAX_CLIENT_STATES):
+            server._client_state(f"busy-{index}").inflight = 1
+        assert len(server._clients) == MAX_CLIENT_STATES
+        first = server._client_state("newcomer-1")
+        second = server._client_state("newcomer-2")
+        assert first is second is server._overflow_state
+        assert len(server._clients) == MAX_CLIENT_STATES
+        assert server._counters["client_overflow"] == 2
+        # the shared bucket still pays quota: it can drain
+        for __ in range(8):
+            first.take(10.0, 8.0, now=clock())
+        assert first.take(10.0, 8.0, now=clock()) is not None
+
+    def test_mixed_churn_battery(self):
+        # Thousands of peers in three interleaved populations: busy
+        # (inflight held), drained-then-quiet, and one-shot idle.  The
+        # cap must hold at every step, busy entries must survive every
+        # sweep, and drained peers must age into evictability.
+        clock = FakeClock()
+        server = make_server(clock)
+        busy = [f"busy-{i}" for i in range(100)]
+        for peer in busy:
+            server._client_state(peer).inflight = 1
+        for index in range(5000):
+            peer = f"churn-{index}"
+            state = server._client_state(peer)
+            if index % 3 == 0 and state is not server._overflow_state:
+                state.tokens = 0.0  # drained; refills via the clock
+            clock.tick(0.01)
+            assert len(server._clients) <= MAX_CLIENT_STATES
+            for survivor in busy:
+                assert survivor in server._clients
+        assert server._counters["client_evictions"] > 0
+        # Busy entries alone never filled the table, so tracked slots
+        # kept recycling instead of spilling to the overflow bucket.
+        assert server._counters["client_overflow"] == 0
+
+    def test_overflow_clears_once_a_tracked_peer_frees(self):
+        clock = FakeClock()
+        server = make_server(clock)
+        for index in range(MAX_CLIENT_STATES):
+            server._client_state(f"busy-{index}").inflight = 1
+        assert (
+            server._client_state("spill")
+            is server._overflow_state
+        )
+        # one busy peer completes and its bucket refills
+        server._clients["busy-0"].inflight = 0
+        clock.tick(10.0)
+        state = server._client_state("tracked-again")
+        assert state is not server._overflow_state
+        assert "tracked-again" in server._clients
+        assert len(server._clients) <= MAX_CLIENT_STATES
+
+    def test_repeat_peer_reuses_its_state(self):
+        clock = FakeClock()
+        server = make_server(clock)
+        first = server._client_state("1.2.3.4:5")
+        assert server._client_state("1.2.3.4:5") is first
+        assert len(server._clients) == 1
